@@ -1,0 +1,658 @@
+//! # bonsai-bdd
+//!
+//! A from-scratch, hash-consed implementation of **reduced ordered binary
+//! decision diagrams** (ROBDDs, Bryant 1986), replacing the JavaBDD library
+//! the Bonsai paper uses (§5.1).
+//!
+//! The compression algorithm needs exactly one property from its BDD
+//! package: *canonicity*. Two interface policies are semantically equivalent
+//! iff their compiled BDDs are the same node — which makes the equivalence
+//! test performed millions of times inside abstraction refinement an O(1)
+//! pointer comparison (paper: "two BDDs are semantically-equivalent iff
+//! their pointers are the same").
+//!
+//! Design notes, in the spirit of the networking guides (smoltcp school):
+//!
+//! * One arena ([`Bdd`]) owns all nodes; [`Ref`] is a plain `u32` index.
+//!   No `Rc`, no interior mutability, no unsafe.
+//! * The unique table enforces the two ROBDD reduction rules (no redundant
+//!   tests, no duplicate nodes), so structural identity *is* semantic
+//!   identity for a fixed variable order.
+//! * Binary operations are memoized per `(op, lhs, rhs)`.
+//! * Variable order is the numeric order of [`Var`] indices; callers choose
+//!   a good order when they allocate variables.
+//!
+//! ```
+//! use bonsai_bdd::Bdd;
+//!
+//! let mut bdd = Bdd::new();
+//! let (x, y) = (bdd.var(0), bdd.var(1));
+//! let a = bdd.and(x, y);
+//! let not_x = bdd.not(x);
+//! let not_y = bdd.not(y);
+//! let b_inner = bdd.or(not_x, not_y);
+//! let b = bdd.not(b_inner);
+//! assert_eq!(a, b); // De Morgan, witnessed by canonicity
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A boolean variable. Lower indices are tested closer to the root.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub u32);
+
+/// A reference to a BDD node inside a [`Bdd`] arena.
+///
+/// `Ref`s obtained from the same arena are canonical: two formulas are
+/// logically equivalent iff their `Ref`s are equal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ref(u32);
+
+impl Ref {
+    /// The constant false node.
+    pub const FALSE: Ref = Ref(0);
+    /// The constant true node.
+    pub const TRUE: Ref = Ref(1);
+
+    /// True if this is one of the two terminal nodes.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Raw index (stable for the lifetime of the arena); useful as a hash
+    /// key in caller-side tables.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Ref {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Ref::FALSE => write!(f, "⊥"),
+            Ref::TRUE => write!(f, "⊤"),
+            Ref(i) => write!(f, "@{i}"),
+        }
+    }
+}
+
+/// Terminal marker stored in the `var` field of the two constant nodes.
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct Node {
+    var: u32,
+    lo: Ref,
+    hi: Ref,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+    Xor,
+}
+
+/// The BDD arena: owns every node and all memo tables.
+///
+/// All operations take `&mut self` because they may allocate nodes; results
+/// are plain [`Ref`]s that stay valid for the arena's lifetime.
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Ref>,
+    apply_memo: HashMap<(Op, Ref, Ref), Ref>,
+    not_memo: HashMap<Ref, Ref>,
+}
+
+impl Default for Bdd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bdd {
+    /// Creates an empty arena containing just the two terminals.
+    pub fn new() -> Self {
+        let f = Node {
+            var: TERMINAL_VAR,
+            lo: Ref::FALSE,
+            hi: Ref::FALSE,
+        };
+        let t = Node {
+            var: TERMINAL_VAR,
+            lo: Ref::TRUE,
+            hi: Ref::TRUE,
+        };
+        Bdd {
+            nodes: vec![f, t],
+            unique: HashMap::new(),
+            apply_memo: HashMap::new(),
+            not_memo: HashMap::new(),
+        }
+    }
+
+    /// Total number of live nodes in the arena (including terminals).
+    pub fn arena_size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// One of the two terminal nodes.
+    #[inline]
+    pub fn constant(&self, value: bool) -> Ref {
+        if value {
+            Ref::TRUE
+        } else {
+            Ref::FALSE
+        }
+    }
+
+    /// The positive literal `v`.
+    pub fn var(&mut self, v: u32) -> Ref {
+        self.mk(v, Ref::FALSE, Ref::TRUE)
+    }
+
+    /// The negative literal `¬v`.
+    pub fn nvar(&mut self, v: u32) -> Ref {
+        self.mk(v, Ref::TRUE, Ref::FALSE)
+    }
+
+    #[inline]
+    fn node(&self, r: Ref) -> Node {
+        self.nodes[r.0 as usize]
+    }
+
+    /// The variable tested at the root of `r`, or `None` for terminals.
+    pub fn root_var(&self, r: Ref) -> Option<Var> {
+        let v = self.node(r).var;
+        (v != TERMINAL_VAR).then_some(Var(v))
+    }
+
+    /// The low (variable=false) cofactor of a non-terminal node.
+    pub fn lo(&self, r: Ref) -> Ref {
+        debug_assert!(!r.is_const());
+        self.node(r).lo
+    }
+
+    /// The high (variable=true) cofactor of a non-terminal node.
+    pub fn hi(&self, r: Ref) -> Ref {
+        debug_assert!(!r.is_const());
+        self.node(r).hi
+    }
+
+    /// Hash-consing constructor enforcing both reduction rules.
+    fn mk(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
+        debug_assert!(var != TERMINAL_VAR);
+        if lo == hi {
+            return lo; // redundant test elimination
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&r) = self.unique.get(&node) {
+            return r; // duplicate elimination
+        }
+        let r = Ref(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        r
+    }
+
+    /// Logical negation.
+    pub fn not(&mut self, r: Ref) -> Ref {
+        match r {
+            Ref::FALSE => return Ref::TRUE,
+            Ref::TRUE => return Ref::FALSE,
+            _ => {}
+        }
+        if let Some(&m) = self.not_memo.get(&r) {
+            return m;
+        }
+        let n = self.node(r);
+        let lo = self.not(n.lo);
+        let hi = self.not(n.hi);
+        let result = self.mk(n.var, lo, hi);
+        self.not_memo.insert(r, result);
+        self.not_memo.insert(result, r);
+        result
+    }
+
+    fn apply(&mut self, op: Op, a: Ref, b: Ref) -> Ref {
+        // Terminal cases.
+        match op {
+            Op::And => {
+                if a == Ref::FALSE || b == Ref::FALSE {
+                    return Ref::FALSE;
+                }
+                if a == Ref::TRUE {
+                    return b;
+                }
+                if b == Ref::TRUE {
+                    return a;
+                }
+                if a == b {
+                    return a;
+                }
+            }
+            Op::Or => {
+                if a == Ref::TRUE || b == Ref::TRUE {
+                    return Ref::TRUE;
+                }
+                if a == Ref::FALSE {
+                    return b;
+                }
+                if b == Ref::FALSE {
+                    return a;
+                }
+                if a == b {
+                    return a;
+                }
+            }
+            Op::Xor => {
+                if a == Ref::FALSE {
+                    return b;
+                }
+                if b == Ref::FALSE {
+                    return a;
+                }
+                if a == b {
+                    return Ref::FALSE;
+                }
+                if a == Ref::TRUE {
+                    return self.not(b);
+                }
+                if b == Ref::TRUE {
+                    return self.not(a);
+                }
+            }
+        }
+        // Commutative ops: normalize the memo key.
+        let key = if a.0 <= b.0 { (op, a, b) } else { (op, b, a) };
+        if let Some(&m) = self.apply_memo.get(&key) {
+            return m;
+        }
+        let na = self.node(a);
+        let nb = self.node(b);
+        let var = na.var.min(nb.var);
+        let (a_lo, a_hi) = if na.var == var { (na.lo, na.hi) } else { (a, a) };
+        let (b_lo, b_hi) = if nb.var == var { (nb.lo, nb.hi) } else { (b, b) };
+        let lo = self.apply(op, a_lo, b_lo);
+        let hi = self.apply(op, a_hi, b_hi);
+        let result = self.mk(var, lo, hi);
+        self.apply_memo.insert(key, result);
+        result
+    }
+
+    /// Logical conjunction.
+    pub fn and(&mut self, a: Ref, b: Ref) -> Ref {
+        self.apply(Op::And, a, b)
+    }
+
+    /// Logical disjunction.
+    pub fn or(&mut self, a: Ref, b: Ref) -> Ref {
+        self.apply(Op::Or, a, b)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, a: Ref, b: Ref) -> Ref {
+        self.apply(Op::Xor, a, b)
+    }
+
+    /// Implication `a → b`.
+    pub fn implies(&mut self, a: Ref, b: Ref) -> Ref {
+        let na = self.not(a);
+        self.or(na, b)
+    }
+
+    /// Biconditional `a ↔ b`.
+    pub fn iff(&mut self, a: Ref, b: Ref) -> Ref {
+        let x = self.xor(a, b);
+        self.not(x)
+    }
+
+    /// If-then-else `(c ∧ t) ∨ (¬c ∧ e)`.
+    pub fn ite(&mut self, c: Ref, t: Ref, e: Ref) -> Ref {
+        let ct = self.and(c, t);
+        let nc = self.not(c);
+        let ce = self.and(nc, e);
+        self.or(ct, ce)
+    }
+
+    /// Conjunction of many operands (`⊤` for none).
+    pub fn and_all(&mut self, operands: impl IntoIterator<Item = Ref>) -> Ref {
+        operands
+            .into_iter()
+            .fold(Ref::TRUE, |acc, r| self.and(acc, r))
+    }
+
+    /// Disjunction of many operands (`⊥` for none).
+    pub fn or_all(&mut self, operands: impl IntoIterator<Item = Ref>) -> Ref {
+        operands
+            .into_iter()
+            .fold(Ref::FALSE, |acc, r| self.or(acc, r))
+    }
+
+    /// Restriction `f[v := value]` (Shannon cofactor).
+    pub fn restrict(&mut self, f: Ref, v: Var, value: bool) -> Ref {
+        if f.is_const() {
+            return f;
+        }
+        let n = self.node(f);
+        if n.var > v.0 {
+            return f; // v does not occur in f
+        }
+        if n.var == v.0 {
+            return if value { n.hi } else { n.lo };
+        }
+        let lo = self.restrict(n.lo, v, value);
+        let hi = self.restrict(n.hi, v, value);
+        self.mk(n.var, lo, hi)
+    }
+
+    /// Existential quantification `∃v. f`.
+    pub fn exists(&mut self, f: Ref, v: Var) -> Ref {
+        let lo = self.restrict(f, v, false);
+        let hi = self.restrict(f, v, true);
+        self.or(lo, hi)
+    }
+
+    /// Universal quantification `∀v. f`.
+    pub fn forall(&mut self, f: Ref, v: Var) -> Ref {
+        let lo = self.restrict(f, v, false);
+        let hi = self.restrict(f, v, true);
+        self.and(lo, hi)
+    }
+
+    /// Evaluates `f` under a total assignment (indexed by variable number;
+    /// variables beyond the slice are taken as false).
+    pub fn eval(&self, f: Ref, assignment: &[bool]) -> bool {
+        let mut r = f;
+        loop {
+            match r {
+                Ref::FALSE => return false,
+                Ref::TRUE => return true,
+                _ => {
+                    let n = self.node(r);
+                    let bit = assignment.get(n.var as usize).copied().unwrap_or(false);
+                    r = if bit { n.hi } else { n.lo };
+                }
+            }
+        }
+    }
+
+    /// Number of distinct nodes reachable from `f` (including terminals):
+    /// the conventional "BDD size".
+    pub fn size(&self, f: Ref) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if seen.insert(r) && !r.is_const() {
+                let n = self.node(r);
+                stack.push(n.lo);
+                stack.push(n.hi);
+            }
+        }
+        seen.len()
+    }
+
+    /// The set of variables appearing in `f`, ascending.
+    pub fn support(&self, f: Ref) -> Vec<Var> {
+        let mut vars = std::collections::BTreeSet::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if r.is_const() || !seen.insert(r) {
+                continue;
+            }
+            let n = self.node(r);
+            vars.insert(Var(n.var));
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Number of satisfying assignments over the first `nvars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` mentions a variable `>= nvars`.
+    pub fn sat_count(&self, f: Ref, nvars: u32) -> u128 {
+        fn go(bdd: &Bdd, r: Ref, nvars: u32, memo: &mut HashMap<Ref, u128>) -> u128 {
+            match r {
+                Ref::FALSE => return 0,
+                Ref::TRUE => return 1,
+                _ => {}
+            }
+            if let Some(&c) = memo.get(&r) {
+                return c;
+            }
+            let n = bdd.node(r);
+            assert!(n.var < nvars, "sat_count: variable out of range");
+            let lo_count = go(bdd, n.lo, nvars, memo) << gap(bdd, n.lo, n.var, nvars);
+            let hi_count = go(bdd, n.hi, nvars, memo) << gap(bdd, n.hi, n.var, nvars);
+            let c = lo_count + hi_count;
+            memo.insert(r, c);
+            c
+        }
+        /// Number of skipped variable levels between a node at `parent_var`
+        /// and its child `r`.
+        fn gap(bdd: &Bdd, r: Ref, parent_var: u32, nvars: u32) -> u32 {
+            let child_var = if r.is_const() { nvars } else { bdd.node(r).var };
+            child_var - parent_var - 1
+        }
+        let mut memo = HashMap::new();
+        let root_var = if f.is_const() { nvars } else { self.node(f).var };
+        go(self, f, nvars, &mut memo) << root_var
+    }
+
+    /// One satisfying assignment of `f` (values for its support variables),
+    /// or `None` if `f` is unsatisfiable.
+    pub fn any_sat(&self, f: Ref) -> Option<Vec<(Var, bool)>> {
+        if f == Ref::FALSE {
+            return None;
+        }
+        let mut out = Vec::new();
+        let mut r = f;
+        while !r.is_const() {
+            let n = self.node(r);
+            if n.hi != Ref::FALSE {
+                out.push((Var(n.var), true));
+                r = n.hi;
+            } else {
+                out.push((Var(n.var), false));
+                r = n.lo;
+            }
+        }
+        debug_assert_eq!(r, Ref::TRUE);
+        Some(out)
+    }
+}
+
+impl fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bdd {{ nodes: {} }}", self.nodes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals() {
+        let bdd = Bdd::new();
+        assert_eq!(bdd.constant(true), Ref::TRUE);
+        assert_eq!(bdd.constant(false), Ref::FALSE);
+        assert!(Ref::TRUE.is_const());
+        assert_eq!(bdd.size(Ref::TRUE), 1);
+    }
+
+    #[test]
+    fn literals_are_canonical() {
+        let mut bdd = Bdd::new();
+        assert_eq!(bdd.var(3), bdd.var(3));
+        assert_ne!(bdd.var(3), bdd.var(4));
+        let v = bdd.var(3);
+        let nv = bdd.nvar(3);
+        assert_eq!(bdd.not(v), nv);
+        assert_eq!(bdd.not(nv), v);
+    }
+
+    #[test]
+    fn basic_identities() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(0);
+        let y = bdd.var(1);
+        assert_eq!(bdd.and(x, Ref::TRUE), x);
+        assert_eq!(bdd.and(x, Ref::FALSE), Ref::FALSE);
+        assert_eq!(bdd.or(x, Ref::FALSE), x);
+        assert_eq!(bdd.or(x, Ref::TRUE), Ref::TRUE);
+        assert_eq!(bdd.xor(x, x), Ref::FALSE);
+        let nx = bdd.not(x);
+        assert_eq!(bdd.and(x, nx), Ref::FALSE);
+        assert_eq!(bdd.or(x, nx), Ref::TRUE);
+        assert_eq!(bdd.and(x, y), bdd.and(y, x));
+    }
+
+    #[test]
+    fn de_morgan() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(0);
+        let y = bdd.var(1);
+        let lhs_inner = bdd.and(x, y);
+        let lhs = bdd.not(lhs_inner);
+        let nx = bdd.not(x);
+        let ny = bdd.not(y);
+        let rhs = bdd.or(nx, ny);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn ite_is_mux() {
+        let mut bdd = Bdd::new();
+        let c = bdd.var(0);
+        let t = bdd.var(1);
+        let e = bdd.var(2);
+        let f = bdd.ite(c, t, e);
+        for bits in 0..8u8 {
+            let a = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            let expect = if a[0] { a[1] } else { a[2] };
+            assert_eq!(bdd.eval(f, &a), expect);
+        }
+    }
+
+    #[test]
+    fn restrict_cofactors() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(0);
+        let y = bdd.var(1);
+        let f = bdd.and(x, y);
+        assert_eq!(bdd.restrict(f, Var(0), true), y);
+        assert_eq!(bdd.restrict(f, Var(0), false), Ref::FALSE);
+        // Restricting an absent variable is the identity.
+        assert_eq!(bdd.restrict(f, Var(7), true), f);
+    }
+
+    #[test]
+    fn quantifiers() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(0);
+        let y = bdd.var(1);
+        let f = bdd.and(x, y);
+        assert_eq!(bdd.exists(f, Var(0)), y);
+        assert_eq!(bdd.forall(f, Var(0)), Ref::FALSE);
+        let g = bdd.or(x, y);
+        assert_eq!(bdd.exists(g, Var(0)), Ref::TRUE);
+        assert_eq!(bdd.forall(g, Var(0)), y);
+    }
+
+    #[test]
+    fn sat_count_small() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(0);
+        let y = bdd.var(1);
+        let f = bdd.and(x, y);
+        assert_eq!(bdd.sat_count(f, 2), 1);
+        let g = bdd.or(x, y);
+        assert_eq!(bdd.sat_count(g, 2), 3);
+        assert_eq!(bdd.sat_count(Ref::TRUE, 5), 32);
+        assert_eq!(bdd.sat_count(Ref::FALSE, 5), 0);
+        // Skipped levels are counted.
+        assert_eq!(bdd.sat_count(x, 3), 4);
+        assert_eq!(bdd.sat_count(bdd.constant(true), 0), 1);
+    }
+
+    #[test]
+    fn any_sat_finds_model() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(0);
+        let ny = bdd.nvar(1);
+        let f = bdd.and(x, ny);
+        let model = bdd.any_sat(f).unwrap();
+        let mut a = vec![false; 2];
+        for (v, val) in model {
+            a[v.0 as usize] = val;
+        }
+        assert!(bdd.eval(f, &a));
+        assert!(bdd.any_sat(Ref::FALSE).is_none());
+    }
+
+    #[test]
+    fn support_and_size() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(0);
+        let z = bdd.var(5);
+        let f = bdd.xor(x, z);
+        assert_eq!(bdd.support(f), vec![Var(0), Var(5)]);
+        assert!(bdd.size(f) >= 4); // two internal + two terminals
+        assert_eq!(bdd.support(Ref::TRUE), vec![]);
+    }
+
+    #[test]
+    fn canonicity_xor_chain() {
+        // Build the same parity function in two different associativity
+        // orders; canonicity must give the same node.
+        let mut bdd = Bdd::new();
+        let vars: Vec<Ref> = (0..8).map(|i| bdd.var(i)).collect();
+        let left = vars.iter().copied().reduce(|a, b| bdd.xor(a, b)).unwrap();
+        let right = vars
+            .iter()
+            .rev()
+            .copied()
+            .reduce(|a, b| bdd.xor(a, b))
+            .unwrap();
+        assert_eq!(left, right);
+        assert_eq!(bdd.sat_count(left, 8), 128);
+    }
+
+    #[test]
+    fn implies_iff() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(0);
+        let y = bdd.var(1);
+        let imp = bdd.implies(x, y);
+        assert!(bdd.eval(imp, &[false, false]));
+        assert!(bdd.eval(imp, &[false, true]));
+        assert!(!bdd.eval(imp, &[true, false]));
+        assert!(bdd.eval(imp, &[true, true]));
+        let eq = bdd.iff(x, y);
+        assert!(bdd.eval(eq, &[false, false]));
+        assert!(!bdd.eval(eq, &[true, false]));
+    }
+
+    #[test]
+    fn and_or_all() {
+        let mut bdd = Bdd::new();
+        let vs: Vec<Ref> = (0..4).map(|i| bdd.var(i)).collect();
+        let all = bdd.and_all(vs.iter().copied());
+        assert_eq!(bdd.sat_count(all, 4), 1);
+        let any = bdd.or_all(vs.iter().copied());
+        assert_eq!(bdd.sat_count(any, 4), 15);
+        assert_eq!(bdd.and_all([]), Ref::TRUE);
+        assert_eq!(bdd.or_all([]), Ref::FALSE);
+    }
+}

@@ -1,0 +1,183 @@
+//! Property tests: BDD operations agree with direct boolean evaluation on
+//! random expressions, and canonicity holds (semantic equality == Ref
+//! equality).
+
+use bonsai_bdd::{Bdd, Ref, Var};
+use proptest::prelude::*;
+
+const NVARS: u32 = 5;
+
+/// A random boolean expression over NVARS variables.
+#[derive(Clone, Debug)]
+enum Expr {
+    Const(bool),
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self, a: &[bool]) -> bool {
+        match self {
+            Expr::Const(b) => *b,
+            Expr::Var(v) => a[*v as usize],
+            Expr::Not(x) => !x.eval(a),
+            Expr::And(x, y) => x.eval(a) && y.eval(a),
+            Expr::Or(x, y) => x.eval(a) || y.eval(a),
+            Expr::Xor(x, y) => x.eval(a) ^ y.eval(a),
+            Expr::Ite(c, t, e) => {
+                if c.eval(a) {
+                    t.eval(a)
+                } else {
+                    e.eval(a)
+                }
+            }
+        }
+    }
+
+    fn build(&self, bdd: &mut Bdd) -> Ref {
+        match self {
+            Expr::Const(b) => bdd.constant(*b),
+            Expr::Var(v) => bdd.var(*v),
+            Expr::Not(x) => {
+                let r = x.build(bdd);
+                bdd.not(r)
+            }
+            Expr::And(x, y) => {
+                let (rx, ry) = (x.build(bdd), y.build(bdd));
+                bdd.and(rx, ry)
+            }
+            Expr::Or(x, y) => {
+                let (rx, ry) = (x.build(bdd), y.build(bdd));
+                bdd.or(rx, ry)
+            }
+            Expr::Xor(x, y) => {
+                let (rx, ry) = (x.build(bdd), y.build(bdd));
+                bdd.xor(rx, ry)
+            }
+            Expr::Ite(c, t, e) => {
+                let (rc, rt, re) = (c.build(bdd), t.build(bdd), e.build(bdd));
+                bdd.ite(rc, rt, re)
+            }
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Expr::Const),
+        (0..NVARS).prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|x| Expr::Not(Box::new(x))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Expr::And(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Expr::Or(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Expr::Xor(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, e)| Expr::Ite(Box::new(c), Box::new(t), Box::new(e))),
+        ]
+    })
+}
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0u32..(1 << NVARS)).map(|bits| (0..NVARS).map(|i| bits >> i & 1 == 1).collect())
+}
+
+proptest! {
+    /// A compiled BDD computes exactly the expression's truth table.
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let f = e.build(&mut bdd);
+        for a in assignments() {
+            prop_assert_eq!(bdd.eval(f, &a), e.eval(&a));
+        }
+    }
+
+    /// Canonicity: two expressions are semantically equal iff they compile
+    /// to the same Ref.
+    #[test]
+    fn canonicity(e1 in arb_expr(), e2 in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let f1 = e1.build(&mut bdd);
+        let f2 = e2.build(&mut bdd);
+        let sem_equal = assignments().all(|a| e1.eval(&a) == e2.eval(&a));
+        prop_assert_eq!(f1 == f2, sem_equal);
+    }
+
+    /// sat_count agrees with brute-force counting.
+    #[test]
+    fn sat_count_matches_brute_force(e in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let f = e.build(&mut bdd);
+        let brute = assignments().filter(|a| e.eval(a)).count() as u128;
+        prop_assert_eq!(bdd.sat_count(f, NVARS), brute);
+    }
+
+    /// Shannon expansion: f == ite(v, f[v:=1], f[v:=0]) for every variable.
+    #[test]
+    fn shannon_expansion(e in arb_expr(), v in 0..NVARS) {
+        let mut bdd = Bdd::new();
+        let f = e.build(&mut bdd);
+        let hi = bdd.restrict(f, Var(v), true);
+        let lo = bdd.restrict(f, Var(v), false);
+        let var = bdd.var(v);
+        let rebuilt = bdd.ite(var, hi, lo);
+        prop_assert_eq!(f, rebuilt);
+    }
+
+    /// Quantifier semantics against brute force.
+    #[test]
+    fn quantifier_semantics(e in arb_expr(), v in 0..NVARS) {
+        let mut bdd = Bdd::new();
+        let f = e.build(&mut bdd);
+        let ex = bdd.exists(f, Var(v));
+        let fa = bdd.forall(f, Var(v));
+        for a in assignments() {
+            let mut a1 = a.clone();
+            a1[v as usize] = true;
+            let mut a0 = a.clone();
+            a0[v as usize] = false;
+            let (e1, e0) = (e.eval(&a1), e.eval(&a0));
+            prop_assert_eq!(bdd.eval(ex, &a), e1 || e0);
+            prop_assert_eq!(bdd.eval(fa, &a), e1 && e0);
+        }
+    }
+
+    /// Double negation is the identity; negation flips every entry.
+    #[test]
+    fn negation_involution(e in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let f = e.build(&mut bdd);
+        let nf = bdd.not(f);
+        let nnf = bdd.not(nf);
+        prop_assert_eq!(f, nnf);
+        for a in assignments() {
+            prop_assert_eq!(bdd.eval(nf, &a), !e.eval(&a));
+        }
+    }
+
+    /// any_sat returns a model exactly when one exists.
+    #[test]
+    fn any_sat_correct(e in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let f = e.build(&mut bdd);
+        match bdd.any_sat(f) {
+            None => prop_assert_eq!(f, Ref::FALSE),
+            Some(model) => {
+                let mut a = vec![false; NVARS as usize];
+                for (v, val) in model {
+                    a[v.0 as usize] = val;
+                }
+                prop_assert!(bdd.eval(f, &a));
+            }
+        }
+    }
+}

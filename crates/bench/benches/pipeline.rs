@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks of the compression pipeline stages, plus the
+//! DESIGN.md ablation: canonical-BDD policy equality vs deep structural
+//! comparison.
+
+use bonsai_core::compress::{compress, CompressOptions};
+use bonsai_core::ecs::compute_ecs;
+use bonsai_core::policy_bdd::PolicyCtx;
+use bonsai_core::signatures::build_sig_table;
+use bonsai_topo::{fattree, full_mesh, ring, FattreePolicy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    group.sample_size(10);
+    for k in [4usize, 8] {
+        let net = fattree(k, FattreePolicy::ShortestPath);
+        group.bench_with_input(BenchmarkId::new("fattree", k), &net, |b, net| {
+            b.iter(|| compress(net, CompressOptions { threads: 1, ..Default::default() }))
+        });
+    }
+    let net = ring(64);
+    group.bench_function("ring64", |b| {
+        b.iter(|| compress(&net, CompressOptions { threads: 1, ..Default::default() }))
+    });
+    let net = full_mesh(24);
+    group.bench_function("mesh24", |b| {
+        b.iter(|| compress(&net, CompressOptions { threads: 1, ..Default::default() }))
+    });
+    group.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let net = fattree(8, FattreePolicy::ShortestPath);
+    let topo = bonsai_config::BuiltTopology::build(&net).unwrap();
+    let ecs = compute_ecs(&net, &topo);
+    let ec = ecs[0].to_ec_dest();
+
+    let mut group = c.benchmark_group("stages");
+    group.bench_function("compute_ecs/fattree8", |b| {
+        b.iter(|| compute_ecs(&net, &topo))
+    });
+    group.bench_function("sig_table/fattree8", |b| {
+        b.iter(|| {
+            let mut ctx = PolicyCtx::from_network(&net, false);
+            build_sig_table(&mut ctx, &net, &topo, &ec)
+        })
+    });
+    group.bench_function("refinement/fattree8", |b| {
+        let mut ctx = PolicyCtx::from_network(&net, false);
+        let sigs = build_sig_table(&mut ctx, &net, &topo, &ec);
+        b.iter(|| bonsai_core::algorithm::find_abstraction(&topo.graph, &ec, &sigs))
+    });
+    group.finish();
+}
+
+/// Ablation: policy equality by canonical BDD id vs deep structural
+/// comparison of the route-map IR (what refinement would cost without the
+/// BDD encoding).
+fn bench_policy_eq(c: &mut Criterion) {
+    let net = fattree(8, FattreePolicy::PreferBottom);
+    let topo = bonsai_config::BuiltTopology::build(&net).unwrap();
+    let ecs = compute_ecs(&net, &topo);
+    let ec = ecs[0].to_ec_dest();
+    let mut ctx = PolicyCtx::from_network(&net, false);
+    let sigs = build_sig_table(&mut ctx, &net, &topo, &ec);
+
+    let mut group = c.benchmark_group("policy_eq");
+    group.bench_function("bdd_ids", |b| {
+        b.iter(|| {
+            let mut equal_pairs = 0usize;
+            for e1 in topo.graph.edges() {
+                for e2 in topo.graph.out(topo.graph.source(e1)) {
+                    if sigs.sig_of_edge[e1.index()] == sigs.sig_of_edge[e2.index()] {
+                        equal_pairs += 1;
+                    }
+                }
+            }
+            equal_pairs
+        })
+    });
+    group.bench_function("structural", |b| {
+        b.iter(|| {
+            let mut equal_pairs = 0usize;
+            for e1 in topo.graph.edges() {
+                let (u1, v1) = topo.graph.endpoints(e1);
+                let d1 = &net.devices[u1.index()];
+                let x1 = &net.devices[v1.index()];
+                for e2 in topo.graph.out(u1) {
+                    let (u2, v2) = topo.graph.endpoints(e2);
+                    let d2 = &net.devices[u2.index()];
+                    let x2 = &net.devices[v2.index()];
+                    // Deep structural comparison of the policy surface.
+                    if d1.route_maps == d2.route_maps
+                        && d1.prefix_lists == d2.prefix_lists
+                        && x1.route_maps == x2.route_maps
+                        && x1.prefix_lists == x2.prefix_lists
+                    {
+                        equal_pairs += 1;
+                    }
+                }
+            }
+            equal_pairs
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_stages, bench_policy_eq);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Regenerates **Table 1**: compression results for synthetic and "real"
+//! networks.
+//!
+//! ```text
+//! table1              # Table 1(a): fattree / ring / full mesh sweeps
+//! table1 --quick      # smaller sweep sizes (CI-friendly)
+//! table1 --real       # Table 1(b): data-center and WAN simulacra
+//! table1 --roles      # the §8 role-count study (112 → 26 → 8)
+//! ```
+
+use bonsai_bench::Table1Row;
+use bonsai_core::compress::{compress, CompressOptions};
+use bonsai_core::roles::{count_roles, RoleOptions};
+use bonsai_topo::{datacenter, fattree, full_mesh, ring, wan, DatacenterParams, FattreePolicy, WanParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let real = args.iter().any(|a| a == "--real");
+    let roles = args.iter().any(|a| a == "--roles");
+
+    if roles {
+        run_roles(quick);
+        return;
+    }
+    if real {
+        run_real(quick);
+        return;
+    }
+    run_synthetic(quick);
+}
+
+fn run_synthetic(quick: bool) {
+    println!("(a) Synthetic networks");
+    println!("{}", Table1Row::header());
+    let fattree_ks: &[usize] = if quick { &[4, 8] } else { &[12, 20, 30] };
+    for &k in fattree_ks {
+        let net = fattree(k, FattreePolicy::ShortestPath);
+        let report = compress(&net, CompressOptions::default());
+        println!("{}", Table1Row::from_report("Fattree", &report).render());
+    }
+    let ring_ns: &[usize] = if quick { &[20, 50] } else { &[100, 500, 1000] };
+    for &n in ring_ns {
+        let report = compress(&ring(n), CompressOptions::default());
+        println!("{}", Table1Row::from_report("Ring", &report).render());
+    }
+    let mesh_ns: &[usize] = if quick { &[10, 20] } else { &[50, 150, 250] };
+    for &n in mesh_ns {
+        let report = compress(&full_mesh(n), CompressOptions::default());
+        println!("{}", Table1Row::from_report("Full Mesh", &report).render());
+    }
+}
+
+fn run_real(quick: bool) {
+    println!("(b) Real networks (structural simulacra; see DESIGN.md)");
+    println!("{}", Table1Row::header());
+    let dc_params = if quick {
+        DatacenterParams {
+            clusters: 4,
+            tors_per_cluster: 6,
+            prefixes_per_tor: 3,
+            ..Default::default()
+        }
+    } else {
+        DatacenterParams::default()
+    };
+    let dc = datacenter(dc_params);
+    // The paper's data-center run uses the unused-tag-stripping h.
+    let report = compress(
+        &dc,
+        CompressOptions {
+            strip_unused_communities: true,
+            ..Default::default()
+        },
+    );
+    println!("{}", Table1Row::from_report("Data center", &report).render());
+
+    let wan_params = if quick {
+        WanParams {
+            pops: 6,
+            access_per_pop: 10,
+            prefixes_per_agg: 2,
+            ..Default::default()
+        }
+    } else {
+        WanParams::default()
+    };
+    let w = wan(wan_params);
+    let report = compress(&w, CompressOptions::default());
+    println!("{}", Table1Row::from_report("WAN", &report).render());
+}
+
+fn run_roles(quick: bool) {
+    let dc_params = if quick {
+        DatacenterParams {
+            clusters: 4,
+            tors_per_cluster: 6,
+            ..Default::default()
+        }
+    } else {
+        DatacenterParams::default()
+    };
+    let dc = datacenter(dc_params);
+    let full = count_roles(&dc, RoleOptions::default());
+    let stripped = count_roles(
+        &dc,
+        RoleOptions {
+            strip_unused_communities: true,
+            ..Default::default()
+        },
+    );
+    let no_static = count_roles(
+        &dc,
+        RoleOptions {
+            strip_unused_communities: true,
+            ignore_static_routes: true,
+        },
+    );
+    println!("Data center roles (paper: 112 -> 26 -> 8):");
+    println!("  full signatures:          {full}");
+    println!("  unused tags stripped:     {stripped}");
+    println!("  ... and static ignored:   {no_static}");
+
+    let w = wan(if quick {
+        WanParams {
+            pops: 6,
+            ..Default::default()
+        }
+    } else {
+        WanParams::default()
+    });
+    let wan_roles = count_roles(&w, RoleOptions::default());
+    println!("WAN roles (paper: 137): {wan_roles}");
+}

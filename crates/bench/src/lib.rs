@@ -1,0 +1,234 @@
+//! # bonsai-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (§8). Each experiment is a binary printing rows in
+//! the paper's format:
+//!
+//! * `table1` — compression results for the synthetic topologies
+//!   (Table 1(a)) and, with `--real`, the data-center and WAN simulacra
+//!   (Table 1(b)); `--roles` reproduces the role-count study.
+//! * `fig11` — abstraction size for the fattree under the two policies.
+//! * `fig12` — all-pairs reachability verification time with and without
+//!   compression (Minesweeper substitute), with timeout/OOM reporting.
+//! * `batfish_query` — the single reachability query on the data center
+//!   (simulation engine), with and without compression.
+//!
+//! Criterion micro-benchmarks of the pipeline stages live in `benches/`.
+
+#![forbid(unsafe_code)]
+
+use bonsai_core::compress::CompressionReport;
+use bonsai_net::NodeId;
+use bonsai_verify::properties::SolutionAnalysis;
+use bonsai_verify::search_engine::{for_each_solution, SearchBudget, SearchOutcome};
+use std::time::{Duration, Instant};
+
+/// One row of Table 1.
+pub struct Table1Row {
+    /// Topology label, e.g. `Fattree` or `Data center`.
+    pub topology: String,
+    /// Concrete nodes / links.
+    pub nodes: usize,
+    /// Concrete undirected links.
+    pub links: usize,
+    /// Mean ± std abstract nodes.
+    pub abs_nodes: (f64, f64),
+    /// Mean ± std abstract links.
+    pub abs_links: (f64, f64),
+    /// Compression ratios (nodes, links).
+    pub ratios: (f64, f64),
+    /// Number of destination classes.
+    pub ecs: usize,
+    /// Total BDD-construction time.
+    pub bdd_time: Duration,
+    /// Mean per-class compression time.
+    pub per_ec_time: Duration,
+}
+
+impl Table1Row {
+    /// Builds a row from a compression report.
+    pub fn from_report(topology: impl Into<String>, report: &CompressionReport) -> Self {
+        Table1Row {
+            topology: topology.into(),
+            nodes: report.concrete_nodes,
+            links: report.concrete_links,
+            abs_nodes: (report.mean_abstract_nodes(), report.std_abstract_nodes()),
+            abs_links: (report.mean_abstract_links(), report.std_abstract_links()),
+            ratios: (report.node_ratio(), report.link_ratio()),
+            ecs: report.num_ecs(),
+            bdd_time: report.bdd_time(),
+            per_ec_time: report.compress_time_per_ec(),
+        }
+    }
+
+    /// Renders the row in the paper's column layout.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<12} {:>6} / {:<7} {:>7.1}±{:<5.1} / {:>7.1}±{:<7.1} {:>7.2}x / {:<9.2}x {:>6} {:>10.2} {:>12.4}",
+            self.topology,
+            self.nodes,
+            self.links,
+            self.abs_nodes.0,
+            self.abs_nodes.1,
+            self.abs_links.0,
+            self.abs_links.1,
+            self.ratios.0,
+            self.ratios.1,
+            self.ecs,
+            self.bdd_time.as_secs_f64(),
+            self.per_ec_time.as_secs_f64(),
+        )
+    }
+
+    /// The table header matching [`Table1Row::render`].
+    pub fn header() -> String {
+        format!(
+            "{:<12} {:>6} / {:<7} {:>13} / {:<17} {:>19} {:>6} {:>10} {:>12}",
+            "Topology",
+            "Nodes",
+            "Links",
+            "Abs.Nodes",
+            "Abs.Links",
+            "Compression",
+            "ECs",
+            "BDD(s)",
+            "perEC(s)"
+        )
+    }
+}
+
+/// Outcome of one Figure 12 measurement.
+pub struct Fig12Point {
+    /// Concrete node count.
+    pub nodes: usize,
+    /// Concrete verification outcome and wall time.
+    pub concrete: (String, Duration),
+    /// Compressed verification outcome (compression + abstract query) and
+    /// total wall time.
+    pub compressed: (String, Duration),
+}
+
+fn outcome_label<T>(o: &SearchOutcome<T>) -> String {
+    match o {
+        SearchOutcome::Completed(_) => "ok".into(),
+        SearchOutcome::Timeout => "TIMEOUT".into(),
+        SearchOutcome::OutOfMemory => "OOM".into(),
+        SearchOutcome::Diverged(_) => "diverged".into(),
+    }
+}
+
+/// Runs the Figure 12 experiment on one network: all-pairs reachability
+/// with the exhaustive-search engine, concrete vs compressed.
+pub fn fig12_point(
+    net: &bonsai_config::NetworkConfig,
+    budget: SearchBudget,
+) -> Fig12Point {
+    // Concrete run.
+    let t0 = Instant::now();
+    let concrete = bonsai_verify::search_engine::all_pairs_reachability(net, budget);
+    let concrete_time = t0.elapsed();
+
+    // Compressed run: compression time counts toward the total (the paper
+    // includes partitioning, BDD and abstraction time in the abstract
+    // series).
+    let t1 = Instant::now();
+    let report = bonsai_core::compress::compress(net, Default::default());
+    let abstract_outcome = abstract_all_pairs(&report, budget);
+    let compressed_time = t1.elapsed();
+
+    // Sanity: when both complete, the mapped-back counts must agree —
+    // that is CP-equivalence paying off.
+    if let (SearchOutcome::Completed(c), SearchOutcome::Completed(a)) =
+        (&concrete, &abstract_outcome)
+    {
+        assert_eq!(
+            c, a,
+            "abstract all-pairs disagrees with concrete all-pairs"
+        );
+    }
+
+    Fig12Point {
+        nodes: net.devices.len(),
+        concrete: (outcome_label(&concrete), concrete_time),
+        compressed: (outcome_label(&abstract_outcome), compressed_time),
+    }
+}
+
+/// All-pairs reachability answered on the *compressed* networks, mapped
+/// back to concrete `(node, class)` pair counts via the abstraction.
+pub fn abstract_all_pairs(
+    report: &CompressionReport,
+    budget: SearchBudget,
+) -> SearchOutcome<usize> {
+    let deadline = Instant::now() + budget.wall;
+    let mut total = 0usize;
+    for ec in &report.per_ec {
+        if Instant::now() >= deadline {
+            return SearchOutcome::Timeout;
+        }
+        let abs = &ec.abstract_network;
+        let abs_ecs = bonsai_core::ecs::compute_ecs(&abs.network, &abs.topo);
+        let n = abs.topo.graph.node_count();
+        let mut reach_all = vec![true; n];
+        for abs_ec in &abs_ecs {
+            let origins: Vec<NodeId> = abs_ec.origins.iter().map(|(o, _)| *o).collect();
+            let outcome = for_each_solution(
+                &abs.network,
+                &abs.topo,
+                abs_ec,
+                budget,
+                deadline,
+                &mut |sol| {
+                    let analysis = SolutionAnalysis::new(&abs.topo.graph, sol, &origins);
+                    for u in abs.topo.graph.nodes() {
+                        reach_all[u.index()] &= analysis.can_reach(u);
+                    }
+                },
+            );
+            match outcome {
+                SearchOutcome::Completed(_) => {}
+                SearchOutcome::Timeout => return SearchOutcome::Timeout,
+                SearchOutcome::OutOfMemory => return SearchOutcome::OutOfMemory,
+                SearchOutcome::Diverged(e) => return SearchOutcome::Diverged(e),
+            }
+        }
+        // Map back: a concrete node reaches iff every copy of its block
+        // reaches (copy assignment is solution-dependent, so "in all
+        // solutions" quantifies over copies too). Origin blocks are
+        // excluded like the concrete count excludes origins.
+        let abs_origin_blocks: std::collections::BTreeSet<_> = ec
+            .abstract_network
+            .ec
+            .origins
+            .iter()
+            .map(|(o, _)| ec.abstract_network.copy_of_node[o.index()].0)
+            .collect();
+        for block in ec.abstraction.partition.blocks() {
+            if abs_origin_blocks.contains(&block) {
+                // Count non-origin members of origin blocks as reachable
+                // (they sit with the origin and always deliver); the
+                // concrete count skips only true origins.
+                let member_count = ec.abstraction.partition.members(block).len();
+                let origin_count = ec
+                    .ec
+                    .origins
+                    .iter()
+                    .filter(|(o, _)| ec.abstraction.partition.members(block).contains(&o.0))
+                    .count();
+                total += member_count - origin_count;
+                continue;
+            }
+            let copies: Vec<NodeId> = ec.abstract_network.candidates_of(&ec.abstraction,
+                NodeId(ec.abstraction.partition.members(block)[0]));
+            if copies.iter().all(|c| reach_all[c.index()]) {
+                total += ec.abstraction.partition.members(block).len();
+            }
+        }
+    }
+    SearchOutcome::Completed(total)
+}
+
+/// Formats a duration like the paper's second columns.
+pub fn secs(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}

@@ -1,0 +1,485 @@
+//! The vendor-independent configuration model.
+//!
+//! This mirrors the slice of Batfish's intermediate representation that the
+//! Bonsai paper exercises: interfaces with connected networks and ACLs, BGP
+//! with neighbor import/export route maps, communities and local
+//! preference, OSPF with per-interface costs and areas, static routes, and
+//! route redistribution (paper §6).
+//!
+//! Everything here is plain data. Semantics (how a route map transforms an
+//! advertisement) live in [`crate::eval`].
+
+use bonsai_net::prefix::Prefix;
+use std::fmt;
+
+/// A BGP community value, conventionally written `asn:tag`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Community(pub u32);
+
+impl Community {
+    /// Builds a community from its `asn:tag` halves.
+    pub const fn new(asn: u16, tag: u16) -> Self {
+        Community(((asn as u32) << 16) | tag as u32)
+    }
+
+    /// The high half (`asn`).
+    pub const fn asn(self) -> u16 {
+        (self.0 >> 16) as u16
+    }
+
+    /// The low half (`tag`).
+    pub const fn tag(self) -> u16 {
+        self.0 as u16
+    }
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.asn(), self.tag())
+    }
+}
+
+impl fmt::Debug for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Permit or deny, used by route maps, prefix lists and ACLs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Action {
+    /// Accept the route/packet.
+    Permit,
+    /// Reject the route/packet.
+    Deny,
+}
+
+/// One entry of a prefix list.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PrefixListEntry {
+    /// Sequence number (entries are evaluated in ascending order).
+    pub seq: u32,
+    /// Permit or deny on match.
+    pub action: Action,
+    /// The prefix to match against.
+    pub prefix: Prefix,
+    /// Optional minimum matched prefix length (`ge`).
+    pub ge: Option<u8>,
+    /// Optional maximum matched prefix length (`le`).
+    pub le: Option<u8>,
+}
+
+/// A named, ordered prefix list; first matching entry wins, default deny.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PrefixList {
+    /// The list's name, referenced from route maps.
+    pub name: String,
+    /// Entries in evaluation (sequence) order.
+    pub entries: Vec<PrefixListEntry>,
+}
+
+/// A named community list: a set of communities; a route matches if it
+/// carries at least one of them.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CommunityList {
+    /// The list's name, referenced from route maps.
+    pub name: String,
+    /// Communities that satisfy the list.
+    pub communities: Vec<Community>,
+}
+
+/// One entry of a (destination-prefix) access control list.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AclEntry {
+    /// Permit or deny on match.
+    pub action: Action,
+    /// Matched destination range; `0.0.0.0/0` written `any`.
+    pub prefix: Prefix,
+}
+
+/// A named ACL; first matching entry wins, default deny.
+///
+/// ACLs do not affect the control plane, but Bonsai conservatively folds
+/// them into the transfer function (paper §6) so that two nodes are only
+/// abstracted together if they filter traffic to the destination alike.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Acl {
+    /// The ACL's name, referenced from interfaces.
+    pub name: String,
+    /// Entries in evaluation order.
+    pub entries: Vec<AclEntry>,
+}
+
+/// A match condition inside a route-map clause. All conditions of a clause
+/// must hold for the clause to apply.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MatchCond {
+    /// Route carries a community from the named community list.
+    Community(String),
+    /// Route's destination prefix is permitted by the named prefix list.
+    PrefixList(String),
+}
+
+/// An action applied by a permitting route-map clause.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SetAction {
+    /// Overwrite the BGP local preference.
+    LocalPref(u32),
+    /// Attach a community (Cisco `set community ... additive`).
+    AddCommunity(Community),
+    /// Strip a community.
+    DeleteCommunity(Community),
+    /// Prepend the router's own AS `n` extra times on export.
+    Prepend(u8),
+    /// Overwrite the metric (MED).
+    Metric(u32),
+}
+
+/// One clause of a route map.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RouteMapClause {
+    /// Sequence number (clauses are evaluated in ascending order).
+    pub seq: u32,
+    /// Permit (apply `sets`, accept) or deny (drop) on match.
+    pub action: Action,
+    /// Conditions, all of which must hold. Empty = always matches.
+    pub matches: Vec<MatchCond>,
+    /// Transformations applied when a permit clause matches.
+    pub sets: Vec<SetAction>,
+}
+
+/// A named route map: ordered clauses, first match wins, implicit deny at
+/// the end (IOS semantics).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RouteMap {
+    /// The map's name, referenced from BGP neighbors.
+    pub name: String,
+    /// Clauses in evaluation (sequence) order.
+    pub clauses: Vec<RouteMapClause>,
+}
+
+/// A router interface.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Interface {
+    /// Interface name, e.g. `eth0`.
+    pub name: String,
+    /// Connected network, if addressed. Connected networks are originated
+    /// into routing per the device's protocol configuration.
+    pub prefix: Option<Prefix>,
+    /// Inbound ACL name, filtering traffic arriving on this interface.
+    pub acl_in: Option<String>,
+    /// Outbound ACL name, filtering traffic leaving this interface.
+    pub acl_out: Option<String>,
+    /// OSPF link cost (default 1 when OSPF is enabled).
+    pub ospf_cost: Option<u32>,
+    /// OSPF area; interfaces in different areas exchange inter-area routes.
+    pub ospf_area: Option<u32>,
+}
+
+impl Interface {
+    /// A bare interface with the given name and no addressing or policy.
+    pub fn named(name: impl Into<String>) -> Self {
+        Interface {
+            name: name.into(),
+            prefix: None,
+            acl_in: None,
+            acl_out: None,
+            ospf_cost: None,
+            ospf_area: None,
+        }
+    }
+}
+
+/// A BGP neighbor session, identified by the interface it runs over.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BgpNeighbor {
+    /// Interface the session runs over.
+    pub iface: String,
+    /// Route map applied to routes received from this neighbor.
+    pub import_policy: Option<String>,
+    /// Route map applied to routes advertised to this neighbor.
+    pub export_policy: Option<String>,
+    /// True for an iBGP session (same AS); affects loop prevention and
+    /// re-advertisement rules (paper §6).
+    pub ibgp: bool,
+}
+
+/// BGP process configuration.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BgpConfig {
+    /// The device's autonomous system number. In the data-center networks
+    /// the paper studies, every router runs its own private AS (§8).
+    pub asn: u32,
+    /// Prefixes originated by this router (`network` statements).
+    pub networks: Vec<Prefix>,
+    /// Neighbor sessions.
+    pub neighbors: Vec<BgpNeighbor>,
+    /// Local preference assigned to routes with no explicit `set
+    /// local-preference` (Cisco default 100).
+    pub default_local_pref: u32,
+    /// Redistribute static routes into BGP.
+    pub redistribute_static: bool,
+    /// Redistribute OSPF routes into BGP.
+    pub redistribute_ospf: bool,
+}
+
+impl BgpConfig {
+    /// A BGP process with the given AS and IOS defaults.
+    pub fn new(asn: u32) -> Self {
+        BgpConfig {
+            asn,
+            networks: Vec::new(),
+            neighbors: Vec::new(),
+            default_local_pref: 100,
+            redistribute_static: false,
+            redistribute_ospf: false,
+        }
+    }
+}
+
+/// OSPF process configuration. Costs and areas live on interfaces.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct OspfConfig {
+    /// Prefixes originated by this router into OSPF.
+    pub networks: Vec<Prefix>,
+    /// Redistribute static routes into OSPF.
+    pub redistribute_static: bool,
+}
+
+/// A static route: traffic to `prefix` leaves via `iface`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct StaticRoute {
+    /// Destination range.
+    pub prefix: Prefix,
+    /// Egress interface.
+    pub iface: String,
+}
+
+/// The full configuration of one device.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DeviceConfig {
+    /// Hostname (unique within a network).
+    pub name: String,
+    /// Interfaces in declaration order.
+    pub interfaces: Vec<Interface>,
+    /// BGP process, if running.
+    pub bgp: Option<BgpConfig>,
+    /// OSPF process, if running.
+    pub ospf: Option<OspfConfig>,
+    /// Static routes.
+    pub static_routes: Vec<StaticRoute>,
+    /// Route maps by name.
+    pub route_maps: Vec<RouteMap>,
+    /// Prefix lists by name.
+    pub prefix_lists: Vec<PrefixList>,
+    /// Community lists by name.
+    pub community_lists: Vec<CommunityList>,
+    /// ACLs by name.
+    pub acls: Vec<Acl>,
+}
+
+impl DeviceConfig {
+    /// An empty device with the given hostname.
+    pub fn new(name: impl Into<String>) -> Self {
+        DeviceConfig {
+            name: name.into(),
+            interfaces: Vec::new(),
+            bgp: None,
+            ospf: None,
+            static_routes: Vec::new(),
+            route_maps: Vec::new(),
+            prefix_lists: Vec::new(),
+            community_lists: Vec::new(),
+            acls: Vec::new(),
+        }
+    }
+
+    /// Looks up an interface by name.
+    pub fn interface(&self, name: &str) -> Option<&Interface> {
+        self.interfaces.iter().find(|i| i.name == name)
+    }
+
+    /// Index of an interface by name.
+    pub fn interface_index(&self, name: &str) -> Option<usize> {
+        self.interfaces.iter().position(|i| i.name == name)
+    }
+
+    /// Looks up a route map by name.
+    pub fn route_map(&self, name: &str) -> Option<&RouteMap> {
+        self.route_maps.iter().find(|m| m.name == name)
+    }
+
+    /// Looks up a prefix list by name.
+    pub fn prefix_list(&self, name: &str) -> Option<&PrefixList> {
+        self.prefix_lists.iter().find(|l| l.name == name)
+    }
+
+    /// Looks up a community list by name.
+    pub fn community_list(&self, name: &str) -> Option<&CommunityList> {
+        self.community_lists.iter().find(|l| l.name == name)
+    }
+
+    /// Looks up an ACL by name.
+    pub fn acl(&self, name: &str) -> Option<&Acl> {
+        self.acls.iter().find(|a| a.name == name)
+    }
+
+    /// All prefixes this device originates into any protocol (BGP network
+    /// statements, OSPF networks, connected interface networks, static
+    /// route targets). Used to seed destination equivalence classes.
+    pub fn originated_prefixes(&self) -> Vec<Prefix> {
+        let mut out = Vec::new();
+        if let Some(bgp) = &self.bgp {
+            out.extend(bgp.networks.iter().copied());
+        }
+        if let Some(ospf) = &self.ospf {
+            out.extend(ospf.networks.iter().copied());
+        }
+        out
+    }
+
+    /// All prefixes mentioned by any match construct (prefix lists, ACLs,
+    /// static routes). These fragment the destination equivalence classes.
+    pub fn match_prefixes(&self) -> Vec<Prefix> {
+        let mut out = Vec::new();
+        for pl in &self.prefix_lists {
+            out.extend(pl.entries.iter().map(|e| e.prefix));
+        }
+        for acl in &self.acls {
+            out.extend(acl.entries.iter().map(|e| e.prefix));
+        }
+        out.extend(self.static_routes.iter().map(|s| s.prefix));
+        out
+    }
+
+    /// Approximate configuration size in lines of the textual dialect.
+    pub fn config_lines(&self) -> usize {
+        crate::print::print_device(self).lines().count()
+    }
+}
+
+/// One endpoint of a physical link: `(device, interface)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LinkEnd {
+    /// Device hostname.
+    pub device: String,
+    /// Interface name on that device.
+    pub iface: String,
+}
+
+/// A bidirectional physical link between two interfaces.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Link {
+    /// One endpoint.
+    pub a: LinkEnd,
+    /// The other endpoint.
+    pub b: LinkEnd,
+}
+
+impl Link {
+    /// Convenience constructor from `(device, iface)` string pairs.
+    pub fn new(
+        (da, ia): (impl Into<String>, impl Into<String>),
+        (db, ib): (impl Into<String>, impl Into<String>),
+    ) -> Self {
+        Link {
+            a: LinkEnd {
+                device: da.into(),
+                iface: ia.into(),
+            },
+            b: LinkEnd {
+                device: db.into(),
+                iface: ib.into(),
+            },
+        }
+    }
+}
+
+/// A whole network: devices plus the physical links between them.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct NetworkConfig {
+    /// Devices; node ids in the derived graph follow this order.
+    pub devices: Vec<DeviceConfig>,
+    /// Physical links.
+    pub links: Vec<Link>,
+}
+
+impl NetworkConfig {
+    /// Looks up a device by hostname.
+    pub fn device(&self, name: &str) -> Option<&DeviceConfig> {
+        self.devices.iter().find(|d| d.name == name)
+    }
+
+    /// Index of a device by hostname.
+    pub fn device_index(&self, name: &str) -> Option<usize> {
+        self.devices.iter().position(|d| d.name == name)
+    }
+
+    /// Total configuration size in lines of the textual dialect.
+    pub fn config_lines(&self) -> usize {
+        self.devices.iter().map(|d| d.config_lines()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn community_halves() {
+        let c = Community::new(65001, 3);
+        assert_eq!(c.asn(), 65001);
+        assert_eq!(c.tag(), 3);
+        assert_eq!(c.to_string(), "65001:3");
+    }
+
+    #[test]
+    fn device_lookups() {
+        let mut d = DeviceConfig::new("r1");
+        d.interfaces.push(Interface::named("eth0"));
+        d.interfaces.push(Interface::named("eth1"));
+        d.route_maps.push(RouteMap {
+            name: "M".into(),
+            clauses: vec![],
+        });
+        assert_eq!(d.interface_index("eth1"), Some(1));
+        assert!(d.interface("eth2").is_none());
+        assert!(d.route_map("M").is_some());
+        assert!(d.route_map("N").is_none());
+    }
+
+    #[test]
+    fn originated_and_match_prefixes() {
+        let mut d = DeviceConfig::new("r1");
+        let mut bgp = BgpConfig::new(65000);
+        bgp.networks.push("10.0.1.0/24".parse().unwrap());
+        d.bgp = Some(bgp);
+        d.static_routes.push(StaticRoute {
+            prefix: "10.9.0.0/16".parse().unwrap(),
+            iface: "eth0".into(),
+        });
+        d.prefix_lists.push(PrefixList {
+            name: "PL".into(),
+            entries: vec![PrefixListEntry {
+                seq: 5,
+                action: Action::Permit,
+                prefix: "10.0.0.0/8".parse().unwrap(),
+                ge: None,
+                le: None,
+            }],
+        });
+        assert_eq!(d.originated_prefixes(), vec!["10.0.1.0/24".parse().unwrap()]);
+        let m = d.match_prefixes();
+        assert!(m.contains(&"10.0.0.0/8".parse().unwrap()));
+        assert!(m.contains(&"10.9.0.0/16".parse().unwrap()));
+    }
+
+    #[test]
+    fn network_lookup() {
+        let mut n = NetworkConfig::default();
+        n.devices.push(DeviceConfig::new("a"));
+        n.devices.push(DeviceConfig::new("b"));
+        assert_eq!(n.device_index("b"), Some(1));
+        assert!(n.device("c").is_none());
+    }
+}

@@ -1,0 +1,708 @@
+//! Parser for the Cisco-like textual configuration dialect.
+//!
+//! The dialect is line-oriented, like IOS: top-level commands (`hostname`,
+//! `interface`, `route-map`, `router bgp`, …) open a *context*, and
+//! subsequent sub-commands (`ip address`, `match`, `set`, `neighbor`, …)
+//! apply to the open context until the next top-level command. Comment
+//! lines (`!`) and blank lines are ignored. A whole network is a sequence
+//! of `device <name> … end` blocks followed by `link` declarations.
+//!
+//! ```text
+//! device r1
+//! hostname r1
+//! interface eth0
+//!  ip address 10.0.1.0/24
+//!  ip access-group BLOCK in
+//! ip prefix-list P seq 5 permit 10.0.0.0/8 le 24
+//! ip community-list DEPT permit 65001:1
+//! ip access-list BLOCK deny 10.9.0.0/16
+//! ip access-list BLOCK permit any
+//! route-map M permit 10
+//!  match community DEPT
+//!  set local-preference 350
+//! router bgp 65001
+//!  network 10.0.1.0/24
+//!  neighbor eth0 remote-as external
+//!  neighbor eth0 route-map M in
+//! ip route 10.9.0.0/16 eth0
+//! end
+//! link r1 eth0 r2 eth3
+//! ```
+//!
+//! The grammar was chosen so that [`crate::print`] emits it verbatim; the
+//! `parse(print(c)) == c` round-trip is enforced by property tests.
+
+use crate::ir::*;
+use bonsai_net::prefix::Prefix;
+use std::fmt;
+
+/// A parse failure, with the 1-based line number where it occurred.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The currently open configuration context.
+enum Context {
+    None,
+    Interface(usize),
+    RouteMap { map: usize, clause: usize },
+    Bgp,
+    Ospf,
+}
+
+struct Parser<'a> {
+    device: DeviceConfig,
+    context: Context,
+    line_no: usize,
+    line: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line_no,
+            message: message.into(),
+        }
+    }
+
+    fn parse_prefix(&self, token: &str) -> Result<Prefix, ParseError> {
+        if token == "any" {
+            return Ok(Prefix::DEFAULT);
+        }
+        token
+            .parse()
+            .map_err(|_| self.err(format!("bad prefix `{token}`")))
+    }
+
+    fn parse_u32(&self, token: &str) -> Result<u32, ParseError> {
+        token
+            .parse()
+            .map_err(|_| self.err(format!("bad number `{token}`")))
+    }
+
+    fn parse_u8(&self, token: &str) -> Result<u8, ParseError> {
+        token
+            .parse()
+            .map_err(|_| self.err(format!("bad number `{token}`")))
+    }
+
+    fn parse_community(&self, token: &str) -> Result<Community, ParseError> {
+        let (a, t) = token
+            .split_once(':')
+            .ok_or_else(|| self.err(format!("bad community `{token}` (want asn:tag)")))?;
+        let a: u16 = a
+            .parse()
+            .map_err(|_| self.err(format!("bad community `{token}`")))?;
+        let t: u16 = t
+            .parse()
+            .map_err(|_| self.err(format!("bad community `{token}`")))?;
+        Ok(Community::new(a, t))
+    }
+
+    fn parse_action(&self, token: &str) -> Result<Action, ParseError> {
+        match token {
+            "permit" => Ok(Action::Permit),
+            "deny" => Ok(Action::Deny),
+            other => Err(self.err(format!("expected permit/deny, got `{other}`"))),
+        }
+    }
+
+    /// Dispatches one (non-empty, non-comment) line.
+    fn line(&mut self, tokens: &[&'a str]) -> Result<(), ParseError> {
+        match tokens {
+            ["hostname", name] => {
+                self.device.name = name.to_string();
+                self.context = Context::None;
+            }
+            ["interface", name] => {
+                let idx = match self.device.interface_index(name) {
+                    Some(i) => i,
+                    None => {
+                        self.device.interfaces.push(Interface::named(*name));
+                        self.device.interfaces.len() - 1
+                    }
+                };
+                self.context = Context::Interface(idx);
+            }
+            ["ip", "prefix-list", name, "seq", seq, action, prefix, rest @ ..] => {
+                let entry = PrefixListEntry {
+                    seq: self.parse_u32(seq)?,
+                    action: self.parse_action(action)?,
+                    prefix: self.parse_prefix(prefix)?,
+                    ge: match rest {
+                        ["ge", g, ..] => Some(self.parse_u8(g)?),
+                        [_, _, "ge", g] => Some(self.parse_u8(g)?),
+                        _ => None,
+                    },
+                    le: match rest {
+                        ["le", l, ..] => Some(self.parse_u8(l)?),
+                        [_, _, "le", l] => Some(self.parse_u8(l)?),
+                        _ => None,
+                    },
+                };
+                match self.device.prefix_lists.iter_mut().find(|l| l.name == *name) {
+                    Some(list) => list.entries.push(entry),
+                    None => self.device.prefix_lists.push(PrefixList {
+                        name: name.to_string(),
+                        entries: vec![entry],
+                    }),
+                }
+                self.context = Context::None;
+            }
+            ["ip", "community-list", name, "permit", community] => {
+                let c = self.parse_community(community)?;
+                match self
+                    .device
+                    .community_lists
+                    .iter_mut()
+                    .find(|l| l.name == *name)
+                {
+                    Some(list) => list.communities.push(c),
+                    None => self.device.community_lists.push(CommunityList {
+                        name: name.to_string(),
+                        communities: vec![c],
+                    }),
+                }
+                self.context = Context::None;
+            }
+            ["ip", "access-list", name, action, prefix] => {
+                let entry = AclEntry {
+                    action: self.parse_action(action)?,
+                    prefix: self.parse_prefix(prefix)?,
+                };
+                match self.device.acls.iter_mut().find(|a| a.name == *name) {
+                    Some(acl) => acl.entries.push(entry),
+                    None => self.device.acls.push(Acl {
+                        name: name.to_string(),
+                        entries: vec![entry],
+                    }),
+                }
+                self.context = Context::None;
+            }
+            ["route-map", name, action, seq] => {
+                let clause = RouteMapClause {
+                    seq: self.parse_u32(seq)?,
+                    action: self.parse_action(action)?,
+                    matches: Vec::new(),
+                    sets: Vec::new(),
+                };
+                let map = match self.device.route_maps.iter().position(|m| m.name == *name) {
+                    Some(i) => i,
+                    None => {
+                        self.device.route_maps.push(RouteMap {
+                            name: name.to_string(),
+                            clauses: Vec::new(),
+                        });
+                        self.device.route_maps.len() - 1
+                    }
+                };
+                self.device.route_maps[map].clauses.push(clause);
+                let clause = self.device.route_maps[map].clauses.len() - 1;
+                self.context = Context::RouteMap { map, clause };
+            }
+            ["router", "bgp", asn] => {
+                let asn = self.parse_u32(asn)?;
+                if self.device.bgp.is_none() {
+                    self.device.bgp = Some(BgpConfig::new(asn));
+                } else {
+                    return Err(self.err("duplicate `router bgp`"));
+                }
+                self.context = Context::Bgp;
+            }
+            ["router", "ospf"] => {
+                if self.device.ospf.is_none() {
+                    self.device.ospf = Some(OspfConfig::default());
+                } else {
+                    return Err(self.err("duplicate `router ospf`"));
+                }
+                self.context = Context::Ospf;
+            }
+            ["ip", "route", prefix, iface] => {
+                let prefix = self.parse_prefix(prefix)?;
+                self.device.static_routes.push(StaticRoute {
+                    prefix,
+                    iface: iface.to_string(),
+                });
+                self.context = Context::None;
+            }
+            _ => return self.sub_command(tokens),
+        }
+        Ok(())
+    }
+
+    /// Dispatches a sub-command of the open context.
+    fn sub_command(&mut self, tokens: &[&'a str]) -> Result<(), ParseError> {
+        match self.context {
+            Context::Interface(idx) => {
+                let line_no = self.line_no;
+                let iface = &mut self.device.interfaces[idx];
+                let parse_u32 = |token: &str| -> Result<u32, ParseError> {
+                    token.parse().map_err(|_| ParseError {
+                        line: line_no,
+                        message: format!("bad number `{token}`"),
+                    })
+                };
+                match tokens {
+                    ["ip", "address", prefix] => {
+                        iface.prefix = Some(if *prefix == "any" {
+                            Prefix::DEFAULT
+                        } else {
+                            prefix
+                                .parse()
+                                .map_err(|_| ParseError {
+                                    line: self.line_no,
+                                    message: format!("bad prefix `{prefix}`"),
+                                })?
+                        });
+                    }
+                    ["ip", "access-group", name, "in"] => iface.acl_in = Some(name.to_string()),
+                    ["ip", "access-group", name, "out"] => iface.acl_out = Some(name.to_string()),
+                    ["ip", "ospf", "cost", cost] => iface.ospf_cost = Some(parse_u32(cost)?),
+                    ["ip", "ospf", "area", area] => iface.ospf_area = Some(parse_u32(area)?),
+                    _ => return Err(self.err(format!("unknown interface command `{}`", self.line))),
+                }
+            }
+            Context::RouteMap { map, clause } => {
+                let set_or_match = match tokens {
+                    ["match", "community", name] => Ok(MatchCond::Community(name.to_string())),
+                    ["match", "ip", "address", "prefix-list", name] => {
+                        Ok(MatchCond::PrefixList(name.to_string()))
+                    }
+                    other => Err(other),
+                };
+                let clause = &mut self.device.route_maps[map].clauses[clause];
+                match set_or_match {
+                    Ok(m) => clause.matches.push(m),
+                    Err(tokens) => {
+                        let set = match tokens {
+                            ["set", "local-preference", lp] => SetAction::LocalPref(
+                                lp.parse().map_err(|_| ParseError {
+                                    line: self.line_no,
+                                    message: format!("bad number `{lp}`"),
+                                })?,
+                            ),
+                            ["set", "community", c, "additive"] => {
+                                let (a, t) = c.split_once(':').ok_or_else(|| ParseError {
+                                    line: self.line_no,
+                                    message: format!("bad community `{c}`"),
+                                })?;
+                                let a: u16 = a.parse().map_err(|_| ParseError {
+                                    line: self.line_no,
+                                    message: format!("bad community `{c}`"),
+                                })?;
+                                let t: u16 = t.parse().map_err(|_| ParseError {
+                                    line: self.line_no,
+                                    message: format!("bad community `{c}`"),
+                                })?;
+                                SetAction::AddCommunity(Community::new(a, t))
+                            }
+                            ["set", "community-delete", c] => {
+                                let (a, t) = c.split_once(':').ok_or_else(|| ParseError {
+                                    line: self.line_no,
+                                    message: format!("bad community `{c}`"),
+                                })?;
+                                let a: u16 = a.parse().map_err(|_| ParseError {
+                                    line: self.line_no,
+                                    message: format!("bad community `{c}`"),
+                                })?;
+                                let t: u16 = t.parse().map_err(|_| ParseError {
+                                    line: self.line_no,
+                                    message: format!("bad community `{c}`"),
+                                })?;
+                                SetAction::DeleteCommunity(Community::new(a, t))
+                            }
+                            ["set", "as-path", "prepend", n] => {
+                                SetAction::Prepend(n.parse().map_err(|_| ParseError {
+                                    line: self.line_no,
+                                    message: format!("bad number `{n}`"),
+                                })?)
+                            }
+                            ["set", "metric", m] => {
+                                SetAction::Metric(m.parse().map_err(|_| ParseError {
+                                    line: self.line_no,
+                                    message: format!("bad number `{m}`"),
+                                })?)
+                            }
+                            _ => {
+                                return Err(ParseError {
+                                    line: self.line_no,
+                                    message: format!("unknown route-map command `{}`", self.line),
+                                })
+                            }
+                        };
+                        clause.sets.push(set);
+                    }
+                }
+            }
+            Context::Bgp => {
+                let bgp = self.device.bgp.as_mut().expect("bgp context open");
+                match tokens {
+                    ["network", prefix] => {
+                        let p = if *prefix == "any" {
+                            Prefix::DEFAULT
+                        } else {
+                            prefix.parse().map_err(|_| ParseError {
+                                line: self.line_no,
+                                message: format!("bad prefix `{prefix}`"),
+                            })?
+                        };
+                        bgp.networks.push(p);
+                    }
+                    ["neighbor", iface, "remote-as", kind] => {
+                        let ibgp = match *kind {
+                            "external" => false,
+                            "internal" => true,
+                            other => {
+                                return Err(ParseError {
+                                    line: self.line_no,
+                                    message: format!(
+                                        "expected external/internal, got `{other}`"
+                                    ),
+                                })
+                            }
+                        };
+                        match bgp.neighbors.iter_mut().find(|n| n.iface == *iface) {
+                            Some(n) => n.ibgp = ibgp,
+                            None => bgp.neighbors.push(BgpNeighbor {
+                                iface: iface.to_string(),
+                                import_policy: None,
+                                export_policy: None,
+                                ibgp,
+                            }),
+                        }
+                    }
+                    ["neighbor", iface, "route-map", map, dir @ ("in" | "out")] => {
+                        let neighbor = match bgp.neighbors.iter_mut().find(|n| n.iface == *iface)
+                        {
+                            Some(n) => n,
+                            None => {
+                                bgp.neighbors.push(BgpNeighbor {
+                                    iface: iface.to_string(),
+                                    import_policy: None,
+                                    export_policy: None,
+                                    ibgp: false,
+                                });
+                                bgp.neighbors.last_mut().unwrap()
+                            }
+                        };
+                        if *dir == "in" {
+                            neighbor.import_policy = Some(map.to_string());
+                        } else {
+                            neighbor.export_policy = Some(map.to_string());
+                        }
+                    }
+                    ["bgp", "default", "local-preference", lp] => {
+                        bgp.default_local_pref = lp.parse().map_err(|_| ParseError {
+                            line: self.line_no,
+                            message: format!("bad number `{lp}`"),
+                        })?;
+                    }
+                    ["redistribute", "static"] => bgp.redistribute_static = true,
+                    ["redistribute", "ospf"] => bgp.redistribute_ospf = true,
+                    _ => {
+                        return Err(ParseError {
+                            line: self.line_no,
+                            message: format!("unknown bgp command `{}`", self.line),
+                        })
+                    }
+                }
+            }
+            Context::Ospf => {
+                let ospf = self.device.ospf.as_mut().expect("ospf context open");
+                match tokens {
+                    ["network", prefix] => {
+                        let p = if *prefix == "any" {
+                            Prefix::DEFAULT
+                        } else {
+                            prefix.parse().map_err(|_| ParseError {
+                                line: self.line_no,
+                                message: format!("bad prefix `{prefix}`"),
+                            })?
+                        };
+                        ospf.networks.push(p);
+                    }
+                    ["redistribute", "static"] => ospf.redistribute_static = true,
+                    _ => {
+                        return Err(ParseError {
+                            line: self.line_no,
+                            message: format!("unknown ospf command `{}`", self.line),
+                        })
+                    }
+                }
+            }
+            Context::None => {
+                return Err(ParseError {
+                    line: self.line_no,
+                    message: format!("unknown command `{}`", self.line),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses one device configuration from the textual dialect.
+pub fn parse_device(input: &str) -> Result<DeviceConfig, ParseError> {
+    parse_device_lines(input.lines().enumerate().map(|(i, l)| (i + 1, l)))
+}
+
+fn parse_device_lines<'a>(
+    lines: impl Iterator<Item = (usize, &'a str)>,
+) -> Result<DeviceConfig, ParseError> {
+    let mut parser = Parser {
+        device: DeviceConfig::new(""),
+        context: Context::None,
+        line_no: 0,
+        line: "",
+    };
+    for (no, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('!') {
+            continue;
+        }
+        parser.line_no = no;
+        parser.line = line;
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        parser.line(&tokens)?;
+    }
+    Ok(parser.device)
+}
+
+/// Parses a whole network: `device <name> … end` blocks plus `link` lines.
+pub fn parse_network(input: &str) -> Result<NetworkConfig, ParseError> {
+    let mut network = NetworkConfig::default();
+    let mut block: Vec<(usize, &str)> = Vec::new();
+    let mut in_device = false;
+    let mut device_name = String::new();
+    let mut device_start = 0usize;
+
+    for (i, raw) in input.lines().enumerate() {
+        let no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('!') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["device", name] if !in_device => {
+                in_device = true;
+                device_name = name.to_string();
+                device_start = no;
+                block.clear();
+            }
+            ["end"] if in_device => {
+                let mut device = parse_device_lines(block.drain(..))?;
+                if device.name.is_empty() {
+                    device.name = device_name.clone();
+                } else if device.name != device_name {
+                    return Err(ParseError {
+                        line: device_start,
+                        message: format!(
+                            "device block `{device_name}` declares hostname `{}`",
+                            device.name
+                        ),
+                    });
+                }
+                network.devices.push(device);
+                in_device = false;
+            }
+            ["link", da, ia, db, ib] if !in_device => {
+                network.links.push(Link::new((*da, *ia), (*db, *ib)));
+            }
+            _ if in_device => block.push((no, raw)),
+            _ => {
+                return Err(ParseError {
+                    line: no,
+                    message: format!("unknown network command `{line}`"),
+                })
+            }
+        }
+    }
+    if in_device {
+        return Err(ParseError {
+            line: device_start,
+            message: format!("device block `{device_name}` never closed with `end`"),
+        });
+    }
+    Ok(network)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure_10_policy() {
+        // The route map from Figure 10 of the paper.
+        let cfg = "\
+hostname r1
+ip community-list dept permit 65001:1
+ip community-list dept permit 65001:2
+route-map M permit 10
+ match community dept
+ set community 65001:3 additive
+ set local-preference 350
+";
+        let d = parse_device(cfg).unwrap();
+        assert_eq!(d.name, "r1");
+        let cl = d.community_list("dept").unwrap();
+        assert_eq!(
+            cl.communities,
+            vec![Community::new(65001, 1), Community::new(65001, 2)]
+        );
+        let m = d.route_map("M").unwrap();
+        assert_eq!(m.clauses.len(), 1);
+        let c = &m.clauses[0];
+        assert_eq!(c.seq, 10);
+        assert_eq!(c.action, Action::Permit);
+        assert_eq!(c.matches, vec![MatchCond::Community("dept".into())]);
+        assert_eq!(
+            c.sets,
+            vec![
+                SetAction::AddCommunity(Community::new(65001, 3)),
+                SetAction::LocalPref(350),
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_full_device() {
+        let cfg = "\
+hostname edge1
+interface eth0
+ ip address 10.0.1.0/24
+ ip access-group BLOCK in
+ ip ospf cost 10
+ ip ospf area 0
+interface eth1
+ip prefix-list P seq 5 permit 10.0.0.0/8 le 24
+ip prefix-list P seq 10 deny any le 32
+ip access-list BLOCK deny 10.9.0.0/16
+ip access-list BLOCK permit any
+route-map OUT permit 10
+ match ip address prefix-list P
+ set as-path prepend 2
+ set metric 50
+route-map OUT deny 20
+router bgp 65001
+ bgp default local-preference 120
+ network 10.0.1.0/24
+ neighbor eth0 remote-as external
+ neighbor eth0 route-map OUT out
+ neighbor eth1 remote-as internal
+ redistribute static
+router ospf
+ network 10.0.1.0/24
+ redistribute static
+ip route 10.9.0.0/16 eth1
+";
+        let d = parse_device(cfg).unwrap();
+        assert_eq!(d.interfaces.len(), 2);
+        let e0 = d.interface("eth0").unwrap();
+        assert_eq!(e0.prefix, Some("10.0.1.0/24".parse().unwrap()));
+        assert_eq!(e0.acl_in.as_deref(), Some("BLOCK"));
+        assert_eq!(e0.ospf_cost, Some(10));
+        assert_eq!(e0.ospf_area, Some(0));
+        let pl = d.prefix_list("P").unwrap();
+        assert_eq!(pl.entries.len(), 2);
+        assert_eq!(pl.entries[0].le, Some(24));
+        assert_eq!(pl.entries[1].prefix, Prefix::DEFAULT);
+        let bgp = d.bgp.as_ref().unwrap();
+        assert_eq!(bgp.asn, 65001);
+        assert_eq!(bgp.default_local_pref, 120);
+        assert!(bgp.redistribute_static);
+        assert_eq!(bgp.neighbors.len(), 2);
+        assert!(!bgp.neighbors[0].ibgp);
+        assert_eq!(bgp.neighbors[0].export_policy.as_deref(), Some("OUT"));
+        assert!(bgp.neighbors[1].ibgp);
+        let ospf = d.ospf.as_ref().unwrap();
+        assert!(ospf.redistribute_static);
+        assert_eq!(d.static_routes.len(), 1);
+        let m = d.route_map("OUT").unwrap();
+        assert_eq!(m.clauses.len(), 2);
+        assert_eq!(m.clauses[1].action, Action::Deny);
+        assert_eq!(
+            m.clauses[0].sets,
+            vec![SetAction::Prepend(2), SetAction::Metric(50)]
+        );
+    }
+
+    #[test]
+    fn parses_network_with_links() {
+        let input = "\
+device r1
+hostname r1
+interface eth0
+end
+device r2
+hostname r2
+interface eth0
+end
+link r1 eth0 r2 eth0
+";
+        let n = parse_network(input).unwrap();
+        assert_eq!(n.devices.len(), 2);
+        assert_eq!(n.links.len(), 1);
+        assert_eq!(n.links[0].a.device, "r1");
+        assert_eq!(n.links[0].b.iface, "eth0");
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let cfg = "hostname r1\ngarbage here\n";
+        let err = parse_device(cfg).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("garbage"));
+    }
+
+    #[test]
+    fn error_on_bad_prefix() {
+        let err = parse_device("ip route 10.0.0.0/40 eth0").unwrap_err();
+        assert!(err.message.contains("bad prefix"));
+    }
+
+    #[test]
+    fn error_on_unclosed_device() {
+        let err = parse_network("device r1\nhostname r1\n").unwrap_err();
+        assert!(err.message.contains("never closed"));
+    }
+
+    #[test]
+    fn error_on_hostname_mismatch() {
+        let err = parse_network("device r1\nhostname other\nend\n").unwrap_err();
+        assert!(err.message.contains("declares hostname"));
+    }
+
+    #[test]
+    fn sub_command_without_context_fails() {
+        let err = parse_device("set local-preference 100").unwrap_err();
+        assert!(err.message.contains("unknown command"));
+    }
+
+    #[test]
+    fn prefix_list_ge_and_le_both() {
+        let d =
+            parse_device("ip prefix-list P seq 5 permit 10.0.0.0/8 ge 16 le 24").unwrap();
+        let e = &d.prefix_list("P").unwrap().entries[0];
+        assert_eq!(e.ge, Some(16));
+        assert_eq!(e.le, Some(24));
+    }
+
+    #[test]
+    fn duplicate_router_bgp_rejected() {
+        let err = parse_device("router bgp 1\nrouter bgp 2\n").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+}

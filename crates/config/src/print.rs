@@ -1,0 +1,298 @@
+//! Printer for the textual dialect: the inverse of [`crate::parse`].
+//!
+//! Bonsai's output is *a smaller network in the same configuration format*
+//! as its input, so that downstream analyzers can run unchanged; this
+//! module is how abstract networks are materialized back into text.
+
+use crate::ir::*;
+use std::fmt::Write;
+
+fn action(a: Action) -> &'static str {
+    match a {
+        Action::Permit => "permit",
+        Action::Deny => "deny",
+    }
+}
+
+fn prefix(p: bonsai_net::prefix::Prefix) -> String {
+    if p.is_default() {
+        "any".to_string()
+    } else {
+        p.to_string()
+    }
+}
+
+/// Renders one device configuration in the textual dialect.
+pub fn print_device(d: &DeviceConfig) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(w, "hostname {}", d.name).unwrap();
+
+    for iface in &d.interfaces {
+        writeln!(w, "interface {}", iface.name).unwrap();
+        if let Some(p) = iface.prefix {
+            writeln!(w, " ip address {}", prefix(p)).unwrap();
+        }
+        if let Some(acl) = &iface.acl_in {
+            writeln!(w, " ip access-group {acl} in").unwrap();
+        }
+        if let Some(acl) = &iface.acl_out {
+            writeln!(w, " ip access-group {acl} out").unwrap();
+        }
+        if let Some(cost) = iface.ospf_cost {
+            writeln!(w, " ip ospf cost {cost}").unwrap();
+        }
+        if let Some(area) = iface.ospf_area {
+            writeln!(w, " ip ospf area {area}").unwrap();
+        }
+    }
+
+    for pl in &d.prefix_lists {
+        for e in &pl.entries {
+            write!(
+                w,
+                "ip prefix-list {} seq {} {} {}",
+                pl.name,
+                e.seq,
+                action(e.action),
+                prefix(e.prefix)
+            )
+            .unwrap();
+            if let Some(g) = e.ge {
+                write!(w, " ge {g}").unwrap();
+            }
+            if let Some(l) = e.le {
+                write!(w, " le {l}").unwrap();
+            }
+            writeln!(w).unwrap();
+        }
+    }
+
+    for cl in &d.community_lists {
+        for c in &cl.communities {
+            writeln!(w, "ip community-list {} permit {c}", cl.name).unwrap();
+        }
+    }
+
+    for acl in &d.acls {
+        for e in &acl.entries {
+            writeln!(
+                w,
+                "ip access-list {} {} {}",
+                acl.name,
+                action(e.action),
+                prefix(e.prefix)
+            )
+            .unwrap();
+        }
+    }
+
+    for map in &d.route_maps {
+        for clause in &map.clauses {
+            writeln!(
+                w,
+                "route-map {} {} {}",
+                map.name,
+                action(clause.action),
+                clause.seq
+            )
+            .unwrap();
+            for m in &clause.matches {
+                match m {
+                    MatchCond::Community(n) => writeln!(w, " match community {n}").unwrap(),
+                    MatchCond::PrefixList(n) => {
+                        writeln!(w, " match ip address prefix-list {n}").unwrap()
+                    }
+                }
+            }
+            for s in &clause.sets {
+                match s {
+                    SetAction::LocalPref(lp) => {
+                        writeln!(w, " set local-preference {lp}").unwrap()
+                    }
+                    SetAction::AddCommunity(c) => {
+                        writeln!(w, " set community {c} additive").unwrap()
+                    }
+                    SetAction::DeleteCommunity(c) => {
+                        writeln!(w, " set community-delete {c}").unwrap()
+                    }
+                    SetAction::Prepend(n) => writeln!(w, " set as-path prepend {n}").unwrap(),
+                    SetAction::Metric(m) => writeln!(w, " set metric {m}").unwrap(),
+                }
+            }
+        }
+    }
+
+    if let Some(bgp) = &d.bgp {
+        writeln!(w, "router bgp {}", bgp.asn).unwrap();
+        if bgp.default_local_pref != 100 {
+            writeln!(w, " bgp default local-preference {}", bgp.default_local_pref).unwrap();
+        }
+        for n in &bgp.networks {
+            writeln!(w, " network {}", prefix(*n)).unwrap();
+        }
+        for nb in &bgp.neighbors {
+            writeln!(
+                w,
+                " neighbor {} remote-as {}",
+                nb.iface,
+                if nb.ibgp { "internal" } else { "external" }
+            )
+            .unwrap();
+            if let Some(m) = &nb.import_policy {
+                writeln!(w, " neighbor {} route-map {m} in", nb.iface).unwrap();
+            }
+            if let Some(m) = &nb.export_policy {
+                writeln!(w, " neighbor {} route-map {m} out", nb.iface).unwrap();
+            }
+        }
+        if bgp.redistribute_static {
+            writeln!(w, " redistribute static").unwrap();
+        }
+        if bgp.redistribute_ospf {
+            writeln!(w, " redistribute ospf").unwrap();
+        }
+    }
+
+    if let Some(ospf) = &d.ospf {
+        writeln!(w, "router ospf").unwrap();
+        for n in &ospf.networks {
+            writeln!(w, " network {}", prefix(*n)).unwrap();
+        }
+        if ospf.redistribute_static {
+            writeln!(w, " redistribute static").unwrap();
+        }
+    }
+
+    for sr in &d.static_routes {
+        writeln!(w, "ip route {} {}", prefix(sr.prefix), sr.iface).unwrap();
+    }
+
+    out
+}
+
+/// Renders a whole network (devices + links) in the textual dialect.
+pub fn print_network(n: &NetworkConfig) -> String {
+    let mut out = String::new();
+    for d in &n.devices {
+        out.push_str(&format!("device {}\n", d.name));
+        out.push_str(&print_device(d));
+        out.push_str("end\n!\n");
+    }
+    for l in &n.links {
+        out.push_str(&format!(
+            "link {} {} {} {}\n",
+            l.a.device, l.a.iface, l.b.device, l.b.iface
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_device, parse_network};
+
+    #[test]
+    fn roundtrip_rich_device() {
+        let mut d = DeviceConfig::new("edge1");
+        let mut e0 = Interface::named("eth0");
+        e0.prefix = Some("10.0.1.0/24".parse().unwrap());
+        e0.acl_in = Some("BLOCK".into());
+        e0.ospf_cost = Some(7);
+        e0.ospf_area = Some(1);
+        d.interfaces.push(e0);
+        d.interfaces.push(Interface::named("eth1"));
+        d.prefix_lists.push(PrefixList {
+            name: "P".into(),
+            entries: vec![PrefixListEntry {
+                seq: 5,
+                action: Action::Permit,
+                prefix: "10.0.0.0/8".parse().unwrap(),
+                ge: Some(16),
+                le: Some(24),
+            }],
+        });
+        d.community_lists.push(CommunityList {
+            name: "DEPT".into(),
+            communities: vec![Community::new(65001, 1)],
+        });
+        d.acls.push(Acl {
+            name: "BLOCK".into(),
+            entries: vec![
+                AclEntry {
+                    action: Action::Deny,
+                    prefix: "10.9.0.0/16".parse().unwrap(),
+                },
+                AclEntry {
+                    action: Action::Permit,
+                    prefix: bonsai_net::prefix::Prefix::DEFAULT,
+                },
+            ],
+        });
+        d.route_maps.push(RouteMap {
+            name: "M".into(),
+            clauses: vec![RouteMapClause {
+                seq: 10,
+                action: Action::Permit,
+                matches: vec![
+                    MatchCond::Community("DEPT".into()),
+                    MatchCond::PrefixList("P".into()),
+                ],
+                sets: vec![
+                    SetAction::LocalPref(350),
+                    SetAction::AddCommunity(Community::new(65001, 3)),
+                    SetAction::DeleteCommunity(Community::new(65001, 9)),
+                    SetAction::Prepend(2),
+                    SetAction::Metric(77),
+                ],
+            }],
+        });
+        let mut bgp = BgpConfig::new(65001);
+        bgp.default_local_pref = 150;
+        bgp.networks.push("10.0.1.0/24".parse().unwrap());
+        bgp.neighbors.push(BgpNeighbor {
+            iface: "eth0".into(),
+            import_policy: Some("M".into()),
+            export_policy: None,
+            ibgp: false,
+        });
+        bgp.redistribute_static = true;
+        d.bgp = Some(bgp);
+        d.ospf = Some(OspfConfig {
+            networks: vec!["10.0.1.0/24".parse().unwrap()],
+            redistribute_static: true,
+        });
+        d.static_routes.push(StaticRoute {
+            prefix: "10.9.0.0/16".parse().unwrap(),
+            iface: "eth1".into(),
+        });
+
+        let text = print_device(&d);
+        let parsed = parse_device(&text).unwrap();
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn roundtrip_network() {
+        let mut n = NetworkConfig::default();
+        for name in ["r1", "r2"] {
+            let mut d = DeviceConfig::new(name);
+            d.interfaces.push(Interface::named("eth0"));
+            n.devices.push(d);
+        }
+        n.links.push(Link::new(("r1", "eth0"), ("r2", "eth0")));
+        let text = print_network(&n);
+        let parsed = parse_network(&text).unwrap();
+        assert_eq!(parsed, n);
+    }
+
+    #[test]
+    fn default_local_pref_is_not_printed() {
+        let mut d = DeviceConfig::new("r");
+        d.bgp = Some(BgpConfig::new(1));
+        let text = print_device(&d);
+        assert!(!text.contains("default local-preference"));
+        assert_eq!(parse_device(&text).unwrap(), d);
+    }
+}

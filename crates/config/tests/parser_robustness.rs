@@ -1,0 +1,44 @@
+//! Robustness: the parser must never panic, whatever bytes it is fed —
+//! it either produces a configuration or a positioned error.
+
+use bonsai_config::{parse_device, parse_network};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary text never panics the device parser.
+    #[test]
+    fn parse_device_never_panics(input in "\\PC{0,400}") {
+        let _ = parse_device(&input);
+    }
+
+    /// Arbitrary text never panics the network parser.
+    #[test]
+    fn parse_network_never_panics(input in "\\PC{0,400}") {
+        let _ = parse_network(&input);
+    }
+
+    /// Mutations of a valid configuration (line deletions / duplications /
+    /// truncations) never panic and, when they parse, re-print cleanly.
+    #[test]
+    fn mutated_configs_never_panic(
+        drop_line in 0usize..20,
+        dup_line in 0usize..20,
+        truncate in 0usize..600,
+    ) {
+        let base = bonsai_config::print_network(&bonsai_srp::papernets::figure2_gadget());
+        let mut lines: Vec<&str> = base.lines().collect();
+        if drop_line < lines.len() {
+            lines.remove(drop_line);
+        }
+        if dup_line < lines.len() {
+            lines.insert(dup_line, lines[dup_line]);
+        }
+        let mut text = lines.join("\n");
+        text.truncate(truncate.min(text.len()));
+        if let Ok(net) = parse_network(&text) {
+            let _ = bonsai_config::print_network(&net);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Property test: `parse(print(config)) == config` for arbitrary
+//! configurations — the printer and parser are exact inverses.
+
+use bonsai_config::*;
+use bonsai_net::prefix::{Ipv4Addr, Prefix};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Prefix::new(Ipv4Addr(a), l))
+}
+
+fn arb_community() -> impl Strategy<Value = Community> {
+    (any::<u16>(), any::<u16>()).prop_map(|(a, t)| Community::new(a, t))
+}
+
+fn arb_name(prefix: &'static str) -> impl Strategy<Value = String> {
+    (0..5u32).prop_map(move |i| format!("{prefix}{i}"))
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![Just(Action::Permit), Just(Action::Deny)]
+}
+
+fn arb_match() -> impl Strategy<Value = MatchCond> {
+    prop_oneof![
+        arb_name("CL").prop_map(MatchCond::Community),
+        arb_name("PL").prop_map(MatchCond::PrefixList),
+    ]
+}
+
+fn arb_set() -> impl Strategy<Value = SetAction> {
+    prop_oneof![
+        any::<u32>().prop_map(SetAction::LocalPref),
+        arb_community().prop_map(SetAction::AddCommunity),
+        arb_community().prop_map(SetAction::DeleteCommunity),
+        any::<u8>().prop_map(SetAction::Prepend),
+        any::<u32>().prop_map(SetAction::Metric),
+    ]
+}
+
+fn arb_route_map(name: String) -> impl Strategy<Value = RouteMap> {
+    prop::collection::vec(
+        (
+            arb_action(),
+            prop::collection::vec(arb_match(), 0..3),
+            prop::collection::vec(arb_set(), 0..3),
+        ),
+        1..4,
+    )
+    .prop_map(move |clauses| RouteMap {
+        name: name.clone(),
+        clauses: clauses
+            .into_iter()
+            .enumerate()
+            .map(|(i, (action, matches, sets))| RouteMapClause {
+                seq: (i as u32 + 1) * 10,
+                action,
+                matches,
+                sets,
+            })
+            .collect(),
+    })
+}
+
+fn arb_device() -> impl Strategy<Value = DeviceConfig> {
+    let interfaces = prop::collection::vec(
+        (
+            prop::option::of(arb_prefix()),
+            prop::option::of(arb_name("ACL")),
+            prop::option::of(arb_name("ACL")),
+            prop::option::of(0u32..100),
+            prop::option::of(0u32..4),
+        ),
+        0..4,
+    );
+    let prefix_lists = prop::collection::vec(
+        (arb_action(), arb_prefix(), prop::option::of(0u8..=32), prop::option::of(0u8..=32)),
+        0..4,
+    );
+    let community_lists = prop::collection::vec(arb_community(), 0..4);
+    let acls = prop::collection::vec((arb_action(), arb_prefix()), 0..4);
+    let maps = prop::collection::vec(Just(()), 0..3);
+    let statics = prop::collection::vec(arb_prefix(), 0..3);
+    let bgp = prop::option::of((
+        1u32..65000,
+        prop::collection::vec(arb_prefix(), 0..3),
+        any::<bool>(),
+        any::<bool>(),
+        prop::option::of(1u32..500),
+    ));
+    let ospf = prop::option::of((prop::collection::vec(arb_prefix(), 0..2), any::<bool>()));
+
+    (
+        interfaces,
+        prefix_lists,
+        community_lists,
+        acls,
+        maps,
+        statics,
+        bgp,
+        ospf,
+    )
+        .prop_flat_map(
+            |(ifaces, pls, cls, acls, maps, statics, bgp, ospf)| {
+                let map_strats: Vec<_> = maps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| arb_route_map(format!("MAP{i}")))
+                    .collect();
+                (Just((ifaces, pls, cls, acls, statics, bgp, ospf)), map_strats)
+            },
+        )
+        .prop_map(|((ifaces, pls, cls, acls, statics, bgp, ospf), maps)| {
+            let mut d = DeviceConfig::new("dev");
+            for (i, (prefix, acl_in, acl_out, cost, area)) in ifaces.into_iter().enumerate() {
+                let mut iface = Interface::named(format!("eth{i}"));
+                iface.prefix = prefix;
+                iface.acl_in = acl_in;
+                iface.acl_out = acl_out;
+                iface.ospf_cost = cost;
+                iface.ospf_area = area;
+                d.interfaces.push(iface);
+            }
+            if !pls.is_empty() {
+                d.prefix_lists.push(PrefixList {
+                    name: "PL0".into(),
+                    entries: pls
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, (action, prefix, ge, le))| PrefixListEntry {
+                            seq: (i as u32 + 1) * 5,
+                            action,
+                            prefix,
+                            // `le` alone prints/parses cleanly; ge without
+                            // le too. Both fine.
+                            ge,
+                            le,
+                        })
+                        .collect(),
+                });
+            }
+            if !cls.is_empty() {
+                d.community_lists.push(CommunityList {
+                    name: "CL0".into(),
+                    communities: cls,
+                });
+            }
+            if !acls.is_empty() {
+                d.acls.push(Acl {
+                    name: "ACL0".into(),
+                    entries: acls
+                        .into_iter()
+                        .map(|(action, prefix)| AclEntry { action, prefix })
+                        .collect(),
+                });
+            }
+            d.route_maps = maps;
+            let iface_names: Vec<String> = d.interfaces.iter().map(|i| i.name.clone()).collect();
+            if let Some((asn, networks, redist_s, redist_o, dlp)) = bgp {
+                let mut b = BgpConfig::new(asn);
+                b.networks = networks;
+                b.redistribute_static = redist_s;
+                b.redistribute_ospf = redist_o;
+                if let Some(lp) = dlp {
+                    b.default_local_pref = lp;
+                }
+                // Neighbors on existing interfaces.
+                for (i, iface) in iface_names.iter().enumerate() {
+                    if i % 2 == 0 {
+                        b.neighbors.push(BgpNeighbor {
+                            iface: iface.clone(),
+                            import_policy: (i % 4 == 0 && !d.route_maps.is_empty())
+                                .then(|| d.route_maps[0].name.clone()),
+                            export_policy: None,
+                            ibgp: i % 3 == 0,
+                        });
+                    }
+                }
+                d.bgp = Some(b);
+            }
+            if let Some((networks, redist)) = ospf {
+                d.ospf = Some(OspfConfig {
+                    networks,
+                    redistribute_static: redist,
+                });
+            }
+            for (i, p) in statics.into_iter().enumerate() {
+                if !iface_names.is_empty() {
+                    d.static_routes.push(StaticRoute {
+                        prefix: p,
+                        iface: iface_names[i % iface_names.len()].clone(),
+                    });
+                }
+            }
+            d
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn device_roundtrip(device in arb_device()) {
+        let text = print_device(&device);
+        let parsed = parse_device(&text)
+            .unwrap_or_else(|e| panic!("emitted config failed to parse: {e}\n{text}"));
+        prop_assert_eq!(parsed, device);
+    }
+
+    #[test]
+    fn network_roundtrip(devices in prop::collection::vec(arb_device(), 1..4)) {
+        let mut net = NetworkConfig::default();
+        for (i, mut d) in devices.into_iter().enumerate() {
+            d.name = format!("dev{i}");
+            net.devices.push(d);
+        }
+        // A link between the first two devices when interfaces allow.
+        if net.devices.len() >= 2
+            && !net.devices[0].interfaces.is_empty()
+            && !net.devices[1].interfaces.is_empty()
+        {
+            let a = net.devices[0].interfaces[0].name.clone();
+            let b = net.devices[1].interfaces[0].name.clone();
+            net.links.push(Link::new(("dev0", a), ("dev1", b)));
+        }
+        let text = print_network(&net);
+        let parsed = parse_network(&text).unwrap();
+        prop_assert_eq!(parsed, net);
+    }
+}

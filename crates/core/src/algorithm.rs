@@ -1,0 +1,266 @@
+//! Abstraction refinement: Algorithm 1 of the paper (§5.2).
+//!
+//! `FindAbstraction` starts from the coarsest partition — origins isolated,
+//! everything else in one block — and repeatedly splits blocks whose
+//! members disagree on their *refinement key*: the set of
+//! `(edge-signature, neighbor)` pairs over their out-edges, where
+//! "neighbor" is the neighbor's **block** for ordinary nodes
+//! (∀∃-abstraction) and the **concrete** neighbor for nodes that may use
+//! several local-preference values (the stronger ∀∀-abstraction BGP loop
+//! prevention demands, §4.3). At the fixpoint, every condition of an
+//! effective abstraction holds by construction; a final
+//! `SplitIntoBGPCases` step splits each block into `min(|prefs|, |block|)`
+//! copies, bounding the dynamic behaviors loop prevention can produce
+//! (Theorem 4.4).
+
+use crate::signatures::{origin_key, SigTable};
+use bonsai_net::partition::BlockId;
+use bonsai_net::{Graph, NodeId, Partition};
+use bonsai_srp::instance::EcDest;
+use std::collections::BTreeSet;
+
+/// The output of Algorithm 1 for one destination equivalence class.
+#[derive(Clone, Debug)]
+pub struct Abstraction {
+    /// The refined partition of concrete nodes (before BGP case
+    /// splitting): each block is one abstract *role*.
+    pub partition: Partition,
+    /// Per block (indexed by `BlockId`): how many abstract copies the
+    /// block expands into (`min(|prefs|, |block|)`, at least 1; exactly 1
+    /// for origin blocks and singletons).
+    pub copies: Vec<u32>,
+    /// Number of refinement iterations until fixpoint.
+    pub iterations: usize,
+}
+
+impl Abstraction {
+    /// Number of abstract nodes (blocks, counting BGP copies).
+    pub fn abstract_node_count(&self) -> usize {
+        self.partition
+            .blocks()
+            .map(|b| self.copies[b.index()] as usize)
+            .sum()
+    }
+
+    /// Number of abstract edges: one per unordered pair of adjacent
+    /// abstract copies (directed edges counted like the concrete graph —
+    /// i.e. we count directed edges of the quotient-with-copies).
+    pub fn abstract_edge_count(&self, graph: &Graph) -> usize {
+        // Distinct (block, block) directed pairs in the quotient.
+        let mut pairs: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for e in graph.edges() {
+            let (u, v) = graph.endpoints(e);
+            let bu = self.partition.block_of(u.0);
+            let bv = self.partition.block_of(v.0);
+            pairs.insert((bu.0, bv.0));
+        }
+        // Each quotient edge (A, B) expands to copies(A) * copies(B)
+        // abstract edges (A ≠ B); intra-block adjacency (A, A) expands to
+        // edges between distinct copies.
+        let mut count = 0usize;
+        for (a, b) in pairs {
+            let ca = self.copies[a as usize] as usize;
+            let cb = self.copies[b as usize] as usize;
+            if a == b {
+                count += ca * (ca - 1); // directed, no self loops
+            } else {
+                count += ca * cb;
+            }
+        }
+        count
+    }
+
+    /// The block (role) of a concrete node.
+    pub fn role_of(&self, u: NodeId) -> BlockId {
+        self.partition.block_of(u.0)
+    }
+}
+
+/// Runs Algorithm 1 for one destination class over a prebuilt signature
+/// table.
+pub fn find_abstraction(graph: &Graph, ec: &EcDest, sigs: &SigTable) -> Abstraction {
+    let n = graph.node_count();
+    let mut partition = Partition::coarsest(n);
+
+    // Line 4: give the destination its own abstract node. Origins of
+    // different protocols are separated from each other and from the rest.
+    let origin_nodes: Vec<u32> = ec.origins.iter().map(|(n, _)| n.0).collect();
+    partition.split(&origin_nodes);
+    // Separate BGP-origins from OSPF-origins if mixed.
+    let bgp_origins: Vec<u32> = ec
+        .origins
+        .iter()
+        .filter(|(n, _)| origin_key(ec, *n) == 1)
+        .map(|(n, _)| n.0)
+        .collect();
+    partition.split(&bgp_origins);
+
+    // Lines 5-11: refine until no block splits.
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let before = partition.block_count();
+        let blocks: Vec<BlockId> = partition.blocks().collect();
+        for block in blocks {
+            if partition.members(block).len() <= 1 {
+                continue;
+            }
+            let num_prefs = sigs.prefs_of_block(partition.members(block));
+            refine(graph, &mut partition, block, sigs, num_prefs);
+        }
+        if partition.block_count() == before {
+            break;
+        }
+    }
+
+    // Line 12: SplitIntoBGPCases — each block may exhibit up to
+    // |prefs(û)| behaviors (Theorem 4.4), but never more than it has
+    // members; origins are pinned and need exactly one copy.
+    let max_block = partition
+        .blocks()
+        .map(|b| b.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut copies = vec![1u32; max_block];
+    for block in partition.blocks() {
+        let members = partition.members(block);
+        let is_origin_block = members
+            .iter()
+            .any(|&m| origin_key(ec, NodeId(m)) != 0);
+        if is_origin_block {
+            copies[block.index()] = 1;
+            continue;
+        }
+        let prefs = sigs.prefs_of_block(members).max(1);
+        copies[block.index()] = (prefs.min(members.len())).max(1) as u32;
+    }
+
+    Abstraction {
+        partition,
+        copies,
+        iterations,
+    }
+}
+
+/// One `Refine` step (Algorithm 1, lines 14-22): group a block's members
+/// by their outgoing (policy, neighbor) sets and split accordingly.
+fn refine(
+    graph: &Graph,
+    partition: &mut Partition,
+    block: BlockId,
+    sigs: &SigTable,
+    num_prefs: usize,
+) {
+    // The key must be an order-insensitive set; BTreeSet gives canonical
+    // iteration for hashing. Keys are computed against a snapshot of the
+    // current partition before any split is applied.
+    let members = partition.members(block).to_vec();
+    let keys: std::collections::HashMap<u32, BTreeSet<(u32, u32)>> = members
+        .iter()
+        .map(|&m| {
+            let u = NodeId(m);
+            let mut key: BTreeSet<(u32, u32)> = BTreeSet::new();
+            for e in graph.out(u) {
+                let v = graph.target(e);
+                let neighbor = if num_prefs > 1 {
+                    // ∀∀: key on the concrete neighbor (paper line 19).
+                    v.0 | 0x8000_0000
+                } else {
+                    // ∀∃: key on the neighbor's current abstract node.
+                    partition.block_of(v.0).0
+                };
+                key.insert((sigs.sig_of_edge[e.index()], neighbor));
+            }
+            (m, key)
+        })
+        .collect();
+    partition.refine_block_by_key(block, |u| keys[&u].clone());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy_bdd::PolicyCtx;
+    use crate::signatures::build_sig_table;
+    use bonsai_config::BuiltTopology;
+    use bonsai_srp::instance::OriginProto;
+    use bonsai_srp::papernets;
+
+    fn run(net: &bonsai_config::NetworkConfig, dest_name: &str) -> (BuiltTopology, Abstraction) {
+        let topo = BuiltTopology::build(net).unwrap();
+        let d = topo.graph.node_by_name(dest_name).unwrap();
+        let ec = EcDest::new(papernets::DEST_PREFIX.parse().unwrap(), vec![(d, OriginProto::Bgp)]);
+        let mut ctx = PolicyCtx::from_network(net, false);
+        let sigs = build_sig_table(&mut ctx, net, &topo, &ec);
+        let abs = find_abstraction(&topo.graph, &ec, &sigs);
+        (topo, abs)
+    }
+
+    /// Figure 1/2(c)-style shortest-path diamond: b1 and b2 merge; the
+    /// abstraction is the 3-node chain of Figure 1(c).
+    #[test]
+    fn figure_1_compresses_to_three_roles() {
+        let net = papernets::figure1_rip();
+        let (topo, abs) = run(&net, "d");
+        let b1 = topo.graph.node_by_name("b1").unwrap();
+        let b2 = topo.graph.node_by_name("b2").unwrap();
+        let a = topo.graph.node_by_name("a").unwrap();
+        let d = topo.graph.node_by_name("d").unwrap();
+        assert_eq!(abs.role_of(b1), abs.role_of(b2));
+        assert_ne!(abs.role_of(a), abs.role_of(b1));
+        assert_ne!(abs.role_of(d), abs.role_of(b1));
+        assert_eq!(abs.partition.block_count(), 3);
+        // No local-pref policy: single copy each → 3 abstract nodes.
+        assert_eq!(abs.abstract_node_count(), 3);
+        // Edges: d̂—b̂ and b̂—â, directed both ways = 4.
+        assert_eq!(abs.abstract_edge_count(&topo.graph), 4);
+    }
+
+    /// The Figure 2 gadget: refinement reaches {d}, {a}, {b1,b2,b3} (the
+    /// walk-through of Figure 3), then BGP case splitting doubles the b
+    /// role because prefs = {100, 200}. Final: 4 abstract nodes, 8
+    /// directed edges (4 links — the "4 total edges" of the paper).
+    #[test]
+    fn figure_2_gadget_splits_into_two_b_copies() {
+        let net = papernets::figure2_gadget();
+        let (topo, abs) = run(&net, "d");
+        let b: Vec<NodeId> = ["b1", "b2", "b3"]
+            .iter()
+            .map(|n| topo.graph.node_by_name(n).unwrap())
+            .collect();
+        // One role for all three b's.
+        assert_eq!(abs.role_of(b[0]), abs.role_of(b[1]));
+        assert_eq!(abs.role_of(b[1]), abs.role_of(b[2]));
+        assert_eq!(abs.partition.block_count(), 3);
+        // The b role gets 2 copies (|prefs| = |{100, 200}| = 2).
+        assert_eq!(abs.copies[abs.role_of(b[0]).index()], 2);
+        assert_eq!(abs.abstract_node_count(), 4);
+        // Links: b̂a—â, b̂n—â, b̂a—d̂, b̂n—d̂ = 4 links = 8 directed edges.
+        assert_eq!(abs.abstract_edge_count(&topo.graph), 8);
+    }
+
+    /// Origins never receive extra copies, and different-policy middles
+    /// split topologically (the Figure 3(a) → 3(b) step).
+    #[test]
+    fn topological_refinement_separates_a_from_bs() {
+        let net = papernets::figure2_gadget();
+        let (topo, abs) = run(&net, "d");
+        let a = topo.graph.node_by_name("a").unwrap();
+        let b1 = topo.graph.node_by_name("b1").unwrap();
+        let d = topo.graph.node_by_name("d").unwrap();
+        assert_ne!(abs.role_of(a), abs.role_of(b1));
+        assert_eq!(abs.copies[abs.role_of(d).index()], 1);
+        assert_eq!(abs.copies[abs.role_of(a).index()], 1);
+        assert!(abs.iterations >= 2);
+    }
+
+    /// Figure 5: a, b1, b2 all play different roles (different policies),
+    /// so the abstraction cannot compress this 4-node network.
+    #[test]
+    fn figure_5_has_no_symmetry() {
+        let net = papernets::figure5_bgp();
+        let (_topo, abs) = run(&net, "d");
+        assert_eq!(abs.partition.block_count(), 4);
+        assert_eq!(abs.abstract_node_count(), 4);
+    }
+}

@@ -1,0 +1,293 @@
+//! Checkers for the effective-abstraction conditions (paper §4.1, §4.3).
+//!
+//! The refinement algorithm is *supposed* to terminate in a partition
+//! satisfying these conditions; this module verifies them independently,
+//! both as a test oracle and as a public sanity API for users who hand-
+//! craft abstractions. Each check mirrors one line of the Figure 4 cheat
+//! sheet:
+//!
+//! * `dest-equivalence` — origins (and only origins) map to abstract
+//!   origins of the same protocol.
+//! * `∀∃-abstraction` — every concrete edge has an abstract counterpart,
+//!   and every abstract edge is realizable from *every* member of its
+//!   source block.
+//! * `∀∀-abstraction` — the stronger biconditional form required between
+//!   BGP-split blocks and their neighborhoods.
+//! * `transfer-equivalence` — edges merged together carry semantically
+//!   equal transfer functions (by canonical signature equality; for BGP
+//!   this is `transfer-approx`, i.e. equality modulo loop prevention).
+//!
+//! The remaining Figure 4 conditions (orig-, drop-, rank-equivalence) are
+//! properties of the fixed attribute abstraction `h` and hold by
+//! construction: `h` preserves ⊥, the origin attribute and all comparison
+//! fields (it only renames path nodes and optionally strips never-matched
+//! communities).
+
+use crate::signatures::{origin_key, SigTable};
+use bonsai_net::{Graph, NodeId, Partition};
+use bonsai_srp::instance::EcDest;
+use std::collections::BTreeSet;
+
+/// A violated condition, with a human-readable witness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A non-origin shares a block with an origin, or origin protocols mix.
+    DestEquivalence(String),
+    /// ∀∃-abstraction, direction 2: a member misses an abstract edge.
+    ForallExists(String),
+    /// ∀∀-abstraction between a split block and a neighbor.
+    ForallForall(String),
+    /// Two merged edges have different transfer functions.
+    TransferEquivalence(String),
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::DestEquivalence(w) => write!(f, "dest-equivalence: {w}"),
+            Violation::ForallExists(w) => write!(f, "∀∃-abstraction: {w}"),
+            Violation::ForallForall(w) => write!(f, "∀∀-abstraction: {w}"),
+            Violation::TransferEquivalence(w) => write!(f, "transfer-equivalence: {w}"),
+        }
+    }
+}
+
+/// Checks every effective-abstraction condition for a partition; returns
+/// all violations (empty = effective).
+pub fn check_effective(
+    graph: &Graph,
+    ec: &EcDest,
+    sigs: &SigTable,
+    partition: &Partition,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    check_dest_equivalence(ec, partition, &mut violations);
+    check_forall_exists(graph, partition, &mut violations);
+    check_transfer_equivalence(graph, partition, sigs, &mut violations);
+    // Blocks that may use several local preferences need ∀∀ neighborhoods.
+    for block in partition.blocks() {
+        let members = partition.members(block);
+        if members.len() > 1 && sigs.prefs_of_block(members) > 1 {
+            check_forall_forall(graph, partition, block, &mut violations);
+        }
+    }
+    violations
+}
+
+/// `dest-equivalence`: origin blocks contain only origins of one protocol.
+fn check_dest_equivalence(ec: &EcDest, partition: &Partition, out: &mut Vec<Violation>) {
+    for block in partition.blocks() {
+        let keys: BTreeSet<u8> = partition
+            .members(block)
+            .iter()
+            .map(|&m| origin_key(ec, NodeId(m)))
+            .collect();
+        if keys.len() > 1 {
+            out.push(Violation::DestEquivalence(format!(
+                "block {:?} mixes origins and non-origins (keys {keys:?})",
+                partition.members(block)
+            )));
+        }
+    }
+}
+
+/// `∀∃-abstraction`: direction 1 holds for any quotient by construction;
+/// direction 2 is checked per (member, abstract edge).
+fn check_forall_exists(graph: &Graph, partition: &Partition, out: &mut Vec<Violation>) {
+    // Abstract edges: block pairs with at least one concrete edge.
+    let mut abs_edges: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for e in graph.edges() {
+        let (u, v) = graph.endpoints(e);
+        abs_edges.insert((partition.block_of(u.0).0, partition.block_of(v.0).0));
+    }
+    for &(bu, bv) in &abs_edges {
+        if bu == bv {
+            continue; // intra-block adjacency handled by the ∀∀ check
+        }
+        for &u in partition.members(bonsai_net::partition::BlockId(bu)) {
+            let has = graph
+                .successors(NodeId(u))
+                .any(|v| partition.block_of(v.0).0 == bv);
+            if !has {
+                out.push(Violation::ForallExists(format!(
+                    "node n{u} (block {bu}) has no edge into block {bv}"
+                )));
+            }
+        }
+    }
+}
+
+/// `∀∀-abstraction` around one block: every member must link to *every*
+/// member of every adjacent block (and adjacency within the block must be
+/// all-or-nothing).
+fn check_forall_forall(
+    graph: &Graph,
+    partition: &Partition,
+    block: bonsai_net::partition::BlockId,
+    out: &mut Vec<Violation>,
+) {
+    let members = partition.members(block);
+    // Adjacent blocks of the block's members.
+    let mut adjacent: BTreeSet<u32> = BTreeSet::new();
+    for &u in members {
+        for v in graph.successors(NodeId(u)) {
+            adjacent.insert(partition.block_of(v.0).0);
+        }
+    }
+    for &b in &adjacent {
+        let peer = bonsai_net::partition::BlockId(b);
+        if peer == block {
+            continue;
+        }
+        for &u in members {
+            for &v in partition.members(peer) {
+                if !graph.has_edge(NodeId(u), NodeId(v)) {
+                    out.push(Violation::ForallForall(format!(
+                        "split block {:?}: n{u} lacks an edge to n{v} of adjacent block {b}",
+                        members
+                    )));
+                }
+            }
+        }
+    }
+}
+
+/// `transfer-equivalence`: all concrete edges mapped to the same abstract
+/// edge must carry the same canonical signature.
+fn check_transfer_equivalence(
+    graph: &Graph,
+    partition: &Partition,
+    sigs: &SigTable,
+    out: &mut Vec<Violation>,
+) {
+    let mut sig_of_abs: std::collections::HashMap<(u32, u32), u32> =
+        std::collections::HashMap::new();
+    for e in graph.edges() {
+        let (u, v) = graph.endpoints(e);
+        let key = (partition.block_of(u.0).0, partition.block_of(v.0).0);
+        let sig = sigs.sig_of_edge[e.index()];
+        match sig_of_abs.entry(key) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(sig);
+            }
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                if *slot.get() != sig {
+                    out.push(Violation::TransferEquivalence(format!(
+                        "edges merged into abstract edge {key:?} have signatures {} and {sig}",
+                        slot.get()
+                    )));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::find_abstraction;
+    use crate::policy_bdd::PolicyCtx;
+    use crate::signatures::build_sig_table;
+    use bonsai_config::BuiltTopology;
+    use bonsai_srp::instance::OriginProto;
+    use bonsai_srp::papernets;
+
+    fn setup(
+        net: &bonsai_config::NetworkConfig,
+        dest: &str,
+    ) -> (BuiltTopology, EcDest, SigTable) {
+        let topo = BuiltTopology::build(net).unwrap();
+        let d = topo.graph.node_by_name(dest).unwrap();
+        let ec = EcDest::new(papernets::DEST_PREFIX.parse().unwrap(), vec![(d, OriginProto::Bgp)]);
+        let mut ctx = PolicyCtx::from_network(net, false);
+        let sigs = build_sig_table(&mut ctx, net, &topo, &ec);
+        (topo, ec, sigs)
+    }
+
+    #[test]
+    fn refined_partitions_are_effective() {
+        for net in [
+            papernets::figure1_rip(),
+            papernets::figure2_gadget(),
+            papernets::figure5_bgp(),
+        ] {
+            let (topo, ec, sigs) = setup(&net, "d");
+            let abs = find_abstraction(&topo.graph, &ec, &sigs);
+            let violations = check_effective(&topo.graph, &ec, &sigs, &abs.partition);
+            assert!(
+                violations.is_empty(),
+                "refined partition not effective: {violations:?}"
+            );
+        }
+    }
+
+    /// Figure 3(a): the coarsest abstraction violates ∀∃ because `a` has
+    /// no edge to the destination block.
+    #[test]
+    fn coarsest_gadget_partition_violates_forall_exists() {
+        let net = papernets::figure2_gadget();
+        let (topo, ec, sigs) = setup(&net, "d");
+        let d = topo.graph.node_by_name("d").unwrap();
+        let mut partition = Partition::coarsest(topo.graph.node_count());
+        partition.isolate(d.0);
+        let violations = check_effective(&topo.graph, &ec, &sigs, &partition);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::ForallExists(_))));
+    }
+
+    /// Figure 2(b): merging all three b's *and* a would also break
+    /// transfer-equivalence (different policies toward different blocks).
+    #[test]
+    fn merging_distinct_policies_breaks_transfer_equivalence() {
+        let net = papernets::figure5_bgp();
+        let (topo, ec, sigs) = setup(&net, "d");
+        // Merge b1 and b2, which have different import policies.
+        let mut partition = Partition::coarsest(topo.graph.node_count());
+        let d = topo.graph.node_by_name("d").unwrap();
+        let a = topo.graph.node_by_name("a").unwrap();
+        partition.isolate(d.0);
+        partition.isolate(a.0);
+        let violations = check_effective(&topo.graph, &ec, &sigs, &partition);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::TransferEquivalence(_))));
+    }
+
+    /// Mixing the destination with other nodes violates dest-equivalence.
+    #[test]
+    fn dest_in_shared_block_is_flagged() {
+        let net = papernets::figure1_rip();
+        let (topo, ec, sigs) = setup(&net, "d");
+        let partition = Partition::coarsest(topo.graph.node_count());
+        let violations = check_effective(&topo.graph, &ec, &sigs, &partition);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::DestEquivalence(_))));
+    }
+
+    /// The gadget's split block {b1,b2,b3} satisfies ∀∀ toward both a and
+    /// d; removing one b–d link would break it.
+    #[test]
+    fn forall_forall_detects_missing_link() {
+        let mut net = papernets::figure2_gadget();
+        // Remove the b3–d link.
+        net.links
+            .retain(|l| !(l.a.device == "d" && l.b.device == "b3"));
+        let (topo, ec, sigs) = setup(&net, "d");
+        // Force b1,b2,b3 into one block despite the asymmetry.
+        let mut partition = Partition::coarsest(topo.graph.node_count());
+        let d = topo.graph.node_by_name("d").unwrap();
+        let a = topo.graph.node_by_name("a").unwrap();
+        partition.isolate(d.0);
+        partition.isolate(a.0);
+        let violations = check_effective(&topo.graph, &ec, &sigs, &partition);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::ForallForall(_))
+                    || matches!(v, Violation::ForallExists(_))),
+            "expected a topological violation, got {violations:?}"
+        );
+    }
+}

@@ -1,0 +1,308 @@
+//! Destination equivalence classes (paper §5.1).
+//!
+//! Configurations route many destinations at once, but announcements for
+//! different destinations do not interact, so Bonsai partitions the
+//! address space and builds **one abstraction per class** instead of one
+//! per address. Two addresses are equivalent when (a) the same nodes
+//! originate them into the same protocols and (b) every prefix-based match
+//! construct (prefix lists, ACL entries, static routes) treats them alike.
+//!
+//! The computation inserts every originated prefix and every match prefix
+//! into a [`PrefixTrie`]; the trie's atoms are then grouped by their
+//! covering-entry signature. Each group becomes one [`DestEc`].
+
+use bonsai_config::{BuiltTopology, NetworkConfig};
+use bonsai_net::prefix::Prefix;
+use bonsai_net::{NodeId, PrefixTrie};
+use bonsai_srp::instance::{EcDest, OriginProto};
+use std::collections::HashMap;
+
+/// What a trie entry records about where a prefix came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum EntryKind {
+    /// Originated by a node into a protocol.
+    Origin(NodeId, OriginProto),
+    /// Mentioned by a match construct (prefix list, ACL, static route).
+    Filter,
+}
+
+/// One destination equivalence class.
+#[derive(Clone, Debug)]
+pub struct DestEc {
+    /// Representative destination: the most specific originated prefix
+    /// covering the class (policies are specialized against this).
+    pub rep: Prefix,
+    /// Address ranges belonging to the class.
+    pub ranges: Vec<Prefix>,
+    /// Originating nodes (deduplicated, sorted) with their protocols.
+    pub origins: Vec<(NodeId, OriginProto)>,
+}
+
+impl DestEc {
+    /// The class as the destination description an SRP instance wants.
+    pub fn to_ec_dest(&self) -> EcDest {
+        EcDest {
+            prefix: self.rep,
+            range: self.ranges.first().copied().unwrap_or(self.rep),
+            origins: self.origins.clone(),
+        }
+    }
+}
+
+/// Computes the destination equivalence classes of a configured network.
+///
+/// Only classes someone originates are returned (addresses nobody
+/// advertises have no control-plane behavior to compress). Classes are
+/// sorted by representative prefix for determinism.
+pub fn compute_ecs(network: &NetworkConfig, _topo: &BuiltTopology) -> Vec<DestEc> {
+    let mut trie: PrefixTrie<EntryKind> = PrefixTrie::new();
+
+    for (i, device) in network.devices.iter().enumerate() {
+        let node = NodeId(i as u32);
+        if let Some(bgp) = &device.bgp {
+            for &p in &bgp.networks {
+                trie.insert(p, EntryKind::Origin(node, OriginProto::Bgp));
+            }
+        }
+        if let Some(ospf) = &device.ospf {
+            for &p in &ospf.networks {
+                trie.insert(p, EntryKind::Origin(node, OriginProto::Ospf));
+            }
+        }
+        for p in device.match_prefixes() {
+            trie.insert(p, EntryKind::Filter);
+        }
+    }
+
+    // Group atoms by their covering signature (the exact set of entries).
+    // Key: sorted covering entry ids. Atoms nobody originates are dropped.
+    let mut groups: HashMap<Vec<usize>, Vec<Prefix>> = HashMap::new();
+    for atom in trie.atoms() {
+        let has_origin = atom
+            .covering
+            .iter()
+            .any(|&id| matches!(trie.entry(id).1, EntryKind::Origin(..)));
+        if !has_origin {
+            continue;
+        }
+        groups.entry(atom.covering).or_default().push(atom.prefix);
+    }
+
+    let mut ecs: Vec<DestEc> = groups
+        .into_iter()
+        .map(|(covering, mut ranges)| {
+            ranges.sort();
+            // Representative: most specific *originated* prefix covering
+            // the class — the route object policies are evaluated against.
+            let rep = covering
+                .iter()
+                .filter_map(|&id| {
+                    let (p, kind) = trie.entry(id);
+                    matches!(kind, EntryKind::Origin(..)).then_some(*p)
+                })
+                .max_by_key(|p| p.len())
+                .expect("group has an origin by construction");
+            let mut origins: Vec<(NodeId, OriginProto)> = covering
+                .iter()
+                .filter_map(|&id| {
+                    let (p, kind) = trie.entry(id);
+                    match kind {
+                        // Only the origins of the representative prefix
+                        // itself: a covering /8 origination is a *different*
+                        // (less specific) route object than the /24 class.
+                        EntryKind::Origin(n, proto) if *p == rep => Some((*n, *proto)),
+                        _ => None,
+                    }
+                })
+                .collect();
+            origins.sort();
+            origins.dedup();
+            DestEc {
+                rep,
+                ranges,
+                origins,
+            }
+        })
+        .collect();
+    ecs.sort_by_key(|ec| (ec.rep, ec.ranges.first().copied()));
+    ecs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_config::parse_network;
+
+    fn build(text: &str) -> (NetworkConfig, BuiltTopology) {
+        let net = parse_network(text).unwrap();
+        let topo = BuiltTopology::build(&net).unwrap();
+        (net, topo)
+    }
+
+    #[test]
+    fn one_ec_per_originated_prefix() {
+        let (net, topo) = build(
+            "
+device a
+interface i
+router bgp 1
+ network 10.0.1.0/24
+ neighbor i remote-as external
+end
+device b
+interface i
+router bgp 2
+ network 10.0.2.0/24
+ neighbor i remote-as external
+end
+link a i b i
+",
+        );
+        let ecs = compute_ecs(&net, &topo);
+        assert_eq!(ecs.len(), 2);
+        assert_eq!(ecs[0].rep, "10.0.1.0/24".parse().unwrap());
+        assert_eq!(ecs[0].origins, vec![(NodeId(0), OriginProto::Bgp)]);
+        assert_eq!(ecs[1].rep, "10.0.2.0/24".parse().unwrap());
+        assert_eq!(ecs[1].origins, vec![(NodeId(1), OriginProto::Bgp)]);
+    }
+
+    #[test]
+    fn filters_fragment_classes() {
+        // One originated /16; an ACL carves out a /24 inside it: two ECs
+        // with the same origin but different filter signatures.
+        let (net, topo) = build(
+            "
+device a
+interface i
+ ip access-group BLOCK out
+ip access-list BLOCK deny 10.0.5.0/24
+ip access-list BLOCK permit any
+router bgp 1
+ network 10.0.0.0/16
+ neighbor i remote-as external
+end
+device b
+interface i
+router bgp 2
+ neighbor i remote-as external
+end
+link a i b i
+",
+        );
+        let ecs = compute_ecs(&net, &topo);
+        assert_eq!(ecs.len(), 2);
+        // Both classes share the representative /16 (the route object) but
+        // cover different ranges.
+        for ec in &ecs {
+            assert_eq!(ec.rep, "10.0.0.0/16".parse().unwrap());
+        }
+        let carved: Vec<_> = ecs
+            .iter()
+            .filter(|ec| ec.ranges == vec!["10.0.5.0/24".parse().unwrap()])
+            .collect();
+        assert_eq!(carved.len(), 1);
+    }
+
+    #[test]
+    fn anycast_merges_origins() {
+        let (net, topo) = build(
+            "
+device a
+interface i
+router bgp 1
+ network 10.9.9.0/24
+ neighbor i remote-as external
+end
+device b
+interface i
+router bgp 2
+ network 10.9.9.0/24
+ neighbor i remote-as external
+end
+link a i b i
+",
+        );
+        let ecs = compute_ecs(&net, &topo);
+        assert_eq!(ecs.len(), 1);
+        assert_eq!(
+            ecs[0].origins,
+            vec![(NodeId(0), OriginProto::Bgp), (NodeId(1), OriginProto::Bgp)]
+        );
+    }
+
+    #[test]
+    fn nested_originations_stay_separate() {
+        let (net, topo) = build(
+            "
+device a
+interface i
+router bgp 1
+ network 10.0.0.0/8
+ neighbor i remote-as external
+end
+device b
+interface i
+router bgp 2
+ network 10.1.0.0/16
+ neighbor i remote-as external
+end
+link a i b i
+",
+        );
+        let ecs = compute_ecs(&net, &topo);
+        assert_eq!(ecs.len(), 2);
+        // The /16 class is represented by the /16 (owned by b), not the /8.
+        let inner = ecs
+            .iter()
+            .find(|ec| ec.rep == "10.1.0.0/16".parse().unwrap())
+            .unwrap();
+        assert_eq!(inner.origins, vec![(NodeId(1), OriginProto::Bgp)]);
+        let outer = ecs
+            .iter()
+            .find(|ec| ec.rep == "10.0.0.0/8".parse().unwrap())
+            .unwrap();
+        assert_eq!(outer.origins, vec![(NodeId(0), OriginProto::Bgp)]);
+    }
+
+    #[test]
+    fn ospf_and_bgp_origins_recorded() {
+        let (net, topo) = build(
+            "
+device a
+interface i
+ ip ospf area 0
+router ospf
+ network 10.3.0.0/24
+end
+device b
+interface i
+ ip ospf area 0
+router ospf
+end
+link a i b i
+",
+        );
+        let ecs = compute_ecs(&net, &topo);
+        assert_eq!(ecs.len(), 1);
+        assert_eq!(ecs[0].origins, vec![(NodeId(0), OriginProto::Ospf)]);
+    }
+
+    #[test]
+    fn unoriginated_space_is_skipped() {
+        let (net, topo) = build(
+            "
+device a
+interface i
+ip route 172.16.0.0/12 i
+end
+device b
+interface i
+end
+link a i b i
+",
+        );
+        // A static route alone originates nothing.
+        let ecs = compute_ecs(&net, &topo);
+        assert!(ecs.is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! # bonsai-core
+//!
+//! The primary contribution of *Control Plane Compression* (Beckett, Gupta,
+//! Mahajan, Walker — SIGCOMM 2018): an algorithm that compresses a large
+//! network into a smaller one with **equivalent control-plane behavior**
+//! (a bisimulation on stable routing solutions), so that any analysis —
+//! simulation, emulation or verification — can run on the small network
+//! instead.
+//!
+//! Pipeline (paper §5):
+//!
+//! 1. [`ecs`] — partition the address space into destination equivalence
+//!    classes; one abstraction is built per class.
+//! 2. [`policy_bdd`] / [`signatures`] — compile every interface policy to
+//!    a canonical BDD signature, making transfer-function equality O(1).
+//! 3. [`algorithm`] — abstraction refinement (Algorithm 1): split abstract
+//!    nodes until the partition satisfies the effective-abstraction
+//!    conditions; bound BGP loop-prevention behaviors by `|prefs|` and
+//!    split abstract nodes into that many copies.
+//! 4. [`abstraction`] — materialize each class's abstract network as
+//!    vendor-independent configurations.
+//! 5. [`conditions`] — independently check the effective-abstraction
+//!    conditions of Figure 4 (test oracle / user sanity API).
+//! 6. [`mod@compress`] — the driver: everything above, in parallel across
+//!    classes, with the timing breakdown reported in Table 1.
+//! 7. [`roles`] — the §8 role analysis (unique transfer functions per
+//!    device, with the unused-community-stripping `h`).
+//!
+//! ```
+//! use bonsai_core::compress::{compress, CompressOptions};
+//!
+//! let net = bonsai_srp::papernets::figure2_gadget();
+//! let report = compress(&net, CompressOptions::default());
+//! assert_eq!(report.num_ecs(), 1);
+//! // 5 concrete nodes compress to 4 abstract ones (Figure 3(c)).
+//! assert_eq!(report.mean_abstract_nodes(), 4.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abstraction;
+pub mod algorithm;
+pub mod compress;
+pub mod conditions;
+pub mod ecs;
+pub mod policy_bdd;
+pub mod roles;
+pub mod signatures;
+
+pub use abstraction::{build_abstract_network, AbstractNetwork};
+pub use algorithm::{find_abstraction, Abstraction};
+pub use compress::{compress, compress_ec, CompressOptions, CompressionReport, EcCompression};
+pub use conditions::{check_effective, Violation};
+pub use ecs::{compute_ecs, DestEc};
+pub use roles::{count_roles, role_assignment, RoleOptions};

@@ -1,0 +1,394 @@
+//! Device *role* analysis (paper §8, "Real network results").
+//!
+//! Before refining per destination class, the paper asks a coarser
+//! question: how many devices have identical transfer functions *from
+//! their configurations alone*? Each distinct answer is a "role". The
+//! datacenter study found 112 roles; after applying the attribute
+//! abstraction that ignores communities which are attached but never
+//! matched, 26; and ignoring static-route differences as well, just 8.
+//!
+//! A role signature canonicalizes a device's destination-independent
+//! policy surface: route maps are resolved through their named lists
+//! (community lists become community sets; prefix lists become their
+//! canonical entry vectors) so that naming differences do not create
+//! roles, while semantic differences do.
+
+use bonsai_config::{
+    Acl, Community, DeviceConfig, MatchCond, NetworkConfig, PrefixListEntry, RouteMap, SetAction,
+};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Options controlling which differences count toward a role.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoleOptions {
+    /// Ignore communities that no community list in the network matches
+    /// (the paper's refined `h`).
+    pub strip_unused_communities: bool,
+    /// Ignore static-route differences.
+    pub ignore_static_routes: bool,
+}
+
+/// Counts the distinct roles among the network's devices.
+pub fn count_roles(network: &NetworkConfig, options: RoleOptions) -> usize {
+    role_assignment(network, options)
+        .into_iter()
+        .collect::<HashSet<u64>>()
+        .len()
+}
+
+/// Assigns each device a role id (hash of its canonical signature).
+/// Devices with equal ids have semantically equal policy surfaces under
+/// the chosen options.
+pub fn role_assignment(network: &NetworkConfig, options: RoleOptions) -> Vec<u64> {
+    let matched = matched_communities(network);
+    network
+        .devices
+        .iter()
+        .map(|d| {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            device_signature(d, &matched, options).hash(&mut h);
+            h.finish()
+        })
+        .collect()
+}
+
+/// Communities matched by at least one referenced community list anywhere.
+fn matched_communities(network: &NetworkConfig) -> BTreeSet<Community> {
+    let mut matched = BTreeSet::new();
+    for d in &network.devices {
+        for map in &d.route_maps {
+            for clause in &map.clauses {
+                for m in &clause.matches {
+                    if let MatchCond::Community(list) = m {
+                        if let Some(cl) = d.community_list(list) {
+                            matched.extend(cl.communities.iter().copied());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    matched
+}
+
+/// A canonical, name-free rendering of one match condition.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+enum CanonMatch {
+    Community(Vec<Community>),
+    PrefixList(Vec<CanonPrefixEntry>),
+    /// Dangling reference (never matches).
+    Dangling,
+}
+
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+struct CanonPrefixEntry {
+    permit: bool,
+    prefix: (u32, u8),
+    ge: Option<u8>,
+    le: Option<u8>,
+}
+
+fn canon_prefix_entries(entries: &[PrefixListEntry]) -> Vec<CanonPrefixEntry> {
+    entries
+        .iter()
+        .map(|e| CanonPrefixEntry {
+            permit: e.action == bonsai_config::Action::Permit,
+            prefix: (e.prefix.addr().0, e.prefix.len()),
+            ge: e.ge,
+            le: e.le,
+        })
+        .collect()
+}
+
+/// A canonical set action (with unused communities optionally erased).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+enum CanonSet {
+    LocalPref(u32),
+    AddCommunity(Community),
+    DeleteCommunity(Community),
+    Prepend(u8),
+    Metric(u32),
+}
+
+type CanonClause = (bool, Vec<CanonMatch>, Vec<CanonSet>);
+
+fn canon_route_map(
+    device: &DeviceConfig,
+    map: &RouteMap,
+    matched: &BTreeSet<Community>,
+    options: RoleOptions,
+) -> Vec<CanonClause> {
+    map.clauses
+        .iter()
+        .map(|clause| {
+            let mut matches: Vec<CanonMatch> = clause
+                .matches
+                .iter()
+                .map(|m| match m {
+                    MatchCond::Community(list) => match device.community_list(list) {
+                        Some(cl) => {
+                            let mut cs: Vec<Community> = cl.communities.clone();
+                            cs.sort();
+                            cs.dedup();
+                            CanonMatch::Community(cs)
+                        }
+                        None => CanonMatch::Dangling,
+                    },
+                    MatchCond::PrefixList(list) => match device.prefix_list(list) {
+                        Some(pl) => CanonMatch::PrefixList(canon_prefix_entries(&pl.entries)),
+                        None => CanonMatch::Dangling,
+                    },
+                })
+                .collect();
+            matches.sort();
+            let mut sets: Vec<CanonSet> = clause
+                .sets
+                .iter()
+                .filter_map(|s| match s {
+                    SetAction::LocalPref(v) => Some(CanonSet::LocalPref(*v)),
+                    SetAction::Metric(v) => Some(CanonSet::Metric(*v)),
+                    SetAction::Prepend(n) => Some(CanonSet::Prepend(*n)),
+                    SetAction::AddCommunity(c) => {
+                        if options.strip_unused_communities && !matched.contains(c) {
+                            None // attaching a never-matched tag is a no-op
+                        } else {
+                            Some(CanonSet::AddCommunity(*c))
+                        }
+                    }
+                    SetAction::DeleteCommunity(c) => {
+                        if options.strip_unused_communities && !matched.contains(c) {
+                            None
+                        } else {
+                            Some(CanonSet::DeleteCommunity(*c))
+                        }
+                    }
+                })
+                .collect();
+            sets.sort();
+            (clause.action == bonsai_config::Action::Permit, matches, sets)
+        })
+        .collect()
+}
+
+fn canon_acl(acl: &Acl) -> Vec<(bool, (u32, u8))> {
+    acl.entries
+        .iter()
+        .map(|e| {
+            (
+                e.action == bonsai_config::Action::Permit,
+                (e.prefix.addr().0, e.prefix.len()),
+            )
+        })
+        .collect()
+}
+
+/// The full canonical signature of one device's policy surface.
+#[derive(PartialEq, Eq, Hash, Debug)]
+struct DeviceSignature {
+    /// Per interface (order-free): BGP session policies and ACLs.
+    ports: BTreeSet<(
+        Option<(bool, Option<Vec<CanonClause>>, Option<Vec<CanonClause>>)>, // bgp: (ibgp, import, export)
+        Option<Vec<(bool, (u32, u8))>>,                                     // acl in
+        Option<Vec<(bool, (u32, u8))>>,                                     // acl out
+        Option<(u32, u32)>,                                                 // ospf (cost, area)
+    )>,
+    default_lp: Option<u32>,
+    redistribute: (bool, bool, bool),
+    static_routes: BTreeSet<((u32, u8), usize)>, // (prefix, port bucket) — 0 when ignored
+    runs_bgp: bool,
+    runs_ospf: bool,
+}
+
+fn device_signature(
+    device: &DeviceConfig,
+    matched: &BTreeSet<Community>,
+    options: RoleOptions,
+) -> DeviceSignature {
+    let mut map_cache: HashMap<String, Vec<CanonClause>> = HashMap::new();
+    let mut canon_map = |name: &Option<String>| -> Option<Vec<CanonClause>> {
+        name.as_ref().map(|n| {
+            map_cache
+                .entry(n.clone())
+                .or_insert_with(|| {
+                    device
+                        .route_map(n)
+                        .map(|m| canon_route_map(device, m, matched, options))
+                        .unwrap_or_else(|| vec![(false, vec![CanonMatch::Dangling], vec![])])
+                })
+                .clone()
+        })
+    };
+
+    let mut ports = BTreeSet::new();
+    for (i, iface) in device.interfaces.iter().enumerate() {
+        let bgp = device.bgp.as_ref().and_then(|b| {
+            b.neighbors
+                .iter()
+                .find(|n| n.iface == iface.name)
+                .map(|n| (n.ibgp, canon_map(&n.import_policy), canon_map(&n.export_policy)))
+        });
+        let acl_in = iface
+            .acl_in
+            .as_deref()
+            .map(|n| device.acl(n).map(canon_acl).unwrap_or_default());
+        let acl_out = iface
+            .acl_out
+            .as_deref()
+            .map(|n| device.acl(n).map(canon_acl).unwrap_or_default());
+        let ospf = iface
+            .ospf_area
+            .map(|area| (iface.ospf_cost.unwrap_or(1), area));
+        let _ = i;
+        ports.insert((bgp, acl_in, acl_out, ospf));
+    }
+
+    let static_routes = if options.ignore_static_routes {
+        BTreeSet::new()
+    } else {
+        device
+            .static_routes
+            .iter()
+            .map(|s| ((s.prefix.addr().0, s.prefix.len()), 0usize))
+            .collect()
+    };
+
+    DeviceSignature {
+        ports,
+        default_lp: device.bgp.as_ref().map(|b| b.default_local_pref),
+        redistribute: (
+            device
+                .bgp
+                .as_ref()
+                .map(|b| b.redistribute_static)
+                .unwrap_or(false),
+            device
+                .bgp
+                .as_ref()
+                .map(|b| b.redistribute_ospf)
+                .unwrap_or(false),
+            device
+                .ospf
+                .as_ref()
+                .map(|o| o.redistribute_static)
+                .unwrap_or(false),
+        ),
+        static_routes,
+        runs_bgp: device.bgp.is_some(),
+        runs_ospf: device.ospf.is_some(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_config::{parse_device, parse_network};
+
+    fn net_of(devices: Vec<DeviceConfig>) -> NetworkConfig {
+        NetworkConfig {
+            devices,
+            links: vec![],
+        }
+    }
+
+    #[test]
+    fn renamed_lists_do_not_create_roles() {
+        let d1 = parse_device(
+            "
+hostname r1
+interface i
+ip community-list X permit 7:1
+route-map M permit 10
+ match community X
+ set local-preference 200
+router bgp 1
+ neighbor i remote-as external
+ neighbor i route-map M in
+",
+        )
+        .unwrap();
+        let d2 = parse_device(
+            "
+hostname r2
+interface i
+ip community-list Y permit 7:1
+route-map N permit 10
+ match community Y
+ set local-preference 200
+router bgp 2
+ neighbor i remote-as external
+ neighbor i route-map N in
+",
+        )
+        .unwrap();
+        let net = net_of(vec![d1, d2]);
+        assert_eq!(count_roles(&net, RoleOptions::default()), 1);
+    }
+
+    #[test]
+    fn unused_tags_create_roles_until_stripped() {
+        let mk = |name: &str, tag: u16| {
+            parse_device(&format!(
+                "
+hostname {name}
+interface i
+route-map M permit 10
+ set community 9:{tag} additive
+router bgp 1
+ neighbor i remote-as external
+ neighbor i route-map M out
+"
+            ))
+            .unwrap()
+        };
+        let net = net_of(vec![mk("r1", 1), mk("r2", 2)]);
+        assert_eq!(count_roles(&net, RoleOptions::default()), 2);
+        assert_eq!(
+            count_roles(
+                &net,
+                RoleOptions {
+                    strip_unused_communities: true,
+                    ..Default::default()
+                }
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn static_routes_create_roles_until_ignored() {
+        let mk = |name: &str, with_static: bool| {
+            let mut text = format!("hostname {name}\ninterface i\n");
+            if with_static {
+                text.push_str("ip route 10.9.0.0/16 i\n");
+            }
+            parse_device(&text).unwrap()
+        };
+        let net = net_of(vec![mk("r1", true), mk("r2", false)]);
+        assert_eq!(count_roles(&net, RoleOptions::default()), 2);
+        assert_eq!(
+            count_roles(
+                &net,
+                RoleOptions {
+                    ignore_static_routes: true,
+                    ..Default::default()
+                }
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn role_assignment_groups_gadget_middles() {
+        let net = parse_network(&bonsai_config::print_network(
+            &bonsai_srp::papernets::figure2_gadget(),
+        ))
+        .unwrap();
+        let roles = role_assignment(&net, RoleOptions::default());
+        let names: Vec<&str> = net.devices.iter().map(|d| d.name.as_str()).collect();
+        let idx = |n: &str| names.iter().position(|x| *x == n).unwrap();
+        assert_eq!(roles[idx("b1")], roles[idx("b2")]);
+        assert_eq!(roles[idx("b2")], roles[idx("b3")]);
+        assert_ne!(roles[idx("a")], roles[idx("b1")]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Figure 8: valid vs invalid ∀∃-abstractions, as an executable test.
+//!
+//! Concrete network: d — b1 — a1, d — b2 — a2, d — c, with c having *no*
+//! edge to any a. Merging {b1, b2} is a valid ∀∃-abstraction; merging
+//! {b1, b2, c} is invalid because c lacks an edge into the â block —
+//! exactly the violation drawn in Figure 8(b).
+
+use bonsai_core::conditions::{check_effective, Violation};
+use bonsai_core::policy_bdd::PolicyCtx;
+use bonsai_core::signatures::build_sig_table;
+use bonsai_net::{NodeId, Partition};
+use bonsai_srp::instance::{EcDest, OriginProto};
+use bonsai_config::{parse_network, BuiltTopology};
+
+fn figure8() -> (bonsai_config::NetworkConfig, BuiltTopology) {
+    let mut text = String::new();
+    for (name, asn) in [("d", 100), ("b1", 1), ("b2", 2), ("c", 3), ("a1", 4), ("a2", 5)] {
+        let ifaces = if name == "d" { 3 } else { 2 };
+        text.push_str(&format!("device {name}\n"));
+        for i in 0..ifaces {
+            text.push_str(&format!("interface i{i}\n"));
+        }
+        text.push_str(&format!("router bgp {asn}\n"));
+        if name == "d" {
+            text.push_str(" network 10.0.0.0/24\n");
+        }
+        for i in 0..ifaces {
+            text.push_str(&format!(" neighbor i{i} remote-as external\n"));
+        }
+        text.push_str("end\n");
+    }
+    text.push_str(
+        "link d i0 b1 i0\nlink d i1 b2 i0\nlink d i2 c i0\nlink b1 i1 a1 i0\nlink b2 i1 a2 i0\n",
+    );
+    let net = parse_network(&text).unwrap();
+    let topo = BuiltTopology::build(&net).unwrap();
+    (net, topo)
+}
+
+fn setup(
+    net: &bonsai_config::NetworkConfig,
+    topo: &BuiltTopology,
+) -> (EcDest, bonsai_core::signatures::SigTable) {
+    let d = topo.graph.node_by_name("d").unwrap();
+    let ec = EcDest::new("10.0.0.0/24".parse().unwrap(), vec![(d, OriginProto::Bgp)]);
+    let mut ctx = PolicyCtx::from_network(net, false);
+    let sigs = build_sig_table(&mut ctx, net, topo, &ec);
+    (ec, sigs)
+}
+
+#[test]
+fn merging_b1_b2_is_valid() {
+    let (net, topo) = figure8();
+    let (ec, sigs) = setup(&net, &topo);
+    let idx = |n: &str| topo.graph.node_by_name(n).unwrap().0;
+    // Partition: {d}, {b1,b2}, {c}, {a1,a2}.
+    let mut p = Partition::coarsest(topo.graph.node_count());
+    p.isolate(idx("d"));
+    p.split(&[idx("b1"), idx("b2")]);
+    p.split(&[idx("c")]);
+    let violations = check_effective(&topo.graph, &ec, &sigs, &p);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn merging_bc_is_invalid() {
+    let (net, topo) = figure8();
+    let (ec, sigs) = setup(&net, &topo);
+    let idx = |n: &str| topo.graph.node_by_name(n).unwrap().0;
+    // Partition: {d}, {b1,b2,c}, {a1,a2} — Figure 8(b)'s unsound merge.
+    let mut p = Partition::coarsest(topo.graph.node_count());
+    p.isolate(idx("d"));
+    p.split(&[idx("b1"), idx("b2"), idx("c")]);
+    let violations = check_effective(&topo.graph, &ec, &sigs, &p);
+    assert!(
+        violations.iter().any(|v| matches!(v, Violation::ForallExists(w)
+            if w.contains(&format!("n{}", idx("c"))))),
+        "expected a ∀∃ violation witnessed by c, got {violations:?}"
+    );
+}
+
+/// The refinement algorithm finds exactly the valid partition on its own.
+#[test]
+fn refinement_discovers_figure8a() {
+    let (net, topo) = figure8();
+    let (ec, sigs) = setup(&net, &topo);
+    let abs = bonsai_core::algorithm::find_abstraction(&topo.graph, &ec, &sigs);
+    let n = |s: &str| NodeId(topo.graph.node_by_name(s).unwrap().0);
+    assert_eq!(abs.role_of(n("b1")), abs.role_of(n("b2")));
+    assert_eq!(abs.role_of(n("a1")), abs.role_of(n("a2")));
+    assert_ne!(abs.role_of(n("c")), abs.role_of(n("b1")));
+    assert_eq!(abs.partition.block_count(), 4);
+}

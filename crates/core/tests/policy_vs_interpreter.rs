@@ -1,0 +1,289 @@
+//! Differential property test: the BDD compilation of a route map
+//! (`bonsai_core::policy_bdd`) computes exactly what the interpreter
+//! (`bonsai_config::eval`) computes, on random policies and random
+//! advertisements. This is the lockstep that justifies using canonical
+//! BDD equality as transfer-function equality.
+
+use bonsai_config::eval::{eval_route_map, PolicyInput, PolicyResult};
+use bonsai_config::{
+    Action, Community, CommunityList, DeviceConfig, MatchCond, NetworkConfig, PrefixList,
+    PrefixListEntry, RouteMap, RouteMapClause, SetAction,
+};
+use bonsai_core::policy_bdd::{compile_stage, PolicyCtx};
+use bonsai_net::prefix::{Ipv4Addr, Prefix};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// The community universe for generated policies.
+const COMMS: [Community; 4] = [
+    Community::new(9, 1),
+    Community::new(9, 2),
+    Community::new(9, 3),
+    Community::new(9, 4),
+];
+
+/// The destination universe (three nested prefixes).
+fn dests() -> [Prefix; 3] {
+    [
+        Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8),
+        Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16),
+        Prefix::new(Ipv4Addr::new(192, 168, 0, 0), 16),
+    ]
+}
+
+fn arb_match() -> impl Strategy<Value = MatchCond> {
+    prop_oneof![
+        (0..3usize).prop_map(|i| MatchCond::Community(format!("CL{i}"))),
+        (0..3usize).prop_map(|i| MatchCond::PrefixList(format!("PL{i}"))),
+    ]
+}
+
+fn arb_set() -> impl Strategy<Value = SetAction> {
+    prop_oneof![
+        (0..4usize).prop_map(|i| SetAction::AddCommunity(COMMS[i])),
+        (0..4usize).prop_map(|i| SetAction::DeleteCommunity(COMMS[i])),
+        prop_oneof![Just(100u32), Just(200), Just(350)].prop_map(SetAction::LocalPref),
+        (1..4u8).prop_map(SetAction::Prepend),
+        (0..3u32).prop_map(|m| SetAction::Metric(m * 50)),
+    ]
+}
+
+fn arb_clause(seq: u32) -> impl Strategy<Value = RouteMapClause> {
+    (
+        any::<bool>(),
+        prop::collection::vec(arb_match(), 0..3),
+        prop::collection::vec(arb_set(), 0..4),
+    )
+        .prop_map(move |(permit, matches, sets)| RouteMapClause {
+            seq,
+            action: if permit { Action::Permit } else { Action::Deny },
+            matches,
+            sets: if permit { sets } else { vec![] },
+        })
+}
+
+fn arb_device() -> impl Strategy<Value = DeviceConfig> {
+    prop::collection::vec(arb_clause(0), 1..5).prop_map(|mut clauses| {
+        for (i, c) in clauses.iter_mut().enumerate() {
+            c.seq = (i as u32 + 1) * 10;
+        }
+        let mut d = DeviceConfig::new("r");
+        // Fixed lists the random clauses reference.
+        d.community_lists = vec![
+            CommunityList {
+                name: "CL0".into(),
+                communities: vec![COMMS[0]],
+            },
+            CommunityList {
+                name: "CL1".into(),
+                communities: vec![COMMS[1], COMMS[2]],
+            },
+            CommunityList {
+                name: "CL2".into(),
+                communities: vec![COMMS[3]],
+            },
+        ];
+        d.prefix_lists = vec![
+            PrefixList {
+                name: "PL0".into(),
+                entries: vec![PrefixListEntry {
+                    seq: 5,
+                    action: Action::Permit,
+                    prefix: Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8),
+                    ge: None,
+                    le: Some(32),
+                }],
+            },
+            PrefixList {
+                name: "PL1".into(),
+                entries: vec![
+                    PrefixListEntry {
+                        seq: 5,
+                        action: Action::Deny,
+                        prefix: Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16),
+                        ge: None,
+                        le: Some(32),
+                    },
+                    PrefixListEntry {
+                        seq: 10,
+                        action: Action::Permit,
+                        prefix: Prefix::DEFAULT,
+                        ge: None,
+                        le: Some(32),
+                    },
+                ],
+            },
+            PrefixList {
+                name: "PL2".into(),
+                entries: vec![PrefixListEntry {
+                    seq: 5,
+                    action: Action::Permit,
+                    prefix: Prefix::new(Ipv4Addr::new(192, 168, 0, 0), 16),
+                    ge: None,
+                    le: Some(32),
+                }],
+            },
+        ];
+        d.route_maps = vec![RouteMap {
+            name: "M".into(),
+            clauses,
+        }];
+        d
+    })
+}
+
+/// Evaluates the compiled stage on a concrete community set and compares
+/// every output against the interpreter.
+fn check_agreement(
+    device: &DeviceConfig,
+    dest: Prefix,
+    input_comms: &BTreeSet<Community>,
+) -> Result<(), TestCaseError> {
+    let mut net = NetworkConfig::default();
+    net.devices.push(device.clone());
+    let mut ctx = PolicyCtx::from_network(&net, false);
+    let inputs = ctx.identity_inputs();
+    let stage = compile_stage(&mut ctx, device, Some("M"), dest, &inputs);
+
+    // The assignment encoding the concrete input communities.
+    let assignment: Vec<bool> = ctx
+        .communities
+        .iter()
+        .map(|c| input_comms.contains(c))
+        .collect();
+
+    let interp: PolicyResult = eval_route_map(
+        device,
+        device.route_map("M").unwrap(),
+        &PolicyInput {
+            dest,
+            communities: input_comms.clone(),
+        },
+    );
+
+    // Drop agreement.
+    prop_assert_eq!(ctx.bdd.eval(stage.drop, &assignment), !interp.permit);
+    if !interp.permit {
+        return Ok(());
+    }
+
+    // Community outputs.
+    let mut expect = input_comms.clone();
+    interp.apply_communities(&mut expect);
+    for (i, c) in ctx.communities.iter().enumerate() {
+        prop_assert_eq!(
+            ctx.bdd.eval(stage.comm[i], &assignment),
+            expect.contains(c),
+            "community {} for input {:?}",
+            c,
+            input_comms
+        );
+    }
+
+    // Local preference cases: exactly one case condition holds iff the
+    // interpreter set a value.
+    let lp_hit: Vec<u32> = stage
+        .lp
+        .iter()
+        .filter(|(_, cond)| ctx.bdd.eval(*cond, &assignment))
+        .map(|(v, _)| *v)
+        .collect();
+    match interp.local_pref {
+        Some(v) => prop_assert_eq!(lp_hit, vec![v]),
+        None => prop_assert!(lp_hit.is_empty()),
+    }
+
+    // MED cases.
+    let med_hit: Vec<u32> = stage
+        .med
+        .iter()
+        .filter(|(_, cond)| ctx.bdd.eval(*cond, &assignment))
+        .map(|(v, _)| *v)
+        .collect();
+    match interp.metric {
+        Some(v) => prop_assert_eq!(med_hit, vec![v]),
+        None => prop_assert!(med_hit.is_empty()),
+    }
+
+    // Prepend cases.
+    let prepend_hit: u8 = stage
+        .prepend
+        .iter()
+        .filter(|(_, cond)| ctx.bdd.eval(*cond, &assignment))
+        .map(|(v, _)| *v)
+        .sum();
+    prop_assert_eq!(prepend_hit, interp.prepend);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bdd_matches_interpreter(
+        device in arb_device(),
+        dest_idx in 0..3usize,
+        comm_bits in 0..16u32,
+    ) {
+        let input: BTreeSet<Community> = COMMS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| comm_bits >> i & 1 == 1)
+            .map(|(_, c)| *c)
+            .collect();
+        check_agreement(&device, dests()[dest_idx], &input)?;
+    }
+
+    /// Canonicity across devices: two random devices whose maps agree on
+    /// every (destination, community-set) input compile to equal
+    /// signatures, and vice versa.
+    #[test]
+    fn signature_equality_is_semantic_equality(
+        d1 in arb_device(),
+        d2 in arb_device(),
+        dest_idx in 0..3usize,
+    ) {
+        let dest = dests()[dest_idx];
+        let mut net = NetworkConfig::default();
+        net.devices.push(d1.clone());
+        net.devices.push(d2.clone());
+        let mut ctx = PolicyCtx::from_network(&net, false);
+        let inputs = ctx.identity_inputs();
+        let s1 = compile_stage(&mut ctx, &d1, Some("M"), dest, &inputs);
+        let s2 = compile_stage(&mut ctx, &d2, Some("M"), dest, &inputs);
+        let sig_equal = s1.drop == s2.drop
+            && s1.comm == s2.comm
+            && s1.lp == s2.lp
+            && s1.med == s2.med
+            && s1.prepend == s2.prepend;
+
+        // Brute-force semantic comparison over all community subsets.
+        let mut sem_equal = true;
+        for bits in 0..(1u32 << COMMS.len()) {
+            let input: BTreeSet<Community> = COMMS
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| bits >> i & 1 == 1)
+                .map(|(_, c)| *c)
+                .collect();
+            let pi = PolicyInput { dest, communities: input };
+            let r1 = eval_route_map(&d1, d1.route_map("M").unwrap(), &pi);
+            let r2 = eval_route_map(&d2, d2.route_map("M").unwrap(), &pi);
+            // Compare observable outcomes (communities via application).
+            let obs = |r: &bonsai_config::eval::PolicyResult| {
+                if !r.permit {
+                    None
+                } else {
+                    let mut cs = pi.communities.clone();
+                    r.apply_communities(&mut cs);
+                    Some((cs, r.local_pref, r.metric, r.prepend))
+                }
+            };
+            if obs(&r1) != obs(&r2) {
+                sem_equal = false;
+                break;
+            }
+        }
+        prop_assert_eq!(sig_equal, sem_equal);
+    }
+}

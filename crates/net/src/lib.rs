@@ -1,0 +1,29 @@
+//! # bonsai-net
+//!
+//! Foundation types for the Bonsai control-plane compression library:
+//!
+//! * [`graph`] — a compact directed graph used as the SRP topology
+//!   `G = (V, E, d)` from the paper. Nodes are routers, directed edges are
+//!   (half-) links between them.
+//! * [`prefix`] — IPv4 prefixes and prefix sets, used to describe
+//!   destinations, route filters and ACL match conditions.
+//! * [`trie`] — a binary prefix trie used to carve the IPv4 space into
+//!   *destination equivalence classes* (paper §5.1).
+//! * [`partition`] — the union-split-find structure that Algorithm 1 uses to
+//!   maintain the abstraction function `f` as a partition of concrete nodes.
+//!
+//! The crate has no dependencies and follows the smoltcp school of design:
+//! plain data structures, explicit invariants, extensive documentation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod partition;
+pub mod prefix;
+pub mod trie;
+
+pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};
+pub use partition::Partition;
+pub use prefix::{Ipv4Addr, Prefix};
+pub use trie::PrefixTrie;

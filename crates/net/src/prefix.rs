@@ -1,0 +1,288 @@
+//! IPv4 addresses and prefixes.
+//!
+//! Bonsai partitions the IPv4 address space into *destination equivalence
+//! classes* (paper §5.1): maximal ranges of addresses for which every
+//! configuration construct (originated network, prefix list, route filter,
+//! ACL) behaves identically. This module provides the `Prefix` type those
+//! classes are built from.
+//!
+//! We deliberately implement our own tiny address type rather than using
+//! `std::net::Ipv4Addr` so that bit-level operations (mask, containment,
+//! child derivation in the trie) stay explicit and allocation-free.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 address as a plain `u32` in host order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ipv4Addr(pub u32);
+
+impl Ipv4Addr {
+    /// Builds an address from dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// The four octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+impl fmt::Debug for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error returned when parsing an address or prefix fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid address or prefix: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl FromStr for Ipv4Addr {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split('.');
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let part = parts.next().ok_or_else(|| ParseError(s.to_string()))?;
+            let octet: u8 = part.parse().map_err(|_| ParseError(s.to_string()))?;
+            value = (value << 8) | octet as u32;
+        }
+        if parts.next().is_some() {
+            return Err(ParseError(s.to_string()));
+        }
+        Ok(Ipv4Addr(value))
+    }
+}
+
+/// An IPv4 prefix `addr/len` in canonical form (host bits zero).
+///
+/// The canonical-form invariant is enforced by the constructor, so two
+/// prefixes covering the same range always compare equal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Prefix {
+    addr: Ipv4Addr,
+    len: u8,
+}
+
+impl Prefix {
+    /// The full address space `0.0.0.0/0`.
+    pub const DEFAULT: Prefix = Prefix {
+        addr: Ipv4Addr(0),
+        len: 0,
+    };
+
+    /// Creates a prefix, masking off any host bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} > 32");
+        Prefix {
+            addr: Ipv4Addr(addr.0 & Self::mask(len)),
+            len,
+        }
+    }
+
+    /// A /32 host route for `addr`.
+    pub fn host(addr: Ipv4Addr) -> Self {
+        Prefix::new(addr, 32)
+    }
+
+    /// The network mask for a given prefix length.
+    #[inline]
+    pub fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// The network address.
+    #[inline]
+    pub fn addr(self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// The prefix length.
+    #[inline]
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// True for `0.0.0.0/0`.
+    pub fn is_default(self) -> bool {
+        self.len == 0
+    }
+
+    /// First address covered by the prefix.
+    pub fn first(self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// Last address covered by the prefix.
+    pub fn last(self) -> Ipv4Addr {
+        Ipv4Addr(self.addr.0 | !Self::mask(self.len))
+    }
+
+    /// True if `self` covers `addr`.
+    pub fn contains_addr(self, addr: Ipv4Addr) -> bool {
+        (addr.0 & Self::mask(self.len)) == self.addr.0
+    }
+
+    /// True if `self` covers every address of `other`
+    /// (i.e. `other` is equal to or more specific than `self`).
+    pub fn contains(self, other: Prefix) -> bool {
+        self.len <= other.len && self.contains_addr(other.addr)
+    }
+
+    /// True if the two prefixes share any address.
+    pub fn overlaps(self, other: Prefix) -> bool {
+        self.contains(other) || other.contains(self)
+    }
+
+    /// The two halves of this prefix, or `None` for a /32.
+    pub fn children(self) -> Option<(Prefix, Prefix)> {
+        if self.len >= 32 {
+            return None;
+        }
+        let len = self.len + 1;
+        let bit = 1u32 << (32 - len);
+        Some((
+            Prefix { addr: self.addr, len },
+            Prefix {
+                addr: Ipv4Addr(self.addr.0 | bit),
+                len,
+            },
+        ))
+    }
+
+    /// The bit of `addr` at depth `level` (0 = most significant).
+    #[inline]
+    pub fn bit(addr: Ipv4Addr, level: u8) -> bool {
+        debug_assert!(level < 32);
+        (addr.0 >> (31 - level)) & 1 == 1
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s.split_once('/').ok_or_else(|| ParseError(s.to_string()))?;
+        let addr: Ipv4Addr = addr.parse()?;
+        let len: u8 = len.parse().map_err(|_| ParseError(s.to_string()))?;
+        if len > 32 {
+            return Err(ParseError(s.to_string()));
+        }
+        Ok(Prefix::new(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.168.1.0/24", "1.2.3.4/32"] {
+            let p: Prefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn canonicalizes_host_bits() {
+        let p: Prefix = "10.1.2.3/8".parse().unwrap();
+        assert_eq!(p.to_string(), "10.0.0.0/8");
+        let q: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn containment() {
+        let p8: Prefix = "10.0.0.0/8".parse().unwrap();
+        let p24: Prefix = "10.1.2.0/24".parse().unwrap();
+        let other: Prefix = "11.0.0.0/8".parse().unwrap();
+        assert!(p8.contains(p24));
+        assert!(!p24.contains(p8));
+        assert!(p8.contains(p8));
+        assert!(!p8.contains(other));
+        assert!(p8.overlaps(p24));
+        assert!(p24.overlaps(p8));
+        assert!(!p8.overlaps(other));
+    }
+
+    #[test]
+    fn first_last() {
+        let p: Prefix = "192.168.1.0/24".parse().unwrap();
+        assert_eq!(p.first().to_string(), "192.168.1.0");
+        assert_eq!(p.last().to_string(), "192.168.1.255");
+        let all = Prefix::DEFAULT;
+        assert_eq!(all.first().to_string(), "0.0.0.0");
+        assert_eq!(all.last().to_string(), "255.255.255.255");
+    }
+
+    #[test]
+    fn children_split_range_exactly() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        let (lo, hi) = p.children().unwrap();
+        assert_eq!(lo.first(), p.first());
+        assert_eq!(hi.last(), p.last());
+        assert_eq!(lo.last().0 + 1, hi.first().0);
+        assert!(Prefix::host(Ipv4Addr::new(1, 2, 3, 4)).children().is_none());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("10.0.0.0".parse::<Prefix>().is_err());
+        assert!("10.0.0/8".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("10.0.0.256/8".parse::<Prefix>().is_err());
+        assert!("1.2.3.4.5".parse::<Ipv4Addr>().is_err());
+    }
+
+    #[test]
+    fn bit_extraction() {
+        let a = Ipv4Addr::new(0b1000_0000, 0, 0, 1);
+        assert!(Prefix::bit(a, 0));
+        assert!(!Prefix::bit(a, 1));
+        assert!(Prefix::bit(a, 31));
+    }
+}

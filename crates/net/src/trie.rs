@@ -1,0 +1,278 @@
+//! A binary prefix trie that carves the IPv4 space into *atoms*.
+//!
+//! Bonsai builds one abstraction per *destination equivalence class* rather
+//! than one per destination address (paper §5.1). An equivalence class is a
+//! set of address ranges that every configuration construct treats
+//! identically: the same nodes originate them and the same route filters,
+//! prefix lists and ACL entries match them.
+//!
+//! To compute the classes we insert every prefix that appears anywhere in
+//! the network's configurations into a [`PrefixTrie`], tagged with a value
+//! describing where it came from. The trie then yields **atoms**: a
+//! partition of the address space into prefix-shaped ranges such that all
+//! addresses inside one atom are covered by exactly the same set of inserted
+//! prefixes. Atoms with the same covering set are later merged into one
+//! equivalence class by the caller.
+
+use crate::prefix::{Ipv4Addr, Prefix};
+
+/// Index of an inserted `(Prefix, T)` entry.
+pub type EntryId = usize;
+
+#[derive(Clone, Debug, Default)]
+struct Node {
+    /// Entries whose prefix ends exactly at this node.
+    entries: Vec<EntryId>,
+    children: [Option<Box<Node>>; 2],
+}
+
+impl Node {
+    fn is_leaf(&self) -> bool {
+        self.children[0].is_none() && self.children[1].is_none()
+    }
+}
+
+/// A binary trie over IPv4 prefixes carrying values of type `T`.
+///
+/// See the module docs for the atom semantics. Duplicate prefixes may be
+/// inserted with different values; they end at the same trie node.
+#[derive(Clone, Debug)]
+pub struct PrefixTrie<T> {
+    root: Node,
+    entries: Vec<(Prefix, T)>,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One atom of the address space: a prefix-shaped range plus the ids of all
+/// inserted entries whose prefix covers the whole range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Atom {
+    /// The range covered by the atom.
+    pub prefix: Prefix,
+    /// Ids of inserted entries covering the atom, in insertion order.
+    pub covering: Vec<EntryId>,
+}
+
+impl<T> PrefixTrie<T> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            root: Node::default(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of inserted entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a prefix with an associated value, returning its entry id.
+    pub fn insert(&mut self, prefix: Prefix, value: T) -> EntryId {
+        let id = self.entries.len();
+        self.entries.push((prefix, value));
+        let mut node = &mut self.root;
+        for level in 0..prefix.len() {
+            let bit = Prefix::bit(prefix.addr(), level) as usize;
+            node = node.children[bit].get_or_insert_with(Box::default);
+        }
+        node.entries.push(id);
+        id
+    }
+
+    /// The `(prefix, value)` pair of an entry id.
+    pub fn entry(&self, id: EntryId) -> (&Prefix, &T) {
+        let (p, v) = &self.entries[id];
+        (p, v)
+    }
+
+    /// All entries whose prefix covers `addr`, shortest (least specific)
+    /// first — i.e. the values on the trie path for `addr`.
+    pub fn matches(&self, addr: Ipv4Addr) -> Vec<EntryId> {
+        let mut out = Vec::new();
+        let mut node = &self.root;
+        out.extend_from_slice(&node.entries);
+        for level in 0..32u8 {
+            let bit = Prefix::bit(addr, level) as usize;
+            match &node.children[bit] {
+                Some(child) => {
+                    node = child;
+                    out.extend_from_slice(&node.entries);
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// The most specific entry covering `addr`, if any
+    /// (ties broken toward later insertion).
+    pub fn longest_match(&self, addr: Ipv4Addr) -> Option<EntryId> {
+        self.matches(addr).into_iter().last()
+    }
+
+    /// Computes the atoms of the inserted prefix set.
+    ///
+    /// The atoms partition `0.0.0.0/0`. Every address in one atom is covered
+    /// by exactly the entries listed in [`Atom::covering`]. Atoms covered by
+    /// *no* entry are included too (with an empty covering set) so the
+    /// result is always a complete partition; callers that only care about
+    /// configured destinations can skip them.
+    pub fn atoms(&self) -> Vec<Atom> {
+        let mut out = Vec::new();
+        let mut covering = Vec::new();
+        Self::walk(&self.root, Prefix::DEFAULT, &mut covering, &mut out);
+        out
+    }
+
+    fn walk(node: &Node, prefix: Prefix, covering: &mut Vec<EntryId>, out: &mut Vec<Atom>) {
+        let pushed = node.entries.len();
+        covering.extend_from_slice(&node.entries);
+
+        if node.is_leaf() {
+            out.push(Atom {
+                prefix,
+                covering: covering.clone(),
+            });
+        } else {
+            let (lo, hi) = prefix
+                .children()
+                .expect("trie depth bounded by prefix length 32");
+            for (half, child) in [(lo, &node.children[0]), (hi, &node.children[1])] {
+                match child {
+                    Some(child) => Self::walk(child, half, covering, out),
+                    None => out.push(Atom {
+                        prefix: half,
+                        covering: covering.clone(),
+                    }),
+                }
+            }
+        }
+
+        covering.truncate(covering.len() - pushed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_trie_has_one_atom() {
+        let trie: PrefixTrie<()> = PrefixTrie::new();
+        let atoms = trie.atoms();
+        assert_eq!(atoms.len(), 1);
+        assert_eq!(atoms[0].prefix, Prefix::DEFAULT);
+        assert!(atoms[0].covering.is_empty());
+    }
+
+    #[test]
+    fn single_prefix_produces_covered_atom() {
+        let mut trie = PrefixTrie::new();
+        let id = trie.insert(p("10.0.0.0/8"), "ten");
+        let atoms = trie.atoms();
+        // Exactly one atom equals 10.0.0.0/8 and is covered by the entry.
+        let hit: Vec<_> = atoms.iter().filter(|a| !a.covering.is_empty()).collect();
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].prefix, p("10.0.0.0/8"));
+        assert_eq!(hit[0].covering, vec![id]);
+    }
+
+    #[test]
+    fn nested_prefixes_fragment() {
+        let mut trie = PrefixTrie::new();
+        let a = trie.insert(p("10.0.0.0/8"), "outer");
+        let b = trie.insert(p("10.1.0.0/16"), "inner");
+        let atoms = trie.atoms();
+        // The /16 atom is covered by both entries.
+        let inner = atoms.iter().find(|x| x.prefix == p("10.1.0.0/16")).unwrap();
+        assert_eq!(inner.covering, vec![a, b]);
+        // Some atom inside /8 but outside /16 is covered only by the outer.
+        let outer_only: Vec<_> = atoms
+            .iter()
+            .filter(|x| x.covering == vec![a])
+            .collect();
+        assert!(!outer_only.is_empty());
+        for at in outer_only {
+            assert!(p("10.0.0.0/8").contains(at.prefix));
+            assert!(!p("10.1.0.0/16").overlaps(at.prefix));
+        }
+    }
+
+    #[test]
+    fn atoms_partition_the_space() {
+        let mut trie = PrefixTrie::new();
+        for s in ["10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "192.168.0.0/16", "0.0.0.0/0"] {
+            trie.insert(p(s), s.to_string());
+        }
+        let atoms = trie.atoms();
+        // Disjoint and complete: total size must be 2^32 and no overlap.
+        let mut total: u64 = 0;
+        for (i, a) in atoms.iter().enumerate() {
+            total += (a.prefix.last().0 as u64 - a.prefix.first().0 as u64) + 1;
+            for b in &atoms[i + 1..] {
+                assert!(!a.prefix.overlaps(b.prefix), "{} overlaps {}", a.prefix, b.prefix);
+            }
+        }
+        assert_eq!(total, 1u64 << 32);
+    }
+
+    #[test]
+    fn covering_matches_containment() {
+        let mut trie = PrefixTrie::new();
+        let ps = ["10.0.0.0/8", "10.128.0.0/9", "172.16.0.0/12", "0.0.0.0/1"];
+        for s in ps {
+            trie.insert(p(s), ());
+        }
+        for atom in trie.atoms() {
+            for (i, s) in ps.iter().enumerate() {
+                let contains = p(s).contains(atom.prefix);
+                assert_eq!(
+                    atom.covering.contains(&i),
+                    contains,
+                    "atom {} vs {}",
+                    atom.prefix,
+                    s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_and_longest_match() {
+        let mut trie = PrefixTrie::new();
+        let a = trie.insert(p("0.0.0.0/0"), "default");
+        let b = trie.insert(p("10.0.0.0/8"), "ten");
+        let c = trie.insert(p("10.1.0.0/16"), "ten-one");
+        let addr = Ipv4Addr::new(10, 1, 2, 3);
+        assert_eq!(trie.matches(addr), vec![a, b, c]);
+        assert_eq!(trie.longest_match(addr), Some(c));
+        assert_eq!(trie.longest_match(Ipv4Addr::new(11, 0, 0, 1)), Some(a));
+        let empty: PrefixTrie<()> = PrefixTrie::new();
+        assert_eq!(empty.longest_match(addr), None);
+    }
+
+    #[test]
+    fn duplicate_prefixes_share_an_atom() {
+        let mut trie = PrefixTrie::new();
+        let a = trie.insert(p("10.0.0.0/8"), 1);
+        let b = trie.insert(p("10.0.0.0/8"), 2);
+        let atoms = trie.atoms();
+        let hit = atoms.iter().find(|x| x.prefix == p("10.0.0.0/8")).unwrap();
+        assert_eq!(hit.covering, vec![a, b]);
+    }
+}

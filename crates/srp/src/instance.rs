@@ -1,0 +1,249 @@
+//! The multi-protocol SRP instance: BGP + OSPF + static + the main RIB.
+//!
+//! Real devices run several protocols at once. Following the paper (§6),
+//! the combined SRP tracks, per node, the best route in the *main RIB*,
+//! chosen by administrative distance across protocols; route
+//! redistribution is folded into the transfer function. The attribute set
+//! is the tagged union [`RibAttr`] with IOS administrative distances:
+//! static 1, eBGP 20, OSPF 110, iBGP 200.
+//!
+//! One [`MultiProtocol`] is built per **destination equivalence class**
+//! ([`EcDest`]): the class's representative prefix specializes every prefix
+//! list, ACL and static route (paper §5.1 "Specialize(bdds, G.d)").
+
+use crate::model::Protocol;
+use crate::protocols::bgp::{BgpAttr, BgpEdge, BgpProtocol};
+use crate::protocols::ospf::{OspfAttr, OspfEdge, OspfProtocol};
+use crate::protocols::static_route::StaticProtocol;
+use bonsai_config::{BuiltTopology, NetworkConfig};
+use bonsai_net::prefix::Prefix;
+use bonsai_net::{EdgeId, NodeId};
+use std::cmp::Ordering;
+
+/// Which protocol a node originates a destination into.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum OriginProto {
+    /// `network` statement under `router bgp`.
+    Bgp,
+    /// `network` statement under `router ospf`.
+    Ospf,
+}
+
+/// A destination equivalence class, reduced to what an SRP needs: a
+/// representative prefix and the nodes that originate it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EcDest {
+    /// Representative destination prefix (the most specific originated
+    /// prefix of the class) — the *route object* that prefix lists and
+    /// route maps match against.
+    pub prefix: Prefix,
+    /// A representative *packet range* of the class — what ACLs and
+    /// static routes (which see packets, not advertisements) match
+    /// against. Often equal to `prefix`, but strictly narrower when a
+    /// filter carves a sub-range out of an originated prefix.
+    pub range: Prefix,
+    /// Originating nodes and the protocol they inject the prefix into.
+    pub origins: Vec<(NodeId, OriginProto)>,
+}
+
+impl EcDest {
+    /// A class whose packet range coincides with its route prefix.
+    pub fn new(prefix: Prefix, origins: Vec<(NodeId, OriginProto)>) -> Self {
+        EcDest {
+            prefix,
+            range: prefix,
+            origins,
+        }
+    }
+}
+
+/// A route in the main RIB: best route per protocol family.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum RibAttr {
+    /// A statically configured route.
+    Static,
+    /// A BGP-learned route.
+    Bgp(BgpAttr),
+    /// An OSPF-learned route.
+    Ospf(OspfAttr),
+}
+
+impl RibAttr {
+    /// IOS administrative distance: lower wins across protocols.
+    pub fn admin_distance(&self) -> u8 {
+        match self {
+            RibAttr::Static => 1,
+            RibAttr::Bgp(a) if !a.from_ibgp => 20,
+            RibAttr::Bgp(_) => 200,
+            RibAttr::Ospf(_) => 110,
+        }
+    }
+}
+
+/// The multi-protocol SRP for one destination equivalence class.
+pub struct MultiProtocol<'a> {
+    bgp: BgpProtocol<'a>,
+    ospf: OspfProtocol,
+    static_: StaticProtocol,
+    network: &'a NetworkConfig,
+    /// Per-origin protocol, indexed by node (None = not an origin).
+    origin_proto: Vec<Option<OriginProto>>,
+}
+
+impl<'a> MultiProtocol<'a> {
+    /// Builds the combined protocol for one destination class.
+    pub fn build(network: &'a NetworkConfig, topo: &BuiltTopology, ec: &EcDest) -> Self {
+        let mut origin_proto = vec![None; topo.graph.node_count()];
+        for &(n, proto) in &ec.origins {
+            origin_proto[n.index()] = Some(proto);
+        }
+        MultiProtocol {
+            bgp: BgpProtocol::from_network(network, topo, ec.prefix),
+            ospf: OspfProtocol::from_network(network, topo),
+            static_: StaticProtocol::from_network(network, topo, ec.range),
+            network,
+            origin_proto,
+        }
+    }
+
+    /// The BGP sub-protocol (for session introspection).
+    pub fn bgp(&self) -> &BgpProtocol<'a> {
+        &self.bgp
+    }
+
+    /// The OSPF facts of one edge.
+    pub fn ospf_edge(&self, e: EdgeId) -> Option<OspfEdge> {
+        self.ospf.edge(e)
+    }
+
+    /// The BGP session of one edge.
+    pub fn bgp_session(&self, e: EdgeId) -> Option<&BgpEdge> {
+        self.bgp.session(e)
+    }
+
+    /// True if the edge carries a matching static route.
+    pub fn static_on_edge(&self, e: EdgeId) -> bool {
+        self.static_.on_edge(e)
+    }
+
+    /// The BGP route `v` would advertise given its RIB label — its own BGP
+    /// route, or a freshly originated one if it redistributes the label's
+    /// protocol into BGP.
+    fn bgp_advertisable(&self, v: NodeId, label: &RibAttr) -> Option<BgpAttr> {
+        let dv = &self.network.devices[v.index()];
+        let bgp_cfg = dv.bgp.as_ref()?;
+        match label {
+            RibAttr::Bgp(a) => Some(a.clone()),
+            RibAttr::Static if bgp_cfg.redistribute_static => {
+                Some(BgpAttr::origin(bgp_cfg.default_local_pref))
+            }
+            RibAttr::Ospf(_) if bgp_cfg.redistribute_ospf => {
+                Some(BgpAttr::origin(bgp_cfg.default_local_pref))
+            }
+            _ => None,
+        }
+    }
+
+    /// The OSPF route `v` would flood given its RIB label.
+    fn ospf_advertisable(&self, v: NodeId, label: &RibAttr) -> Option<OspfAttr> {
+        let dv = &self.network.devices[v.index()];
+        let ospf_cfg = dv.ospf.as_ref()?;
+        match label {
+            RibAttr::Ospf(a) => Some(*a),
+            RibAttr::Static if ospf_cfg.redistribute_static => Some(OspfAttr {
+                cost: 0,
+                inter_area: false,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Transfer with a switch for BGP loop prevention (the compression
+    /// layer needs the loop-blind variant for `transfer-approx`).
+    pub fn transfer_with(
+        &self,
+        e: EdgeId,
+        a: Option<&RibAttr>,
+        check_loops: bool,
+    ) -> Option<RibAttr> {
+        let mut best: Option<RibAttr> = None;
+        let mut consider = |cand: RibAttr, this: &Self| {
+            let better = match &best {
+                None => true,
+                Some(b) => this.compare(&cand, b) == Some(Ordering::Less),
+            };
+            if better {
+                best = Some(cand);
+            }
+        };
+
+        // Static candidate: spontaneous, independent of the neighbor.
+        if self.static_.on_edge(e) {
+            consider(RibAttr::Static, self);
+        }
+
+        if let Some(label) = a {
+            // BGP candidate (with redistribution into BGP at v).
+            if let Some(adv) = {
+                let v = self.edge_target(e);
+                self.bgp_advertisable(v, label)
+            } {
+                let transferred = if check_loops {
+                    self.bgp.transfer(e, Some(&adv))
+                } else {
+                    self.bgp.transfer_ignoring_loops(e, Some(&adv))
+                };
+                if let Some(b) = transferred {
+                    consider(RibAttr::Bgp(b), self);
+                }
+            }
+            // OSPF candidate (with redistribution into OSPF at v).
+            if let Some(adv) = {
+                let v = self.edge_target(e);
+                self.ospf_advertisable(v, label)
+            } {
+                if let Some(o) = self.ospf.transfer(e, Some(&adv)) {
+                    consider(RibAttr::Ospf(o), self);
+                }
+            }
+        }
+
+        best
+    }
+
+    fn edge_target(&self, e: EdgeId) -> NodeId {
+        self.bgp.edge_endpoints(e).1
+    }
+}
+
+impl Protocol for MultiProtocol<'_> {
+    type Attr = RibAttr;
+
+    fn origin(&self, origin: NodeId) -> RibAttr {
+        match self.origin_proto[origin.index()] {
+            Some(OriginProto::Bgp) => RibAttr::Bgp(self.bgp.origin(origin)),
+            Some(OriginProto::Ospf) => RibAttr::Ospf(OspfAttr {
+                cost: 0,
+                inter_area: false,
+            }),
+            None => panic!("origin() called on a non-origin node"),
+        }
+    }
+
+    fn compare(&self, a: &RibAttr, b: &RibAttr) -> Option<Ordering> {
+        let by_distance = a.admin_distance().cmp(&b.admin_distance());
+        if by_distance != Ordering::Equal {
+            return Some(by_distance);
+        }
+        match (a, b) {
+            (RibAttr::Static, RibAttr::Static) => Some(Ordering::Equal),
+            (RibAttr::Bgp(x), RibAttr::Bgp(y)) => self.bgp.compare(x, y),
+            (RibAttr::Ospf(x), RibAttr::Ospf(y)) => self.ospf.compare(x, y),
+            _ => Some(Ordering::Equal), // equal distance, different families
+        }
+    }
+
+    fn transfer(&self, e: EdgeId, a: Option<&RibAttr>) -> Option<RibAttr> {
+        self.transfer_with(e, a, true)
+    }
+}

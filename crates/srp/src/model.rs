@@ -1,0 +1,305 @@
+//! The SRP model: protocols, instances, solutions, stability.
+//!
+//! An SRP instance is the tuple `(G, A, a_d, ≺, trans)` of the paper's
+//! Figure 4. Here the attribute set `A`, comparison relation `≺` and
+//! transfer function `trans` are bundled into a [`Protocol`] implementation,
+//! while the graph and destination live in [`Srp`].
+//!
+//! A [`Solution`] is a labeling `L : V → A⊥` together with the forwarding
+//! relation it induces. [`Srp::check_stable`] checks the defining constraints
+//! locally, exactly as written in the paper:
+//!
+//! ```text
+//! L(d) = a_d
+//! L(u) = ⊥                          if attrs_L(u) = ∅
+//! L(u) = some ≺-minimal a ∈ attrs_L(u)  otherwise
+//! fwd_L(u) = { e | (e,a) ∈ choices_L(u), a ≈ L(u) }
+//! ```
+
+use bonsai_net::{EdgeId, Graph, NodeId};
+use std::cmp::Ordering;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A routing protocol: attribute set, comparison relation and transfer
+/// function. One value of the implementing type models one *configured*
+/// network (the transfer function embeds the device configurations).
+pub trait Protocol {
+    /// Routing message attributes (`A` in the paper). `Option<Attr>`
+    /// plays the role of `A⊥`.
+    type Attr: Clone + Eq + Hash + Debug;
+
+    /// The initial attribute `a_d` advertised by an origin node.
+    fn origin(&self, origin: NodeId) -> Self::Attr;
+
+    /// The comparison relation `≺`, as a partial order:
+    /// `Some(Less)` means `a` is preferred over `b`, `Some(Equal)` means
+    /// the attributes are equally good (`≈`), `None` means incomparable.
+    fn compare(&self, a: &Self::Attr, b: &Self::Attr) -> Option<Ordering>;
+
+    /// The transfer function `trans(e, a)`.
+    ///
+    /// `e = (u, v)` is an edge of the graph and `a` the label of the
+    /// neighbor `v` across it (`None` = ⊥, no route). Returns the attribute
+    /// `u` obtains through `e`, or `None` if the route is dropped.
+    ///
+    /// Non-spontaneous protocols return `None` for `a = None`; static
+    /// routing is the (paper-sanctioned) exception.
+    fn transfer(&self, e: EdgeId, a: Option<&Self::Attr>) -> Option<Self::Attr>;
+}
+
+/// An SRP instance: a graph, a set of origin (destination) nodes, and a
+/// protocol. The paper's single destination `d` generalizes to a set of
+/// origins to support anycast destination equivalence classes; a singleton
+/// set recovers the paper's definition exactly.
+pub struct Srp<'a, P: Protocol> {
+    /// The network topology.
+    pub graph: &'a Graph,
+    /// Nodes that originate the destination. Their labels are pinned to
+    /// [`Protocol::origin`]. Must be non-empty.
+    pub origins: Vec<NodeId>,
+    /// The protocol (with configurations baked into its transfer function).
+    pub protocol: P,
+}
+
+/// A solution to an SRP: the label of every node plus the induced
+/// forwarding relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Solution<A> {
+    /// `labels[u] = L(u)`; `None` is ⊥ (no route).
+    pub labels: Vec<Option<A>>,
+    /// `fwd[u]` = edges `u` forwards on (all ≈-minimal choices).
+    pub fwd: Vec<Vec<EdgeId>>,
+}
+
+impl<A> Solution<A> {
+    /// The label of a node.
+    pub fn label(&self, u: NodeId) -> Option<&A> {
+        self.labels[u.index()].as_ref()
+    }
+
+    /// The forwarding edges of a node.
+    pub fn fwd(&self, u: NodeId) -> &[EdgeId] {
+        &self.fwd[u.index()]
+    }
+
+    /// Number of nodes with a route.
+    pub fn routed_count(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_some()).count()
+    }
+}
+
+impl<'a, P: Protocol> Srp<'a, P> {
+    /// Creates an instance with a single destination (the paper's form).
+    pub fn new(graph: &'a Graph, dest: NodeId, protocol: P) -> Self {
+        Srp {
+            graph,
+            origins: vec![dest],
+            protocol,
+        }
+    }
+
+    /// Creates an instance with several origin nodes (anycast EC).
+    pub fn with_origins(graph: &'a Graph, origins: Vec<NodeId>, protocol: P) -> Self {
+        assert!(!origins.is_empty(), "an SRP needs at least one origin");
+        Srp {
+            graph,
+            origins,
+            protocol,
+        }
+    }
+
+    /// True if `u` is an origin of this instance.
+    pub fn is_origin(&self, u: NodeId) -> bool {
+        self.origins.contains(&u)
+    }
+
+    /// `choices_L(u)`: the non-⊥ attributes offered to `u` by its
+    /// neighbors under the given labels.
+    pub fn choices(&self, labels: &[Option<P::Attr>], u: NodeId) -> Vec<(EdgeId, P::Attr)> {
+        let mut out = Vec::new();
+        for e in self.graph.out(u) {
+            let v = self.graph.target(e);
+            if let Some(a) = self.protocol.transfer(e, labels[v.index()].as_ref()) {
+                out.push((e, a));
+            }
+        }
+        out
+    }
+
+    /// A ≺-minimal element of a non-empty choice set (first minimal in
+    /// edge order — deterministic). Returns its index.
+    pub fn pick_minimal(&self, choices: &[(EdgeId, P::Attr)]) -> usize {
+        let mut best = 0;
+        for i in 1..choices.len() {
+            if self.protocol.compare(&choices[i].1, &choices[best].1) == Some(Ordering::Less) {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// `a ≈ b`: neither attribute is preferred over the other.
+    pub fn equally_good(&self, a: &P::Attr, b: &P::Attr) -> bool {
+        !matches!(self.protocol.compare(a, b), Some(Ordering::Less))
+            && !matches!(self.protocol.compare(b, a), Some(Ordering::Less))
+    }
+
+    /// Computes the forwarding relation induced by a labeling.
+    pub fn forwarding(&self, labels: &[Option<P::Attr>]) -> Vec<Vec<EdgeId>> {
+        let n = self.graph.node_count();
+        let mut fwd = vec![Vec::new(); n];
+        for u in self.graph.nodes() {
+            if self.is_origin(u) {
+                continue; // origins consume traffic
+            }
+            if let Some(lu) = &labels[u.index()] {
+                for (e, a) in self.choices(labels, u) {
+                    if self.equally_good(&a, lu) {
+                        fwd[u.index()].push(e);
+                    }
+                }
+            }
+        }
+        fwd
+    }
+
+    /// Checks the SRP solution constraints locally at every node.
+    ///
+    /// Returns `Ok(())` or the first violated constraint, described.
+    pub fn check_stable(&self, labels: &[Option<P::Attr>]) -> Result<(), String> {
+        if labels.len() != self.graph.node_count() {
+            return Err("label vector length mismatch".into());
+        }
+        for u in self.graph.nodes() {
+            let lu = &labels[u.index()];
+            if self.is_origin(u) {
+                match lu {
+                    Some(a) if *a == self.protocol.origin(u) => continue,
+                    _ => return Err(format!("origin {u:?} not labeled with a_d")),
+                }
+            }
+            let choices = self.choices(labels, u);
+            match lu {
+                None => {
+                    if !choices.is_empty() {
+                        return Err(format!(
+                            "{u:?} labeled ⊥ but has {} choices",
+                            choices.len()
+                        ));
+                    }
+                }
+                Some(a) => {
+                    // The label must be one of the offered attributes...
+                    if !choices.iter().any(|(_, c)| c == a) {
+                        return Err(format!("{u:?} label {a:?} is not among its choices"));
+                    }
+                    // ...and no choice may be strictly preferred over it.
+                    for (e, c) in &choices {
+                        if self.protocol.compare(c, a) == Some(Ordering::Less) {
+                            return Err(format!(
+                                "{u:?} prefers {c:?} (via {e:?}) over its label {a:?}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a [`Solution`] from labels (computing forwarding), after
+    /// validating stability.
+    pub fn solution_from_labels(
+        &self,
+        labels: Vec<Option<P::Attr>>,
+    ) -> Result<Solution<P::Attr>, String> {
+        self.check_stable(&labels)?;
+        let fwd = self.forwarding(&labels);
+        Ok(Solution { labels, fwd })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_net::GraphBuilder;
+
+    /// Hop-count protocol for tests (RIP without the 16 limit).
+    struct Hops;
+    impl Protocol for Hops {
+        type Attr = u32;
+        fn origin(&self, _: NodeId) -> u32 {
+            0
+        }
+        fn compare(&self, a: &u32, b: &u32) -> Option<Ordering> {
+            Some(a.cmp(b))
+        }
+        fn transfer(&self, _e: EdgeId, a: Option<&u32>) -> Option<u32> {
+            a.map(|x| x + 1)
+        }
+    }
+
+    fn line3() -> Graph {
+        // n0 -- n1 -- n2
+        let mut g = GraphBuilder::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_link(a, b);
+        g.add_link(b, c);
+        g.build()
+    }
+
+    #[test]
+    fn stable_labeling_accepted() {
+        let g = line3();
+        let srp = Srp::new(&g, NodeId(2), Hops);
+        let labels = vec![Some(2), Some(1), Some(0)];
+        assert!(srp.check_stable(&labels).is_ok());
+        let sol = srp.solution_from_labels(labels).unwrap();
+        // n0 forwards to n1, n1 to n2, the destination nowhere.
+        assert_eq!(sol.fwd(NodeId(0)).len(), 1);
+        assert_eq!(g.target(sol.fwd(NodeId(0))[0]), NodeId(1));
+        assert_eq!(sol.fwd(NodeId(2)), &[] as &[EdgeId]);
+        assert_eq!(sol.routed_count(), 3);
+    }
+
+    #[test]
+    fn unstable_labeling_rejected() {
+        let g = line3();
+        let srp = Srp::new(&g, NodeId(2), Hops);
+        // n0 claims distance 5; its choice through n1 would be 2.
+        let labels = vec![Some(5), Some(1), Some(0)];
+        assert!(srp.check_stable(&labels).is_err());
+        // Destination mislabeled.
+        let labels = vec![Some(2), Some(1), Some(7)];
+        assert!(srp.check_stable(&labels).is_err());
+        // ⊥ despite available choice.
+        let labels = vec![None, Some(1), Some(0)];
+        assert!(srp.check_stable(&labels).is_err());
+    }
+
+    #[test]
+    fn choices_and_minimal() {
+        let g = line3();
+        let srp = Srp::new(&g, NodeId(2), Hops);
+        let labels = vec![Some(2), Some(1), Some(0)];
+        let ch = srp.choices(&labels, NodeId(1));
+        // Offers from both neighbors: via n0 (3 hops) and via n2 (1 hop).
+        assert_eq!(ch.len(), 2);
+        let best = srp.pick_minimal(&ch);
+        assert_eq!(ch[best].1, 1);
+    }
+
+    #[test]
+    fn multi_origin_pins_all_origins() {
+        let g = line3();
+        let srp = Srp::with_origins(&g, vec![NodeId(0), NodeId(2)], Hops);
+        let labels = vec![Some(0), Some(1), Some(0)];
+        assert!(srp.check_stable(&labels).is_ok());
+        let fwd = srp.forwarding(&labels);
+        // The middle node load-balances to both origins (1 hop each).
+        assert_eq!(fwd[1].len(), 2);
+    }
+}

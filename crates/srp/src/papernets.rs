@@ -1,0 +1,222 @@
+//! The worked examples of the paper, as ready-made networks.
+//!
+//! These small configurations appear throughout the paper's exposition and
+//! are used by unit tests, integration tests and the runnable examples:
+//!
+//! * [`figure1_rip`] — the RIP diamond of Figure 1.
+//! * [`figure2_gadget`] — the BGP loop-prevention gadget of Figures 2/3/9.
+//! * [`figure5_bgp`] — the tag/local-preference BGP chain of Figure 5.
+//! * [`figure6_static`] — the static-routing chain of Figure 6.
+
+use bonsai_config::{parse_network, NetworkConfig};
+
+/// Destination prefix used by all paper networks.
+pub const DEST_PREFIX: &str = "10.0.0.0/24";
+
+/// Figure 1: the RIP diamond `a — {b1, b2} — d`. The destination `d`
+/// originates; labels settle to `a=2, b1=b2=1, d=0`.
+///
+/// RIP itself is configuration-free; this network is expressed with BGP
+/// shortest-path routing, which computes the same tree, or can be run with
+/// [`crate::protocols::Rip`] on the raw graph.
+pub fn figure1_rip() -> NetworkConfig {
+    parse_network(
+        "
+device d
+interface to_b1
+interface to_b2
+router bgp 100
+ network 10.0.0.0/24
+ neighbor to_b1 remote-as external
+ neighbor to_b2 remote-as external
+end
+device b1
+interface to_d
+interface to_a
+router bgp 1
+ neighbor to_d remote-as external
+ neighbor to_a remote-as external
+end
+device b2
+interface to_d
+interface to_a
+router bgp 2
+ neighbor to_d remote-as external
+ neighbor to_a remote-as external
+end
+device a
+interface to_b1
+interface to_b2
+router bgp 50
+ neighbor to_b1 remote-as external
+ neighbor to_b2 remote-as external
+end
+link d to_b1 b1 to_d
+link d to_b2 b2 to_d
+link a to_b1 b1 to_a
+link a to_b2 b2 to_a
+",
+    )
+    .expect("figure 1 network parses")
+}
+
+/// Figure 2 (and the refinement walk-through of Figures 3 and 9): `a` on
+/// top, `b1 b2 b3` in the middle — all with *identical* configurations
+/// preferring routes via `a` (local preference 200) — and the destination
+/// `d` at the bottom. Loop prevention forces exactly one `bi` onto its
+/// direct route in every stable solution, so the sound abstraction must
+/// split the `b` role in two.
+pub fn figure2_gadget() -> NetworkConfig {
+    let mut text = String::from(
+        "
+device d
+interface to_b1
+interface to_b2
+interface to_b3
+router bgp 100
+ network 10.0.0.0/24
+ neighbor to_b1 remote-as external
+ neighbor to_b2 remote-as external
+ neighbor to_b3 remote-as external
+end
+device a
+interface to_b1
+interface to_b2
+interface to_b3
+router bgp 50
+ neighbor to_b1 remote-as external
+ neighbor to_b2 remote-as external
+ neighbor to_b3 remote-as external
+end
+",
+    );
+    for i in 1..=3 {
+        text.push_str(&format!(
+            "
+device b{i}
+interface to_a
+interface to_d
+route-map UP permit 10
+ set local-preference 200
+router bgp {i}
+ neighbor to_a remote-as external
+ neighbor to_a route-map UP in
+ neighbor to_d remote-as external
+end
+"
+        ));
+    }
+    text.push_str(
+        "
+link d to_b1 b1 to_d
+link d to_b2 b2 to_d
+link d to_b3 b3 to_d
+link a to_b1 b1 to_a
+link a to_b2 b2 to_a
+link a to_b3 b3 to_a
+",
+    );
+    parse_network(&text).expect("figure 2 network parses")
+}
+
+/// Figure 5: the BGP modeling example. `a` tags routes exported to `b2`
+/// with community 65001:1; `b2` raises the local preference of tagged
+/// routes to 200 and therefore routes through `a` despite the longer path.
+pub fn figure5_bgp() -> NetworkConfig {
+    parse_network(
+        "
+device d
+interface to_b1
+interface to_b2
+router bgp 4
+ network 10.0.0.0/24
+ neighbor to_b1 remote-as external
+ neighbor to_b2 remote-as external
+end
+device b1
+interface to_d
+interface to_a
+router bgp 2
+ neighbor to_d remote-as external
+ neighbor to_a remote-as external
+end
+device a
+interface to_b1
+interface to_b2
+route-map TAG permit 10
+ set community 65001:1 additive
+router bgp 1
+ neighbor to_b1 remote-as external
+ neighbor to_b2 remote-as external
+ neighbor to_b2 route-map TAG out
+end
+device b2
+interface to_a
+interface to_d
+ip community-list tagged permit 65001:1
+route-map PREF permit 10
+ match community tagged
+ set local-preference 200
+route-map PREF permit 20
+router bgp 3
+ neighbor to_a remote-as external
+ neighbor to_a route-map PREF in
+ neighbor to_d remote-as external
+end
+link d to_b1 b1 to_d
+link b1 to_a a to_b1
+link a to_b2 b2 to_a
+link b2 to_d d to_b2
+",
+    )
+    .expect("figure 5 network parses")
+}
+
+/// Figure 6: static routing on the chain `a — b1 — b2 — d`. `a` and `b2`
+/// have static routes toward the destination, `b1` has none — so `a`
+/// forwards into a black hole, the behavior the abstraction must preserve.
+pub fn figure6_static() -> NetworkConfig {
+    parse_network(
+        "
+device a
+interface right
+ip route 10.0.0.0/24 right
+end
+device b1
+interface left
+interface right
+end
+device b2
+interface left
+interface right
+ip route 10.0.0.0/24 right
+end
+device d
+interface left
+end
+link a right b1 left
+link b1 right b2 left
+link b2 right d left
+",
+    )
+    .expect("figure 6 network parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_config::BuiltTopology;
+
+    #[test]
+    fn all_paper_networks_build() {
+        for net in [
+            figure1_rip(),
+            figure2_gadget(),
+            figure5_bgp(),
+            figure6_static(),
+        ] {
+            let topo = BuiltTopology::build(&net).unwrap();
+            assert!(topo.graph.node_count() >= 4);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Concrete protocol models (paper §3.2).
+//!
+//! Each submodule instantiates the [`crate::Protocol`] trait for one
+//! routing protocol, with device configurations baked into the transfer
+//! function:
+//!
+//! * [`rip`] — distance vector with a 16-hop horizon.
+//! * [`ospf`] — link state: configured link costs, areas, intra-area
+//!   preference.
+//! * [`bgp`] — path vector: local preference, communities, node paths and
+//!   loop prevention; import/export route maps from configurations.
+//! * [`static_route`] — statically configured next hops (spontaneous
+//!   transfer, may form loops).
+//!
+//! The multi-protocol RIB combining these (administrative distance +
+//! redistribution, §6) lives in [`crate::instance`].
+
+pub mod bgp;
+pub mod ospf;
+pub mod rip;
+pub mod static_route;
+
+pub use bgp::{BgpAttr, BgpProtocol};
+pub use ospf::{OspfAttr, OspfProtocol};
+pub use rip::{Rip, RipAttr};
+pub use static_route::StaticProtocol;

@@ -1,0 +1,93 @@
+//! RIP: hop-count distance vector (paper §3.2, Figure 1).
+//!
+//! Attributes are path lengths `0..=15`; the comparison prefers shorter
+//! paths; the transfer function increments the hop count and drops routes
+//! beyond the 16-hop horizon.
+
+use crate::model::Protocol;
+use bonsai_net::{EdgeId, NodeId};
+use std::cmp::Ordering;
+
+/// RIP hop count. Valid values are `0..=15`.
+pub type RipAttr = u8;
+
+/// The RIP protocol. Configuration-free: every link costs one hop.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Rip;
+
+/// RIP's infinity: routes at 16 hops are unreachable.
+pub const RIP_HORIZON: RipAttr = 16;
+
+impl Protocol for Rip {
+    type Attr = RipAttr;
+
+    fn origin(&self, _: NodeId) -> RipAttr {
+        0
+    }
+
+    fn compare(&self, a: &RipAttr, b: &RipAttr) -> Option<Ordering> {
+        Some(a.cmp(b))
+    }
+
+    fn transfer(&self, _e: EdgeId, a: Option<&RipAttr>) -> Option<RipAttr> {
+        match a {
+            Some(&hops) if hops + 1 < RIP_HORIZON => Some(hops + 1),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Srp;
+    use crate::solver::solve;
+    use bonsai_net::GraphBuilder;
+
+    /// The network of Figure 1(a): a — b1 — d, a — b2 — d... actually the
+    /// paper's picture is a path a—b1—d plus a—b2—d style diamond; the
+    /// solution labels are a=2, b1=b2=1, d=0 (Figure 1(b)).
+    #[test]
+    fn figure_1_solution() {
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_node("a");
+        let b1 = gb.add_node("b1");
+        let b2 = gb.add_node("b2");
+        let d = gb.add_node("d");
+        gb.add_link(a, b1);
+        gb.add_link(a, b2);
+        gb.add_link(b1, d);
+        gb.add_link(b2, d);
+        let g = gb.build();
+        let srp = Srp::new(&g, d, Rip);
+        let sol = solve(&srp).unwrap();
+        assert_eq!(sol.label(a), Some(&2));
+        assert_eq!(sol.label(b1), Some(&1));
+        assert_eq!(sol.label(b2), Some(&1));
+        assert_eq!(sol.label(d), Some(&0));
+        // b1 and b2 forward to d; a multipaths over b1 and b2.
+        assert_eq!(g.target(sol.fwd(b1)[0]), d);
+        assert_eq!(sol.fwd(a).len(), 2);
+    }
+
+    #[test]
+    fn horizon_drops_long_paths() {
+        // A 20-node line: nodes beyond 15 hops have no route.
+        let mut gb = GraphBuilder::new();
+        let nodes = gb.add_nodes("r", 20);
+        for w in nodes.windows(2) {
+            gb.add_link(w[0], w[1]);
+        }
+        let g = gb.build();
+        let srp = Srp::new(&g, nodes[0], Rip);
+        let sol = solve(&srp).unwrap();
+        assert_eq!(sol.label(nodes[15]), Some(&15));
+        assert_eq!(sol.label(nodes[16]), None);
+        assert_eq!(sol.label(nodes[19]), None);
+    }
+
+    #[test]
+    fn transfer_is_non_spontaneous() {
+        assert_eq!(Rip.transfer(EdgeId(0), None), None);
+    }
+}

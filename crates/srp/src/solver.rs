@@ -1,0 +1,254 @@
+//! Fixpoint solver for SRP instances: the control-plane simulator.
+//!
+//! The solver mimics the asynchronous message passing of a real control
+//! plane: nodes are *activated* one at a time; an activated node recomputes
+//! its best choice from its neighbors' current labels and, if its label
+//! changes, schedules its in-neighbors for re-activation. A fixpoint of
+//! this process is by construction a stable solution (every node holds a
+//! ≺-minimal available choice).
+//!
+//! Because SRPs may have **multiple** stable solutions (paper §3.1 and the
+//! Figure 2 gadget), the activation order matters: different orders can
+//! land in different solutions, exactly like different message timings in
+//! a real network. [`solve_with_order`] exposes the order so callers can
+//! explore several solutions; [`solve`] uses the natural node order.
+//!
+//! BGP-like protocols can also *diverge* (oscillate forever — the "bad
+//! gadget" of Griffin et al.). The solver bounds the number of label
+//! updates and reports [`SolveError::Diverged`] when the bound is hit.
+
+use crate::model::{Protocol, Solution, Srp};
+use bonsai_net::NodeId;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Solver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SolverOptions {
+    /// The solver aborts after `update_factor * (V + E)` label updates.
+    pub update_factor: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions { update_factor: 64 }
+    }
+}
+
+/// Why the solver failed to produce a solution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The update budget was exhausted: the instance oscillates (or is far
+    /// larger than the budget assumes).
+    Diverged {
+        /// Number of label updates performed before giving up.
+        updates: usize,
+    },
+    /// The computed fixpoint failed the stability check — indicates a bug
+    /// in a [`Protocol`] implementation (e.g. a non-antisymmetric compare).
+    Internal(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Diverged { updates } => {
+                write!(f, "control plane diverged after {updates} updates")
+            }
+            SolveError::Internal(msg) => write!(f, "internal solver error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solves the SRP with nodes initially activated in natural id order.
+pub fn solve<P: Protocol>(srp: &Srp<'_, P>) -> Result<Solution<P::Attr>, SolveError> {
+    let order: Vec<NodeId> = srp.graph.nodes().collect();
+    solve_with_order(srp, &order, SolverOptions::default())
+}
+
+/// Solves the SRP, activating nodes initially in the given order.
+///
+/// The order is a permutation of the nodes (checked). Different orders may
+/// yield different (all stable) solutions when the instance has several.
+pub fn solve_with_order<P: Protocol>(
+    srp: &Srp<'_, P>,
+    order: &[NodeId],
+    options: SolverOptions,
+) -> Result<Solution<P::Attr>, SolveError> {
+    let n = srp.graph.node_count();
+    assert_eq!(order.len(), n, "activation order must cover every node");
+
+    let mut labels: Vec<Option<P::Attr>> = vec![None; n];
+    for &o in &srp.origins {
+        labels[o.index()] = Some(srp.protocol.origin(o));
+    }
+
+    let mut queue: VecDeque<NodeId> = VecDeque::with_capacity(n * 2);
+    let mut queued = vec![false; n];
+    for &u in order {
+        if !srp.is_origin(u) {
+            queue.push_back(u);
+            queued[u.index()] = true;
+        }
+    }
+
+    let budget = options
+        .update_factor
+        .saturating_mul(n + srp.graph.edge_count())
+        .max(1024);
+    let mut updates = 0usize;
+
+    while let Some(u) = queue.pop_front() {
+        queued[u.index()] = false;
+        let choices = srp.choices(&labels, u);
+        let new_label = if choices.is_empty() {
+            None
+        } else {
+            let best = srp.pick_minimal(&choices);
+            // Keep the current label if it is still among the ≈-minimal
+            // choices: real routers do not churn between equally good
+            // routes, and this makes fixpoints sticky (helps convergence).
+            let keep = labels[u.index()].as_ref().and_then(|cur| {
+                choices
+                    .iter()
+                    .find(|(_, a)| a == cur && srp.equally_good(a, &choices[best].1))
+                    .map(|(_, a)| a.clone())
+            });
+            Some(keep.unwrap_or_else(|| choices[best].1.clone()))
+        };
+        if new_label != labels[u.index()] {
+            labels[u.index()] = new_label;
+            updates += 1;
+            if updates > budget {
+                return Err(SolveError::Diverged { updates });
+            }
+            for w in srp.graph.predecessors(u) {
+                if !srp.is_origin(w) && !queued[w.index()] {
+                    queued[w.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+
+    srp.solution_from_labels(labels)
+        .map_err(SolveError::Internal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Protocol;
+    use bonsai_net::{EdgeId, Graph, GraphBuilder};
+    use std::cmp::Ordering;
+
+    struct Hops;
+    impl Protocol for Hops {
+        type Attr = u32;
+        fn origin(&self, _: NodeId) -> u32 {
+            0
+        }
+        fn compare(&self, a: &u32, b: &u32) -> Option<Ordering> {
+            Some(a.cmp(b))
+        }
+        fn transfer(&self, _e: EdgeId, a: Option<&u32>) -> Option<u32> {
+            a.map(|x| x + 1)
+        }
+    }
+
+    fn grid(width: usize, height: usize) -> Graph {
+        let mut gb = GraphBuilder::new();
+        let nodes: Vec<Vec<NodeId>> = (0..height)
+            .map(|y| (0..width).map(|x| gb.add_node(format!("g{x}_{y}"))).collect())
+            .collect();
+        for y in 0..height {
+            for x in 0..width {
+                if x + 1 < width {
+                    gb.add_link(nodes[y][x], nodes[y][x + 1]);
+                }
+                if y + 1 < height {
+                    gb.add_link(nodes[y][x], nodes[y + 1][x]);
+                }
+            }
+        }
+        gb.build()
+    }
+
+    #[test]
+    fn shortest_paths_on_grid() {
+        let g = grid(5, 4);
+        let dest = NodeId(0);
+        let srp = Srp::new(&g, dest, Hops);
+        let sol = solve(&srp).unwrap();
+        let bfs = g.bfs_distances(dest);
+        for u in g.nodes() {
+            assert_eq!(sol.label(u).copied(), bfs[u.index()]);
+        }
+        // Interior nodes with two equally short next hops multipath.
+        let corner_opposite = NodeId((5 * 4 - 1) as u32);
+        assert_eq!(sol.fwd(corner_opposite).len(), 2);
+    }
+
+    #[test]
+    fn unreachable_nodes_get_bottom() {
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_node("a");
+        let b = gb.add_node("b");
+        let c = gb.add_node("c"); // isolated
+        gb.add_link(a, b);
+        let _ = c;
+        let g = gb.build();
+        let srp = Srp::new(&g, NodeId(0), Hops);
+        let sol = solve(&srp).unwrap();
+        assert_eq!(sol.label(NodeId(1)).copied(), Some(1));
+        assert_eq!(sol.label(NodeId(2)), None);
+        assert!(sol.fwd(NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn order_is_validated() {
+        let g = grid(2, 2);
+        let srp = Srp::new(&g, NodeId(0), Hops);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            solve_with_order(&srp, &[NodeId(0)], SolverOptions::default())
+        }));
+        assert!(result.is_err());
+    }
+
+    /// A protocol with no stable solution on a cycle: it prefers *longer*
+    /// paths, so two adjacent nodes keep leapfrogging each other's labels
+    /// forever (a minimal stand-in for Griffin's "bad gadget").
+    struct Greedy;
+    impl Protocol for Greedy {
+        type Attr = u32;
+        fn origin(&self, _: NodeId) -> u32 {
+            0
+        }
+        fn compare(&self, a: &u32, b: &u32) -> Option<Ordering> {
+            Some(b.cmp(a)) // larger is better
+        }
+        fn transfer(&self, _e: EdgeId, a: Option<&u32>) -> Option<u32> {
+            a.map(|x| x + 1)
+        }
+    }
+
+    #[test]
+    fn divergent_instance_reports_divergence() {
+        // d — a — b: `a` prefers the ever-growing offer through `b`, which
+        // grows whenever `a` grows; labels increase without bound.
+        let mut gb = GraphBuilder::new();
+        let d = gb.add_node("d");
+        let a = gb.add_node("a");
+        let b = gb.add_node("b");
+        gb.add_link(d, a);
+        gb.add_link(a, b);
+        let g = gb.build();
+        let srp = Srp::new(&g, d, Greedy);
+        match solve(&srp) {
+            Err(SolveError::Diverged { updates }) => assert!(updates > 0),
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+}

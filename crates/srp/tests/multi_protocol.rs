@@ -1,0 +1,233 @@
+//! Integration tests for the multi-protocol RIB (admin distance,
+//! redistribution) and the paper networks end to end.
+
+use bonsai_config::{parse_network, BuiltTopology};
+use bonsai_srp::instance::{EcDest, MultiProtocol, OriginProto, RibAttr};
+use bonsai_srp::solver::solve;
+use bonsai_srp::Srp;
+use bonsai_net::prefix::Prefix;
+
+fn p(s: &str) -> Prefix {
+    s.parse().unwrap()
+}
+
+/// static > eBGP > OSPF by administrative distance.
+#[test]
+fn admin_distance_ordering() {
+    // x originates 10.0.0.0/24 into both BGP and OSPF; y hears both and
+    // additionally has a static route. The static route must win in y's
+    // RIB; without it, eBGP (20) must beat OSPF (110).
+    let net = parse_network(
+        "
+device x
+interface i
+ ip ospf area 0
+router bgp 1
+ network 10.0.0.0/24
+ neighbor i remote-as external
+router ospf
+ network 10.0.0.0/24
+end
+device y
+interface i
+ ip ospf area 0
+router bgp 2
+ neighbor i remote-as external
+router ospf
+ip route 10.0.0.0/24 i
+end
+link x i y i
+",
+    )
+    .unwrap();
+    let topo = BuiltTopology::build(&net).unwrap();
+    let x = topo.graph.node_by_name("x").unwrap();
+    let y = topo.graph.node_by_name("y").unwrap();
+
+    let ec = EcDest::new(p("10.0.0.0/24"), vec![(x, OriginProto::Bgp)]);
+    let proto = MultiProtocol::build(&net, &topo, &ec);
+    let srp = Srp::with_origins(&topo.graph, vec![x], proto);
+    let sol = solve(&srp).unwrap();
+    assert_eq!(sol.label(y), Some(&RibAttr::Static));
+
+    // Remove the static route: eBGP wins over OSPF.
+    let mut net2 = net.clone();
+    net2.devices[1].static_routes.clear();
+    let topo2 = BuiltTopology::build(&net2).unwrap();
+    let proto2 = MultiProtocol::build(&net2, &topo2, &ec);
+    let srp2 = Srp::with_origins(&topo2.graph, vec![x], proto2);
+    let sol2 = solve(&srp2).unwrap();
+    match sol2.label(y) {
+        Some(RibAttr::Bgp(a)) => assert!(!a.from_ibgp),
+        other => panic!("expected an eBGP route, got {other:?}"),
+    }
+}
+
+/// Static routes redistributed into BGP propagate beyond the static hop.
+#[test]
+fn redistribute_static_into_bgp() {
+    // z -- y -- x: y has a static route toward x for the prefix and
+    // redistributes static into BGP; z must learn a BGP route via y.
+    let net = parse_network(
+        "
+device x
+interface i
+end
+device y
+interface i
+interface j
+router bgp 2
+ neighbor j remote-as external
+ redistribute static
+ip route 10.0.0.0/24 i
+end
+device z
+interface j
+router bgp 3
+ neighbor j remote-as external
+end
+link x i y i
+link y j z j
+",
+    )
+    .unwrap();
+    let topo = BuiltTopology::build(&net).unwrap();
+    let y = topo.graph.node_by_name("y").unwrap();
+    let z = topo.graph.node_by_name("z").unwrap();
+
+    // The EC originates nowhere as BGP; the static route at y is the seed.
+    // Model: y is the origin-like node via its static route. We pin x as
+    // plain destination holder (the prefix lives behind x).
+    let x = topo.graph.node_by_name("x").unwrap();
+    let ec = EcDest::new(p("10.0.0.0/24"), vec![(x, OriginProto::Bgp)]);
+    // x has no BGP, so nothing propagates from x itself; y's label must
+    // come from its own static route, z's from y's redistribution.
+    let proto = MultiProtocol::build(&net, &topo, &ec);
+    let srp = Srp::with_origins(&topo.graph, vec![x], proto);
+    let sol = solve(&srp).unwrap();
+    assert_eq!(sol.label(y), Some(&RibAttr::Static));
+    match sol.label(z) {
+        Some(RibAttr::Bgp(a)) => {
+            assert_eq!(a.path, vec![y]);
+            assert_eq!(a.lp, 100);
+        }
+        other => panic!("expected a redistributed BGP route at z, got {other:?}"),
+    }
+    // z forwards to y.
+    assert_eq!(topo.graph.target(sol.fwd(z)[0]), y);
+}
+
+/// OSPF routes flow between OSPF speakers while BGP speakers coexist.
+#[test]
+fn ospf_chain_through_multi_protocol() {
+    let net = parse_network(
+        "
+device a
+interface i
+ ip ospf cost 2
+ ip ospf area 0
+router ospf
+ network 10.0.0.0/24
+end
+device b
+interface i
+ ip ospf cost 2
+ ip ospf area 0
+interface j
+ ip ospf cost 5
+ ip ospf area 0
+router ospf
+end
+device c
+interface j
+ ip ospf cost 5
+ ip ospf area 0
+router ospf
+end
+link a i b i
+link b j c j
+",
+    )
+    .unwrap();
+    let topo = BuiltTopology::build(&net).unwrap();
+    let a = topo.graph.node_by_name("a").unwrap();
+    let b = topo.graph.node_by_name("b").unwrap();
+    let c = topo.graph.node_by_name("c").unwrap();
+    let ec = EcDest::new(p("10.0.0.0/24"), vec![(a, OriginProto::Ospf)]);
+    let proto = MultiProtocol::build(&net, &topo, &ec);
+    let srp = Srp::with_origins(&topo.graph, vec![a], proto);
+    let sol = solve(&srp).unwrap();
+    match sol.label(b) {
+        Some(RibAttr::Ospf(o)) => assert_eq!(o.cost, 2),
+        other => panic!("expected OSPF at b, got {other:?}"),
+    }
+    match sol.label(c) {
+        Some(RibAttr::Ospf(o)) => assert_eq!(o.cost, 7),
+        other => panic!("expected OSPF at c, got {other:?}"),
+    }
+}
+
+/// The full Figure 2 gadget through the multi-protocol stack: stability and
+/// the one-direct/two-indirect split must survive the RIB wrapper.
+#[test]
+fn figure2_gadget_via_multi_protocol() {
+    let net = bonsai_srp::papernets::figure2_gadget();
+    let topo = BuiltTopology::build(&net).unwrap();
+    let d = topo.graph.node_by_name("d").unwrap();
+    let ec = EcDest::new(p(bonsai_srp::papernets::DEST_PREFIX), vec![(d, OriginProto::Bgp)]);
+    let proto = MultiProtocol::build(&net, &topo, &ec);
+    let srp = Srp::with_origins(&topo.graph, vec![d], proto);
+    let sol = solve(&srp).unwrap();
+    let mut lp100 = 0;
+    let mut lp200 = 0;
+    for name in ["b1", "b2", "b3"] {
+        let b = topo.graph.node_by_name(name).unwrap();
+        match sol.label(b) {
+            Some(RibAttr::Bgp(a)) if a.lp == 100 => lp100 += 1,
+            Some(RibAttr::Bgp(a)) if a.lp == 200 => lp200 += 1,
+            other => panic!("unexpected label at {name}: {other:?}"),
+        }
+    }
+    assert_eq!((lp100, lp200), (1, 2));
+}
+
+/// Multi-origin (anycast) EC: both origins attract traffic.
+#[test]
+fn anycast_destination() {
+    let net = parse_network(
+        "
+device o1
+interface i
+router bgp 1
+ network 10.0.0.0/24
+ neighbor i remote-as external
+end
+device m
+interface i
+interface j
+router bgp 2
+ neighbor i remote-as external
+ neighbor j remote-as external
+end
+device o2
+interface j
+router bgp 3
+ network 10.0.0.0/24
+ neighbor j remote-as external
+end
+link o1 i m i
+link m j o2 j
+",
+    )
+    .unwrap();
+    let topo = BuiltTopology::build(&net).unwrap();
+    let o1 = topo.graph.node_by_name("o1").unwrap();
+    let o2 = topo.graph.node_by_name("o2").unwrap();
+    let m = topo.graph.node_by_name("m").unwrap();
+    let ec = EcDest::new(p("10.0.0.0/24"), vec![(o1, OriginProto::Bgp), (o2, OriginProto::Bgp)]);
+    let proto = MultiProtocol::build(&net, &topo, &ec);
+    let srp = Srp::with_origins(&topo.graph, vec![o1, o2], proto);
+    let sol = solve(&srp).unwrap();
+    // m hears 1-hop routes from both origins: multipath.
+    assert_eq!(sol.fwd(m).len(), 2);
+}

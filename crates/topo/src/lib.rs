@@ -1,0 +1,29 @@
+//! # bonsai-topo
+//!
+//! Synthetic network generators for the paper's evaluation (§8):
+//!
+//! * [`fattree`] — Al-Fares fattrees running eBGP shortest-path routing
+//!   (one private AS per router, one originated prefix per edge router),
+//!   plus the Figure 11 policy variant where the aggregation tier prefers
+//!   routing via the edge tier.
+//! * [`ring`] / [`full_mesh`] — the other two Table 1(a) topologies.
+//! * [`mod@datacenter`] — a multi-cluster Clos simulacrum of the paper's
+//!   197-router operational data center: eBGP with private ASes, static
+//!   routes, route filters, ACLs, and communities that are attached but
+//!   never matched (the source of the 112 → 26 role collapse).
+//! * [`mod@wan`] — a ~1086-device wide-area simulacrum mixing eBGP, iBGP,
+//!   OSPF and static routing.
+//!
+//! Every generator returns a plain [`bonsai_config::NetworkConfig`]; nothing here knows
+//! about compression, which keeps the benchmark inputs honest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datacenter;
+pub mod synthetic;
+pub mod wan;
+
+pub use datacenter::{datacenter, DatacenterParams};
+pub use synthetic::{fattree, full_mesh, ring, FattreePolicy};
+pub use wan::{wan, WanParams};

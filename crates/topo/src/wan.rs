@@ -1,0 +1,290 @@
+//! A wide-area network simulacrum (paper §8, Table 1(b)).
+//!
+//! The paper's WAN has 1086 devices — "a mix of routers and switches" —
+//! running "eBGP, iBGP, OSPF, and static routing" with "neighbor-specific,
+//! prefix-based filters and ACLs" producing 137 roles. This generator
+//! builds a two-level backbone with the same protocol mix: point-of-
+//! presence (POP) sites, each with OSPF-and-iBGP core routers,
+//! aggregation routers, and static/BGP access switches; POPs chain along
+//! a backbone with eBGP between sites.
+
+use bonsai_config::{
+    Action, BgpConfig, BgpNeighbor, DeviceConfig, Interface, Link, MatchCond, NetworkConfig,
+    OspfConfig, PrefixList, PrefixListEntry, RouteMap, RouteMapClause, StaticRoute,
+};
+use bonsai_net::prefix::{Ipv4Addr, Prefix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of the generated WAN.
+#[derive(Clone, Copy, Debug)]
+pub struct WanParams {
+    /// Number of POP sites along the backbone.
+    pub pops: usize,
+    /// Core routers per POP (OSPF + iBGP among themselves).
+    pub cores_per_pop: usize,
+    /// Aggregation routers per POP.
+    pub aggs_per_pop: usize,
+    /// Access switches per POP (static routing upward).
+    pub access_per_pop: usize,
+    /// Prefixes originated per aggregation router.
+    pub prefixes_per_agg: usize,
+    /// Number of distinct neighbor-filter flavors across POPs (role noise).
+    pub filter_flavors: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WanParams {
+    /// ~1086 devices like the paper: 30 POPs × 36 devices + 6 backbone
+    /// border routers.
+    fn default() -> Self {
+        WanParams {
+            pops: 30,
+            cores_per_pop: 2,
+            aggs_per_pop: 4,
+            access_per_pop: 29,
+            prefixes_per_agg: 7,
+            filter_flavors: 120,
+            seed: 2018,
+        }
+    }
+}
+
+impl WanParams {
+    /// Total device count.
+    pub fn node_count(&self) -> usize {
+        self.pops * (self.cores_per_pop + self.aggs_per_pop + self.access_per_pop)
+            + (self.pops + self.pops / 5).max(2)
+    }
+}
+
+/// Generates the WAN.
+pub fn wan(params: WanParams) -> NetworkConfig {
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut net = NetworkConfig::default();
+
+    let aggregate = PrefixList {
+        name: "NET".into(),
+        entries: vec![PrefixListEntry {
+            seq: 5,
+            action: Action::Permit,
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            ge: None,
+            le: Some(32),
+        }],
+    };
+
+    let link = |net: &mut NetworkConfig, a: usize, b: usize, ibgp: bool, ospf: bool| {
+        let ia = format!("to_{}", net.devices[b].name);
+        let ib = format!("to_{}", net.devices[a].name);
+        net.devices[a].interfaces.push(Interface::named(ia.clone()));
+        net.devices[b].interfaces.push(Interface::named(ib.clone()));
+        for (dev, iface) in [(a, &ia), (b, &ib)] {
+            if ospf {
+                let idx = net.devices[dev].interface_index(iface).unwrap();
+                net.devices[dev].interfaces[idx].ospf_area = Some(0);
+                net.devices[dev].interfaces[idx].ospf_cost = Some(10);
+            }
+            if net.devices[dev].bgp.is_some() {
+                let import = net
+                    .devices[dev]
+                    .route_map("IMPORT")
+                    .map(|_| "IMPORT".to_string());
+                let bgp = net.devices[dev].bgp.as_mut().unwrap();
+                bgp.neighbors.push(BgpNeighbor {
+                    iface: iface.clone(),
+                    import_policy: import,
+                    export_policy: None,
+                    ibgp,
+                });
+            }
+        }
+        let (na, nb) = (net.devices[a].name.clone(), net.devices[b].name.clone());
+        net.links.push(Link::new((na, ia), (nb, ib)));
+    };
+
+    // Backbone border routers (eBGP, a few flavors of filters).
+    let border_count = (params.pops + params.pops / 5).max(2);
+    let mut borders = Vec::new();
+    for i in 0..border_count {
+        let mut d = DeviceConfig::new(format!("bb{i}"));
+        d.bgp = Some(BgpConfig::new(100 + i as u32));
+        d.prefix_lists.push(aggregate.clone());
+        d.route_maps.push(RouteMap {
+            name: "IMPORT".into(),
+            clauses: vec![RouteMapClause {
+                seq: 10,
+                action: Action::Permit,
+                matches: vec![MatchCond::PrefixList("NET".into())],
+                sets: vec![],
+            }],
+        });
+        net.devices.push(d);
+        borders.push(net.devices.len() - 1);
+    }
+    // Border routers form a ring (the long-haul backbone).
+    for i in 0..borders.len() {
+        let j = (i + 1) % borders.len();
+        if borders.len() > 1 && !(borders.len() == 2 && i == 1) {
+            link(&mut net, borders[i], borders[j], false, false);
+        }
+    }
+
+    for p in 0..params.pops {
+        let pop_asn = 1000 + p as u32;
+        // Core routers: OSPF + iBGP within the POP, eBGP toward backbone.
+        let mut cores = Vec::new();
+        for i in 0..params.cores_per_pop {
+            let mut d = DeviceConfig::new(format!("p{p}_core{i}"));
+            d.bgp = Some(BgpConfig::new(pop_asn));
+            d.ospf = Some(OspfConfig::default());
+            d.prefix_lists.push(aggregate.clone());
+            net.devices.push(d);
+            cores.push(net.devices.len() - 1);
+        }
+        // Aggregation routers: OSPF toward cores, originate prefixes,
+        // neighbor-specific filter flavor (role noise across POPs — the
+        // paper: "many of the differences are from neighbor-specific,
+        // prefix-based filters").
+        let mut aggs = Vec::new();
+        for i in 0..params.aggs_per_pop {
+            let flavor = (p * params.aggs_per_pop + i) % params.filter_flavors;
+            let mut d = DeviceConfig::new(format!("p{p}_agg{i}"));
+            d.bgp = Some(BgpConfig::new(pop_asn));
+            d.ospf = Some(OspfConfig {
+                networks: vec![],
+                redistribute_static: true,
+            });
+            d.prefix_lists.push(PrefixList {
+                name: "CUST".into(),
+                entries: vec![
+                    PrefixListEntry {
+                        seq: 5,
+                        action: Action::Deny,
+                        prefix: Prefix::new(Ipv4Addr::new(10, 240, flavor as u8, 0), 24),
+                        ge: None,
+                        le: Some(32),
+                    },
+                    PrefixListEntry {
+                        seq: 10,
+                        action: Action::Permit,
+                        prefix: "10.0.0.0/8".parse().unwrap(),
+                        ge: None,
+                        le: Some(32),
+                    },
+                ],
+            });
+            d.route_maps.push(RouteMap {
+                name: "IMPORT".into(),
+                clauses: vec![RouteMapClause {
+                    seq: 10,
+                    action: Action::Permit,
+                    matches: vec![MatchCond::PrefixList("CUST".into())],
+                    sets: vec![],
+                }],
+            });
+            // Originated customer prefixes (one EC each).
+            for v in 0..params.prefixes_per_agg {
+                let third = (p * params.aggs_per_pop + i) as u16;
+                d.ospf.as_mut().unwrap().networks.push(Prefix::new(
+                    Ipv4Addr::new(10, (third / 256) as u8 + 1, (third % 256) as u8, (v * 16) as u8),
+                    28,
+                ));
+            }
+            net.devices.push(d);
+            aggs.push(net.devices.len() - 1);
+        }
+        // Access switches: static default toward an aggregation router.
+        let mut accesses = Vec::new();
+        for i in 0..params.access_per_pop {
+            let mut d = DeviceConfig::new(format!("p{p}_acc{i}"));
+            // A third of access devices are plain L2-ish switches with a
+            // static default; the rest run OSPF passively (cost noise).
+            if rng.gen_bool(0.33) {
+                d.ospf = Some(OspfConfig::default());
+            }
+            net.devices.push(d);
+            accesses.push(net.devices.len() - 1);
+        }
+
+        // Wiring: cores to two backbone borders (eBGP), cores meshed
+        // (OSPF+iBGP), aggs to both cores (OSPF), access to one agg
+        // (static upward).
+        for (i, &c) in cores.iter().enumerate() {
+            let b = borders[(p * params.cores_per_pop + i) % borders.len()];
+            link(&mut net, c, b, false, false);
+        }
+        for i in 0..cores.len() {
+            for j in (i + 1)..cores.len() {
+                link(&mut net, cores[i], cores[j], true, true);
+            }
+        }
+        for &a in &aggs {
+            for &c in &cores {
+                link(&mut net, a, c, true, true);
+            }
+        }
+        for (i, &acc) in accesses.iter().enumerate() {
+            let a = aggs[i % aggs.len()];
+            link(&mut net, acc, a, false, true);
+            // Static default route up to the agg.
+            let iface = net.devices[acc].interfaces.last().unwrap().name.clone();
+            net.devices[acc].static_routes.push(StaticRoute {
+                prefix: Prefix::DEFAULT,
+                iface,
+            });
+        }
+    }
+
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_config::BuiltTopology;
+
+    #[test]
+    fn default_shape_near_paper() {
+        let params = WanParams::default();
+        let net = wan(params);
+        assert_eq!(net.devices.len(), params.node_count());
+        assert!(
+            (1080..=1100).contains(&net.devices.len()),
+            "device count {}",
+            net.devices.len()
+        );
+        BuiltTopology::build(&net).unwrap();
+    }
+
+    #[test]
+    fn protocol_mix_present() {
+        let net = wan(WanParams {
+            pops: 4,
+            ..Default::default()
+        });
+        let mut has_ibgp = false;
+        let mut has_ebgp = false;
+        let mut has_ospf = false;
+        let mut has_static = false;
+        for d in &net.devices {
+            if let Some(bgp) = &d.bgp {
+                for n in &bgp.neighbors {
+                    has_ibgp |= n.ibgp;
+                    has_ebgp |= !n.ibgp;
+                }
+            }
+            has_ospf |= d.ospf.is_some();
+            has_static |= !d.static_routes.is_empty();
+        }
+        assert!(has_ibgp && has_ebgp && has_ospf && has_static);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = wan(WanParams::default());
+        let b = wan(WanParams::default());
+        assert_eq!(a, b);
+    }
+}

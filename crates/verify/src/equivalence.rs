@@ -1,0 +1,403 @@
+//! Executable CP-equivalence: the bisimulation check of §2/§4, run on
+//! actual solutions.
+//!
+//! Given a concrete network, a destination class, and the abstraction
+//! produced for it, this module solves both SRPs and checks:
+//!
+//! * **label-equivalence** — `h(L(u)) = L̂(f(u))`, where `h` erases the
+//!   concrete identity of path nodes (keeping protocol, local preference,
+//!   communities, path *length*, MED and administrative kind — every field
+//!   the comparison relation observes);
+//! * **fwd-equivalence** — `u` forwards into block `B` iff `f(u)` forwards
+//!   into a copy of `B`.
+//!
+//! For BGP-split blocks the node abstraction `f` is *solution-dependent*
+//! (paper §4.3): a concrete member maps to whichever copy exhibits its
+//! behavior. The check therefore matches each block's set of concrete
+//! behaviors against its copies' behaviors, and — because the abstract
+//! network may itself have several stable solutions — retries abstract
+//! activation orders until one matches (CP-equivalence promises only that
+//! *some* abstract solution corresponds).
+
+use bonsai_config::{BuiltTopology, Community, NetworkConfig};
+use bonsai_core::abstraction::AbstractNetwork;
+use bonsai_core::algorithm::Abstraction;
+use bonsai_net::partition::BlockId;
+use bonsai_net::NodeId;
+use bonsai_srp::instance::{EcDest, MultiProtocol, RibAttr};
+use bonsai_srp::solver::{solve_with_order, SolverOptions};
+use bonsai_srp::{Solution, Srp};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Why CP-equivalence checking failed.
+#[derive(Clone, Debug)]
+pub enum EquivalenceError {
+    /// The concrete instance did not converge.
+    ConcreteDiverged(String),
+    /// The abstract instance did not converge.
+    AbstractDiverged(String),
+    /// No abstract solution (over the tried activation orders) matched the
+    /// concrete solution's behaviors.
+    NoMatchingSolution {
+        /// Human-readable mismatch report for the closest attempt.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for EquivalenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EquivalenceError::ConcreteDiverged(e) => write!(f, "concrete diverged: {e}"),
+            EquivalenceError::AbstractDiverged(e) => write!(f, "abstract diverged: {e}"),
+            EquivalenceError::NoMatchingSolution { detail } => {
+                write!(f, "no abstract solution matches: {detail}")
+            }
+        }
+    }
+}
+
+/// The observable content of a label under the attribute abstraction `h`:
+/// everything except concrete node identities in the path.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum HLabel {
+    /// No route.
+    Bottom,
+    /// A static route.
+    Static,
+    /// A BGP route: `(lp, communities, path length, med, from_ibgp)`.
+    Bgp(u32, Vec<Community>, usize, u32, bool),
+    /// An OSPF route: `(cost, inter_area)`.
+    Ospf(u32, bool),
+}
+
+impl HLabel {
+    /// Applies `h` to a label. `keep` restricts the observed communities
+    /// to the modeled set (the unused-tag-stripping `h` of §8); `None`
+    /// keeps them all.
+    fn of(label: Option<&RibAttr>, keep: Option<&BTreeSet<Community>>) -> HLabel {
+        match label {
+            None => HLabel::Bottom,
+            Some(RibAttr::Static) => HLabel::Static,
+            Some(RibAttr::Bgp(a)) => HLabel::Bgp(
+                a.lp,
+                a.comms
+                    .iter()
+                    .copied()
+                    .filter(|c| keep.map_or(true, |k| k.contains(c)))
+                    .collect(),
+                a.path.len(),
+                a.med,
+                a.from_ibgp,
+            ),
+            Some(RibAttr::Ospf(o)) => HLabel::Ospf(o.cost, o.inter_area),
+        }
+    }
+}
+
+/// A node's observable behavior in a solution: the `h`-image of its set
+/// of ≈-minimal choices (labels it may equally well hold — comparing the
+/// whole set makes the check independent of how ties were broken; this is
+/// the paper's *choice-equivalence*, Definition A.1, restricted to minimal
+/// elements) plus the set of blocks it forwards into.
+type Behavior = (BTreeSet<HLabel>, BTreeSet<u32>);
+
+/// The ≈-minimal choice set of a node under a solution, as `h`-labels.
+/// Origins contribute their pinned label; unrouted nodes the empty set.
+fn minimal_hlabels<P: bonsai_srp::Protocol<Attr = RibAttr>>(
+    srp: &Srp<'_, P>,
+    solution: &Solution<RibAttr>,
+    u: NodeId,
+    keep: Option<&BTreeSet<Community>>,
+) -> BTreeSet<HLabel> {
+    let mut out = BTreeSet::new();
+    match solution.label(u) {
+        None => {}
+        Some(label) if srp.is_origin(u) => {
+            out.insert(HLabel::of(Some(label), keep));
+        }
+        Some(label) => {
+            for (_, a) in srp.choices(&solution.labels, u) {
+                if srp.equally_good(&a, label) {
+                    out.insert(HLabel::of(Some(&a), keep));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn concrete_behaviors(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    ec: &EcDest,
+    solution: &Solution<RibAttr>,
+    abstraction: &Abstraction,
+    keep: Option<&BTreeSet<Community>>,
+) -> BTreeMap<BlockId, BTreeSet<Behavior>> {
+    let proto = MultiProtocol::build(network, topo, ec);
+    let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
+    let srp = Srp::with_origins(&topo.graph, origins, proto);
+    let mut map: BTreeMap<BlockId, BTreeSet<Behavior>> = BTreeMap::new();
+    for u in topo.graph.nodes() {
+        let block = abstraction.role_of(u);
+        let labels = minimal_hlabels(&srp, solution, u, keep);
+        let fwd_blocks: BTreeSet<u32> = solution
+            .fwd(u)
+            .iter()
+            .map(|&e| abstraction.role_of(topo.graph.target(e)).0)
+            .collect();
+        map.entry(block).or_default().insert((labels, fwd_blocks));
+    }
+    map
+}
+
+fn abstract_behaviors(
+    abs: &AbstractNetwork,
+    solution: &Solution<RibAttr>,
+    keep: Option<&BTreeSet<Community>>,
+) -> BTreeMap<BlockId, BTreeSet<Behavior>> {
+    let proto = MultiProtocol::build(&abs.network, &abs.topo, &abs.ec);
+    let origins: Vec<NodeId> = abs.ec.origins.iter().map(|(n, _)| *n).collect();
+    let srp = Srp::with_origins(&abs.topo.graph, origins, proto);
+    let mut map: BTreeMap<BlockId, BTreeSet<Behavior>> = BTreeMap::new();
+    for n in abs.topo.graph.nodes() {
+        let (block, _copy) = abs.copy_of_node[n.index()];
+        let labels = minimal_hlabels(&srp, solution, n, keep);
+        let fwd_blocks: BTreeSet<u32> = solution
+            .fwd(n)
+            .iter()
+            .map(|&e| abs.copy_of_node[abs.topo.graph.target(e).index()].0 .0)
+            .collect();
+        map.entry(block).or_default().insert((labels, fwd_blocks));
+    }
+    map
+}
+
+/// Checks CP-equivalence of a concrete solution against the abstract
+/// network, trying up to `orders` abstract activation orders.
+///
+/// Returns `Ok(())` when some abstract solution is label- and
+/// fwd-equivalent to the given concrete solution (modulo `h` and the
+/// copy assignment).
+#[allow(clippy::too_many_arguments)]
+pub fn check_solution_equivalence(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    ec: &EcDest,
+    concrete_solution: &Solution<RibAttr>,
+    abstraction: &Abstraction,
+    abs: &AbstractNetwork,
+    orders: usize,
+    keep: Option<&BTreeSet<Community>>,
+) -> Result<(), EquivalenceError> {
+    let concrete = concrete_behaviors(network, topo, ec, concrete_solution, abstraction, keep);
+
+    let abs_origins: Vec<NodeId> = abs.ec.origins.iter().map(|(n, _)| *n).collect();
+    let nodes: Vec<NodeId> = abs.topo.graph.nodes().collect();
+    let mut last_detail = String::new();
+    let mut seen: BTreeSet<Vec<Option<String>>> = BTreeSet::new();
+
+    for rot in 0..orders.max(1) {
+        let proto = MultiProtocol::build(&abs.network, &abs.topo, &abs.ec);
+        let srp = Srp::with_origins(&abs.topo.graph, abs_origins.clone(), proto);
+        let mut order = nodes.clone();
+        order.rotate_left(rot % nodes.len().max(1));
+        if rot / nodes.len().max(1) % 2 == 1 {
+            order.reverse();
+        }
+        let abs_solution = match solve_with_order(&srp, &order, SolverOptions::default()) {
+            Ok(s) => s,
+            Err(e) => return Err(EquivalenceError::AbstractDiverged(e.to_string())),
+        };
+        // Dedup identical abstract solutions cheaply.
+        let fingerprint: Vec<Option<String>> = abs_solution
+            .labels
+            .iter()
+            .map(|l| l.as_ref().map(|a| format!("{a:?}")))
+            .collect();
+        if !seen.insert(fingerprint) {
+            continue;
+        }
+
+        let abstract_b = abstract_behaviors(abs, &abs_solution, keep);
+        match behaviors_match(&concrete, &abstract_b) {
+            Ok(()) => return Ok(()),
+            Err(detail) => last_detail = detail,
+        }
+    }
+    Err(EquivalenceError::NoMatchingSolution {
+        detail: last_detail,
+    })
+}
+
+/// Concrete block behaviors must coincide with the copies' behaviors:
+/// every concrete behavior is realized by a copy (label- and
+/// fwd-equivalence for some refinement `f_r`), and no copy exhibits a
+/// behavior no concrete member has (onto-ness of `f_r`, adjusted as in
+/// Theorem 4.5: spare copies may duplicate an existing behavior).
+fn behaviors_match(
+    concrete: &BTreeMap<BlockId, BTreeSet<Behavior>>,
+    abstract_b: &BTreeMap<BlockId, BTreeSet<Behavior>>,
+) -> Result<(), String> {
+    for (block, cset) in concrete {
+        let Some(aset) = abstract_b.get(block) else {
+            return Err(format!("abstract network lacks block {block:?}"));
+        };
+        for b in cset {
+            if !aset.contains(b) {
+                return Err(format!(
+                    "block {block:?}: concrete behavior {b:?} not realized by any copy \
+                     (abstract behaviors: {aset:?})"
+                ));
+            }
+        }
+        for b in aset {
+            if !cset.contains(b) {
+                return Err(format!(
+                    "block {block:?}: abstract copy behavior {b:?} has no concrete witness \
+                     (concrete behaviors: {cset:?})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// End-to-end CP-equivalence check for one destination class: solves the
+/// concrete network under `concrete_orders` different activation orders
+/// and requires every resulting solution to have a matching abstract
+/// solution.
+pub fn check_cp_equivalence(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    ec: &EcDest,
+    abstraction: &Abstraction,
+    abs: &AbstractNetwork,
+    concrete_orders: usize,
+    abstract_orders: usize,
+) -> Result<(), EquivalenceError> {
+    check_cp_equivalence_under_h(
+        network,
+        topo,
+        ec,
+        abstraction,
+        abs,
+        concrete_orders,
+        abstract_orders,
+        false,
+    )
+}
+
+/// [`check_cp_equivalence`] with an explicit choice of the attribute
+/// abstraction `h`: with `strip_unused_communities`, labels are compared
+/// modulo communities no configuration ever matches (the `h` the paper
+/// uses for its data-center study).
+#[allow(clippy::too_many_arguments)]
+pub fn check_cp_equivalence_under_h(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    ec: &EcDest,
+    abstraction: &Abstraction,
+    abs: &AbstractNetwork,
+    concrete_orders: usize,
+    abstract_orders: usize,
+    strip_unused_communities: bool,
+) -> Result<(), EquivalenceError> {
+    let keep: Option<BTreeSet<Community>> = strip_unused_communities.then(|| {
+        bonsai_core::policy_bdd::PolicyCtx::from_network(network, true)
+            .communities
+            .into_iter()
+            .collect()
+    });
+    let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
+    let nodes: Vec<NodeId> = topo.graph.nodes().collect();
+    for rot in 0..concrete_orders.max(1) {
+        let proto = MultiProtocol::build(network, topo, ec);
+        let srp = Srp::with_origins(&topo.graph, origins.clone(), proto);
+        let mut order = nodes.clone();
+        order.rotate_left(rot % nodes.len().max(1));
+        if rot / nodes.len().max(1) % 2 == 1 {
+            order.reverse();
+        }
+        let solution = solve_with_order(&srp, &order, SolverOptions::default())
+            .map_err(|e| EquivalenceError::ConcreteDiverged(e.to_string()))?;
+        check_solution_equivalence(
+            network,
+            topo,
+            ec,
+            &solution,
+            abstraction,
+            abs,
+            abstract_orders,
+            keep.as_ref(),
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_core::compress::{compress, CompressOptions};
+    use bonsai_srp::papernets;
+
+    fn check_network(net: &NetworkConfig) {
+        let topo = BuiltTopology::build(net).unwrap();
+        let report = compress(net, CompressOptions::default());
+        for ec in &report.per_ec {
+            let ec_dest = ec.ec.to_ec_dest();
+            check_cp_equivalence(
+                net,
+                &topo,
+                &ec_dest,
+                &ec.abstraction,
+                &ec.abstract_network,
+                8,
+                16,
+            )
+            .unwrap_or_else(|e| panic!("CP-equivalence failed for {}: {e}", ec.ec.rep));
+        }
+    }
+
+    #[test]
+    fn figure1_cp_equivalent() {
+        check_network(&papernets::figure1_rip());
+    }
+
+    #[test]
+    fn figure2_gadget_cp_equivalent() {
+        check_network(&papernets::figure2_gadget());
+    }
+
+    #[test]
+    fn figure5_cp_equivalent() {
+        check_network(&papernets::figure5_bgp());
+    }
+
+    /// The naive gadget abstraction of Figure 2(b) — all three b's merged
+    /// into ONE copy — must fail the equivalence check (it cannot express
+    /// the direct/indirect behavior split).
+    #[test]
+    fn naive_gadget_abstraction_fails() {
+        let net = papernets::figure2_gadget();
+        let topo = BuiltTopology::build(&net).unwrap();
+        let report = compress(&net, CompressOptions::default());
+        let ec = &report.per_ec[0];
+        let ec_dest = ec.ec.to_ec_dest();
+
+        // Sabotage: force one copy for every block (Figure 2(b)).
+        let mut naive = ec.abstraction.clone();
+        for c in naive.copies.iter_mut() {
+            *c = 1;
+        }
+        let naive_abs = bonsai_core::abstraction::build_abstract_network(
+            &net, &topo, &ec_dest, &naive,
+        );
+        let result =
+            check_cp_equivalence(&net, &topo, &ec_dest, &naive, &naive_abs, 4, 16);
+        assert!(
+            result.is_err(),
+            "the unsound single-copy abstraction must be rejected"
+        );
+    }
+}

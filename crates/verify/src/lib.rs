@@ -1,0 +1,32 @@
+//! # bonsai-verify
+//!
+//! Property checking over concrete and compressed networks, plus the two
+//! analysis engines the paper's evaluation (§8) runs Bonsai in front of:
+//!
+//! * [`properties`] — the path properties CP-equivalence preserves (§4.4):
+//!   reachability, path length, black holes, multipath consistency,
+//!   waypointing, routing loops.
+//! * [`equivalence`] — an executable CP-equivalence oracle: solves the
+//!   concrete and abstract SRPs and checks label- and fwd-equivalence
+//!   modulo the attribute abstraction `h` (and modulo the
+//!   solution-dependent copy assignment of BGP-split nodes, §4.3).
+//! * [`sim_engine`] — the **Batfish substitute**: simulates the control
+//!   plane per destination class, derives the data plane (with ACLs), and
+//!   answers reachability queries.
+//! * [`search_engine`] — the **Minesweeper substitute**: checks a property
+//!   over *many stable solutions* by re-solving under systematically
+//!   varied activation orders, with wall-clock and memory budgets that
+//!   report `Timeout` / `OutOfMemory` like the paper's 10-minute limit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod equivalence;
+pub mod properties;
+pub mod search_engine;
+pub mod sim_engine;
+
+pub use equivalence::{check_cp_equivalence, check_cp_equivalence_under_h, EquivalenceError};
+pub use properties::{Reachability, SolutionAnalysis};
+pub use search_engine::{SearchBudget, SearchOutcome};
+pub use sim_engine::SimEngine;

@@ -1,0 +1,389 @@
+//! The path properties preserved by CP-equivalence (paper §4.4).
+//!
+//! All checkers operate on an SRP [`Solution`]'s forwarding relation, so
+//! they run unchanged on concrete and abstract networks — which is the
+//! whole point of compression: ask the small network, trust the answer for
+//! the big one.
+
+use bonsai_net::{EdgeId, Graph, NodeId};
+use bonsai_srp::Solution;
+use std::collections::BTreeSet;
+
+/// Where forwarding from a node can end up.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Reachability {
+    /// Every forwarding path reaches an origin.
+    AllPaths,
+    /// Some paths reach an origin, others black-hole or loop.
+    SomePaths,
+    /// No forwarding path reaches an origin.
+    None,
+}
+
+/// Forwarding-graph analysis of one solution.
+pub struct SolutionAnalysis<'a, A> {
+    graph: &'a Graph,
+    solution: &'a Solution<A>,
+    origins: BTreeSet<NodeId>,
+    /// Per node: (reaches on some path, drops on some path), memoized.
+    reach: Vec<Option<(bool, bool)>>,
+}
+
+impl<'a, A> SolutionAnalysis<'a, A> {
+    /// Creates the analysis for a solved instance.
+    ///
+    /// Reachability is computed exactly via the strongly connected
+    /// components of the forwarding graph: all nodes of one SCC can reach
+    /// each other, so they share their `(some path reaches, some path
+    /// drops-or-loops)` classification, and a non-trivial SCC means every
+    /// member has a looping path.
+    pub fn new(graph: &'a Graph, solution: &'a Solution<A>, origins: &[NodeId]) -> Self {
+        let origins: BTreeSet<NodeId> = origins.iter().copied().collect();
+        let n = graph.node_count();
+
+        // Tarjan SCC over the forwarding graph (iterative).
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut comp = vec![usize::MAX; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut comp_count = 0usize;
+        // Explicit DFS frames: (node, next-successor position).
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&mut (u, ref mut pos)) = frames.last_mut() {
+                if *pos == 0 {
+                    index[u] = next_index;
+                    low[u] = next_index;
+                    next_index += 1;
+                    stack.push(u);
+                    on_stack[u] = true;
+                }
+                let fwd = &solution.fwd[u];
+                if *pos < fwd.len() {
+                    let v = graph.target(fwd[*pos]).index();
+                    *pos += 1;
+                    if index[v] == usize::MAX {
+                        frames.push((v, 0));
+                    } else if on_stack[v] {
+                        low[u] = low[u].min(index[v]);
+                    }
+                } else {
+                    if low[u] == index[u] {
+                        loop {
+                            let w = stack.pop().unwrap();
+                            on_stack[w] = false;
+                            comp[w] = comp_count;
+                            if w == u {
+                                break;
+                            }
+                        }
+                        comp_count += 1;
+                    }
+                    frames.pop();
+                    if let Some(&mut (p, _)) = frames.last_mut() {
+                        low[p] = low[p].min(low[u]);
+                    }
+                }
+            }
+        }
+
+        // Tarjan emits components in reverse topological order of the
+        // condensation (successors before predecessors), so a single
+        // forward pass over components 0..comp_count propagates
+        // reachability from sinks upward.
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); comp_count];
+        for u in 0..n {
+            members[comp[u]].push(u);
+        }
+        let mut comp_reach = vec![false; comp_count];
+        let mut comp_drop = vec![false; comp_count];
+        for c in 0..comp_count {
+            let nontrivial = members[c].len() > 1;
+            let mut some_reach = false;
+            let mut some_drop = nontrivial; // a cycle is a non-delivering path
+            for &u in &members[c] {
+                if origins.contains(&NodeId(u as u32)) {
+                    some_reach = true;
+                    continue;
+                }
+                if solution.fwd[u].is_empty() {
+                    some_drop = true; // black hole / no route
+                }
+                for &e in &solution.fwd[u] {
+                    let v = graph.target(e).index();
+                    if comp[v] != c {
+                        some_reach |= comp_reach[comp[v]];
+                        some_drop |= comp_drop[comp[v]];
+                    }
+                }
+            }
+            comp_reach[c] = some_reach;
+            comp_drop[c] = some_drop;
+        }
+
+        let reach = (0..n)
+            .map(|u| Some((comp_reach[comp[u]], comp_drop[comp[u]])))
+            .collect();
+
+        SolutionAnalysis {
+            graph,
+            solution,
+            origins,
+            reach,
+        }
+    }
+
+    /// Reachability classification of `u` toward the destination.
+    pub fn reachability(&self, u: NodeId) -> Reachability {
+        match self.reach[u.index()].expect("precomputed") {
+            (true, false) => Reachability::AllPaths,
+            (true, true) => Reachability::SomePaths,
+            (false, _) => Reachability::None,
+        }
+    }
+
+    /// True if `u` can reach the destination on at least one path.
+    pub fn can_reach(&self, u: NodeId) -> bool {
+        self.reach[u.index()].expect("precomputed").0
+    }
+
+    /// Multipath consistency (§4.4): traffic from `u` is delivered on some
+    /// path but dropped on another — the inconsistency Bonsai preserves.
+    pub fn multipath_inconsistent(&self, u: NodeId) -> bool {
+        self.reachability(u) == Reachability::SomePaths
+    }
+
+    /// True if `u` is labeled but forwards into a black hole on some path
+    /// (a node with a route whose forwarding set is empty).
+    pub fn black_holes_from(&self, u: NodeId) -> bool {
+        self.solution.labels[u.index()].is_some() && self.reach[u.index()].unwrap().1
+    }
+
+    /// All forwarding-path lengths from `u` to an origin, up to `cap`
+    /// paths; `None` when a loop makes lengths unbounded.
+    pub fn path_lengths(&self, u: NodeId, cap: usize) -> Option<BTreeSet<usize>> {
+        let mut lengths = BTreeSet::new();
+        let mut stack: Vec<(NodeId, usize)> = vec![(u, 0)];
+        let mut visited_budget = cap * self.graph.node_count().max(16);
+        let mut path: Vec<NodeId> = Vec::new();
+        // DFS with explicit path for loop detection.
+        fn go<A>(
+            a: &SolutionAnalysis<'_, A>,
+            u: NodeId,
+            depth: usize,
+            path: &mut Vec<NodeId>,
+            lengths: &mut BTreeSet<usize>,
+            budget: &mut usize,
+        ) -> bool {
+            if *budget == 0 {
+                return true; // budget exhausted: treat as unbounded
+            }
+            *budget -= 1;
+            if a.origins.contains(&u) {
+                lengths.insert(depth);
+                return false;
+            }
+            if path.contains(&u) {
+                return true; // loop
+            }
+            path.push(u);
+            let mut looped = false;
+            for &e in &a.solution.fwd[u.index()] {
+                looped |= go(a, a.graph.target(e), depth + 1, path, lengths, budget);
+            }
+            path.pop();
+            looped
+        }
+        let looped = {
+            let (u, d) = stack.pop().unwrap();
+            go(self, u, d, &mut path, &mut lengths, &mut visited_budget)
+        };
+        if looped {
+            None
+        } else {
+            Some(lengths)
+        }
+    }
+
+    /// True if every delivering path from `u` passes through one of the
+    /// waypoints before reaching an origin (§4.4 way-pointing). Nodes whose
+    /// traffic never arrives are vacuously waypointed.
+    pub fn waypointed(&self, u: NodeId, waypoints: &BTreeSet<NodeId>) -> bool {
+        fn go<A>(
+            a: &SolutionAnalysis<'_, A>,
+            u: NodeId,
+            waypoints: &BTreeSet<NodeId>,
+            path: &mut Vec<NodeId>,
+        ) -> bool {
+            if waypoints.contains(&u) {
+                return true;
+            }
+            if a.origins.contains(&u) {
+                return false; // reached destination without a waypoint
+            }
+            if path.contains(&u) {
+                return true; // loops never deliver: vacuous
+            }
+            path.push(u);
+            let ok = a.solution.fwd[u.index()]
+                .iter()
+                .all(|&e| go(a, a.graph.target(e), waypoints, path));
+            path.pop();
+            ok
+        }
+        go(self, u, waypoints, &mut Vec::new())
+    }
+
+    /// True if the forwarding relation contains a cycle anywhere.
+    pub fn has_routing_loop(&self) -> bool {
+        // Kahn-style: repeatedly strip nodes with no remaining fwd edges.
+        let n = self.graph.node_count();
+        let mut out_deg: Vec<usize> = (0..n).map(|u| self.solution.fwd[u].len()).collect();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for u in 0..n {
+            for &e in &self.solution.fwd[u] {
+                preds[self.graph.target(e).index()].push(u);
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&u| out_deg[u] == 0).collect();
+        let mut removed = vec![false; n];
+        while let Some(u) = queue.pop() {
+            if removed[u] {
+                continue;
+            }
+            removed[u] = true;
+            for &p in &preds[u] {
+                if !removed[p] {
+                    out_deg[p] -= 1;
+                    if out_deg[p] == 0 {
+                        queue.push(p);
+                    }
+                }
+            }
+        }
+        removed.iter().any(|r| !r)
+    }
+
+    /// Edges used for forwarding anywhere in the solution.
+    pub fn used_edges(&self) -> BTreeSet<EdgeId> {
+        self.solution.fwd.iter().flatten().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_config::BuiltTopology;
+    use bonsai_srp::instance::{EcDest, MultiProtocol, OriginProto};
+    use bonsai_srp::{papernets, solve, Srp};
+
+    fn analyse(
+        net: &bonsai_config::NetworkConfig,
+        dest: &str,
+    ) -> (BuiltTopology, Solution<bonsai_srp::instance::RibAttr>, NodeId) {
+        let topo = BuiltTopology::build(net).unwrap();
+        let d = topo.graph.node_by_name(dest).unwrap();
+        let ec = EcDest::new(papernets::DEST_PREFIX.parse().unwrap(), vec![(d, OriginProto::Bgp)]);
+        let proto = MultiProtocol::build(net, &topo, &ec);
+        let srp = Srp::with_origins(&topo.graph, vec![d], proto);
+        let sol = solve(&srp).unwrap();
+        (topo, sol, d)
+    }
+
+    #[test]
+    fn figure1_everything_reaches() {
+        let net = papernets::figure1_rip();
+        let (topo, sol, d) = analyse(&net, "d");
+        let a = SolutionAnalysis::new(&topo.graph, &sol, &[d]);
+        for u in topo.graph.nodes() {
+            assert_eq!(a.reachability(u), Reachability::AllPaths);
+        }
+        assert!(!a.has_routing_loop());
+        // a's paths to d have length 2 along both branches.
+        let an = topo.graph.node_by_name("a").unwrap();
+        assert_eq!(
+            a.path_lengths(an, 16).unwrap(),
+            [2usize].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn figure6_black_hole_detected() {
+        // Static chain a → b1 (no route at b1): a forwards into a hole.
+        let net = papernets::figure6_static();
+        let topo = BuiltTopology::build(&net).unwrap();
+        let d = topo.graph.node_by_name("d").unwrap();
+        let ec = EcDest::new(papernets::DEST_PREFIX.parse().unwrap(), vec![(d, OriginProto::Bgp)]);
+        let proto = MultiProtocol::build(&net, &topo, &ec);
+        let srp = Srp::with_origins(&topo.graph, vec![d], proto);
+        let sol = solve(&srp).unwrap();
+        let a = SolutionAnalysis::new(&topo.graph, &sol, &[d]);
+        let node_a = topo.graph.node_by_name("a").unwrap();
+        let b2 = topo.graph.node_by_name("b2").unwrap();
+        assert_eq!(a.reachability(node_a), Reachability::None);
+        assert!(a.black_holes_from(node_a));
+        assert_eq!(a.reachability(b2), Reachability::AllPaths);
+    }
+
+    #[test]
+    fn gadget_waypointing() {
+        let net = papernets::figure2_gadget();
+        let (topo, sol, d) = analyse(&net, "d");
+        let a = SolutionAnalysis::new(&topo.graph, &sol, &[d]);
+        let node_a = topo.graph.node_by_name("a").unwrap();
+        // Traffic from `a` always passes through whichever b routes direct.
+        let bs: BTreeSet<NodeId> = ["b1", "b2", "b3"]
+            .iter()
+            .map(|n| topo.graph.node_by_name(n).unwrap())
+            .collect();
+        assert!(a.waypointed(node_a, &bs));
+        // But it is not waypointed through a specific single b in general:
+        // exactly one b is on a's path.
+        let on_path = bs
+            .iter()
+            .filter(|&&b| a.waypointed(node_a, &[b].into_iter().collect()))
+            .count();
+        assert_eq!(on_path, 1);
+        assert!(!a.has_routing_loop());
+    }
+
+    #[test]
+    fn static_loop_detected() {
+        // Two nodes statically pointing at each other.
+        let net = bonsai_config::parse_network(
+            "
+device a
+interface x
+ip route 10.0.0.0/24 x
+end
+device b
+interface x
+interface y
+ip route 10.0.0.0/24 x
+end
+device d
+interface y
+end
+link a x b x
+link b y d y
+",
+        )
+        .unwrap();
+        let topo = BuiltTopology::build(&net).unwrap();
+        let d = topo.graph.node_by_name("d").unwrap();
+        let ec = EcDest::new("10.0.0.0/24".parse().unwrap(), vec![(d, OriginProto::Bgp)]);
+        let proto = MultiProtocol::build(&net, &topo, &ec);
+        let srp = Srp::with_origins(&topo.graph, vec![d], proto);
+        let sol = solve(&srp).unwrap();
+        let a = SolutionAnalysis::new(&topo.graph, &sol, &[d]);
+        assert!(a.has_routing_loop());
+        let node_a = topo.graph.node_by_name("a").unwrap();
+        assert_eq!(a.reachability(node_a), Reachability::None);
+        assert!(a.path_lengths(node_a, 4).is_none());
+    }
+}

@@ -1,0 +1,273 @@
+//! The exhaustive-solution search engine: our stand-in for Minesweeper
+//! (paper §8, Figure 12).
+//!
+//! Minesweeper encodes the stable-routing constraints into SMT and decides
+//! properties over **all** stable solutions. This engine approaches the
+//! same question operationally: it re-solves each SRP under many distinct
+//! activation orders (rotations, reversals and pseudo-random shuffles),
+//! deduplicates the stable solutions found, and checks the property on
+//! each. For deterministic instances (single solution) this converges
+//! immediately; for instances with many solutions — BGP multipath ties,
+//! loop-prevention races like the Figure 2 gadget — the engine keeps
+//! finding and checking new solutions.
+//!
+//! Like the paper's runs, the engine operates under a **budget**: a wall
+//! clock limit (the paper used 10 minutes) and a memory cap on the stored
+//! solution set (the paper's full-mesh runs died with OOM). Exceeding
+//! either reports [`SearchOutcome::Timeout`] / [`SearchOutcome::OutOfMemory`]
+//! instead of an answer, which is precisely the failure mode the
+//! compressed networks avoid.
+
+use bonsai_config::{BuiltTopology, NetworkConfig};
+use bonsai_core::ecs::DestEc;
+use bonsai_net::NodeId;
+use bonsai_srp::instance::{MultiProtocol, RibAttr};
+use bonsai_srp::solver::{solve_with_order, SolverOptions};
+use bonsai_srp::{Solution, Srp};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Resource budget for a verification run.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchBudget {
+    /// Wall-clock limit for the whole query.
+    pub wall: Duration,
+    /// Cap on retained solution-set memory, in label cells
+    /// (`solutions × nodes`). Exceeding it reports out-of-memory.
+    pub max_label_cells: usize,
+    /// Distinct activation orders tried per SRP instance.
+    pub orders: usize,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        SearchBudget {
+            wall: Duration::from_secs(600), // the paper's 10-minute timeout
+            max_label_cells: 50_000_000,
+            orders: 12,
+        }
+    }
+}
+
+/// Outcome of a budgeted verification query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SearchOutcome<T> {
+    /// The query completed within budget.
+    Completed(T),
+    /// The wall-clock budget was exhausted.
+    Timeout,
+    /// The solution-set memory cap was exceeded.
+    OutOfMemory,
+    /// An SRP failed to converge under some order.
+    Diverged(String),
+}
+
+impl<T> SearchOutcome<T> {
+    /// Unwraps a completed outcome (panics otherwise; test helper).
+    pub fn unwrap(self) -> T {
+        match self {
+            SearchOutcome::Completed(t) => t,
+            SearchOutcome::Timeout => panic!("query did not complete: timeout"),
+            SearchOutcome::OutOfMemory => panic!("query did not complete: out of memory"),
+            SearchOutcome::Diverged(e) => panic!("query did not complete: diverged ({e})"),
+        }
+    }
+
+    /// True if the query finished within budget.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, SearchOutcome::Completed(_))
+    }
+}
+
+/// A tiny deterministic xorshift generator for shuffle orders (keeps this
+/// crate dependency-free; quality is irrelevant, coverage diversity is
+/// what matters).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Enumerates (a sample of) the stable solutions of one class's SRP and
+/// invokes `visit` on each distinct one. Stops early when the budget runs
+/// out.
+pub fn for_each_solution<F>(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    ec: &DestEc,
+    budget: SearchBudget,
+    deadline: Instant,
+    visit: &mut F,
+) -> SearchOutcome<usize>
+where
+    F: FnMut(&Solution<RibAttr>),
+{
+    let ec_dest = ec.to_ec_dest();
+    let origins: Vec<NodeId> = ec_dest.origins.iter().map(|(n, _)| *n).collect();
+    let nodes: Vec<NodeId> = topo.graph.nodes().collect();
+    let n = nodes.len();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut rng = XorShift(0x9e3779b97f4a7c15 ^ (ec.rep.addr().0 as u64) << 8 | ec.rep.len() as u64);
+    let mut distinct = 0usize;
+
+    for trial in 0..budget.orders.max(1) {
+        if Instant::now() >= deadline {
+            return SearchOutcome::Timeout;
+        }
+        let mut order = nodes.clone();
+        match trial % 3 {
+            0 => order.rotate_left(trial % n.max(1)),
+            1 => {
+                order.reverse();
+                order.rotate_left(trial % n.max(1));
+            }
+            _ => {
+                // Fisher-Yates with the deterministic generator.
+                for i in (1..n).rev() {
+                    let j = (rng.next() as usize) % (i + 1);
+                    order.swap(i, j);
+                }
+            }
+        }
+        let proto = MultiProtocol::build(network, topo, &ec_dest);
+        let srp = Srp::with_origins(&topo.graph, origins.clone(), proto);
+        let solution = match solve_with_order(&srp, &order, SolverOptions::default()) {
+            Ok(s) => s,
+            Err(e) => return SearchOutcome::Diverged(e.to_string()),
+        };
+        // Fingerprint for dedup (FNV over debug labels — cheap and stable).
+        let mut fp: u64 = 0xcbf29ce484222325;
+        for l in &solution.labels {
+            let s = format!("{l:?}");
+            for b in s.bytes() {
+                fp = (fp ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+        }
+        if seen.insert(fp) {
+            distinct += 1;
+            // Memory accounting: each retained solution costs n cells.
+            if distinct.saturating_mul(n) > budget.max_label_cells {
+                return SearchOutcome::OutOfMemory;
+            }
+            visit(&solution);
+        }
+    }
+    SearchOutcome::Completed(distinct)
+}
+
+/// All-pairs reachability over every class and every sampled solution —
+/// the Figure 12 query. Returns the number of `(node, class)` pairs that
+/// deliver in *every* sampled solution.
+pub fn all_pairs_reachability(
+    network: &NetworkConfig,
+    budget: SearchBudget,
+) -> SearchOutcome<usize> {
+    let deadline = Instant::now() + budget.wall;
+    let topo = match BuiltTopology::build(network) {
+        Ok(t) => t,
+        Err(e) => return SearchOutcome::Diverged(e.to_string()),
+    };
+    let ecs = bonsai_core::ecs::compute_ecs(network, &topo);
+    let n = topo.graph.node_count();
+    let mut always_reachable = 0usize;
+
+    for ec in &ecs {
+        if Instant::now() >= deadline {
+            return SearchOutcome::Timeout;
+        }
+        let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
+        let mut reach_all = vec![true; n];
+        let mut any_solution = false;
+        let outcome = for_each_solution(network, &topo, ec, budget, deadline, &mut |sol| {
+            any_solution = true;
+            let analysis = crate::properties::SolutionAnalysis::new(&topo.graph, sol, &origins);
+            for u in topo.graph.nodes() {
+                reach_all[u.index()] &= analysis.can_reach(u);
+            }
+        });
+        match outcome {
+            SearchOutcome::Completed(_) => {}
+            SearchOutcome::Timeout => return SearchOutcome::Timeout,
+            SearchOutcome::OutOfMemory => return SearchOutcome::OutOfMemory,
+            SearchOutcome::Diverged(e) => return SearchOutcome::Diverged(e),
+        }
+        if any_solution {
+            always_reachable += (0..n)
+                .filter(|&u| reach_all[u] && !origins.contains(&NodeId(u as u32)))
+                .count();
+        }
+    }
+    SearchOutcome::Completed(always_reachable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_srp::papernets;
+
+    #[test]
+    fn gadget_has_multiple_solutions() {
+        let net = papernets::figure2_gadget();
+        let topo = BuiltTopology::build(&net).unwrap();
+        let ecs = bonsai_core::ecs::compute_ecs(&net, &topo);
+        let budget = SearchBudget {
+            orders: 30,
+            ..Default::default()
+        };
+        let mut count = 0usize;
+        let outcome = for_each_solution(
+            &net,
+            &topo,
+            &ecs[0],
+            budget,
+            Instant::now() + Duration::from_secs(60),
+            &mut |_sol| count += 1,
+        );
+        let distinct = outcome.unwrap();
+        assert_eq!(distinct, count);
+        // The gadget has 3 stable solutions (one per direct router); the
+        // sampler must find at least 2 of them.
+        assert!(distinct >= 2, "found only {distinct} solutions");
+    }
+
+    #[test]
+    fn all_pairs_on_gadget_reaches_everywhere() {
+        let net = papernets::figure2_gadget();
+        let result = all_pairs_reachability(&net, SearchBudget::default()).unwrap();
+        // 4 non-origin nodes reach d in every solution.
+        assert_eq!(result, 4);
+    }
+
+    #[test]
+    fn tiny_time_budget_times_out() {
+        let net = papernets::figure2_gadget();
+        let budget = SearchBudget {
+            wall: Duration::ZERO,
+            ..Default::default()
+        };
+        assert_eq!(
+            all_pairs_reachability(&net, budget),
+            SearchOutcome::Timeout
+        );
+    }
+
+    #[test]
+    fn tiny_memory_budget_reports_oom() {
+        let net = papernets::figure2_gadget();
+        let budget = SearchBudget {
+            max_label_cells: 1,
+            ..Default::default()
+        };
+        assert_eq!(
+            all_pairs_reachability(&net, budget),
+            SearchOutcome::OutOfMemory
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! The simulation engine: our stand-in for Batfish (paper §8).
+//!
+//! Batfish "first simulates the control plane to produce the data plane and
+//! then … computes all possible packets that can traverse between source
+//! and destination nodes". This engine does exactly that on our stack: per
+//! destination equivalence class it solves the SRP (control plane), prunes
+//! the forwarding relation by the ACLs that apply to the class's packet
+//! range (data plane), and answers reachability queries over the result.
+
+use crate::properties::SolutionAnalysis;
+use bonsai_config::eval::acl_permits;
+use bonsai_config::{BuiltTopology, NetworkConfig};
+use bonsai_core::ecs::{compute_ecs, DestEc};
+use bonsai_net::prefix::Prefix;
+use bonsai_net::NodeId;
+use bonsai_srp::instance::{MultiProtocol, RibAttr};
+use bonsai_srp::solver::SolveError;
+use bonsai_srp::{solve, Solution, Srp};
+
+/// Control-plane simulation plus data-plane queries for one network.
+pub struct SimEngine<'a> {
+    network: &'a NetworkConfig,
+    /// The derived topology.
+    pub topo: BuiltTopology,
+    /// The destination equivalence classes of the network.
+    pub ecs: Vec<DestEc>,
+}
+
+/// Result of an all-pairs reachability computation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AllPairs {
+    /// Number of `(source node, class)` pairs where the source delivers to
+    /// the class's destination on every forwarding path.
+    pub delivered: usize,
+    /// Pairs where delivery happens on some but not all paths.
+    pub partial: usize,
+    /// Pairs with no delivering path.
+    pub unreachable: usize,
+}
+
+impl<'a> SimEngine<'a> {
+    /// Prepares the engine: builds the topology and the classes.
+    pub fn new(network: &'a NetworkConfig) -> Self {
+        let topo = BuiltTopology::build(network).expect("consistent topology");
+        let ecs = compute_ecs(network, &topo);
+        SimEngine { network, topo, ecs }
+    }
+
+    /// Simulates the control plane for one class.
+    pub fn solve_ec(&self, ec: &DestEc) -> Result<Solution<RibAttr>, SolveError> {
+        let ec_dest = ec.to_ec_dest();
+        let origins: Vec<NodeId> = ec_dest.origins.iter().map(|(n, _)| *n).collect();
+        let proto = MultiProtocol::build(self.network, &self.topo, &ec_dest);
+        let srp = Srp::with_origins(&self.topo.graph, origins, proto);
+        solve(&srp)
+    }
+
+    /// Derives the data-plane forwarding for a class: the control-plane
+    /// forwarding relation minus edges whose egress/ingress ACLs drop the
+    /// class's packets (paper §6: ACLs do not affect routing, only
+    /// delivery).
+    pub fn data_plane(&self, ec: &DestEc, solution: &Solution<RibAttr>) -> Solution<RibAttr> {
+        let range = ec.ranges.first().copied().unwrap_or(ec.rep);
+        let mut pruned = solution.clone();
+        for fwd in pruned.fwd.iter_mut() {
+            fwd.retain(|&e| self.edge_passes_acls(e, range));
+        }
+        pruned
+    }
+
+    fn edge_passes_acls(&self, e: bonsai_net::EdgeId, range: Prefix) -> bool {
+        let (u, v) = self.topo.graph.endpoints(e);
+        let du = &self.network.devices[u.index()];
+        let dv = &self.network.devices[v.index()];
+        let out_ok = du.interfaces[self.topo.egress(e)]
+            .acl_out
+            .as_deref()
+            .map(|n| du.acl(n).map(|a| acl_permits(a, range)).unwrap_or(false))
+            .unwrap_or(true);
+        let in_ok = dv.interfaces[self.topo.ingress(e)]
+            .acl_in
+            .as_deref()
+            .map(|n| dv.acl(n).map(|a| acl_permits(a, range)).unwrap_or(false))
+            .unwrap_or(true);
+        out_ok && in_ok
+    }
+
+    /// All-pairs reachability over every class: the Figure 12 workload.
+    pub fn all_pairs(&self) -> Result<AllPairs, SolveError> {
+        let mut result = AllPairs::default();
+        for ec in &self.ecs {
+            let solution = self.solve_ec(ec)?;
+            let data = self.data_plane(ec, &solution);
+            let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
+            let analysis = SolutionAnalysis::new(&self.topo.graph, &data, &origins);
+            for u in self.topo.graph.nodes() {
+                if origins.contains(&u) {
+                    continue;
+                }
+                match analysis.reachability(u) {
+                    crate::properties::Reachability::AllPaths => result.delivered += 1,
+                    crate::properties::Reachability::SomePaths => result.partial += 1,
+                    crate::properties::Reachability::None => result.unreachable += 1,
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// The Batfish query of §8: which destination prefixes originated at
+    /// `dst` can `src` deliver packets to? Returns the class
+    /// representatives that are reachable.
+    pub fn query_reachability(
+        &self,
+        src: &str,
+        dst: &str,
+    ) -> Result<Vec<Prefix>, SolveError> {
+        let src = self
+            .topo
+            .graph
+            .node_by_name(src)
+            .expect("source device exists");
+        let dst = self
+            .topo
+            .graph
+            .node_by_name(dst)
+            .expect("destination device exists");
+        let mut reachable = Vec::new();
+        for ec in &self.ecs {
+            if !ec.origins.iter().any(|(n, _)| *n == dst) {
+                continue;
+            }
+            let solution = self.solve_ec(ec)?;
+            let data = self.data_plane(ec, &solution);
+            let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
+            let analysis = SolutionAnalysis::new(&self.topo.graph, &data, &origins);
+            if analysis.can_reach(src) {
+                reachable.push(ec.rep);
+            }
+        }
+        Ok(reachable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_config::parse_network;
+
+    #[test]
+    fn all_pairs_on_gadget() {
+        let net = bonsai_srp::papernets::figure2_gadget();
+        let engine = SimEngine::new(&net);
+        assert_eq!(engine.ecs.len(), 1);
+        let result = engine.all_pairs().unwrap();
+        // 4 non-origin nodes, all of which deliver to d.
+        assert_eq!(result.delivered, 4);
+        assert_eq!(result.unreachable, 0);
+    }
+
+    #[test]
+    fn acl_blocks_data_plane_but_not_control_plane() {
+        // x originates; y's egress ACL toward x drops the prefix. y still
+        // *learns* the route (control plane) but cannot deliver.
+        let net = parse_network(
+            "
+device x
+interface i
+router bgp 1
+ network 10.0.0.0/24
+ neighbor i remote-as external
+end
+device y
+interface i
+ ip access-group BLOCK out
+ip access-list BLOCK deny 10.0.0.0/24
+ip access-list BLOCK permit any
+router bgp 2
+ neighbor i remote-as external
+end
+link x i y i
+",
+        )
+        .unwrap();
+        let engine = SimEngine::new(&net);
+        let ec = &engine.ecs[0];
+        let solution = engine.solve_ec(ec).unwrap();
+        let y = engine.topo.graph.node_by_name("y").unwrap();
+        assert!(solution.label(y).is_some(), "route learned");
+        assert_eq!(solution.fwd(y).len(), 1, "control plane forwards");
+        let data = engine.data_plane(ec, &solution);
+        assert!(data.fwd(y).is_empty(), "data plane filtered by ACL");
+        let result = engine.all_pairs().unwrap();
+        assert_eq!(result.delivered, 0);
+        assert_eq!(result.unreachable, 1);
+    }
+
+    #[test]
+    fn query_reachability_lists_prefixes() {
+        let net = parse_network(
+            "
+device a
+interface i
+router bgp 1
+ network 10.0.1.0/24
+ network 10.0.2.0/24
+ neighbor i remote-as external
+end
+device b
+interface i
+router bgp 2
+ neighbor i remote-as external
+end
+link a i b i
+",
+        )
+        .unwrap();
+        let engine = SimEngine::new(&net);
+        let reachable = engine.query_reachability("b", "a").unwrap();
+        assert_eq!(reachable.len(), 2);
+        // Nothing originates at b.
+        assert!(engine.query_reachability("a", "b").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! The `bonsai` command-line tool: compress a network configuration file.
+//!
+//! ```text
+//! bonsai compress <network.cfg> [--out <dir>] [--strip-unused-communities]
+//! bonsai roles    <network.cfg> [--strip-unused-communities] [--ignore-static]
+//! bonsai check    <network.cfg>          # verify CP-equivalence per class
+//! bonsai ecs      <network.cfg>          # list destination classes
+//! ```
+//!
+//! The input format is the vendor-independent dialect documented in
+//! `bonsai_config::parse` (`device <name> … end` blocks plus `link` lines).
+//! `compress` writes one abstract network per destination equivalence
+//! class (`<out>/<prefix>.cfg`) and prints a Table 1-style summary row.
+
+use bonsai::core::compress::{compress, CompressOptions};
+use bonsai::core::roles::{count_roles, RoleOptions};
+use bonsai::verify::equivalence::check_cp_equivalence_under_h;
+use bonsai_config::{parse_network, print_network, BuiltTopology};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("usage: bonsai <compress|roles|check|ecs> <network.cfg> [options]");
+        return ExitCode::from(2);
+    };
+    let Some(path) = args.get(1) else {
+        eprintln!("missing network file");
+        return ExitCode::from(2);
+    };
+    let strip = args.iter().any(|a| a == "--strip-unused-communities");
+    let ignore_static = args.iter().any(|a| a == "--ignore-static");
+    let out_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let network = match parse_network(&text) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let topo = match BuiltTopology::build(&network) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    let options = CompressOptions {
+        strip_unused_communities: strip,
+        ..Default::default()
+    };
+
+    match command.as_str() {
+        "ecs" => {
+            let ecs = bonsai::core::ecs::compute_ecs(&network, &topo);
+            println!("{} destination equivalence classes:", ecs.len());
+            for ec in &ecs {
+                let origins: Vec<&str> = ec
+                    .origins
+                    .iter()
+                    .map(|(n, _)| network.devices[n.index()].name.as_str())
+                    .collect();
+                println!(
+                    "  {} ({} range{}) originated at {origins:?}",
+                    ec.rep,
+                    ec.ranges.len(),
+                    if ec.ranges.len() == 1 { "" } else { "s" },
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "roles" => {
+            let n = count_roles(
+                &network,
+                RoleOptions {
+                    strip_unused_communities: strip,
+                    ignore_static_routes: ignore_static,
+                },
+            );
+            println!(
+                "{n} roles among {} devices{}{}",
+                network.devices.len(),
+                if strip { " (unused tags stripped)" } else { "" },
+                if ignore_static { " (static routes ignored)" } else { "" },
+            );
+            ExitCode::SUCCESS
+        }
+        "compress" => {
+            let report = compress(&network, options);
+            println!(
+                "{} devices / {} links -> {:.1}±{:.1} nodes, {:.1}±{:.1} links \
+                 ({:.2}x / {:.2}x) across {} classes; BDD {:.2}s, {:.4}s/EC",
+                report.concrete_nodes,
+                report.concrete_links,
+                report.mean_abstract_nodes(),
+                report.std_abstract_nodes(),
+                report.mean_abstract_links(),
+                report.std_abstract_links(),
+                report.node_ratio(),
+                report.link_ratio(),
+                report.num_ecs(),
+                report.bdd_time().as_secs_f64(),
+                report.compress_time_per_ec().as_secs_f64(),
+            );
+            if let Some(dir) = out_dir {
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    eprintln!("cannot create {}: {e}", dir.display());
+                    return ExitCode::from(1);
+                }
+                for ec in &report.per_ec {
+                    let file = dir.join(format!("{}.cfg", ec.ec.rep.to_string().replace('/', "_")));
+                    let body = print_network(&ec.abstract_network.network);
+                    if let Err(e) = std::fs::write(&file, body) {
+                        eprintln!("cannot write {}: {e}", file.display());
+                        return ExitCode::from(1);
+                    }
+                }
+                println!("wrote {} abstract networks to {}", report.num_ecs(), dir.display());
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let report = compress(&network, options);
+            let mut failures = 0usize;
+            for ec in &report.per_ec {
+                match check_cp_equivalence_under_h(
+                    &network,
+                    &topo,
+                    &ec.ec.to_ec_dest(),
+                    &ec.abstraction,
+                    &ec.abstract_network,
+                    4,
+                    16,
+                    strip,
+                ) {
+                    Ok(()) => {}
+                    Err(e) => {
+                        failures += 1;
+                        eprintln!("class {}: {e}", ec.ec.rep);
+                    }
+                }
+            }
+            if failures == 0 {
+                println!(
+                    "CP-equivalence verified for all {} classes",
+                    report.num_ecs()
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("{failures} classes FAILED");
+                ExitCode::from(1)
+            }
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            ExitCode::from(2)
+        }
+    }
+}

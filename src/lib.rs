@@ -1,0 +1,40 @@
+//! # bonsai
+//!
+//! Control-plane compression for network analysis — a from-scratch Rust
+//! reproduction of *Control Plane Compression* (Beckett, Gupta, Mahajan,
+//! Walker — SIGCOMM 2018) and its tool **Bonsai**.
+//!
+//! Bonsai shrinks a large network (topology + router configurations) into
+//! a small one whose control plane is **behaviorally equivalent**: every
+//! stable routing solution of the big network corresponds to one of the
+//! small network and vice versa, preserving reachability, path length,
+//! way-pointing, loop freedom and more. Analyses of any kind — simulation,
+//! emulation, verification — can then run on the small network instead.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`net`] — graphs, prefixes, prefix tries, partition refinement.
+//! * [`bdd`] — the hash-consed BDD package policies compile into.
+//! * [`config`] — the vendor-independent configuration IR + parser.
+//! * [`srp`] — the Stable Routing Problem: protocol models and solvers.
+//! * [`core`] — destination classes, policy BDDs, abstraction refinement.
+//! * [`verify`] — property checkers and the two verification engines.
+//! * [`topo`] — the paper's synthetic and "real" network generators.
+//!
+//! ```
+//! use bonsai::core::compress::{compress, CompressOptions};
+//! use bonsai::topo::{fattree, FattreePolicy};
+//!
+//! // A 20-router BGP fattree compresses to 6 nodes per destination.
+//! let net = fattree(4, FattreePolicy::ShortestPath);
+//! let report = compress(&net, CompressOptions::default());
+//! assert_eq!(report.mean_abstract_nodes(), 6.0);
+//! ```
+
+pub use bonsai_bdd as bdd;
+pub use bonsai_config as config;
+pub use bonsai_core as core;
+pub use bonsai_net as net;
+pub use bonsai_srp as srp;
+pub use bonsai_topo as topo;
+pub use bonsai_verify as verify;
