@@ -277,8 +277,16 @@ impl Bdd {
         let na = self.node(a);
         let nb = self.node(b);
         let var = na.var.min(nb.var);
-        let (a_lo, a_hi) = if na.var == var { (na.lo, na.hi) } else { (a, a) };
-        let (b_lo, b_hi) = if nb.var == var { (nb.lo, nb.hi) } else { (b, b) };
+        let (a_lo, a_hi) = if na.var == var {
+            (na.lo, na.hi)
+        } else {
+            (a, a)
+        };
+        let (b_lo, b_hi) = if nb.var == var {
+            (nb.lo, nb.hi)
+        } else {
+            (b, b)
+        };
         let lo = self.apply(op, a_lo, b_lo);
         let hi = self.apply(op, a_hi, b_hi);
         let result = self.mk(var, lo, hi);
@@ -445,7 +453,11 @@ impl Bdd {
             child_var - parent_var - 1
         }
         let mut memo = HashMap::new();
-        let root_var = if f.is_const() { nvars } else { self.node(f).var };
+        let root_var = if f.is_const() {
+            nvars
+        } else {
+            self.node(f).var
+        };
         go(self, f, nvars, &mut memo) << root_var
     }
 

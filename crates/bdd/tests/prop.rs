@@ -74,14 +74,14 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(5, 64, 3, |inner| {
         prop_oneof![
             inner.clone().prop_map(|x| Expr::Not(Box::new(x))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| Expr::And(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| Expr::Or(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| Expr::Xor(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, e)| Expr::Ite(Box::new(c), Box::new(t), Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::And(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::Or(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::Xor(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| Expr::Ite(
+                Box::new(c),
+                Box::new(t),
+                Box::new(e)
+            )),
         ]
     })
 }

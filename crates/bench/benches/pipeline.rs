@@ -15,16 +15,40 @@ fn bench_compress(c: &mut Criterion) {
     for k in [4usize, 8] {
         let net = fattree(k, FattreePolicy::ShortestPath);
         group.bench_with_input(BenchmarkId::new("fattree", k), &net, |b, net| {
-            b.iter(|| compress(net, CompressOptions { threads: 1, ..Default::default() }))
+            b.iter(|| {
+                compress(
+                    net,
+                    CompressOptions {
+                        threads: 1,
+                        ..Default::default()
+                    },
+                )
+            })
         });
     }
     let net = ring(64);
     group.bench_function("ring64", |b| {
-        b.iter(|| compress(&net, CompressOptions { threads: 1, ..Default::default() }))
+        b.iter(|| {
+            compress(
+                &net,
+                CompressOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+        })
     });
     let net = full_mesh(24);
     group.bench_function("mesh24", |b| {
-        b.iter(|| compress(&net, CompressOptions { threads: 1, ..Default::default() }))
+        b.iter(|| {
+            compress(
+                &net,
+                CompressOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+        })
     });
     group.finish();
 }

@@ -31,7 +31,10 @@ fn main() {
     println!(
         "reachability query {src} -> {dst} on {} routers / {} links",
         net.devices.len(),
-        bonsai_config::BuiltTopology::build(&net).unwrap().graph.link_count()
+        bonsai_config::BuiltTopology::build(&net)
+            .unwrap()
+            .graph
+            .link_count()
     );
 
     // Without compression, Batfish-style: simulate the *entire* control
@@ -67,7 +70,10 @@ fn main() {
     };
     let mut reachable = 0usize;
     let mut queried = 0usize;
-    for ec in ecs.iter().filter(|ec| ec.origins.iter().any(|(n, _)| *n == dst_node)) {
+    for ec in ecs
+        .iter()
+        .filter(|ec| ec.origins.iter().any(|(n, _)| *n == dst_node))
+    {
         queried += 1;
         let compression = compress_ec(&net, &topo, ec, options);
         let abs = &compression.abstract_network;

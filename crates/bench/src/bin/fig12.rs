@@ -30,13 +30,24 @@ fn main() {
     };
 
     let fattree_ks: &[usize] = if quick { &[4, 6] } else { &[4, 8, 12, 16, 20] };
-    let mesh_ns: &[usize] = if quick { &[8, 16] } else { &[25, 50, 100, 150, 200] };
-    let ring_ns: &[usize] = if quick { &[16, 32] } else { &[50, 100, 200, 400] };
+    let mesh_ns: &[usize] = if quick {
+        &[8, 16]
+    } else {
+        &[25, 50, 100, 150, 200]
+    };
+    let ring_ns: &[usize] = if quick {
+        &[16, 32]
+    } else {
+        &[50, 100, 200, 400]
+    };
 
     println!("(a) Fattree");
     header();
     for &k in fattree_ks {
-        row(fig12_point(&fattree(k, FattreePolicy::ShortestPath), budget));
+        row(fig12_point(
+            &fattree(k, FattreePolicy::ShortestPath),
+            budget,
+        ));
     }
     println!("\n(b) Full Mesh");
     header();

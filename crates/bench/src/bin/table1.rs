@@ -11,7 +11,9 @@
 use bonsai_bench::Table1Row;
 use bonsai_core::compress::{compress, CompressOptions};
 use bonsai_core::roles::{count_roles, RoleOptions};
-use bonsai_topo::{datacenter, fattree, full_mesh, ring, wan, DatacenterParams, FattreePolicy, WanParams};
+use bonsai_topo::{
+    datacenter, fattree, full_mesh, ring, wan, DatacenterParams, FattreePolicy, WanParams,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,7 +75,10 @@ fn run_real(quick: bool) {
             ..Default::default()
         },
     );
-    println!("{}", Table1Row::from_report("Data center", &report).render());
+    println!(
+        "{}",
+        Table1Row::from_report("Data center", &report).render()
+    );
 
     let wan_params = if quick {
         WanParams {

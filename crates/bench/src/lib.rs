@@ -119,10 +119,7 @@ fn outcome_label<T>(o: &SearchOutcome<T>) -> String {
 
 /// Runs the Figure 12 experiment on one network: all-pairs reachability
 /// with the exhaustive-search engine, concrete vs compressed.
-pub fn fig12_point(
-    net: &bonsai_config::NetworkConfig,
-    budget: SearchBudget,
-) -> Fig12Point {
+pub fn fig12_point(net: &bonsai_config::NetworkConfig, budget: SearchBudget) -> Fig12Point {
     // Concrete run.
     let t0 = Instant::now();
     let concrete = bonsai_verify::search_engine::all_pairs_reachability(net, budget);
@@ -141,10 +138,7 @@ pub fn fig12_point(
     if let (SearchOutcome::Completed(c), SearchOutcome::Completed(a)) =
         (&concrete, &abstract_outcome)
     {
-        assert_eq!(
-            c, a,
-            "abstract all-pairs disagrees with concrete all-pairs"
-        );
+        assert_eq!(c, a, "abstract all-pairs disagrees with concrete all-pairs");
     }
 
     Fig12Point {
@@ -218,8 +212,10 @@ pub fn abstract_all_pairs(
                 total += member_count - origin_count;
                 continue;
             }
-            let copies: Vec<NodeId> = ec.abstract_network.candidates_of(&ec.abstraction,
-                NodeId(ec.abstraction.partition.members(block)[0]));
+            let copies: Vec<NodeId> = ec.abstract_network.candidates_of(
+                &ec.abstraction,
+                NodeId(ec.abstraction.partition.members(block)[0]),
+            );
             if copies.iter().all(|c| reach_all[c.index()]) {
                 total += ec.abstraction.partition.members(block).len();
             }

@@ -6,9 +6,7 @@
 //! implementation is what justifies the paper's claim that BDD equality
 //! implies transfer-function equality.
 
-use crate::ir::{
-    Acl, Action, Community, DeviceConfig, MatchCond, PrefixList, RouteMap, SetAction,
-};
+use crate::ir::{Acl, Action, Community, DeviceConfig, MatchCond, PrefixList, RouteMap, SetAction};
 use bonsai_net::prefix::Prefix;
 use std::collections::BTreeSet;
 
@@ -80,7 +78,8 @@ pub fn prefix_list_permits(list: &PrefixList, dest: Prefix) -> bool {
         // IOS length rule: without ge/le only the exact length matches;
         // `ge` opens the lower bound, `le` the upper (ge alone implies 32).
         let lo = e.ge.unwrap_or(e.prefix.len());
-        let hi = e.le.unwrap_or(if e.ge.is_some() { 32 } else { e.prefix.len() });
+        let hi =
+            e.le.unwrap_or(if e.ge.is_some() { 32 } else { e.prefix.len() });
         if e.prefix.contains(dest) && dest.len() >= lo && dest.len() <= hi {
             return e.action == Action::Permit;
         }

@@ -468,7 +468,10 @@ mod tests {
                 le: None,
             }],
         });
-        assert_eq!(d.originated_prefixes(), vec!["10.0.1.0/24".parse().unwrap()]);
+        assert_eq!(
+            d.originated_prefixes(),
+            vec!["10.0.1.0/24".parse().unwrap()]
+        );
         let m = d.match_prefixes();
         assert!(m.contains(&"10.0.0.0/8".parse().unwrap()));
         assert!(m.contains(&"10.9.0.0/16".parse().unwrap()));

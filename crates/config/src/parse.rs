@@ -152,7 +152,12 @@ impl<'a> Parser<'a> {
                         _ => None,
                     },
                 };
-                match self.device.prefix_lists.iter_mut().find(|l| l.name == *name) {
+                match self
+                    .device
+                    .prefix_lists
+                    .iter_mut()
+                    .find(|l| l.name == *name)
+                {
                     Some(list) => list.entries.push(entry),
                     None => self.device.prefix_lists.push(PrefixList {
                         name: name.to_string(),
@@ -259,12 +264,10 @@ impl<'a> Parser<'a> {
                         iface.prefix = Some(if *prefix == "any" {
                             Prefix::DEFAULT
                         } else {
-                            prefix
-                                .parse()
-                                .map_err(|_| ParseError {
-                                    line: self.line_no,
-                                    message: format!("bad prefix `{prefix}`"),
-                                })?
+                            prefix.parse().map_err(|_| ParseError {
+                                line: self.line_no,
+                                message: format!("bad prefix `{prefix}`"),
+                            })?
                         });
                     }
                     ["ip", "access-group", name, "in"] => iface.acl_in = Some(name.to_string()),
@@ -287,12 +290,12 @@ impl<'a> Parser<'a> {
                     Ok(m) => clause.matches.push(m),
                     Err(tokens) => {
                         let set = match tokens {
-                            ["set", "local-preference", lp] => SetAction::LocalPref(
-                                lp.parse().map_err(|_| ParseError {
+                            ["set", "local-preference", lp] => {
+                                SetAction::LocalPref(lp.parse().map_err(|_| ParseError {
                                     line: self.line_no,
                                     message: format!("bad number `{lp}`"),
-                                })?,
-                            ),
+                                })?)
+                            }
                             ["set", "community", c, "additive"] => {
                                 let (a, t) = c.split_once(':').ok_or_else(|| ParseError {
                                     line: self.line_no,
@@ -367,9 +370,7 @@ impl<'a> Parser<'a> {
                             other => {
                                 return Err(ParseError {
                                     line: self.line_no,
-                                    message: format!(
-                                        "expected external/internal, got `{other}`"
-                                    ),
+                                    message: format!("expected external/internal, got `{other}`"),
                                 })
                             }
                         };
@@ -384,8 +385,7 @@ impl<'a> Parser<'a> {
                         }
                     }
                     ["neighbor", iface, "route-map", map, dir @ ("in" | "out")] => {
-                        let neighbor = match bgp.neighbors.iter_mut().find(|n| n.iface == *iface)
-                        {
+                        let neighbor = match bgp.neighbors.iter_mut().find(|n| n.iface == *iface) {
                             Some(n) => n,
                             None => {
                                 bgp.neighbors.push(BgpNeighbor {
@@ -693,8 +693,7 @@ link r1 eth0 r2 eth0
 
     #[test]
     fn prefix_list_ge_and_le_both() {
-        let d =
-            parse_device("ip prefix-list P seq 5 permit 10.0.0.0/8 ge 16 le 24").unwrap();
+        let d = parse_device("ip prefix-list P seq 5 permit 10.0.0.0/8 ge 16 le 24").unwrap();
         let e = &d.prefix_list("P").unwrap().entries[0];
         assert_eq!(e.ge, Some(16));
         assert_eq!(e.le, Some(24));

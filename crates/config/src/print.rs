@@ -107,9 +107,7 @@ pub fn print_device(d: &DeviceConfig) -> String {
             }
             for s in &clause.sets {
                 match s {
-                    SetAction::LocalPref(lp) => {
-                        writeln!(w, " set local-preference {lp}").unwrap()
-                    }
+                    SetAction::LocalPref(lp) => writeln!(w, " set local-preference {lp}").unwrap(),
                     SetAction::AddCommunity(c) => {
                         writeln!(w, " set community {c} additive").unwrap()
                     }
@@ -126,7 +124,12 @@ pub fn print_device(d: &DeviceConfig) -> String {
     if let Some(bgp) = &d.bgp {
         writeln!(w, "router bgp {}", bgp.asn).unwrap();
         if bgp.default_local_pref != 100 {
-            writeln!(w, " bgp default local-preference {}", bgp.default_local_pref).unwrap();
+            writeln!(
+                w,
+                " bgp default local-preference {}",
+                bgp.default_local_pref
+            )
+            .unwrap();
         }
         for n in &bgp.networks {
             writeln!(w, " network {}", prefix(*n)).unwrap();

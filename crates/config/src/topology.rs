@@ -89,7 +89,8 @@ impl BuiltTopology {
             if gb.has_edge(src, dst) {
                 return Err(TopologyError(format!(
                     "parallel link between `{}` and `{}` (one link per device pair supported)",
-                    network.devices[src.index()].name, network.devices[dst.index()].name,
+                    network.devices[src.index()].name,
+                    network.devices[dst.index()].name,
                 )));
             }
             gb.add_edge(src, dst);

@@ -74,7 +74,12 @@ fn arb_device() -> impl Strategy<Value = DeviceConfig> {
         0..4,
     );
     let prefix_lists = prop::collection::vec(
-        (arb_action(), arb_prefix(), prop::option::of(0u8..=32), prop::option::of(0u8..=32)),
+        (
+            arb_action(),
+            arb_prefix(),
+            prop::option::of(0u8..=32),
+            prop::option::of(0u8..=32),
+        ),
         0..4,
     );
     let community_lists = prop::collection::vec(arb_community(), 0..4);
@@ -100,16 +105,17 @@ fn arb_device() -> impl Strategy<Value = DeviceConfig> {
         bgp,
         ospf,
     )
-        .prop_flat_map(
-            |(ifaces, pls, cls, acls, maps, statics, bgp, ospf)| {
-                let map_strats: Vec<_> = maps
-                    .iter()
-                    .enumerate()
-                    .map(|(i, _)| arb_route_map(format!("MAP{i}")))
-                    .collect();
-                (Just((ifaces, pls, cls, acls, statics, bgp, ospf)), map_strats)
-            },
-        )
+        .prop_flat_map(|(ifaces, pls, cls, acls, maps, statics, bgp, ospf)| {
+            let map_strats: Vec<_> = maps
+                .iter()
+                .enumerate()
+                .map(|(i, _)| arb_route_map(format!("MAP{i}")))
+                .collect();
+            (
+                Just((ifaces, pls, cls, acls, statics, bgp, ospf)),
+                map_strats,
+            )
+        })
         .prop_map(|((ifaces, pls, cls, acls, statics, bgp, ospf), maps)| {
             let mut d = DeviceConfig::new("dev");
             for (i, (prefix, acl_in, acl_out, cost, area)) in ifaces.into_iter().enumerate() {

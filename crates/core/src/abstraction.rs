@@ -99,17 +99,14 @@ pub fn build_abstract_network(
 
     // Abstract links (undirected, between abstract copies).
     let mut abs_links: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
-    for (&(ba, bb), _) in &quotient {
+    for &(ba, bb) in quotient.keys() {
         let ca = abstraction.copies[ba.index()];
         let cb = abstraction.copies[bb.index()];
         if ba == bb {
             if ca > 1 {
                 for i in 0..ca {
                     for j in (i + 1)..ca {
-                        abs_links.insert(ordered(
-                            node_of_copy[&(ba, i)],
-                            node_of_copy[&(ba, j)],
-                        ));
+                        abs_links.insert(ordered(node_of_copy[&(ba, i)], node_of_copy[&(ba, j)]));
                     }
                 }
             }
@@ -165,11 +162,7 @@ pub fn build_abstract_network(
 
             // BGP session on the representative edge → session here.
             if let Some(rep_bgp) = &src_dev.bgp {
-                if let Some(nb_cfg) = rep_bgp
-                    .neighbors
-                    .iter()
-                    .find(|n| n.iface == src_iface.name)
-                {
+                if let Some(nb_cfg) = rep_bgp.neighbors.iter().find(|n| n.iface == src_iface.name) {
                     bgp_neighbors.push(BgpNeighbor {
                         iface: iface_name.clone(),
                         import_policy: nb_cfg.import_policy.clone(),
@@ -280,7 +273,10 @@ mod tests {
     use bonsai_srp::instance::OriginProto;
     use bonsai_srp::papernets;
 
-    fn abstract_of(net: &NetworkConfig, dest: &str) -> (BuiltTopology, Abstraction, AbstractNetwork) {
+    fn abstract_of(
+        net: &NetworkConfig,
+        dest: &str,
+    ) -> (BuiltTopology, Abstraction, AbstractNetwork) {
         let topo = BuiltTopology::build(net).unwrap();
         let d = topo.graph.node_by_name(dest).unwrap();
         let ec = EcDest::new(

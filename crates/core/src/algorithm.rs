@@ -116,17 +116,11 @@ pub fn find_abstraction(graph: &Graph, ec: &EcDest, sigs: &SigTable) -> Abstract
     // Line 12: SplitIntoBGPCases — each block may exhibit up to
     // |prefs(û)| behaviors (Theorem 4.4), but never more than it has
     // members; origins are pinned and need exactly one copy.
-    let max_block = partition
-        .blocks()
-        .map(|b| b.index() + 1)
-        .max()
-        .unwrap_or(0);
+    let max_block = partition.blocks().map(|b| b.index() + 1).max().unwrap_or(0);
     let mut copies = vec![1u32; max_block];
     for block in partition.blocks() {
         let members = partition.members(block);
-        let is_origin_block = members
-            .iter()
-            .any(|&m| origin_key(ec, NodeId(m)) != 0);
+        let is_origin_block = members.iter().any(|&m| origin_key(ec, NodeId(m)) != 0);
         if is_origin_block {
             copies[block.index()] = 1;
             continue;
@@ -189,7 +183,10 @@ mod tests {
     fn run(net: &bonsai_config::NetworkConfig, dest_name: &str) -> (BuiltTopology, Abstraction) {
         let topo = BuiltTopology::build(net).unwrap();
         let d = topo.graph.node_by_name(dest_name).unwrap();
-        let ec = EcDest::new(papernets::DEST_PREFIX.parse().unwrap(), vec![(d, OriginProto::Bgp)]);
+        let ec = EcDest::new(
+            papernets::DEST_PREFIX.parse().unwrap(),
+            vec![(d, OriginProto::Bgp)],
+        );
         let mut ctx = PolicyCtx::from_network(net, false);
         let sigs = build_sig_table(&mut ctx, net, &topo, &ec);
         let abs = find_abstraction(&topo.graph, &ec, &sigs);

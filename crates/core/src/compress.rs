@@ -15,7 +15,7 @@ use bonsai_config::{BuiltTopology, NetworkConfig};
 use std::time::{Duration, Instant};
 
 /// Options for a compression run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct CompressOptions {
     /// Apply the attribute abstraction that ignores communities which are
     /// attached but never matched (the `h` of the paper's data-center
@@ -23,15 +23,6 @@ pub struct CompressOptions {
     pub strip_unused_communities: bool,
     /// Number of worker threads for per-EC work (0 = all available cores).
     pub threads: usize,
-}
-
-impl Default for CompressOptions {
-    fn default() -> Self {
-        CompressOptions {
-            strip_unused_communities: false,
-            threads: 0,
-        }
-    }
 }
 
 /// Result of compressing one destination equivalence class.
@@ -68,22 +59,38 @@ impl CompressionReport {
 
     /// Mean abstract node count across classes.
     pub fn mean_abstract_nodes(&self) -> f64 {
-        mean(self.per_ec.iter().map(|e| e.abstraction.abstract_node_count() as f64))
+        mean(
+            self.per_ec
+                .iter()
+                .map(|e| e.abstraction.abstract_node_count() as f64),
+        )
     }
 
     /// Standard deviation of the abstract node count.
     pub fn std_abstract_nodes(&self) -> f64 {
-        std_dev(self.per_ec.iter().map(|e| e.abstraction.abstract_node_count() as f64))
+        std_dev(
+            self.per_ec
+                .iter()
+                .map(|e| e.abstraction.abstract_node_count() as f64),
+        )
     }
 
     /// Mean abstract link count across classes.
     pub fn mean_abstract_links(&self) -> f64 {
-        mean(self.per_ec.iter().map(|e| e.abstract_network.link_count() as f64))
+        mean(
+            self.per_ec
+                .iter()
+                .map(|e| e.abstract_network.link_count() as f64),
+        )
     }
 
     /// Standard deviation of the abstract link count.
     pub fn std_abstract_links(&self) -> f64 {
-        std_dev(self.per_ec.iter().map(|e| e.abstract_network.link_count() as f64))
+        std_dev(
+            self.per_ec
+                .iter()
+                .map(|e| e.abstract_network.link_count() as f64),
+        )
     }
 
     /// Node compression ratio (concrete / mean abstract).
@@ -109,7 +116,11 @@ impl CompressionReport {
         if self.per_ec.is_empty() {
             return Duration::ZERO;
         }
-        self.per_ec.iter().map(|e| e.compress_time).sum::<Duration>() / self.per_ec.len() as u32
+        self.per_ec
+            .iter()
+            .map(|e| e.compress_time)
+            .sum::<Duration>()
+            / self.per_ec.len() as u32
     }
 }
 
@@ -182,8 +193,9 @@ pub fn compress(network: &NetworkConfig, options: CompressOptions) -> Compressio
         }
     } else {
         let counter = std::sync::atomic::AtomicUsize::new(0);
-        let slots: Vec<std::sync::Mutex<Option<EcCompression>>> =
-            (0..ecs.len()).map(|_| std::sync::Mutex::new(None)).collect();
+        let slots: Vec<std::sync::Mutex<Option<EcCompression>>> = (0..ecs.len())
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
@@ -204,7 +216,10 @@ pub fn compress(network: &NetworkConfig, options: CompressOptions) -> Compressio
     CompressionReport {
         concrete_nodes: topo.graph.node_count(),
         concrete_links: topo.graph.link_count(),
-        per_ec: results.into_iter().map(|r| r.expect("every EC processed")).collect(),
+        per_ec: results
+            .into_iter()
+            .map(|r| r.expect("every EC processed"))
+            .collect(),
         total_time: start.elapsed(),
     }
 }

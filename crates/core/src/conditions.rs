@@ -192,13 +192,13 @@ mod tests {
     use bonsai_srp::instance::OriginProto;
     use bonsai_srp::papernets;
 
-    fn setup(
-        net: &bonsai_config::NetworkConfig,
-        dest: &str,
-    ) -> (BuiltTopology, EcDest, SigTable) {
+    fn setup(net: &bonsai_config::NetworkConfig, dest: &str) -> (BuiltTopology, EcDest, SigTable) {
         let topo = BuiltTopology::build(net).unwrap();
         let d = topo.graph.node_by_name(dest).unwrap();
-        let ec = EcDest::new(papernets::DEST_PREFIX.parse().unwrap(), vec![(d, OriginProto::Bgp)]);
+        let ec = EcDest::new(
+            papernets::DEST_PREFIX.parse().unwrap(),
+            vec![(d, OriginProto::Bgp)],
+        );
         let mut ctx = PolicyCtx::from_network(net, false);
         let sigs = build_sig_table(&mut ctx, net, &topo, &ec);
         (topo, ec, sigs)

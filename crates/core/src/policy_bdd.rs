@@ -277,7 +277,10 @@ pub fn compile_stage(
     }
 
     let sorted = |groups: HashMap<u32, Ref>| -> Vec<(u32, Ref)> {
-        let mut v: Vec<(u32, Ref)> = groups.into_iter().filter(|(_, r)| *r != Ref::FALSE).collect();
+        let mut v: Vec<(u32, Ref)> = groups
+            .into_iter()
+            .filter(|(_, r)| *r != Ref::FALSE)
+            .collect();
         v.sort_by_key(|(k, _)| *k);
         v
     };

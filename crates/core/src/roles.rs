@@ -166,7 +166,11 @@ fn canon_route_map(
                 })
                 .collect();
             sets.sort();
-            (clause.action == bonsai_config::Action::Permit, matches, sets)
+            (
+                clause.action == bonsai_config::Action::Permit,
+                matches,
+                sets,
+            )
         })
         .collect()
 }
@@ -183,16 +187,23 @@ fn canon_acl(acl: &Acl) -> Vec<(bool, (u32, u8))> {
         .collect()
 }
 
+/// Canonical ACL: per entry, (permit?, prefix).
+type CanonAcl = Vec<(bool, (u32, u8))>;
+/// Canonical BGP session policy: (ibgp?, import clauses, export clauses).
+type CanonBgp = (bool, Option<Vec<CanonClause>>, Option<Vec<CanonClause>>);
+/// Canonical per-interface signature: (bgp, acl in, acl out, ospf (cost, area)).
+type CanonPort = (
+    Option<CanonBgp>,
+    Option<CanonAcl>,
+    Option<CanonAcl>,
+    Option<(u32, u32)>,
+);
+
 /// The full canonical signature of one device's policy surface.
 #[derive(PartialEq, Eq, Hash, Debug)]
 struct DeviceSignature {
     /// Per interface (order-free): BGP session policies and ACLs.
-    ports: BTreeSet<(
-        Option<(bool, Option<Vec<CanonClause>>, Option<Vec<CanonClause>>)>, // bgp: (ibgp, import, export)
-        Option<Vec<(bool, (u32, u8))>>,                                     // acl in
-        Option<Vec<(bool, (u32, u8))>>,                                     // acl out
-        Option<(u32, u32)>,                                                 // ospf (cost, area)
-    )>,
+    ports: BTreeSet<CanonPort>,
     default_lp: Option<u32>,
     redistribute: (bool, bool, bool),
     static_routes: BTreeSet<((u32, u8), usize)>, // (prefix, port bucket) — 0 when ignored
@@ -223,10 +234,13 @@ fn device_signature(
     let mut ports = BTreeSet::new();
     for (i, iface) in device.interfaces.iter().enumerate() {
         let bgp = device.bgp.as_ref().and_then(|b| {
-            b.neighbors
-                .iter()
-                .find(|n| n.iface == iface.name)
-                .map(|n| (n.ibgp, canon_map(&n.import_policy), canon_map(&n.export_policy)))
+            b.neighbors.iter().find(|n| n.iface == iface.name).map(|n| {
+                (
+                    n.ibgp,
+                    canon_map(&n.import_policy),
+                    canon_map(&n.export_policy),
+                )
+            })
         });
         let acl_in = iface
             .acl_in

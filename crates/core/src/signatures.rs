@@ -208,11 +208,7 @@ pub fn build_sig_table(
 
             let drop = ctx.bdd.or(export_drop, import.drop);
             let keep = ctx.bdd.not(drop);
-            let comm: Vec<Ref> = import
-                .comm
-                .iter()
-                .map(|&c| ctx.bdd.and(c, keep))
-                .collect();
+            let comm: Vec<Ref> = import.comm.iter().map(|&c| ctx.bdd.and(c, keep)).collect();
 
             // Local preference cases: explicit sets, then the default.
             let bgp_u = du.bgp.as_ref().expect("session implies bgp at importer");
@@ -303,11 +299,19 @@ pub fn build_sig_table(
         let acl_out = du.interfaces[topo.egress(e)]
             .acl_out
             .as_deref()
-            .map(|name| du.acl(name).map(|a| acl_permits(a, ec.range)).unwrap_or(false));
+            .map(|name| {
+                du.acl(name)
+                    .map(|a| acl_permits(a, ec.range))
+                    .unwrap_or(false)
+            });
         let acl_in = dv.interfaces[topo.ingress(e)]
             .acl_in
             .as_deref()
-            .map(|name| dv.acl(name).map(|a| acl_permits(a, ec.range)).unwrap_or(false));
+            .map(|name| {
+                dv.acl(name)
+                    .map(|a| acl_permits(a, ec.range))
+                    .unwrap_or(false)
+            });
 
         let sig = EdgeSig {
             bgp,
@@ -470,15 +474,15 @@ link x2 i y b
         let y = topo.graph.node_by_name("y").unwrap();
         let x1 = topo.graph.node_by_name("x1").unwrap();
         let x2 = topo.graph.node_by_name("x2").unwrap();
-        let ec = EcDest::new("10.0.0.0/24".parse().unwrap(), vec![(x1, OriginProto::Bgp), (x2, OriginProto::Bgp)]);
+        let ec = EcDest::new(
+            "10.0.0.0/24".parse().unwrap(),
+            vec![(x1, OriginProto::Bgp), (x2, OriginProto::Bgp)],
+        );
         let mut ctx = PolicyCtx::from_network(&net, false);
         let table = build_sig_table(&mut ctx, &net, &topo, &ec);
         let e1 = topo.graph.find_edge(y, x1).unwrap();
         let e2 = topo.graph.find_edge(y, x2).unwrap();
-        assert_ne!(
-            table.sig_of_edge[e1.index()],
-            table.sig_of_edge[e2.index()]
-        );
+        assert_ne!(table.sig_of_edge[e1.index()], table.sig_of_edge[e2.index()]);
         let s1 = &table.sigs[table.sig_of_edge[e1.index()] as usize];
         assert_eq!(s1.bgp.as_ref().unwrap().prepend, vec![(3, Ref::TRUE)]);
     }
@@ -513,7 +517,7 @@ link x i y1 i
         let e = topo.graph.find_edge(y1, x).unwrap();
         let sig = &table.sigs[table.sig_of_edge[e.index()] as usize];
         assert_eq!(sig.acl_out, Some(false)); // y1's ACL blocks the dest
-        // For a different destination the same ACL permits.
+                                              // For a different destination the same ACL permits.
         let ec2 = EcDest::new("10.7.0.0/24".parse().unwrap(), vec![(x, OriginProto::Bgp)]);
         let mut ctx2 = PolicyCtx::from_network(&net, false);
         let table2 = build_sig_table(&mut ctx2, &net, &topo, &ec2);
@@ -523,10 +527,13 @@ link x i y1 i
 
     #[test]
     fn origin_key_distinguishes_protocols() {
-        let ec = EcDest::new("10.0.0.0/24".parse().unwrap(), vec![
+        let ec = EcDest::new(
+            "10.0.0.0/24".parse().unwrap(),
+            vec![
                 (NodeId(1), OriginProto::Bgp),
                 (NodeId(2), OriginProto::Ospf),
-            ]);
+            ],
+        );
         assert_eq!(origin_key(&ec, NodeId(0)), 0);
         assert_eq!(origin_key(&ec, NodeId(1)), 1);
         assert_eq!(origin_key(&ec, NodeId(2)), 2);

@@ -5,16 +5,23 @@
 //! {b1, b2, c} is invalid because c lacks an edge into the â block —
 //! exactly the violation drawn in Figure 8(b).
 
+use bonsai_config::{parse_network, BuiltTopology};
 use bonsai_core::conditions::{check_effective, Violation};
 use bonsai_core::policy_bdd::PolicyCtx;
 use bonsai_core::signatures::build_sig_table;
 use bonsai_net::{NodeId, Partition};
 use bonsai_srp::instance::{EcDest, OriginProto};
-use bonsai_config::{parse_network, BuiltTopology};
 
 fn figure8() -> (bonsai_config::NetworkConfig, BuiltTopology) {
     let mut text = String::new();
-    for (name, asn) in [("d", 100), ("b1", 1), ("b2", 2), ("c", 3), ("a1", 4), ("a2", 5)] {
+    for (name, asn) in [
+        ("d", 100),
+        ("b1", 1),
+        ("b2", 2),
+        ("c", 3),
+        ("a1", 4),
+        ("a2", 5),
+    ] {
         let ifaces = if name == "d" { 3 } else { 2 };
         text.push_str(&format!("device {name}\n"));
         for i in 0..ifaces {
@@ -73,7 +80,9 @@ fn merging_bc_is_invalid() {
     p.split(&[idx("b1"), idx("b2"), idx("c")]);
     let violations = check_effective(&topo.graph, &ec, &sigs, &p);
     assert!(
-        violations.iter().any(|v| matches!(v, Violation::ForallExists(w)
+        violations
+            .iter()
+            .any(|v| matches!(v, Violation::ForallExists(w)
             if w.contains(&format!("n{}", idx("c"))))),
         "expected a ∀∃ violation witnessed by c, got {violations:?}"
     );

@@ -2,11 +2,11 @@
 //! and the OSPF fields (cost, inter-area flag) are preserved across the
 //! abstraction.
 
-use bonsai_core::compress::{compress, CompressOptions};
 use bonsai_config::{parse_network, BuiltTopology, NetworkConfig};
+use bonsai_core::compress::{compress, CompressOptions};
+use bonsai_net::NodeId;
 use bonsai_srp::instance::{MultiProtocol, RibAttr};
 use bonsai_srp::{solve, Srp};
-use bonsai_net::NodeId;
 
 /// A two-armed OSPF star: the destination root with two identical arms of
 /// three routers each, all in area 0 except the last hop (area 1).
@@ -66,8 +66,14 @@ fn symmetric_arms_merge() {
     // Both arm tips share a role with each other, not with mid-arm nodes.
     let topo = BuiltTopology::build(&net).unwrap();
     let n = |s: &str| topo.graph.node_by_name(s).unwrap();
-    assert_eq!(ec.abstraction.role_of(n("a0_2")), ec.abstraction.role_of(n("a1_2")));
-    assert_ne!(ec.abstraction.role_of(n("a0_1")), ec.abstraction.role_of(n("a0_2")));
+    assert_eq!(
+        ec.abstraction.role_of(n("a0_2")),
+        ec.abstraction.role_of(n("a1_2"))
+    );
+    assert_ne!(
+        ec.abstraction.role_of(n("a0_1")),
+        ec.abstraction.role_of(n("a0_2"))
+    );
 }
 
 #[test]

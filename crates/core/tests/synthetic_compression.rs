@@ -21,7 +21,12 @@ fn fattree_compresses_to_six_nodes_five_links() {
                 ec.ec.rep,
                 ec.abstraction.partition.as_sets()
             );
-            assert_eq!(ec.abstract_network.link_count(), 5, "k={k}, ec={}", ec.ec.rep);
+            assert_eq!(
+                ec.abstract_network.link_count(),
+                5,
+                "k={k}, ec={}",
+                ec.ec.rep
+            );
         }
     }
 }

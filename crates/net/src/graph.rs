@@ -87,7 +87,9 @@ impl GraphBuilder {
 
     /// Adds `n` nodes named `prefix0..prefix{n-1}`, returning their ids.
     pub fn add_nodes(&mut self, prefix: &str, n: usize) -> Vec<NodeId> {
-        (0..n).map(|i| self.add_node(format!("{prefix}{i}"))).collect()
+        (0..n)
+            .map(|i| self.add_node(format!("{prefix}{i}")))
+            .collect()
     }
 
     /// Adds a directed edge `u -> v`.
@@ -97,7 +99,10 @@ impl GraphBuilder {
     /// Panics if `u == v` (self loop), if either endpoint is out of range,
     /// or if the edge already exists.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> EdgeId {
-        assert!(u != v, "SRP graphs are self-loop-free (tried {u:?} -> {v:?})");
+        assert!(
+            u != v,
+            "SRP graphs are self-loop-free (tried {u:?} -> {v:?})"
+        );
         assert!(
             (u.index()) < self.names.len() && (v.index()) < self.names.len(),
             "edge endpoint out of range"

@@ -238,10 +238,7 @@ mod tests {
         p.split(&[0, 1, 2]); // {0,1,2} {3,4,5}
         let created = p.split(&[2, 3]); // splits both blocks
         assert_eq!(created.len(), 2);
-        assert_eq!(
-            p.as_sets(),
-            vec![vec![0, 1], vec![2], vec![3], vec![4, 5]]
-        );
+        assert_eq!(p.as_sets(), vec![vec![0, 1], vec![2], vec![3], vec![4, 5]]);
     }
 
     #[test]
@@ -305,7 +302,7 @@ mod tests {
         p.split(&[9, 8]);
         assert_eq!(p.block_count(), p.as_sets().len());
         // Every element is in exactly one block.
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for b in p.blocks() {
             for &x in p.members(b) {
                 assert!(!seen[x as usize]);

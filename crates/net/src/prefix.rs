@@ -129,6 +129,9 @@ impl Prefix {
     }
 
     /// The prefix length.
+    // Not a container: `len` is the CIDR mask length, so `is_empty` would
+    // be meaningless (a /0 covers the whole address space).
+    #[allow(clippy::len_without_is_empty)]
     #[inline]
     pub fn len(self) -> u8 {
         self.len
@@ -173,7 +176,10 @@ impl Prefix {
         let len = self.len + 1;
         let bit = 1u32 << (32 - len);
         Some((
-            Prefix { addr: self.addr, len },
+            Prefix {
+                addr: self.addr,
+                len,
+            },
             Prefix {
                 addr: Ipv4Addr(self.addr.0 | bit),
                 len,

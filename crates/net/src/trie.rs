@@ -202,10 +202,7 @@ mod tests {
         let inner = atoms.iter().find(|x| x.prefix == p("10.1.0.0/16")).unwrap();
         assert_eq!(inner.covering, vec![a, b]);
         // Some atom inside /8 but outside /16 is covered only by the outer.
-        let outer_only: Vec<_> = atoms
-            .iter()
-            .filter(|x| x.covering == vec![a])
-            .collect();
+        let outer_only: Vec<_> = atoms.iter().filter(|x| x.covering == vec![a]).collect();
         assert!(!outer_only.is_empty());
         for at in outer_only {
             assert!(p("10.0.0.0/8").contains(at.prefix));
@@ -216,7 +213,13 @@ mod tests {
     #[test]
     fn atoms_partition_the_space() {
         let mut trie = PrefixTrie::new();
-        for s in ["10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "192.168.0.0/16", "0.0.0.0/0"] {
+        for s in [
+            "10.0.0.0/8",
+            "10.1.0.0/16",
+            "10.1.2.0/24",
+            "192.168.0.0/16",
+            "0.0.0.0/0",
+        ] {
             trie.insert(p(s), s.to_string());
         }
         let atoms = trie.atoms();
@@ -225,7 +228,12 @@ mod tests {
         for (i, a) in atoms.iter().enumerate() {
             total += (a.prefix.last().0 as u64 - a.prefix.first().0 as u64) + 1;
             for b in &atoms[i + 1..] {
-                assert!(!a.prefix.overlaps(b.prefix), "{} overlaps {}", a.prefix, b.prefix);
+                assert!(
+                    !a.prefix.overlaps(b.prefix),
+                    "{} overlaps {}",
+                    a.prefix,
+                    b.prefix
+                );
             }
         }
         assert_eq!(total, 1u64 << 32);

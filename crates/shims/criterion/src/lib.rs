@@ -1,0 +1,222 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses. The build environment has no access to crates.io, so this crate
+//! provides the same entry points (`criterion_group!`, `criterion_main!`,
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`BenchmarkId`]) with
+//! a simple measurement loop: per benchmark it runs a short warm-up, then
+//! `sample_size` timed samples, and prints min/median/mean wall-clock time
+//! per iteration. No statistics engine, plots, or baseline comparison —
+//! enough to spot order-of-magnitude regressions and to keep
+//! `cargo bench` working end to end.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter positionally; flags
+        // like `--bench` are injected by cargo and ignored here.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(name.to_string(), sample_size, f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn run_one<F>(&mut self, id: String, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(&id) {
+            return;
+        }
+        let mut samples = Vec::with_capacity(sample_size);
+        // Warm-up pass, then timed samples.
+        for i in 0..=sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if i > 0 && b.iters > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        if samples.is_empty() {
+            println!("{id:<40} no samples");
+            return;
+        }
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{id:<40} min {:>12} med {:>12} mean {:>12} ({} samples)",
+            fmt_time(samples[0]),
+            fmt_time(median),
+            fmt_time(mean),
+            samples.len()
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` under `<group>/<name>`.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{name}", self.name);
+        let n = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(id, n, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `<group>/<id>`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{id}", self.name);
+        let n = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(id, n, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (accepted for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A function + parameter benchmark identifier, shown as `function/param`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{parameter}", function.into()),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`, black-boxing its output.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // A fixed small batch keeps total bench time bounded without the
+        // real criterion's adaptive iteration planning.
+        const BATCH: u64 = 3;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            std_black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += BATCH;
+    }
+}
+
+/// Declares a benchmark group function list, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

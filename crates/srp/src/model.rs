@@ -183,10 +183,7 @@ impl<'a, P: Protocol> Srp<'a, P> {
             match lu {
                 None => {
                     if !choices.is_empty() {
-                        return Err(format!(
-                            "{u:?} labeled ⊥ but has {} choices",
-                            choices.len()
-                        ));
+                        return Err(format!("{u:?} labeled ⊥ but has {} choices", choices.len()));
                     }
                 }
                 Some(a) => {

@@ -189,11 +189,7 @@ impl<'a> BgpProtocol<'a> {
             return None;
         }
         import.apply_communities(&mut comms);
-        let default_lp = du
-            .bgp
-            .as_ref()
-            .map(|b| b.default_local_pref)
-            .unwrap_or(100);
+        let default_lp = du.bgp.as_ref().map(|b| b.default_local_pref).unwrap_or(100);
         let lp = import.local_pref.unwrap_or(if session.ibgp {
             a.lp // local preference is carried across iBGP
         } else {

@@ -89,9 +89,7 @@ impl Protocol for OspfProtocol {
 
     fn compare(&self, a: &OspfAttr, b: &OspfAttr) -> Option<Ordering> {
         // Intra-area first, then cost.
-        Some(
-            (a.inter_area, a.cost).cmp(&(b.inter_area, b.cost)),
-        )
+        Some((a.inter_area, a.cost).cmp(&(b.inter_area, b.cost)))
     }
 
     fn transfer(&self, e: EdgeId, a: Option<&OspfAttr>) -> Option<OspfAttr> {
@@ -130,11 +128,11 @@ mod tests {
         }
         for (i, (&cost, &(al, ar))) in costs.iter().zip(areas).enumerate() {
             // link between r_i (right) and r_{i+1} (left)
-            net.links
-                .push(Link::new((format!("r{i}"), "right"), (format!("r{}", i + 1), "left")));
-            let right = net.devices[i]
-                .interface_index("right")
-                .unwrap();
+            net.links.push(Link::new(
+                (format!("r{i}"), "right"),
+                (format!("r{}", i + 1), "left"),
+            ));
+            let right = net.devices[i].interface_index("right").unwrap();
             net.devices[i].interfaces[right].ospf_cost = Some(cost);
             net.devices[i].interfaces[right].ospf_area = Some(al);
             let left = net.devices[i + 1].interface_index("left").unwrap();

@@ -132,8 +132,8 @@ mod tests {
         assert_eq!(sol.label(NodeId(0)), Some(&())); // a
         assert_eq!(sol.label(NodeId(1)), None); // b1: no static route
         assert_eq!(sol.label(NodeId(2)), Some(&())); // b2
-        // a forwards toward b1 even though b1 has no route (black hole
-        // potential — exactly what the theory must preserve).
+                                                     // a forwards toward b1 even though b1 has no route (black hole
+                                                     // potential — exactly what the theory must preserve).
         assert_eq!(topo.graph.target(sol.fwd(NodeId(0))[0]), NodeId(1));
     }
 

@@ -161,7 +161,11 @@ mod tests {
     fn grid(width: usize, height: usize) -> Graph {
         let mut gb = GraphBuilder::new();
         let nodes: Vec<Vec<NodeId>> = (0..height)
-            .map(|y| (0..width).map(|x| gb.add_node(format!("g{x}_{y}"))).collect())
+            .map(|y| {
+                (0..width)
+                    .map(|x| gb.add_node(format!("g{x}_{y}")))
+                    .collect()
+            })
             .collect();
         for y in 0..height {
             for x in 0..width {

@@ -2,10 +2,10 @@
 //! redistribution) and the paper networks end to end.
 
 use bonsai_config::{parse_network, BuiltTopology};
+use bonsai_net::prefix::Prefix;
 use bonsai_srp::instance::{EcDest, MultiProtocol, OriginProto, RibAttr};
 use bonsai_srp::solver::solve;
 use bonsai_srp::Srp;
-use bonsai_net::prefix::Prefix;
 
 fn p(s: &str) -> Prefix {
     s.parse().unwrap()
@@ -174,7 +174,10 @@ fn figure2_gadget_via_multi_protocol() {
     let net = bonsai_srp::papernets::figure2_gadget();
     let topo = BuiltTopology::build(&net).unwrap();
     let d = topo.graph.node_by_name("d").unwrap();
-    let ec = EcDest::new(p(bonsai_srp::papernets::DEST_PREFIX), vec![(d, OriginProto::Bgp)]);
+    let ec = EcDest::new(
+        p(bonsai_srp::papernets::DEST_PREFIX),
+        vec![(d, OriginProto::Bgp)],
+    );
     let proto = MultiProtocol::build(&net, &topo, &ec);
     let srp = Srp::with_origins(&topo.graph, vec![d], proto);
     let sol = solve(&srp).unwrap();
@@ -224,7 +227,10 @@ link m j o2 j
     let o1 = topo.graph.node_by_name("o1").unwrap();
     let o2 = topo.graph.node_by_name("o2").unwrap();
     let m = topo.graph.node_by_name("m").unwrap();
-    let ec = EcDest::new(p("10.0.0.0/24"), vec![(o1, OriginProto::Bgp), (o2, OriginProto::Bgp)]);
+    let ec = EcDest::new(
+        p("10.0.0.0/24"),
+        vec![(o1, OriginProto::Bgp), (o2, OriginProto::Bgp)],
+    );
     let proto = MultiProtocol::build(&net, &topo, &ec);
     let srp = Srp::with_origins(&topo.graph, vec![o1, o2], proto);
     let sol = solve(&srp).unwrap();

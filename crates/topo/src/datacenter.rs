@@ -231,11 +231,8 @@ pub fn datacenter(params: DatacenterParams) -> NetworkConfig {
                     entries: vec![
                         AclEntry {
                             action: Action::Deny,
-                            prefix: Prefix::new(
-                                Ipv4Addr::new(10, 249 + acl_flavor, 0, 0),
-                                16,
-                            ),
-                            },
+                            prefix: Prefix::new(Ipv4Addr::new(10, 249 + acl_flavor, 0, 0), 16),
+                        },
                         AclEntry {
                             action: Action::Permit,
                             prefix: Prefix::DEFAULT,

@@ -135,12 +135,7 @@ pub fn fattree(k: usize, policy: FattreePolicy) -> NetworkConfig {
                 .push(bgp_node(&format!("edge{p}_{i}"), fresh_asn()));
             add_common_policy(&mut net.devices[idx], false);
             let prefix = Prefix::new(Ipv4Addr::new(10, p as u8, i as u8, 0), 24);
-            net.devices[idx]
-                .bgp
-                .as_mut()
-                .unwrap()
-                .networks
-                .push(prefix);
+            net.devices[idx].bgp.as_mut().unwrap().networks.push(prefix);
             pod_edges.push(idx);
         }
         aggs.push(pod_aggs);
@@ -181,10 +176,7 @@ pub fn ring(n: usize) -> NetworkConfig {
         let idx = net.devices.len();
         net.devices.push(bgp_node(&format!("r{i}"), i as u32 + 1));
         add_common_policy(&mut net.devices[idx], false);
-        let prefix = Prefix::new(
-            Ipv4Addr::new(10, (i / 256) as u8, (i % 256) as u8, 0),
-            24,
-        );
+        let prefix = Prefix::new(Ipv4Addr::new(10, (i / 256) as u8, (i % 256) as u8, 0), 24);
         net.devices[idx].bgp.as_mut().unwrap().networks.push(prefix);
     }
     for i in 0..n {
@@ -203,10 +195,7 @@ pub fn full_mesh(n: usize) -> NetworkConfig {
         let idx = net.devices.len();
         net.devices.push(bgp_node(&format!("m{i}"), i as u32 + 1));
         add_common_policy(&mut net.devices[idx], false);
-        let prefix = Prefix::new(
-            Ipv4Addr::new(10, (i / 256) as u8, (i % 256) as u8, 0),
-            24,
-        );
+        let prefix = Prefix::new(Ipv4Addr::new(10, (i / 256) as u8, (i % 256) as u8, 0), 24);
         net.devices[idx].bgp.as_mut().unwrap().networks.push(prefix);
     }
     for i in 0..n {

@@ -87,8 +87,7 @@ pub fn wan(params: WanParams) -> NetworkConfig {
                 net.devices[dev].interfaces[idx].ospf_cost = Some(10);
             }
             if net.devices[dev].bgp.is_some() {
-                let import = net
-                    .devices[dev]
+                let import = net.devices[dev]
                     .route_map("IMPORT")
                     .map(|_| "IMPORT".to_string());
                 let bgp = net.devices[dev].bgp.as_mut().unwrap();
@@ -188,7 +187,12 @@ pub fn wan(params: WanParams) -> NetworkConfig {
             for v in 0..params.prefixes_per_agg {
                 let third = (p * params.aggs_per_pop + i) as u16;
                 d.ospf.as_mut().unwrap().networks.push(Prefix::new(
-                    Ipv4Addr::new(10, (third / 256) as u8 + 1, (third % 256) as u8, (v * 16) as u8),
+                    Ipv4Addr::new(
+                        10,
+                        (third / 256) as u8 + 1,
+                        (third % 256) as u8,
+                        (v * 16) as u8,
+                    ),
                     28,
                 ));
             }

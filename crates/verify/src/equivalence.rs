@@ -390,11 +390,9 @@ mod tests {
         for c in naive.copies.iter_mut() {
             *c = 1;
         }
-        let naive_abs = bonsai_core::abstraction::build_abstract_network(
-            &net, &topo, &ec_dest, &naive,
-        );
-        let result =
-            check_cp_equivalence(&net, &topo, &ec_dest, &naive, &naive_abs, 4, 16);
+        let naive_abs =
+            bonsai_core::abstraction::build_abstract_network(&net, &topo, &ec_dest, &naive);
+        let result = check_cp_equivalence(&net, &topo, &ec_dest, &naive, &naive_abs, 4, 16);
         assert!(
             result.is_err(),
             "the unsound single-copy abstraction must be rejected"

@@ -285,10 +285,17 @@ mod tests {
     fn analyse(
         net: &bonsai_config::NetworkConfig,
         dest: &str,
-    ) -> (BuiltTopology, Solution<bonsai_srp::instance::RibAttr>, NodeId) {
+    ) -> (
+        BuiltTopology,
+        Solution<bonsai_srp::instance::RibAttr>,
+        NodeId,
+    ) {
         let topo = BuiltTopology::build(net).unwrap();
         let d = topo.graph.node_by_name(dest).unwrap();
-        let ec = EcDest::new(papernets::DEST_PREFIX.parse().unwrap(), vec![(d, OriginProto::Bgp)]);
+        let ec = EcDest::new(
+            papernets::DEST_PREFIX.parse().unwrap(),
+            vec![(d, OriginProto::Bgp)],
+        );
         let proto = MultiProtocol::build(net, &topo, &ec);
         let srp = Srp::with_origins(&topo.graph, vec![d], proto);
         let sol = solve(&srp).unwrap();
@@ -318,7 +325,10 @@ mod tests {
         let net = papernets::figure6_static();
         let topo = BuiltTopology::build(&net).unwrap();
         let d = topo.graph.node_by_name("d").unwrap();
-        let ec = EcDest::new(papernets::DEST_PREFIX.parse().unwrap(), vec![(d, OriginProto::Bgp)]);
+        let ec = EcDest::new(
+            papernets::DEST_PREFIX.parse().unwrap(),
+            vec![(d, OriginProto::Bgp)],
+        );
         let proto = MultiProtocol::build(&net, &topo, &ec);
         let srp = Srp::with_origins(&topo.graph, vec![d], proto);
         let sol = solve(&srp).unwrap();

@@ -114,7 +114,8 @@ where
     let nodes: Vec<NodeId> = topo.graph.nodes().collect();
     let n = nodes.len();
     let mut seen: HashSet<u64> = HashSet::new();
-    let mut rng = XorShift(0x9e3779b97f4a7c15 ^ (ec.rep.addr().0 as u64) << 8 | ec.rep.len() as u64);
+    let mut rng =
+        XorShift(0x9e3779b97f4a7c15 ^ (ec.rep.addr().0 as u64) << 8 | ec.rep.len() as u64);
     let mut distinct = 0usize;
 
     for trial in 0..budget.orders.max(1) {
@@ -252,10 +253,7 @@ mod tests {
             wall: Duration::ZERO,
             ..Default::default()
         };
-        assert_eq!(
-            all_pairs_reachability(&net, budget),
-            SearchOutcome::Timeout
-        );
+        assert_eq!(all_pairs_reachability(&net, budget), SearchOutcome::Timeout);
     }
 
     #[test]

@@ -110,11 +110,7 @@ impl<'a> SimEngine<'a> {
     /// The Batfish query of §8: which destination prefixes originated at
     /// `dst` can `src` deliver packets to? Returns the class
     /// representatives that are reachable.
-    pub fn query_reachability(
-        &self,
-        src: &str,
-        dst: &str,
-    ) -> Result<Vec<Prefix>, SolveError> {
+    pub fn query_reachability(&self, src: &str, dst: &str) -> Result<Vec<Prefix>, SolveError> {
         let src = self
             .topo
             .graph

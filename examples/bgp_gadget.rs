@@ -55,7 +55,10 @@ fn main() {
     // --- The compression: 5 nodes -> 4, with the middle role split ------
     let report = compress(&network, CompressOptions::default());
     let ec_result = &report.per_ec[0];
-    println!("\nrefinement took {} iterations; roles:", ec_result.abstraction.iterations);
+    println!(
+        "\nrefinement took {} iterations; roles:",
+        ec_result.abstraction.iterations
+    );
     for set in ec_result.abstraction.partition.as_sets() {
         let names: Vec<&str> = set
             .iter()
@@ -63,7 +66,10 @@ fn main() {
             .collect();
         let block = ec_result.abstraction.partition.block_of(set[0]);
         let copies = ec_result.abstraction.copies[block.index()];
-        println!("  {names:?} -> {copies} abstract cop{}", if copies == 1 { "y" } else { "ies" });
+        println!(
+            "  {names:?} -> {copies} abstract cop{}",
+            if copies == 1 { "y" } else { "ies" }
+        );
     }
     println!(
         "\nabstract network: {} nodes, {} links (paper: 4 nodes, 4 edges)",

@@ -122,7 +122,10 @@ fn main() {
     // text, and round-trip it.
     let first = &report.per_ec[0];
     let text = print_network(&first.abstract_network.network);
-    println!("\ncompressed configurations for {}:\n\n{}", first.ec.rep, text);
+    println!(
+        "\ncompressed configurations for {}:\n\n{}",
+        first.ec.rep, text
+    );
     let reparsed = parse_network(&text).expect("emitted configuration parses");
     assert_eq!(reparsed, first.abstract_network.network);
     println!("round-trip through the parser: ok");

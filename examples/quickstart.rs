@@ -42,7 +42,10 @@ fn main() {
     // The abstract network is ordinary configuration text — Bonsai's
     // actual output format — so any tool can consume it.
     println!("\nabstract network configurations:\n");
-    println!("{}", bonsai_config::print_network(&ec.abstract_network.network));
+    println!(
+        "{}",
+        bonsai_config::print_network(&ec.abstract_network.network)
+    );
 
     // And it is control-plane equivalent to the original.
     let topo = BuiltTopology::build(&network).unwrap();

@@ -95,7 +95,11 @@ fn main() -> ExitCode {
                 "{n} roles among {} devices{}{}",
                 network.devices.len(),
                 if strip { " (unused tags stripped)" } else { "" },
-                if ignore_static { " (static routes ignored)" } else { "" },
+                if ignore_static {
+                    " (static routes ignored)"
+                } else {
+                    ""
+                },
             );
             ExitCode::SUCCESS
         }
@@ -129,7 +133,11 @@ fn main() -> ExitCode {
                         return ExitCode::from(1);
                     }
                 }
-                println!("wrote {} abstract networks to {}", report.num_ecs(), dir.display());
+                println!(
+                    "wrote {} abstract networks to {}",
+                    report.num_ecs(),
+                    dir.display()
+                );
             }
             ExitCode::SUCCESS
         }

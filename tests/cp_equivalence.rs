@@ -7,7 +7,9 @@
 //! modulo `h` plus block-level fwd-equivalence.
 
 use bonsai::core::compress::{compress, CompressOptions};
-use bonsai::topo::{datacenter, fattree, full_mesh, ring, wan, DatacenterParams, FattreePolicy, WanParams};
+use bonsai::topo::{
+    datacenter, fattree, full_mesh, ring, wan, DatacenterParams, FattreePolicy, WanParams,
+};
 use bonsai::verify::equivalence::check_cp_equivalence_under_h;
 use bonsai_config::{BuiltTopology, NetworkConfig};
 

@@ -6,8 +6,8 @@
 //! them — and that the result is CP-equivalent.
 
 use bonsai::core::compress::{compress, CompressOptions};
-use bonsai_config::{parse_network, BuiltTopology};
 use bonsai::verify::equivalence::check_cp_equivalence;
+use bonsai_config::{parse_network, BuiltTopology};
 
 /// An AS with two symmetric iBGP core routers, both peering (eBGP) with
 /// the same external origin and serving the same internal customer.

@@ -73,10 +73,7 @@ fn divergence_is_preserved() {
     let net = disputed_wheel();
     let topo = bonsai_config::BuiltTopology::build(&net).unwrap();
     let d = topo.graph.node_by_name("d").unwrap();
-    let ec = EcDest::new(
-        "10.0.0.0/24".parse().unwrap(),
-        vec![(d, OriginProto::Bgp)],
-    );
+    let ec = EcDest::new("10.0.0.0/24".parse().unwrap(), vec![(d, OriginProto::Bgp)]);
     let proto = MultiProtocol::build(&net, &topo, &ec);
     let srp = Srp::with_origins(&topo.graph, vec![d], proto);
     let concrete_diverges = matches!(solve(&srp), Err(SolveError::Diverged { .. }));

@@ -18,19 +18,15 @@ fn check_properties(net: &NetworkConfig) {
     for (ec_info, ec) in engine.ecs.iter().zip(&report.per_ec) {
         // Concrete analysis.
         let concrete_sol = engine.solve_ec(ec_info).unwrap();
-        let concrete_origins: Vec<NodeId> =
-            ec_info.origins.iter().map(|(n, _)| *n).collect();
-        let concrete =
-            SolutionAnalysis::new(&engine.topo.graph, &concrete_sol, &concrete_origins);
+        let concrete_origins: Vec<NodeId> = ec_info.origins.iter().map(|(n, _)| *n).collect();
+        let concrete = SolutionAnalysis::new(&engine.topo.graph, &concrete_sol, &concrete_origins);
 
         // Abstract analysis.
         let abs = &ec.abstract_network;
         let abs_engine = SimEngine::new(&abs.network);
         let abs_sol = abs_engine.solve_ec(&abs_engine.ecs[0]).unwrap();
-        let abs_origins: Vec<NodeId> =
-            abs_engine.ecs[0].origins.iter().map(|(n, _)| *n).collect();
-        let abstract_a =
-            SolutionAnalysis::new(&abs_engine.topo.graph, &abs_sol, &abs_origins);
+        let abs_origins: Vec<NodeId> = abs_engine.ecs[0].origins.iter().map(|(n, _)| *n).collect();
+        let abstract_a = SolutionAnalysis::new(&abs_engine.topo.graph, &abs_sol, &abs_origins);
 
         // Routing loops (global property).
         assert_eq!(
@@ -122,8 +118,7 @@ fn fattree_waypointing_preserved() {
     let abs = &ec.abstract_network;
     let abs_engine = SimEngine::new(&abs.network);
     let abs_sol = abs_engine.solve_ec(&abs_engine.ecs[0]).unwrap();
-    let abs_origins: Vec<NodeId> =
-        abs_engine.ecs[0].origins.iter().map(|(n, _)| *n).collect();
+    let abs_origins: Vec<NodeId> = abs_engine.ecs[0].origins.iter().map(|(n, _)| *n).collect();
     let abstract_a = SolutionAnalysis::new(&abs_engine.topo.graph, &abs_sol, &abs_origins);
     let abs_src = abs.candidates_of(&ec.abstraction, src)[0];
     let abs_cores: BTreeSet<NodeId> = cores

@@ -11,9 +11,8 @@
 use bonsai::core::compress::{compress, CompressOptions};
 use bonsai::verify::equivalence::check_cp_equivalence;
 use bonsai_config::{
-    BgpConfig, BgpNeighbor, BuiltTopology, Community, CommunityList, DeviceConfig, Interface,
-    Link, MatchCond, NetworkConfig, PrefixList, PrefixListEntry, RouteMap, RouteMapClause,
-    SetAction,
+    BgpConfig, BgpNeighbor, BuiltTopology, Community, CommunityList, DeviceConfig, Interface, Link,
+    MatchCond, NetworkConfig, PrefixList, PrefixListEntry, RouteMap, RouteMapClause, SetAction,
 };
 use bonsai_net::prefix::{Ipv4Addr, Prefix};
 use proptest::prelude::*;

@@ -1,0 +1,38 @@
+//! Workspace smoke test: the facade re-exports resolve and a trivial
+//! end-to-end `fattree → compress` call runs. This is the cheapest signal
+//! that the crate graph is wired correctly; the substantive behavior is
+//! covered by the per-crate suites.
+
+use bonsai::core::compress::{compress, CompressOptions};
+use bonsai::topo::{fattree, FattreePolicy};
+
+/// Every facade module path resolves and exposes its headline type.
+#[test]
+fn facade_reexports_resolve() {
+    // One load-bearing name per re-exported crate; a failure here is a
+    // compile error, which is exactly the point.
+    let _graph: bonsai::net::Graph = bonsai::net::GraphBuilder::new().build();
+    let _bdd = bonsai::bdd::Bdd::new();
+    let _net: bonsai::config::NetworkConfig = bonsai::config::NetworkConfig::default();
+    let _opts = bonsai::srp::SolverOptions::default();
+    let _copts = bonsai::core::compress::CompressOptions::default();
+    let _budget = bonsai::verify::SearchBudget::default();
+    let _params = bonsai::topo::DatacenterParams::default();
+}
+
+/// A k=4 fattree compresses end to end through the facade.
+#[test]
+fn fattree_compresses_end_to_end() {
+    let net = fattree(4, FattreePolicy::ShortestPath);
+    let report = compress(&net, CompressOptions::default());
+    assert!(
+        report.num_ecs() > 0,
+        "expected at least one destination class"
+    );
+    assert!(
+        report.mean_abstract_nodes() < net.devices.len() as f64,
+        "compression should shrink the network: {} abstract vs {} concrete",
+        report.mean_abstract_nodes(),
+        net.devices.len()
+    );
+}
