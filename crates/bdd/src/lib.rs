@@ -1,7 +1,7 @@
 //! # bonsai-bdd
 //!
-//! A from-scratch, hash-consed implementation of **reduced ordered binary
-//! decision diagrams** (ROBDDs, Bryant 1986), replacing the JavaBDD library
+//! A from-scratch, performance-grade **reduced ordered binary decision
+//! diagram** (ROBDD, Bryant 1986) manager, replacing the JavaBDD library
 //! the Bonsai paper uses (§5.1).
 //!
 //! The compression algorithm needs exactly one property from its BDD
@@ -11,16 +11,26 @@
 //! pointer comparison (paper: "two BDDs are semantically-equivalent iff
 //! their pointers are the same").
 //!
-//! Design notes, in the spirit of the networking guides (smoltcp school):
+//! Design notes (the CUDD school, sized for a shared per-run arena):
 //!
-//! * One arena ([`Bdd`]) owns all nodes; [`Ref`] is a plain `u32` index.
-//!   No `Rc`, no interior mutability, no unsafe.
-//! * The unique table enforces the two ROBDD reduction rules (no redundant
-//!   tests, no duplicate nodes), so structural identity *is* semantic
-//!   identity for a fixed variable order.
-//! * Binary operations are memoized per `(op, lhs, rhs)`.
-//! * Variable order is the numeric order of [`Var`] indices; callers choose
-//!   a good order when they allocate variables.
+//! * **Complement edges.** A [`Ref`] is a `u32` whose low bit marks
+//!   negation; a function and its complement share one stored node, halving
+//!   the arena and making [`Bdd::not`] a free bit-flip (no `not` memo, no
+//!   allocation). Canonical form: the *high* edge of a stored node is never
+//!   complemented, and there is a single terminal (`⊤`; `⊥` is its
+//!   complement) — so structural identity remains semantic identity.
+//! * **Open-addressed unique table** with a multiply-xor-shift hasher
+//!   (no SipHash): one flat `u32` slot array, linear probing, amortized
+//!   growth. The table enforces both reduction rules.
+//! * **Bounded direct-mapped apply cache**: a fixed power-of-two array of
+//!   `(op, lhs, rhs) → result` entries, overwritten on collision. Memory
+//!   stays bounded no matter how many operations run through a shared
+//!   arena, and lookups are one index computation.
+//! * **Arena statistics** ([`Bdd::stats`]): live/peak node counts and
+//!   cache hit rates, so callers (the compression engine) can report how
+//!   much sharing a run achieved.
+//! * One arena ([`Bdd`]) owns all nodes; variable order is the numeric
+//!   order of [`Var`] indices. No `Rc`, no interior mutability, no unsafe.
 //!
 //! ```
 //! use bonsai_bdd::Bdd;
@@ -45,7 +55,8 @@ use std::fmt;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Var(pub u32);
 
-/// A reference to a BDD node inside a [`Bdd`] arena.
+/// A reference to a BDD node inside a [`Bdd`] arena: a node index tagged
+/// with a complement bit (bit 0).
 ///
 /// `Ref`s obtained from the same arena are canonical: two formulas are
 /// logically equivalent iff their `Ref`s are equal.
@@ -53,61 +64,289 @@ pub struct Var(pub u32);
 pub struct Ref(u32);
 
 impl Ref {
-    /// The constant false node.
-    pub const FALSE: Ref = Ref(0);
-    /// The constant true node.
-    pub const TRUE: Ref = Ref(1);
+    /// The constant true function: the terminal node, uncomplemented.
+    pub const TRUE: Ref = Ref(0);
+    /// The constant false function: the complement edge to the terminal.
+    pub const FALSE: Ref = Ref(1);
 
-    /// True if this is one of the two terminal nodes.
+    /// True if this is one of the two constant functions.
     #[inline]
     pub fn is_const(self) -> bool {
         self.0 <= 1
     }
 
-    /// Raw index (stable for the lifetime of the arena); useful as a hash
-    /// key in caller-side tables.
+    /// True if the reference carries the complement tag.
+    #[inline]
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Raw tagged value (stable for the lifetime of the arena); useful as
+    /// a hash key in caller-side tables.
     #[inline]
     pub fn raw(self) -> u32 {
         self.0
+    }
+
+    /// The untagged (positive-phase) version of this reference.
+    #[inline]
+    fn regular(self) -> Ref {
+        Ref(self.0 & !1)
+    }
+
+    /// The stored node index.
+    #[inline]
+    fn index(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Complement as a pure bit-flip (the whole point of tagged edges).
+    #[inline]
+    fn flip(self) -> Ref {
+        Ref(self.0 ^ 1)
+    }
+
+    /// XOR another ref's complement bit onto this one.
+    #[inline]
+    fn xor_tag(self, other: Ref) -> Ref {
+        Ref(self.0 ^ (other.0 & 1))
     }
 }
 
 impl fmt::Debug for Ref {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            Ref::FALSE => write!(f, "⊥"),
             Ref::TRUE => write!(f, "⊤"),
-            Ref(i) => write!(f, "@{i}"),
+            Ref::FALSE => write!(f, "⊥"),
+            Ref(i) if i & 1 == 1 => write!(f, "¬@{}", i >> 1),
+            Ref(i) => write!(f, "@{}", i >> 1),
         }
     }
 }
 
-/// Terminal marker stored in the `var` field of the two constant nodes.
+/// Terminal marker stored in the `var` field of the terminal node.
 const TERMINAL_VAR: u32 = u32::MAX;
 
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+/// A stored node. Invariants: `hi` is never complemented (canonical form
+/// for complement edges), `lo != hi`, and both children test later
+/// variables.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 struct Node {
     var: u32,
     lo: Ref,
     hi: Ref,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+/// Binary operations that go through the apply cache. `Or` is not here:
+/// it is normalized to `And` by De Morgan (both directions are free with
+/// complement edges), doubling cache sharing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
 enum Op {
-    And,
-    Or,
-    Xor,
+    And = 0,
+    Xor = 1,
 }
 
-/// The BDD arena: owns every node and all memo tables.
+/// SplitMix64 finalizer: a fast, well-mixed hash step (no SipHash).
+#[inline]
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn hash3(a: u32, b: u32, c: u32) -> u64 {
+    mix64((a as u64) << 42 ^ (b as u64) << 21 ^ c as u64)
+}
+
+/// Open-addressed unique table: maps `(var, lo, hi)` to a node index by
+/// probing a flat power-of-two slot array. Slot payloads are node indices
+/// into the arena's node vector; `EMPTY` marks a free slot.
+struct UniqueTable {
+    slots: Vec<u32>,
+    len: usize,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+impl UniqueTable {
+    fn new() -> Self {
+        UniqueTable {
+            slots: vec![EMPTY; 1 << 12],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    /// Finds the node's slot (occupied by `nodes[slot]` equal to the key)
+    /// or the empty slot where it belongs.
+    #[inline]
+    fn probe(&self, nodes: &[Node], key: &Node) -> (usize, Option<u32>) {
+        let mut i = hash3(key.var, key.lo.0, key.hi.0) as usize & self.mask();
+        loop {
+            let s = self.slots[i];
+            if s == EMPTY {
+                return (i, None);
+            }
+            if nodes[s as usize] == *key {
+                return (i, Some(s));
+            }
+            i = (i + 1) & self.mask();
+        }
+    }
+
+    /// Inserts a freshly pushed node index at a previously probed slot,
+    /// growing (and rehashing) past 70% load.
+    fn insert(&mut self, nodes: &[Node], slot: usize, id: u32) {
+        self.slots[slot] = id;
+        self.len += 1;
+        if self.len * 10 >= self.slots.len() * 7 {
+            self.grow(nodes);
+        }
+    }
+
+    fn grow(&mut self, nodes: &[Node]) {
+        let new_cap = self.slots.len() * 2;
+        let mut slots = vec![EMPTY; new_cap];
+        let mask = new_cap - 1;
+        for &s in &self.slots {
+            if s == EMPTY {
+                continue;
+            }
+            let n = &nodes[s as usize];
+            let mut i = hash3(n.var, n.lo.0, n.hi.0) as usize & mask;
+            while slots[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            slots[i] = s;
+        }
+        self.slots = slots;
+    }
+}
+
+/// One entry of the direct-mapped apply cache.
+#[derive(Clone, Copy)]
+struct ApplyEntry {
+    op: u8,
+    a: u32,
+    b: u32,
+    result: Ref,
+}
+
+const APPLY_EMPTY: ApplyEntry = ApplyEntry {
+    op: u8::MAX,
+    a: u32::MAX,
+    b: u32::MAX,
+    result: Ref::FALSE,
+};
+
+/// Bounded direct-mapped apply cache: one slot per hash bucket, overwritten
+/// on collision. Memory is fixed at construction time.
+struct ApplyCache {
+    entries: Vec<ApplyEntry>,
+    lookups: u64,
+    hits: u64,
+}
+
+impl ApplyCache {
+    fn with_bits(bits: u32) -> Self {
+        ApplyCache {
+            entries: vec![APPLY_EMPTY; 1 << bits],
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, op: Op, a: Ref, b: Ref) -> usize {
+        hash3(op as u32, a.0, b.0) as usize & (self.entries.len() - 1)
+    }
+
+    #[inline]
+    fn get(&mut self, op: Op, a: Ref, b: Ref) -> Option<Ref> {
+        self.lookups += 1;
+        let e = self.entries[self.slot(op, a, b)];
+        if e.op == op as u8 && e.a == a.0 && e.b == b.0 {
+            self.hits += 1;
+            Some(e.result)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn put(&mut self, op: Op, a: Ref, b: Ref, result: Ref) {
+        let i = self.slot(op, a, b);
+        self.entries[i] = ApplyEntry {
+            op: op as u8,
+            a: a.0,
+            b: b.0,
+            result,
+        };
+    }
+}
+
+/// A point-in-time snapshot of arena health (see [`Bdd::stats`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BddStats {
+    /// Live stored nodes (including the terminal). With complement edges
+    /// this is roughly half the node count a plain arena would hold.
+    pub nodes: usize,
+    /// Peak stored node count over the arena's lifetime (equals `nodes`
+    /// while the arena performs no garbage collection; kept separate so
+    /// the stats contract survives a future GC).
+    pub peak_nodes: usize,
+    /// Apply-cache probes.
+    pub apply_lookups: u64,
+    /// Apply-cache hits.
+    pub apply_hits: u64,
+    /// Unique-table (hash-cons) probes from `mk`.
+    pub unique_lookups: u64,
+    /// Unique-table probes answered by an existing node.
+    pub unique_hits: u64,
+    /// Apply-cache capacity in entries.
+    pub apply_capacity: usize,
+}
+
+impl BddStats {
+    /// Fraction of apply probes answered from the cache (0 when idle).
+    pub fn apply_hit_rate(&self) -> f64 {
+        if self.apply_lookups == 0 {
+            0.0
+        } else {
+            self.apply_hits as f64 / self.apply_lookups as f64
+        }
+    }
+
+    /// Fraction of `mk` calls that deduplicated into an existing node.
+    pub fn unique_hit_rate(&self) -> f64 {
+        if self.unique_lookups == 0 {
+            0.0
+        } else {
+            self.unique_hits as f64 / self.unique_lookups as f64
+        }
+    }
+}
+
+/// Default apply-cache size: 2^16 entries (1 MiB).
+pub const DEFAULT_APPLY_CACHE_BITS: u32 = 16;
+
+/// The BDD arena: owns every node, the unique table and the apply cache.
 ///
 /// All operations take `&mut self` because they may allocate nodes; results
 /// are plain [`Ref`]s that stay valid for the arena's lifetime.
 pub struct Bdd {
     nodes: Vec<Node>,
-    unique: HashMap<Node, Ref>,
-    apply_memo: HashMap<(Op, Ref, Ref), Ref>,
-    not_memo: HashMap<Ref, Ref>,
+    unique: UniqueTable,
+    apply_cache: ApplyCache,
+    unique_lookups: u64,
+    unique_hits: u64,
 }
 
 impl Default for Bdd {
@@ -117,32 +356,49 @@ impl Default for Bdd {
 }
 
 impl Bdd {
-    /// Creates an empty arena containing just the two terminals.
+    /// Creates an empty arena containing just the terminal node, with the
+    /// default apply-cache size.
     pub fn new() -> Self {
-        let f = Node {
-            var: TERMINAL_VAR,
-            lo: Ref::FALSE,
-            hi: Ref::FALSE,
-        };
-        let t = Node {
+        Self::with_apply_cache_bits(DEFAULT_APPLY_CACHE_BITS)
+    }
+
+    /// Creates an empty arena with a `2^bits`-entry apply cache
+    /// (16 bytes per entry). `bits` is clamped to `[8, 28]`.
+    pub fn with_apply_cache_bits(bits: u32) -> Self {
+        let one = Node {
             var: TERMINAL_VAR,
             lo: Ref::TRUE,
             hi: Ref::TRUE,
         };
         Bdd {
-            nodes: vec![f, t],
-            unique: HashMap::new(),
-            apply_memo: HashMap::new(),
-            not_memo: HashMap::new(),
+            nodes: vec![one],
+            unique: UniqueTable::new(),
+            apply_cache: ApplyCache::with_bits(bits.clamp(8, 28)),
+            unique_lookups: 0,
+            unique_hits: 0,
         }
     }
 
-    /// Total number of live nodes in the arena (including terminals).
+    /// Total number of live stored nodes (including the terminal). A
+    /// function and its complement share one node.
     pub fn arena_size(&self) -> usize {
         self.nodes.len()
     }
 
-    /// One of the two terminal nodes.
+    /// Current arena statistics.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            nodes: self.nodes.len(),
+            peak_nodes: self.nodes.len(),
+            apply_lookups: self.apply_cache.lookups,
+            apply_hits: self.apply_cache.hits,
+            unique_lookups: self.unique_lookups,
+            unique_hits: self.unique_hits,
+            apply_capacity: self.apply_cache.entries.len(),
+        }
+    }
+
+    /// One of the two constant functions.
     #[inline]
     pub fn constant(&self, value: bool) -> Ref {
         if value {
@@ -164,168 +420,159 @@ impl Bdd {
 
     #[inline]
     fn node(&self, r: Ref) -> Node {
-        self.nodes[r.0 as usize]
+        self.nodes[r.index()]
     }
 
-    /// The variable tested at the root of `r`, or `None` for terminals.
+    /// The variable tested at the root of `r`, or `None` for constants.
     pub fn root_var(&self, r: Ref) -> Option<Var> {
         let v = self.node(r).var;
         (v != TERMINAL_VAR).then_some(Var(v))
     }
 
-    /// The low (variable=false) cofactor of a non-terminal node.
+    /// The low (variable=false) cofactor of a non-constant function.
     pub fn lo(&self, r: Ref) -> Ref {
         debug_assert!(!r.is_const());
-        self.node(r).lo
+        self.node(r).lo.xor_tag(r)
     }
 
-    /// The high (variable=true) cofactor of a non-terminal node.
+    /// The high (variable=true) cofactor of a non-constant function.
     pub fn hi(&self, r: Ref) -> Ref {
         debug_assert!(!r.is_const());
-        self.node(r).hi
+        self.node(r).hi.xor_tag(r)
     }
 
-    /// Hash-consing constructor enforcing both reduction rules.
+    /// Hash-consing constructor enforcing the reduction rules and the
+    /// complement-edge canonical form (high edge never complemented).
     fn mk(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
         debug_assert!(var != TERMINAL_VAR);
         if lo == hi {
             return lo; // redundant test elimination
         }
-        let node = Node { var, lo, hi };
-        if let Some(&r) = self.unique.get(&node) {
-            return r; // duplicate elimination
+        // Canonical form: push a complemented high edge through the node.
+        if hi.is_complemented() {
+            return self.mk_raw(var, lo.flip(), hi.flip()).flip();
         }
-        let r = Ref(self.nodes.len() as u32);
-        self.nodes.push(node);
-        self.unique.insert(node, r);
-        r
+        self.mk_raw(var, lo, hi)
     }
 
-    /// Logical negation.
-    pub fn not(&mut self, r: Ref) -> Ref {
-        match r {
-            Ref::FALSE => return Ref::TRUE,
-            Ref::TRUE => return Ref::FALSE,
-            _ => {}
+    fn mk_raw(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
+        debug_assert!(!hi.is_complemented());
+        let key = Node { var, lo, hi };
+        self.unique_lookups += 1;
+        let (slot, found) = self.unique.probe(&self.nodes, &key);
+        if let Some(id) = found {
+            self.unique_hits += 1;
+            return Ref(id << 1);
         }
-        if let Some(&m) = self.not_memo.get(&r) {
-            return m;
-        }
-        let n = self.node(r);
-        let lo = self.not(n.lo);
-        let hi = self.not(n.hi);
-        let result = self.mk(n.var, lo, hi);
-        self.not_memo.insert(r, result);
-        self.not_memo.insert(result, r);
-        result
+        let id = self.nodes.len() as u32;
+        debug_assert!(id < u32::MAX >> 1, "BDD arena overflow");
+        self.nodes.push(key);
+        self.unique.insert(&self.nodes, slot, id);
+        Ref(id << 1)
     }
 
-    fn apply(&mut self, op: Op, a: Ref, b: Ref) -> Ref {
-        // Terminal cases.
-        match op {
-            Op::And => {
-                if a == Ref::FALSE || b == Ref::FALSE {
-                    return Ref::FALSE;
-                }
-                if a == Ref::TRUE {
-                    return b;
-                }
-                if b == Ref::TRUE {
-                    return a;
-                }
-                if a == b {
-                    return a;
-                }
-            }
-            Op::Or => {
-                if a == Ref::TRUE || b == Ref::TRUE {
-                    return Ref::TRUE;
-                }
-                if a == Ref::FALSE {
-                    return b;
-                }
-                if b == Ref::FALSE {
-                    return a;
-                }
-                if a == b {
-                    return a;
-                }
-            }
-            Op::Xor => {
-                if a == Ref::FALSE {
-                    return b;
-                }
-                if b == Ref::FALSE {
-                    return a;
-                }
-                if a == b {
-                    return Ref::FALSE;
-                }
-                if a == Ref::TRUE {
-                    return self.not(b);
-                }
-                if b == Ref::TRUE {
-                    return self.not(a);
-                }
-            }
+    /// Logical negation: a free bit-flip on the complement tag.
+    #[inline]
+    pub fn not(&self, r: Ref) -> Ref {
+        r.flip()
+    }
+
+    /// Logical conjunction.
+    pub fn and(&mut self, a: Ref, b: Ref) -> Ref {
+        // Terminal and absorption cases.
+        if a == Ref::FALSE || b == Ref::FALSE || a == b.flip() {
+            return Ref::FALSE;
         }
-        // Commutative ops: normalize the memo key.
-        let key = if a.0 <= b.0 { (op, a, b) } else { (op, b, a) };
-        if let Some(&m) = self.apply_memo.get(&key) {
+        if a == Ref::TRUE || a == b {
+            return b;
+        }
+        if b == Ref::TRUE {
+            return a;
+        }
+        // Commutative: normalize operand order for the cache.
+        let (a, b) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        if let Some(m) = self.apply_cache.get(Op::And, a, b) {
             return m;
         }
         let na = self.node(a);
         let nb = self.node(b);
         let var = na.var.min(nb.var);
         let (a_lo, a_hi) = if na.var == var {
-            (na.lo, na.hi)
+            (na.lo.xor_tag(a), na.hi.xor_tag(a))
         } else {
             (a, a)
         };
         let (b_lo, b_hi) = if nb.var == var {
-            (nb.lo, nb.hi)
+            (nb.lo.xor_tag(b), nb.hi.xor_tag(b))
         } else {
             (b, b)
         };
-        let lo = self.apply(op, a_lo, b_lo);
-        let hi = self.apply(op, a_hi, b_hi);
+        let lo = self.and(a_lo, b_lo);
+        let hi = self.and(a_hi, b_hi);
         let result = self.mk(var, lo, hi);
-        self.apply_memo.insert(key, result);
+        self.apply_cache.put(Op::And, a, b, result);
         result
     }
 
-    /// Logical conjunction.
-    pub fn and(&mut self, a: Ref, b: Ref) -> Ref {
-        self.apply(Op::And, a, b)
-    }
-
-    /// Logical disjunction.
+    /// Logical disjunction, by De Morgan through the (free) complement —
+    /// shares the `And` cache instead of filling a second one.
     pub fn or(&mut self, a: Ref, b: Ref) -> Ref {
-        self.apply(Op::Or, a, b)
+        self.and(a.flip(), b.flip()).flip()
     }
 
     /// Exclusive or.
     pub fn xor(&mut self, a: Ref, b: Ref) -> Ref {
-        self.apply(Op::Xor, a, b)
+        // xor(¬a, b) == ¬xor(a, b): strip both tags, reapply their parity.
+        let parity = (a.0 ^ b.0) & 1;
+        let (a, b) = (a.regular(), b.regular());
+        let r = if a == Ref::TRUE {
+            b.flip()
+        } else if b == Ref::TRUE {
+            a.flip()
+        } else if a == b {
+            Ref::FALSE
+        } else {
+            let (a, b) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+            if let Some(m) = self.apply_cache.get(Op::Xor, a, b) {
+                m
+            } else {
+                let na = self.node(a);
+                let nb = self.node(b);
+                let var = na.var.min(nb.var);
+                let (a_lo, a_hi) = if na.var == var {
+                    (na.lo, na.hi)
+                } else {
+                    (a, a)
+                };
+                let (b_lo, b_hi) = if nb.var == var {
+                    (nb.lo, nb.hi)
+                } else {
+                    (b, b)
+                };
+                let lo = self.xor(a_lo, b_lo);
+                let hi = self.xor(a_hi, b_hi);
+                let result = self.mk(var, lo, hi);
+                self.apply_cache.put(Op::Xor, a, b, result);
+                result
+            }
+        };
+        Ref(r.0 ^ parity)
     }
 
     /// Implication `a → b`.
     pub fn implies(&mut self, a: Ref, b: Ref) -> Ref {
-        let na = self.not(a);
-        self.or(na, b)
+        self.or(a.flip(), b)
     }
 
     /// Biconditional `a ↔ b`.
     pub fn iff(&mut self, a: Ref, b: Ref) -> Ref {
-        let x = self.xor(a, b);
-        self.not(x)
+        self.xor(a, b).flip()
     }
 
     /// If-then-else `(c ∧ t) ∨ (¬c ∧ e)`.
     pub fn ite(&mut self, c: Ref, t: Ref, e: Ref) -> Ref {
         let ct = self.and(c, t);
-        let nc = self.not(c);
-        let ce = self.and(nc, e);
+        let ce = self.and(c.flip(), e);
         self.or(ct, ce)
     }
 
@@ -353,10 +600,10 @@ impl Bdd {
             return f; // v does not occur in f
         }
         if n.var == v.0 {
-            return if value { n.hi } else { n.lo };
+            return (if value { n.hi } else { n.lo }).xor_tag(f);
         }
-        let lo = self.restrict(n.lo, v, value);
-        let hi = self.restrict(n.hi, v, value);
+        let lo = self.restrict(n.lo.xor_tag(f), v, value);
+        let hi = self.restrict(n.hi.xor_tag(f), v, value);
         self.mk(n.var, lo, hi)
     }
 
@@ -378,29 +625,24 @@ impl Bdd {
     /// variables beyond the slice are taken as false).
     pub fn eval(&self, f: Ref, assignment: &[bool]) -> bool {
         let mut r = f;
-        loop {
-            match r {
-                Ref::FALSE => return false,
-                Ref::TRUE => return true,
-                _ => {
-                    let n = self.node(r);
-                    let bit = assignment.get(n.var as usize).copied().unwrap_or(false);
-                    r = if bit { n.hi } else { n.lo };
-                }
-            }
+        while !r.is_const() {
+            let n = self.node(r);
+            let bit = assignment.get(n.var as usize).copied().unwrap_or(false);
+            r = (if bit { n.hi } else { n.lo }).xor_tag(r);
         }
+        r == Ref::TRUE
     }
 
-    /// Number of distinct nodes reachable from `f` (including terminals):
-    /// the conventional "BDD size".
+    /// Number of distinct stored nodes reachable from `f` (including the
+    /// terminal): the conventional "BDD size" under complement edges.
     pub fn size(&self, f: Ref) -> usize {
         let mut seen = std::collections::HashSet::new();
-        let mut stack = vec![f];
+        let mut stack = vec![f.regular()];
         while let Some(r) = stack.pop() {
             if seen.insert(r) && !r.is_const() {
                 let n = self.node(r);
-                stack.push(n.lo);
-                stack.push(n.hi);
+                stack.push(n.lo.regular());
+                stack.push(n.hi.regular());
             }
         }
         seen.len()
@@ -410,15 +652,15 @@ impl Bdd {
     pub fn support(&self, f: Ref) -> Vec<Var> {
         let mut vars = std::collections::BTreeSet::new();
         let mut seen = std::collections::HashSet::new();
-        let mut stack = vec![f];
+        let mut stack = vec![f.regular()];
         while let Some(r) = stack.pop() {
             if r.is_const() || !seen.insert(r) {
                 continue;
             }
             let n = self.node(r);
             vars.insert(Var(n.var));
-            stack.push(n.lo);
-            stack.push(n.hi);
+            stack.push(n.lo.regular());
+            stack.push(n.hi.regular());
         }
         vars.into_iter().collect()
     }
@@ -429,36 +671,44 @@ impl Bdd {
     ///
     /// Panics if `f` mentions a variable `>= nvars`.
     pub fn sat_count(&self, f: Ref, nvars: u32) -> u128 {
-        fn go(bdd: &Bdd, r: Ref, nvars: u32, memo: &mut HashMap<Ref, u128>) -> u128 {
-            match r {
-                Ref::FALSE => return 0,
-                Ref::TRUE => return 1,
-                _ => {}
-            }
-            if let Some(&c) = memo.get(&r) {
-                return c;
-            }
-            let n = bdd.node(r);
-            assert!(n.var < nvars, "sat_count: variable out of range");
-            let lo_count = go(bdd, n.lo, nvars, memo) << gap(bdd, n.lo, n.var, nvars);
-            let hi_count = go(bdd, n.hi, nvars, memo) << gap(bdd, n.hi, n.var, nvars);
-            let c = lo_count + hi_count;
-            memo.insert(r, c);
-            c
+        // memo: per regular node, the count over variables [node.var, nvars).
+        let mut memo: HashMap<u32, u128> = HashMap::new();
+        self.count_from(f, 0, nvars, &mut memo)
+    }
+
+    /// Count of satisfying assignments of `f` over variables
+    /// `[from, nvars)`; `f`'s root variable must be `>= from`.
+    fn count_from(&self, f: Ref, from: u32, nvars: u32, memo: &mut HashMap<u32, u128>) -> u128 {
+        let full = 1u128 << (nvars - from);
+        if f == Ref::TRUE {
+            return full;
         }
-        /// Number of skipped variable levels between a node at `parent_var`
-        /// and its child `r`.
-        fn gap(bdd: &Bdd, r: Ref, parent_var: u32, nvars: u32) -> u32 {
-            let child_var = if r.is_const() { nvars } else { bdd.node(r).var };
-            child_var - parent_var - 1
+        if f == Ref::FALSE {
+            return 0;
         }
-        let mut memo = HashMap::new();
-        let root_var = if f.is_const() {
-            nvars
+        let n = self.node(f);
+        assert!(n.var < nvars, "sat_count: variable out of range");
+        debug_assert!(n.var >= from);
+        let at_node = self.count_node(f.index() as u32, nvars, memo) << (n.var - from);
+        if f.is_complemented() {
+            full - at_node
         } else {
-            self.node(f).var
-        };
-        go(self, f, nvars, &mut memo) << root_var
+            at_node
+        }
+    }
+
+    /// Count for the positive phase of stored node `idx`, over variables
+    /// `[node.var, nvars)`.
+    fn count_node(&self, idx: u32, nvars: u32, memo: &mut HashMap<u32, u128>) -> u128 {
+        if let Some(&c) = memo.get(&idx) {
+            return c;
+        }
+        let n = self.nodes[idx as usize];
+        let lo = self.count_from(n.lo, n.var + 1, nvars, memo);
+        let hi = self.count_from(n.hi, n.var + 1, nvars, memo);
+        let c = lo + hi;
+        memo.insert(idx, c);
+        c
     }
 
     /// One satisfying assignment of `f` (values for its support variables),
@@ -471,16 +721,52 @@ impl Bdd {
         let mut r = f;
         while !r.is_const() {
             let n = self.node(r);
-            if n.hi != Ref::FALSE {
+            let hi = n.hi.xor_tag(r);
+            if hi != Ref::FALSE {
                 out.push((Var(n.var), true));
-                r = n.hi;
+                r = hi;
             } else {
                 out.push((Var(n.var), false));
-                r = n.lo;
+                r = n.lo.xor_tag(r);
             }
         }
         debug_assert_eq!(r, Ref::TRUE);
         Some(out)
+    }
+
+    /// Checks the structural invariants of the arena; panics with a
+    /// description on the first violation. Intended for tests.
+    ///
+    /// Invariants: the high edge of every stored node is uncomplemented
+    /// (so constants are never stored complemented and `¬¬f` is pointer-
+    /// identical to `f`), no redundant tests, children test strictly later
+    /// variables, and the unique table holds no duplicates.
+    pub fn check_invariants(&self) {
+        let mut seen = std::collections::HashSet::new();
+        for (i, n) in self.nodes.iter().enumerate().skip(1) {
+            assert!(
+                !n.hi.is_complemented(),
+                "node @{i}: complemented high edge {:?}",
+                n.hi
+            );
+            assert_ne!(n.lo, n.hi, "node @{i}: redundant test");
+            assert!(
+                n.var != TERMINAL_VAR,
+                "node @{i}: terminal var on internal node"
+            );
+            for child in [n.lo, n.hi] {
+                assert!(child.index() < i, "node @{i}: forward edge to {child:?}");
+                let cv = self.nodes[child.index()].var;
+                assert!(
+                    child.is_const() || cv > n.var,
+                    "node @{i}: child {child:?} does not test a later variable"
+                );
+            }
+            assert!(
+                seen.insert((n.var, n.lo, n.hi)),
+                "node @{i}: duplicate of an earlier node"
+            );
+        }
     }
 }
 
@@ -500,7 +786,10 @@ mod tests {
         assert_eq!(bdd.constant(true), Ref::TRUE);
         assert_eq!(bdd.constant(false), Ref::FALSE);
         assert!(Ref::TRUE.is_const());
+        assert!(Ref::FALSE.is_const());
         assert_eq!(bdd.size(Ref::TRUE), 1);
+        // The two constants share the single terminal node.
+        assert_eq!(bdd.arena_size(), 1);
     }
 
     #[test]
@@ -512,6 +801,21 @@ mod tests {
         let nv = bdd.nvar(3);
         assert_eq!(bdd.not(v), nv);
         assert_eq!(bdd.not(nv), v);
+        // A literal and its negation share one stored node.
+        assert_eq!(v.regular(), nv.regular());
+    }
+
+    #[test]
+    fn negation_is_free() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(0);
+        let y = bdd.var(1);
+        let f = bdd.and(x, y);
+        let before = bdd.arena_size();
+        let nf = bdd.not(f);
+        assert_eq!(bdd.arena_size(), before, "not must not allocate");
+        assert_eq!(bdd.not(nf), f, "¬¬f is pointer-identical to f");
+        assert_ne!(f, nf);
     }
 
     #[test]
@@ -528,6 +832,7 @@ mod tests {
         assert_eq!(bdd.and(x, nx), Ref::FALSE);
         assert_eq!(bdd.or(x, nx), Ref::TRUE);
         assert_eq!(bdd.and(x, y), bdd.and(y, x));
+        assert_eq!(bdd.xor(x, nx), Ref::TRUE);
     }
 
     #[test]
@@ -567,6 +872,10 @@ mod tests {
         assert_eq!(bdd.restrict(f, Var(0), false), Ref::FALSE);
         // Restricting an absent variable is the identity.
         assert_eq!(bdd.restrict(f, Var(7), true), f);
+        // Restriction distributes through the complement tag.
+        let nf = bdd.not(f);
+        let r = bdd.restrict(nf, Var(0), true);
+        assert_eq!(r, bdd.not(y));
     }
 
     #[test]
@@ -596,6 +905,11 @@ mod tests {
         // Skipped levels are counted.
         assert_eq!(bdd.sat_count(x, 3), 4);
         assert_eq!(bdd.sat_count(bdd.constant(true), 0), 1);
+        // Complemented roots count the complement.
+        let nf = bdd.not(f);
+        assert_eq!(bdd.sat_count(nf, 2), 3);
+        let nx = bdd.not(x);
+        assert_eq!(bdd.sat_count(nx, 3), 4);
     }
 
     #[test]
@@ -611,6 +925,14 @@ mod tests {
         }
         assert!(bdd.eval(f, &a));
         assert!(bdd.any_sat(Ref::FALSE).is_none());
+        // A complemented root still yields a correct model.
+        let nf = bdd.not(f);
+        let model = bdd.any_sat(nf).unwrap();
+        let mut a = vec![false; 2];
+        for (v, val) in model {
+            a[v.0 as usize] = val;
+        }
+        assert!(bdd.eval(nf, &a));
     }
 
     #[test]
@@ -620,8 +942,12 @@ mod tests {
         let z = bdd.var(5);
         let f = bdd.xor(x, z);
         assert_eq!(bdd.support(f), vec![Var(0), Var(5)]);
-        assert!(bdd.size(f) >= 4); // two internal + two terminals
+        // Two internal nodes + the shared terminal.
+        assert_eq!(bdd.size(f), 3);
         assert_eq!(bdd.support(Ref::TRUE), vec![]);
+        // A function and its complement have equal size.
+        let nf = bdd.not(f);
+        assert_eq!(bdd.size(nf), bdd.size(f));
     }
 
     #[test]
@@ -639,6 +965,7 @@ mod tests {
             .unwrap();
         assert_eq!(left, right);
         assert_eq!(bdd.sat_count(left, 8), 128);
+        bdd.check_invariants();
     }
 
     #[test]
@@ -666,5 +993,58 @@ mod tests {
         assert_eq!(bdd.sat_count(any, 4), 15);
         assert_eq!(bdd.and_all([]), Ref::TRUE);
         assert_eq!(bdd.or_all([]), Ref::FALSE);
+    }
+
+    #[test]
+    fn stats_track_cache_activity() {
+        let mut bdd = Bdd::with_apply_cache_bits(10);
+        let vs: Vec<Ref> = (0..10).map(|i| bdd.var(i)).collect();
+        let f = bdd.and_all(vs.iter().copied());
+        // Re-running the same conjunction must hit the apply cache, and
+        // re-making an existing literal must hit the unique table.
+        let g = bdd.and_all(vs.iter().copied());
+        assert_eq!(f, g);
+        assert_eq!(bdd.var(5), vs[5]);
+        let s = bdd.stats();
+        assert!(s.nodes > 10);
+        assert_eq!(s.peak_nodes, s.nodes);
+        assert!(s.apply_hits > 0, "expected apply-cache hits: {s:?}");
+        assert!(s.apply_hit_rate() > 0.0);
+        assert!(s.unique_hit_rate() > 0.0);
+        assert_eq!(s.apply_capacity, 1 << 10);
+    }
+
+    #[test]
+    fn unique_table_growth_keeps_canonicity() {
+        // Push well past the initial unique-table growth threshold
+        // (70% of 2^12 slots = 2868 entries) to force rehashes, then
+        // verify canonicity still holds. An XOR of pairwise products has
+        // no small BDD, so the arena genuinely fills.
+        let mut bdd = Bdd::new();
+        let mut acc = Ref::FALSE;
+        for i in 0..24u32 {
+            for j in (i + 1)..24 {
+                let v = bdd.var(i);
+                let w = bdd.var(j);
+                let t = bdd.and(v, w);
+                acc = bdd.xor(acc, t);
+            }
+        }
+        assert!(
+            bdd.arena_size() > (1 << 12) * 7 / 10,
+            "test must cross the rehash threshold, got {} nodes",
+            bdd.arena_size()
+        );
+        // Canonicity after growth: existing nodes are still found...
+        let v3 = bdd.var(3);
+        assert_eq!(v3, bdd.var(3));
+        // ...and semantically equal formulas still share a Ref.
+        let x = bdd.var(0);
+        let y = bdd.var(1);
+        let xy = bdd.and(x, y);
+        let acc2 = bdd.xor(acc, xy);
+        let back = bdd.xor(acc2, xy);
+        assert_eq!(back, acc);
+        bdd.check_invariants();
     }
 }

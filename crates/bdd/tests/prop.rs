@@ -164,6 +164,47 @@ proptest! {
         }
     }
 
+    /// Complement-edge canonical form: after building arbitrary formula
+    /// trees, every stored node has an uncomplemented high edge (so the
+    /// constants are never stored complemented), children are ordered,
+    /// and the unique table holds no duplicates.
+    #[test]
+    fn complement_edge_invariants(e in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let _ = e.build(&mut bdd);
+        bdd.check_invariants();
+    }
+
+    /// Negation is a free edge-tag flip: it allocates nothing, is an
+    /// involution up to pointer equality, and never returns a
+    /// "complemented constant" distinct from the canonical constants.
+    #[test]
+    fn negation_allocates_nothing(e in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let f = e.build(&mut bdd);
+        let before = bdd.arena_size();
+        let nf = bdd.not(f);
+        prop_assert_eq!(bdd.arena_size(), before);
+        prop_assert_eq!(bdd.not(nf), f);
+        if f.is_const() {
+            prop_assert!(nf.is_const());
+            prop_assert!(nf == Ref::TRUE || nf == Ref::FALSE);
+        }
+        // A function and its complement share every stored node.
+        prop_assert_eq!(bdd.size(f), bdd.size(nf));
+    }
+
+    /// The complement edge really is semantic negation: sat counts of f
+    /// and ¬f partition the assignment space.
+    #[test]
+    fn complement_partitions_space(e in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let f = e.build(&mut bdd);
+        let nf = bdd.not(f);
+        let total = 1u128 << NVARS;
+        prop_assert_eq!(bdd.sat_count(f, NVARS) + bdd.sat_count(nf, NVARS), total);
+    }
+
     /// any_sat returns a model exactly when one exists.
     #[test]
     fn any_sat_correct(e in arb_expr()) {

@@ -4,7 +4,7 @@
 
 use bonsai_core::compress::{compress, CompressOptions};
 use bonsai_core::ecs::compute_ecs;
-use bonsai_core::policy_bdd::PolicyCtx;
+use bonsai_core::engine::CompiledPolicies;
 use bonsai_core::signatures::build_sig_table;
 use bonsai_topo::{fattree, full_mesh, ring, FattreePolicy};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -65,14 +65,45 @@ fn bench_stages(c: &mut Criterion) {
     });
     group.bench_function("sig_table/fattree8", |b| {
         b.iter(|| {
-            let mut ctx = PolicyCtx::from_network(&net, false);
-            build_sig_table(&mut ctx, &net, &topo, &ec)
+            let engine = CompiledPolicies::from_network(&net, false);
+            build_sig_table(&engine, &net, &topo, &ec)
         })
     });
     group.bench_function("refinement/fattree8", |b| {
-        let mut ctx = PolicyCtx::from_network(&net, false);
-        let sigs = build_sig_table(&mut ctx, &net, &topo, &ec);
+        let engine = CompiledPolicies::from_network(&net, false);
+        let sigs = build_sig_table(&engine, &net, &topo, &ec);
         b.iter(|| bonsai_core::algorithm::find_abstraction(&topo.graph, &ec, &sigs))
+    });
+    group.finish();
+}
+
+/// The shared-engine ablation: building every EC's signature table against
+/// one engine (production path) vs rebuilding a fresh engine per EC (the
+/// pre-refactor architecture).
+fn bench_engine_sharing(c: &mut Criterion) {
+    let net = fattree(8, FattreePolicy::PreferBottom);
+    let topo = bonsai_config::BuiltTopology::build(&net).unwrap();
+    let ecs = compute_ecs(&net, &topo);
+
+    let mut group = c.benchmark_group("engine_sharing");
+    group.sample_size(10);
+    group.bench_function("shared_engine_all_ecs", |b| {
+        b.iter(|| {
+            let engine = CompiledPolicies::from_network(&net, false);
+            for ec in &ecs {
+                let ec_dest = ec.to_ec_dest();
+                build_sig_table(&engine, &net, &topo, &ec_dest);
+            }
+        })
+    });
+    group.bench_function("fresh_engine_per_ec", |b| {
+        b.iter(|| {
+            for ec in &ecs {
+                let engine = CompiledPolicies::from_network(&net, false);
+                let ec_dest = ec.to_ec_dest();
+                build_sig_table(&engine, &net, &topo, &ec_dest);
+            }
+        })
     });
     group.finish();
 }
@@ -85,8 +116,8 @@ fn bench_policy_eq(c: &mut Criterion) {
     let topo = bonsai_config::BuiltTopology::build(&net).unwrap();
     let ecs = compute_ecs(&net, &topo);
     let ec = ecs[0].to_ec_dest();
-    let mut ctx = PolicyCtx::from_network(&net, false);
-    let sigs = build_sig_table(&mut ctx, &net, &topo, &ec);
+    let engine = CompiledPolicies::from_network(&net, false);
+    let sigs = build_sig_table(&engine, &net, &topo, &ec);
 
     let mut group = c.benchmark_group("policy_eq");
     group.bench_function("bdd_ids", |b| {
@@ -129,5 +160,11 @@ fn bench_policy_eq(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compress, bench_stages, bench_policy_eq);
+criterion_group!(
+    benches,
+    bench_compress,
+    bench_stages,
+    bench_policy_eq,
+    bench_engine_sharing
+);
 criterion_main!(benches);

@@ -8,7 +8,7 @@
 //! destination ECs that are relevant for a query", §7) — that selectivity
 //! plus the tiny abstract networks is where the speedup comes from.
 
-use bonsai_core::compress::{compress_ec, CompressOptions};
+use bonsai_core::compress::{build_engine, compress_ec, CompressOptions};
 use bonsai_topo::{datacenter, DatacenterParams};
 use bonsai_verify::SimEngine;
 use std::time::Instant;
@@ -68,6 +68,9 @@ fn main() {
         strip_unused_communities: true,
         ..Default::default()
     };
+    // One shared engine even for the selective per-EC path: queried
+    // classes reuse each other's compiled policies.
+    let policy_engine = build_engine(&net, options);
     let mut reachable = 0usize;
     let mut queried = 0usize;
     for ec in ecs
@@ -75,7 +78,7 @@ fn main() {
         .filter(|ec| ec.origins.iter().any(|(n, _)| *n == dst_node))
     {
         queried += 1;
-        let compression = compress_ec(&net, &topo, ec, options);
+        let compression = compress_ec(&policy_engine, &net, &topo, ec);
         let abs = &compression.abstract_network;
         let abs_engine = SimEngine::new(&abs.network);
         let abs_src = compression

@@ -1,15 +1,19 @@
 //! Regenerates **Table 1**: compression results for synthetic and "real"
-//! networks.
+//! networks, now including the shared-engine arena/cache columns.
 //!
 //! ```text
-//! table1              # Table 1(a): fattree / ring / full mesh sweeps
-//! table1 --quick      # smaller sweep sizes (CI-friendly)
-//! table1 --real       # Table 1(b): data-center and WAN simulacra
-//! table1 --roles      # the §8 role-count study (112 → 26 → 8)
+//! table1                   # Table 1(a): fattree / ring / full mesh sweeps
+//! table1 --quick           # smaller sweep sizes (CI-friendly)
+//! table1 --real            # Table 1(b): data-center and WAN simulacra
+//! table1 --roles           # the §8 role-count study (112 → 26 → 8)
+//! table1 --json [PATH]     # also write a BENCH_compress.json perf
+//!                          # snapshot (per-stage times, arena stats,
+//!                          # compression ratios); default path
+//!                          # BENCH_compress.json
 //! ```
 
-use bonsai_bench::Table1Row;
-use bonsai_core::compress::{compress, CompressOptions};
+use bonsai_bench::{compress_snapshot_json, report_json, Table1Row};
+use bonsai_core::compress::{compress, CompressOptions, CompressionReport};
 use bonsai_core::roles::{count_roles, RoleOptions};
 use bonsai_topo::{
     datacenter, fattree, full_mesh, ring, wan, DatacenterParams, FattreePolicy, WanParams,
@@ -20,40 +24,60 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let real = args.iter().any(|a| a == "--real");
     let roles = args.iter().any(|a| a == "--roles");
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_compress.json".to_string())
+    });
 
     if roles {
+        if json_path.is_some() {
+            eprintln!("warning: --json is ignored with --roles (the role study produces no compression snapshot)");
+        }
         run_roles(quick);
         return;
     }
+    let mut snapshot: Vec<String> = Vec::new();
     if real {
-        run_real(quick);
-        return;
+        run_real(quick, &mut snapshot);
+    } else {
+        run_synthetic(quick, &mut snapshot);
     }
-    run_synthetic(quick);
+    if let Some(path) = json_path {
+        let doc = compress_snapshot_json(&snapshot);
+        std::fs::write(&path, doc).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path} ({} rows)", snapshot.len());
+    }
 }
 
-fn run_synthetic(quick: bool) {
+fn run_one(label: &str, report: &CompressionReport, snapshot: &mut Vec<String>) {
+    println!("{}", Table1Row::from_report(label, report).render());
+    snapshot.push(report_json(label, report));
+}
+
+fn run_synthetic(quick: bool, snapshot: &mut Vec<String>) {
     println!("(a) Synthetic networks");
     println!("{}", Table1Row::header());
     let fattree_ks: &[usize] = if quick { &[4, 8] } else { &[12, 20, 30] };
     for &k in fattree_ks {
         let net = fattree(k, FattreePolicy::ShortestPath);
         let report = compress(&net, CompressOptions::default());
-        println!("{}", Table1Row::from_report("Fattree", &report).render());
+        run_one(&format!("Fattree{k}"), &report, snapshot);
     }
     let ring_ns: &[usize] = if quick { &[20, 50] } else { &[100, 500, 1000] };
     for &n in ring_ns {
         let report = compress(&ring(n), CompressOptions::default());
-        println!("{}", Table1Row::from_report("Ring", &report).render());
+        run_one(&format!("Ring{n}"), &report, snapshot);
     }
     let mesh_ns: &[usize] = if quick { &[10, 20] } else { &[50, 150, 250] };
     for &n in mesh_ns {
         let report = compress(&full_mesh(n), CompressOptions::default());
-        println!("{}", Table1Row::from_report("Full Mesh", &report).render());
+        run_one(&format!("FullMesh{n}"), &report, snapshot);
     }
 }
 
-fn run_real(quick: bool) {
+fn run_real(quick: bool, snapshot: &mut Vec<String>) {
     println!("(b) Real networks (structural simulacra; see DESIGN.md)");
     println!("{}", Table1Row::header());
     let dc_params = if quick {
@@ -75,10 +99,7 @@ fn run_real(quick: bool) {
             ..Default::default()
         },
     );
-    println!(
-        "{}",
-        Table1Row::from_report("Data center", &report).render()
-    );
+    run_one("Data center", &report, snapshot);
 
     let wan_params = if quick {
         WanParams {
@@ -92,7 +113,7 @@ fn run_real(quick: bool) {
     };
     let w = wan(wan_params);
     let report = compress(&w, CompressOptions::default());
-    println!("{}", Table1Row::from_report("WAN", &report).render());
+    run_one("WAN", &report, snapshot);
 }
 
 fn run_roles(quick: bool) {

@@ -43,6 +43,12 @@ pub struct Table1Row {
     pub bdd_time: Duration,
     /// Mean per-class compression time.
     pub per_ec_time: Duration,
+    /// Shared-arena node count at end of run.
+    pub arena_nodes: usize,
+    /// Cross-EC signature-cache hit rate (0..1).
+    pub sig_hit_rate: f64,
+    /// Whole-table cache hit rate across ECs (0..1).
+    pub table_hit_rate: f64,
 }
 
 impl Table1Row {
@@ -58,13 +64,17 @@ impl Table1Row {
             ecs: report.num_ecs(),
             bdd_time: report.bdd_time(),
             per_ec_time: report.compress_time_per_ec(),
+            arena_nodes: report.engine.arena_nodes,
+            sig_hit_rate: report.engine.sig_hit_rate(),
+            table_hit_rate: report.engine.table_hit_rate(),
         }
     }
 
-    /// Renders the row in the paper's column layout.
+    /// Renders the row in the paper's column layout, extended with the
+    /// shared-engine columns (arena nodes, signature-cache hit rate).
     pub fn render(&self) -> String {
         format!(
-            "{:<12} {:>6} / {:<7} {:>7.1}±{:<5.1} / {:>7.1}±{:<7.1} {:>7.2}x / {:<9.2}x {:>6} {:>10.2} {:>12.4}",
+            "{:<12} {:>6} / {:<7} {:>7.1}±{:<5.1} / {:>7.1}±{:<7.1} {:>7.2}x / {:<9.2}x {:>6} {:>10.2} {:>12.4} {:>8} {:>6.0}%",
             self.topology,
             self.nodes,
             self.links,
@@ -77,13 +87,15 @@ impl Table1Row {
             self.ecs,
             self.bdd_time.as_secs_f64(),
             self.per_ec_time.as_secs_f64(),
+            self.arena_nodes,
+            self.table_hit_rate * 100.0,
         )
     }
 
     /// The table header matching [`Table1Row::render`].
     pub fn header() -> String {
         format!(
-            "{:<12} {:>6} / {:<7} {:>13} / {:<17} {:>19} {:>6} {:>10} {:>12}",
+            "{:<12} {:>6} / {:<7} {:>13} / {:<17} {:>19} {:>6} {:>10} {:>12} {:>8} {:>7}",
             "Topology",
             "Nodes",
             "Links",
@@ -92,9 +104,99 @@ impl Table1Row {
             "Compression",
             "ECs",
             "BDD(s)",
-            "perEC(s)"
+            "perEC(s)",
+            "BDDnode",
+            "ecHit"
         )
     }
+}
+
+/// Minimal JSON string escaping (labels are ASCII; quotes and backslashes
+/// still must not break the document).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes one compression run for the `BENCH_compress.json` perf
+/// snapshot: per-stage times, shared-engine arena/cache statistics and
+/// compression ratios.
+pub fn report_json(label: &str, report: &CompressionReport) -> String {
+    let e = &report.engine;
+    format!(
+        concat!(
+            "{{\"label\":\"{}\",\"nodes\":{},\"links\":{},\"ecs\":{},",
+            "\"abs_nodes_mean\":{},\"abs_nodes_std\":{},",
+            "\"abs_links_mean\":{},\"abs_links_std\":{},",
+            "\"node_ratio\":{},\"link_ratio\":{},",
+            "\"times\":{{\"total_s\":{},\"ec_compute_s\":{},\"engine_build_s\":{},",
+            "\"bdd_s\":{},\"per_ec_s\":{}}},",
+            "\"engine\":{{\"arena_nodes\":{},\"arena_peak\":{},",
+            "\"apply_lookups\":{},\"apply_hits\":{},\"apply_hit_rate\":{},",
+            "\"unique_lookups\":{},\"unique_hits\":{},",
+            "\"stage_lookups\":{},\"stage_hits\":{},\"stage_hit_rate\":{},",
+            "\"sig_lookups\":{},\"sig_hits\":{},\"sig_hit_rate\":{},",
+            "\"table_lookups\":{},\"table_hits\":{},\"table_hit_rate\":{}}}}}"
+        ),
+        json_escape(label),
+        report.concrete_nodes,
+        report.concrete_links,
+        report.num_ecs(),
+        json_f64(report.mean_abstract_nodes()),
+        json_f64(report.std_abstract_nodes()),
+        json_f64(report.mean_abstract_links()),
+        json_f64(report.std_abstract_links()),
+        json_f64(report.node_ratio()),
+        json_f64(report.link_ratio()),
+        json_f64(report.total_time.as_secs_f64()),
+        json_f64(report.ec_compute_time.as_secs_f64()),
+        json_f64(report.engine_build_time.as_secs_f64()),
+        json_f64(report.bdd_time().as_secs_f64()),
+        json_f64(report.compress_time_per_ec().as_secs_f64()),
+        e.arena_nodes,
+        e.arena_peak,
+        e.apply_lookups,
+        e.apply_hits,
+        json_f64(e.apply_hit_rate()),
+        e.unique_lookups,
+        e.unique_hits,
+        e.stage_lookups,
+        e.stage_hits,
+        json_f64(e.stage_hit_rate()),
+        e.sig_lookups,
+        e.sig_hits,
+        json_f64(e.sig_hit_rate()),
+        e.table_lookups,
+        e.table_hits,
+        json_f64(e.table_hit_rate()),
+    )
+}
+
+/// Assembles the full `BENCH_compress.json` document from
+/// [`report_json`] rows.
+pub fn compress_snapshot_json(rows: &[String]) -> String {
+    let indented: Vec<String> = rows.iter().map(|json| format!("    {json}")).collect();
+    format!(
+        "{{\n  \"schema\": \"bonsai-bench/compress-v1\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        indented.join(",\n")
+    )
 }
 
 /// Outcome of one Figure 12 measurement.

@@ -235,7 +235,7 @@ pub fn build_abstract_network(
     }
     let abs_ec = EcDest {
         prefix: ec.prefix,
-        range: ec.range,
+        ranges: ec.ranges.clone(),
         origins: abs_origins,
     };
 
@@ -268,7 +268,7 @@ fn iface_to(peer: NodeId) -> String {
 mod tests {
     use super::*;
     use crate::algorithm::find_abstraction;
-    use crate::policy_bdd::PolicyCtx;
+    use crate::engine::CompiledPolicies;
     use crate::signatures::build_sig_table;
     use bonsai_srp::instance::OriginProto;
     use bonsai_srp::papernets;
@@ -283,8 +283,8 @@ mod tests {
             papernets::DEST_PREFIX.parse().unwrap(),
             vec![(d, OriginProto::Bgp)],
         );
-        let mut ctx = PolicyCtx::from_network(net, false);
-        let sigs = build_sig_table(&mut ctx, net, &topo, &ec);
+        let engine = CompiledPolicies::from_network(net, false);
+        let sigs = build_sig_table(&engine, net, &topo, &ec);
         let abs = find_abstraction(&topo.graph, &ec, &sigs);
         let abs_net = build_abstract_network(net, &topo, &ec, &abs);
         (topo, abs, abs_net)

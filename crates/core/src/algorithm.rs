@@ -174,7 +174,7 @@ fn refine(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy_bdd::PolicyCtx;
+    use crate::engine::CompiledPolicies;
     use crate::signatures::build_sig_table;
     use bonsai_config::BuiltTopology;
     use bonsai_srp::instance::OriginProto;
@@ -187,8 +187,8 @@ mod tests {
             papernets::DEST_PREFIX.parse().unwrap(),
             vec![(d, OriginProto::Bgp)],
         );
-        let mut ctx = PolicyCtx::from_network(net, false);
-        let sigs = build_sig_table(&mut ctx, net, &topo, &ec);
+        let engine = CompiledPolicies::from_network(net, false);
+        let sigs = build_sig_table(&engine, net, &topo, &ec);
         let abs = find_abstraction(&topo.graph, &ec, &sigs);
         (topo, abs)
     }

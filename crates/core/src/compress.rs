@@ -1,17 +1,25 @@
 //! The top-level compression driver: configurations in, per-class abstract
 //! networks and a timing/size report out.
 //!
-//! Mirrors Bonsai's pipeline (§5, §7): compute destination equivalence
-//! classes, then — in parallel across classes, as the paper's
-//! implementation does — build the BDD signature table, run abstraction
-//! refinement, and materialize the abstract network.
+//! Mirrors Bonsai's pipeline (§5, §7) on top of the shared engine
+//! architecture: compute destination equivalence classes, build **one**
+//! [`CompiledPolicies`] engine for the whole network, then fan the classes
+//! over scoped workers. Workers pull class indices from one atomic
+//! counter, keep their results in worker-local vectors, and the driver
+//! merges them after the scope joins — no per-slot locks. All BDD work
+//! flows through the shared engine, so route maps compiled for one class
+//! are reused by every other class that resolves them the same way; the
+//! report carries the engine statistics that prove (and quantify) the
+//! reuse.
 
 use crate::abstraction::{build_abstract_network, AbstractNetwork};
 use crate::algorithm::{find_abstraction, Abstraction};
 use crate::ecs::{compute_ecs, DestEc};
-use crate::policy_bdd::PolicyCtx;
+use crate::engine::{CompiledPolicies, EngineStats};
 use crate::signatures::build_sig_table;
 use bonsai_config::{BuiltTopology, NetworkConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Options for a compression run.
@@ -23,6 +31,9 @@ pub struct CompressOptions {
     pub strip_unused_communities: bool,
     /// Number of worker threads for per-EC work (0 = all available cores).
     pub threads: usize,
+    /// Apply-cache size of the shared arena, as a power of two
+    /// (`2^bits` entries; 0 = the library default of 2^16).
+    pub apply_cache_bits: u32,
 }
 
 /// Result of compressing one destination equivalence class.
@@ -33,7 +44,8 @@ pub struct EcCompression {
     pub abstraction: Abstraction,
     /// The materialized abstract network.
     pub abstract_network: AbstractNetwork,
-    /// Time spent building the BDD signature table.
+    /// Time spent building the BDD signature table (mostly engine-cache
+    /// lookups after the first class touches a policy).
     pub bdd_time: Duration,
     /// Time spent in refinement + abstract-network construction.
     pub compress_time: Duration,
@@ -49,6 +61,16 @@ pub struct CompressionReport {
     pub per_ec: Vec<EcCompression>,
     /// Wall-clock time of the whole run.
     pub total_time: Duration,
+    /// Time spent partitioning the address space into classes.
+    pub ec_compute_time: Duration,
+    /// Time spent building the shared engine (community scan + arena).
+    pub engine_build_time: Duration,
+    /// End-of-run statistics of the shared policy-compilation engine:
+    /// arena size and cache hit rates across **all** classes.
+    pub engine: EngineStats,
+    /// The shared engine itself, for downstream consumers (verification
+    /// reuses the same manager instead of rescanning the network).
+    pub policies: Arc<CompiledPolicies>,
 }
 
 impl CompressionReport {
@@ -104,8 +126,8 @@ impl CompressionReport {
     }
 
     /// Total BDD-construction time across classes (the paper's "BDD time"
-    /// column; our pipeline specializes BDDs per class, so this is the sum
-    /// of per-class signature-table builds).
+    /// column; our pipeline specializes BDDs per class through the shared
+    /// engine, so this is the sum of per-class signature-table builds).
     pub fn bdd_time(&self) -> Duration {
         self.per_ec.iter().map(|e| e.bdd_time).sum()
     }
@@ -141,17 +163,27 @@ fn std_dev(values: impl Iterator<Item = f64>) -> f64 {
     (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
 }
 
-/// Compresses one destination class (with a fresh BDD arena).
+/// Builds the shared engine a compression run (or an external caller that
+/// wants to share one) uses.
+pub fn build_engine(network: &NetworkConfig, options: CompressOptions) -> CompiledPolicies {
+    let bits = if options.apply_cache_bits == 0 {
+        bonsai_bdd::DEFAULT_APPLY_CACHE_BITS
+    } else {
+        options.apply_cache_bits
+    };
+    CompiledPolicies::with_cache_bits(network, options.strip_unused_communities, bits)
+}
+
+/// Compresses one destination class against a shared engine.
 pub fn compress_ec(
+    engine: &CompiledPolicies,
     network: &NetworkConfig,
     topo: &BuiltTopology,
     ec: &DestEc,
-    options: CompressOptions,
 ) -> EcCompression {
     let ec_dest = ec.to_ec_dest();
     let t0 = Instant::now();
-    let mut ctx = PolicyCtx::from_network(network, options.strip_unused_communities);
-    let sigs = build_sig_table(&mut ctx, network, topo, &ec_dest);
+    let sigs = build_sig_table(engine, network, topo, &ec_dest);
     let bdd_time = t0.elapsed();
 
     let t1 = Instant::now();
@@ -168,12 +200,59 @@ pub fn compress_ec(
     }
 }
 
+/// The unified fan-out driver: workers claim class indices from one atomic
+/// counter and collect into worker-local vectors (lock-free; the only
+/// shared mutable state is the engine's internal arena lock). `threads: 1`
+/// runs the identical worker loop inline.
+fn run_workers(
+    engine: &CompiledPolicies,
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    ecs: &[DestEc],
+    threads: usize,
+) -> Vec<EcCompression> {
+    let next = AtomicUsize::new(0);
+    let worker = || {
+        let mut out: Vec<(usize, EcCompression)> = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= ecs.len() {
+                break;
+            }
+            out.push((i, compress_ec(engine, network, topo, &ecs[i])));
+        }
+        out
+    };
+
+    let mut indexed: Vec<(usize, EcCompression)> = if threads <= 1 {
+        worker()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("EC worker panicked"))
+                .collect()
+        })
+    };
+    indexed.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(indexed.len(), ecs.len(), "every EC processed exactly once");
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
 /// Compresses a whole network: every destination equivalence class,
-/// processed in parallel.
+/// processed in parallel over one shared policy-compilation engine.
 pub fn compress(network: &NetworkConfig, options: CompressOptions) -> CompressionReport {
     let start = Instant::now();
     let topo = BuiltTopology::build(network).expect("network has a consistent topology");
+
+    let t_ecs = Instant::now();
     let ecs = compute_ecs(network, &topo);
+    let ec_compute_time = t_ecs.elapsed();
+
+    let t_engine = Instant::now();
+    let engine = Arc::new(build_engine(network, options));
+    let engine_build_time = t_engine.elapsed();
 
     let threads = if options.threads == 0 {
         std::thread::available_parallelism()
@@ -184,43 +263,17 @@ pub fn compress(network: &NetworkConfig, options: CompressOptions) -> Compressio
     }
     .min(ecs.len().max(1));
 
-    let mut results: Vec<Option<EcCompression>> = Vec::new();
-    results.resize_with(ecs.len(), || None);
-
-    if threads <= 1 {
-        for (i, ec) in ecs.iter().enumerate() {
-            results[i] = Some(compress_ec(network, &topo, ec, options));
-        }
-    } else {
-        let counter = std::sync::atomic::AtomicUsize::new(0);
-        let slots: Vec<std::sync::Mutex<Option<EcCompression>>> = (0..ecs.len())
-            .map(|_| std::sync::Mutex::new(None))
-            .collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= ecs.len() {
-                        break;
-                    }
-                    let r = compress_ec(network, &topo, &ecs[i], options);
-                    *slots[i].lock().unwrap() = Some(r);
-                });
-            }
-        });
-        for (i, slot) in slots.into_iter().enumerate() {
-            results[i] = slot.into_inner().unwrap();
-        }
-    }
+    let per_ec = run_workers(&engine, network, &topo, &ecs, threads);
 
     CompressionReport {
         concrete_nodes: topo.graph.node_count(),
         concrete_links: topo.graph.link_count(),
-        per_ec: results
-            .into_iter()
-            .map(|r| r.expect("every EC processed"))
-            .collect(),
+        per_ec,
         total_time: start.elapsed(),
+        ec_compute_time,
+        engine_build_time,
+        engine: engine.stats(),
+        policies: engine,
     }
 }
 
@@ -240,6 +293,10 @@ mod tests {
         assert_eq!(report.mean_abstract_links(), 4.0);
         assert!(report.node_ratio() > 1.0);
         assert!(report.link_ratio() > 1.0);
+        // The engine saw work even for a single class (the gadget models
+        // no communities, so the arena is just the shared terminal).
+        assert!(report.engine.arena_nodes >= 1);
+        assert!(report.engine.sig_lookups > 0);
     }
 
     #[test]
@@ -276,5 +333,98 @@ link a i b i
         }
         // Deterministic order by representative prefix.
         assert!(report.per_ec[0].ec.rep < report.per_ec[1].ec.rep);
+    }
+
+    /// When an ACL makes two classes differ (different table keys), the
+    /// middle cache tier still shares the per-edge BGP signatures, whose
+    /// keys depend only on the route-map resolution.
+    #[test]
+    fn sig_tier_absorbs_acl_only_differences() {
+        let net = bonsai_config::parse_network(
+            "
+device a
+interface i
+ ip access-group BLOCK out
+ip access-list BLOCK deny 10.0.5.0/24
+ip access-list BLOCK permit any
+router bgp 1
+ network 10.0.0.0/16
+ neighbor i remote-as external
+end
+device b
+interface i
+router bgp 2
+ neighbor i remote-as external
+end
+link a i b i
+",
+        )
+        .unwrap();
+        let report = compress(&net, CompressOptions::default());
+        assert_eq!(report.num_ecs(), 2);
+        let stats = &report.engine;
+        // The ACL splits the classes' table keys...
+        assert_eq!(stats.table_hits, 0, "{stats:?}");
+        // ...but the BGP signatures (no prefix lists involved) are shared.
+        assert!(
+            stats.sig_hits > 0,
+            "acl-only difference must still share BGP signatures: {stats:?}"
+        );
+        assert!(stats.reuse_observed());
+    }
+
+    /// The acceptance criterion of the shared-engine refactor: on a
+    /// multi-EC network the second class reuses the first class's
+    /// compiled signatures, visible as nonzero cache hit rates.
+    #[test]
+    fn engine_is_shared_across_ecs() {
+        let more = bonsai_config::parse_network(
+            "
+device a
+interface i
+router bgp 1
+ network 10.0.1.0/24
+ network 10.0.2.0/24
+ network 10.0.3.0/24
+ neighbor i remote-as external
+end
+device b
+interface i
+router bgp 2
+ neighbor i remote-as external
+end
+link a i b i
+",
+        )
+        .unwrap();
+        let report = compress(&more, CompressOptions::default());
+        assert!(report.num_ecs() >= 3);
+        let stats = &report.engine;
+        assert!(
+            stats.table_hits > 0,
+            "multi-EC compression must reuse cached tables: {stats:?}"
+        );
+        assert!(stats.table_hit_rate() > 0.0);
+        assert!(stats.reuse_observed());
+        // One arena served every class.
+        assert!(stats.arena_nodes >= 1);
+        // An identical single-threaded run produces identical results
+        // (the unified driver contract at threads: 1).
+        let seq = compress(
+            &more,
+            CompressOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(seq.num_ecs(), report.num_ecs());
+        for (a, b) in seq.per_ec.iter().zip(report.per_ec.iter()) {
+            assert_eq!(a.ec.rep, b.ec.rep);
+            assert_eq!(
+                a.abstraction.abstract_node_count(),
+                b.abstraction.abstract_node_count()
+            );
+            assert_eq!(a.abstract_network.network, b.abstract_network.network);
+        }
     }
 }

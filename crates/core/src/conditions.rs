@@ -186,21 +186,24 @@ fn check_transfer_equivalence(
 mod tests {
     use super::*;
     use crate::algorithm::find_abstraction;
-    use crate::policy_bdd::PolicyCtx;
+    use crate::engine::CompiledPolicies;
     use crate::signatures::build_sig_table;
     use bonsai_config::BuiltTopology;
     use bonsai_srp::instance::OriginProto;
     use bonsai_srp::papernets;
 
-    fn setup(net: &bonsai_config::NetworkConfig, dest: &str) -> (BuiltTopology, EcDest, SigTable) {
+    fn setup(
+        net: &bonsai_config::NetworkConfig,
+        dest: &str,
+    ) -> (BuiltTopology, EcDest, std::sync::Arc<SigTable>) {
         let topo = BuiltTopology::build(net).unwrap();
         let d = topo.graph.node_by_name(dest).unwrap();
         let ec = EcDest::new(
             papernets::DEST_PREFIX.parse().unwrap(),
             vec![(d, OriginProto::Bgp)],
         );
-        let mut ctx = PolicyCtx::from_network(net, false);
-        let sigs = build_sig_table(&mut ctx, net, &topo, &ec);
+        let engine = CompiledPolicies::from_network(net, false);
+        let sigs = build_sig_table(&engine, net, &topo, &ec);
         (topo, ec, sigs)
     }
 

@@ -39,13 +39,16 @@ pub struct DestEc {
 }
 
 impl DestEc {
-    /// The class as the destination description an SRP instance wants.
+    /// The class as the destination description an SRP instance wants,
+    /// carrying **every** address range of the class (a filter that carves
+    /// sub-ranges out of an originated prefix leaves classes covering
+    /// several disjoint ranges; consumers use the first as representative
+    /// and assert the others agree).
     pub fn to_ec_dest(&self) -> EcDest {
-        EcDest {
-            prefix: self.rep,
-            range: self.ranges.first().copied().unwrap_or(self.rep),
-            origins: self.origins.clone(),
+        if self.ranges.is_empty() {
+            return EcDest::new(self.rep, self.origins.clone());
         }
+        EcDest::with_ranges(self.rep, self.ranges.clone(), self.origins.clone())
     }
 }
 
@@ -201,6 +204,54 @@ link a i b i
             .filter(|ec| ec.ranges == vec!["10.0.5.0/24".parse().unwrap()])
             .collect();
         assert_eq!(carved.len(), 1);
+    }
+
+    /// Regression: `to_ec_dest` used to keep only the first range of a
+    /// class. A carved /16 leaves a class covering several disjoint
+    /// leftover ranges — all of them must survive the conversion.
+    #[test]
+    fn multi_range_class_carries_all_ranges() {
+        let (net, topo) = build(
+            "
+device a
+interface i
+ ip access-group BLOCK out
+ip access-list BLOCK deny 10.0.5.0/24
+ip access-list BLOCK permit any
+router bgp 1
+ network 10.0.0.0/16
+ neighbor i remote-as external
+end
+device b
+interface i
+router bgp 2
+ neighbor i remote-as external
+end
+link a i b i
+",
+        );
+        let ecs = compute_ecs(&net, &topo);
+        let leftover = ecs
+            .iter()
+            .find(|ec| ec.ranges != vec!["10.0.5.0/24".parse().unwrap()])
+            .expect("the non-carved class exists");
+        assert!(
+            leftover.ranges.len() > 1,
+            "carving a /24 out of a /16 leaves multiple ranges: {:?}",
+            leftover.ranges
+        );
+        let dest = leftover.to_ec_dest();
+        assert_eq!(dest.ranges, leftover.ranges, "all ranges must be carried");
+        assert_eq!(dest.range(), leftover.ranges[0]);
+        // Every carried range agrees on the carving ACL — the invariant
+        // the signature builder asserts.
+        let acl = net.devices[0].acl("BLOCK").unwrap();
+        let outcomes: Vec<bool> = dest
+            .ranges
+            .iter()
+            .map(|&r| bonsai_config::eval::acl_permits(acl, r))
+            .collect();
+        assert!(outcomes.iter().all(|&o| o == outcomes[0]));
     }
 
     #[test]

@@ -7,23 +7,30 @@
 //! simulation, emulation or verification — can run on the small network
 //! instead.
 //!
-//! Pipeline (paper §5):
+//! Pipeline (paper §5), on the shared-engine architecture:
 //!
 //! 1. [`ecs`] — partition the address space into destination equivalence
 //!    classes; one abstraction is built per class.
-//! 2. [`policy_bdd`] / [`signatures`] — compile every interface policy to
-//!    a canonical BDD signature, making transfer-function equality O(1).
-//! 3. [`algorithm`] — abstraction refinement (Algorithm 1): split abstract
+//! 2. [`engine`] — build **one** [`engine::CompiledPolicies`] per network:
+//!    the community-variable model, a single BDD arena, and cross-class
+//!    caches of compiled route-map stages and per-edge BGP signatures.
+//!    Classes share everything destination-independent, and everything
+//!    destination-dependent that resolves the same way.
+//! 3. [`policy_bdd`] / [`signatures`] — the compilation kernel and the
+//!    per-class signature tables built through the engine; canonical BDD
+//!    `Ref`s make transfer-function equality O(1).
+//! 4. [`algorithm`] — abstraction refinement (Algorithm 1): split abstract
 //!    nodes until the partition satisfies the effective-abstraction
 //!    conditions; bound BGP loop-prevention behaviors by `|prefs|` and
 //!    split abstract nodes into that many copies.
-//! 4. [`abstraction`] — materialize each class's abstract network as
+//! 5. [`abstraction`] — materialize each class's abstract network as
 //!    vendor-independent configurations.
-//! 5. [`conditions`] — independently check the effective-abstraction
+//! 6. [`conditions`] — independently check the effective-abstraction
 //!    conditions of Figure 4 (test oracle / user sanity API).
-//! 6. [`mod@compress`] — the driver: everything above, in parallel across
-//!    classes, with the timing breakdown reported in Table 1.
-//! 7. [`roles`] — the §8 role analysis (unique transfer functions per
+//! 7. [`mod@compress`] — the driver: classes fanned over scoped workers
+//!    against the shared engine, collected lock-free, with the timing and
+//!    engine-statistics breakdown reported in Table 1.
+//! 8. [`roles`] — the §8 role analysis (unique transfer functions per
 //!    device, with the unused-community-stripping `h`).
 //!
 //! ```
@@ -44,13 +51,17 @@ pub mod algorithm;
 pub mod compress;
 pub mod conditions;
 pub mod ecs;
+pub mod engine;
 pub mod policy_bdd;
 pub mod roles;
 pub mod signatures;
 
 pub use abstraction::{build_abstract_network, AbstractNetwork};
 pub use algorithm::{find_abstraction, Abstraction};
-pub use compress::{compress, compress_ec, CompressOptions, CompressionReport, EcCompression};
+pub use compress::{
+    build_engine, compress, compress_ec, CompressOptions, CompressionReport, EcCompression,
+};
 pub use conditions::{check_effective, Violation};
 pub use ecs::{compute_ecs, DestEc};
+pub use engine::{CompiledPolicies, EngineStats};
 pub use roles::{count_roles, role_assignment, RoleOptions};

@@ -19,6 +19,15 @@
 //! equality test inside abstraction refinement O(size of signature) with
 //! O(1) per component — the paper's central engineering trick.
 //!
+//! **Lifecycle.** [`PolicyCtx`] is the single-threaded *compilation
+//! kernel*: a community-variable model plus an owned arena. Production
+//! compression does **not** build one per EC any more — a
+//! [`CompiledPolicies`](crate::engine::CompiledPolicies) engine wraps one
+//! `PolicyCtx` behind a lock and shares it (with cross-EC stage and
+//! signature caches) across every class of a run. Construct a `PolicyCtx`
+//! directly only for single-shot compilation: unit tests, the
+//! differential interpreter tests, and one-off tooling.
+//!
 //! The compilation walks the exact same IOS first-match semantics as the
 //! interpreter in [`bonsai_config::eval`]; the two are kept in lockstep by
 //! differential property tests (`tests/policy_vs_interpreter.rs`).
@@ -29,9 +38,11 @@ use bonsai_config::{Action, Community, DeviceConfig, MatchCond, NetworkConfig, S
 use bonsai_net::prefix::Prefix;
 use std::collections::{BTreeSet, HashMap};
 
-/// The community variable context shared by every signature of one
-/// compression run: variable `i` of the arena encodes presence of
-/// `communities[i]` on the incoming advertisement.
+/// The community-variable compilation kernel: variable `i` of the arena
+/// encodes presence of `communities[i]` on the incoming advertisement.
+/// One instance backs a whole compression run (inside
+/// [`CompiledPolicies`](crate::engine::CompiledPolicies)); standalone
+/// instances are for tests and single-shot compilation.
 pub struct PolicyCtx {
     /// The shared BDD arena.
     pub bdd: Bdd,
@@ -51,6 +62,12 @@ impl PolicyCtx {
     /// never tested cannot influence any transfer function, so ignoring
     /// them merges otherwise-identical roles.
     pub fn from_network(network: &NetworkConfig, strip_unused: bool) -> Self {
+        Self::with_cache_bits(network, strip_unused, bonsai_bdd::DEFAULT_APPLY_CACHE_BITS)
+    }
+
+    /// [`PolicyCtx::from_network`] with an explicit apply-cache size
+    /// (`2^bits` entries) for the owned arena.
+    pub fn with_cache_bits(network: &NetworkConfig, strip_unused: bool, bits: u32) -> Self {
         let mut matched: BTreeSet<Community> = BTreeSet::new();
         let mut written: BTreeSet<Community> = BTreeSet::new();
         for d in &network.devices {
@@ -85,7 +102,7 @@ impl PolicyCtx {
             .map(|(i, c)| (*c, i as u32))
             .collect();
         PolicyCtx {
-            bdd: Bdd::new(),
+            bdd: Bdd::with_apply_cache_bits(bits),
             communities,
             index,
         }

@@ -17,16 +17,18 @@
 //! equality is semantic transfer-function equality (modulo BGP loop
 //! prevention — `transfer-approx`, paper §4.3), and hashing an `EdgeSig`
 //! is O(signature length).
+//!
+//! The BGP part of every signature is compiled through the run-wide
+//! [`CompiledPolicies`] engine, so classes that resolve the same route
+//! maps the same way share both the compilation work and the resulting
+//! canonical `Ref`s; only the cheap per-class facts (ACL/static outcomes
+//! for the class's packet ranges) are recomputed here.
 
-use crate::policy_bdd::{compile_stage, PolicyCtx};
+use crate::engine::CompiledPolicies;
 use bonsai_bdd::Ref;
-use bonsai_config::eval::acl_permits;
 use bonsai_config::{BuiltTopology, NetworkConfig};
 use bonsai_net::NodeId;
 use bonsai_srp::instance::EcDest;
-use bonsai_srp::protocols::bgp::BgpProtocol;
-use bonsai_srp::protocols::ospf::OspfProtocol;
-use bonsai_srp::protocols::static_route::StaticProtocol;
 
 /// Resulting local preference of an import: an explicit value, or the
 /// session default (receiver's configured default for eBGP, inherited from
@@ -121,197 +123,47 @@ impl SigTable {
     }
 }
 
-/// Memo table for compiled route-map stages, keyed by device, map name
-/// and a fingerprint of the symbolic inputs.
-#[derive(Default)]
-struct StageCache {
-    cache: std::collections::HashMap<(usize, Option<String>, u64), usize>,
-    stages: Vec<crate::policy_bdd::StageOutput>,
-}
-
-impl StageCache {
-    #[allow(clippy::too_many_arguments)]
-    fn compile(
-        &mut self,
-        ctx: &mut PolicyCtx,
-        network: &NetworkConfig,
-        dest: bonsai_net::prefix::Prefix,
-        device_idx: usize,
-        map: Option<&str>,
-        input_key: u64,
-        input_refs: &[Ref],
-    ) -> usize {
-        let key = (device_idx, map.map(str::to_string), input_key);
-        if let Some(&i) = self.cache.get(&key) {
-            return i;
-        }
-        let out = compile_stage(ctx, &network.devices[device_idx], map, dest, input_refs);
-        self.stages.push(out);
-        self.cache.insert(key, self.stages.len() - 1);
-        self.stages.len() - 1
-    }
-}
-
-/// Compiles every edge's signature for one destination class.
+/// Compiles every edge's signature for one destination class, through the
+/// run-wide shared engine. Classes with identical destination-dependent
+/// residues (prefix-list outcomes, ACL/static outcomes) share one cached
+/// table wholesale — see [`CompiledPolicies::sig_table`].
 pub fn build_sig_table(
-    ctx: &mut PolicyCtx,
+    engine: &CompiledPolicies,
     network: &NetworkConfig,
     topo: &BuiltTopology,
     ec: &EcDest,
+) -> std::sync::Arc<SigTable> {
+    engine.sig_table(network, topo, ec)
+}
+
+/// Constructs the table data for one class (called by the engine on a
+/// table-cache miss). `outcomes` carries the already-evaluated per-edge
+/// static/ACL bits; `statics` the destination-independent edge facts.
+pub(crate) fn build_table_data(
+    engine: &CompiledPolicies,
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    dest: bonsai_net::prefix::Prefix,
+    statics: &crate::engine::EdgeStatics,
+    outcomes: &[u8],
 ) -> SigTable {
-    let dest = ec.prefix;
-    let inputs = ctx.identity_inputs();
     let mut interner: std::collections::HashMap<EdgeSig, u32> = std::collections::HashMap::new();
     let mut sigs: Vec<EdgeSig> = Vec::new();
     let mut sig_of_edge = Vec::with_capacity(topo.graph.edge_count());
 
-    // Cache compiled stages per (device, map, input fingerprint) to avoid
-    // recompiling the same route map for every edge that references it.
-    let mut stage_cache: StageCache = StageCache::default();
-
     for e in topo.graph.edges() {
         let (u, v) = topo.graph.endpoints(e);
-        let du = &network.devices[u.index()];
-        let dv = &network.devices[v.index()];
 
-        // BGP signature: exporter stage at v, importer stage at u.
-        let bgp = BgpProtocol::edge_facts(network, topo, e).map(|session| {
-            let export_idx = stage_cache.compile(
-                ctx,
-                network,
-                dest,
-                v.index(),
-                session.export_map.as_deref(),
-                0,
-                &inputs,
-            );
-            // The import stage's inputs are the export stage's outputs;
-            // key the cache by a fingerprint of those functions.
-            let export_comm = stage_cache.stages[export_idx].comm.clone();
-            let export_drop = stage_cache.stages[export_idx].drop;
-            let export_med = stage_cache.stages[export_idx].med.clone();
-            let export_prepend = stage_cache.stages[export_idx].prepend.clone();
-            let mut input_key: u64 = 0xcbf29ce484222325;
-            for r in &export_comm {
-                input_key = (input_key ^ r.raw() as u64).wrapping_mul(0x100000001b3);
-            }
-            let import_idx = stage_cache.compile(
-                ctx,
-                network,
-                dest,
-                u.index(),
-                session.import_map.as_deref(),
-                input_key,
-                &export_comm,
-            );
-            let import = stage_cache.stages[import_idx].clone();
-
-            let drop = ctx.bdd.or(export_drop, import.drop);
-            let keep = ctx.bdd.not(drop);
-            let comm: Vec<Ref> = import.comm.iter().map(|&c| ctx.bdd.and(c, keep)).collect();
-
-            // Local preference cases: explicit sets, then the default.
-            let bgp_u = du.bgp.as_ref().expect("session implies bgp at importer");
-            let mut lp: Vec<(LpOut, Ref)> = Vec::new();
-            let mut explicit = Ref::FALSE;
-            for &(value, cond) in &import.lp {
-                let c = ctx.bdd.and(cond, keep);
-                if c != Ref::FALSE {
-                    lp.push((LpOut::Const(value), c));
-                    explicit = ctx.bdd.or(explicit, c);
-                }
-            }
-            let not_explicit = ctx.bdd.not(explicit);
-            let default_cond = ctx.bdd.and(keep, not_explicit);
-            if default_cond != Ref::FALSE {
-                let out = if session.ibgp {
-                    LpOut::Inherit
-                } else {
-                    LpOut::Const(bgp_u.default_local_pref)
-                };
-                lp.push((out, default_cond));
-            }
-            lp = merge_cases(ctx, lp);
-
-            // MED: import overrides export overrides default.
-            let mut med: Vec<(MedOut, Ref)> = Vec::new();
-            let mut covered = Ref::FALSE;
-            for &(value, cond) in &import.med {
-                let c = ctx.bdd.and(cond, keep);
-                if c != Ref::FALSE {
-                    med.push((MedOut::Const(value), c));
-                    covered = ctx.bdd.or(covered, c);
-                }
-            }
-            for &(value, cond) in &export_med {
-                let not_covered = ctx.bdd.not(covered);
-                let c = ctx.bdd.and_all([cond, keep, not_covered]);
-                if c != Ref::FALSE {
-                    med.push((MedOut::Const(value), c));
-                    covered = ctx.bdd.or(covered, c);
-                }
-            }
-            let not_covered = ctx.bdd.not(covered);
-            let default_cond = ctx.bdd.and(keep, not_covered);
-            if default_cond != Ref::FALSE {
-                let out = if session.ibgp {
-                    MedOut::Inherit
-                } else {
-                    MedOut::Const(0)
-                };
-                med.push((out, default_cond));
-            }
-            med = merge_cases(ctx, med);
-
-            // Prepend: the exporter's outbound map only (mirrors the
-            // interpreter in bonsai-srp).
-            let mut prepend: Vec<(u8, Ref)> = Vec::new();
-            for &(n, cond) in &export_prepend {
-                let c = ctx.bdd.and(cond, keep);
-                if c != Ref::FALSE {
-                    prepend.push((n, c));
-                }
-            }
-            prepend = merge_cases(ctx, prepend);
-
-            let bgp_v = dv.bgp.as_ref().expect("session implies bgp at exporter");
-            BgpSig {
-                ibgp: session.ibgp,
-                drop,
-                comm,
-                lp,
-                med,
-                prepend,
-                redist_static: bgp_v.redistribute_static,
-                redist_ospf: bgp_v.redistribute_ospf,
-                exporter_default_lp: bgp_v.default_local_pref,
-            }
-        });
-
-        let ospf = OspfProtocol::edge_facts(network, topo, e).map(|f| (f.cost, f.crosses_area));
-        let static_route = StaticProtocol::edge_fact(network, topo, e, ec.range);
-        let ospf_redist_static = dv
-            .ospf
+        // BGP signature: exporter stage at v, importer stage at u —
+        // compiled (or recalled) by the shared engine.
+        let bgp = statics.sessions[e.index()]
             .as_ref()
-            .map(|o| o.redistribute_static)
-            .unwrap_or(false);
+            .map(|session| engine.bgp_edge_sig(network, dest, u.index(), v.index(), session));
 
-        let acl_out = du.interfaces[topo.egress(e)]
-            .acl_out
-            .as_deref()
-            .map(|name| {
-                du.acl(name)
-                    .map(|a| acl_permits(a, ec.range))
-                    .unwrap_or(false)
-            });
-        let acl_in = dv.interfaces[topo.ingress(e)]
-            .acl_in
-            .as_deref()
-            .map(|name| {
-                dv.acl(name)
-                    .map(|a| acl_permits(a, ec.range))
-                    .unwrap_or(false)
-            });
+        let ospf = statics.ospf[e.index()];
+        let ospf_redist_static = statics.ospf_redist_static[e.index()];
+        let (static_route, acl_out, acl_in) =
+            crate::engine::unpack_edge_outcome(outcomes[e.index()]);
 
         let sig = EdgeSig {
             bgp,
@@ -360,20 +212,6 @@ pub fn build_sig_table(
     }
 }
 
-/// Merges duplicate case keys (OR-ing their conditions) and sorts by key,
-/// producing the canonical case list.
-fn merge_cases<K: Copy + Ord + std::hash::Hash>(
-    ctx: &mut PolicyCtx,
-    cases: Vec<(K, Ref)>,
-) -> Vec<(K, Ref)> {
-    let mut map: std::collections::BTreeMap<K, Ref> = std::collections::BTreeMap::new();
-    for (k, c) in cases {
-        let slot = map.entry(k).or_insert(Ref::FALSE);
-        *slot = ctx.bdd.or(*slot, c);
-    }
-    map.into_iter().filter(|(_, c)| *c != Ref::FALSE).collect()
-}
-
 /// Per-node refinement facts that are not edge-local: whether the node is
 /// an origin of the class (and into which protocol).
 pub fn origin_key(ec: &EcDest, u: NodeId) -> u8 {
@@ -404,8 +242,8 @@ mod tests {
         let topo = BuiltTopology::build(&net).unwrap();
         let d = topo.graph.node_by_name("d").unwrap();
         let ec = EcDest::new("10.0.0.0/24".parse().unwrap(), vec![(d, OriginProto::Bgp)]);
-        let mut ctx = PolicyCtx::from_network(&net, false);
-        let table = build_sig_table(&mut ctx, &net, &topo, &ec);
+        let engine = CompiledPolicies::from_network(&net, false);
+        let table = build_sig_table(&engine, &net, &topo, &ec);
 
         let a = topo.graph.node_by_name("a").unwrap();
         let sig_to_a: Vec<u32> = ["b1", "b2", "b3"]
@@ -478,8 +316,8 @@ link x2 i y b
             "10.0.0.0/24".parse().unwrap(),
             vec![(x1, OriginProto::Bgp), (x2, OriginProto::Bgp)],
         );
-        let mut ctx = PolicyCtx::from_network(&net, false);
-        let table = build_sig_table(&mut ctx, &net, &topo, &ec);
+        let engine = CompiledPolicies::from_network(&net, false);
+        let table = build_sig_table(&engine, &net, &topo, &ec);
         let e1 = topo.graph.find_edge(y, x1).unwrap();
         let e2 = topo.graph.find_edge(y, x2).unwrap();
         assert_ne!(table.sig_of_edge[e1.index()], table.sig_of_edge[e2.index()]);
@@ -512,15 +350,15 @@ link x i y1 i
         let x = topo.graph.node_by_name("x").unwrap();
         let y1 = topo.graph.node_by_name("y1").unwrap();
         let ec = EcDest::new("10.0.0.0/24".parse().unwrap(), vec![(x, OriginProto::Bgp)]);
-        let mut ctx = PolicyCtx::from_network(&net, false);
-        let table = build_sig_table(&mut ctx, &net, &topo, &ec);
+        let engine = CompiledPolicies::from_network(&net, false);
+        let table = build_sig_table(&engine, &net, &topo, &ec);
         let e = topo.graph.find_edge(y1, x).unwrap();
         let sig = &table.sigs[table.sig_of_edge[e.index()] as usize];
         assert_eq!(sig.acl_out, Some(false)); // y1's ACL blocks the dest
                                               // For a different destination the same ACL permits.
         let ec2 = EcDest::new("10.7.0.0/24".parse().unwrap(), vec![(x, OriginProto::Bgp)]);
-        let mut ctx2 = PolicyCtx::from_network(&net, false);
-        let table2 = build_sig_table(&mut ctx2, &net, &topo, &ec2);
+        let engine2 = CompiledPolicies::from_network(&net, false);
+        let table2 = build_sig_table(&engine2, &net, &topo, &ec2);
         let sig2 = &table2.sigs[table2.sig_of_edge[e.index()] as usize];
         assert_eq!(sig2.acl_out, Some(true));
     }

@@ -7,7 +7,7 @@
 
 use bonsai_config::{parse_network, BuiltTopology};
 use bonsai_core::conditions::{check_effective, Violation};
-use bonsai_core::policy_bdd::PolicyCtx;
+use bonsai_core::engine::CompiledPolicies;
 use bonsai_core::signatures::build_sig_table;
 use bonsai_net::{NodeId, Partition};
 use bonsai_srp::instance::{EcDest, OriginProto};
@@ -47,11 +47,11 @@ fn figure8() -> (bonsai_config::NetworkConfig, BuiltTopology) {
 fn setup(
     net: &bonsai_config::NetworkConfig,
     topo: &BuiltTopology,
-) -> (EcDest, bonsai_core::signatures::SigTable) {
+) -> (EcDest, std::sync::Arc<bonsai_core::signatures::SigTable>) {
     let d = topo.graph.node_by_name("d").unwrap();
     let ec = EcDest::new("10.0.0.0/24".parse().unwrap(), vec![(d, OriginProto::Bgp)]);
-    let mut ctx = PolicyCtx::from_network(net, false);
-    let sigs = build_sig_table(&mut ctx, net, topo, &ec);
+    let engine = CompiledPolicies::from_network(net, false);
+    let sigs = build_sig_table(&engine, net, topo, &ec);
     (ec, sigs)
 }
 

@@ -30,18 +30,23 @@ pub enum OriginProto {
 }
 
 /// A destination equivalence class, reduced to what an SRP needs: a
-/// representative prefix and the nodes that originate it.
+/// representative prefix, the packet ranges the class covers, and the
+/// nodes that originate it.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct EcDest {
     /// Representative destination prefix (the most specific originated
     /// prefix of the class) — the *route object* that prefix lists and
     /// route maps match against.
     pub prefix: Prefix,
-    /// A representative *packet range* of the class — what ACLs and
-    /// static routes (which see packets, not advertisements) match
-    /// against. Often equal to `prefix`, but strictly narrower when a
-    /// filter carves a sub-range out of an originated prefix.
-    pub range: Prefix,
+    /// The *packet ranges* of the class — what ACLs and static routes
+    /// (which see packets, not advertisements) match against. Often the
+    /// single prefix itself, but a filter carving sub-ranges out of an
+    /// originated prefix leaves a class covering several disjoint ranges.
+    /// Non-empty; by the defining property of a destination equivalence
+    /// class, every filter construct treats all ranges alike, so
+    /// [`EcDest::range`] is a sound representative (asserted in debug
+    /// builds wherever a range is consumed).
+    pub ranges: Vec<Prefix>,
     /// Originating nodes and the protocol they inject the prefix into.
     pub origins: Vec<(NodeId, OriginProto)>,
 }
@@ -51,9 +56,33 @@ impl EcDest {
     pub fn new(prefix: Prefix, origins: Vec<(NodeId, OriginProto)>) -> Self {
         EcDest {
             prefix,
-            range: prefix,
+            ranges: vec![prefix],
             origins,
         }
+    }
+
+    /// A class covering explicit packet ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranges` is empty.
+    pub fn with_ranges(
+        prefix: Prefix,
+        ranges: Vec<Prefix>,
+        origins: Vec<(NodeId, OriginProto)>,
+    ) -> Self {
+        assert!(!ranges.is_empty(), "an EC must cover at least one range");
+        EcDest {
+            prefix,
+            ranges,
+            origins,
+        }
+    }
+
+    /// The representative packet range (the class's first range; all
+    /// ranges are filter-equivalent by construction).
+    pub fn range(&self) -> Prefix {
+        self.ranges[0]
     }
 }
 
@@ -100,7 +129,7 @@ impl<'a> MultiProtocol<'a> {
         MultiProtocol {
             bgp: BgpProtocol::from_network(network, topo, ec.prefix),
             ospf: OspfProtocol::from_network(network, topo),
-            static_: StaticProtocol::from_network(network, topo, ec.range),
+            static_: StaticProtocol::from_network(network, topo, ec.range()),
             network,
             origin_proto,
         }

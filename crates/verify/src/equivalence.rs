@@ -288,10 +288,45 @@ pub fn check_cp_equivalence(
     )
 }
 
+/// [`check_cp_equivalence`] reusing the compression run's shared
+/// policy-compilation engine (`CompressionReport::policies`) instead of
+/// rescanning the network for the modeled-community set. The attribute
+/// abstraction `h` is taken **from the engine**: an engine built with
+/// `strip_unused_communities` models exactly the matched-community
+/// universe, so labels are compared modulo unused tags iff the
+/// compression itself stripped them — the two can never disagree.
+#[allow(clippy::too_many_arguments)]
+pub fn check_cp_equivalence_shared(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    ec: &EcDest,
+    abstraction: &Abstraction,
+    abs: &AbstractNetwork,
+    concrete_orders: usize,
+    abstract_orders: usize,
+    engine: &bonsai_core::engine::CompiledPolicies,
+) -> Result<(), EquivalenceError> {
+    let keep: Option<BTreeSet<Community>> = engine
+        .strips_unused_communities()
+        .then(|| engine.communities().iter().copied().collect());
+    check_cp_equivalence_with_keep(
+        network,
+        topo,
+        ec,
+        abstraction,
+        abs,
+        concrete_orders,
+        abstract_orders,
+        keep,
+    )
+}
+
 /// [`check_cp_equivalence`] with an explicit choice of the attribute
 /// abstraction `h`: with `strip_unused_communities`, labels are compared
 /// modulo communities no configuration ever matches (the `h` the paper
-/// uses for its data-center study).
+/// uses for its data-center study). Builds a throwaway engine for the
+/// community scan; callers holding a `CompressionReport` should prefer
+/// [`check_cp_equivalence_shared`].
 #[allow(clippy::too_many_arguments)]
 pub fn check_cp_equivalence_under_h(
     network: &NetworkConfig,
@@ -304,11 +339,35 @@ pub fn check_cp_equivalence_under_h(
     strip_unused_communities: bool,
 ) -> Result<(), EquivalenceError> {
     let keep: Option<BTreeSet<Community>> = strip_unused_communities.then(|| {
-        bonsai_core::policy_bdd::PolicyCtx::from_network(network, true)
-            .communities
-            .into_iter()
+        bonsai_core::engine::CompiledPolicies::from_network(network, true)
+            .communities()
+            .iter()
+            .copied()
             .collect()
     });
+    check_cp_equivalence_with_keep(
+        network,
+        topo,
+        ec,
+        abstraction,
+        abs,
+        concrete_orders,
+        abstract_orders,
+        keep,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_cp_equivalence_with_keep(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    ec: &EcDest,
+    abstraction: &Abstraction,
+    abs: &AbstractNetwork,
+    concrete_orders: usize,
+    abstract_orders: usize,
+    keep: Option<BTreeSet<Community>>,
+) -> Result<(), EquivalenceError> {
     let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
     let nodes: Vec<NodeId> = topo.graph.nodes().collect();
     for rot in 0..concrete_orders.max(1) {
@@ -346,7 +405,9 @@ mod tests {
         let report = compress(net, CompressOptions::default());
         for ec in &report.per_ec {
             let ec_dest = ec.ec.to_ec_dest();
-            check_cp_equivalence(
+            // Reuse the compression run's shared engine (the same manager)
+            // rather than rescanning the network.
+            check_cp_equivalence_shared(
                 net,
                 &topo,
                 &ec_dest,
@@ -354,6 +415,7 @@ mod tests {
                 &ec.abstract_network,
                 8,
                 16,
+                &report.policies,
             )
             .unwrap_or_else(|e| panic!("CP-equivalence failed for {}: {e}", ec.ec.rep));
         }

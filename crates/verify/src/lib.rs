@@ -26,7 +26,10 @@ pub mod properties;
 pub mod search_engine;
 pub mod sim_engine;
 
-pub use equivalence::{check_cp_equivalence, check_cp_equivalence_under_h, EquivalenceError};
+pub use equivalence::{
+    check_cp_equivalence, check_cp_equivalence_shared, check_cp_equivalence_under_h,
+    EquivalenceError,
+};
 pub use properties::{Reachability, SolutionAnalysis};
 pub use search_engine::{SearchBudget, SearchOutcome};
 pub use sim_engine::SimEngine;

@@ -2,7 +2,7 @@
 
 use bonsai::core::compress::{compress, CompressOptions};
 use bonsai::core::conditions::check_effective;
-use bonsai::core::policy_bdd::PolicyCtx;
+use bonsai::core::engine::CompiledPolicies;
 use bonsai::core::signatures::build_sig_table;
 use bonsai::srp::papernets;
 use bonsai_config::BuiltTopology;
@@ -43,8 +43,8 @@ fn figure3_refinement_steps_and_conditions() {
     assert!(ec.abstraction.iterations >= 2);
 
     let ec_dest = ec.ec.to_ec_dest();
-    let mut ctx = PolicyCtx::from_network(&net, false);
-    let sigs = build_sig_table(&mut ctx, &net, &topo, &ec_dest);
+    let engine: &CompiledPolicies = &report.policies;
+    let sigs = build_sig_table(engine, &net, &topo, &ec_dest);
     let violations = check_effective(&topo.graph, &ec_dest, &sigs, &ec.abstraction.partition);
     assert!(violations.is_empty(), "{violations:?}");
 }
