@@ -1,0 +1,63 @@
+//! The CI perf-regression gate.
+//!
+//! ```text
+//! bench_gate BASELINE.json CANDIDATE.json [--threshold 1.5] [--floor 0.025]
+//! ```
+//!
+//! Loads two `bonsai-bench/compress-v1` snapshots, compares every
+//! baseline row's per-stage wall-clock times against the candidate, and
+//! exits nonzero when any stage regressed more than `threshold`× (stages
+//! below `floor` seconds in the baseline are measured against the floor,
+//! so micro-stage jitter cannot fail the gate). See `bonsai_bench::gate`
+//! for the exact rule.
+
+use bonsai_bench::gate::{compare_snapshots, render};
+use bonsai_bench::json::Json;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn flag(args: &[String], name: &str, default: f64) -> Result<f64, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(default),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{name} needs a value"))?
+            .parse()
+            .map_err(|e| format!("{name}: {e}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let run = || -> Result<bool, String> {
+        let [baseline_path, candidate_path] = positional.as_slice() else {
+            return Err(
+                "usage: bench_gate BASELINE.json CANDIDATE.json [--threshold 1.5] [--floor 0.025]"
+                    .to_string(),
+            );
+        };
+        let threshold = flag(&args, "--threshold", 1.5)?;
+        let floor = flag(&args, "--floor", 0.025)?;
+        let baseline = load(baseline_path.as_str())?;
+        let candidate = load(candidate_path.as_str())?;
+        let result = compare_snapshots(&baseline, &candidate, threshold, floor);
+        print!("{}", render(&result, threshold));
+        Ok(result.passed())
+    };
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("perf gate FAILED");
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("bench_gate: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The bounded link-failure study: what does it cost to verify every
+//! `≤ k` link-failure scenario concretely, versus auditing + repairing
+//! the abstraction once and sweeping the scenarios on the **refined
+//! abstract** network?
+//!
+//! ```text
+//! failures                 # diamond / gadget / mesh-10 / fattree-4, k = 1..2
+//! failures --quick         # CI-friendly subset (fewer audited classes)
+//! failures --k 3           # raise the failure bound
+//! failures --exhaustive    # disable symmetry pruning in the sweeps
+//! failures --json [PATH]   # write a BENCH_failures.json snapshot
+//!                          # (default path BENCH_failures.json)
+//! ```
+//!
+//! Per network and per `k`, the table reports the scenario counts
+//! (pruned vs exhaustive), the audit outcome (counterexamples found,
+//! abstract nodes before → after refinement) and three wall-clock
+//! columns: solving every scenario on the concrete network, the one-off
+//! audit-and-refine, and solving every scenario on the refined abstract
+//! network.
+
+use bonsai_bench::{failures_snapshot_json, secs};
+use bonsai_config::{BuiltTopology, NetworkConfig};
+use bonsai_core::compress::{compress, CompressOptions};
+use bonsai_core::scenarios::{
+    enumerate_scenarios, enumerate_scenarios_pruned, exhaustive_scenario_count, FailureScenario,
+};
+use bonsai_core::signatures::build_sig_table;
+use bonsai_net::NodeId;
+use bonsai_srp::instance::{EcDest, MultiProtocol};
+use bonsai_srp::solver::solve_masked;
+use bonsai_srp::{papernets, Srp};
+use bonsai_topo::{fattree, full_mesh, FattreePolicy};
+use bonsai_verify::failures::{
+    check_cp_equivalence_under_failures, lift_failure_mask, FailureAuditOptions,
+};
+use std::time::{Duration, Instant};
+
+struct Row {
+    label: String,
+    k: usize,
+    links: usize,
+    ecs_audited: usize,
+    scenarios: usize,
+    scenarios_exhaustive: usize,
+    counterexamples: usize,
+    abs_nodes_before: usize,
+    abs_nodes_after: usize,
+    concrete: Duration,
+    audit: Duration,
+    abstract_: Duration,
+}
+
+impl Row {
+    fn render(&self) -> String {
+        format!(
+            "{:<10} {:>2} {:>6} {:>7}/{:<7} {:>4} {:>6} -> {:<6} {:>11} {:>9} {:>12}",
+            self.label,
+            self.k,
+            self.links,
+            self.scenarios,
+            self.scenarios_exhaustive,
+            self.counterexamples,
+            self.abs_nodes_before,
+            self.abs_nodes_after,
+            secs(self.concrete),
+            secs(self.audit),
+            secs(self.abstract_),
+        )
+    }
+
+    fn header() -> String {
+        format!(
+            "{:<10} {:>2} {:>6} {:>7}/{:<7} {:>4} {:>6}    {:<6} {:>11} {:>9} {:>12}",
+            "Topology",
+            "k",
+            "Links",
+            "Scen.",
+            "All",
+            "Cex",
+            "Abs",
+            "Abs'",
+            "Concrete(s)",
+            "Audit(s)",
+            "Abstract'(s)"
+        )
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"label\":\"{}\",\"k\":{},\"links\":{},\"ecs_audited\":{},",
+                "\"scenarios\":{},\"scenarios_exhaustive\":{},\"counterexamples\":{},",
+                "\"abs_nodes_before\":{},\"abs_nodes_after\":{},",
+                "\"times\":{{\"concrete_s\":{:.6},\"audit_s\":{:.6},\"abstract_s\":{:.6}}}}}"
+            ),
+            self.label,
+            self.k,
+            self.links,
+            self.ecs_audited,
+            self.scenarios,
+            self.scenarios_exhaustive,
+            self.counterexamples,
+            self.abs_nodes_before,
+            self.abs_nodes_after,
+            self.concrete.as_secs_f64(),
+            self.audit.as_secs_f64(),
+            self.abstract_.as_secs_f64(),
+        )
+    }
+}
+
+/// Solves every scenario of the sweep on one (network, EC) instance.
+fn sweep_time(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    ec: &EcDest,
+    scenarios: &[FailureScenario],
+    lift: Option<(&bonsai_core::Abstraction, &bonsai_core::AbstractNetwork)>,
+) -> Duration {
+    let proto = MultiProtocol::build(network, topo, ec);
+    let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
+    let srp = Srp::with_origins(&topo.graph, origins, proto);
+    let t0 = Instant::now();
+    for scenario in scenarios {
+        let mask = match lift {
+            None => scenario.mask(&topo.graph),
+            Some((abstraction, abs)) => lift_failure_mask(scenario, abstraction, abs),
+        };
+        // Divergence is a property of the instance, not the harness; it
+        // is counted like any other solve.
+        let _ = solve_masked(&srp, Some(&mask));
+    }
+    t0.elapsed()
+}
+
+fn run_network(label: &str, net: &NetworkConfig, k: usize, max_ecs: usize, pruned: bool) -> Row {
+    let topo = BuiltTopology::build(net).expect("network builds");
+    let report = compress(net, CompressOptions::default());
+    let ecs_audited = report.num_ecs().min(max_ecs);
+
+    let mut concrete = Duration::ZERO;
+    let mut audit_time = Duration::ZERO;
+    let mut abstract_ = Duration::ZERO;
+    let mut counterexamples = 0usize;
+    let mut abs_nodes_before = 0usize;
+    let mut abs_nodes_after = 0usize;
+    let mut scenario_count = 0usize;
+
+    for ec in report.per_ec.iter().take(ecs_audited) {
+        let ec_dest = ec.ec.to_ec_dest();
+        let sigs = build_sig_table(&report.policies, net, &topo, &ec_dest);
+        let scenarios = if pruned {
+            enumerate_scenarios_pruned(&topo.graph, &ec.abstraction, &sigs, k)
+        } else {
+            enumerate_scenarios(&topo.graph, k)
+        };
+        scenario_count += scenarios.len();
+
+        // Column 1: the price of concrete per-scenario verification.
+        concrete += sweep_time(net, &topo, &ec_dest, &scenarios, None);
+
+        // Column 2: one-off audit + repair through the shared engine.
+        let t1 = Instant::now();
+        let audit = check_cp_equivalence_under_failures(
+            net,
+            &topo,
+            &ec_dest,
+            &ec.abstraction,
+            &ec.abstract_network,
+            &report.policies,
+            &FailureAuditOptions {
+                max_failures: k,
+                prune_symmetric: pruned,
+                concrete_orders: 2,
+                abstract_orders: 8,
+                ..Default::default()
+            },
+        )
+        .expect("audit converges");
+        audit_time += t1.elapsed();
+        counterexamples += audit.counterexamples.len();
+        abs_nodes_before += audit.initial_abstract_nodes;
+        abs_nodes_after += audit.final_abstract_nodes();
+
+        // Column 3: the same sweep on the refined abstract network.
+        abstract_ += sweep_time(
+            &audit.abstract_network.network,
+            &audit.abstract_network.topo,
+            &audit.abstract_network.ec,
+            &scenarios,
+            Some((&audit.abstraction, &audit.abstract_network)),
+        );
+    }
+
+    Row {
+        label: label.to_string(),
+        k,
+        links: topo.graph.link_count(),
+        ecs_audited,
+        scenarios: scenario_count,
+        scenarios_exhaustive: exhaustive_scenario_count(topo.graph.link_count(), k)
+            * ecs_audited.max(1),
+        counterexamples,
+        abs_nodes_before,
+        abs_nodes_after,
+        concrete,
+        audit: audit_time,
+        abstract_,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let exhaustive = args.iter().any(|a| a == "--exhaustive");
+    let max_k: usize = args
+        .iter()
+        .position(|a| a == "--k")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_failures.json".to_string())
+    });
+
+    println!("Bounded link-failure study (concrete vs refined-abstract solving)");
+    println!("{}", Row::header());
+    let mut snapshot: Vec<String> = Vec::new();
+
+    let fattree_net = fattree(4, FattreePolicy::ShortestPath);
+    let mesh_net = full_mesh(10);
+    let diamond = papernets::figure1_rip();
+    let gadget = papernets::figure2_gadget();
+    let mut cases: Vec<(&str, &NetworkConfig, usize)> = vec![
+        ("Diamond", &diamond, usize::MAX),
+        ("Gadget", &gadget, usize::MAX),
+        ("Fattree4", &fattree_net, if quick { 2 } else { 4 }),
+    ];
+    if !quick {
+        cases.push(("FullMesh10", &mesh_net, 1));
+    }
+
+    for (label, net, max_ecs) in &cases {
+        for k in 1..=max_k {
+            let row = run_network(label, net, k, *max_ecs, !exhaustive);
+            println!("{}", row.render());
+            snapshot.push(row.json());
+        }
+    }
+
+    if let Some(path) = json_path {
+        let doc = failures_snapshot_json(&snapshot);
+        std::fs::write(&path, doc).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path} ({} rows)", snapshot.len());
+    }
+}

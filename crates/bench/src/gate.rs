@@ -1,0 +1,273 @@
+//! The CI perf-regression gate: compare two `bonsai-bench/compress-v1`
+//! snapshots stage by stage and fail on wall-clock regressions.
+//!
+//! CI has always *uploaded* the compression perf snapshot; this module is
+//! what finally reads it back. A committed `BENCH_baseline.json` records
+//! the blessed per-stage times; the gate compares a freshly generated
+//! snapshot against it, row by row (matched on `label`) and stage by
+//! stage, and reports a regression when
+//!
+//! ```text
+//! candidate > threshold * max(baseline, floor)
+//! ```
+//!
+//! The `floor` (default 25 ms) keeps micro-stages out of the verdict:
+//! sub-millisecond stages jitter by integer factors on shared CI runners
+//! without any code change, while a genuine pipeline regression shows up
+//! in stages that take real time. Both knobs are command-line flags of
+//! the `bench_gate` binary, so a noisy runner can be accommodated without
+//! touching code. Missing rows and missing stages are hard failures —
+//! silently dropping a benchmark must not read as "no regression".
+
+use crate::json::Json;
+
+/// The per-stage wall-clock fields of a snapshot row's `times` object.
+pub const STAGES: [&str; 5] = [
+    "total_s",
+    "ec_compute_s",
+    "engine_build_s",
+    "bdd_s",
+    "per_ec_s",
+];
+
+/// One stage comparison.
+#[derive(Clone, Debug)]
+pub struct StageComparison {
+    /// Row label (topology).
+    pub label: String,
+    /// Stage name (a member of [`STAGES`]).
+    pub stage: String,
+    /// Baseline seconds.
+    pub baseline_s: f64,
+    /// Candidate seconds.
+    pub candidate_s: f64,
+    /// `candidate / max(baseline, floor)`.
+    pub ratio: f64,
+    /// True when the stage regressed past the threshold.
+    pub regressed: bool,
+}
+
+/// Outcome of a snapshot comparison.
+#[derive(Clone, Debug, Default)]
+pub struct GateResult {
+    /// Every stage comparison performed, in row order.
+    pub comparisons: Vec<StageComparison>,
+    /// Structural problems (missing rows/stages, schema mismatch).
+    pub errors: Vec<String>,
+}
+
+impl GateResult {
+    /// The comparisons that regressed.
+    pub fn regressions(&self) -> impl Iterator<Item = &StageComparison> {
+        self.comparisons.iter().filter(|c| c.regressed)
+    }
+
+    /// True when the candidate passes: no regressions, no structural
+    /// problems.
+    pub fn passed(&self) -> bool {
+        self.errors.is_empty() && self.regressions().next().is_none()
+    }
+}
+
+fn rows_by_label<'j>(
+    doc: &'j Json,
+    which: &str,
+    errors: &mut Vec<String>,
+) -> Vec<(&'j str, &'j Json)> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("bonsai-bench/compress-v1") => {}
+        other => errors.push(format!("{which}: unexpected schema {other:?}")),
+    }
+    let mut out = Vec::new();
+    match doc.get("rows").and_then(Json::as_arr) {
+        None => errors.push(format!("{which}: no rows array")),
+        Some(rows) => {
+            for row in rows {
+                match row.get("label").and_then(Json::as_str) {
+                    Some(label) => out.push((label, row)),
+                    None => errors.push(format!("{which}: row without a label")),
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Compares a candidate snapshot against a baseline.
+///
+/// Every baseline row must exist in the candidate and every stage of
+/// [`STAGES`] must be present in both (missing data is a structural
+/// error). Candidate-only rows are compared against nothing — new
+/// benchmarks may land before their baseline is re-blessed.
+pub fn compare_snapshots(
+    baseline: &Json,
+    candidate: &Json,
+    threshold: f64,
+    floor_s: f64,
+) -> GateResult {
+    let mut result = GateResult::default();
+    let base_rows = rows_by_label(baseline, "baseline", &mut result.errors);
+    let cand_rows = rows_by_label(candidate, "candidate", &mut result.errors);
+
+    for (label, base_row) in &base_rows {
+        let Some((_, cand_row)) = cand_rows.iter().find(|(l, _)| l == label) else {
+            result
+                .errors
+                .push(format!("candidate is missing baseline row '{label}'"));
+            continue;
+        };
+        for stage in STAGES {
+            let get = |row: &Json| -> Option<f64> {
+                row.get("times")
+                    .and_then(|t| t.get(stage))
+                    .and_then(Json::as_f64)
+            };
+            let (base, cand) = match (get(base_row), get(cand_row)) {
+                (Some(b), Some(c)) => (b, c),
+                _ => {
+                    result.errors.push(format!(
+                        "row '{label}': stage '{stage}' missing on one side"
+                    ));
+                    continue;
+                }
+            };
+            let effective_base = base.max(floor_s);
+            let ratio = cand / effective_base;
+            result.comparisons.push(StageComparison {
+                label: label.to_string(),
+                stage: stage.to_string(),
+                baseline_s: base,
+                candidate_s: cand,
+                ratio,
+                regressed: ratio > threshold,
+            });
+        }
+    }
+    result
+}
+
+/// Renders the comparison as the table `bench_gate` prints.
+pub fn render(result: &GateResult, threshold: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:<16} {:>12} {:>12} {:>8}  verdict\n",
+        "row", "stage", "baseline(s)", "candidate(s)", "ratio"
+    ));
+    for c in &result.comparisons {
+        out.push_str(&format!(
+            "{:<14} {:<16} {:>12.4} {:>12.4} {:>8.2}  {}\n",
+            c.label,
+            c.stage,
+            c.baseline_s,
+            c.candidate_s,
+            c.ratio,
+            if c.regressed {
+                "REGRESSED"
+            } else if c.ratio > 1.0 {
+                "ok (slower)"
+            } else {
+                "ok"
+            }
+        ));
+    }
+    for e in &result.errors {
+        out.push_str(&format!("error: {e}\n"));
+    }
+    let regressions = result.regressions().count();
+    out.push_str(&format!(
+        "{} comparisons, {} regression(s) at threshold {:.2}x, {} structural error(s)\n",
+        result.comparisons.len(),
+        regressions,
+        threshold,
+        result.errors.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(rows: &[(&str, f64)]) -> Json {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|(label, t)| {
+                format!(
+                    "{{\"label\":\"{label}\",\"times\":{{\"total_s\":{t},\"ec_compute_s\":{t},\
+                     \"engine_build_s\":{t},\"bdd_s\":{t},\"per_ec_s\":{t}}}}}"
+                )
+            })
+            .collect();
+        Json::parse(&format!(
+            "{{\"schema\":\"bonsai-bench/compress-v1\",\"rows\":[{}]}}",
+            body.join(",")
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let a = snap(&[("Fattree4", 0.1), ("Ring20", 0.05)]);
+        let r = compare_snapshots(&a, &a, 1.5, 0.025);
+        assert!(r.passed(), "{r:?}");
+        assert_eq!(r.comparisons.len(), 2 * STAGES.len());
+    }
+
+    #[test]
+    fn regression_past_threshold_fails() {
+        let base = snap(&[("Fattree4", 0.1)]);
+        let cand = snap(&[("Fattree4", 0.16)]);
+        let r = compare_snapshots(&base, &cand, 1.5, 0.025);
+        assert!(!r.passed());
+        assert!(r.regressions().count() >= 1);
+        // 1.6x over every stage.
+        assert!(r.regressions().all(|c| c.ratio > 1.5));
+    }
+
+    #[test]
+    fn floor_absorbs_micro_stage_jitter() {
+        // 1 ms → 3 ms is a 3x blowup but far below the 25 ms floor.
+        let base = snap(&[("Ring20", 0.001)]);
+        let cand = snap(&[("Ring20", 0.003)]);
+        let r = compare_snapshots(&base, &cand, 1.5, 0.025);
+        assert!(r.passed(), "{}", render(&r, 1.5));
+        // Without the floor the same pair fails.
+        let r2 = compare_snapshots(&base, &cand, 1.5, 0.0);
+        assert!(!r2.passed());
+    }
+
+    #[test]
+    fn missing_row_is_a_structural_error() {
+        let base = snap(&[("Fattree4", 0.1), ("Ring20", 0.05)]);
+        let cand = snap(&[("Fattree4", 0.1)]);
+        let r = compare_snapshots(&base, &cand, 1.5, 0.025);
+        assert!(!r.passed());
+        assert!(r.errors.iter().any(|e| e.contains("Ring20")));
+    }
+
+    #[test]
+    fn candidate_only_rows_are_ignored() {
+        let base = snap(&[("Fattree4", 0.1)]);
+        let cand = snap(&[("Fattree4", 0.1), ("Brandnew", 9.9)]);
+        let r = compare_snapshots(&base, &cand, 1.5, 0.025);
+        assert!(r.passed(), "{}", render(&r, 1.5));
+    }
+
+    #[test]
+    fn wrong_schema_is_flagged() {
+        let base = snap(&[("Fattree4", 0.1)]);
+        let bad = Json::parse("{\"schema\":\"other\",\"rows\":[]}").unwrap();
+        let r = compare_snapshots(&base, &bad, 1.5, 0.025);
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn render_mentions_regressions() {
+        let base = snap(&[("Fattree4", 0.1)]);
+        let cand = snap(&[("Fattree4", 0.2)]);
+        let r = compare_snapshots(&base, &cand, 1.5, 0.025);
+        let table = render(&r, 1.5);
+        assert!(table.contains("REGRESSED"));
+        assert!(table.contains("Fattree4"));
+    }
+}

@@ -13,9 +13,23 @@
 //! * `batfish_query` — the single reachability query on the data center
 //!   (simulation engine), with and without compression.
 //!
+//! * `failures` — the bounded link-failure study: concrete vs
+//!   refined-abstract solve time per failure bound `k`, with the
+//!   `BENCH_failures.json` snapshot.
+//! * `bench_gate` — the CI perf-regression gate comparing a fresh
+//!   `table1 --quick --json` snapshot against the committed
+//!   `BENCH_baseline.json` (see [`gate`]).
+//!
 //! Criterion micro-benchmarks of the pipeline stages live in `benches/`.
+//!
+//! Snapshots carry provenance metadata (`git_sha`, `toolchain`) so
+//! artifacts uploaded from different runs remain traceable; [`json`] is
+//! the minimal reader the gate uses to load them back.
 
 #![forbid(unsafe_code)]
+
+pub mod gate;
+pub mod json;
 
 use bonsai_core::compress::CompressionReport;
 use bonsai_net::NodeId;
@@ -189,12 +203,67 @@ pub fn report_json(label: &str, report: &CompressionReport) -> String {
     )
 }
 
+/// The commit the snapshot was generated from: `GITHUB_SHA` when CI
+/// provides it, otherwise `git rev-parse HEAD`, otherwise `"unknown"`.
+pub fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The toolchain the snapshot binary was built with (`rustc --version`),
+/// or `"unknown"` outside a rust environment.
+pub fn toolchain() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The shared provenance fields of every snapshot document.
+fn snapshot_meta() -> String {
+    format!(
+        "  \"git_sha\": \"{}\",\n  \"toolchain\": \"{}\",",
+        json_escape(&git_sha()),
+        json_escape(&toolchain())
+    )
+}
+
 /// Assembles the full `BENCH_compress.json` document from
-/// [`report_json`] rows.
+/// [`report_json`] rows, stamped with provenance metadata (`git_sha`,
+/// `toolchain`) so uploaded artifacts are traceable across runs.
 pub fn compress_snapshot_json(rows: &[String]) -> String {
     let indented: Vec<String> = rows.iter().map(|json| format!("    {json}")).collect();
     format!(
-        "{{\n  \"schema\": \"bonsai-bench/compress-v1\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"bonsai-bench/compress-v1\",\n{}\n  \"rows\": [\n{}\n  ]\n}}\n",
+        snapshot_meta(),
+        indented.join(",\n")
+    )
+}
+
+/// Assembles the `BENCH_failures.json` document from failure-study rows
+/// (see the `failures` binary), with the same provenance metadata.
+pub fn failures_snapshot_json(rows: &[String]) -> String {
+    let indented: Vec<String> = rows.iter().map(|json| format!("    {json}")).collect();
+    format!(
+        "{{\n  \"schema\": \"bonsai-bench/failures-v1\",\n{}\n  \"rows\": [\n{}\n  ]\n}}\n",
+        snapshot_meta(),
         indented.join(",\n")
     )
 }

@@ -16,7 +16,7 @@
 //!   (`bonsai-srp`) and the BDD compiler (`bonsai-core`) are defined in
 //!   terms of these functions, which is what makes the BDD encoding
 //!   faithful to the simulated behavior.
-//! * [`parse`] / [`print`] — a line-oriented, IOS-flavoured dialect with a
+//! * [`parse`] / [`mod@print`] — a line-oriented, IOS-flavoured dialect with a
 //!   hand-written lexer and parser. `parse(print(c)) == c` is tested by a
 //!   round-trip property.
 //! * [`topology`] — derives the SRP graph from device/link declarations.

@@ -95,6 +95,24 @@ pub fn find_abstraction(graph: &Graph, ec: &EcDest, sigs: &SigTable) -> Abstract
         .collect();
     partition.split(&bgp_origins);
 
+    find_abstraction_from(graph, ec, sigs, partition)
+}
+
+/// Runs the refinement loop of Algorithm 1 starting from an arbitrary
+/// partition instead of the coarsest one, then recomputes BGP copy counts.
+///
+/// This is the re-entry point of counterexample-guided refinement: the
+/// failure-scenario auditor splits nodes out of their blocks and calls
+/// this to restore the effective-abstraction fixpoint (splits only ever
+/// propagate more splits — refinement is monotone — so starting from a
+/// finer partition is sound and yields a partition at least as fine as
+/// `find_abstraction`'s).
+pub fn find_abstraction_from(
+    graph: &Graph,
+    ec: &EcDest,
+    sigs: &SigTable,
+    mut partition: Partition,
+) -> Abstraction {
     // Lines 5-11: refine until no block splits.
     let mut iterations = 0usize;
     loop {
@@ -134,6 +152,30 @@ pub fn find_abstraction(graph: &Graph, ec: &EcDest, sigs: &SigTable) -> Abstract
         copies,
         iterations,
     }
+}
+
+/// Splits the given concrete nodes into singleton blocks of an existing
+/// abstraction and re-runs refinement to the fixpoint.
+///
+/// The counterexample-guided step of the failure-scenario auditor: when an
+/// abstraction turns out to be unsound under a link-failure scenario, the
+/// nodes adjacent to the failed links (or the members of the offending
+/// block) are isolated so the abstract network can represent the asymmetry
+/// the failure introduced, and refinement then propagates the split to any
+/// block whose members now see different neighbor blocks. The result is
+/// strictly finer than the input whenever any of the nodes shared a block.
+pub fn refine_with_split(
+    graph: &Graph,
+    ec: &EcDest,
+    sigs: &SigTable,
+    abstraction: &Abstraction,
+    split: &[NodeId],
+) -> Abstraction {
+    let mut partition = abstraction.partition.clone();
+    for &u in split {
+        partition.isolate(u.0);
+    }
+    find_abstraction_from(graph, ec, sigs, partition)
 }
 
 /// One `Refine` step (Algorithm 1, lines 14-22): group a block's members
@@ -249,6 +291,42 @@ mod tests {
         assert_eq!(abs.copies[abs.role_of(d).index()], 1);
         assert_eq!(abs.copies[abs.role_of(a).index()], 1);
         assert!(abs.iterations >= 2);
+    }
+
+    /// `refine_with_split` isolates the requested nodes and restores the
+    /// fixpoint; splitting a node of a merged block leaves the remainder
+    /// intact and recomputes BGP copies per block.
+    #[test]
+    fn split_refinement_isolates_and_refixpoints() {
+        let net = papernets::figure2_gadget();
+        let topo = BuiltTopology::build(&net).unwrap();
+        let d = topo.graph.node_by_name("d").unwrap();
+        let ec = EcDest::new(
+            papernets::DEST_PREFIX.parse().unwrap(),
+            vec![(d, OriginProto::Bgp)],
+        );
+        let engine = CompiledPolicies::from_network(&net, false);
+        let sigs = build_sig_table(&engine, &net, &topo, &ec);
+        let abs = find_abstraction(&topo.graph, &ec, &sigs);
+        assert_eq!(abs.partition.block_count(), 3);
+
+        let b1 = topo.graph.node_by_name("b1").unwrap();
+        let b2 = topo.graph.node_by_name("b2").unwrap();
+        let refined = refine_with_split(&topo.graph, &ec, &sigs, &abs, &[b1]);
+        assert_eq!(refined.partition.block_count(), 4);
+        assert_eq!(refined.partition.members(refined.role_of(b1)), &[b1.0]);
+        // The remainder {b2, b3} still shares a block…
+        let b3 = topo.graph.node_by_name("b3").unwrap();
+        assert_eq!(refined.role_of(b2), refined.role_of(b3));
+        // …with recomputed copies: prefs {100,200} but only 2 members for
+        // the remainder, 1 for the singleton.
+        assert_eq!(refined.copies[refined.role_of(b2).index()], 2);
+        assert_eq!(refined.copies[refined.role_of(b1).index()], 1);
+        // Splitting every node degenerates to the discrete partition.
+        let all: Vec<NodeId> = topo.graph.nodes().collect();
+        let discrete = refine_with_split(&topo.graph, &ec, &sigs, &abs, &all);
+        assert_eq!(discrete.partition.block_count(), topo.graph.node_count());
+        assert_eq!(discrete.abstract_node_count(), topo.graph.node_count());
     }
 
     /// Figure 5: a, b1, b2 all play different roles (different policies),

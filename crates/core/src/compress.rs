@@ -200,6 +200,31 @@ pub fn compress_ec(
     }
 }
 
+/// The counterexample-guided refinement step of the failure-scenario
+/// auditor: isolates the given concrete nodes in an existing abstraction,
+/// re-runs refinement to the fixpoint, and rebuilds the abstract network —
+/// all through the same shared engine (the signature table is a cache hit).
+///
+/// Returns the refined abstraction and its materialized network. The
+/// result is at least as fine as the input; callers loop this against
+/// re-verification until the abstraction is sound for their scenario set
+/// (termination: each effective split strictly increases the block count,
+/// bounded by the node count, where abstract = concrete and every check
+/// passes).
+pub fn refine_ec_with_split(
+    engine: &CompiledPolicies,
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    ec: &bonsai_srp::instance::EcDest,
+    abstraction: &crate::algorithm::Abstraction,
+    split: &[bonsai_net::NodeId],
+) -> (crate::algorithm::Abstraction, AbstractNetwork) {
+    let sigs = build_sig_table(engine, network, topo, ec);
+    let refined = crate::algorithm::refine_with_split(&topo.graph, ec, &sigs, abstraction, split);
+    let abs_net = build_abstract_network(network, topo, ec, &refined);
+    (refined, abs_net)
+}
+
 /// The unified fan-out driver: workers claim class indices from one atomic
 /// counter and collect into worker-local vectors (lock-free; the only
 /// shared mutable state is the engine's internal arena lock). `threads: 1`

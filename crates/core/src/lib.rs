@@ -29,9 +29,14 @@
 //!    conditions of Figure 4 (test oracle / user sanity API).
 //! 7. [`mod@compress`] — the driver: classes fanned over scoped workers
 //!    against the shared engine, collected lock-free, with the timing and
-//!    engine-statistics breakdown reported in Table 1.
+//!    engine-statistics breakdown reported in Table 1; plus the
+//!    counterexample-guided [`compress::refine_ec_with_split`] step the
+//!    failure auditor uses to repair an abstraction.
 //! 8. [`roles`] — the §8 role analysis (unique transfer functions per
 //!    device, with the unused-community-stripping `h`).
+//! 9. [`scenarios`] — bounded link-failure scenario enumeration with
+//!    symmetry pruning over the abstraction's link orbits (the input to
+//!    `bonsai-verify`'s k-failure soundness audit).
 //!
 //! ```
 //! use bonsai_core::compress::{compress, CompressOptions};
@@ -54,10 +59,11 @@ pub mod ecs;
 pub mod engine;
 pub mod policy_bdd;
 pub mod roles;
+pub mod scenarios;
 pub mod signatures;
 
 pub use abstraction::{build_abstract_network, AbstractNetwork};
-pub use algorithm::{find_abstraction, Abstraction};
+pub use algorithm::{find_abstraction, find_abstraction_from, refine_with_split, Abstraction};
 pub use compress::{
     build_engine, compress, compress_ec, CompressOptions, CompressionReport, EcCompression,
 };
@@ -65,3 +71,6 @@ pub use conditions::{check_effective, Violation};
 pub use ecs::{compute_ecs, DestEc};
 pub use engine::{CompiledPolicies, EngineStats};
 pub use roles::{count_roles, role_assignment, RoleOptions};
+pub use scenarios::{
+    enumerate_scenarios, enumerate_scenarios_pruned, link_orbits, FailureScenario, LinkOrbits,
+};

@@ -1,0 +1,352 @@
+//! Bounded link-failure scenario enumeration (with symmetry pruning).
+//!
+//! The paper's guarantee is for the failure-free control plane; §9 notes
+//! the abstraction may be **unsound once links fail**, because one
+//! abstract link stands for many concrete links and cannot express "one
+//! of them is down". Opening the failure workload therefore needs two
+//! ingredients: a way to enumerate the `≤ k` link-failure scenarios of a
+//! network, and a way to avoid enumerating scenarios the abstraction
+//! already proves symmetric.
+//!
+//! This module provides both:
+//!
+//! * [`enumerate_scenarios`] — every subset of undirected links of size
+//!   `1..=k`, as [`FailureScenario`]s (exhaustive; `C(L,1)+…+C(L,k)`
+//!   scenarios).
+//! * [`link_orbits`] — groups links into *orbits* by their position in the
+//!   abstraction: two links are in the same orbit when their endpoints lie
+//!   in the same blocks and both directions carry the same compiled
+//!   edge signatures (the [`SigTable`] ids produced by the shared
+//!   [`CompiledPolicies`](crate::engine::CompiledPolicies) engine — so
+//!   orbit equality is semantic transfer-function equality, not syntactic
+//!   config equality).
+//! * [`enumerate_scenarios_pruned`] — one representative scenario per
+//!   orbit-failure multiset: instead of choosing *which* links of an orbit
+//!   fail, only *how many* fail (taking the canonically-first links).
+//!
+//! Pruning is exact for single failures when the abstraction is sound for
+//! the failure-free plane — any two links of an orbit relate to the rest
+//! of the network identically, so failing either yields CP-equivalent
+//! scenarios. For `k ≥ 2` it is a (well-behaved, clearly documented)
+//! heuristic: two chosen links of the *same* orbit may interact with each
+//! other differently depending on whether they share an endpoint. The
+//! auditor in `bonsai-verify` accepts either enumeration; benchmarks and
+//! CI use the pruned one, soundness tests the exhaustive one.
+
+use crate::algorithm::Abstraction;
+use crate::signatures::SigTable;
+use bonsai_net::{FailureMask, Graph, NodeId};
+
+/// One bounded-failure scenario: a set of failed undirected links, stored
+/// as canonical node pairs (as produced by [`Graph::links`]), sorted.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FailureScenario {
+    /// The failed links, each in canonical orientation, sorted.
+    pub links: Vec<(NodeId, NodeId)>,
+}
+
+impl FailureScenario {
+    /// A scenario failing the given links (normalized to canonical order).
+    pub fn new(mut links: Vec<(NodeId, NodeId)>) -> Self {
+        links.sort();
+        links.dedup();
+        FailureScenario { links }
+    }
+
+    /// Number of failed links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True for the failure-free scenario.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// The scenario as a [`FailureMask`] over the graph's directed edges
+    /// (both directions of every failed link).
+    pub fn mask(&self, graph: &Graph) -> FailureMask {
+        let mut mask = FailureMask::for_graph(graph);
+        for &(u, v) in &self.links {
+            mask.disable_link(graph, u, v);
+        }
+        mask
+    }
+
+    /// Human-readable rendering using the graph's node names, e.g.
+    /// `{b1—d, b2—d}`.
+    pub fn describe(&self, graph: &Graph) -> String {
+        let parts: Vec<String> = self
+            .links
+            .iter()
+            .map(|&(u, v)| format!("{}—{}", graph.name(u), graph.name(v)))
+            .collect();
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+/// The undirected links of a graph grouped into symmetry orbits induced
+/// by an abstraction.
+#[derive(Clone, Debug)]
+pub struct LinkOrbits {
+    /// All undirected links, canonical orientation ([`Graph::links`]).
+    pub links: Vec<(NodeId, NodeId)>,
+    /// Orbit id of each link (indexes [`LinkOrbits::orbits`]).
+    pub orbit_of_link: Vec<u32>,
+    /// Members of each orbit, as indices into [`LinkOrbits::links`].
+    pub orbits: Vec<Vec<usize>>,
+}
+
+impl LinkOrbits {
+    /// Number of orbits.
+    pub fn num_orbits(&self) -> usize {
+        self.orbits.len()
+    }
+}
+
+/// Groups the links of `graph` into orbits under `abstraction`: links are
+/// equivalent when their endpoint blocks coincide and both directed edges
+/// carry equal interned signatures from `sigs`.
+///
+/// Orbit keys are direction-normalized, so `u—v` and `v—u` of a symmetric
+/// pair land in the same orbit regardless of canonical orientation.
+pub fn link_orbits(graph: &Graph, abstraction: &Abstraction, sigs: &SigTable) -> LinkOrbits {
+    /// Directed descriptor of one half of a link: `(block(src),
+    /// block(dst), sig(src→dst))`, with a sentinel signature for a
+    /// missing reverse edge. Kept unpacked — truncating ids into packed
+    /// bit fields could silently merge distinct orbits, which the pruned
+    /// audit would turn into unswept scenarios.
+    type Descr = (u32, u32, Option<u32>);
+
+    let links = graph.links();
+    let mut key_of: std::collections::HashMap<[Descr; 2], u32> = std::collections::HashMap::new();
+    let mut orbit_of_link = Vec::with_capacity(links.len());
+    let mut orbits: Vec<Vec<usize>> = Vec::new();
+
+    for (i, &(u, v)) in links.iter().enumerate() {
+        let descr = |a: NodeId, b: NodeId| -> Descr {
+            let sig = graph.find_edge(a, b).map(|e| sigs.sig_of_edge[e.index()]);
+            (abstraction.role_of(a).0, abstraction.role_of(b).0, sig)
+        };
+        let fwd = descr(u, v);
+        let rev = descr(v, u);
+        let key = if fwd <= rev { [fwd, rev] } else { [rev, fwd] };
+        let next = orbits.len() as u32;
+        let id = *key_of.entry(key).or_insert_with(|| {
+            orbits.push(Vec::new());
+            next
+        });
+        orbits[id as usize].push(i);
+        orbit_of_link.push(id);
+    }
+
+    LinkOrbits {
+        links,
+        orbit_of_link,
+        orbits,
+    }
+}
+
+/// Enumerates every scenario with `1..=k` failed links — exhaustive, no
+/// symmetry reduction. Deterministic order: by failure count, then
+/// lexicographically by link index.
+pub fn enumerate_scenarios(graph: &Graph, k: usize) -> Vec<FailureScenario> {
+    let links = graph.links();
+    let mut out = Vec::new();
+    let mut chosen: Vec<usize> = Vec::new();
+    for size in 1..=k.min(links.len()) {
+        combinations(links.len(), size, 0, &mut chosen, &mut |c| {
+            out.push(FailureScenario::new(c.iter().map(|&i| links[i]).collect()));
+        });
+    }
+    out
+}
+
+/// Number of scenarios [`enumerate_scenarios`] would produce (the
+/// exhaustive count `C(L,1)+…+C(L,k)`), without materializing them.
+/// Saturates at `usize::MAX`.
+pub fn exhaustive_scenario_count(num_links: usize, k: usize) -> usize {
+    let mut total = 0usize;
+    for size in 1..=k.min(num_links) {
+        // C(n, size), saturating.
+        let mut c = 1usize;
+        for i in 0..size {
+            c = c.saturating_mul(num_links - i) / (i + 1);
+        }
+        total = total.saturating_add(c);
+    }
+    total
+}
+
+/// Enumerates scenarios with `1..=k` failed links, pruned by the orbit
+/// structure of the abstraction: for each orbit only the *number* of
+/// failed links is varied (taking the canonically-first members), so two
+/// scenarios differing only in which symmetric link failed collapse to
+/// one representative.
+///
+/// On symmetric topologies this shrinks the sweep by orders of magnitude
+/// (a fattree's `C(L,2)` pair scenarios collapse to a handful of orbit
+/// multisets). See the module docs for the exactness discussion.
+pub fn enumerate_scenarios_pruned(
+    graph: &Graph,
+    abstraction: &Abstraction,
+    sigs: &SigTable,
+    k: usize,
+) -> Vec<FailureScenario> {
+    let orbits = link_orbits(graph, abstraction, sigs);
+    let mut out = Vec::new();
+    // counts[o] = how many links of orbit o fail (a prefix of its members).
+    let mut counts = vec![0usize; orbits.num_orbits()];
+    enumerate_orbit_counts(&orbits, k, 0, 0, &mut counts, &mut out);
+    // Deterministic, size-major order like the exhaustive enumeration.
+    out.sort_by(|a, b| (a.len(), &a.links).cmp(&(b.len(), &b.links)));
+    out
+}
+
+fn enumerate_orbit_counts(
+    orbits: &LinkOrbits,
+    k: usize,
+    orbit: usize,
+    used: usize,
+    counts: &mut Vec<usize>,
+    out: &mut Vec<FailureScenario>,
+) {
+    if orbit == orbits.num_orbits() {
+        if used > 0 {
+            let mut links = Vec::with_capacity(used);
+            for (o, &c) in counts.iter().enumerate() {
+                for &li in orbits.orbits[o].iter().take(c) {
+                    links.push(orbits.links[li]);
+                }
+            }
+            out.push(FailureScenario::new(links));
+        }
+        return;
+    }
+    let max_here = orbits.orbits[orbit].len().min(k - used);
+    for c in 0..=max_here {
+        counts[orbit] = c;
+        enumerate_orbit_counts(orbits, k, orbit + 1, used + c, counts, out);
+    }
+    counts[orbit] = 0;
+}
+
+fn combinations(
+    n: usize,
+    size: usize,
+    start: usize,
+    chosen: &mut Vec<usize>,
+    emit: &mut impl FnMut(&[usize]),
+) {
+    if chosen.len() == size {
+        emit(chosen);
+        return;
+    }
+    let remaining = size - chosen.len();
+    for i in start..=n.saturating_sub(remaining) {
+        chosen.push(i);
+        combinations(n, size, i + 1, chosen, emit);
+        chosen.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CompiledPolicies;
+    use crate::signatures::build_sig_table;
+    use bonsai_config::BuiltTopology;
+    use bonsai_srp::instance::{EcDest, OriginProto};
+    use bonsai_srp::papernets;
+
+    fn gadget_setup() -> (BuiltTopology, Abstraction, std::sync::Arc<SigTable>) {
+        let net = papernets::figure2_gadget();
+        let topo = BuiltTopology::build(&net).unwrap();
+        let d = topo.graph.node_by_name("d").unwrap();
+        let ec = EcDest::new(
+            papernets::DEST_PREFIX.parse().unwrap(),
+            vec![(d, OriginProto::Bgp)],
+        );
+        let engine = CompiledPolicies::from_network(&net, false);
+        let sigs = build_sig_table(&engine, &net, &topo, &ec);
+        let abs = crate::algorithm::find_abstraction(&topo.graph, &ec, &sigs);
+        (topo, abs, sigs)
+    }
+
+    #[test]
+    fn exhaustive_enumeration_counts() {
+        let (topo, _, _) = gadget_setup();
+        // The gadget has 6 links: C(6,1)=6, C(6,2)=15.
+        assert_eq!(topo.graph.link_count(), 6);
+        let s1 = enumerate_scenarios(&topo.graph, 1);
+        assert_eq!(s1.len(), 6);
+        let s2 = enumerate_scenarios(&topo.graph, 2);
+        assert_eq!(s2.len(), 21);
+        assert_eq!(exhaustive_scenario_count(6, 2), 21);
+        // All distinct, all within bounds.
+        let set: std::collections::BTreeSet<_> = s2.iter().collect();
+        assert_eq!(set.len(), 21);
+        assert!(s2.iter().all(|s| (1..=2).contains(&s.len())));
+    }
+
+    #[test]
+    fn gadget_links_fall_into_two_orbits() {
+        // {bi—d} and {bi—a} are each one orbit: identical block pairs and
+        // identical compiled signatures both ways.
+        let (topo, abs, sigs) = gadget_setup();
+        let orbits = link_orbits(&topo.graph, &abs, &sigs);
+        assert_eq!(orbits.links.len(), 6);
+        assert_eq!(orbits.num_orbits(), 2);
+        for o in &orbits.orbits {
+            assert_eq!(o.len(), 3);
+        }
+        // Links of one orbit share endpoint blocks.
+        for o in &orbits.orbits {
+            let blocks: std::collections::BTreeSet<_> = o
+                .iter()
+                .map(|&li| {
+                    let (u, v) = orbits.links[li];
+                    let mut pair = [abs.role_of(u), abs.role_of(v)];
+                    pair.sort();
+                    pair
+                })
+                .collect();
+            assert_eq!(blocks.len(), 1);
+        }
+    }
+
+    #[test]
+    fn pruned_enumeration_collapses_symmetric_scenarios() {
+        let (topo, abs, sigs) = gadget_setup();
+        // k=1: 6 exhaustive scenarios collapse to 2 (one per orbit).
+        let p1 = enumerate_scenarios_pruned(&topo.graph, &abs, &sigs, 1);
+        assert_eq!(p1.len(), 2);
+        // k=2: multisets {2+0, 0+2, 1+1} plus the k=1 ones = 5.
+        let p2 = enumerate_scenarios_pruned(&topo.graph, &abs, &sigs, 2);
+        assert_eq!(p2.len(), 5);
+        assert!(p2.len() < enumerate_scenarios(&topo.graph, 2).len());
+        // Every pruned scenario is a member of the exhaustive set.
+        let all: std::collections::BTreeSet<_> =
+            enumerate_scenarios(&topo.graph, 2).into_iter().collect();
+        assert!(p2.iter().all(|s| all.contains(s)));
+    }
+
+    #[test]
+    fn masks_cover_both_directions() {
+        let (topo, _, _) = gadget_setup();
+        let s = enumerate_scenarios(&topo.graph, 1);
+        for sc in &s {
+            let mask = sc.mask(&topo.graph);
+            assert_eq!(mask.disabled_count(), 2, "{}", sc.describe(&topo.graph));
+        }
+    }
+
+    #[test]
+    fn describe_uses_node_names() {
+        let (topo, _, _) = gadget_setup();
+        let d = topo.graph.node_by_name("d").unwrap();
+        let b1 = topo.graph.node_by_name("b1").unwrap();
+        let sc = FailureScenario::new(vec![(d, b1)]);
+        assert_eq!(sc.describe(&topo.graph), "{d—b1}");
+    }
+}

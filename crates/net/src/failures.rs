@@ -1,0 +1,187 @@
+//! Link-failure masks: which directed edges of a [`Graph`] are down.
+//!
+//! The paper proves CP-equivalence for the *failure-free* control plane
+//! and notes (§9) that an abstraction can become **unsound once links
+//! fail**: one concrete link failing breaks the symmetry the abstraction
+//! relies on, while the corresponding abstract link stands for *many*
+//! concrete links at once. The failure-scenario subsystem therefore needs
+//! to re-solve SRP instances with some edges disabled — cheaply, and
+//! without cloning or rebuilding the instance.
+//!
+//! A [`FailureMask`] is a plain bitset over [`EdgeId`]s. Solvers and
+//! stability checks take an `Option<&FailureMask>` and simply skip
+//! disabled edges when collecting a node's choices; everything else
+//! (labels, transfer functions, compiled policies) is untouched. Failing
+//! an undirected *link* disables both directed edges.
+//!
+//! The mask is deliberately dumb: it knows edge ids, not topology. Helper
+//! constructors that speak in terms of links or device names live next to
+//! the graph ([`Graph::find_edge`]) and in `bonsai-topo`.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::fmt;
+
+/// A set of disabled (failed) directed edges, as a bitset over edge ids.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct FailureMask {
+    words: Vec<u64>,
+    disabled: usize,
+}
+
+impl FailureMask {
+    /// An empty mask (no failures) sized for a graph with `edge_count`
+    /// directed edges.
+    pub fn new(edge_count: usize) -> Self {
+        FailureMask {
+            words: vec![0u64; edge_count.div_ceil(64)],
+            disabled: 0,
+        }
+    }
+
+    /// An empty mask sized for `graph`.
+    pub fn for_graph(graph: &Graph) -> Self {
+        Self::new(graph.edge_count())
+    }
+
+    /// Number of disabled directed edges.
+    pub fn disabled_count(&self) -> usize {
+        self.disabled
+    }
+
+    /// True if no edge is disabled.
+    pub fn is_empty(&self) -> bool {
+        self.disabled == 0
+    }
+
+    /// Disables a single directed edge. Idempotent.
+    pub fn disable(&mut self, e: EdgeId) {
+        let (w, b) = (e.index() / 64, e.index() % 64);
+        assert!(w < self.words.len(), "edge {e:?} out of range for mask");
+        if self.words[w] & (1 << b) == 0 {
+            self.words[w] |= 1 << b;
+            self.disabled += 1;
+        }
+    }
+
+    /// Disables the undirected link `u — v`: both directed edges, where
+    /// present. Returns how many directed edges were newly disabled (0 if
+    /// the nodes are not adjacent).
+    pub fn disable_link(&mut self, graph: &Graph, u: NodeId, v: NodeId) -> usize {
+        let before = self.disabled;
+        if let Some(e) = graph.find_edge(u, v) {
+            self.disable(e);
+        }
+        if let Some(e) = graph.find_edge(v, u) {
+            self.disable(e);
+        }
+        self.disabled - before
+    }
+
+    /// True if the directed edge is disabled.
+    #[inline]
+    pub fn is_disabled(&self, e: EdgeId) -> bool {
+        let (w, b) = (e.index() / 64, e.index() % 64);
+        w < self.words.len() && self.words[w] & (1 << b) != 0
+    }
+
+    /// Iterator over the disabled edge ids, ascending.
+    pub fn iter_disabled(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1u64 << b) != 0)
+                .map(move |b| EdgeId((wi * 64 + b) as u32))
+        })
+    }
+}
+
+impl fmt::Debug for FailureMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter_disabled()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn triangle() -> Graph {
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_node("a");
+        let b = gb.add_node("b");
+        let c = gb.add_node("c");
+        gb.add_link(a, b);
+        gb.add_link(b, c);
+        gb.add_link(c, a);
+        gb.build()
+    }
+
+    #[test]
+    fn empty_mask_disables_nothing() {
+        let g = triangle();
+        let m = FailureMask::for_graph(&g);
+        assert!(m.is_empty());
+        assert_eq!(m.disabled_count(), 0);
+        for e in g.edges() {
+            assert!(!m.is_disabled(e));
+        }
+    }
+
+    #[test]
+    fn disable_link_hits_both_directions() {
+        let g = triangle();
+        let mut m = FailureMask::for_graph(&g);
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        assert_eq!(m.disable_link(&g, a, b), 2);
+        assert!(m.is_disabled(g.find_edge(a, b).unwrap()));
+        assert!(m.is_disabled(g.find_edge(b, a).unwrap()));
+        assert_eq!(m.disabled_count(), 2);
+        // Idempotent.
+        assert_eq!(m.disable_link(&g, b, a), 0);
+        assert_eq!(m.disabled_count(), 2);
+    }
+
+    #[test]
+    fn disable_link_on_non_adjacent_pair_is_noop() {
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_node("a");
+        let b = gb.add_node("b");
+        let c = gb.add_node("c");
+        gb.add_link(a, b);
+        let g = gb.build();
+        let mut m = FailureMask::for_graph(&g);
+        assert_eq!(m.disable_link(&g, a, c), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn iter_disabled_is_sorted() {
+        let g = triangle();
+        let mut m = FailureMask::for_graph(&g);
+        m.disable(EdgeId(5));
+        m.disable(EdgeId(0));
+        m.disable(EdgeId(3));
+        let ids: Vec<u32> = m.iter_disabled().map(|e| e.0).collect();
+        assert_eq!(ids, vec![0, 3, 5]);
+    }
+
+    #[test]
+    fn one_directional_edge_masks_once() {
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_node("a");
+        let b = gb.add_node("b");
+        gb.add_edge(a, b); // no reverse
+        let g = gb.build();
+        let mut m = FailureMask::for_graph(&g);
+        assert_eq!(m.disable_link(&g, a, b), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn disable_out_of_range_panics() {
+        let g = triangle();
+        let mut m = FailureMask::for_graph(&g);
+        m.disable(EdgeId(99));
+    }
+}

@@ -288,6 +288,21 @@ impl Graph {
         self.out(u).len()
     }
 
+    /// The undirected links of the graph as canonical node pairs: one
+    /// `(u, v)` per antiparallel edge pair with `u < v`, plus one pair per
+    /// directed edge without a reverse (in source-first orientation).
+    /// Deterministic order (by the canonical edge's id); the basis of
+    /// link-failure scenario enumeration.
+    pub fn links(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(self.link_count());
+        for &(u, v) in &self.edges {
+            if u.0 < v.0 || !self.has_edge(v, u) {
+                out.push((u, v));
+            }
+        }
+        out
+    }
+
     /// Unweighted BFS distances from `src` following *out*-edges.
     /// Unreachable nodes get `None`.
     pub fn bfs_distances(&self, src: NodeId) -> Vec<Option<u32>> {

@@ -11,6 +11,8 @@
 //!   *destination equivalence classes* (paper §5.1).
 //! * [`partition`] — the union-split-find structure that Algorithm 1 uses to
 //!   maintain the abstraction function `f` as a partition of concrete nodes.
+//! * [`failures`] — bitset masks of failed (disabled) edges, the substrate
+//!   of bounded link-failure scenario analysis.
 //!
 //! The crate has no dependencies and follows the smoltcp school of design:
 //! plain data structures, explicit invariants, extensive documentation.
@@ -18,11 +20,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod failures;
 pub mod graph;
 pub mod partition;
 pub mod prefix;
 pub mod trie;
 
+pub use failures::FailureMask;
 pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};
 pub use partition::Partition;
 pub use prefix::{Ipv4Addr, Prefix};

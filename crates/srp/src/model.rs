@@ -16,7 +16,7 @@
 //! fwd_L(u) = { e | (e,a) ∈ choices_L(u), a ≈ L(u) }
 //! ```
 
-use bonsai_net::{EdgeId, Graph, NodeId};
+use bonsai_net::{EdgeId, FailureMask, Graph, NodeId};
 use std::cmp::Ordering;
 use std::fmt::Debug;
 use std::hash::Hash;
@@ -117,8 +117,23 @@ impl<'a, P: Protocol> Srp<'a, P> {
     /// `choices_L(u)`: the non-⊥ attributes offered to `u` by its
     /// neighbors under the given labels.
     pub fn choices(&self, labels: &[Option<P::Attr>], u: NodeId) -> Vec<(EdgeId, P::Attr)> {
+        self.choices_masked(labels, u, None)
+    }
+
+    /// [`Srp::choices`] under a link-failure mask: offers across disabled
+    /// edges do not exist (the SRP semantics of removing the edge from
+    /// `E`, without rebuilding the instance).
+    pub fn choices_masked(
+        &self,
+        labels: &[Option<P::Attr>],
+        u: NodeId,
+        mask: Option<&FailureMask>,
+    ) -> Vec<(EdgeId, P::Attr)> {
         let mut out = Vec::new();
         for e in self.graph.out(u) {
+            if mask.is_some_and(|m| m.is_disabled(e)) {
+                continue;
+            }
             let v = self.graph.target(e);
             if let Some(a) = self.protocol.transfer(e, labels[v.index()].as_ref()) {
                 out.push((e, a));
@@ -147,6 +162,16 @@ impl<'a, P: Protocol> Srp<'a, P> {
 
     /// Computes the forwarding relation induced by a labeling.
     pub fn forwarding(&self, labels: &[Option<P::Attr>]) -> Vec<Vec<EdgeId>> {
+        self.forwarding_masked(labels, None)
+    }
+
+    /// [`Srp::forwarding`] under a link-failure mask: disabled edges are
+    /// never forwarded on.
+    pub fn forwarding_masked(
+        &self,
+        labels: &[Option<P::Attr>],
+        mask: Option<&FailureMask>,
+    ) -> Vec<Vec<EdgeId>> {
         let n = self.graph.node_count();
         let mut fwd = vec![Vec::new(); n];
         for u in self.graph.nodes() {
@@ -154,7 +179,7 @@ impl<'a, P: Protocol> Srp<'a, P> {
                 continue; // origins consume traffic
             }
             if let Some(lu) = &labels[u.index()] {
-                for (e, a) in self.choices(labels, u) {
+                for (e, a) in self.choices_masked(labels, u, mask) {
                     if self.equally_good(&a, lu) {
                         fwd[u.index()].push(e);
                     }
@@ -168,6 +193,16 @@ impl<'a, P: Protocol> Srp<'a, P> {
     ///
     /// Returns `Ok(())` or the first violated constraint, described.
     pub fn check_stable(&self, labels: &[Option<P::Attr>]) -> Result<(), String> {
+        self.check_stable_masked(labels, None)
+    }
+
+    /// [`Srp::check_stable`] for the instance with the masked edges
+    /// removed: stability is judged against the *surviving* choice sets.
+    pub fn check_stable_masked(
+        &self,
+        labels: &[Option<P::Attr>],
+        mask: Option<&FailureMask>,
+    ) -> Result<(), String> {
         if labels.len() != self.graph.node_count() {
             return Err("label vector length mismatch".into());
         }
@@ -179,7 +214,7 @@ impl<'a, P: Protocol> Srp<'a, P> {
                     _ => return Err(format!("origin {u:?} not labeled with a_d")),
                 }
             }
-            let choices = self.choices(labels, u);
+            let choices = self.choices_masked(labels, u, mask);
             match lu {
                 None => {
                     if !choices.is_empty() {
@@ -211,8 +246,17 @@ impl<'a, P: Protocol> Srp<'a, P> {
         &self,
         labels: Vec<Option<P::Attr>>,
     ) -> Result<Solution<P::Attr>, String> {
-        self.check_stable(&labels)?;
-        let fwd = self.forwarding(&labels);
+        self.solution_from_labels_masked(labels, None)
+    }
+
+    /// [`Srp::solution_from_labels`] for the masked instance.
+    pub fn solution_from_labels_masked(
+        &self,
+        labels: Vec<Option<P::Attr>>,
+        mask: Option<&FailureMask>,
+    ) -> Result<Solution<P::Attr>, String> {
+        self.check_stable_masked(&labels, mask)?;
+        let fwd = self.forwarding_masked(&labels, mask);
         Ok(Solution { labels, fwd })
     }
 }

@@ -16,9 +16,15 @@
 //! BGP-like protocols can also *diverge* (oscillate forever — the "bad
 //! gadget" of Griffin et al.). The solver bounds the number of label
 //! updates and reports [`SolveError::Diverged`] when the bound is hit.
+//!
+//! Every entry point has a `_masked` variant taking an optional
+//! [`FailureMask`]: the fixpoint is then computed on the instance with the
+//! masked edges removed, which is how the failure-scenario subsystem
+//! re-solves one instance under thousands of link-failure combinations
+//! without cloning it.
 
 use crate::model::{Protocol, Solution, Srp};
-use bonsai_net::NodeId;
+use bonsai_net::{FailureMask, NodeId};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -68,6 +74,17 @@ pub fn solve<P: Protocol>(srp: &Srp<'_, P>) -> Result<Solution<P::Attr>, SolveEr
     solve_with_order(srp, &order, SolverOptions::default())
 }
 
+/// Solves the SRP with a set of failed edges removed, activating nodes in
+/// natural id order. The instance itself is untouched — the mask only
+/// filters which edges offer choices.
+pub fn solve_masked<P: Protocol>(
+    srp: &Srp<'_, P>,
+    mask: Option<&FailureMask>,
+) -> Result<Solution<P::Attr>, SolveError> {
+    let order: Vec<NodeId> = srp.graph.nodes().collect();
+    solve_with_order_masked(srp, &order, SolverOptions::default(), mask)
+}
+
 /// Solves the SRP, activating nodes initially in the given order.
 ///
 /// The order is a permutation of the nodes (checked). Different orders may
@@ -76,6 +93,20 @@ pub fn solve_with_order<P: Protocol>(
     srp: &Srp<'_, P>,
     order: &[NodeId],
     options: SolverOptions,
+) -> Result<Solution<P::Attr>, SolveError> {
+    solve_with_order_masked(srp, order, options, None)
+}
+
+/// [`solve_with_order`] with a link-failure mask threaded through: the
+/// fixpoint is computed, and its stability validated, on the instance with
+/// the masked edges removed. `None` (or an empty mask) is the failure-free
+/// solve; the `Srp` is shared by reference across any number of scenario
+/// solves.
+pub fn solve_with_order_masked<P: Protocol>(
+    srp: &Srp<'_, P>,
+    order: &[NodeId],
+    options: SolverOptions,
+    mask: Option<&FailureMask>,
 ) -> Result<Solution<P::Attr>, SolveError> {
     let n = srp.graph.node_count();
     assert_eq!(order.len(), n, "activation order must cover every node");
@@ -102,7 +133,7 @@ pub fn solve_with_order<P: Protocol>(
 
     while let Some(u) = queue.pop_front() {
         queued[u.index()] = false;
-        let choices = srp.choices(&labels, u);
+        let choices = srp.choices_masked(&labels, u, mask);
         let new_label = if choices.is_empty() {
             None
         } else {
@@ -133,7 +164,7 @@ pub fn solve_with_order<P: Protocol>(
         }
     }
 
-    srp.solution_from_labels(labels)
+    srp.solution_from_labels_masked(labels, mask)
         .map_err(SolveError::Internal)
 }
 
@@ -209,6 +240,56 @@ mod tests {
         assert_eq!(sol.label(NodeId(1)).copied(), Some(1));
         assert_eq!(sol.label(NodeId(2)), None);
         assert!(sol.fwd(NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn masked_solve_reroutes_around_failed_link() {
+        // Diamond: d — {b1, b2} — a. Failing d—b1 pushes b1 onto the
+        // 3-hop detour through a while b2 keeps its direct route.
+        let mut gb = GraphBuilder::new();
+        let d = gb.add_node("d");
+        let b1 = gb.add_node("b1");
+        let b2 = gb.add_node("b2");
+        let a = gb.add_node("a");
+        gb.add_link(d, b1);
+        gb.add_link(d, b2);
+        gb.add_link(a, b1);
+        gb.add_link(a, b2);
+        let g = gb.build();
+        let srp = Srp::new(&g, d, Hops);
+
+        let mut mask = bonsai_net::FailureMask::for_graph(&g);
+        mask.disable_link(&g, d, b1);
+        let sol = solve_masked(&srp, Some(&mask)).unwrap();
+        assert_eq!(sol.label(b1).copied(), Some(3));
+        assert_eq!(sol.label(b2).copied(), Some(1));
+        assert_eq!(sol.label(a).copied(), Some(2));
+        // b1 forwards only via a; the dead edge never appears in fwd.
+        assert_eq!(sol.fwd(b1).len(), 1);
+        assert_eq!(g.target(sol.fwd(b1)[0]), a);
+
+        // The same instance still solves failure-free afterwards.
+        let sol0 = solve(&srp).unwrap();
+        assert_eq!(sol0.label(b1).copied(), Some(1));
+    }
+
+    #[test]
+    fn masked_solve_partitions_network_to_bottom() {
+        // Cutting a line graph strands the far side with ⊥ labels.
+        let mut gb = GraphBuilder::new();
+        let d = gb.add_node("d");
+        let m = gb.add_node("m");
+        let f = gb.add_node("f");
+        gb.add_link(d, m);
+        gb.add_link(m, f);
+        let g = gb.build();
+        let srp = Srp::new(&g, d, Hops);
+        let mut mask = bonsai_net::FailureMask::for_graph(&g);
+        mask.disable_link(&g, d, m);
+        let sol = solve_masked(&srp, Some(&mask)).unwrap();
+        assert_eq!(sol.label(m), None);
+        assert_eq!(sol.label(f), None);
+        assert_eq!(sol.routed_count(), 1); // just the origin
     }
 
     #[test]

@@ -16,14 +16,20 @@
 //!
 //! Every generator returns a plain [`bonsai_config::NetworkConfig`]; nothing here knows
 //! about compression, which keeps the benchmark inputs honest.
+//!
+//! [`mod@scenarios`] adds name-based helpers for the failure workload:
+//! listing a topology's links by device name and building
+//! [`bonsai_net::FailureMask`]s from name pairs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod datacenter;
+pub mod scenarios;
 pub mod synthetic;
 pub mod wan;
 
 pub use datacenter::{datacenter, DatacenterParams};
+pub use scenarios::{fail_links_by_name, link_by_names, named_links};
 pub use synthetic::{fattree, full_mesh, ring, FattreePolicy};
 pub use wan::{wan, WanParams};

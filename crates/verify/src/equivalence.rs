@@ -23,7 +23,7 @@ use bonsai_config::{BuiltTopology, Community, NetworkConfig};
 use bonsai_core::abstraction::AbstractNetwork;
 use bonsai_core::algorithm::Abstraction;
 use bonsai_net::partition::BlockId;
-use bonsai_net::NodeId;
+use bonsai_net::{FailureMask, NodeId};
 use bonsai_srp::instance::{EcDest, MultiProtocol, RibAttr};
 use bonsai_srp::solver::{solve_with_order, SolverOptions};
 use bonsai_srp::{Solution, Srp};
@@ -99,15 +99,28 @@ impl HLabel {
 /// whole set makes the check independent of how ties were broken; this is
 /// the paper's *choice-equivalence*, Definition A.1, restricted to minimal
 /// elements) plus the set of blocks it forwards into.
-type Behavior = (BTreeSet<HLabel>, BTreeSet<u32>);
+pub(crate) type Behavior = (BTreeSet<HLabel>, BTreeSet<u32>);
+
+/// A structured behavior mismatch: which block failed the comparison, and
+/// a human-readable description. The failure auditor uses the block to
+/// choose a refinement split when no failed-link endpoint is available.
+#[derive(Clone, Debug)]
+pub struct BehaviorMismatch {
+    /// The block whose concrete and abstract behavior sets disagree.
+    pub block: BlockId,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
 
 /// The ≈-minimal choice set of a node under a solution, as `h`-labels.
 /// Origins contribute their pinned label; unrouted nodes the empty set.
+/// A failure mask restricts the choice set to surviving edges.
 fn minimal_hlabels<P: bonsai_srp::Protocol<Attr = RibAttr>>(
     srp: &Srp<'_, P>,
     solution: &Solution<RibAttr>,
     u: NodeId,
     keep: Option<&BTreeSet<Community>>,
+    mask: Option<&FailureMask>,
 ) -> BTreeSet<HLabel> {
     let mut out = BTreeSet::new();
     match solution.label(u) {
@@ -116,7 +129,7 @@ fn minimal_hlabels<P: bonsai_srp::Protocol<Attr = RibAttr>>(
             out.insert(HLabel::of(Some(label), keep));
         }
         Some(label) => {
-            for (_, a) in srp.choices(&solution.labels, u) {
+            for (_, a) in srp.choices_masked(&solution.labels, u, mask) {
                 if srp.equally_good(&a, label) {
                     out.insert(HLabel::of(Some(&a), keep));
                 }
@@ -126,13 +139,14 @@ fn minimal_hlabels<P: bonsai_srp::Protocol<Attr = RibAttr>>(
     out
 }
 
-fn concrete_behaviors(
+pub(crate) fn concrete_behaviors(
     network: &NetworkConfig,
     topo: &BuiltTopology,
     ec: &EcDest,
     solution: &Solution<RibAttr>,
     abstraction: &Abstraction,
     keep: Option<&BTreeSet<Community>>,
+    mask: Option<&FailureMask>,
 ) -> BTreeMap<BlockId, BTreeSet<Behavior>> {
     let proto = MultiProtocol::build(network, topo, ec);
     let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
@@ -140,7 +154,7 @@ fn concrete_behaviors(
     let mut map: BTreeMap<BlockId, BTreeSet<Behavior>> = BTreeMap::new();
     for u in topo.graph.nodes() {
         let block = abstraction.role_of(u);
-        let labels = minimal_hlabels(&srp, solution, u, keep);
+        let labels = minimal_hlabels(&srp, solution, u, keep, mask);
         let fwd_blocks: BTreeSet<u32> = solution
             .fwd(u)
             .iter()
@@ -151,10 +165,11 @@ fn concrete_behaviors(
     map
 }
 
-fn abstract_behaviors(
+pub(crate) fn abstract_behaviors(
     abs: &AbstractNetwork,
     solution: &Solution<RibAttr>,
     keep: Option<&BTreeSet<Community>>,
+    mask: Option<&FailureMask>,
 ) -> BTreeMap<BlockId, BTreeSet<Behavior>> {
     let proto = MultiProtocol::build(&abs.network, &abs.topo, &abs.ec);
     let origins: Vec<NodeId> = abs.ec.origins.iter().map(|(n, _)| *n).collect();
@@ -162,7 +177,7 @@ fn abstract_behaviors(
     let mut map: BTreeMap<BlockId, BTreeSet<Behavior>> = BTreeMap::new();
     for n in abs.topo.graph.nodes() {
         let (block, _copy) = abs.copy_of_node[n.index()];
-        let labels = minimal_hlabels(&srp, solution, n, keep);
+        let labels = minimal_hlabels(&srp, solution, n, keep, mask);
         let fwd_blocks: BTreeSet<u32> = solution
             .fwd(n)
             .iter()
@@ -190,7 +205,15 @@ pub fn check_solution_equivalence(
     orders: usize,
     keep: Option<&BTreeSet<Community>>,
 ) -> Result<(), EquivalenceError> {
-    let concrete = concrete_behaviors(network, topo, ec, concrete_solution, abstraction, keep);
+    let concrete = concrete_behaviors(
+        network,
+        topo,
+        ec,
+        concrete_solution,
+        abstraction,
+        keep,
+        None,
+    );
 
     let abs_origins: Vec<NodeId> = abs.ec.origins.iter().map(|(n, _)| *n).collect();
     let nodes: Vec<NodeId> = abs.topo.graph.nodes().collect();
@@ -219,10 +242,10 @@ pub fn check_solution_equivalence(
             continue;
         }
 
-        let abstract_b = abstract_behaviors(abs, &abs_solution, keep);
+        let abstract_b = abstract_behaviors(abs, &abs_solution, keep, None);
         match behaviors_match(&concrete, &abstract_b) {
             Ok(()) => return Ok(()),
-            Err(detail) => last_detail = detail,
+            Err(mismatch) => last_detail = mismatch.detail,
         }
     }
     Err(EquivalenceError::NoMatchingSolution {
@@ -235,28 +258,37 @@ pub fn check_solution_equivalence(
 /// fwd-equivalence for some refinement `f_r`), and no copy exhibits a
 /// behavior no concrete member has (onto-ness of `f_r`, adjusted as in
 /// Theorem 4.5: spare copies may duplicate an existing behavior).
-fn behaviors_match(
+pub(crate) fn behaviors_match(
     concrete: &BTreeMap<BlockId, BTreeSet<Behavior>>,
     abstract_b: &BTreeMap<BlockId, BTreeSet<Behavior>>,
-) -> Result<(), String> {
+) -> Result<(), BehaviorMismatch> {
     for (block, cset) in concrete {
         let Some(aset) = abstract_b.get(block) else {
-            return Err(format!("abstract network lacks block {block:?}"));
+            return Err(BehaviorMismatch {
+                block: *block,
+                detail: format!("abstract network lacks block {block:?}"),
+            });
         };
         for b in cset {
             if !aset.contains(b) {
-                return Err(format!(
-                    "block {block:?}: concrete behavior {b:?} not realized by any copy \
-                     (abstract behaviors: {aset:?})"
-                ));
+                return Err(BehaviorMismatch {
+                    block: *block,
+                    detail: format!(
+                        "block {block:?}: concrete behavior {b:?} not realized by any copy \
+                         (abstract behaviors: {aset:?})"
+                    ),
+                });
             }
         }
         for b in aset {
             if !cset.contains(b) {
-                return Err(format!(
-                    "block {block:?}: abstract copy behavior {b:?} has no concrete witness \
-                     (concrete behaviors: {cset:?})"
-                ));
+                return Err(BehaviorMismatch {
+                    block: *block,
+                    detail: format!(
+                        "block {block:?}: abstract copy behavior {b:?} has no concrete witness \
+                         (concrete behaviors: {cset:?})"
+                    ),
+                });
             }
         }
     }

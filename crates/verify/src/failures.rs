@@ -1,0 +1,552 @@
+//! K-failure soundness auditing with counterexample-guided refinement.
+//!
+//! The paper proves CP-equivalence for the failure-free control plane and
+//! warns (§9) that compression may become **unsound when links fail**: an
+//! abstract link stands for a whole orbit of concrete links, so the
+//! abstract network cannot express "exactly one of them is down" — the
+//! very asymmetry a failure introduces. This module turns that caveat
+//! into a checked, repairable property:
+//!
+//! 1. [`check_cp_equivalence_under_failures`] sweeps every `≤ k`
+//!    link-failure scenario (enumerated — and optionally symmetry-pruned —
+//!    by [`bonsai_core::scenarios`]), solving the concrete instance under
+//!    the scenario's [`FailureMask`] and the abstract instance under the
+//!    *lifted* mask ([`lift_failure_mask`]), and compares per-block
+//!    behaviors exactly like the failure-free oracle.
+//! 2. On a mismatch it extracts a refinement split — the failed-link
+//!    endpoints still sharing a block with other nodes, falling back to
+//!    the offending block itself — and feeds it to
+//!    [`bonsai_core::compress::refine_ec_with_split`], which isolates the
+//!    nodes, restores the refinement fixpoint and rebuilds the abstract
+//!    network through the same shared engine.
+//! 3. The sweep continues against the refined abstraction (refinement is
+//!    monotone) and repeats in passes until a whole pass finds no
+//!    counterexample: the abstraction is then **k-failure sound**, and the
+//!    [`FailureAuditReport`] carries it together with every counterexample
+//!    found along the way.
+//!
+//! Termination: every effective refinement strictly increases the block
+//! count, which is bounded by the node count; the discrete partition's
+//! abstract network is isomorphic to the concrete one, where every
+//! scenario passes trivially. In practice one or two splits repair a
+//! failure-broken abstraction while the rest of the network stays
+//! compressed — that is the selling point over "just verify concretely".
+
+use crate::equivalence::{
+    abstract_behaviors, behaviors_match, concrete_behaviors, BehaviorMismatch, EquivalenceError,
+};
+use bonsai_config::{BuiltTopology, Community, NetworkConfig};
+use bonsai_core::abstraction::AbstractNetwork;
+use bonsai_core::algorithm::Abstraction;
+use bonsai_core::compress::refine_ec_with_split;
+use bonsai_core::engine::CompiledPolicies;
+use bonsai_core::scenarios::{
+    enumerate_scenarios, enumerate_scenarios_pruned, exhaustive_scenario_count, FailureScenario,
+};
+use bonsai_core::signatures::build_sig_table;
+use bonsai_net::partition::BlockId;
+use bonsai_net::{FailureMask, NodeId};
+use bonsai_srp::instance::{EcDest, MultiProtocol};
+use bonsai_srp::solver::{solve_with_order_masked, SolverOptions};
+use bonsai_srp::Srp;
+use std::collections::BTreeSet;
+
+/// Options for a k-failure soundness audit.
+#[derive(Clone, Copy, Debug)]
+pub struct FailureAuditOptions {
+    /// Maximum number of simultaneously failed links (`k`).
+    pub max_failures: usize,
+    /// Enumerate one representative scenario per link-orbit multiset
+    /// instead of every link combination (see
+    /// [`bonsai_core::scenarios::enumerate_scenarios_pruned`] for the
+    /// exactness discussion). Exhaustive sweeps disable this.
+    pub prune_symmetric: bool,
+    /// Concrete activation orders tried per scenario (each must have a
+    /// matching abstract solution).
+    pub concrete_orders: usize,
+    /// Abstract activation orders tried per concrete solution.
+    pub abstract_orders: usize,
+    /// Refinement-round bound; 0 means "node count" (always sufficient:
+    /// each round strictly refines the partition).
+    pub max_rounds: usize,
+}
+
+impl Default for FailureAuditOptions {
+    fn default() -> Self {
+        FailureAuditOptions {
+            max_failures: 1,
+            prune_symmetric: true,
+            concrete_orders: 4,
+            abstract_orders: 16,
+            max_rounds: 0,
+        }
+    }
+}
+
+/// One scenario the abstraction could not mirror, and how it was repaired.
+#[derive(Clone, Debug)]
+pub struct FailureCounterexample {
+    /// The failing scenario.
+    pub scenario: FailureScenario,
+    /// The block whose behaviors disagreed (when the comparison got that
+    /// far; `None` when the abstract instance diverged outright).
+    pub block: Option<BlockId>,
+    /// Human-readable mismatch description.
+    pub detail: String,
+    /// The concrete nodes the refinement step isolated in response.
+    pub split: Vec<NodeId>,
+}
+
+/// The outcome of a k-failure soundness audit: the (possibly refined)
+/// abstraction that passes every scenario, plus the audit trail.
+#[derive(Debug)]
+pub struct FailureAuditReport {
+    /// The failure bound that was audited.
+    pub k: usize,
+    /// Scenario count of the exhaustive enumeration (what the sweep would
+    /// cost without symmetry pruning).
+    pub scenarios_exhaustive: usize,
+    /// Scenarios actually verified in the final (passing) sweep.
+    pub scenarios_swept: usize,
+    /// Total scenario checks across all sweeps, including the aborted
+    /// ones that ended in a counterexample.
+    pub checks_performed: usize,
+    /// Every counterexample found, in discovery order.
+    pub counterexamples: Vec<FailureCounterexample>,
+    /// Number of refinement rounds (== `counterexamples.len()`).
+    pub refinement_rounds: usize,
+    /// Abstract node count before the audit.
+    pub initial_abstract_nodes: usize,
+    /// The k-failure-sound abstraction (the input one if no refinement
+    /// was needed).
+    pub abstraction: Abstraction,
+    /// Its materialized abstract network.
+    pub abstract_network: AbstractNetwork,
+}
+
+impl FailureAuditReport {
+    /// True if the input abstraction was already k-failure sound.
+    pub fn was_sound(&self) -> bool {
+        self.counterexamples.is_empty()
+    }
+
+    /// Abstract node count after the audit.
+    pub fn final_abstract_nodes(&self) -> usize {
+        self.abstraction.abstract_node_count()
+    }
+}
+
+/// Lifts a concrete failure scenario onto an abstract network: for every
+/// failed concrete link `u — v`, every abstract link between a copy of
+/// `u`'s block and a copy of `v`'s block is failed.
+///
+/// This is the only possible interpretation of the scenario on the
+/// abstract topology — and precisely where unsoundness comes from: when
+/// the blocks have *other* concrete links that did not fail, the lifted
+/// mask over-fails the abstract network. The auditor detects the
+/// resulting behavior mismatch and refines until every failed link is the
+/// unique concrete witness of the abstract links it lifts to.
+pub fn lift_failure_mask(
+    scenario: &FailureScenario,
+    abstraction: &Abstraction,
+    abs: &AbstractNetwork,
+) -> FailureMask {
+    let graph = &abs.topo.graph;
+    let mut mask = FailureMask::for_graph(graph);
+    for &(u, v) in &scenario.links {
+        let bu = abstraction.role_of(u);
+        let bv = abstraction.role_of(v);
+        for cu in 0..abstraction.copies[bu.index()] {
+            for cv in 0..abstraction.copies[bv.index()] {
+                let nu = abs.node_of_copy[&(bu, cu)];
+                let nv = abs.node_of_copy[&(bv, cv)];
+                if nu != nv {
+                    mask.disable_link(graph, nu, nv);
+                }
+            }
+        }
+    }
+    mask
+}
+
+/// Sweeps all `≤ k` link-failure scenarios, checking CP-equivalence of
+/// the abstraction under each; on a counterexample, refines the
+/// abstraction (splitting the offending nodes) and restarts the sweep,
+/// until the abstraction is **k-failure sound**.
+///
+/// The attribute abstraction `h` is taken from the engine, exactly as in
+/// [`crate::equivalence::check_cp_equivalence_shared`]; scenario
+/// enumeration, signature tables and the refinement step all run through
+/// the same shared [`CompiledPolicies`] engine, so an audit after a
+/// compression run recompiles nothing.
+///
+/// Errors only when a *concrete* instance diverges under some scenario
+/// (nothing to audit against) or the refinement bound is exhausted.
+pub fn check_cp_equivalence_under_failures(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    ec: &EcDest,
+    abstraction: &Abstraction,
+    abs: &AbstractNetwork,
+    engine: &CompiledPolicies,
+    options: &FailureAuditOptions,
+) -> Result<FailureAuditReport, EquivalenceError> {
+    let keep: Option<BTreeSet<Community>> = engine
+        .strips_unused_communities()
+        .then(|| engine.communities().iter().copied().collect());
+    let sigs = build_sig_table(engine, network, topo, ec);
+    let k = options.max_failures;
+    let max_rounds = if options.max_rounds == 0 {
+        topo.graph.node_count() + 1
+    } else {
+        options.max_rounds
+    };
+
+    let mut current = abstraction.clone();
+    let mut current_net = abs.clone();
+    let mut counterexamples: Vec<FailureCounterexample> = Vec::new();
+    let mut checks_performed = 0usize;
+    let initial_abstract_nodes = abstraction.abstract_node_count();
+    let scenarios_exhaustive = exhaustive_scenario_count(topo.graph.link_count(), k);
+
+    loop {
+        // Enumerate per pass: pruning is relative to the *current*
+        // abstraction's orbits, and refinement makes orbits finer. Within
+        // a pass, a counterexample refines the abstraction and the sweep
+        // **continues** against the refined one (restarting per
+        // counterexample would cost rounds × scenarios); a pass with no
+        // counterexample is the clean confirmation the soundness claim
+        // rests on.
+        let scenarios = if options.prune_symmetric {
+            enumerate_scenarios_pruned(&topo.graph, &current, &sigs, k)
+        } else {
+            enumerate_scenarios(&topo.graph, k)
+        };
+
+        let mut refined_this_pass = false;
+        for scenario in &scenarios {
+            checks_performed += 1;
+            match check_scenario(
+                network,
+                topo,
+                ec,
+                &current,
+                &current_net,
+                scenario,
+                options,
+                keep.as_ref(),
+            )? {
+                Ok(()) => {}
+                Err(mismatch) => {
+                    let describe = |m: &Option<BehaviorMismatch>| {
+                        m.as_ref()
+                            .map(|m| m.detail.clone())
+                            .unwrap_or_else(|| "abstract instance diverged".to_string())
+                    };
+                    if counterexamples.len() >= max_rounds {
+                        return Err(EquivalenceError::NoMatchingSolution {
+                            detail: format!(
+                                "refinement bound ({max_rounds} rounds) exhausted; last \
+                                 counterexample under {}: {}",
+                                scenario.describe(&topo.graph),
+                                describe(&mismatch),
+                            ),
+                        });
+                    }
+                    let split = split_candidates(&current, scenario, &mismatch);
+                    if split.is_empty() {
+                        // Nothing left to split: a genuine equivalence bug
+                        // rather than a refinable failure asymmetry.
+                        return Err(EquivalenceError::NoMatchingSolution {
+                            detail: format!(
+                                "irrefinable mismatch under {}: {}",
+                                scenario.describe(&topo.graph),
+                                describe(&mismatch),
+                            ),
+                        });
+                    }
+                    let (refined, refined_net) =
+                        refine_ec_with_split(engine, network, topo, ec, &current, &split);
+                    counterexamples.push(FailureCounterexample {
+                        scenario: scenario.clone(),
+                        block: mismatch.as_ref().map(|m| m.block),
+                        detail: describe(&mismatch),
+                        split,
+                    });
+                    current = refined;
+                    current_net = refined_net;
+                    refined_this_pass = true;
+                }
+            }
+        }
+
+        if !refined_this_pass {
+            let refinement_rounds = counterexamples.len();
+            return Ok(FailureAuditReport {
+                k,
+                scenarios_exhaustive,
+                scenarios_swept: scenarios.len(),
+                checks_performed,
+                counterexamples,
+                refinement_rounds,
+                initial_abstract_nodes,
+                abstraction: current,
+                abstract_network: current_net,
+            });
+        }
+    }
+}
+
+/// Checks one scenario: every concrete solution (over the tried
+/// activation orders) must have a matching abstract solution under the
+/// lifted mask.
+///
+/// `Err(EquivalenceError)` is reserved for unauditable situations
+/// (concrete divergence); the inner `Result` carries the verdict, with
+/// `None` standing for "the abstract instance diverged on every order".
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+fn check_scenario(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    ec: &EcDest,
+    abstraction: &Abstraction,
+    abs: &AbstractNetwork,
+    scenario: &FailureScenario,
+    options: &FailureAuditOptions,
+    keep: Option<&BTreeSet<Community>>,
+) -> Result<Result<(), Option<BehaviorMismatch>>, EquivalenceError> {
+    let mask = scenario.mask(&topo.graph);
+    let abs_mask = lift_failure_mask(scenario, abstraction, abs);
+
+    let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
+    let nodes: Vec<NodeId> = topo.graph.nodes().collect();
+    let abs_origins: Vec<NodeId> = abs.ec.origins.iter().map(|(n, _)| *n).collect();
+    let abs_nodes: Vec<NodeId> = abs.topo.graph.nodes().collect();
+
+    // One instance each side serves every activation order and mask —
+    // the point of masked solving (nothing below depends on the order).
+    let proto = MultiProtocol::build(network, topo, ec);
+    let srp = Srp::with_origins(&topo.graph, origins, proto);
+    let abs_proto = MultiProtocol::build(&abs.network, &abs.topo, &abs.ec);
+    let abs_srp = Srp::with_origins(&abs.topo.graph, abs_origins, abs_proto);
+
+    for rot in 0..options.concrete_orders.max(1) {
+        let mut order = nodes.clone();
+        order.rotate_left(rot % nodes.len().max(1));
+        if rot / nodes.len().max(1) % 2 == 1 {
+            order.reverse();
+        }
+        let solution = solve_with_order_masked(&srp, &order, SolverOptions::default(), Some(&mask))
+            .map_err(|e| {
+                EquivalenceError::ConcreteDiverged(format!(
+                    "under {}: {e}",
+                    scenario.describe(&topo.graph)
+                ))
+            })?;
+        let concrete =
+            concrete_behaviors(network, topo, ec, &solution, abstraction, keep, Some(&mask));
+
+        let mut matched = false;
+        let mut last_mismatch: Option<BehaviorMismatch> = None;
+        let mut seen: BTreeSet<Vec<Option<String>>> = BTreeSet::new();
+        for arot in 0..options.abstract_orders.max(1) {
+            let mut order = abs_nodes.clone();
+            order.rotate_left(arot % abs_nodes.len().max(1));
+            if arot / abs_nodes.len().max(1) % 2 == 1 {
+                order.reverse();
+            }
+            let abs_solution = match solve_with_order_masked(
+                &abs_srp,
+                &order,
+                SolverOptions::default(),
+                Some(&abs_mask),
+            ) {
+                Ok(s) => s,
+                // Abstract divergence under a failure the concrete plane
+                // survives is itself an abstraction failure — fall through
+                // to the counterexample path rather than erroring.
+                Err(_) => continue,
+            };
+            let fingerprint: Vec<Option<String>> = abs_solution
+                .labels
+                .iter()
+                .map(|l| l.as_ref().map(|a| format!("{a:?}")))
+                .collect();
+            if !seen.insert(fingerprint) {
+                continue;
+            }
+            let abstract_b = abstract_behaviors(abs, &abs_solution, keep, Some(&abs_mask));
+            match behaviors_match(&concrete, &abstract_b) {
+                Ok(()) => {
+                    matched = true;
+                    break;
+                }
+                Err(mismatch) => last_mismatch = Some(mismatch),
+            }
+        }
+        if !matched {
+            return Ok(Err(last_mismatch));
+        }
+    }
+    Ok(Ok(()))
+}
+
+/// The refinement split for a counterexample: failed-link endpoints that
+/// still share a block with other nodes; if all endpoints are already
+/// singletons, the members of the offending block.
+fn split_candidates(
+    abstraction: &Abstraction,
+    scenario: &FailureScenario,
+    mismatch: &Option<BehaviorMismatch>,
+) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = scenario
+        .links
+        .iter()
+        .flat_map(|&(u, v)| [u, v])
+        .filter(|&n| abstraction.partition.members(abstraction.role_of(n)).len() > 1)
+        .collect();
+    out.sort();
+    out.dedup();
+    if out.is_empty() {
+        if let Some(m) = mismatch {
+            let members = abstraction.partition.members(m.block);
+            if members.len() > 1 {
+                out = members.iter().map(|&x| NodeId(x)).collect();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_core::compress::{compress, CompressOptions};
+    use bonsai_srp::papernets;
+
+    /// Audits the first EC of a compressed network and returns the report.
+    fn audit(
+        net: &NetworkConfig,
+        options: &FailureAuditOptions,
+    ) -> (BuiltTopology, FailureAuditReport) {
+        let topo = BuiltTopology::build(net).unwrap();
+        let report = compress(net, CompressOptions::default());
+        let ec = &report.per_ec[0];
+        let audit = check_cp_equivalence_under_failures(
+            net,
+            &topo,
+            &ec.ec.to_ec_dest(),
+            &ec.abstraction,
+            &ec.abstract_network,
+            &report.policies,
+            options,
+        )
+        .expect("audit completes");
+        (topo, audit)
+    }
+
+    /// The crafted unsoundness gadget: Figure 1's diamond merges b1 and
+    /// b2, which is CP-equivalent failure-free but unsound the moment one
+    /// of the two parallel b—d links fails (b1 detours, b2 does not — one
+    /// abstract b-node cannot do both). The audit must find exactly this,
+    /// split the b-block, and converge to a sound 4-node abstraction.
+    #[test]
+    fn figure1_is_unsound_under_one_failure_and_gets_repaired() {
+        let net = papernets::figure1_rip();
+        let (topo, audit) = audit(&net, &FailureAuditOptions::default());
+        assert!(!audit.was_sound(), "the merged diamond must be refuted");
+        assert!(audit.refinement_rounds >= 1);
+        assert_eq!(audit.initial_abstract_nodes, 3);
+        // Repair splits the merged b-block; the result re-verifies sound.
+        assert!(audit.final_abstract_nodes() > 3);
+        let b1 = topo.graph.node_by_name("b1").unwrap();
+        let b2 = topo.graph.node_by_name("b2").unwrap();
+        assert_ne!(audit.abstraction.role_of(b1), audit.abstraction.role_of(b2));
+        // The counterexample names a failed link and a real split.
+        let cx = &audit.counterexamples[0];
+        assert_eq!(cx.scenario.len(), 1);
+        assert!(!cx.split.is_empty());
+    }
+
+    /// Exhaustive and pruned sweeps agree on the final abstraction for
+    /// the diamond (pruning only skips symmetric duplicates).
+    #[test]
+    fn pruned_and_exhaustive_audits_agree() {
+        let net = papernets::figure1_rip();
+        let (_, pruned) = audit(&net, &FailureAuditOptions::default());
+        let (_, full) = audit(
+            &net,
+            &FailureAuditOptions {
+                prune_symmetric: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            pruned.abstraction.partition.as_sets(),
+            full.abstraction.partition.as_sets()
+        );
+        assert!(pruned.scenarios_swept <= full.scenarios_swept);
+        assert_eq!(full.scenarios_swept, full.scenarios_exhaustive);
+    }
+
+    /// The BGP gadget (Figure 2): loop prevention already forces a copy
+    /// split failure-free; one failed b—d link still breaks the 3-member
+    /// b-block's symmetry and must trigger a further split.
+    #[test]
+    fn gadget_refines_under_single_failure() {
+        let net = papernets::figure2_gadget();
+        let (topo, audit) = audit(&net, &FailureAuditOptions::default());
+        assert!(!audit.was_sound());
+        // Whatever the split sequence, the result is k-failure sound and
+        // still smaller than or equal to the concrete network.
+        assert!(audit.final_abstract_nodes() <= topo.graph.node_count());
+        assert!(audit.final_abstract_nodes() > audit.initial_abstract_nodes);
+    }
+
+    /// A network whose abstraction is already discrete (no compression,
+    /// Figure 5) is vacuously failure-sound: the audit passes without
+    /// refinement.
+    #[test]
+    fn incompressible_network_is_already_failure_sound() {
+        let net = papernets::figure5_bgp();
+        let (_, audit) = audit(&net, &FailureAuditOptions::default());
+        assert!(audit.was_sound(), "{:?}", audit.counterexamples);
+        assert_eq!(audit.refinement_rounds, 0);
+    }
+
+    /// k = 2 on the diamond: failing *both* parallel links is exactly
+    /// representable (the whole orbit dies), and the refined abstraction
+    /// handles every pair.
+    #[test]
+    fn diamond_two_failure_audit_converges() {
+        let net = papernets::figure1_rip();
+        let (topo, audit) = audit(
+            &net,
+            &FailureAuditOptions {
+                max_failures: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(audit.k, 2);
+        assert!(audit.final_abstract_nodes() <= topo.graph.node_count());
+        // Sound after refinement for every ≤2-failure scenario.
+        assert!(audit.checks_performed >= audit.scenarios_swept);
+    }
+
+    /// The lifted mask over-fails exactly when a block-pair is partially
+    /// failed — the documented source of unsoundness.
+    #[test]
+    fn lift_mask_covers_all_copies() {
+        let net = papernets::figure1_rip();
+        let topo = BuiltTopology::build(&net).unwrap();
+        let report = compress(&net, CompressOptions::default());
+        let ec = &report.per_ec[0];
+        let d = topo.graph.node_by_name("d").unwrap();
+        let b1 = topo.graph.node_by_name("b1").unwrap();
+        let scenario = FailureScenario::new(vec![(d, b1)]);
+        let mask = lift_failure_mask(&scenario, &ec.abstraction, &ec.abstract_network);
+        // The single concrete failure kills the one abstract d̂—b̂ link,
+        // i.e. both directed edges.
+        assert_eq!(mask.disabled_count(), 2);
+    }
+}

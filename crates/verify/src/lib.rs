@@ -10,6 +10,10 @@
 //!   concrete and abstract SRPs and checks label- and fwd-equivalence
 //!   modulo the attribute abstraction `h` (and modulo the
 //!   solution-dependent copy assignment of BGP-split nodes, §4.3).
+//! * [`failures`] — the bounded link-failure audit: sweeps every `≤ k`
+//!   failure scenario through the equivalence oracle and repairs unsound
+//!   abstractions by counterexample-guided refinement (the paper's §9
+//!   caveat, made checkable).
 //! * [`sim_engine`] — the **Batfish substitute**: simulates the control
 //!   plane per destination class, derives the data plane (with ACLs), and
 //!   answers reachability queries.
@@ -22,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod equivalence;
+pub mod failures;
 pub mod properties;
 pub mod search_engine;
 pub mod sim_engine;
@@ -29,6 +34,10 @@ pub mod sim_engine;
 pub use equivalence::{
     check_cp_equivalence, check_cp_equivalence_shared, check_cp_equivalence_under_h,
     EquivalenceError,
+};
+pub use failures::{
+    check_cp_equivalence_under_failures, lift_failure_mask, FailureAuditOptions,
+    FailureAuditReport, FailureCounterexample,
 };
 pub use properties::{Reachability, SolutionAnalysis};
 pub use search_engine::{SearchBudget, SearchOutcome};
