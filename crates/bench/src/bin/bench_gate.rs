@@ -4,7 +4,9 @@
 //! bench_gate BASELINE.json CANDIDATE.json [--threshold 1.5] [--floor 0.025]
 //! ```
 //!
-//! Loads two `bonsai-bench/compress-v1` snapshots, compares every
+//! Loads two snapshots of the same schema (`bonsai-bench/compress-v1`
+//! from `table1 --json`, or `bonsai-bench/failures-v2` from
+//! `failures --json` — the stage list follows the schema), compares every
 //! baseline row's per-stage wall-clock times against the candidate, and
 //! exits nonzero when any stage regressed more than `threshold`× (stages
 //! below `floor` seconds in the baseline are measured against the floor,
@@ -33,7 +35,18 @@ fn flag(args: &[String], name: &str, default: f64) -> Result<f64, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    // Positionals are everything that is neither a flag nor a flag's value.
+    let mut positional: Vec<&String> = Vec::new();
+    let mut skip_value = false;
+    for a in &args {
+        if skip_value {
+            skip_value = false;
+        } else if a.starts_with("--") {
+            skip_value = matches!(a.as_str(), "--threshold" | "--floor");
+        } else {
+            positional.push(a);
+        }
+    }
     let run = || -> Result<bool, String> {
         let [baseline_path, candidate_path] = positional.as_slice() else {
             return Err(

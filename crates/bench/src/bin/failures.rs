@@ -1,23 +1,26 @@
 //! The bounded link-failure study: what does it cost to verify every
 //! `≤ k` link-failure scenario concretely, versus auditing + repairing
-//! the abstraction once and sweeping the scenarios on the **refined
-//! abstract** network?
+//! the abstraction once (PR 3), versus the per-scenario refinement
+//! **sweep engine** (orbit-cached refinements, warm-started solves)?
 //!
 //! ```text
 //! failures                 # diamond / gadget / mesh-10 / fattree-4, k = 1..2
 //! failures --quick         # CI-friendly subset (fewer audited classes)
 //! failures --k 3           # raise the failure bound
-//! failures --exhaustive    # disable symmetry pruning in the sweeps
+//! failures --exhaustive    # disable symmetry pruning in the audit sweep
 //! failures --json [PATH]   # write a BENCH_failures.json snapshot
 //!                          # (default path BENCH_failures.json)
 //! ```
 //!
 //! Per network and per `k`, the table reports the scenario counts
 //! (pruned vs exhaustive), the audit outcome (counterexamples found,
-//! abstract nodes before → after refinement) and three wall-clock
-//! columns: solving every scenario on the concrete network, the one-off
-//! audit-and-refine, and solving every scenario on the refined abstract
-//! network.
+//! abstract nodes before → after refinement) and six wall-clock columns:
+//! solving every scenario cold on the concrete network, the same sweep
+//! **warm-started** from the failure-free fixpoint, the one-off PR 3
+//! audit-and-refine, solving every scenario on the audit's refined
+//! abstract network, and the full per-scenario **sweep engine** run
+//! (always exhaustive — the orbit cache absorbs the symmetry), together
+//! with the sweep's cache hit rate and refined sizes.
 
 use bonsai_bench::{failures_snapshot_json, secs};
 use bonsai_config::{BuiltTopology, NetworkConfig};
@@ -28,12 +31,13 @@ use bonsai_core::scenarios::{
 use bonsai_core::signatures::build_sig_table;
 use bonsai_net::NodeId;
 use bonsai_srp::instance::{EcDest, MultiProtocol};
-use bonsai_srp::solver::solve_masked;
+use bonsai_srp::solver::{solve, solve_masked, solve_warm_masked, SolverOptions};
 use bonsai_srp::{papernets, Srp};
 use bonsai_topo::{fattree, full_mesh, FattreePolicy};
 use bonsai_verify::failures::{
     check_cp_equivalence_under_failures, lift_failure_mask, FailureAuditOptions,
 };
+use bonsai_verify::sweep::{sweep_failures, SweepOptions};
 use std::time::{Duration, Instant};
 
 struct Row {
@@ -47,14 +51,23 @@ struct Row {
     abs_nodes_before: usize,
     abs_nodes_after: usize,
     concrete: Duration,
+    warm: Duration,
     audit: Duration,
     abstract_: Duration,
+    sweep: Duration,
+    sweep_scenarios: usize,
+    sweep_refinements: usize,
+    sweep_hit_rate: f64,
+    sweep_base_mean: f64,
+    sweep_mean_refined: f64,
+    sweep_max_refined: usize,
+    sweep_fallbacks: usize,
 }
 
 impl Row {
     fn render(&self) -> String {
         format!(
-            "{:<10} {:>2} {:>6} {:>7}/{:<7} {:>4} {:>6} -> {:<6} {:>11} {:>9} {:>12}",
+            "{:<10} {:>2} {:>6} {:>7}/{:<7} {:>4} {:>6} -> {:<6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>5.0}% {:>6.1}",
             self.label,
             self.k,
             self.links,
@@ -64,14 +77,18 @@ impl Row {
             self.abs_nodes_before,
             self.abs_nodes_after,
             secs(self.concrete),
+            secs(self.warm),
             secs(self.audit),
             secs(self.abstract_),
+            secs(self.sweep),
+            self.sweep_hit_rate * 100.0,
+            self.sweep_mean_refined,
         )
     }
 
     fn header() -> String {
         format!(
-            "{:<10} {:>2} {:>6} {:>7}/{:<7} {:>4} {:>6}    {:<6} {:>11} {:>9} {:>12}",
+            "{:<10} {:>2} {:>6} {:>7}/{:<7} {:>4} {:>6}    {:<6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6}",
             "Topology",
             "k",
             "Links",
@@ -80,9 +97,13 @@ impl Row {
             "Cex",
             "Abs",
             "Abs'",
-            "Concrete(s)",
+            "Cold(s)",
+            "Warm(s)",
             "Audit(s)",
-            "Abstract'(s)"
+            "Abst'(s)",
+            "Sweep(s)",
+            "Hit",
+            "Mean"
         )
     }
 
@@ -92,7 +113,11 @@ impl Row {
                 "{{\"label\":\"{}\",\"k\":{},\"links\":{},\"ecs_audited\":{},",
                 "\"scenarios\":{},\"scenarios_exhaustive\":{},\"counterexamples\":{},",
                 "\"abs_nodes_before\":{},\"abs_nodes_after\":{},",
-                "\"times\":{{\"concrete_s\":{:.6},\"audit_s\":{:.6},\"abstract_s\":{:.6}}}}}"
+                "\"times\":{{\"concrete_s\":{:.6},\"warm_s\":{:.6},\"audit_s\":{:.6},",
+                "\"abstract_s\":{:.6},\"sweep_s\":{:.6}}},",
+                "\"sweep\":{{\"scenarios\":{},\"refinements\":{},\"cache_hit_rate\":{:.6},",
+                "\"base_abs_nodes_mean\":{:.6},\"mean_refined_nodes\":{:.6},\"max_refined_nodes\":{},",
+                "\"global_fallbacks\":{}}}}}"
             ),
             self.label,
             self.k,
@@ -104,24 +129,38 @@ impl Row {
             self.abs_nodes_before,
             self.abs_nodes_after,
             self.concrete.as_secs_f64(),
+            self.warm.as_secs_f64(),
             self.audit.as_secs_f64(),
             self.abstract_.as_secs_f64(),
+            self.sweep.as_secs_f64(),
+            self.sweep_scenarios,
+            self.sweep_refinements,
+            self.sweep_hit_rate,
+            self.sweep_base_mean,
+            self.sweep_mean_refined,
+            self.sweep_max_refined,
+            self.sweep_fallbacks,
         )
     }
 }
 
-/// Solves every scenario of the sweep on one (network, EC) instance.
+/// Solves every scenario of the sweep on one (network, EC) instance —
+/// cold (from ⊥) or warm-started from the failure-free fixpoint.
 fn sweep_time(
     network: &NetworkConfig,
     topo: &BuiltTopology,
     ec: &EcDest,
     scenarios: &[FailureScenario],
     lift: Option<(&bonsai_core::Abstraction, &bonsai_core::AbstractNetwork)>,
+    warm: bool,
 ) -> Duration {
     let proto = MultiProtocol::build(network, topo, ec);
     let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
     let srp = Srp::with_origins(&topo.graph, origins, proto);
     let t0 = Instant::now();
+    // The failure-free fixpoint is part of the warm column's cost: one
+    // cold solve amortized over every scenario.
+    let base = if warm { solve(&srp).ok() } else { None };
     for scenario in scenarios {
         let mask = match lift {
             None => scenario.mask(&topo.graph),
@@ -129,7 +168,14 @@ fn sweep_time(
         };
         // Divergence is a property of the instance, not the harness; it
         // is counted like any other solve.
-        let _ = solve_masked(&srp, Some(&mask));
+        match &base {
+            Some(b) => {
+                let _ = solve_warm_masked(&srp, b, SolverOptions::default(), &mask);
+            }
+            None => {
+                let _ = solve_masked(&srp, Some(&mask));
+            }
+        }
     }
     t0.elapsed()
 }
@@ -140,12 +186,20 @@ fn run_network(label: &str, net: &NetworkConfig, k: usize, max_ecs: usize, prune
     let ecs_audited = report.num_ecs().min(max_ecs);
 
     let mut concrete = Duration::ZERO;
+    let mut warm = Duration::ZERO;
     let mut audit_time = Duration::ZERO;
     let mut abstract_ = Duration::ZERO;
+    let mut sweep_total = Duration::ZERO;
     let mut counterexamples = 0usize;
     let mut abs_nodes_before = 0usize;
     let mut abs_nodes_after = 0usize;
     let mut scenario_count = 0usize;
+    let mut sweep_scenarios = 0usize;
+    let mut sweep_refinements = 0usize;
+    let mut sweep_base_sum = 0.0f64;
+    let mut sweep_refined_sum = 0.0f64;
+    let mut sweep_max_refined = 0usize;
+    let mut sweep_fallbacks = 0usize;
 
     for ec in report.per_ec.iter().take(ecs_audited) {
         let ec_dest = ec.ec.to_ec_dest();
@@ -157,10 +211,16 @@ fn run_network(label: &str, net: &NetworkConfig, k: usize, max_ecs: usize, prune
         };
         scenario_count += scenarios.len();
 
-        // Column 1: the price of concrete per-scenario verification.
-        concrete += sweep_time(net, &topo, &ec_dest, &scenarios, None);
+        // Columns 1+2: concrete per-scenario verification, cold (from ⊥)
+        // vs warm-started (repairing the failure-free fixpoint, whose one
+        // cold solve is part of the column). Both sweep the *exhaustive*
+        // enumeration — "verify every scenario" is the workload these
+        // columns price, and the same one the sweep engine covers.
+        let all_scenarios = enumerate_scenarios(&topo.graph, k);
+        concrete += sweep_time(net, &topo, &ec_dest, &all_scenarios, None, false);
+        warm += sweep_time(net, &topo, &ec_dest, &all_scenarios, None, true);
 
-        // Column 2: one-off audit + repair through the shared engine.
+        // Column 3: one-off PR 3 audit + repair through the shared engine.
         let t1 = Instant::now();
         let audit = check_cp_equivalence_under_failures(
             net,
@@ -183,14 +243,42 @@ fn run_network(label: &str, net: &NetworkConfig, k: usize, max_ecs: usize, prune
         abs_nodes_before += audit.initial_abstract_nodes;
         abs_nodes_after += audit.final_abstract_nodes();
 
-        // Column 3: the same sweep on the refined abstract network.
+        // Column 4: the same exhaustive sweep on the audit's refined
+        // abstract network (comparable to the cold/warm columns).
         abstract_ += sweep_time(
             &audit.abstract_network.network,
             &audit.abstract_network.topo,
             &audit.abstract_network.ec,
-            &scenarios,
+            &all_scenarios,
             Some((&audit.abstraction, &audit.abstract_network)),
+            false,
         );
+
+        // Column 5: the per-scenario sweep engine — always exhaustive
+        // (the orbit cache absorbs the symmetry; the hit rate proves it).
+        let t2 = Instant::now();
+        let sweep = sweep_failures(
+            net,
+            &topo,
+            &ec_dest,
+            &ec.abstraction,
+            &ec.abstract_network,
+            &report.policies,
+            &SweepOptions {
+                max_failures: k,
+                prune_symmetric: false,
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .expect("sweep completes");
+        sweep_total += t2.elapsed();
+        sweep_scenarios += sweep.scenarios_swept();
+        sweep_refinements += sweep.refinements.len();
+        sweep_base_sum += sweep.base_abstract_nodes as f64;
+        sweep_refined_sum += sweep.mean_refined_nodes() * sweep.scenarios_swept() as f64;
+        sweep_max_refined = sweep_max_refined.max(sweep.max_refined_nodes());
+        sweep_fallbacks += sweep.fallback_count();
     }
 
     Row {
@@ -205,8 +293,28 @@ fn run_network(label: &str, net: &NetworkConfig, k: usize, max_ecs: usize, prune
         abs_nodes_before,
         abs_nodes_after,
         concrete,
+        warm,
         audit: audit_time,
         abstract_,
+        sweep: sweep_total,
+        sweep_scenarios,
+        sweep_refinements,
+        sweep_hit_rate: if sweep_scenarios == 0 {
+            0.0
+        } else {
+            1.0 - sweep_refinements as f64 / sweep_scenarios as f64
+        },
+        // Per-EC mean, the same unit as mean_refined_nodes — the snapshot
+        // ratio mean_refined_nodes / base_abs_nodes_mean is the headline
+        // "stays within 2x of base" number.
+        sweep_base_mean: sweep_base_sum / ecs_audited.max(1) as f64,
+        sweep_mean_refined: if sweep_scenarios == 0 {
+            0.0
+        } else {
+            sweep_refined_sum / sweep_scenarios as f64
+        },
+        sweep_max_refined,
+        sweep_fallbacks,
     }
 }
 

@@ -1,15 +1,22 @@
-//! The CI perf-regression gate: compare two `bonsai-bench/compress-v1`
-//! snapshots stage by stage and fail on wall-clock regressions.
+//! The CI perf-regression gate: compare two snapshots of the same schema
+//! stage by stage and fail on wall-clock regressions.
 //!
-//! CI has always *uploaded* the compression perf snapshot; this module is
-//! what finally reads it back. A committed `BENCH_baseline.json` records
-//! the blessed per-stage times; the gate compares a freshly generated
-//! snapshot against it, row by row (matched on `label`) and stage by
-//! stage, and reports a regression when
+//! CI has always *uploaded* the perf snapshots; this module is what reads
+//! them back. Committed baselines (`BENCH_baseline.json` for the
+//! compression study, `BENCH_failures_baseline.json` for the failure
+//! study) record the blessed per-stage times; the gate compares a freshly
+//! generated snapshot against its baseline, row by row (matched on
+//! `label`, failure rows additionally on `k`) and stage by stage, and
+//! reports a regression when
 //!
 //! ```text
 //! candidate > threshold * max(baseline, floor)
 //! ```
+//!
+//! The stage list is schema-dependent ([`stages_for_schema`]): compression
+//! snapshots gate the pipeline stages, failure snapshots gate the cold /
+//! warm / audit / refined-abstract / sweep-engine columns — which is what
+//! locks in the warm-start and per-scenario-sweep speedups.
 //!
 //! The `floor` (default 25 ms) keeps micro-stages out of the verdict:
 //! sub-millisecond stages jitter by integer factors on shared CI runners
@@ -21,7 +28,8 @@
 
 use crate::json::Json;
 
-/// The per-stage wall-clock fields of a snapshot row's `times` object.
+/// The per-stage wall-clock fields of a compression snapshot row's
+/// `times` object.
 pub const STAGES: [&str; 5] = [
     "total_s",
     "ec_compute_s",
@@ -29,6 +37,21 @@ pub const STAGES: [&str; 5] = [
     "bdd_s",
     "per_ec_s",
 ];
+
+/// The per-stage wall-clock fields of a failure-study snapshot row's
+/// `times` object (schema v2: cold concrete sweep, warm-started sweep,
+/// PR 3 audit, refined-abstract sweep, per-scenario sweep engine).
+pub const FAILURE_STAGES: [&str; 5] = ["concrete_s", "warm_s", "audit_s", "abstract_s", "sweep_s"];
+
+/// The stage list the gate compares for a snapshot schema, or `None` for
+/// schemas it does not know how to gate.
+pub fn stages_for_schema(schema: &str) -> Option<&'static [&'static str]> {
+    match schema {
+        "bonsai-bench/compress-v1" => Some(&STAGES),
+        "bonsai-bench/failures-v2" => Some(&FAILURE_STAGES),
+        _ => None,
+    }
+}
 
 /// One stage comparison.
 #[derive(Clone, Debug)]
@@ -69,22 +92,28 @@ impl GateResult {
     }
 }
 
+/// Row key: the label, extended with the failure bound `k` when present
+/// (failure-study rows repeat a topology across bounds).
+fn row_key(row: &Json) -> Option<String> {
+    let label = row.get("label").and_then(Json::as_str)?;
+    match row.get("k").and_then(Json::as_f64) {
+        Some(k) => Some(format!("{label} k={k}")),
+        None => Some(label.to_string()),
+    }
+}
+
 fn rows_by_label<'j>(
     doc: &'j Json,
     which: &str,
     errors: &mut Vec<String>,
-) -> Vec<(&'j str, &'j Json)> {
-    match doc.get("schema").and_then(Json::as_str) {
-        Some("bonsai-bench/compress-v1") => {}
-        other => errors.push(format!("{which}: unexpected schema {other:?}")),
-    }
+) -> Vec<(String, &'j Json)> {
     let mut out = Vec::new();
     match doc.get("rows").and_then(Json::as_arr) {
         None => errors.push(format!("{which}: no rows array")),
         Some(rows) => {
             for row in rows {
-                match row.get("label").and_then(Json::as_str) {
-                    Some(label) => out.push((label, row)),
+                match row_key(row) {
+                    Some(key) => out.push((key, row)),
                     None => errors.push(format!("{which}: row without a label")),
                 }
             }
@@ -93,12 +122,14 @@ fn rows_by_label<'j>(
     out
 }
 
-/// Compares a candidate snapshot against a baseline.
+/// Compares a candidate snapshot against a baseline of the same schema.
 ///
-/// Every baseline row must exist in the candidate and every stage of
-/// [`STAGES`] must be present in both (missing data is a structural
-/// error). Candidate-only rows are compared against nothing — new
-/// benchmarks may land before their baseline is re-blessed.
+/// The stage list is derived from the baseline's schema
+/// ([`stages_for_schema`]); the candidate must carry the identical schema.
+/// Every baseline row must exist in the candidate and every stage must be
+/// present in both (missing data is a structural error). Candidate-only
+/// rows are compared against nothing — new benchmarks may land before
+/// their baseline is re-blessed.
 pub fn compare_snapshots(
     baseline: &Json,
     candidate: &Json,
@@ -106,6 +137,20 @@ pub fn compare_snapshots(
     floor_s: f64,
 ) -> GateResult {
     let mut result = GateResult::default();
+    let base_schema = baseline.get("schema").and_then(Json::as_str);
+    let cand_schema = candidate.get("schema").and_then(Json::as_str);
+    let Some(stages) = base_schema.and_then(stages_for_schema) else {
+        result
+            .errors
+            .push(format!("baseline: unexpected schema {base_schema:?}"));
+        return result;
+    };
+    if cand_schema != base_schema {
+        result.errors.push(format!(
+            "candidate schema {cand_schema:?} does not match baseline {base_schema:?}"
+        ));
+        return result;
+    }
     let base_rows = rows_by_label(baseline, "baseline", &mut result.errors);
     let cand_rows = rows_by_label(candidate, "candidate", &mut result.errors);
 
@@ -116,7 +161,7 @@ pub fn compare_snapshots(
                 .push(format!("candidate is missing baseline row '{label}'"));
             continue;
         };
-        for stage in STAGES {
+        for &stage in stages {
             let get = |row: &Json| -> Option<f64> {
                 row.get("times")
                     .and_then(|t| t.get(stage))
@@ -259,6 +304,48 @@ mod tests {
         let bad = Json::parse("{\"schema\":\"other\",\"rows\":[]}").unwrap();
         let r = compare_snapshots(&base, &bad, 1.5, 0.025);
         assert!(!r.passed());
+    }
+
+    fn failures_snap(rows: &[(&str, usize, f64)]) -> Json {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|(label, k, t)| {
+                format!(
+                    "{{\"label\":\"{label}\",\"k\":{k},\"times\":{{\"concrete_s\":{t},\
+                     \"warm_s\":{t},\"audit_s\":{t},\"abstract_s\":{t},\"sweep_s\":{t}}}}}"
+                )
+            })
+            .collect();
+        Json::parse(&format!(
+            "{{\"schema\":\"bonsai-bench/failures-v2\",\"rows\":[{}]}}",
+            body.join(",")
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn failure_snapshots_gate_on_their_own_stages() {
+        let base = failures_snap(&[("Fattree4", 1, 0.1), ("Fattree4", 2, 0.2)]);
+        let same = compare_snapshots(&base, &base, 1.5, 0.025);
+        assert!(same.passed(), "{same:?}");
+        // Rows are matched on (label, k): regressing only k=2 is caught.
+        assert_eq!(same.comparisons.len(), 2 * FAILURE_STAGES.len());
+        let cand = failures_snap(&[("Fattree4", 1, 0.1), ("Fattree4", 2, 0.4)]);
+        let r = compare_snapshots(&base, &cand, 1.5, 0.025);
+        assert!(!r.passed());
+        assert!(r.regressions().all(|c| c.label.contains("k=2")));
+        // The failure stages include the sweep columns.
+        assert!(r.comparisons.iter().any(|c| c.stage == "sweep_s"));
+        assert!(r.comparisons.iter().any(|c| c.stage == "warm_s"));
+    }
+
+    #[test]
+    fn mismatched_snapshot_schemas_are_flagged() {
+        let compress = snap(&[("Fattree4", 0.1)]);
+        let failures = failures_snap(&[("Fattree4", 1, 0.1)]);
+        let r = compare_snapshots(&compress, &failures, 1.5, 0.025);
+        assert!(!r.passed());
+        assert!(r.errors.iter().any(|e| e.contains("does not match")));
     }
 
     #[test]

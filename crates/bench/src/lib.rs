@@ -259,10 +259,13 @@ pub fn compress_snapshot_json(rows: &[String]) -> String {
 
 /// Assembles the `BENCH_failures.json` document from failure-study rows
 /// (see the `failures` binary), with the same provenance metadata.
+/// Schema v2 adds the sweep-engine stages (`warm_s`, `sweep_s` in `times`,
+/// plus the per-row `sweep` statistics object) so the perf gate can cover
+/// the per-scenario sweep.
 pub fn failures_snapshot_json(rows: &[String]) -> String {
     let indented: Vec<String> = rows.iter().map(|json| format!("    {json}")).collect();
     format!(
-        "{{\n  \"schema\": \"bonsai-bench/failures-v1\",\n{}\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"bonsai-bench/failures-v2\",\n{}\n  \"rows\": [\n{}\n  ]\n}}\n",
         snapshot_meta(),
         indented.join(",\n")
     )

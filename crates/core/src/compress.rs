@@ -18,7 +18,6 @@ use crate::ecs::{compute_ecs, DestEc};
 use crate::engine::{CompiledPolicies, EngineStats};
 use crate::signatures::build_sig_table;
 use bonsai_config::{BuiltTopology, NetworkConfig};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -228,7 +227,9 @@ pub fn refine_ec_with_split(
 /// The unified fan-out driver: workers claim class indices from one atomic
 /// counter and collect into worker-local vectors (lock-free; the only
 /// shared mutable state is the engine's internal arena lock). `threads: 1`
-/// runs the identical worker loop inline.
+/// runs the identical worker loop inline. The generic machinery lives in
+/// [`crate::fanout::fan_out`], which the failure-scenario sweep engine
+/// drives with the same contract.
 fn run_workers(
     engine: &CompiledPolicies,
     network: &NetworkConfig,
@@ -236,33 +237,13 @@ fn run_workers(
     ecs: &[DestEc],
     threads: usize,
 ) -> Vec<EcCompression> {
-    let next = AtomicUsize::new(0);
-    let worker = || {
-        let mut out: Vec<(usize, EcCompression)> = Vec::new();
-        loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= ecs.len() {
-                break;
-            }
-            out.push((i, compress_ec(engine, network, topo, &ecs[i])));
-        }
-        out
-    };
-
-    let mut indexed: Vec<(usize, EcCompression)> = if threads <= 1 {
-        worker()
-    } else {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("EC worker panicked"))
-                .collect()
-        })
-    };
-    indexed.sort_by_key(|(i, _)| *i);
-    debug_assert_eq!(indexed.len(), ecs.len(), "every EC processed exactly once");
-    indexed.into_iter().map(|(_, r)| r).collect()
+    let (results, _) = crate::fanout::fan_out(
+        ecs.len(),
+        threads,
+        || (),
+        |(), i| compress_ec(engine, network, topo, &ecs[i]),
+    );
+    results
 }
 
 /// Compresses a whole network: every destination equivalence class,

@@ -1,0 +1,111 @@
+//! The shared lock-free fan-out driver.
+//!
+//! Both the compression driver (classes over workers, PR 2) and the
+//! failure-scenario sweep engine (scenarios over workers) have the same
+//! parallel shape: `n` independent work items, claimed from one atomic
+//! counter, processed by workers that keep **worker-local** state (result
+//! vectors, refinement caches) and are merged only after the scope joins.
+//! No per-slot locks, no channels; the only shared mutable state is the
+//! atomic index (and whatever the work closure itself synchronizes on,
+//! e.g. the BDD arena lock inside the shared engine).
+//!
+//! `threads <= 1` runs the identical worker loop inline, so a
+//! single-threaded run is byte-for-byte the parallel run with one worker —
+//! the determinism tests of both subsystems rest on that.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `work` over the item indices `0..n` with `threads` workers pulling
+/// from one atomic counter.
+///
+/// Each worker owns a state value produced by `init` (a cache, scratch
+/// buffers, …) that `work` may mutate freely without synchronization.
+/// Returns the per-item results ordered by item index, plus every
+/// worker-local state for the caller to merge.
+///
+/// Panics in `work` propagate (workers run under [`std::thread::scope`]).
+pub fn fan_out<R, S>(
+    n: usize,
+    threads: usize,
+    init: impl Fn() -> S + Sync,
+    work: impl Fn(&mut S, usize) -> R + Sync,
+) -> (Vec<R>, Vec<S>)
+where
+    R: Send,
+    S: Send,
+{
+    let next = AtomicUsize::new(0);
+    let worker = || {
+        let mut state = init();
+        let mut out: Vec<(usize, R)> = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            out.push((i, work(&mut state, i)));
+        }
+        (out, state)
+    };
+
+    let (mut indexed, states): (Vec<(usize, R)>, Vec<S>) = if threads <= 1 {
+        let (out, state) = worker();
+        (out, vec![state])
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+            let mut all = Vec::new();
+            let mut states = Vec::new();
+            for h in handles {
+                let (out, state) = h.join().expect("fan-out worker panicked");
+                all.extend(out);
+                states.push(state);
+            }
+            (all, states)
+        })
+    };
+    indexed.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(indexed.len(), n, "every item processed exactly once");
+    (indexed.into_iter().map(|(_, r)| r).collect(), states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        for threads in [1, 2, 4, 8] {
+            let (results, states) = fan_out(
+                100,
+                threads,
+                || 0usize,
+                |count, i| {
+                    *count += 1;
+                    i * 2
+                },
+            );
+            assert_eq!(results, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+            assert_eq!(states.len(), threads.max(1));
+            // Every item was claimed by exactly one worker.
+            assert_eq!(states.iter().sum::<usize>(), 100);
+        }
+    }
+
+    #[test]
+    fn empty_input_returns_one_state_per_worker() {
+        let (results, states) = fan_out(0, 4, || (), |_, i| i);
+        assert!(results.is_empty());
+        assert_eq!(states.len(), 4);
+    }
+
+    #[test]
+    fn worker_local_state_accumulates_without_locks() {
+        let (_, states) = fan_out(50, 3, Vec::new, |seen: &mut Vec<usize>, i| {
+            seen.push(i);
+        });
+        let mut all: Vec<usize> = states.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+    }
+}

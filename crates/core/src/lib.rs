@@ -36,7 +36,11 @@
 //!    device, with the unused-community-stripping `h`).
 //! 9. [`scenarios`] — bounded link-failure scenario enumeration with
 //!    symmetry pruning over the abstraction's link orbits (the input to
-//!    `bonsai-verify`'s k-failure soundness audit).
+//!    `bonsai-verify`'s k-failure soundness audit), plus the orbit
+//!    *signatures* the per-scenario sweep engine caches refinements by.
+//! 10. [`fanout`] — the shared lock-free atomic-index fan-out driver that
+//!     both the compression driver and the failure-scenario sweep pull
+//!     work items from.
 //!
 //! ```
 //! use bonsai_core::compress::{compress, CompressOptions};
@@ -57,6 +61,7 @@ pub mod compress;
 pub mod conditions;
 pub mod ecs;
 pub mod engine;
+pub mod fanout;
 pub mod policy_bdd;
 pub mod roles;
 pub mod scenarios;
@@ -70,7 +75,9 @@ pub use compress::{
 pub use conditions::{check_effective, Violation};
 pub use ecs::{compute_ecs, DestEc};
 pub use engine::{CompiledPolicies, EngineStats};
+pub use fanout::fan_out;
 pub use roles::{count_roles, role_assignment, RoleOptions};
 pub use scenarios::{
     enumerate_scenarios, enumerate_scenarios_pruned, link_orbits, FailureScenario, LinkOrbits,
+    OrbitSignature,
 };

@@ -95,12 +95,85 @@ pub struct LinkOrbits {
     pub orbit_of_link: Vec<u32>,
     /// Members of each orbit, as indices into [`LinkOrbits::links`].
     pub orbits: Vec<Vec<usize>>,
+    /// O(1) lookup from a canonical link pair to its index in
+    /// [`LinkOrbits::links`] — [`LinkOrbits::signature_of`] runs once per
+    /// enumerated scenario, which is `C(L, k)` times on exhaustive sweeps.
+    index_of_link: std::collections::HashMap<(NodeId, NodeId), usize>,
 }
 
 impl LinkOrbits {
     /// Number of orbits.
     pub fn num_orbits(&self) -> usize {
         self.orbits.len()
+    }
+
+    /// Orbit id of a canonical link pair (as stored in
+    /// [`LinkOrbits::links`]). `None` when the pair is not a link of the
+    /// graph the orbits were computed over.
+    pub fn orbit_of(&self, link: (NodeId, NodeId)) -> Option<u32> {
+        self.index_of_link
+            .get(&link)
+            .map(|&i| self.orbit_of_link[i])
+    }
+
+    /// The **orbit signature** of a scenario: how many links of each orbit
+    /// fail, as a sorted `(orbit, count)` multiset. Two scenarios with the
+    /// same signature fail symmetric link sets — the cache key of the
+    /// per-scenario sweep engine. Returns `None` when a failed link is
+    /// unknown to these orbits (a scenario from a different graph).
+    pub fn signature_of(&self, scenario: &FailureScenario) -> Option<OrbitSignature> {
+        let mut counts: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+        for &link in &scenario.links {
+            *counts.entry(self.orbit_of(link)?).or_insert(0) += 1;
+        }
+        Some(OrbitSignature {
+            counts: counts.into_iter().collect(),
+        })
+    }
+
+    /// The canonical representative scenario of an orbit signature: the
+    /// canonically-first `count` links of each orbit — exactly the
+    /// representative [`enumerate_scenarios_pruned`] emits for the same
+    /// multiset, and the lexicographically smallest scenario with this
+    /// signature under the link-index order. Panics if a count exceeds the
+    /// orbit's size (no such scenario exists).
+    pub fn canonical_scenario(&self, sig: &OrbitSignature) -> FailureScenario {
+        let mut links = Vec::new();
+        for &(orbit, count) in &sig.counts {
+            let members = &self.orbits[orbit as usize];
+            assert!(
+                (count as usize) <= members.len(),
+                "signature asks for {count} failures in orbit {orbit} of size {}",
+                members.len()
+            );
+            for &li in members.iter().take(count as usize) {
+                links.push(self.links[li]);
+            }
+        }
+        FailureScenario::new(links)
+    }
+}
+
+/// A scenario's position in the orbit structure: the multiset of
+/// `(orbit, failed-link count)` pairs, sorted by orbit id.
+///
+/// This is the cache key of the per-scenario sweep engine
+/// (`bonsai-verify`'s `sweep` module): scenarios with equal signatures
+/// fail symmetric link sets, so one refinement — derived from the
+/// [`LinkOrbits::canonical_scenario`] representative — serves them all.
+/// The orbit ids come from the interned edge-signature descriptors of
+/// [`link_orbits`], so signature equality is semantic, not syntactic.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OrbitSignature {
+    /// `(orbit id, failed links of that orbit)`, sorted by orbit id, every
+    /// count nonzero.
+    pub counts: Vec<(u32, u32)>,
+}
+
+impl OrbitSignature {
+    /// Total number of failed links the signature stands for.
+    pub fn total_failures(&self) -> usize {
+        self.counts.iter().map(|&(_, c)| c as usize).sum()
     }
 }
 
@@ -140,10 +213,12 @@ pub fn link_orbits(graph: &Graph, abstraction: &Abstraction, sigs: &SigTable) ->
         orbit_of_link.push(id);
     }
 
+    let index_of_link = links.iter().enumerate().map(|(i, &l)| (l, i)).collect();
     LinkOrbits {
         links,
         orbit_of_link,
         orbits,
+        index_of_link,
     }
 }
 
@@ -338,6 +413,57 @@ mod tests {
         for sc in &s {
             let mask = sc.mask(&topo.graph);
             assert_eq!(mask.disabled_count(), 2, "{}", sc.describe(&topo.graph));
+        }
+    }
+
+    #[test]
+    fn signatures_collapse_symmetric_scenarios() {
+        let (topo, abs, sigs) = gadget_setup();
+        let orbits = link_orbits(&topo.graph, &abs, &sigs);
+        // Every k=1 scenario of one orbit shares a signature; the two
+        // orbits give exactly two distinct signatures.
+        let all = enumerate_scenarios(&topo.graph, 1);
+        let sigset: std::collections::BTreeSet<OrbitSignature> = all
+            .iter()
+            .map(|s| orbits.signature_of(s).unwrap())
+            .collect();
+        assert_eq!(sigset.len(), 2);
+        for sig in &sigset {
+            assert_eq!(sig.total_failures(), 1);
+        }
+        // k=2 exhaustive (21 scenarios) collapses to the 5 pruned
+        // multisets: signatures and pruned enumeration agree exactly.
+        let all2 = enumerate_scenarios(&topo.graph, 2);
+        let sigset2: std::collections::BTreeSet<OrbitSignature> = all2
+            .iter()
+            .map(|s| orbits.signature_of(s).unwrap())
+            .collect();
+        assert_eq!(sigset2.len(), 5);
+        let pruned = enumerate_scenarios_pruned(&topo.graph, &abs, &sigs, 2);
+        assert_eq!(pruned.len(), sigset2.len());
+    }
+
+    #[test]
+    fn canonical_scenario_matches_pruned_representative() {
+        let (topo, abs, sigs) = gadget_setup();
+        let orbits = link_orbits(&topo.graph, &abs, &sigs);
+        // For every pruned representative, round-tripping through its
+        // signature reproduces the representative itself.
+        for rep in enumerate_scenarios_pruned(&topo.graph, &abs, &sigs, 2) {
+            let sig = orbits.signature_of(&rep).unwrap();
+            assert_eq!(orbits.canonical_scenario(&sig), rep);
+        }
+        // Every exhaustive scenario canonicalizes to *some* pruned
+        // representative with the same signature.
+        let pruned: std::collections::BTreeSet<_> =
+            enumerate_scenarios_pruned(&topo.graph, &abs, &sigs, 2)
+                .into_iter()
+                .collect();
+        for s in enumerate_scenarios(&topo.graph, 2) {
+            let sig = orbits.signature_of(&s).unwrap();
+            let rep = orbits.canonical_scenario(&sig);
+            assert!(pruned.contains(&rep), "{}", s.describe(&topo.graph));
+            assert_eq!(orbits.signature_of(&rep).unwrap(), sig);
         }
     }
 

@@ -34,5 +34,6 @@ pub mod solver;
 pub use instance::{EcDest, MultiProtocol, OriginProto};
 pub use model::{Protocol, Solution, Srp};
 pub use solver::{
-    solve, solve_masked, solve_with_order, solve_with_order_masked, SolveError, SolverOptions,
+    solve, solve_masked, solve_warm_masked, solve_with_order, solve_with_order_masked, SolveError,
+    SolverOptions,
 };

@@ -175,18 +175,33 @@ impl<'a, P: Protocol> Srp<'a, P> {
         let n = self.graph.node_count();
         let mut fwd = vec![Vec::new(); n];
         for u in self.graph.nodes() {
-            if self.is_origin(u) {
-                continue; // origins consume traffic
-            }
-            if let Some(lu) = &labels[u.index()] {
-                for (e, a) in self.choices_masked(labels, u, mask) {
-                    if self.equally_good(&a, lu) {
-                        fwd[u.index()].push(e);
-                    }
-                }
-            }
+            fwd[u.index()] = self.node_forwarding_masked(labels, u, mask);
         }
         fwd
+    }
+
+    /// The forwarding edges of a single node under the given labels (and
+    /// mask): its ≈-minimal surviving choices. Origins consume traffic and
+    /// forward nowhere.
+    pub fn node_forwarding_masked(
+        &self,
+        labels: &[Option<P::Attr>],
+        u: NodeId,
+        mask: Option<&FailureMask>,
+    ) -> Vec<EdgeId> {
+        if self.is_origin(u) {
+            return Vec::new();
+        }
+        let Some(lu) = &labels[u.index()] else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (e, a) in self.choices_masked(labels, u, mask) {
+            if self.equally_good(&a, lu) {
+                out.push(e);
+            }
+        }
+        out
     }
 
     /// Checks the SRP solution constraints locally at every node.
@@ -207,32 +222,47 @@ impl<'a, P: Protocol> Srp<'a, P> {
             return Err("label vector length mismatch".into());
         }
         for u in self.graph.nodes() {
-            let lu = &labels[u.index()];
-            if self.is_origin(u) {
-                match lu {
-                    Some(a) if *a == self.protocol.origin(u) => continue,
-                    _ => return Err(format!("origin {u:?} not labeled with a_d")),
+            self.check_node_stable_masked(labels, u, mask)?;
+        }
+        Ok(())
+    }
+
+    /// The per-node constraint behind [`Srp::check_stable_masked`]:
+    /// validates the solution conditions at `u` alone. The warm-started
+    /// solver uses this to re-validate only the region a failure actually
+    /// touched (untouched nodes keep inputs identical to an
+    /// already-validated solution).
+    pub fn check_node_stable_masked(
+        &self,
+        labels: &[Option<P::Attr>],
+        u: NodeId,
+        mask: Option<&FailureMask>,
+    ) -> Result<(), String> {
+        let lu = &labels[u.index()];
+        if self.is_origin(u) {
+            return match lu {
+                Some(a) if *a == self.protocol.origin(u) => Ok(()),
+                _ => Err(format!("origin {u:?} not labeled with a_d")),
+            };
+        }
+        let choices = self.choices_masked(labels, u, mask);
+        match lu {
+            None => {
+                if !choices.is_empty() {
+                    return Err(format!("{u:?} labeled ⊥ but has {} choices", choices.len()));
                 }
             }
-            let choices = self.choices_masked(labels, u, mask);
-            match lu {
-                None => {
-                    if !choices.is_empty() {
-                        return Err(format!("{u:?} labeled ⊥ but has {} choices", choices.len()));
-                    }
+            Some(a) => {
+                // The label must be one of the offered attributes...
+                if !choices.iter().any(|(_, c)| c == a) {
+                    return Err(format!("{u:?} label {a:?} is not among its choices"));
                 }
-                Some(a) => {
-                    // The label must be one of the offered attributes...
-                    if !choices.iter().any(|(_, c)| c == a) {
-                        return Err(format!("{u:?} label {a:?} is not among its choices"));
-                    }
-                    // ...and no choice may be strictly preferred over it.
-                    for (e, c) in &choices {
-                        if self.protocol.compare(c, a) == Some(Ordering::Less) {
-                            return Err(format!(
-                                "{u:?} prefers {c:?} (via {e:?}) over its label {a:?}"
-                            ));
-                        }
+                // ...and no choice may be strictly preferred over it.
+                for (e, c) in &choices {
+                    if self.protocol.compare(c, a) == Some(Ordering::Less) {
+                        return Err(format!(
+                            "{u:?} prefers {c:?} (via {e:?}) over its label {a:?}"
+                        ));
                     }
                 }
             }

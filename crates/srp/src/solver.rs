@@ -22,6 +22,16 @@
 //! masked edges removed, which is how the failure-scenario subsystem
 //! re-solves one instance under thousands of link-failure combinations
 //! without cloning it.
+//!
+//! [`solve_warm_masked`] goes one step further: instead of restarting from
+//! ⊥, it **repairs** a failure-free fixpoint after edge deletion. Labels
+//! whose forwarding chain to an origin survives the mask are provably still
+//! stable (removing edges only shrinks choice sets); everything downstream
+//! of the failed links is invalidated to ⊥ and the worklist re-runs from
+//! exactly that region. On scenario sweeps this turns each solve from
+//! O(network) propagation into O(affected region) propagation, and the
+//! resulting labeling is validated by the same stability check as a cold
+//! solve — a warm solution is never trusted, only reached faster.
 
 use crate::model::{Protocol, Solution, Srp};
 use bonsai_net::{FailureMask, NodeId};
@@ -116,12 +126,140 @@ pub fn solve_with_order_masked<P: Protocol>(
         labels[o.index()] = Some(srp.protocol.origin(o));
     }
 
-    let mut queue: VecDeque<NodeId> = VecDeque::with_capacity(n * 2);
+    let seeds: Vec<NodeId> = order
+        .iter()
+        .copied()
+        .filter(|&u| !srp.is_origin(u))
+        .collect();
+    let mut touched = vec![false; n];
+    propagate(srp, &mut labels, &seeds, options, mask, &mut touched)?;
+    srp.solution_from_labels_masked(labels, mask)
+        .map_err(SolveError::Internal)
+}
+
+/// Repairs a failure-free fixpoint after edge deletion instead of
+/// restarting from ⊥.
+///
+/// `base` must be a stable solution of the *unmasked* instance (typically
+/// the failure-free fixpoint, computed once per sweep). Nodes whose
+/// forwarding chain to an origin survives the mask keep their labels —
+/// masking only removes choices, so a label that is still offered along an
+/// intact chain remains ≺-minimal. Every other routed node is invalidated
+/// to ⊥, and the worklist re-runs from the invalidated region (plus its
+/// predecessors and the failed-edge sources, whose choice sets changed).
+///
+/// The repaired region passes through the same per-node stability
+/// validation as a cold solve; nodes the repair never touched keep inputs
+/// identical to the already-validated base solution, so their constraints
+/// (and forwarding sets) carry over unchanged — that is what makes the
+/// warm solve O(affected region) end to end. Warm-starting can never
+/// produce a wrong solution — at worst it diverges
+/// ([`SolveError::Diverged`]) where a cold order would have converged, and
+/// the caller falls back to [`solve_masked`].
+pub fn solve_warm_masked<P: Protocol>(
+    srp: &Srp<'_, P>,
+    base: &Solution<P::Attr>,
+    options: SolverOptions,
+    mask: &FailureMask,
+) -> Result<Solution<P::Attr>, SolveError> {
+    let n = srp.graph.node_count();
+    assert_eq!(base.labels.len(), n, "base solution must cover every node");
+    let mut labels = base.labels.clone();
+
+    // A node is *safe* when some forwarding chain of the base solution
+    // reaches an origin without crossing a disabled edge: origins by
+    // definition, and any node with an enabled fwd edge into a safe node.
+    // Computed by reverse BFS over the base forwarding relation.
+    let mut safe = vec![false; n];
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    for &o in &srp.origins {
+        if !safe[o.index()] {
+            safe[o.index()] = true;
+            queue.push_back(o);
+        }
+    }
+    // Reverse forwarding adjacency: fwd_preds[v] = nodes forwarding into v
+    // across an enabled edge.
+    let mut fwd_preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for u in srp.graph.nodes() {
+        for &e in base.fwd(u) {
+            if !mask.is_disabled(e) {
+                fwd_preds[srp.graph.target(e).index()].push(u);
+            }
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        for &u in &fwd_preds[v.index()] {
+            if !safe[u.index()] {
+                safe[u.index()] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+
+    // Invalidate everything downstream of the failures; seed the worklist
+    // with the invalidated region, its predecessors, and the sources of
+    // disabled edges (their choice sets shrank even when they stay safe).
+    let mut seed_set = vec![false; n];
+    for u in srp.graph.nodes() {
+        if !safe[u.index()] && !srp.is_origin(u) && labels[u.index()].is_some() {
+            labels[u.index()] = None;
+            seed_set[u.index()] = true;
+            for w in srp.graph.predecessors(u) {
+                seed_set[w.index()] = true;
+            }
+        }
+    }
+    for e in mask.iter_disabled() {
+        if e.index() < srp.graph.edge_count() {
+            seed_set[srp.graph.source(e).index()] = true;
+        }
+    }
+    let seeds: Vec<NodeId> = srp
+        .graph
+        .nodes()
+        .filter(|&u| seed_set[u.index()] && !srp.is_origin(u))
+        .collect();
+
+    let mut touched = seed_set;
+    propagate(srp, &mut labels, &seeds, options, Some(mask), &mut touched)?;
+
+    // Finish incrementally: only nodes whose inputs could have changed —
+    // the touched region — get their forwarding recomputed and their
+    // stability constraint rechecked. Everything else carries over from
+    // the validated base verbatim.
+    let mut fwd = base.fwd.clone();
+    for u in srp.graph.nodes() {
+        if touched[u.index()] {
+            srp.check_node_stable_masked(&labels, u, Some(mask))
+                .map_err(SolveError::Internal)?;
+            fwd[u.index()] = srp.node_forwarding_masked(&labels, u, Some(mask));
+        }
+    }
+    Ok(Solution { labels, fwd })
+}
+
+/// The shared worklist loop: activates the seeds (in order), recomputes
+/// each popped node's best choice, and propagates label changes to
+/// predecessors until a fixpoint. Every node that is (re-)examined or
+/// enqueued is marked in `touched`; callers validate at least that region.
+fn propagate<P: Protocol>(
+    srp: &Srp<'_, P>,
+    labels: &mut [Option<P::Attr>],
+    seeds: &[NodeId],
+    options: SolverOptions,
+    mask: Option<&FailureMask>,
+    touched: &mut [bool],
+) -> Result<(), SolveError> {
+    let n = srp.graph.node_count();
+    let mut queue: VecDeque<NodeId> = VecDeque::with_capacity(seeds.len().max(4) * 2);
     let mut queued = vec![false; n];
-    for &u in order {
-        if !srp.is_origin(u) {
+    for &u in seeds {
+        debug_assert!(!srp.is_origin(u), "origins are pinned, never activated");
+        if !queued[u.index()] {
             queue.push_back(u);
             queued[u.index()] = true;
+            touched[u.index()] = true;
         }
     }
 
@@ -133,7 +271,7 @@ pub fn solve_with_order_masked<P: Protocol>(
 
     while let Some(u) = queue.pop_front() {
         queued[u.index()] = false;
-        let choices = srp.choices_masked(&labels, u, mask);
+        let choices = srp.choices_masked(labels, u, mask);
         let new_label = if choices.is_empty() {
             None
         } else {
@@ -156,16 +294,17 @@ pub fn solve_with_order_masked<P: Protocol>(
                 return Err(SolveError::Diverged { updates });
             }
             for w in srp.graph.predecessors(u) {
-                if !srp.is_origin(w) && !queued[w.index()] {
-                    queued[w.index()] = true;
-                    queue.push_back(w);
+                if !srp.is_origin(w) {
+                    touched[w.index()] = true;
+                    if !queued[w.index()] {
+                        queued[w.index()] = true;
+                        queue.push_back(w);
+                    }
                 }
             }
         }
     }
-
-    srp.solution_from_labels_masked(labels, mask)
-        .map_err(SolveError::Internal)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -300,6 +439,72 @@ mod tests {
             solve_with_order(&srp, &[NodeId(0)], SolverOptions::default())
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn warm_solve_matches_cold_solve_on_diamond() {
+        let mut gb = GraphBuilder::new();
+        let d = gb.add_node("d");
+        let b1 = gb.add_node("b1");
+        let b2 = gb.add_node("b2");
+        let a = gb.add_node("a");
+        gb.add_link(d, b1);
+        gb.add_link(d, b2);
+        gb.add_link(a, b1);
+        gb.add_link(a, b2);
+        let g = gb.build();
+        let srp = Srp::new(&g, d, Hops);
+        let base = solve(&srp).unwrap();
+
+        let mut mask = bonsai_net::FailureMask::for_graph(&g);
+        mask.disable_link(&g, d, b1);
+        let warm = solve_warm_masked(&srp, &base, SolverOptions::default(), &mask).unwrap();
+        let cold = solve_masked(&srp, Some(&mask)).unwrap();
+        assert_eq!(warm.labels, cold.labels);
+        assert_eq!(warm.fwd, cold.fwd);
+    }
+
+    /// Warm-starting must not count to infinity: cutting a line graph
+    /// invalidates the stranded side down to ⊥ instead of leapfrogging
+    /// stale labels upward until the budget dies.
+    #[test]
+    fn warm_solve_handles_partition_without_divergence() {
+        let mut gb = GraphBuilder::new();
+        let d = gb.add_node("d");
+        let m = gb.add_node("m");
+        let f = gb.add_node("f");
+        gb.add_link(d, m);
+        gb.add_link(m, f);
+        let g = gb.build();
+        let srp = Srp::new(&g, d, Hops);
+        let base = solve(&srp).unwrap();
+
+        let mut mask = bonsai_net::FailureMask::for_graph(&g);
+        mask.disable_link(&g, d, m);
+        let warm = solve_warm_masked(&srp, &base, SolverOptions::default(), &mask).unwrap();
+        assert_eq!(warm.label(m), None);
+        assert_eq!(warm.label(f), None);
+        assert_eq!(warm.routed_count(), 1);
+    }
+
+    /// A failure that carried no traffic leaves the base fixpoint intact:
+    /// the warm solve touches nothing and returns the base labeling.
+    #[test]
+    fn warm_solve_is_noop_off_the_forwarding_paths() {
+        let g = grid(4, 3);
+        let srp = Srp::new(&g, NodeId(0), Hops);
+        let base = solve(&srp).unwrap();
+        // The far-corner link only ever carries traffic *toward* the
+        // origin; failing it still leaves every node a shortest path.
+        let far = NodeId((4 * 3 - 1) as u32);
+        let near_far = NodeId((4 * 3 - 2) as u32);
+        let mut mask = bonsai_net::FailureMask::for_graph(&g);
+        mask.disable_link(&g, far, near_far);
+        let warm = solve_warm_masked(&srp, &base, SolverOptions::default(), &mask).unwrap();
+        let cold = solve_masked(&srp, Some(&mask)).unwrap();
+        assert_eq!(warm.labels, cold.labels);
+        // Labels are unchanged from the base (the detour is equally long).
+        assert_eq!(warm.labels, base.labels);
     }
 
     /// A protocol with no stable solution on a cycle: it prefers *longer*

@@ -110,6 +110,27 @@ pub struct BehaviorMismatch {
     pub block: BlockId,
     /// Human-readable description of the disagreement.
     pub detail: String,
+    /// The abstract side's behavior set for the block (empty when the
+    /// abstract network lacks the block entirely). The sweep engine's
+    /// deviating-member split compares each concrete member against this
+    /// set to refine only the members the abstraction cannot mirror.
+    pub(crate) abs_behaviors: BTreeSet<Behavior>,
+}
+
+/// The shared activation-order scheme of every solution sampler in this
+/// crate: the node list rotated left by `rot`, reversed on every second
+/// wrap. The equivalence oracle, the failure auditor and the sweep engine
+/// MUST all draw orders from this one function — the sweep's cache
+/// determinism ("a cache hit is byte-identical to a fresh derivation")
+/// rests on the samplers staying in lockstep.
+pub(crate) fn rotated_order(nodes: &[NodeId], rot: usize) -> Vec<NodeId> {
+    let n = nodes.len().max(1);
+    let mut order = nodes.to_vec();
+    order.rotate_left(rot % n);
+    if rot / n % 2 == 1 {
+        order.reverse();
+    }
+    order
 }
 
 /// The ≈-minimal choice set of a node under a solution, as `h`-labels.
@@ -139,6 +160,46 @@ fn minimal_hlabels<P: bonsai_srp::Protocol<Attr = RibAttr>>(
     out
 }
 
+/// The behavior of every concrete node under a solution, in node order:
+/// the per-node raw material of [`concrete_behaviors`], kept unaggregated
+/// so the sweep engine can split exactly the members whose behavior the
+/// abstract side cannot realize.
+pub(crate) fn concrete_node_behaviors<P: bonsai_srp::Protocol<Attr = RibAttr>>(
+    srp: &Srp<'_, P>,
+    topo: &BuiltTopology,
+    solution: &Solution<RibAttr>,
+    abstraction: &Abstraction,
+    keep: Option<&BTreeSet<Community>>,
+    mask: Option<&FailureMask>,
+) -> Vec<(NodeId, Behavior)> {
+    topo.graph
+        .nodes()
+        .map(|u| {
+            let labels = minimal_hlabels(srp, solution, u, keep, mask);
+            let fwd_blocks: BTreeSet<u32> = solution
+                .fwd(u)
+                .iter()
+                .map(|&e| abstraction.role_of(topo.graph.target(e)).0)
+                .collect();
+            (u, (labels, fwd_blocks))
+        })
+        .collect()
+}
+
+/// Aggregates per-node behaviors into per-block behavior sets.
+pub(crate) fn aggregate_behaviors(
+    node_behaviors: &[(NodeId, Behavior)],
+    abstraction: &Abstraction,
+) -> BTreeMap<BlockId, BTreeSet<Behavior>> {
+    let mut map: BTreeMap<BlockId, BTreeSet<Behavior>> = BTreeMap::new();
+    for (u, behavior) in node_behaviors {
+        map.entry(abstraction.role_of(*u))
+            .or_default()
+            .insert(behavior.clone());
+    }
+    map
+}
+
 pub(crate) fn concrete_behaviors(
     network: &NetworkConfig,
     topo: &BuiltTopology,
@@ -151,18 +212,10 @@ pub(crate) fn concrete_behaviors(
     let proto = MultiProtocol::build(network, topo, ec);
     let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
     let srp = Srp::with_origins(&topo.graph, origins, proto);
-    let mut map: BTreeMap<BlockId, BTreeSet<Behavior>> = BTreeMap::new();
-    for u in topo.graph.nodes() {
-        let block = abstraction.role_of(u);
-        let labels = minimal_hlabels(&srp, solution, u, keep, mask);
-        let fwd_blocks: BTreeSet<u32> = solution
-            .fwd(u)
-            .iter()
-            .map(|&e| abstraction.role_of(topo.graph.target(e)).0)
-            .collect();
-        map.entry(block).or_default().insert((labels, fwd_blocks));
-    }
-    map
+    aggregate_behaviors(
+        &concrete_node_behaviors(&srp, topo, solution, abstraction, keep, mask),
+        abstraction,
+    )
 }
 
 pub(crate) fn abstract_behaviors(
@@ -223,11 +276,7 @@ pub fn check_solution_equivalence(
     for rot in 0..orders.max(1) {
         let proto = MultiProtocol::build(&abs.network, &abs.topo, &abs.ec);
         let srp = Srp::with_origins(&abs.topo.graph, abs_origins.clone(), proto);
-        let mut order = nodes.clone();
-        order.rotate_left(rot % nodes.len().max(1));
-        if rot / nodes.len().max(1) % 2 == 1 {
-            order.reverse();
-        }
+        let order = rotated_order(&nodes, rot);
         let abs_solution = match solve_with_order(&srp, &order, SolverOptions::default()) {
             Ok(s) => s,
             Err(e) => return Err(EquivalenceError::AbstractDiverged(e.to_string())),
@@ -267,6 +316,7 @@ pub(crate) fn behaviors_match(
             return Err(BehaviorMismatch {
                 block: *block,
                 detail: format!("abstract network lacks block {block:?}"),
+                abs_behaviors: BTreeSet::new(),
             });
         };
         for b in cset {
@@ -277,6 +327,7 @@ pub(crate) fn behaviors_match(
                         "block {block:?}: concrete behavior {b:?} not realized by any copy \
                          (abstract behaviors: {aset:?})"
                     ),
+                    abs_behaviors: aset.clone(),
                 });
             }
         }
@@ -288,6 +339,7 @@ pub(crate) fn behaviors_match(
                         "block {block:?}: abstract copy behavior {b:?} has no concrete witness \
                          (concrete behaviors: {cset:?})"
                     ),
+                    abs_behaviors: aset.clone(),
                 });
             }
         }
@@ -405,11 +457,7 @@ fn check_cp_equivalence_with_keep(
     for rot in 0..concrete_orders.max(1) {
         let proto = MultiProtocol::build(network, topo, ec);
         let srp = Srp::with_origins(&topo.graph, origins.clone(), proto);
-        let mut order = nodes.clone();
-        order.rotate_left(rot % nodes.len().max(1));
-        if rot / nodes.len().max(1) % 2 == 1 {
-            order.reverse();
-        }
+        let order = rotated_order(&nodes, rot);
         let solution = solve_with_order(&srp, &order, SolverOptions::default())
             .map_err(|e| EquivalenceError::ConcreteDiverged(e.to_string()))?;
         check_solution_equivalence(

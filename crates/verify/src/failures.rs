@@ -33,7 +33,8 @@
 //! compressed — that is the selling point over "just verify concretely".
 
 use crate::equivalence::{
-    abstract_behaviors, behaviors_match, concrete_behaviors, BehaviorMismatch, EquivalenceError,
+    abstract_behaviors, behaviors_match, concrete_behaviors, rotated_order, BehaviorMismatch,
+    EquivalenceError,
 };
 use bonsai_config::{BuiltTopology, Community, NetworkConfig};
 use bonsai_core::abstraction::AbstractNetwork;
@@ -331,11 +332,7 @@ fn check_scenario(
     let abs_srp = Srp::with_origins(&abs.topo.graph, abs_origins, abs_proto);
 
     for rot in 0..options.concrete_orders.max(1) {
-        let mut order = nodes.clone();
-        order.rotate_left(rot % nodes.len().max(1));
-        if rot / nodes.len().max(1) % 2 == 1 {
-            order.reverse();
-        }
+        let order = rotated_order(&nodes, rot);
         let solution = solve_with_order_masked(&srp, &order, SolverOptions::default(), Some(&mask))
             .map_err(|e| {
                 EquivalenceError::ConcreteDiverged(format!(
@@ -350,11 +347,7 @@ fn check_scenario(
         let mut last_mismatch: Option<BehaviorMismatch> = None;
         let mut seen: BTreeSet<Vec<Option<String>>> = BTreeSet::new();
         for arot in 0..options.abstract_orders.max(1) {
-            let mut order = abs_nodes.clone();
-            order.rotate_left(arot % abs_nodes.len().max(1));
-            if arot / abs_nodes.len().max(1) % 2 == 1 {
-                order.reverse();
-            }
+            let order = rotated_order(&abs_nodes, arot);
             let abs_solution = match solve_with_order_masked(
                 &abs_srp,
                 &order,

@@ -11,9 +11,14 @@
 //!   modulo the attribute abstraction `h` (and modulo the
 //!   solution-dependent copy assignment of BGP-split nodes, §4.3).
 //! * [`failures`] — the bounded link-failure audit: sweeps every `≤ k`
-//!   failure scenario through the equivalence oracle and repairs unsound
-//!   abstractions by counterexample-guided refinement (the paper's §9
-//!   caveat, made checkable).
+//!   failure scenario through the equivalence oracle and repairs **one**
+//!   abstraction by counterexample-guided refinement until it is globally
+//!   k-failure sound (the paper's §9 caveat, made checkable).
+//! * [`sweep`] — the scalable per-scenario refinement sweep: keeps the
+//!   failure-free base abstraction, derives a tiny localized refinement
+//!   per scenario (cached by orbit signature, verified with warm-started
+//!   masked solves, fanned out over the shared lock-free driver) instead
+//!   of decompressing one abstraction for all scenarios at once.
 //! * [`sim_engine`] — the **Batfish substitute**: simulates the control
 //!   plane per destination class, derives the data plane (with ACLs), and
 //!   answers reachability queries.
@@ -30,6 +35,7 @@ pub mod failures;
 pub mod properties;
 pub mod search_engine;
 pub mod sim_engine;
+pub mod sweep;
 
 pub use equivalence::{
     check_cp_equivalence, check_cp_equivalence_shared, check_cp_equivalence_under_h,
@@ -42,3 +48,7 @@ pub use failures::{
 pub use properties::{Reachability, SolutionAnalysis};
 pub use search_engine::{SearchBudget, SearchOutcome};
 pub use sim_engine::SimEngine;
+pub use sweep::{
+    derive_refinement, sweep_failures, ScenarioOutcome, ScenarioRefinement, SweepOptions,
+    SweepReport,
+};

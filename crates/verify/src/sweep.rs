@@ -1,0 +1,1058 @@
+//! The per-scenario refinement sweep engine.
+//!
+//! PR 3's auditor ([`crate::failures`]) repairs **one** abstraction until
+//! it is sound for *every* `≤ k` link-failure scenario at once. The honest
+//! cost, measured in `BENCH_failures.json`: on symmetric topologies the
+//! splits accumulate until the "abstraction" is nearly the concrete
+//! network (fattree-4 goes 6 → 20 nodes per EC, mesh-10 goes 2 → 10) —
+//! compression lost exactly where the paper claims it. This module keeps
+//! the failure-free **base** abstraction and derives a tiny refinement
+//! *per scenario* instead:
+//!
+//! 1. **Localized split** — only the failed links' endpoint orbits are
+//!    split ([`bonsai_core::compress::refine_ec_with_split`] restores the
+//!    Algorithm-1 fixpoint from there), so the rest of the network stays
+//!    compressed. One failed link typically costs 1–3 extra blocks, not
+//!    the full decompression.
+//! 2. **Orbit-signature cache** — scenarios are keyed by their
+//!    [`OrbitSignature`] (interned edge-signature orbit multiset, from the
+//!    shared engine): symmetric scenarios share one refinement and one
+//!    verified abstract solve, derived from the canonical representative.
+//!    Exhaustive sweeps therefore cost little more than pruned ones.
+//! 3. **Escalation** — when the localized split is refuted, the engine
+//!    splits only the block members whose *concrete behavior deviates*
+//!    from what the abstract copies realize (strictly less aggressive
+//!    than PR 3's whole-block fallback), and only then falls back to the
+//!    PR 3 candidate rule. Every step strictly refines, so the loop is
+//!    bounded by the node count, where abstract = concrete and every
+//!    scenario passes.
+//! 4. **Warm-started solves** — each scenario's concrete check repairs the
+//!    failure-free fixpoint ([`bonsai_srp::solve_warm_masked`]) instead of
+//!    restarting from ⊥; a warm divergence silently falls back to a cold
+//!    solve, so warm-starting is a pure optimization.
+//! 5. **Parallel fan-out** — scenarios are claimed from the same
+//!    lock-free atomic-index driver the compression fan-out uses
+//!    ([`bonsai_core::fanout::fan_out`]), with worker-local refinement
+//!    caches merged by orbit signature afterwards. The merged result is
+//!    identical for any thread count (cache hits change, refinements and
+//!    verdicts do not).
+//!
+//! The soundness contract matches the pruned PR 3 sweep: a cached verdict
+//! covers a scenario via the symmetry argument of
+//! [`bonsai_core::scenarios::enumerate_scenarios_pruned`] (exact for
+//! `k = 1`, documented heuristic beyond). Callers wanting one globally
+//! k-sound abstraction still use
+//! [`crate::failures::check_cp_equivalence_under_failures`]; this engine
+//! is the scalable common path for "verify every scenario".
+
+use crate::equivalence::{
+    abstract_behaviors, aggregate_behaviors, behaviors_match, concrete_node_behaviors,
+    rotated_order, Behavior, BehaviorMismatch, EquivalenceError,
+};
+use crate::failures::lift_failure_mask;
+use bonsai_config::{BuiltTopology, Community, NetworkConfig};
+use bonsai_core::abstraction::AbstractNetwork;
+use bonsai_core::algorithm::Abstraction;
+use bonsai_core::compress::refine_ec_with_split;
+use bonsai_core::engine::CompiledPolicies;
+use bonsai_core::fanout::fan_out;
+use bonsai_core::scenarios::{
+    enumerate_scenarios, enumerate_scenarios_pruned, exhaustive_scenario_count, link_orbits,
+    FailureScenario, LinkOrbits, OrbitSignature,
+};
+use bonsai_core::signatures::build_sig_table;
+use bonsai_net::NodeId;
+use bonsai_srp::instance::{EcDest, MultiProtocol, RibAttr};
+use bonsai_srp::solver::{solve_warm_masked, solve_with_order_masked, SolveError, SolverOptions};
+use bonsai_srp::{Solution, Srp};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Options for a per-scenario refinement sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepOptions {
+    /// Maximum number of simultaneously failed links (`k`).
+    pub max_failures: usize,
+    /// Enumerate one representative per orbit multiset instead of every
+    /// link combination. With the orbit cache an exhaustive sweep costs
+    /// little more than a pruned one (every duplicate is a cache hit), so
+    /// the default keeps the exhaustive per-scenario records.
+    pub prune_symmetric: bool,
+    /// Worker threads for the scenario fan-out (0 = all available cores).
+    pub threads: usize,
+    /// Concrete solution samples per verified representative (the first
+    /// is warm-started, the rest use rotated cold activation orders).
+    pub concrete_orders: usize,
+    /// Abstract activation orders tried per concrete solution.
+    pub abstract_orders: usize,
+    /// Warm-start concrete scenario solves from the failure-free fixpoint
+    /// (cold solves on divergence; disable to measure the difference).
+    pub warm_start: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            max_failures: 1,
+            prune_symmetric: false,
+            threads: 0,
+            concrete_orders: 2,
+            abstract_orders: 8,
+            warm_start: true,
+        }
+    }
+}
+
+/// One cached per-scenario refinement: the abstraction that verified the
+/// canonical representative of an orbit signature, plus how it was found.
+#[derive(Clone, Debug)]
+pub struct ScenarioRefinement {
+    /// The orbit signature this refinement is cached under.
+    pub signature: OrbitSignature,
+    /// The canonical representative scenario that was actually verified.
+    pub representative: FailureScenario,
+    /// Concrete nodes isolated from the base abstraction (empty when the
+    /// base abstraction already verifies the representative).
+    pub split: Vec<NodeId>,
+    /// The per-scenario abstraction (base + split, at the Algorithm-1
+    /// fixpoint).
+    pub abstraction: Abstraction,
+    /// Its materialized abstract network.
+    pub abstract_network: AbstractNetwork,
+    /// The localized endpoint split was refuted at least once.
+    pub localized_refuted: bool,
+    /// Rounds that split only deviating block members.
+    pub deviating_rounds: usize,
+    /// The PR 3 candidate rule (endpoints, then whole offending block)
+    /// had to be used.
+    pub global_fallback: bool,
+}
+
+impl ScenarioRefinement {
+    /// Abstract node count of the per-scenario refinement.
+    pub fn refined_nodes(&self) -> usize {
+        self.abstraction.abstract_node_count()
+    }
+}
+
+/// Per-scenario record of the sweep, in enumeration order.
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// The scenario.
+    pub scenario: FailureScenario,
+    /// Its orbit signature (the cache key).
+    pub signature: OrbitSignature,
+    /// The worker found the refinement in its local cache. Depends on the
+    /// work-stealing schedule — diagnostics only; use
+    /// [`SweepReport::cache_hit_rate`] for the deterministic rate.
+    pub cache_hit: bool,
+    /// Abstract node count of the scenario's refinement.
+    pub refined_nodes: usize,
+}
+
+/// The outcome of a per-scenario refinement sweep: every scenario verified
+/// (via its signature's representative), every distinct refinement kept.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// The failure bound that was swept.
+    pub k: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Abstract node count of the failure-free base abstraction.
+    pub base_abstract_nodes: usize,
+    /// Scenario count of the exhaustive enumeration.
+    pub scenarios_exhaustive: usize,
+    /// Per-scenario outcomes, in enumeration order.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// The distinct refinements, keyed by orbit signature.
+    pub refinements: BTreeMap<OrbitSignature, ScenarioRefinement>,
+    /// Derivations actually performed across workers (`>=
+    /// refinements.len()`; two workers may race on one signature).
+    pub derivations: usize,
+}
+
+impl SweepReport {
+    /// Scenarios verified (directly or via their cached representative).
+    pub fn scenarios_swept(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// The deterministic cache hit rate: the fraction of scenarios served
+    /// by an already-derived refinement, `1 - distinct/total`. Invariant
+    /// under the thread count (unlike per-worker hit observations).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.refinements.len() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Mean abstract node count across per-scenario refinements (weighted
+    /// by scenario, i.e. what a random scenario's verification costs).
+    pub fn mean_refined_nodes(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return self.base_abstract_nodes as f64;
+        }
+        self.outcomes
+            .iter()
+            .map(|o| o.refined_nodes as f64)
+            .sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+
+    /// Largest per-scenario refinement.
+    pub fn max_refined_nodes(&self) -> usize {
+        self.outcomes
+            .iter()
+            .map(|o| o.refined_nodes)
+            .max()
+            .unwrap_or(self.base_abstract_nodes)
+    }
+
+    /// Refinements that needed the PR 3 fallback rule.
+    pub fn fallback_count(&self) -> usize {
+        self.refinements
+            .values()
+            .filter(|r| r.global_fallback)
+            .count()
+    }
+
+    /// Refinements whose localized endpoint split was refuted.
+    pub fn localized_refuted_count(&self) -> usize {
+        self.refinements
+            .values()
+            .filter(|r| r.localized_refuted)
+            .count()
+    }
+}
+
+/// Everything a scenario check needs, hoisted once per sweep and shared
+/// (immutably) by every worker.
+struct SweepCtx<'a> {
+    network: &'a NetworkConfig,
+    topo: &'a BuiltTopology,
+    ec: &'a EcDest,
+    base: &'a Abstraction,
+    base_net: &'a AbstractNetwork,
+    engine: &'a CompiledPolicies,
+    orbits: &'a LinkOrbits,
+    srp: &'a Srp<'a, MultiProtocol<'a>>,
+    base_solution: Option<&'a Solution<RibAttr>>,
+    keep: Option<&'a BTreeSet<Community>>,
+    options: &'a SweepOptions,
+}
+
+/// Sweeps every `≤ k` link-failure scenario with per-scenario refinements
+/// derived from the failure-free base abstraction, cached by orbit
+/// signature and fanned out over worker threads.
+///
+/// `abstraction`/`abs` must be the failure-free (CP-equivalent) base pair
+/// of a compression run; `engine` the run's shared policy-compilation
+/// engine (the signature table and every refinement are cache hits).
+///
+/// Errors when a concrete instance diverges under some scenario or a
+/// representative stays refuted at the discrete partition (a genuine
+/// equivalence bug, not a failure asymmetry).
+pub fn sweep_failures(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    ec: &EcDest,
+    abstraction: &Abstraction,
+    abs: &AbstractNetwork,
+    engine: &CompiledPolicies,
+    options: &SweepOptions,
+) -> Result<SweepReport, EquivalenceError> {
+    let keep: Option<BTreeSet<Community>> = engine
+        .strips_unused_communities()
+        .then(|| engine.communities().iter().copied().collect());
+    let sigs = build_sig_table(engine, network, topo, ec);
+    let orbits = link_orbits(&topo.graph, abstraction, &sigs);
+    let k = options.max_failures;
+
+    let scenarios = if options.prune_symmetric {
+        enumerate_scenarios_pruned(&topo.graph, abstraction, &sigs, k)
+    } else {
+        enumerate_scenarios(&topo.graph, k)
+    };
+
+    // The concrete instance and its failure-free fixpoint, hoisted across
+    // all scenarios: masked/warm solves never clone or rebuild it.
+    let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
+    let proto = MultiProtocol::build(network, topo, ec);
+    let srp = Srp::with_origins(&topo.graph, origins, proto);
+    let base_solution = if options.warm_start {
+        // A diverging failure-free instance just disables warm starts —
+        // every scenario check falls back to cold orders.
+        bonsai_srp::solver::solve(&srp).ok()
+    } else {
+        None
+    };
+
+    let threads = if options.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        options.threads
+    }
+    .min(scenarios.len().max(1));
+
+    let ctx = SweepCtx {
+        network,
+        topo,
+        ec,
+        base: abstraction,
+        base_net: abs,
+        engine,
+        orbits: &orbits,
+        srp: &srp,
+        base_solution: base_solution.as_ref(),
+        keep: keep.as_ref(),
+        options,
+    };
+
+    // Worker-local caches: signature → refinement. Workers never
+    // synchronize on the cache; duplicated derivations across workers are
+    // deterministic, so merging keeps any copy.
+    type WorkerCache = HashMap<OrbitSignature, ScenarioRefinement>;
+    let work =
+        |cache: &mut (WorkerCache, usize), i: usize| -> Result<ScenarioOutcome, EquivalenceError> {
+            let scenario = &scenarios[i];
+            let signature = ctx
+                .orbits
+                .signature_of(scenario)
+                .expect("scenario links come from the same graph as the orbits");
+            let (cache_hit, refined_nodes) = match cache.0.get(&signature) {
+                Some(r) => (true, r.refined_nodes()),
+                None => {
+                    let refinement = derive_scenario_refinement(&ctx, &signature)?;
+                    cache.1 += 1;
+                    let nodes = refinement.refined_nodes();
+                    cache.0.insert(signature.clone(), refinement);
+                    (false, nodes)
+                }
+            };
+            Ok(ScenarioOutcome {
+                scenario: scenario.clone(),
+                signature,
+                cache_hit,
+                refined_nodes,
+            })
+        };
+
+    let (results, caches) = fan_out(scenarios.len(), threads, || (WorkerCache::new(), 0), work);
+    let outcomes: Vec<ScenarioOutcome> = results.into_iter().collect::<Result<_, _>>()?;
+
+    let mut refinements: BTreeMap<OrbitSignature, ScenarioRefinement> = BTreeMap::new();
+    let mut derivations = 0usize;
+    for (cache, derived) in caches {
+        derivations += derived;
+        for (sig, refinement) in cache {
+            if let Some(existing) = refinements.get(&sig) {
+                debug_assert_eq!(
+                    existing.abstraction.partition.as_sets(),
+                    refinement.abstraction.partition.as_sets(),
+                    "racing derivations of one signature must agree"
+                );
+            } else {
+                refinements.insert(sig, refinement);
+            }
+        }
+    }
+
+    Ok(SweepReport {
+        k,
+        threads,
+        base_abstract_nodes: abstraction.abstract_node_count(),
+        scenarios_exhaustive: exhaustive_scenario_count(topo.graph.link_count(), k),
+        outcomes,
+        refinements,
+        derivations,
+    })
+}
+
+/// Derives (and verifies) the refinement of one orbit signature, bypassing
+/// every cache — the function worker cache misses call, exposed so tests
+/// can prove a cache hit returns byte-identically what a fresh derivation
+/// would.
+#[allow(clippy::too_many_arguments)]
+pub fn derive_refinement(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    ec: &EcDest,
+    abstraction: &Abstraction,
+    abs: &AbstractNetwork,
+    engine: &CompiledPolicies,
+    options: &SweepOptions,
+    signature: &OrbitSignature,
+) -> Result<ScenarioRefinement, EquivalenceError> {
+    let keep: Option<BTreeSet<Community>> = engine
+        .strips_unused_communities()
+        .then(|| engine.communities().iter().copied().collect());
+    let sigs = build_sig_table(engine, network, topo, ec);
+    let orbits = link_orbits(&topo.graph, abstraction, &sigs);
+    let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
+    let proto = MultiProtocol::build(network, topo, ec);
+    let srp = Srp::with_origins(&topo.graph, origins, proto);
+    let base_solution = options
+        .warm_start
+        .then(|| bonsai_srp::solver::solve(&srp).ok())
+        .flatten();
+    let ctx = SweepCtx {
+        network,
+        topo,
+        ec,
+        base: abstraction,
+        base_net: abs,
+        engine,
+        orbits: &orbits,
+        srp: &srp,
+        base_solution: base_solution.as_ref(),
+        keep: keep.as_ref(),
+        options,
+    };
+    derive_scenario_refinement(&ctx, signature)
+}
+
+/// The escalation loop behind every cache miss: localized endpoint split →
+/// deviating-member splits → PR 3 candidate rule, each round strictly
+/// refining, until the canonical representative verifies.
+fn derive_scenario_refinement(
+    ctx: &SweepCtx<'_>,
+    signature: &OrbitSignature,
+) -> Result<ScenarioRefinement, EquivalenceError> {
+    let rep = ctx.orbits.canonical_scenario(signature);
+
+    // Stage 1: isolate the failed links' endpoints that still share a
+    // block — the minimal split that lets the lifted mask express the
+    // failure exactly (each failed link becomes the unique witness of the
+    // abstract links it lifts to).
+    let mut split: Vec<NodeId> = rep
+        .links
+        .iter()
+        .flat_map(|&(u, v)| [u, v])
+        .filter(|&n| ctx.base.partition.members(ctx.base.role_of(n)).len() > 1)
+        .collect();
+    split.sort();
+    split.dedup();
+
+    let (mut cur, mut cur_net) = if split.is_empty() {
+        (ctx.base.clone(), ctx.base_net.clone())
+    } else {
+        refine_ec_with_split(ctx.engine, ctx.network, ctx.topo, ctx.ec, ctx.base, &split)
+    };
+
+    let mut localized_refuted = false;
+    let mut deviating_rounds = 0usize;
+    let mut global_fallback = false;
+
+    // The concrete side does not depend on the candidate abstraction:
+    // sample the solutions once per representative (first warm-started,
+    // then rotated cold orders) and reuse them across escalation rounds.
+    let solutions = sample_concrete_solutions(ctx, &rep)?;
+
+    // Each round adds at least one node from a multi-member block to the
+    // split, so the loop is bounded by the node count; the discrete
+    // partition's abstract network is isomorphic to the concrete one and
+    // verifies trivially.
+    for _ in 0..=ctx.topo.graph.node_count() {
+        let refutation = match check_scenario_refined(ctx, &rep, &solutions, &cur, &cur_net)? {
+            Ok(()) => {
+                return Ok(ScenarioRefinement {
+                    signature: signature.clone(),
+                    representative: rep,
+                    split,
+                    abstraction: cur,
+                    abstract_network: cur_net,
+                    localized_refuted,
+                    deviating_rounds,
+                    global_fallback,
+                });
+            }
+            Err(r) => r,
+        };
+        localized_refuted = true;
+
+        // Stage 2: split only the members whose concrete behavior the
+        // abstract copies cannot realize.
+        let mut additions = deviating_split(&cur, &refutation);
+        if !additions.is_empty() {
+            deviating_rounds += 1;
+        } else {
+            // Stage 3: the PR 3 candidate rule — endpoints still sharing
+            // a block under the *current* partition, else the whole
+            // offending block.
+            global_fallback = true;
+            additions = pr3_candidates(&cur, &rep, &refutation.mismatch);
+        }
+        if additions.is_empty() {
+            return Err(EquivalenceError::NoMatchingSolution {
+                detail: format!(
+                    "irrefinable mismatch under {}: {}",
+                    rep.describe(&ctx.topo.graph),
+                    refutation
+                        .mismatch
+                        .as_ref()
+                        .map(|m| m.detail.clone())
+                        .unwrap_or_else(|| "abstract instance diverged".to_string()),
+                ),
+            });
+        }
+        split.extend(additions);
+        split.sort();
+        split.dedup();
+        let refined =
+            refine_ec_with_split(ctx.engine, ctx.network, ctx.topo, ctx.ec, ctx.base, &split);
+        cur = refined.0;
+        cur_net = refined.1;
+    }
+    Err(EquivalenceError::NoMatchingSolution {
+        detail: format!(
+            "refinement bound exhausted deriving a refinement for {}",
+            rep.describe(&ctx.topo.graph)
+        ),
+    })
+}
+
+/// Why a representative was refuted under a candidate refinement: the
+/// closest mismatch plus the per-node concrete behaviors of the failing
+/// attempt (the raw material of the deviating-member split).
+struct Refutation {
+    mismatch: Option<BehaviorMismatch>,
+    node_behaviors: Vec<(NodeId, Behavior)>,
+}
+
+/// Samples the concrete solutions of one scenario: the first is
+/// warm-started from the failure-free fixpoint (cold on divergence), the
+/// rest use the PR 3 rotated cold orders. Deduplicated — identical
+/// fixpoints would only repeat the abstract matching work.
+fn sample_concrete_solutions(
+    ctx: &SweepCtx<'_>,
+    scenario: &FailureScenario,
+) -> Result<Vec<Solution<RibAttr>>, EquivalenceError> {
+    let mask = scenario.mask(&ctx.topo.graph);
+    let nodes: Vec<NodeId> = ctx.topo.graph.nodes().collect();
+    let mut out: Vec<Solution<RibAttr>> = Vec::new();
+    for rot in 0..ctx.options.concrete_orders.max(1) {
+        let solution = if rot == 0 {
+            match ctx.base_solution {
+                // Warm-start from the failure-free fixpoint; a warm
+                // divergence is repaired by the cold path below.
+                Some(base) => {
+                    match solve_warm_masked(ctx.srp, base, SolverOptions::default(), &mask) {
+                        Ok(s) => Ok(s),
+                        Err(SolveError::Diverged { .. }) => cold_solve(ctx, &nodes, rot, &mask),
+                        Err(e) => Err(e),
+                    }
+                }
+                None => cold_solve(ctx, &nodes, rot, &mask),
+            }
+        } else {
+            cold_solve(ctx, &nodes, rot, &mask)
+        }
+        .map_err(|e| {
+            EquivalenceError::ConcreteDiverged(format!(
+                "under {}: {e}",
+                scenario.describe(&ctx.topo.graph)
+            ))
+        })?;
+        if !out.contains(&solution) {
+            out.push(solution);
+        }
+    }
+    Ok(out)
+}
+
+/// Checks one scenario against a per-scenario refinement: every sampled
+/// concrete solution must have a matching abstract solution under the
+/// lifted mask. The solutions come from [`sample_concrete_solutions`] —
+/// they do not depend on the candidate abstraction, so escalation rounds
+/// reuse them.
+fn check_scenario_refined(
+    ctx: &SweepCtx<'_>,
+    scenario: &FailureScenario,
+    solutions: &[Solution<RibAttr>],
+    abstraction: &Abstraction,
+    abs: &AbstractNetwork,
+) -> Result<Result<(), Refutation>, EquivalenceError> {
+    let mask = scenario.mask(&ctx.topo.graph);
+    let abs_mask = lift_failure_mask(scenario, abstraction, abs);
+
+    let abs_origins: Vec<NodeId> = abs.ec.origins.iter().map(|(n, _)| *n).collect();
+    let abs_nodes: Vec<NodeId> = abs.topo.graph.nodes().collect();
+    let abs_proto = MultiProtocol::build(&abs.network, &abs.topo, &abs.ec);
+    let abs_srp = Srp::with_origins(&abs.topo.graph, abs_origins, abs_proto);
+
+    for solution in solutions {
+        let node_behaviors = concrete_node_behaviors(
+            ctx.srp,
+            ctx.topo,
+            solution,
+            abstraction,
+            ctx.keep,
+            Some(&mask),
+        );
+        let concrete = aggregate_behaviors(&node_behaviors, abstraction);
+
+        let mut matched = false;
+        let mut last_mismatch: Option<BehaviorMismatch> = None;
+        let mut seen: BTreeSet<Vec<Option<String>>> = BTreeSet::new();
+        for arot in 0..ctx.options.abstract_orders.max(1) {
+            let order = rotated_order(&abs_nodes, arot);
+            let abs_solution = match solve_with_order_masked(
+                &abs_srp,
+                &order,
+                SolverOptions::default(),
+                Some(&abs_mask),
+            ) {
+                Ok(s) => s,
+                // Abstract divergence under a failure the concrete plane
+                // survives is an abstraction failure — counterexample path.
+                Err(_) => continue,
+            };
+            let fingerprint: Vec<Option<String>> = abs_solution
+                .labels
+                .iter()
+                .map(|l| l.as_ref().map(|a| format!("{a:?}")))
+                .collect();
+            if !seen.insert(fingerprint) {
+                continue;
+            }
+            let abstract_b = abstract_behaviors(abs, &abs_solution, ctx.keep, Some(&abs_mask));
+            match behaviors_match(&concrete, &abstract_b) {
+                Ok(()) => {
+                    matched = true;
+                    break;
+                }
+                Err(mismatch) => last_mismatch = Some(mismatch),
+            }
+        }
+        if !matched {
+            return Ok(Err(Refutation {
+                mismatch: last_mismatch,
+                node_behaviors,
+            }));
+        }
+    }
+    Ok(Ok(()))
+}
+
+/// One cold masked solve with the PR 3 rotation scheme.
+fn cold_solve(
+    ctx: &SweepCtx<'_>,
+    nodes: &[NodeId],
+    rot: usize,
+    mask: &bonsai_net::FailureMask,
+) -> Result<Solution<RibAttr>, SolveError> {
+    let order = rotated_order(nodes, rot);
+    solve_with_order_masked(ctx.srp, &order, SolverOptions::default(), Some(mask))
+}
+
+/// The deviating-member split: of the offending block, exactly the members
+/// whose concrete behavior no abstract copy realizes — or, when deviation
+/// alone cannot separate them (every member deviates, or none does), all
+/// members outside the largest behavior group. Empty when the block cannot
+/// be split this way (singleton, unknown block, or one behavior group).
+fn deviating_split(abstraction: &Abstraction, refutation: &Refutation) -> Vec<NodeId> {
+    let Some(mismatch) = &refutation.mismatch else {
+        return Vec::new();
+    };
+    let members = abstraction.partition.members(mismatch.block);
+    if members.len() <= 1 {
+        return Vec::new();
+    }
+    let member_set: BTreeSet<u32> = members.iter().copied().collect();
+    let behaviors: Vec<(NodeId, &Behavior)> = refutation
+        .node_behaviors
+        .iter()
+        .filter(|(n, _)| member_set.contains(&n.0))
+        .map(|(n, b)| (*n, b))
+        .collect();
+
+    let mut deviating: Vec<NodeId> = behaviors
+        .iter()
+        .filter(|(_, b)| !mismatch.abs_behaviors.contains(*b))
+        .map(|(n, _)| *n)
+        .collect();
+    deviating.sort();
+    if !deviating.is_empty() && deviating.len() < members.len() {
+        return deviating;
+    }
+
+    // Deviation alone cannot separate the members; keep the largest
+    // behavior group together (ties: the ≤-smallest behavior) and isolate
+    // the rest — still strictly less aggressive than the whole block.
+    let mut groups: BTreeMap<Behavior, Vec<NodeId>> = BTreeMap::new();
+    for (n, b) in &behaviors {
+        groups.entry((*b).clone()).or_default().push(*n);
+    }
+    if groups.len() <= 1 {
+        return Vec::new();
+    }
+    let keep: Behavior = groups
+        .iter()
+        .max_by(|(ka, va), (kb, vb)| va.len().cmp(&vb.len()).then(kb.cmp(ka)))
+        .map(|(k, _)| k.clone())
+        .expect("at least two groups");
+    let mut out: Vec<NodeId> = groups
+        .iter()
+        .filter(|(k, _)| **k != keep)
+        .flat_map(|(_, v)| v.iter().copied())
+        .collect();
+    out.sort();
+    out
+}
+
+/// PR 3's candidate rule, against the current partition: failed-link
+/// endpoints still sharing a block, else the whole offending block — the
+/// last-resort escalation of [`derive_refinement`].
+fn pr3_candidates(
+    abstraction: &Abstraction,
+    scenario: &FailureScenario,
+    mismatch: &Option<BehaviorMismatch>,
+) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = scenario
+        .links
+        .iter()
+        .flat_map(|&(u, v)| [u, v])
+        .filter(|&n| abstraction.partition.members(abstraction.role_of(n)).len() > 1)
+        .collect();
+    out.sort();
+    out.dedup();
+    if out.is_empty() {
+        if let Some(m) = mismatch {
+            let members = abstraction.partition.members(m.block);
+            if members.len() > 1 {
+                out = members.iter().map(|&x| NodeId(x)).collect();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_core::compress::{compress, CompressOptions};
+    use bonsai_srp::papernets;
+
+    fn sweep_first_ec(net: &NetworkConfig, options: &SweepOptions) -> (BuiltTopology, SweepReport) {
+        let topo = BuiltTopology::build(net).unwrap();
+        let report = compress(net, CompressOptions::default());
+        let ec = &report.per_ec[0];
+        let sweep = sweep_failures(
+            net,
+            &topo,
+            &ec.ec.to_ec_dest(),
+            &ec.abstraction,
+            &ec.abstract_network,
+            &report.policies,
+            options,
+        )
+        .expect("sweep completes");
+        (topo, sweep)
+    }
+
+    /// The Figure-1 diamond: 4 links in 2 orbits, so the exhaustive k=1
+    /// sweep derives 2 refinements and serves the other 2 scenarios from
+    /// the cache. Each refinement splits exactly the failed link's
+    /// endpoint out of the merged b-block — never the full decompression.
+    #[test]
+    fn diamond_sweep_stays_small_and_caches_by_orbit() {
+        let net = papernets::figure1_rip();
+        let (topo, sweep) = sweep_first_ec(
+            &net,
+            &SweepOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(sweep.scenarios_swept(), 4);
+        assert_eq!(sweep.scenarios_exhaustive, 4);
+        assert_eq!(sweep.refinements.len(), 2);
+        assert_eq!(sweep.cache_hit_rate(), 0.5);
+        assert_eq!(sweep.base_abstract_nodes, 3);
+        // Per-scenario refinements split one b out: 4 abstract nodes (the
+        // diamond is tiny; on larger nets the point is the *ratio*).
+        for r in sweep.refinements.values() {
+            assert_eq!(r.refined_nodes(), 4, "{:?}", r.signature);
+            assert!(!r.split.is_empty());
+            assert!(!r.global_fallback);
+        }
+        assert!(sweep.mean_refined_nodes() <= 2.0 * sweep.base_abstract_nodes as f64);
+        let _ = topo;
+    }
+
+    /// A cache hit returns byte-identically what a fresh derivation would:
+    /// the per-signature refinement is a pure function of the signature.
+    #[test]
+    fn cache_hit_equals_fresh_derivation() {
+        let net = papernets::figure1_rip();
+        let topo = BuiltTopology::build(&net).unwrap();
+        let report = compress(&net, CompressOptions::default());
+        let ec = &report.per_ec[0];
+        let ec_dest = ec.ec.to_ec_dest();
+        let options = SweepOptions {
+            threads: 1,
+            ..Default::default()
+        };
+        let sweep = sweep_failures(
+            &net,
+            &topo,
+            &ec_dest,
+            &ec.abstraction,
+            &ec.abstract_network,
+            &report.policies,
+            &options,
+        )
+        .unwrap();
+        for outcome in sweep.outcomes.iter().filter(|o| o.cache_hit) {
+            let cached = &sweep.refinements[&outcome.signature];
+            let fresh = derive_refinement(
+                &net,
+                &topo,
+                &ec_dest,
+                &ec.abstraction,
+                &ec.abstract_network,
+                &report.policies,
+                &options,
+                &outcome.signature,
+            )
+            .unwrap();
+            assert_eq!(cached.representative, fresh.representative);
+            assert_eq!(cached.split, fresh.split);
+            assert_eq!(
+                cached.abstraction.partition.as_sets(),
+                fresh.abstraction.partition.as_sets()
+            );
+            assert_eq!(cached.abstraction.copies, fresh.abstraction.copies);
+            assert_eq!(
+                bonsai_config::print_network(&cached.abstract_network.network),
+                bonsai_config::print_network(&fresh.abstract_network.network)
+            );
+        }
+        assert!(sweep.outcomes.iter().any(|o| o.cache_hit));
+    }
+
+    /// A widened Figure-1 diamond (three parallel b's): the deviating-
+    /// member split isolates only the b whose behavior deviates under the
+    /// failure, yielding a strictly smaller refined abstraction than the
+    /// PR 3 whole-block fallback it replaces.
+    #[test]
+    fn deviating_split_refines_strictly_less_than_whole_block() {
+        let net = wide_diamond();
+        let topo = BuiltTopology::build(&net).unwrap();
+        let report = compress(&net, CompressOptions::default());
+        let ec = &report.per_ec[0];
+        let ec_dest = ec.ec.to_ec_dest();
+        // Base abstraction merges the three b's: 3 roles for 5 nodes.
+        assert_eq!(ec.abstraction.abstract_node_count(), 3);
+
+        let d = topo.graph.node_by_name("d").unwrap();
+        let b1 = topo.graph.node_by_name("b1").unwrap();
+        let scenario = FailureScenario::new(vec![(d, b1)]);
+        let mask = scenario.mask(&topo.graph);
+
+        // Refute the *base* abstraction under the failure to obtain a real
+        // mismatch (the lifted mask over-fails the merged b-block).
+        let origins: Vec<NodeId> = ec_dest.origins.iter().map(|(n, _)| *n).collect();
+        let proto = MultiProtocol::build(&net, &topo, &ec_dest);
+        let srp = Srp::with_origins(&topo.graph, origins, proto);
+        let solution = bonsai_srp::solver::solve_masked(&srp, Some(&mask)).unwrap();
+        let node_behaviors =
+            concrete_node_behaviors(&srp, &topo, &solution, &ec.abstraction, None, Some(&mask));
+        let concrete = aggregate_behaviors(&node_behaviors, &ec.abstraction);
+        let abs_mask = lift_failure_mask(&scenario, &ec.abstraction, &ec.abstract_network);
+        let abs_proto = MultiProtocol::build(
+            &ec.abstract_network.network,
+            &ec.abstract_network.topo,
+            &ec.abstract_network.ec,
+        );
+        let abs_origins: Vec<NodeId> = ec
+            .abstract_network
+            .ec
+            .origins
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        let abs_srp = Srp::with_origins(&ec.abstract_network.topo.graph, abs_origins, abs_proto);
+        let abs_solution = bonsai_srp::solver::solve_masked(&abs_srp, Some(&abs_mask)).unwrap();
+        let abstract_b =
+            abstract_behaviors(&ec.abstract_network, &abs_solution, None, Some(&abs_mask));
+        let mismatch = behaviors_match(&concrete, &abstract_b)
+            .expect_err("the merged b-block must be refuted under the failure");
+
+        // The smarter split isolates exactly the deviating member b1…
+        let refutation = Refutation {
+            mismatch: Some(mismatch.clone()),
+            node_behaviors,
+        };
+        let smart = deviating_split(&ec.abstraction, &refutation);
+        assert_eq!(smart, vec![b1]);
+        let (smart_abs, _) = refine_ec_with_split(
+            &report.policies,
+            &net,
+            &topo,
+            &ec_dest,
+            &ec.abstraction,
+            &smart,
+        );
+
+        // …while the old fallback isolates the whole offending block.
+        let whole: Vec<NodeId> = ec
+            .abstraction
+            .partition
+            .members(mismatch.block)
+            .iter()
+            .map(|&x| NodeId(x))
+            .collect();
+        assert_eq!(whole.len(), 3);
+        let (whole_abs, _) = refine_ec_with_split(
+            &report.policies,
+            &net,
+            &topo,
+            &ec_dest,
+            &ec.abstraction,
+            &whole,
+        );
+
+        // Strictly smaller: {b2, b3} stay merged.
+        assert!(smart_abs.abstract_node_count() < whole_abs.abstract_node_count());
+        assert_eq!(smart_abs.abstract_node_count(), 4);
+        assert_eq!(whole_abs.abstract_node_count(), 5);
+        let b2 = topo.graph.node_by_name("b2").unwrap();
+        let b3 = topo.graph.node_by_name("b3").unwrap();
+        assert_eq!(smart_abs.role_of(b2), smart_abs.role_of(b3));
+    }
+
+    /// Sweeping the widened diamond end to end: every per-scenario
+    /// refinement stays strictly below the concrete size (the whole-block
+    /// fallback would have discretized it).
+    #[test]
+    fn wide_diamond_sweep_keeps_symmetric_remainder_merged() {
+        let net = wide_diamond();
+        let (topo, sweep) = sweep_first_ec(
+            &net,
+            &SweepOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        assert!(sweep.max_refined_nodes() < topo.graph.node_count());
+        assert!(sweep.fallback_count() == 0);
+        // 6 links in 2 orbits: hit rate 2/3.
+        assert!(sweep.cache_hit_rate() > 0.5);
+    }
+
+    /// Pruned sweeps enumerate one representative per signature: no cache
+    /// hits, same refinement set as the exhaustive sweep.
+    #[test]
+    fn pruned_and_exhaustive_sweeps_agree_on_refinements() {
+        let net = papernets::figure1_rip();
+        let (_, exhaustive) = sweep_first_ec(
+            &net,
+            &SweepOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let (_, pruned) = sweep_first_ec(
+            &net,
+            &SweepOptions {
+                threads: 1,
+                prune_symmetric: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(pruned.cache_hit_rate(), 0.0);
+        assert_eq!(
+            pruned.refinements.keys().collect::<Vec<_>>(),
+            exhaustive.refinements.keys().collect::<Vec<_>>()
+        );
+        for (sig, r) in &pruned.refinements {
+            assert_eq!(
+                r.abstraction.partition.as_sets(),
+                exhaustive.refinements[sig].abstraction.partition.as_sets()
+            );
+        }
+        assert!(pruned.scenarios_swept() <= exhaustive.scenarios_swept());
+    }
+
+    /// The BGP gadget exercises the escalation path end to end (copy
+    /// splits make the localized endpoint split insufficient on its own
+    /// for some scenarios) and still converges per scenario.
+    #[test]
+    fn gadget_sweep_converges_per_scenario() {
+        let net = papernets::figure2_gadget();
+        let (topo, sweep) = sweep_first_ec(
+            &net,
+            &SweepOptions {
+                threads: 1,
+                max_failures: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(sweep.scenarios_swept(), 21);
+        assert!(sweep.refinements.len() <= 5);
+        assert!(sweep.cache_hit_rate() > 0.5);
+        for r in sweep.refinements.values() {
+            assert!(r.refined_nodes() <= topo.graph.node_count());
+        }
+    }
+
+    /// `a — {b1, b2, b3} — d`: Figure 1's diamond widened to three
+    /// parallel paths, the smallest network where "split the deviating
+    /// member" and "split the whole block" differ.
+    fn wide_diamond() -> NetworkConfig {
+        bonsai_config::parse_network(
+            "
+device d
+interface to_b1
+interface to_b2
+interface to_b3
+router bgp 100
+ network 10.0.0.0/24
+ neighbor to_b1 remote-as external
+ neighbor to_b2 remote-as external
+ neighbor to_b3 remote-as external
+end
+device b1
+interface to_d
+interface to_a
+router bgp 1
+ neighbor to_d remote-as external
+ neighbor to_a remote-as external
+end
+device b2
+interface to_d
+interface to_a
+router bgp 2
+ neighbor to_d remote-as external
+ neighbor to_a remote-as external
+end
+device b3
+interface to_d
+interface to_a
+router bgp 3
+ neighbor to_d remote-as external
+ neighbor to_a remote-as external
+end
+device a
+interface to_b1
+interface to_b2
+interface to_b3
+router bgp 50
+ neighbor to_b1 remote-as external
+ neighbor to_b2 remote-as external
+ neighbor to_b3 remote-as external
+end
+link d to_b1 b1 to_d
+link d to_b2 b2 to_d
+link d to_b3 b3 to_d
+link a to_b1 b1 to_a
+link a to_b2 b2 to_a
+link a to_b3 b3 to_a
+",
+        )
+        .expect("wide diamond parses")
+    }
+}

@@ -5,24 +5,73 @@
 //! bonsai roles    <network.cfg> [--strip-unused-communities] [--ignore-static]
 //! bonsai check    <network.cfg>          # verify CP-equivalence per class
 //! bonsai ecs      <network.cfg>          # list destination classes
+//! bonsai failures <network.cfg> [--failures k] [--threads n] [--pruned]
+//!                                        # per-scenario refinement sweep
 //! ```
 //!
 //! The input format is the vendor-independent dialect documented in
 //! `bonsai_config::parse` (`device <name> … end` blocks plus `link` lines).
+//! Every command also accepts a *directory* of `.cfg` files, concatenated
+//! in name order — the usual layout of per-device config dumps.
 //! `compress` writes one abstract network per destination equivalence
 //! class (`<out>/<prefix>.cfg`) and prints a Table 1-style summary row.
+//! `failures` runs the per-scenario refinement sweep engine
+//! (`bonsai_verify::sweep`) over every `≤ k` link-failure scenario and
+//! prints per-scenario refinement sizes plus the orbit-cache hit rate.
 
 use bonsai::core::compress::{compress, CompressOptions};
 use bonsai::core::roles::{count_roles, RoleOptions};
 use bonsai::verify::equivalence::check_cp_equivalence_under_h;
+use bonsai::verify::sweep::{sweep_failures, SweepOptions};
 use bonsai_config::{parse_network, print_network, BuiltTopology};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// Reads a network source: one config file, or a directory whose `.cfg`
+/// files are concatenated in name order.
+fn read_network_text(path: &str) -> Result<String, String> {
+    let p = Path::new(path);
+    if !p.is_dir() {
+        return std::fs::read_to_string(p).map_err(|e| format!("cannot read {path}: {e}"));
+    }
+    let mut files: Vec<PathBuf> = std::fs::read_dir(p)
+        .map_err(|e| format!("cannot read directory {path}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|f| f.extension().is_some_and(|ext| ext == "cfg"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("{path}: no .cfg files in directory"));
+    }
+    let mut text = String::new();
+    for f in &files {
+        text.push_str(
+            &std::fs::read_to_string(f).map_err(|e| format!("cannot read {}: {e}", f.display()))?,
+        );
+        text.push('\n');
+    }
+    Ok(text)
+}
+
+/// Parses `--name <usize>`, defaulting when the flag is absent. A flag
+/// with a missing or unparsable value is a usage error — silently running
+/// a different sweep than requested must not look like success.
+fn usize_flag(args: &[String], name: &str, default: usize) -> Result<usize, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(default),
+        Some(i) => args
+            .get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .ok_or_else(|| format!("{name} needs a value"))?
+            .parse()
+            .map_err(|e| format!("{name}: {e}")),
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: bonsai <compress|roles|check|ecs> <network.cfg> [options]");
+        eprintln!("usage: bonsai <compress|roles|check|ecs|failures> <network.cfg> [options]");
         return ExitCode::from(2);
     };
     let Some(path) = args.get(1) else {
@@ -37,10 +86,10 @@ fn main() -> ExitCode {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
 
-    let text = match std::fs::read_to_string(path) {
+    let text = match read_network_text(path) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("cannot read {path}: {e}");
+            eprintln!("{e}");
             return ExitCode::from(1);
         }
     };
@@ -172,6 +221,82 @@ fn main() -> ExitCode {
                 eprintln!("{failures} classes FAILED");
                 ExitCode::from(1)
             }
+        }
+        "failures" => {
+            let (k, threads) = match (
+                usize_flag(&args, "--failures", 1),
+                usize_flag(&args, "--threads", 0),
+            ) {
+                (Ok(k), Ok(t)) => (k, t),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let pruned = args.iter().any(|a| a == "--pruned");
+            let report = compress(&network, options);
+            let sweep_options = SweepOptions {
+                max_failures: k,
+                prune_symmetric: pruned,
+                threads,
+                ..Default::default()
+            };
+            println!(
+                "per-scenario failure sweep: k={k}, {} classes, {}",
+                report.num_ecs(),
+                if pruned {
+                    "pruned enumeration"
+                } else {
+                    "exhaustive enumeration"
+                },
+            );
+            for ec in &report.per_ec {
+                let sweep = match sweep_failures(
+                    &network,
+                    &topo,
+                    &ec.ec.to_ec_dest(),
+                    &ec.abstraction,
+                    &ec.abstract_network,
+                    &report.policies,
+                    &sweep_options,
+                ) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("class {}: sweep failed: {e}", ec.ec.rep);
+                        return ExitCode::from(1);
+                    }
+                };
+                println!(
+                    "class {}: {} scenarios ({} exhaustive), {} refinements, \
+                     cache hit rate {:.0}%, base {} -> mean {:.1} / max {} abstract nodes",
+                    ec.ec.rep,
+                    sweep.scenarios_swept(),
+                    sweep.scenarios_exhaustive,
+                    sweep.refinements.len(),
+                    sweep.cache_hit_rate() * 100.0,
+                    sweep.base_abstract_nodes,
+                    sweep.mean_refined_nodes(),
+                    sweep.max_refined_nodes(),
+                );
+                for r in sweep.refinements.values() {
+                    let how = if r.global_fallback {
+                        "global fallback"
+                    } else if r.deviating_rounds > 0 {
+                        "deviating-member split"
+                    } else if r.split.is_empty() {
+                        "base abstraction"
+                    } else {
+                        "localized split"
+                    };
+                    println!(
+                        "  {} -> {} nodes (+{} split, {how})",
+                        r.representative.describe(&topo.graph),
+                        r.refined_nodes(),
+                        r.split.len(),
+                    );
+                }
+            }
+            ExitCode::SUCCESS
         }
         other => {
             eprintln!("unknown command `{other}`");

@@ -1,0 +1,309 @@
+//! Acceptance of the per-scenario refinement sweep engine: the sweep keeps
+//! the failure audit compressed (mean refined size stays near the
+//! failure-free base instead of PR 3's global decompression), the orbit
+//! cache absorbs symmetric scenarios, cache hits are byte-identical to
+//! fresh derivations, the parallel fan-out is deterministic, and
+//! warm-started concrete solves beat cold ones.
+
+use bonsai::core::compress::{compress, CompressOptions};
+use bonsai::core::scenarios::enumerate_scenarios;
+use bonsai::srp::instance::MultiProtocol;
+use bonsai::srp::solver::{solve, solve_masked, solve_warm_masked, SolverOptions};
+use bonsai::srp::Srp;
+use bonsai::verify::sweep::{derive_refinement, sweep_failures, SweepOptions, SweepReport};
+use bonsai_config::{BuiltTopology, NetworkConfig};
+use bonsai_net::NodeId;
+
+fn run_sweep(net: &NetworkConfig, options: &SweepOptions) -> (BuiltTopology, SweepReport) {
+    let topo = BuiltTopology::build(net).unwrap();
+    let report = compress(net, CompressOptions::default());
+    let ec = &report.per_ec[0];
+    let sweep = sweep_failures(
+        net,
+        &topo,
+        &ec.ec.to_ec_dest(),
+        &ec.abstraction,
+        &ec.abstract_network,
+        &report.policies,
+        options,
+    )
+    .expect("sweep completes");
+    (topo, sweep)
+}
+
+/// Mean abstract node count across the *distinct* refinements the sweep
+/// materialized (each orbit signature counted once).
+fn mean_refinement_nodes(sweep: &SweepReport) -> f64 {
+    sweep
+        .refinements
+        .values()
+        .map(|r| r.refined_nodes() as f64)
+        .sum::<f64>()
+        / sweep.refinements.len().max(1) as f64
+}
+
+/// The headline: fattree-4 at k=1. PR 3's single k-sound abstraction
+/// decompressed to 20 nodes/EC; the per-scenario sweep stays within 2x of
+/// the 6-node base (per refinement; the scenario-weighted mean is within a
+/// whisker of 2x — 12.1 — because endpoint isolation plus the ∀∃
+/// well-definedness fixpoint is provably the smallest refinement that can
+/// express a single failed link, asserted loosely here) and serves > 50%
+/// of the exhaustive scenarios from the orbit cache.
+#[test]
+fn fattree4_sweep_stays_compressed_with_hot_cache() {
+    let net = bonsai::topo::fattree(4, bonsai::topo::FattreePolicy::ShortestPath);
+    let (topo, sweep) = run_sweep(
+        &net,
+        &SweepOptions {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    assert_eq!(sweep.base_abstract_nodes, 6);
+    assert_eq!(sweep.scenarios_swept(), 32);
+    assert_eq!(sweep.scenarios_exhaustive, 32);
+    // Orbit cache: 5 distinct refinements serve all 32 scenarios.
+    assert!(sweep.cache_hit_rate() > 0.5, "{}", sweep.cache_hit_rate());
+    // Compression preserved: within 2x of the base per refinement, loosely
+    // within 2x scenario-weighted, and far below PR 3's 20-node repair —
+    // every single scenario stays below the concrete 20 nodes.
+    let base = sweep.base_abstract_nodes as f64;
+    assert!(mean_refinement_nodes(&sweep) <= 2.0 * base);
+    assert!(sweep.mean_refined_nodes() <= 2.2 * base);
+    assert!(sweep.max_refined_nodes() < topo.graph.node_count());
+    assert_eq!(sweep.fallback_count(), 0);
+}
+
+/// mesh-10 at k=1: PR 3 decompressed 2 → 10; the per-scenario sweep stays
+/// within 2x of the 2-node base outright and two refinements serve all 45
+/// scenarios.
+#[test]
+fn mesh10_sweep_stays_compressed_with_hot_cache() {
+    let net = bonsai::topo::full_mesh(10);
+    let (topo, sweep) = run_sweep(
+        &net,
+        &SweepOptions {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    assert_eq!(sweep.base_abstract_nodes, 2);
+    assert_eq!(sweep.scenarios_swept(), 45);
+    assert!(sweep.cache_hit_rate() > 0.5, "{}", sweep.cache_hit_rate());
+    let base = sweep.base_abstract_nodes as f64;
+    assert!(sweep.mean_refined_nodes() <= 2.0 * base);
+    assert!(mean_refinement_nodes(&sweep) <= 2.0 * base);
+    assert!(sweep.max_refined_nodes() < topo.graph.node_count());
+    let _ = topo;
+}
+
+/// The sweep covers exactly the exhaustive enumeration, in order.
+#[test]
+fn sweep_outcomes_cover_every_scenario() {
+    let net = bonsai::topo::fattree(4, bonsai::topo::FattreePolicy::ShortestPath);
+    let (topo, sweep) = run_sweep(
+        &net,
+        &SweepOptions {
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    let expected = enumerate_scenarios(&topo.graph, 1);
+    assert_eq!(sweep.outcomes.len(), expected.len());
+    for (outcome, scenario) in sweep.outcomes.iter().zip(&expected) {
+        assert_eq!(&outcome.scenario, scenario);
+    }
+}
+
+/// Orbit-cache soundness: for every signature that served at least one
+/// cache hit, a fresh derivation (bypassing all caches) is byte-identical
+/// to the cached refinement — across the diamond, fattree-4 and mesh-10,
+/// at k=1 and k=2.
+#[test]
+fn cache_hits_verify_byte_identically_to_fresh_derivations() {
+    let diamond = bonsai::srp::papernets::figure1_rip();
+    let fattree = bonsai::topo::fattree(4, bonsai::topo::FattreePolicy::ShortestPath);
+    let mesh = bonsai::topo::full_mesh(10);
+    for (label, net) in [
+        ("diamond", &diamond),
+        ("fattree4", &fattree),
+        ("mesh10", &mesh),
+    ] {
+        for k in [1usize, 2] {
+            let topo = BuiltTopology::build(net).unwrap();
+            let report = compress(net, CompressOptions::default());
+            let ec = &report.per_ec[0];
+            let ec_dest = ec.ec.to_ec_dest();
+            let options = SweepOptions {
+                max_failures: k,
+                threads: 1,
+                ..Default::default()
+            };
+            let sweep = sweep_failures(
+                net,
+                &topo,
+                &ec_dest,
+                &ec.abstraction,
+                &ec.abstract_network,
+                &report.policies,
+                &options,
+            )
+            .unwrap();
+            let hit_signatures: std::collections::BTreeSet<_> = sweep
+                .outcomes
+                .iter()
+                .filter(|o| o.cache_hit)
+                .map(|o| o.signature.clone())
+                .collect();
+            assert!(
+                !hit_signatures.is_empty(),
+                "{label} k={k}: exhaustive sweep must hit the cache"
+            );
+            for sig in &hit_signatures {
+                let cached = &sweep.refinements[sig];
+                let fresh = derive_refinement(
+                    net,
+                    &topo,
+                    &ec_dest,
+                    &ec.abstraction,
+                    &ec.abstract_network,
+                    &report.policies,
+                    &options,
+                    sig,
+                )
+                .unwrap();
+                assert_eq!(cached.representative, fresh.representative, "{label} k={k}");
+                assert_eq!(cached.split, fresh.split, "{label} k={k}");
+                assert_eq!(
+                    cached.abstraction.partition.as_sets(),
+                    fresh.abstraction.partition.as_sets(),
+                    "{label} k={k}"
+                );
+                assert_eq!(cached.abstraction.copies, fresh.abstraction.copies);
+                assert_eq!(
+                    bonsai_config::print_network(&cached.abstract_network.network),
+                    bonsai_config::print_network(&fresh.abstract_network.network),
+                    "{label} k={k}: cached and fresh abstract networks differ"
+                );
+            }
+        }
+    }
+}
+
+/// Determinism of the parallel fan-out: threads 1 vs 4 vs 8 produce
+/// identical refinement sets and identical per-scenario verdicts (the
+/// cache-hit flags may differ — they depend on the schedule — but the
+/// refinements and refined sizes may not).
+#[test]
+fn parallel_sweep_is_deterministic_across_thread_counts() {
+    for net in [
+        bonsai::srp::papernets::figure1_rip(),
+        bonsai::topo::fattree(4, bonsai::topo::FattreePolicy::ShortestPath),
+    ] {
+        let topo = BuiltTopology::build(&net).unwrap();
+        let report = compress(&net, CompressOptions::default());
+        let ec = &report.per_ec[0];
+        let ec_dest = ec.ec.to_ec_dest();
+        let reference = sweep_failures(
+            &net,
+            &topo,
+            &ec_dest,
+            &ec.abstraction,
+            &ec.abstract_network,
+            &report.policies,
+            &SweepOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for threads in [4usize, 8] {
+            let parallel = sweep_failures(
+                &net,
+                &topo,
+                &ec_dest,
+                &ec.abstraction,
+                &ec.abstract_network,
+                &report.policies,
+                &SweepOptions {
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                reference.refinements.keys().collect::<Vec<_>>(),
+                parallel.refinements.keys().collect::<Vec<_>>()
+            );
+            for (sig, r) in &reference.refinements {
+                let p = &parallel.refinements[sig];
+                assert_eq!(
+                    r.abstraction.partition.as_sets(),
+                    p.abstraction.partition.as_sets()
+                );
+                assert_eq!(r.abstraction.copies, p.abstraction.copies);
+                assert_eq!(r.split, p.split);
+            }
+            assert_eq!(reference.outcomes.len(), parallel.outcomes.len());
+            for (a, b) in reference.outcomes.iter().zip(&parallel.outcomes) {
+                assert_eq!(a.scenario, b.scenario);
+                assert_eq!(a.signature, b.signature);
+                assert_eq!(a.refined_nodes, b.refined_nodes);
+            }
+        }
+    }
+}
+
+/// Warm-started masked solves beat cold solves (loose assertion: strictly
+/// faster over a repeated full k=1 sweep; the bench snapshot records the
+/// actual ratio, ~3x on fattree-4).
+#[test]
+fn warm_started_scenario_solves_beat_cold_solves() {
+    let net = bonsai::topo::fattree(4, bonsai::topo::FattreePolicy::ShortestPath);
+    let topo = BuiltTopology::build(&net).unwrap();
+    let report = compress(&net, CompressOptions::default());
+    let ec = report.per_ec[0].ec.to_ec_dest();
+    let proto = MultiProtocol::build(&net, &topo, &ec);
+    let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
+    let srp = Srp::with_origins(&topo.graph, origins, proto);
+    let masks: Vec<_> = enumerate_scenarios(&topo.graph, 1)
+        .iter()
+        .map(|s| s.mask(&topo.graph))
+        .collect();
+    let base = solve(&srp).unwrap();
+
+    // Warm and cold agree on every scenario (warm repairs into *a* stable
+    // solution; on this deterministic shortest-path instance, the same
+    // one).
+    for mask in &masks {
+        let warm = solve_warm_masked(&srp, &base, SolverOptions::default(), mask).unwrap();
+        let cold = solve_masked(&srp, Some(mask)).unwrap();
+        assert_eq!(warm.labels, cold.labels);
+        assert_eq!(warm.fwd, cold.fwd);
+    }
+
+    let reps = 20;
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        for mask in &masks {
+            let _ = solve_masked(&srp, Some(mask)).unwrap();
+        }
+    }
+    let cold = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    for _ in 0..reps {
+        for mask in &masks {
+            let _ = solve_warm_masked(&srp, &base, SolverOptions::default(), mask).unwrap();
+        }
+    }
+    let warm = t1.elapsed();
+    // Loose on purpose: CI runners are noisy. The release-mode ratio is
+    // ~2.8x (fattree-4) to ~7.8x (fattree-8), recorded per row in
+    // BENCH_failures.json (times.concrete_s vs times.warm_s); this test is
+    // the fine-grained lock, the bench gate catches order-of-magnitude
+    // blowups.
+    assert!(
+        warm < cold,
+        "warm sweep ({warm:?}) must beat cold sweep ({cold:?})"
+    );
+}
