@@ -18,9 +18,12 @@
 //! solving every scenario cold on the concrete network, the same sweep
 //! **warm-started** from the failure-free fixpoint, the one-off PR 3
 //! audit-and-refine, solving every scenario on the audit's refined
-//! abstract network, and the full per-scenario **sweep engine** run
-//! (always exhaustive — the orbit cache absorbs the symmetry), together
-//! with the sweep's cache hit rate and refined sizes.
+//! abstract network, the per-scenario **sweep engine** run over the
+//! audited classes (always exhaustive — the orbit cache absorbs the
+//! symmetry), and the **network-level sweep** over *every* class with
+//! cross-EC refinement sharing — together with the sweep's cache hit
+//! rate, refined sizes, and the cross-EC sharing statistics (classes
+//! covered, derivations vs. the unshared count, sharing ratio).
 
 use bonsai_bench::{failures_snapshot_json, secs};
 use bonsai_config::{BuiltTopology, NetworkConfig};
@@ -37,6 +40,7 @@ use bonsai_topo::{fattree, full_mesh, FattreePolicy};
 use bonsai_verify::failures::{
     check_cp_equivalence_under_failures, lift_failure_mask, FailureAuditOptions,
 };
+use bonsai_verify::netsweep::{sweep_network, NetworkSweepOptions};
 use bonsai_verify::sweep::{sweep_failures, SweepOptions};
 use std::time::{Duration, Instant};
 
@@ -62,12 +66,20 @@ struct Row {
     sweep_mean_refined: f64,
     sweep_max_refined: usize,
     sweep_fallbacks: usize,
+    netsweep: Duration,
+    netsweep_ecs: usize,
+    netsweep_derivations: usize,
+    netsweep_unshared: usize,
+    netsweep_sharing_ratio: f64,
+    netsweep_exact: usize,
+    netsweep_symmetric: usize,
+    netsweep_fingerprints: usize,
 }
 
 impl Row {
     fn render(&self) -> String {
         format!(
-            "{:<10} {:>2} {:>6} {:>7}/{:<7} {:>4} {:>6} -> {:<6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>5.0}% {:>6.1}",
+            "{:<10} {:>2} {:>6} {:>7}/{:<7} {:>4} {:>6} -> {:<6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>5.0}% {:>5.0}% {:>6.1}",
             self.label,
             self.k,
             self.links,
@@ -81,14 +93,16 @@ impl Row {
             secs(self.audit),
             secs(self.abstract_),
             secs(self.sweep),
+            secs(self.netsweep),
             self.sweep_hit_rate * 100.0,
+            self.netsweep_sharing_ratio * 100.0,
             self.sweep_mean_refined,
         )
     }
 
     fn header() -> String {
         format!(
-            "{:<10} {:>2} {:>6} {:>7}/{:<7} {:>4} {:>6}    {:<6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6}",
+            "{:<10} {:>2} {:>6} {:>7}/{:<7} {:>4} {:>6}    {:<6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6}",
             "Topology",
             "k",
             "Links",
@@ -102,7 +116,9 @@ impl Row {
             "Audit(s)",
             "Abst'(s)",
             "Sweep(s)",
+            "Net(s)",
             "Hit",
+            "Share",
             "Mean"
         )
     }
@@ -114,10 +130,13 @@ impl Row {
                 "\"scenarios\":{},\"scenarios_exhaustive\":{},\"counterexamples\":{},",
                 "\"abs_nodes_before\":{},\"abs_nodes_after\":{},",
                 "\"times\":{{\"concrete_s\":{:.6},\"warm_s\":{:.6},\"audit_s\":{:.6},",
-                "\"abstract_s\":{:.6},\"sweep_s\":{:.6}}},",
+                "\"abstract_s\":{:.6},\"sweep_s\":{:.6},\"netsweep_s\":{:.6}}},",
                 "\"sweep\":{{\"scenarios\":{},\"refinements\":{},\"cache_hit_rate\":{:.6},",
                 "\"base_abs_nodes_mean\":{:.6},\"mean_refined_nodes\":{:.6},\"max_refined_nodes\":{},",
-                "\"global_fallbacks\":{}}}}}"
+                "\"global_fallbacks\":{}}},",
+                "\"cross_ec\":{{\"ecs_covered\":{},\"derivations\":{},\"unshared_derivations\":{},",
+                "\"sharing_ratio\":{:.6},\"exact_transfers\":{},\"symmetric_transfers\":{},",
+                "\"distinct_fingerprints\":{}}}}}"
             ),
             self.label,
             self.k,
@@ -133,6 +152,7 @@ impl Row {
             self.audit.as_secs_f64(),
             self.abstract_.as_secs_f64(),
             self.sweep.as_secs_f64(),
+            self.netsweep.as_secs_f64(),
             self.sweep_scenarios,
             self.sweep_refinements,
             self.sweep_hit_rate,
@@ -140,6 +160,13 @@ impl Row {
             self.sweep_mean_refined,
             self.sweep_max_refined,
             self.sweep_fallbacks,
+            self.netsweep_ecs,
+            self.netsweep_derivations,
+            self.netsweep_unshared,
+            self.netsweep_sharing_ratio,
+            self.netsweep_exact,
+            self.netsweep_symmetric,
+            self.netsweep_fingerprints,
         )
     }
 }
@@ -281,6 +308,28 @@ fn run_network(label: &str, net: &NetworkConfig, k: usize, max_ecs: usize, prune
         sweep_fallbacks += sweep.fallback_count();
     }
 
+    // The network-level column: one orchestrated sweep over **every**
+    // class (not just the audited subset) with cross-EC sharing — the
+    // "verify any property under ≤ k failures, for all destinations"
+    // workload. Single-threaded like the other columns.
+    let t3 = Instant::now();
+    let netsweep = sweep_network(
+        net,
+        &topo,
+        &report,
+        &NetworkSweepOptions {
+            sweep: SweepOptions {
+                max_failures: k,
+                prune_symmetric: false,
+                threads: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("network sweep completes");
+    let netsweep_time = t3.elapsed();
+
     Row {
         label: label.to_string(),
         k,
@@ -315,6 +364,14 @@ fn run_network(label: &str, net: &NetworkConfig, k: usize, max_ecs: usize, prune
         },
         sweep_max_refined,
         sweep_fallbacks,
+        netsweep: netsweep_time,
+        netsweep_ecs: netsweep.per_ec.len(),
+        netsweep_derivations: netsweep.derivations,
+        netsweep_unshared: netsweep.unshared_derivations(),
+        netsweep_sharing_ratio: netsweep.sharing_ratio(),
+        netsweep_exact: netsweep.exact_transfers,
+        netsweep_symmetric: netsweep.symmetric_transfers,
+        netsweep_fingerprints: netsweep.distinct_fingerprints,
     }
 }
 

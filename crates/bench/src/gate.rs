@@ -43,12 +43,26 @@ pub const STAGES: [&str; 5] = [
 /// PR 3 audit, refined-abstract sweep, per-scenario sweep engine).
 pub const FAILURE_STAGES: [&str; 5] = ["concrete_s", "warm_s", "audit_s", "abstract_s", "sweep_s"];
 
+/// Schema v3 adds the network-level sweep column (`netsweep_s`: the
+/// whole-network orchestrated sweep with cross-EC sharing).
+pub const FAILURE_STAGES_V3: [&str; 6] = [
+    "concrete_s",
+    "warm_s",
+    "audit_s",
+    "abstract_s",
+    "sweep_s",
+    "netsweep_s",
+];
+
 /// The stage list the gate compares for a snapshot schema, or `None` for
-/// schemas it does not know how to gate.
+/// schemas it does not know how to gate. Older failure schemas stay
+/// recognized so a stale baseline fails with a schema-mismatch error
+/// rather than an "unexpected schema" one.
 pub fn stages_for_schema(schema: &str) -> Option<&'static [&'static str]> {
     match schema {
         "bonsai-bench/compress-v1" => Some(&STAGES),
         "bonsai-bench/failures-v2" => Some(&FAILURE_STAGES),
+        "bonsai-bench/failures-v3" => Some(&FAILURE_STAGES_V3),
         _ => None,
     }
 }
@@ -337,6 +351,39 @@ mod tests {
         // The failure stages include the sweep columns.
         assert!(r.comparisons.iter().any(|c| c.stage == "sweep_s"));
         assert!(r.comparisons.iter().any(|c| c.stage == "warm_s"));
+    }
+
+    fn failures_v3_snap(rows: &[(&str, usize, f64)]) -> Json {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|(label, k, t)| {
+                format!(
+                    "{{\"label\":\"{label}\",\"k\":{k},\"times\":{{\"concrete_s\":{t},\
+                     \"warm_s\":{t},\"audit_s\":{t},\"abstract_s\":{t},\"sweep_s\":{t},\
+                     \"netsweep_s\":{t}}}}}"
+                )
+            })
+            .collect();
+        Json::parse(&format!(
+            "{{\"schema\":\"bonsai-bench/failures-v3\",\"rows\":[{}]}}",
+            body.join(",")
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn failures_v3_gates_the_network_sweep_stage() {
+        let base = failures_v3_snap(&[("Fattree4", 1, 0.1)]);
+        let same = compare_snapshots(&base, &base, 1.5, 0.025);
+        assert!(same.passed(), "{same:?}");
+        assert_eq!(same.comparisons.len(), FAILURE_STAGES_V3.len());
+        assert!(same.comparisons.iter().any(|c| c.stage == "netsweep_s"));
+        // A v3 candidate against a v2 baseline is a schema mismatch, not
+        // a silent pass.
+        let v2 = failures_snap(&[("Fattree4", 1, 0.1)]);
+        let r = compare_snapshots(&v2, &base, 1.5, 0.025);
+        assert!(!r.passed());
+        assert!(r.errors.iter().any(|e| e.contains("does not match")));
     }
 
     #[test]

@@ -259,13 +259,16 @@ pub fn compress_snapshot_json(rows: &[String]) -> String {
 
 /// Assembles the `BENCH_failures.json` document from failure-study rows
 /// (see the `failures` binary), with the same provenance metadata.
-/// Schema v2 adds the sweep-engine stages (`warm_s`, `sweep_s` in `times`,
-/// plus the per-row `sweep` statistics object) so the perf gate can cover
-/// the per-scenario sweep.
+/// Schema v2 added the sweep-engine stages (`warm_s`, `sweep_s` in
+/// `times`, plus the per-row `sweep` statistics object); v3 adds the
+/// network-level sweep (`netsweep_s` in `times` plus the `cross_ec`
+/// object: classes covered, derivations vs. the unshared count, sharing
+/// ratio, transfer kinds) so the perf gate also locks in the cross-EC
+/// sharing speedup.
 pub fn failures_snapshot_json(rows: &[String]) -> String {
     let indented: Vec<String> = rows.iter().map(|json| format!("    {json}")).collect();
     format!(
-        "{{\n  \"schema\": \"bonsai-bench/failures-v2\",\n{}\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"bonsai-bench/failures-v3\",\n{}\n  \"rows\": [\n{}\n  ]\n}}\n",
         snapshot_meta(),
         indented.join(",\n")
     )

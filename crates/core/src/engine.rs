@@ -214,6 +214,30 @@ struct TableKey {
     edge_outcomes: Vec<u8>,
 }
 
+/// The canonical per-EC **policy fingerprint**: an interned identity for
+/// the exact destination-dependent residue of a class (`TableKey` — the
+/// same value the whole-table cache keys by). Two classes carry equal
+/// fingerprints **iff** every prefix list, route map, ACL and static route
+/// of the network resolves identically for both, i.e. iff they provably
+/// compile to the identical signature table.
+///
+/// This is the cross-EC sharing handle of the network-level failure sweep:
+/// refinements derived for one class transfer to another only when the
+/// fingerprints agree (plus the quotient-structure checks layered on top in
+/// `bonsai_core::scenarios`). Fingerprints are interned per engine — the
+/// numeric value is only meaningful within one engine's lifetime, and only
+/// equality is — so they are `Copy` and hash-cheap without any
+/// hash-collision soundness risk (the intern table compares full keys).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EcFingerprint(u32);
+
+impl EcFingerprint {
+    /// The interned id (diagnostics/serialization; engine-scoped).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
 /// Packed per-edge destination-dependent outcomes: bit 0 static route,
 /// bits 1-2 egress ACL (0 none, 1 deny, 2 permit), bits 3-4 ingress ACL.
 pub(crate) fn pack_edge_outcome(
@@ -239,6 +263,15 @@ pub(crate) fn unpack_edge_outcome(b: u8) -> (bool, Option<bool>, Option<bool>) {
     (b & 1 == 1, dec((b >> 1) & 3), dec((b >> 3) & 3))
 }
 
+/// One interned policy residue: the class's fingerprint plus, once some
+/// class actually built it, the shared signature table. One entry per
+/// distinct [`TableKey`] — fingerprint interning and the whole-table
+/// cache share the key storage.
+struct TableEntry {
+    fingerprint: EcFingerprint,
+    table: Option<Arc<SigTable>>,
+}
+
 /// Mutable engine state, guarded by the engine's mutex.
 struct EngineInner {
     /// The compilation kernel: community variables + the shared arena.
@@ -248,13 +281,24 @@ struct EngineInner {
     stage_cache: HashMap<StageKey, u32>,
     stages: Vec<StageOutput>,
     sig_cache: HashMap<SigKey, BgpSig>,
-    table_cache: HashMap<TableKey, Arc<SigTable>>,
+    table_cache: HashMap<TableKey, TableEntry>,
     stage_lookups: u64,
     stage_hits: u64,
     sig_lookups: u64,
     sig_hits: u64,
     table_lookups: u64,
     table_hits: u64,
+}
+
+impl EngineInner {
+    /// Interns a table key, assigning the next fingerprint on first sight.
+    fn intern(&mut self, key: TableKey) -> &mut TableEntry {
+        let next = EcFingerprint(self.table_cache.len() as u32);
+        self.table_cache.entry(key).or_insert(TableEntry {
+            fingerprint: next,
+            table: None,
+        })
+    }
 }
 
 /// The destination-independent compiled-policy engine: built **once** per
@@ -373,17 +417,10 @@ impl CompiledPolicies {
             .get_or_init(|| EdgeStatics::build(network, topo))
     }
 
-    /// Builds (or recalls, whole) the signature table of one destination
-    /// class. The cache key is the class's *exact* destination-dependent
-    /// residue — prefix-list outcome fingerprints per referenced route-map
-    /// stage, plus per-edge ACL/static outcomes — so two classes share a
-    /// table iff they provably compile identically.
-    pub fn sig_table(
-        &self,
-        network: &NetworkConfig,
-        topo: &BuiltTopology,
-        ec: &EcDest,
-    ) -> Arc<SigTable> {
+    /// The exact destination-dependent residue of a class — everything a
+    /// signature table (and the per-class SRP behavior the failure sweep
+    /// compares) can observe beyond the destination-independent statics.
+    fn table_key(&self, network: &NetworkConfig, topo: &BuiltTopology, ec: &EcDest) -> TableKey {
         let statics = self.edge_statics(network, topo);
 
         let pair_res: Vec<StageResolution> = statics
@@ -416,22 +453,51 @@ impl CompiledPolicies {
                 pack_edge_outcome(static_route, acl_out, acl_in)
             })
             .collect();
-        let key = TableKey {
+        TableKey {
             pair_res,
             edge_outcomes,
-        };
+        }
+    }
+
+    /// The canonical policy fingerprint of one destination class: the
+    /// interned identity of its `TableKey`. See [`EcFingerprint`] for
+    /// the equality contract and what it licenses.
+    pub fn ec_fingerprint(
+        &self,
+        network: &NetworkConfig,
+        topo: &BuiltTopology,
+        ec: &EcDest,
+    ) -> EcFingerprint {
+        let key = self.table_key(network, topo, ec);
+        self.inner.lock().unwrap().intern(key).fingerprint
+    }
+
+    /// Builds (or recalls, whole) the signature table of one destination
+    /// class. The cache key is the class's *exact* destination-dependent
+    /// residue — prefix-list outcome fingerprints per referenced route-map
+    /// stage, plus per-edge ACL/static outcomes — so two classes share a
+    /// table iff they provably compile identically.
+    pub fn sig_table(
+        &self,
+        network: &NetworkConfig,
+        topo: &BuiltTopology,
+        ec: &EcDest,
+    ) -> Arc<SigTable> {
+        let statics = self.edge_statics(network, topo);
+        let key = self.table_key(network, topo, ec);
 
         {
             let mut inner = self.inner.lock().unwrap();
             inner.table_lookups += 1;
-            if let Some(table) = inner.table_cache.get(&key).cloned() {
+            if let Some(table) = inner.table_cache.get(&key).and_then(|e| e.table.clone()) {
                 inner.table_hits += 1;
                 return table;
             }
         }
         // Build outside the engine lock (the per-edge signature path
         // re-acquires it); a racing duplicate build is harmless — the
-        // first insert wins.
+        // first insert wins. (The entry itself may already exist with no
+        // table when only the fingerprint was interned so far.)
         let table = Arc::new(crate::signatures::build_table_data(
             self,
             network,
@@ -441,7 +507,7 @@ impl CompiledPolicies {
             &key.edge_outcomes,
         ));
         let mut inner = self.inner.lock().unwrap();
-        Arc::clone(inner.table_cache.entry(key).or_insert(table))
+        Arc::clone(inner.intern(key).table.get_or_insert(table))
     }
 
     /// Evaluates a compiled function under a community assignment (indexed
@@ -807,6 +873,56 @@ link r i s i
         assert_eq!(
             stage_resolution(r, Some("NOPE"), inside),
             StageResolution::DenyAll
+        );
+    }
+
+    /// Fingerprints intern the exact table key: destinations that resolve
+    /// every policy alike share one fingerprint; an ACL that treats them
+    /// differently splits it.
+    #[test]
+    fn fingerprints_intern_by_exact_table_key() {
+        use bonsai_net::NodeId;
+        use bonsai_srp::instance::{EcDest, OriginProto};
+
+        let net = two_dest_net();
+        let topo = bonsai_config::BuiltTopology::build(&net).unwrap();
+        let engine = CompiledPolicies::from_network(&net, false);
+        let a = topo.graph.node_by_name("a").unwrap();
+        let ec = |p: &str, n: NodeId| EcDest::new(p.parse().unwrap(), vec![(n, OriginProto::Bgp)]);
+        let f1 = engine.ec_fingerprint(&net, &topo, &ec("10.0.1.0/24", a));
+        let f2 = engine.ec_fingerprint(&net, &topo, &ec("10.0.2.0/24", a));
+        assert_eq!(f1, f2, "no prefix lists/ACLs: one compiled residue");
+
+        let acl_net = parse_network(
+            "
+device a
+interface i
+ ip access-group BLOCK out
+ip access-list BLOCK deny 10.0.5.0/24
+ip access-list BLOCK permit any
+router bgp 1
+ network 10.0.0.0/16
+ neighbor i remote-as external
+end
+device b
+interface i
+router bgp 2
+ neighbor i remote-as external
+end
+link a i b i
+",
+        )
+        .unwrap();
+        let topo = bonsai_config::BuiltTopology::build(&acl_net).unwrap();
+        let engine = CompiledPolicies::from_network(&acl_net, false);
+        let a = topo.graph.node_by_name("a").unwrap();
+        let blocked = engine.ec_fingerprint(&acl_net, &topo, &ec("10.0.5.0/24", a));
+        let passed = engine.ec_fingerprint(&acl_net, &topo, &ec("10.0.6.0/24", a));
+        assert_ne!(blocked, passed, "the ACL splits the table keys");
+        // Interning is stable: asking again returns the same id.
+        assert_eq!(
+            blocked,
+            engine.ec_fingerprint(&acl_net, &topo, &ec("10.0.5.0/24", a))
         );
     }
 

@@ -1,14 +1,16 @@
-//! Bounded link-failure scenario enumeration (with symmetry pruning).
+//! Bounded link-failure scenario enumeration (with symmetry pruning) and
+//! the signature machinery the per-scenario and network-level sweep
+//! engines cache by.
 //!
 //! The paper's guarantee is for the failure-free control plane; §9 notes
 //! the abstraction may be **unsound once links fail**, because one
 //! abstract link stands for many concrete links and cannot express "one
-//! of them is down". Opening the failure workload therefore needs two
-//! ingredients: a way to enumerate the `≤ k` link-failure scenarios of a
-//! network, and a way to avoid enumerating scenarios the abstraction
+//! of them is down". Opening the failure workload therefore needs a way
+//! to enumerate the `≤ k` link-failure scenarios of a network, and a way
+//! to avoid enumerating (or re-verifying) scenarios the abstraction
 //! already proves symmetric.
 //!
-//! This module provides both:
+//! This module provides:
 //!
 //! * [`enumerate_scenarios`] — every subset of undirected links of size
 //!   `1..=k`, as [`FailureScenario`]s (exhaustive; `C(L,1)+…+C(L,k)`
@@ -20,22 +22,40 @@
 //!   [`CompiledPolicies`](crate::engine::CompiledPolicies) engine — so
 //!   orbit equality is semantic transfer-function equality, not syntactic
 //!   config equality).
-//! * [`enumerate_scenarios_pruned`] — one representative scenario per
-//!   orbit-failure multiset: instead of choosing *which* links of an orbit
-//!   fail, only *how many* fail (taking the canonically-first links).
+//! * [`OrbitSignature`] — the cache key of the sweep engines: per-orbit
+//!   failure counts **plus the canonical form of the failed subgraph**
+//!   (which endpoints the failed links share, their blocks, and their
+//!   pairwise distances in the intact network). Two scenarios share a
+//!   signature only when their failed link sets are isomorphic as
+//!   block-and-orbit-labeled, distance-annotated graphs — this is what
+//!   makes `k ≥ 2` caching exact where the old orbit-count multiset
+//!   wrongly merged, e.g., two same-orbit failures sharing an endpoint
+//!   with two disjoint ones.
+//! * [`enumerate_scenarios_pruned`] — one representative scenario (the
+//!   enumeration-first, i.e. lexicographically smallest) per signature.
+//! * [`quotient_canon`] / [`CanonicalSignature`] — the cross-EC layer:
+//!   a canonical labeling of the abstraction's quotient structure that
+//!   lets the network-level sweep compare signatures **across destination
+//!   classes** whose policy fingerprints
+//!   ([`EcFingerprint`](crate::engine::EcFingerprint)) agree.
 //!
-//! Pruning is exact for single failures when the abstraction is sound for
-//! the failure-free plane — any two links of an orbit relate to the rest
-//! of the network identically, so failing either yields CP-equivalent
-//! scenarios. For `k ≥ 2` it is a (well-behaved, clearly documented)
-//! heuristic: two chosen links of the *same* orbit may interact with each
-//! other differently depending on whether they share an endpoint. The
-//! auditor in `bonsai-verify` accepts either enumeration; benchmarks and
-//! CI use the pruned one, soundness tests the exhaustive one.
+//! Exactness: pruning by signature is exact for `k = 1` when the
+//! abstraction is sound for the failure-free plane — any two links of an
+//! orbit relate to the rest of the network identically. For `k ≥ 2` the
+//! refined signature removes the historic caveat (same-orbit pairs that
+//! share an endpoint versus disjoint pairs now get distinct signatures);
+//! the residual assumption is that scenarios with isomorphic labeled,
+//! distance-annotated failed subgraphs are related by a network
+//! automorphism — which holds whenever the orbit structure itself
+//! certifies real symmetry, and is witnessed empirically by the
+//! cache-hit ≡ fresh-derivation byte-identity tests.
 
 use crate::algorithm::Abstraction;
-use crate::signatures::SigTable;
+use crate::signatures::{origin_key, SigTable};
 use bonsai_net::{FailureMask, Graph, NodeId};
+use bonsai_srp::instance::EcDest;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// One bounded-failure scenario: a set of failed undirected links, stored
 /// as canonical node pairs (as produced by [`Graph::links`]), sorted.
@@ -85,6 +105,235 @@ impl FailureScenario {
     }
 }
 
+/// All-pairs shortest-path distances of the intact concrete graph
+/// (`u32::MAX` = unreachable). Distances are invariant under every graph
+/// automorphism, which is why they may appear in symmetry signatures.
+/// Built once and `Arc`-shared across the per-EC orbit structures of a
+/// network-level sweep.
+#[derive(Debug)]
+pub struct NodeDistances {
+    n: usize,
+    d: Vec<u32>,
+}
+
+impl NodeDistances {
+    /// Computes all-pairs BFS distances (`O(V·(V+E))` — cheap at our
+    /// scales; the 197-router data center costs well under a millisecond).
+    pub fn of_graph(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut d = vec![u32::MAX; n * n];
+        for u in graph.nodes() {
+            let row = graph.bfs_distances(u);
+            for (v, dist) in row.iter().enumerate() {
+                if let Some(x) = dist {
+                    d[u.index() * n + v] = *x;
+                }
+            }
+        }
+        NodeDistances { n, d }
+    }
+
+    /// Distance between two nodes (`u32::MAX` = unreachable).
+    pub fn get(&self, u: NodeId, v: NodeId) -> u32 {
+        self.d[u.index() * self.n + v.index()]
+    }
+}
+
+/// The canonical form of a scenario's failed subgraph: the structural part
+/// of an [`OrbitSignature`] beyond per-orbit counts.
+///
+/// Endpoints of the failed links become canonically numbered vertices
+/// (grouped by their label, minimized over label-preserving
+/// permutations); the failed links become labeled edges between them, and
+/// the pairwise intact-network distances between all endpoints are
+/// recorded. Two scenarios with equal patterns have failed subgraphs that
+/// are isomorphic as labeled, distance-annotated graphs.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FailurePattern {
+    /// Per canonical vertex: its label (the endpoint's block id in the
+    /// per-EC form; the block's canonical color in the cross-EC form; the
+    /// raw node id when canonicalization was skipped).
+    pub vertex_labels: Vec<u32>,
+    /// Failed links as `(vertex, vertex, orbit label)`, each pair
+    /// lo-hi ordered, sorted.
+    pub edges: Vec<(u32, u32, u32)>,
+    /// Upper-triangle pairwise distances between canonical vertices in the
+    /// **intact** graph (`i < j`, row-major; `u32::MAX` = disconnected).
+    pub distances: Vec<u32>,
+    /// False when the permutation search was skipped (more symmetric
+    /// endpoints than the search budget): vertex labels are then raw node
+    /// ids — strictly finer, so caching stays sound, only sharing is lost.
+    pub canonical: bool,
+}
+
+/// Budget for the label-preserving permutation search of
+/// [`FailurePattern`] canonicalization. Scenarios have at most `2k`
+/// endpoints, so this is only ever hit for large `k` over fully symmetric
+/// endpoint sets; the fallback is finer, never coarser.
+const PATTERN_PERM_BUDGET: usize = 10_080;
+
+/// Builds the canonical pattern of a scenario under the given labelings.
+fn failure_pattern(
+    scenario: &FailureScenario,
+    dist: &NodeDistances,
+    label_of: impl Fn(NodeId) -> u32,
+    orbit_label_of: impl Fn((NodeId, NodeId)) -> u32,
+) -> FailurePattern {
+    // Distinct endpoints, in node order.
+    let mut endpoints: Vec<NodeId> = scenario.links.iter().flat_map(|&(u, v)| [u, v]).collect();
+    endpoints.sort();
+    endpoints.dedup();
+    let idx_of: HashMap<NodeId, usize> =
+        endpoints.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+
+    // Raw edges over endpoint indices, with orbit labels.
+    let raw_edges: Vec<(usize, usize, u32)> = scenario
+        .links
+        .iter()
+        .map(|&(u, v)| (idx_of[&u], idx_of[&v], orbit_label_of((u, v))))
+        .collect();
+
+    // Initial vertex colors: (label, sorted incident orbit labels).
+    let color_of = |i: usize| -> (u32, Vec<u32>) {
+        let mut incident: Vec<u32> = raw_edges
+            .iter()
+            .filter(|&&(a, b, _)| a == i || b == i)
+            .map(|&(_, _, o)| o)
+            .collect();
+        incident.sort_unstable();
+        (label_of(endpoints[i]), incident)
+    };
+    let colors: Vec<(u32, Vec<u32>)> = (0..endpoints.len()).map(color_of).collect();
+
+    // Group endpoint indices by color; groups in color order.
+    let mut groups: BTreeMap<(u32, Vec<u32>), Vec<usize>> = BTreeMap::new();
+    for (i, c) in colors.iter().enumerate() {
+        groups.entry(c.clone()).or_default().push(i);
+    }
+    let groups: Vec<Vec<usize>> = groups.into_values().collect();
+    let perms: usize = groups.iter().map(|g| factorial(g.len())).product();
+
+    if perms > PATTERN_PERM_BUDGET {
+        // Fallback: identity order with raw node ids as labels — finer
+        // than any canonical form, so never merges what it should not.
+        let order: Vec<usize> = (0..endpoints.len()).collect();
+        let (edges, distances) = materialize_pattern(&order, &raw_edges, &endpoints, dist);
+        return FailurePattern {
+            vertex_labels: endpoints.iter().map(|n| n.0).collect(),
+            edges,
+            distances,
+            canonical: false,
+        };
+    }
+
+    // Search label-preserving assignments for the lexicographically
+    // smallest (edges, distances) rendering.
+    let base_order: Vec<usize> = groups.iter().flatten().copied().collect();
+    let vertex_labels: Vec<u32> = base_order.iter().map(|&i| colors[i].0).collect();
+    let mut best: Option<PatternRendering> = None;
+    let mut group_perms: Vec<Vec<usize>> = groups.clone();
+    permute_groups(&mut group_perms, 0, &mut |assignment: &[Vec<usize>]| {
+        let order: Vec<usize> = assignment.iter().flatten().copied().collect();
+        let candidate = materialize_pattern(&order, &raw_edges, &endpoints, dist);
+        if best.as_ref().map_or(true, |b| candidate < *b) {
+            best = Some(candidate);
+        }
+    });
+    let (edges, distances) = best.expect("at least one assignment");
+    FailurePattern {
+        vertex_labels,
+        edges,
+        distances,
+        canonical: true,
+    }
+}
+
+/// One rendered pattern candidate: the sorted edge list plus the
+/// upper-triangle distance vector of a particular endpoint ordering.
+type PatternRendering = (Vec<(u32, u32, u32)>, Vec<u32>);
+
+/// Renders edges and distances for one endpoint ordering. `order[c] = i`
+/// maps canonical position `c` to endpoint index `i`.
+fn materialize_pattern(
+    order: &[usize],
+    raw_edges: &[(usize, usize, u32)],
+    endpoints: &[NodeId],
+    dist: &NodeDistances,
+) -> PatternRendering {
+    let mut pos = vec![0u32; order.len()];
+    for (c, &i) in order.iter().enumerate() {
+        pos[i] = c as u32;
+    }
+    let mut edges: Vec<(u32, u32, u32)> = raw_edges
+        .iter()
+        .map(|&(a, b, o)| {
+            let (x, y) = (pos[a], pos[b]);
+            (x.min(y), x.max(y), o)
+        })
+        .collect();
+    edges.sort_unstable();
+    let mut distances = Vec::with_capacity(order.len() * (order.len().saturating_sub(1)) / 2);
+    for ci in 0..order.len() {
+        for cj in ci + 1..order.len() {
+            distances.push(dist.get(endpoints[order[ci]], endpoints[order[cj]]));
+        }
+    }
+    (edges, distances)
+}
+
+fn factorial(n: usize) -> usize {
+    (1..=n).product::<usize>().max(1)
+}
+
+/// Visits every sequence of within-group permutations: for each group in
+/// turn, every permutation of its elements, crossed with the later groups
+/// (original order restored on return).
+fn permute_groups(groups: &mut [Vec<usize>], at: usize, visit: &mut impl FnMut(&[Vec<usize>])) {
+    fn rec(groups: &mut [Vec<usize>], at: usize, i: usize, visit: &mut impl FnMut(&[Vec<usize>])) {
+        if at == groups.len() {
+            visit(groups);
+            return;
+        }
+        if i + 1 >= groups[at].len() {
+            rec(groups, at + 1, 0, visit);
+            return;
+        }
+        for j in i..groups[at].len() {
+            groups[at].swap(i, j);
+            rec(groups, at, i + 1, visit);
+            groups[at].swap(i, j);
+        }
+    }
+    rec(groups, at, 0, visit);
+}
+
+/// A scenario's position in the orbit structure: per-orbit failure counts
+/// **plus** the canonical failed-subgraph pattern.
+///
+/// This is the cache key of the per-scenario sweep engine
+/// (`bonsai-verify`'s `sweep` module): scenarios with equal signatures
+/// fail symmetric link sets, so one refinement — derived from the
+/// [`LinkOrbits::canonical_scenario`] representative — serves them all.
+/// The orbit ids come from the interned edge-signature descriptors of
+/// [`link_orbits`], so signature equality is semantic, not syntactic; the
+/// pattern part keeps `k ≥ 2` exact (see the module docs).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OrbitSignature {
+    /// `(orbit id, failed links of that orbit)`, sorted by orbit id, every
+    /// count nonzero.
+    pub counts: Vec<(u32, u32)>,
+    /// Canonical form of the failed subgraph (blocks, sharing structure,
+    /// intact-network distances).
+    pub pattern: FailurePattern,
+}
+
+impl OrbitSignature {
+    /// Total number of failed links the signature stands for.
+    pub fn total_failures(&self) -> usize {
+        self.counts.iter().map(|&(_, c)| c as usize).sum()
+    }
+}
+
 /// The undirected links of a graph grouped into symmetry orbits induced
 /// by an abstraction.
 #[derive(Clone, Debug)]
@@ -95,16 +344,27 @@ pub struct LinkOrbits {
     pub orbit_of_link: Vec<u32>,
     /// Members of each orbit, as indices into [`LinkOrbits::links`].
     pub orbits: Vec<Vec<usize>>,
+    /// Block id of every node under the abstraction the orbits were
+    /// computed from (vertex labels of signature patterns).
+    block_of_node: Vec<u32>,
+    /// Intact-network all-pairs distances (pattern annotations), shared
+    /// across the per-EC orbit structures of a network-level sweep.
+    distances: Arc<NodeDistances>,
     /// O(1) lookup from a canonical link pair to its index in
     /// [`LinkOrbits::links`] — [`LinkOrbits::signature_of`] runs once per
     /// enumerated scenario, which is `C(L, k)` times on exhaustive sweeps.
-    index_of_link: std::collections::HashMap<(NodeId, NodeId), usize>,
+    index_of_link: HashMap<(NodeId, NodeId), usize>,
 }
 
 impl LinkOrbits {
     /// Number of orbits.
     pub fn num_orbits(&self) -> usize {
         self.orbits.len()
+    }
+
+    /// The shared intact-network distance matrix.
+    pub fn distances(&self) -> &Arc<NodeDistances> {
+        &self.distances
     }
 
     /// Orbit id of a canonical link pair (as stored in
@@ -116,64 +376,81 @@ impl LinkOrbits {
             .map(|&i| self.orbit_of_link[i])
     }
 
-    /// The **orbit signature** of a scenario: how many links of each orbit
-    /// fail, as a sorted `(orbit, count)` multiset. Two scenarios with the
+    /// The **orbit signature** of a scenario: per-orbit failure counts
+    /// plus the canonical failed-subgraph pattern. Two scenarios with the
     /// same signature fail symmetric link sets — the cache key of the
     /// per-scenario sweep engine. Returns `None` when a failed link is
     /// unknown to these orbits (a scenario from a different graph).
     pub fn signature_of(&self, scenario: &FailureScenario) -> Option<OrbitSignature> {
-        let mut counts: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+        let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
         for &link in &scenario.links {
             *counts.entry(self.orbit_of(link)?).or_insert(0) += 1;
         }
+        let pattern = failure_pattern(
+            scenario,
+            &self.distances,
+            |n| self.block_of_node[n.index()],
+            |l| self.orbit_of(l).expect("links verified above"),
+        );
         Some(OrbitSignature {
             counts: counts.into_iter().collect(),
+            pattern,
         })
     }
 
     /// The canonical representative scenario of an orbit signature: the
-    /// canonically-first `count` links of each orbit — exactly the
-    /// representative [`enumerate_scenarios_pruned`] emits for the same
-    /// multiset, and the lexicographically smallest scenario with this
-    /// signature under the link-index order. Panics if a count exceeds the
-    /// orbit's size (no such scenario exists).
+    /// **enumeration-first** (smallest in link-index order) scenario with
+    /// this signature — exactly the representative
+    /// [`enumerate_scenarios_pruned`] emits for it. Found by searching the
+    /// combinations of the signature's orbits' member links in
+    /// link-index order for the first one whose full signature (counts
+    /// **and** pattern) matches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no scenario of this graph realizes the signature (it
+    /// came from different orbits).
     pub fn canonical_scenario(&self, sig: &OrbitSignature) -> FailureScenario {
-        let mut links = Vec::new();
-        for &(orbit, count) in &sig.counts {
-            let members = &self.orbits[orbit as usize];
-            assert!(
-                (count as usize) <= members.len(),
-                "signature asks for {count} failures in orbit {orbit} of size {}",
-                members.len()
-            );
-            for &li in members.iter().take(count as usize) {
-                links.push(self.links[li]);
+        // Candidate links: the union of the signature's orbits' members,
+        // in ascending link-index order (== lexicographic by node pairs,
+        // since `Graph::links` is sorted by construction order and we
+        // compare final sorted link lists below).
+        let mut member_links: Vec<usize> = sig
+            .counts
+            .iter()
+            .flat_map(|&(orbit, _)| self.orbits[orbit as usize].iter().copied())
+            .collect();
+        member_links.sort_unstable();
+        let total: usize = sig.counts.iter().map(|&(_, c)| c as usize).sum();
+
+        let mut found: Option<FailureScenario> = None;
+        let mut chosen: Vec<usize> = Vec::new();
+        // Combinations in lexicographic index order over the ascending
+        // `member_links` — the same link-index order the exhaustive
+        // enumeration uses — aborting the walk on the first match, so the
+        // result is exactly the representative the pruned enumeration
+        // keeps for this signature. Candidates are rejected on the cheap
+        // per-orbit counts before the pattern canonicalization runs.
+        search_combinations(member_links.len(), total, 0, &mut chosen, &mut |c| {
+            let candidate =
+                FailureScenario::new(c.iter().map(|&i| self.links[member_links[i]]).collect());
+            debug_assert_eq!(candidate.links.len(), total, "member links are distinct");
+            let counts_match = {
+                let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+                for &link in &candidate.links {
+                    *counts
+                        .entry(self.orbit_of(link).expect("members of these orbits"))
+                        .or_insert(0) += 1;
+                }
+                counts.into_iter().eq(sig.counts.iter().copied())
+            };
+            if counts_match && self.signature_of(&candidate).as_ref() == Some(sig) {
+                found = Some(candidate);
+                return true;
             }
-        }
-        FailureScenario::new(links)
-    }
-}
-
-/// A scenario's position in the orbit structure: the multiset of
-/// `(orbit, failed-link count)` pairs, sorted by orbit id.
-///
-/// This is the cache key of the per-scenario sweep engine
-/// (`bonsai-verify`'s `sweep` module): scenarios with equal signatures
-/// fail symmetric link sets, so one refinement — derived from the
-/// [`LinkOrbits::canonical_scenario`] representative — serves them all.
-/// The orbit ids come from the interned edge-signature descriptors of
-/// [`link_orbits`], so signature equality is semantic, not syntactic.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct OrbitSignature {
-    /// `(orbit id, failed links of that orbit)`, sorted by orbit id, every
-    /// count nonzero.
-    pub counts: Vec<(u32, u32)>,
-}
-
-impl OrbitSignature {
-    /// Total number of failed links the signature stands for.
-    pub fn total_failures(&self) -> usize {
-        self.counts.iter().map(|&(_, c)| c as usize).sum()
+            false
+        });
+        found.unwrap_or_else(|| panic!("no scenario of this graph realizes signature {sig:?}"))
     }
 }
 
@@ -183,27 +460,34 @@ impl OrbitSignature {
 ///
 /// Orbit keys are direction-normalized, so `u—v` and `v—u` of a symmetric
 /// pair land in the same orbit regardless of canonical orientation.
+///
+/// Computes a fresh intact-network distance matrix; use
+/// [`link_orbits_with_distances`] to share one across the per-EC orbit
+/// structures of a network-level sweep.
 pub fn link_orbits(graph: &Graph, abstraction: &Abstraction, sigs: &SigTable) -> LinkOrbits {
-    /// Directed descriptor of one half of a link: `(block(src),
-    /// block(dst), sig(src→dst))`, with a sentinel signature for a
-    /// missing reverse edge. Kept unpacked — truncating ids into packed
-    /// bit fields could silently merge distinct orbits, which the pruned
-    /// audit would turn into unswept scenarios.
-    type Descr = (u32, u32, Option<u32>);
+    link_orbits_with_distances(
+        graph,
+        abstraction,
+        sigs,
+        Arc::new(NodeDistances::of_graph(graph)),
+    )
+}
 
+/// [`link_orbits`] with a shared, precomputed distance matrix (must have
+/// been computed over the same graph).
+pub fn link_orbits_with_distances(
+    graph: &Graph,
+    abstraction: &Abstraction,
+    sigs: &SigTable,
+    distances: Arc<NodeDistances>,
+) -> LinkOrbits {
     let links = graph.links();
-    let mut key_of: std::collections::HashMap<[Descr; 2], u32> = std::collections::HashMap::new();
+    let mut key_of: HashMap<[Descr; 2], u32> = HashMap::new();
     let mut orbit_of_link = Vec::with_capacity(links.len());
     let mut orbits: Vec<Vec<usize>> = Vec::new();
 
     for (i, &(u, v)) in links.iter().enumerate() {
-        let descr = |a: NodeId, b: NodeId| -> Descr {
-            let sig = graph.find_edge(a, b).map(|e| sigs.sig_of_edge[e.index()]);
-            (abstraction.role_of(a).0, abstraction.role_of(b).0, sig)
-        };
-        let fwd = descr(u, v);
-        let rev = descr(v, u);
-        let key = if fwd <= rev { [fwd, rev] } else { [rev, fwd] };
+        let key = orbit_key(graph, abstraction, sigs, u, v);
         let next = orbits.len() as u32;
         let id = *key_of.entry(key).or_insert_with(|| {
             orbits.push(Vec::new());
@@ -214,11 +498,44 @@ pub fn link_orbits(graph: &Graph, abstraction: &Abstraction, sigs: &SigTable) ->
     }
 
     let index_of_link = links.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+    let block_of_node = (0..graph.node_count())
+        .map(|n| abstraction.role_of(NodeId(n as u32)).0)
+        .collect();
     LinkOrbits {
         links,
         orbit_of_link,
         orbits,
+        block_of_node,
+        distances,
         index_of_link,
+    }
+}
+
+/// Directed descriptor of one half of a link: `(block(src), block(dst),
+/// sig(src→dst))`, with a sentinel signature for a missing reverse edge.
+/// Kept unpacked — truncating ids into packed bit fields could silently
+/// merge distinct orbits, which the pruned audit would turn into unswept
+/// scenarios.
+type Descr = (u32, u32, Option<u32>);
+
+/// The direction-normalized orbit key of one undirected link.
+fn orbit_key(
+    graph: &Graph,
+    abstraction: &Abstraction,
+    sigs: &SigTable,
+    u: NodeId,
+    v: NodeId,
+) -> [Descr; 2] {
+    let descr = |a: NodeId, b: NodeId| -> Descr {
+        let sig = graph.find_edge(a, b).map(|e| sigs.sig_of_edge[e.index()]);
+        (abstraction.role_of(a).0, abstraction.role_of(b).0, sig)
+    };
+    let fwd = descr(u, v);
+    let rev = descr(v, u);
+    if fwd <= rev {
+        [fwd, rev]
+    } else {
+        [rev, fwd]
     }
 }
 
@@ -253,15 +570,16 @@ pub fn exhaustive_scenario_count(num_links: usize, k: usize) -> usize {
     total
 }
 
-/// Enumerates scenarios with `1..=k` failed links, pruned by the orbit
-/// structure of the abstraction: for each orbit only the *number* of
-/// failed links is varied (taking the canonically-first members), so two
-/// scenarios differing only in which symmetric link failed collapse to
-/// one representative.
+/// Enumerates scenarios with `1..=k` failed links, pruned by signature:
+/// one representative — the enumeration-first scenario — per distinct
+/// [`OrbitSignature`], so two scenarios differing only in *which*
+/// symmetric links failed collapse to one.
 ///
 /// On symmetric topologies this shrinks the sweep by orders of magnitude
-/// (a fattree's `C(L,2)` pair scenarios collapse to a handful of orbit
-/// multisets). See the module docs for the exactness discussion.
+/// (a fattree's `C(L,2)` pair scenarios collapse to a handful of
+/// signatures). The enumeration itself walks the exhaustive set once and
+/// deduplicates by signature — linear in `C(L,k)` signature computations,
+/// the price of the `k ≥ 2` exactness discussed in the module docs.
 pub fn enumerate_scenarios_pruned(
     graph: &Graph,
     abstraction: &Abstraction,
@@ -269,41 +587,285 @@ pub fn enumerate_scenarios_pruned(
     k: usize,
 ) -> Vec<FailureScenario> {
     let orbits = link_orbits(graph, abstraction, sigs);
+    enumerate_scenarios_pruned_with(graph, &orbits, k)
+        .into_iter()
+        .map(|(s, _)| s)
+        .collect()
+}
+
+/// [`enumerate_scenarios_pruned`] over prebuilt orbits, returning each
+/// representative together with its signature — the single home of the
+/// "representative = first scenario of its signature in enumeration
+/// order" invariant that [`LinkOrbits::canonical_scenario`] reproduces.
+pub fn enumerate_scenarios_pruned_with(
+    graph: &Graph,
+    orbits: &LinkOrbits,
+    k: usize,
+) -> Vec<(FailureScenario, OrbitSignature)> {
+    let mut seen: BTreeSet<OrbitSignature> = BTreeSet::new();
     let mut out = Vec::new();
-    // counts[o] = how many links of orbit o fail (a prefix of its members).
-    let mut counts = vec![0usize; orbits.num_orbits()];
-    enumerate_orbit_counts(&orbits, k, 0, 0, &mut counts, &mut out);
-    // Deterministic, size-major order like the exhaustive enumeration.
-    out.sort_by(|a, b| (a.len(), &a.links).cmp(&(b.len(), &b.links)));
+    // Exhaustive enumeration is size-major then lexicographic, so the
+    // first scenario of each signature is the canonical representative.
+    for scenario in enumerate_scenarios(graph, k) {
+        let sig = orbits
+            .signature_of(&scenario)
+            .expect("scenario links come from this graph");
+        if seen.insert(sig.clone()) {
+            out.push((scenario, sig));
+        }
+    }
     out
 }
 
-fn enumerate_orbit_counts(
+// ---------------------------------------------------------------------------
+// Cross-EC canonicalization: quotient classes and canonical signatures.
+// ---------------------------------------------------------------------------
+
+/// One labeled quotient out-edge: `(edge sig, neighbor canonical block,
+/// concrete edge count)`.
+pub type QuotientEdge = (u32, u32, u32);
+
+/// One canonical quotient block: `(origin kind, members, copies, labeled
+/// out-edges)`.
+pub type QuotientBlock = (u8, u32, u32, Vec<QuotientEdge>);
+
+/// The canonical description of an abstraction's quotient structure: per
+/// canonical block its origin kind, member count, BGP copy count and
+/// labeled out-edge multiset.
+///
+/// Two destination classes with equal [`QuotientClass`]es (and equal
+/// policy fingerprints) have base abstractions that are isomorphic as
+/// sig-labeled quotient graphs — the precondition for transferring a
+/// derived per-scenario refinement from one class to the other.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct QuotientClass {
+    /// Per canonical block: `(origin kind, members, copies, edges)`.
+    pub blocks: Vec<QuotientBlock>,
+}
+
+/// The canonical labeling of one class's quotient structure: the class
+/// value plus the block → canonical color and orbit → canonical rank maps
+/// needed to express signatures in class-relative-free coordinates.
+#[derive(Clone, Debug)]
+pub struct QuotientCanon {
+    /// The canonical quotient description (the cross-EC comparison value).
+    pub class: QuotientClass,
+    /// Canonical color of each block id (dense rank in canonical order).
+    color_of_block: Vec<u32>,
+    /// Canonical rank of each orbit id.
+    canon_orbit_of: Vec<u32>,
+}
+
+impl QuotientCanon {
+    /// Canonical color of a block id.
+    pub fn color_of(&self, block: u32) -> u32 {
+        self.color_of_block[block as usize]
+    }
+
+    /// Canonical rank of an orbit id.
+    pub fn orbit_rank(&self, orbit: u32) -> u32 {
+        self.canon_orbit_of[orbit as usize]
+    }
+}
+
+/// An [`OrbitSignature`] re-expressed in canonical quotient coordinates:
+/// orbit ranks instead of per-EC orbit ids, block colors instead of block
+/// ids. Comparable across destination classes with equal policy
+/// fingerprints and equal [`QuotientClass`]es — the cross-EC cache key of
+/// the network-level sweep.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CanonicalSignature {
+    /// `(canonical orbit rank, failed links of that orbit)`, sorted.
+    pub counts: Vec<(u32, u32)>,
+    /// The canonical failed-subgraph pattern with block colors as vertex
+    /// labels and orbit ranks as edge labels.
+    pub pattern: FailurePattern,
+}
+
+/// Computes the canonical labeling of one class's quotient structure, or
+/// `None` when color refinement cannot tell two blocks apart (an
+/// ambiguous quotient — cross-EC transfer is then disabled for the class,
+/// which costs sharing, never soundness).
+pub fn quotient_canon(
+    graph: &Graph,
+    ec: &EcDest,
+    abstraction: &Abstraction,
+    sigs: &SigTable,
     orbits: &LinkOrbits,
-    k: usize,
-    orbit: usize,
-    used: usize,
-    counts: &mut Vec<usize>,
-    out: &mut Vec<FailureScenario>,
-) {
-    if orbit == orbits.num_orbits() {
-        if used > 0 {
-            let mut links = Vec::with_capacity(used);
-            for (o, &c) in counts.iter().enumerate() {
-                for &li in orbits.orbits[o].iter().take(c) {
-                    links.push(orbits.links[li]);
-                }
+) -> Option<QuotientCanon> {
+    let blocks: Vec<u32> = abstraction.partition.blocks().map(|b| b.0).collect();
+    let max_block = blocks.iter().copied().max().map_or(0, |m| m as usize + 1);
+
+    // Static per-block facts.
+    let mut origin_kind = vec![0u8; max_block];
+    let mut size = vec![0u32; max_block];
+    for &b in &blocks {
+        let members = abstraction
+            .partition
+            .members(bonsai_net::partition::BlockId(b));
+        size[b as usize] = members.len() as u32;
+        origin_kind[b as usize] = members
+            .iter()
+            .map(|&m| origin_key(ec, NodeId(m)))
+            .max()
+            .unwrap_or(0);
+    }
+
+    // Labeled quotient edges: (block u, sig, block v) -> concrete count.
+    let mut qedges: BTreeMap<(u32, u32, u32), u32> = BTreeMap::new();
+    for e in graph.edges() {
+        let (u, v) = graph.endpoints(e);
+        let bu = abstraction.role_of(u).0;
+        let bv = abstraction.role_of(v).0;
+        *qedges
+            .entry((bu, sigs.sig_of_edge[e.index()], bv))
+            .or_insert(0) += 1;
+    }
+
+    // Color refinement until stable.
+    let mut color: HashMap<u32, u32> = blocks.iter().map(|&b| (b, 0u32)).collect();
+    // Initial key: static facts only.
+    type Key = (u32, (u8, u32, u32), Vec<(u32, u32, u32)>);
+    loop {
+        let mut keys: Vec<(Key, u32)> = blocks
+            .iter()
+            .map(|&b| {
+                let mut edges: Vec<(u32, u32, u32)> = qedges
+                    .iter()
+                    .filter(|&(&(bu, _, _), _)| bu == b)
+                    .map(|(&(_, sig, bv), &count)| (sig, color[&bv], count))
+                    .collect();
+                edges.sort_unstable();
+                (
+                    (
+                        color[&b],
+                        (
+                            origin_kind[b as usize],
+                            size[b as usize],
+                            abstraction.copies[b as usize],
+                        ),
+                        edges,
+                    ),
+                    b,
+                )
+            })
+            .collect();
+        keys.sort();
+        let mut next: HashMap<u32, u32> = HashMap::new();
+        let mut rank = 0u32;
+        let mut prev: Option<&Key> = None;
+        // Iterate by reference so `prev` can point into the vector.
+        for (key, b) in &keys {
+            if prev.is_some_and(|p| p != key) {
+                rank += 1;
             }
-            out.push(FailureScenario::new(links));
+            next.insert(*b, rank);
+            prev = Some(key);
         }
-        return;
+        let stable = blocks.iter().all(|b| next[b] == color[b]);
+        color = next;
+        if stable {
+            break;
+        }
     }
-    let max_here = orbits.orbits[orbit].len().min(k - used);
-    for c in 0..=max_here {
-        counts[orbit] = c;
-        enumerate_orbit_counts(orbits, k, orbit + 1, used + c, counts, out);
+
+    // Injectivity: every block must have its own color, otherwise the
+    // canonical form would conflate distinct roles.
+    let distinct: BTreeSet<u32> = blocks.iter().map(|b| color[b]).collect();
+    if distinct.len() != blocks.len() {
+        return None;
     }
-    counts[orbit] = 0;
+
+    let mut color_of_block = vec![u32::MAX; max_block];
+    for &b in &blocks {
+        color_of_block[b as usize] = color[&b];
+    }
+
+    // Canonical quotient description, blocks in color order.
+    let mut by_color: Vec<(u32, u32)> = blocks.iter().map(|&b| (color[&b], b)).collect();
+    by_color.sort_unstable();
+    let class_blocks: Vec<QuotientBlock> = by_color
+        .iter()
+        .map(|&(_, b)| {
+            let mut edges: Vec<(u32, u32, u32)> = qedges
+                .iter()
+                .filter(|&(&(bu, _, _), _)| bu == b)
+                .map(|(&(_, sig, bv), &count)| (sig, color[&bv], count))
+                .collect();
+            edges.sort_unstable();
+            (
+                origin_kind[b as usize],
+                size[b as usize],
+                abstraction.copies[b as usize],
+                edges,
+            )
+        })
+        .collect();
+
+    // Canonical orbit ranks: orbits sorted by their color-relabeled keys.
+    let mut orbit_keys: Vec<([Descr; 2], u32)> = Vec::with_capacity(orbits.num_orbits());
+    for (id, members) in orbits.orbits.iter().enumerate() {
+        let (u, v) = orbits.links[members[0]];
+        let relabel = |d: Descr| -> Descr {
+            (
+                color_of_block[d.0 as usize],
+                color_of_block[d.1 as usize],
+                d.2,
+            )
+        };
+        let raw = orbit_key(graph, abstraction, sigs, u, v);
+        let a = relabel(raw[0]);
+        let b = relabel(raw[1]);
+        let key = if a <= b { [a, b] } else { [b, a] };
+        orbit_keys.push((key, id as u32));
+    }
+    orbit_keys.sort();
+    debug_assert!(
+        orbit_keys.windows(2).all(|w| w[0].0 != w[1].0),
+        "injective block colors must keep orbit keys distinct"
+    );
+    let mut canon_orbit_of = vec![u32::MAX; orbits.num_orbits()];
+    for (rank, &(_, id)) in orbit_keys.iter().enumerate() {
+        canon_orbit_of[id as usize] = rank as u32;
+    }
+
+    Some(QuotientCanon {
+        class: QuotientClass {
+            blocks: class_blocks,
+        },
+        color_of_block,
+        canon_orbit_of,
+    })
+}
+
+/// Re-expresses a scenario's signature in canonical quotient coordinates
+/// (see [`CanonicalSignature`]). Returns `None` when a failed link is
+/// unknown to the orbits, or when the pattern could not be canonicalized
+/// (raw node ids would not transfer across classes).
+pub fn canonical_signature_of(
+    orbits: &LinkOrbits,
+    canon: &QuotientCanon,
+    scenario: &FailureScenario,
+) -> Option<CanonicalSignature> {
+    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+    for &link in &scenario.links {
+        *counts
+            .entry(canon.orbit_rank(orbits.orbit_of(link)?))
+            .or_insert(0) += 1;
+    }
+    let pattern = failure_pattern(
+        scenario,
+        &orbits.distances,
+        |n| canon.color_of(orbits.block_of_node[n.index()]),
+        |l| canon.orbit_rank(orbits.orbit_of(l).expect("links verified above")),
+    );
+    if !pattern.canonical {
+        return None;
+    }
+    Some(CanonicalSignature {
+        counts: counts.into_iter().collect(),
+        pattern,
+    })
 }
 
 fn combinations(
@@ -325,6 +887,30 @@ fn combinations(
     }
 }
 
+/// [`combinations`] with an aborting visitor: stops the whole walk as
+/// soon as `visit` returns true. Returns whether the walk was aborted.
+fn search_combinations(
+    n: usize,
+    size: usize,
+    start: usize,
+    chosen: &mut Vec<usize>,
+    visit: &mut impl FnMut(&[usize]) -> bool,
+) -> bool {
+    if chosen.len() == size {
+        return visit(chosen);
+    }
+    let remaining = size - chosen.len();
+    for i in start..=n.saturating_sub(remaining) {
+        chosen.push(i);
+        let stop = search_combinations(n, size, i + 1, chosen, visit);
+        chosen.pop();
+        if stop {
+            return true;
+        }
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,7 +920,7 @@ mod tests {
     use bonsai_srp::instance::{EcDest, OriginProto};
     use bonsai_srp::papernets;
 
-    fn gadget_setup() -> (BuiltTopology, Abstraction, std::sync::Arc<SigTable>) {
+    fn gadget_setup() -> (BuiltTopology, Abstraction, std::sync::Arc<SigTable>, EcDest) {
         let net = papernets::figure2_gadget();
         let topo = BuiltTopology::build(&net).unwrap();
         let d = topo.graph.node_by_name("d").unwrap();
@@ -345,12 +931,12 @@ mod tests {
         let engine = CompiledPolicies::from_network(&net, false);
         let sigs = build_sig_table(&engine, &net, &topo, &ec);
         let abs = crate::algorithm::find_abstraction(&topo.graph, &ec, &sigs);
-        (topo, abs, sigs)
+        (topo, abs, sigs, ec)
     }
 
     #[test]
     fn exhaustive_enumeration_counts() {
-        let (topo, _, _) = gadget_setup();
+        let (topo, _, _, _) = gadget_setup();
         // The gadget has 6 links: C(6,1)=6, C(6,2)=15.
         assert_eq!(topo.graph.link_count(), 6);
         let s1 = enumerate_scenarios(&topo.graph, 1);
@@ -368,7 +954,7 @@ mod tests {
     fn gadget_links_fall_into_two_orbits() {
         // {bi—d} and {bi—a} are each one orbit: identical block pairs and
         // identical compiled signatures both ways.
-        let (topo, abs, sigs) = gadget_setup();
+        let (topo, abs, sigs, _) = gadget_setup();
         let orbits = link_orbits(&topo.graph, &abs, &sigs);
         assert_eq!(orbits.links.len(), 6);
         assert_eq!(orbits.num_orbits(), 2);
@@ -392,13 +978,16 @@ mod tests {
 
     #[test]
     fn pruned_enumeration_collapses_symmetric_scenarios() {
-        let (topo, abs, sigs) = gadget_setup();
+        let (topo, abs, sigs, _) = gadget_setup();
         // k=1: 6 exhaustive scenarios collapse to 2 (one per orbit).
         let p1 = enumerate_scenarios_pruned(&topo.graph, &abs, &sigs, 1);
         assert_eq!(p1.len(), 2);
-        // k=2: multisets {2+0, 0+2, 1+1} plus the k=1 ones = 5.
+        // k=2: the orbit-count multisets {2+0, 0+2, 1+1} split further by
+        // sharing structure — the mixed 1+1 class distinguishes "both
+        // failures at one b" from "failures at different b's" — plus the
+        // two k=1 classes: 6 total.
         let p2 = enumerate_scenarios_pruned(&topo.graph, &abs, &sigs, 2);
-        assert_eq!(p2.len(), 5);
+        assert_eq!(p2.len(), 6);
         assert!(p2.len() < enumerate_scenarios(&topo.graph, 2).len());
         // Every pruned scenario is a member of the exhaustive set.
         let all: std::collections::BTreeSet<_> =
@@ -408,7 +997,7 @@ mod tests {
 
     #[test]
     fn masks_cover_both_directions() {
-        let (topo, _, _) = gadget_setup();
+        let (topo, _, _, _) = gadget_setup();
         let s = enumerate_scenarios(&topo.graph, 1);
         for sc in &s {
             let mask = sc.mask(&topo.graph);
@@ -418,7 +1007,7 @@ mod tests {
 
     #[test]
     fn signatures_collapse_symmetric_scenarios() {
-        let (topo, abs, sigs) = gadget_setup();
+        let (topo, abs, sigs, _) = gadget_setup();
         let orbits = link_orbits(&topo.graph, &abs, &sigs);
         // Every k=1 scenario of one orbit shares a signature; the two
         // orbits give exactly two distinct signatures.
@@ -431,21 +1020,52 @@ mod tests {
         for sig in &sigset {
             assert_eq!(sig.total_failures(), 1);
         }
-        // k=2 exhaustive (21 scenarios) collapses to the 5 pruned
-        // multisets: signatures and pruned enumeration agree exactly.
+        // k=2 exhaustive (21 scenarios) collapses to the 6 pruned
+        // signatures: signatures and pruned enumeration agree exactly.
         let all2 = enumerate_scenarios(&topo.graph, 2);
         let sigset2: std::collections::BTreeSet<OrbitSignature> = all2
             .iter()
             .map(|s| orbits.signature_of(s).unwrap())
             .collect();
-        assert_eq!(sigset2.len(), 5);
+        assert_eq!(sigset2.len(), 6);
         let pruned = enumerate_scenarios_pruned(&topo.graph, &abs, &sigs, 2);
         assert_eq!(pruned.len(), sigset2.len());
     }
 
+    /// The k ≥ 2 exactness regression: in the gadget's b—d orbit, failing
+    /// a b—d link together with the *same* b's link toward `a` shares an
+    /// endpoint, while pairing it with a *different* b's link does not.
+    /// The old orbit-count multiset signature merged the two (both are
+    /// "one failure in each orbit"); the pattern-refined signature keeps
+    /// them apart, and their derived splits genuinely differ (3 vs 4
+    /// distinct endpoints).
+    #[test]
+    fn pattern_distinguishes_shared_endpoint_from_disjoint_pairs() {
+        let (topo, abs, sigs, _) = gadget_setup();
+        let orbits = link_orbits(&topo.graph, &abs, &sigs);
+        let n = |name: &str| topo.graph.node_by_name(name).unwrap();
+        let shared = FailureScenario::new(vec![(n("d"), n("b1")), (n("a"), n("b1"))]);
+        let disjoint = FailureScenario::new(vec![(n("d"), n("b1")), (n("a"), n("b2"))]);
+        let sig_shared = orbits.signature_of(&shared).unwrap();
+        let sig_disjoint = orbits.signature_of(&disjoint).unwrap();
+        // The old multiset part agrees — this is exactly what the pruned
+        // audit used to key by...
+        assert_eq!(sig_shared.counts, sig_disjoint.counts);
+        // ...but the full signatures differ (the bug this fixes).
+        assert_ne!(sig_shared, sig_disjoint);
+        // Shared-endpoint scenarios have 3 distinct endpoints, disjoint 4.
+        assert_eq!(sig_shared.pattern.vertex_labels.len(), 3);
+        assert_eq!(sig_disjoint.pattern.vertex_labels.len(), 4);
+        // Symmetric counterparts still collapse onto the representatives.
+        let shared2 = FailureScenario::new(vec![(n("d"), n("b3")), (n("a"), n("b3"))]);
+        let disjoint2 = FailureScenario::new(vec![(n("d"), n("b3")), (n("a"), n("b2"))]);
+        assert_eq!(orbits.signature_of(&shared2).unwrap(), sig_shared);
+        assert_eq!(orbits.signature_of(&disjoint2).unwrap(), sig_disjoint);
+    }
+
     #[test]
     fn canonical_scenario_matches_pruned_representative() {
-        let (topo, abs, sigs) = gadget_setup();
+        let (topo, abs, sigs, _) = gadget_setup();
         let orbits = link_orbits(&topo.graph, &abs, &sigs);
         // For every pruned representative, round-tripping through its
         // signature reproduces the representative itself.
@@ -467,9 +1087,36 @@ mod tests {
         }
     }
 
+    /// The gadget's quotient canonicalizes (three roles, all colors
+    /// distinct) and canonical signatures collapse exactly like per-EC
+    /// ones.
+    #[test]
+    fn quotient_canonicalization_is_injective_on_the_gadget() {
+        let (topo, abs, sigs, ec) = gadget_setup();
+        let orbits = link_orbits(&topo.graph, &abs, &sigs);
+        let canon = quotient_canon(&topo.graph, &ec, &abs, &sigs, &orbits)
+            .expect("gadget quotient has distinct roles");
+        assert_eq!(canon.class.blocks.len(), 3);
+        // The origin block is flagged.
+        assert_eq!(
+            canon.class.blocks.iter().filter(|b| b.0 != 0).count(),
+            1,
+            "{:?}",
+            canon.class
+        );
+        // Canonical signatures collapse the k=2 exhaustive set to the same
+        // 6 classes as the per-EC signatures.
+        let canonical: std::collections::BTreeSet<CanonicalSignature> =
+            enumerate_scenarios(&topo.graph, 2)
+                .iter()
+                .map(|s| canonical_signature_of(&orbits, &canon, s).unwrap())
+                .collect();
+        assert_eq!(canonical.len(), 6);
+    }
+
     #[test]
     fn describe_uses_node_names() {
-        let (topo, _, _) = gadget_setup();
+        let (topo, _, _, _) = gadget_setup();
         let d = topo.graph.node_by_name("d").unwrap();
         let b1 = topo.graph.node_by_name("b1").unwrap();
         let sc = FailureScenario::new(vec![(d, b1)]);

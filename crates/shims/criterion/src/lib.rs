@@ -29,9 +29,7 @@ impl Default for Criterion {
     fn default() -> Self {
         // `cargo bench -- <filter>` passes the filter positionally; flags
         // like `--bench` are injected by cargo and ignored here.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion {
             filter,
             default_sample_size: 10,
@@ -134,7 +132,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = format!("{}/{name}", self.name);
-        let n = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        let n = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
         self.criterion.run_one(id, n, f);
         self
     }
@@ -150,7 +150,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = format!("{}/{id}", self.name);
-        let n = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        let n = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
         self.criterion.run_one(id, n, |b| f(b, input));
         self
     }

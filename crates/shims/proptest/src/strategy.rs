@@ -324,9 +324,7 @@ impl Strategy for &'static str {
 
 /// Parses `\PC{m,n}` / `.{m,n}`-style patterns; returns the length bounds.
 fn parse_repetition(pat: &str) -> Option<(usize, usize)> {
-    let rest = pat
-        .strip_prefix("\\PC")
-        .or_else(|| pat.strip_prefix('.'))?;
+    let rest = pat.strip_prefix("\\PC").or_else(|| pat.strip_prefix('.'))?;
     let body = rest.strip_prefix('{')?.strip_suffix('}')?;
     let (m, n) = body.split_once(',')?;
     Some((m.trim().parse().ok()?, n.trim().parse().ok()?))

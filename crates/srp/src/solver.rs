@@ -78,6 +78,15 @@ impl fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
+/// Statistics of one solver run. Label updates are a deterministic
+/// machine-independent cost measure — the warm-start assertions compare
+/// them instead of noisy wall-clock time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Label updates performed until the fixpoint.
+    pub updates: usize,
+}
+
 /// Solves the SRP with nodes initially activated in natural id order.
 pub fn solve<P: Protocol>(srp: &Srp<'_, P>) -> Result<Solution<P::Attr>, SolveError> {
     let order: Vec<NodeId> = srp.graph.nodes().collect();
@@ -118,6 +127,16 @@ pub fn solve_with_order_masked<P: Protocol>(
     options: SolverOptions,
     mask: Option<&FailureMask>,
 ) -> Result<Solution<P::Attr>, SolveError> {
+    solve_with_order_masked_stats(srp, order, options, mask).map(|(s, _)| s)
+}
+
+/// [`solve_with_order_masked`] additionally reporting [`SolveStats`].
+pub fn solve_with_order_masked_stats<P: Protocol>(
+    srp: &Srp<'_, P>,
+    order: &[NodeId],
+    options: SolverOptions,
+    mask: Option<&FailureMask>,
+) -> Result<(Solution<P::Attr>, SolveStats), SolveError> {
     let n = srp.graph.node_count();
     assert_eq!(order.len(), n, "activation order must cover every node");
 
@@ -132,9 +151,51 @@ pub fn solve_with_order_masked<P: Protocol>(
         .filter(|&u| !srp.is_origin(u))
         .collect();
     let mut touched = vec![false; n];
-    propagate(srp, &mut labels, &seeds, options, mask, &mut touched)?;
-    srp.solution_from_labels_masked(labels, mask)
-        .map_err(SolveError::Internal)
+    let updates = propagate(srp, &mut labels, &seeds, options, mask, &mut touched)?;
+    let solution = srp
+        .solution_from_labels_masked(labels, mask)
+        .map_err(SolveError::Internal)?;
+    Ok((solution, SolveStats { updates }))
+}
+
+/// Solves the masked instance from an explicit initial labeling — the
+/// **solution-transport** warm start of the per-scenario sweep engine.
+///
+/// `initial` is a *guess*, typically the base abstract network's
+/// failure-free fixpoint transported through a partition-refinement map
+/// onto a refined abstract network: near the fixpoint when the refinement
+/// is local, but carrying no guarantees whatsoever. Origins are pinned to
+/// their protocol origin labels (the guess is ignored there), **every**
+/// non-origin node is seeded for re-examination, and the result passes the
+/// same full stability validation as a cold solve — a bad guess can only
+/// cost updates, never correctness. With a good guess most activations
+/// confirm the label without an update, which is the measurable win
+/// ([`SolveStats::updates`]).
+///
+/// A pathological guess can make the worklist leapfrog stale labels until
+/// the update budget dies ([`SolveError::Diverged`]) where a cold order
+/// would have converged — callers treat that as "guess wasted" and fall
+/// back to a cold solve, exactly like [`solve_warm_masked`] divergence.
+pub fn solve_seeded_masked<P: Protocol>(
+    srp: &Srp<'_, P>,
+    initial: Vec<Option<P::Attr>>,
+    options: SolverOptions,
+    mask: Option<&FailureMask>,
+) -> Result<(Solution<P::Attr>, SolveStats), SolveError> {
+    let n = srp.graph.node_count();
+    assert_eq!(initial.len(), n, "initial labeling must cover every node");
+    let mut labels = initial;
+    for &o in &srp.origins {
+        labels[o.index()] = Some(srp.protocol.origin(o));
+    }
+
+    let seeds: Vec<NodeId> = srp.graph.nodes().filter(|&u| !srp.is_origin(u)).collect();
+    let mut touched = vec![false; n];
+    let updates = propagate(srp, &mut labels, &seeds, options, mask, &mut touched)?;
+    let solution = srp
+        .solution_from_labels_masked(labels, mask)
+        .map_err(SolveError::Internal)?;
+    Ok((solution, SolveStats { updates }))
 }
 
 /// Repairs a failure-free fixpoint after edge deletion instead of
@@ -243,6 +304,7 @@ pub fn solve_warm_masked<P: Protocol>(
 /// each popped node's best choice, and propagates label changes to
 /// predecessors until a fixpoint. Every node that is (re-)examined or
 /// enqueued is marked in `touched`; callers validate at least that region.
+/// Returns the number of label updates performed.
 fn propagate<P: Protocol>(
     srp: &Srp<'_, P>,
     labels: &mut [Option<P::Attr>],
@@ -250,7 +312,7 @@ fn propagate<P: Protocol>(
     options: SolverOptions,
     mask: Option<&FailureMask>,
     touched: &mut [bool],
-) -> Result<(), SolveError> {
+) -> Result<usize, SolveError> {
     let n = srp.graph.node_count();
     let mut queue: VecDeque<NodeId> = VecDeque::with_capacity(seeds.len().max(4) * 2);
     let mut queued = vec![false; n];
@@ -304,7 +366,7 @@ fn propagate<P: Protocol>(
             }
         }
     }
-    Ok(())
+    Ok(updates)
 }
 
 #[cfg(test)]

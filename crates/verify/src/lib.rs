@@ -17,21 +17,31 @@
 //! * [`sweep`] — the scalable per-scenario refinement sweep: keeps the
 //!   failure-free base abstraction, derives a tiny localized refinement
 //!   per scenario (cached by orbit signature, verified with warm-started
-//!   masked solves, fanned out over the shared lock-free driver) instead
-//!   of decompressing one abstraction for all scenarios at once.
+//!   masked solves — concrete *and* abstract, via solution transport —
+//!   fanned out over the shared lock-free driver) instead of
+//!   decompressing one abstraction for all scenarios at once.
+//! * [`netsweep`] — the network-level orchestrator over the
+//!   (scenario × destination class) product: one fan-out plane for the
+//!   whole network, with refinements shared **across classes** keyed by
+//!   (policy fingerprint, quotient class, canonical signature).
 //! * [`sim_engine`] — the **Batfish substitute**: simulates the control
 //!   plane per destination class, derives the data plane (with ACLs), and
-//!   answers reachability queries.
+//!   answers reachability queries — failure-free, under a failure mask,
+//!   or on a per-scenario refined abstract network mapped back to
+//!   concrete nodes.
 //! * [`search_engine`] — the **Minesweeper substitute**: checks a property
 //!   over *many stable solutions* by re-solving under systematically
-//!   varied activation orders, with wall-clock and memory budgets that
-//!   report `Timeout` / `OutOfMemory` like the paper's 10-minute limit.
+//!   varied activation orders (optionally under a failure mask, or across
+//!   every `≤ k` failure scenario), with wall-clock and memory budgets
+//!   that report `Timeout` / `OutOfMemory` like the paper's 10-minute
+//!   limit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod equivalence;
 pub mod failures;
+pub mod netsweep;
 pub mod properties;
 pub mod search_engine;
 pub mod sim_engine;
@@ -45,10 +55,11 @@ pub use failures::{
     check_cp_equivalence_under_failures, lift_failure_mask, FailureAuditOptions,
     FailureAuditReport, FailureCounterexample,
 };
+pub use netsweep::{sweep_network, EcSweep, NetworkSweepOptions, NetworkSweepReport};
 pub use properties::{Reachability, SolutionAnalysis};
 pub use search_engine::{SearchBudget, SearchOutcome};
 pub use sim_engine::SimEngine;
 pub use sweep::{
-    derive_refinement, sweep_failures, ScenarioOutcome, ScenarioRefinement, SweepOptions,
-    SweepReport,
+    derive_refinement, sweep_failures, RefinementProvenance, ScenarioOutcome, ScenarioRefinement,
+    SweepOptions, SweepReport,
 };

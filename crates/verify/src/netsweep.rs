@@ -1,0 +1,613 @@
+//! The network-level sweep orchestrator: one scenario plane over the
+//! **(scenario × destination class)** product, with refinements shared
+//! across classes.
+//!
+//! The paper's central claim is that one compressed network answers
+//! questions about *all* destination classes cheaply — but a per-EC sweep
+//! ([`crate::sweep::sweep_failures`]) re-derives the same symmetric
+//! refinements once per class: on a fattree every destination class sees
+//! the same five single-failure shapes, and each class pays for them
+//! again. This orchestrator flattens the whole verification into one
+//! [`bonsai_core::fanout`] plane and re-keys the refinement cache from
+//! EC-relative orbit signatures to **(policy fingerprint, quotient class,
+//! canonical signature)**:
+//!
+//! * [`EcFingerprint`] (from the shared engine) — equal iff the two
+//!   classes provably compile every policy identically.
+//! * [`QuotientClass`] — equal iff the classes' base abstractions are
+//!   isomorphic as sig-labeled quotient graphs (origin position included:
+//!   origin flags and block sizes are part of the canonical colors).
+//! * [`CanonicalSignature`] — the scenario's failed-subgraph signature in
+//!   canonical quotient coordinates.
+//!
+//! A cache hit under this key comes in two strengths:
+//!
+//! * **Exact** — the donor class has the *identical* origin set. Every
+//!   input of the derivation is then equal by construction, so the
+//!   donor's split replays byte-identically; only the abstract network is
+//!   rebuilt (it embeds the class's own prefix). Any derivation
+//!   transfers, escalated or not.
+//! * **Symmetric** — the donor is a different (symmetric) class. The
+//!   localized endpoint split is recomputed against the receiving class's
+//!   own base abstraction — the split is a function of the representative
+//!   scenario, not of the donor — and the donor's verification verdict
+//!   stands in for the receiver's. Only **unescalated** donors transfer
+//!   (escalated splits name donor-specific concrete nodes);
+//!   [`NetworkSweepOptions::verify_transfers`] re-runs the verification
+//!   per receiving class for callers who want the symmetry argument
+//!   checked rather than trusted, falling back to a full derivation on
+//!   refutation.
+//!
+//! Exactness: the fingerprint + quotient-class + canonical-signature key
+//! certifies policy-level and quotient-level symmetry; it does not
+//! construct a concrete automorphism. On networks whose orbit structure
+//! certifies real symmetry (every topology in our suite) a transfer is
+//! byte-identical to the fresh derivation — `tests/netsweep_acceptance.rs`
+//! proves exactly that, per transfer, against
+//! [`crate::sweep::derive_refinement`].
+
+use crate::equivalence::EquivalenceError;
+use crate::sweep::{
+    base_abstract_solution, check_scenario_refined, derive_scenario_refinement, endpoint_split,
+    sample_concrete_solutions, RefinementProvenance, ScenarioOutcome, ScenarioRefinement, SweepCtx,
+    SweepOptions, SweepReport,
+};
+use bonsai_config::{BuiltTopology, Community, NetworkConfig};
+use bonsai_core::abstraction::build_abstract_network;
+use bonsai_core::compress::{refine_ec_with_split, CompressionReport, EcCompression};
+use bonsai_core::engine::{CompiledPolicies, EcFingerprint};
+use bonsai_core::fanout::fan_out;
+use bonsai_core::scenarios::{
+    canonical_signature_of, enumerate_scenarios, enumerate_scenarios_pruned_with,
+    exhaustive_scenario_count, link_orbits_with_distances, quotient_canon, CanonicalSignature,
+    FailureScenario, LinkOrbits, NodeDistances, OrbitSignature, QuotientCanon, QuotientClass,
+};
+use bonsai_core::signatures::build_sig_table;
+use bonsai_net::prefix::Prefix;
+use bonsai_net::NodeId;
+use bonsai_srp::instance::{EcDest, MultiProtocol, OriginProto, RibAttr};
+use bonsai_srp::{Solution, Srp};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Options for a network-level sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkSweepOptions {
+    /// The per-scenario engine options (failure bound, orders, pruning,
+    /// warm starts, thread count).
+    pub sweep: SweepOptions,
+    /// Share refinements across destination classes through the
+    /// (fingerprint, quotient class, canonical signature) cache. Disable
+    /// to measure what the sharing saves.
+    pub share_across_ecs: bool,
+    /// Re-verify symmetric transfers against the receiving class
+    /// (deriving from scratch on refutation) instead of trusting the
+    /// certified symmetry. Exact same-origin transfers are never
+    /// re-verified — they are byte-identical by determinism.
+    pub verify_transfers: bool,
+    /// Cap on the number of destination classes swept (0 = all).
+    pub max_ecs: usize,
+}
+
+impl Default for NetworkSweepOptions {
+    fn default() -> Self {
+        NetworkSweepOptions {
+            sweep: SweepOptions::default(),
+            share_across_ecs: true,
+            verify_transfers: false,
+            max_ecs: 0,
+        }
+    }
+}
+
+/// One class's slice of a network-level sweep.
+#[derive(Debug)]
+pub struct EcSweep {
+    /// The class's representative prefix.
+    pub rep: Prefix,
+    /// Its policy fingerprint (engine-interned).
+    pub fingerprint: EcFingerprint,
+    /// Whether the class's quotient canonicalized (cross-EC sharing was
+    /// available to it).
+    pub canonical: bool,
+    /// The per-class sweep report. `derivations` counts the full
+    /// derivations kept for this class — transfers count zero.
+    pub report: SweepReport,
+}
+
+/// The outcome of a network-level sweep: every (scenario, class) pair
+/// verified, with cross-EC sharing statistics.
+#[derive(Debug)]
+pub struct NetworkSweepReport {
+    /// The failure bound that was swept.
+    pub k: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Per-class results, in compression-report order.
+    pub per_ec: Vec<EcSweep>,
+    /// Full refinement derivations actually performed across workers
+    /// (racing duplicates included — compare with
+    /// [`NetworkSweepReport::unshared_derivations`]).
+    pub derivations: usize,
+    /// Cross-EC transfers from same-origin donors (byte-exact).
+    pub exact_transfers: usize,
+    /// Cross-EC transfers from symmetric donors (certified by the
+    /// canonical key; re-verified iff `verify_transfers`).
+    pub symmetric_transfers: usize,
+    /// Symmetric transfers that were re-verified per receiving class.
+    pub verified_transfers: usize,
+    /// Distinct policy fingerprints among the swept classes.
+    pub distinct_fingerprints: usize,
+}
+
+impl NetworkSweepReport {
+    /// Total (scenario, class) pairs verified.
+    pub fn scenarios_swept(&self) -> usize {
+        self.per_ec.iter().map(|e| e.report.scenarios_swept()).sum()
+    }
+
+    /// What the per-EC engine would have derived without cross-EC
+    /// sharing: the distinct refinements of every class, summed.
+    pub fn unshared_derivations(&self) -> usize {
+        self.per_ec.iter().map(|e| e.report.refinements.len()).sum()
+    }
+
+    /// Fraction of would-be derivations served by the cross-EC cache:
+    /// `1 - derivations / unshared_derivations`, clamped at 0 — racing
+    /// workers can derive one signature more than once, which must read
+    /// as "no sharing", not as a negative ratio.
+    pub fn sharing_ratio(&self) -> f64 {
+        let unshared = self.unshared_derivations();
+        if unshared == 0 {
+            return 0.0;
+        }
+        (1.0 - self.derivations as f64 / unshared as f64).max(0.0)
+    }
+}
+
+/// Everything hoisted once per class before the fan-out, shared immutably
+/// by every worker.
+struct EcPlane<'a> {
+    ec: EcDest,
+    comp: &'a EcCompression,
+    orbits: LinkOrbits,
+    canon: Option<QuotientCanon>,
+    fingerprint: EcFingerprint,
+    srp: Srp<'a, MultiProtocol<'a>>,
+    base_solution: Option<Solution<RibAttr>>,
+    base_abs_solution: Option<Solution<RibAttr>>,
+    scenarios: Arc<Vec<FailureScenario>>,
+    /// Signatures aligned with `scenarios`, precomputed by the pruned
+    /// dedup pass (None on exhaustive sweeps, where no prior pass exists).
+    signatures: Option<Vec<OrbitSignature>>,
+}
+
+impl<'a> EcPlane<'a> {
+    fn ctx<'b>(
+        &'b self,
+        network: &'b NetworkConfig,
+        topo: &'b BuiltTopology,
+        engine: &'b CompiledPolicies,
+        keep: Option<&'b BTreeSet<Community>>,
+        options: &'b SweepOptions,
+    ) -> SweepCtx<'b> {
+        SweepCtx {
+            network,
+            topo,
+            ec: &self.ec,
+            base: &self.comp.abstraction,
+            base_net: &self.comp.abstract_network,
+            engine,
+            orbits: &self.orbits,
+            srp: &self.srp,
+            base_solution: self.base_solution.as_ref(),
+            base_abs_solution: self.base_abs_solution.as_ref(),
+            keep,
+            options,
+        }
+    }
+}
+
+/// The cross-EC cache key: equal only for classes with provably identical
+/// compiled policies and isomorphic labeled quotients, and scenarios with
+/// equal canonical signatures.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct SharedKey {
+    fingerprint: EcFingerprint,
+    quotient: QuotientClass,
+    signature: CanonicalSignature,
+}
+
+/// A cross-EC cache entry: the donor's refinement plus enough provenance
+/// to decide transfer strength.
+struct SharedEntry {
+    donor_origins: Vec<(NodeId, OriginProto)>,
+    donor: ScenarioRefinement,
+    /// The donor derivation converged on the stage-1 endpoint split with
+    /// no escalation — the precondition for symmetric transfer.
+    stage1_only: bool,
+}
+
+/// The cross-EC cache, shared by **all** workers behind a mutex — unlike
+/// the per-EC materialization caches, which stay worker-local. The lock
+/// is only touched on per-EC cache misses (rare: most items hit the
+/// local cache), and held for a hash probe or an insert, never across a
+/// derivation — so the sharing statistics stay near the threads=1
+/// optimum instead of degrading by a factor of the worker count. Two
+/// workers can still race one key (both miss, both derive); the first
+/// insert wins and the duplicate is counted honestly in `derivations`.
+type SharedCache = std::sync::Mutex<HashMap<SharedKey, Arc<SharedEntry>>>;
+
+/// Worker-local state of the network fan-out.
+struct WorkerState {
+    per_ec: HashMap<(usize, OrbitSignature), ScenarioRefinement>,
+    /// Full derivations per class index.
+    derivations: Vec<usize>,
+    exact_transfers: usize,
+    symmetric_transfers: usize,
+    verified_transfers: usize,
+}
+
+/// Sweeps every `≤ k` link-failure scenario of **every** destination
+/// class of a compression run through one shared fan-out plane, sharing
+/// refinements across classes (see the module docs for the cache key and
+/// the transfer rules).
+///
+/// `report` must be the compression run of `network`/`topo`; its shared
+/// engine serves every signature table, fingerprint and refinement.
+pub fn sweep_network(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    report: &CompressionReport,
+    options: &NetworkSweepOptions,
+) -> Result<NetworkSweepReport, EquivalenceError> {
+    let engine: &CompiledPolicies = &report.policies;
+    let keep: Option<BTreeSet<Community>> = engine
+        .strips_unused_communities()
+        .then(|| engine.communities().iter().copied().collect());
+    let k = options.sweep.max_failures;
+    let n_ecs = if options.max_ecs == 0 {
+        report.per_ec.len()
+    } else {
+        report.per_ec.len().min(options.max_ecs)
+    };
+
+    // Hoist the per-class planes sequentially (deterministic fingerprint
+    // interning and engine-cache population), sharing one distance matrix
+    // and — for exhaustive sweeps — one scenario list.
+    let distances = Arc::new(NodeDistances::of_graph(&topo.graph));
+    let exhaustive: Arc<Vec<FailureScenario>> = Arc::new(enumerate_scenarios(&topo.graph, k));
+    let mut planes: Vec<EcPlane<'_>> = Vec::with_capacity(n_ecs);
+    for comp in report.per_ec.iter().take(n_ecs) {
+        let ec = comp.ec.to_ec_dest();
+        let sigs = build_sig_table(engine, network, topo, &ec);
+        let orbits =
+            link_orbits_with_distances(&topo.graph, &comp.abstraction, &sigs, distances.clone());
+        let canon = if options.share_across_ecs {
+            quotient_canon(&topo.graph, &ec, &comp.abstraction, &sigs, &orbits)
+        } else {
+            None
+        };
+        let fingerprint = engine.ec_fingerprint(network, topo, &ec);
+        let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
+        let proto = MultiProtocol::build(network, topo, &ec);
+        let srp = Srp::with_origins(&topo.graph, origins, proto);
+        let base_solution = options
+            .sweep
+            .warm_start
+            .then(|| bonsai_srp::solver::solve(&srp).ok())
+            .flatten();
+        let base_abs_solution = base_abstract_solution(&comp.abstract_network, &options.sweep);
+        let (scenarios, signatures) = if options.sweep.prune_symmetric {
+            // Pruned per class (pruning is relative to the class's own
+            // orbits), keeping the signatures so the workers need not
+            // recompute the pattern canonicalization.
+            let (pruned, sigs_of): (Vec<_>, Vec<_>) =
+                enumerate_scenarios_pruned_with(&topo.graph, &orbits, k)
+                    .into_iter()
+                    .unzip();
+            (Arc::new(pruned), Some(sigs_of))
+        } else {
+            (exhaustive.clone(), None)
+        };
+        planes.push(EcPlane {
+            ec,
+            comp,
+            orbits,
+            canon,
+            fingerprint,
+            srp,
+            base_solution,
+            base_abs_solution,
+            scenarios,
+            signatures,
+        });
+    }
+
+    // The flattened (class, scenario) plane: offsets[e] is the first item
+    // of class e.
+    let mut offsets: Vec<usize> = Vec::with_capacity(n_ecs + 1);
+    let mut total = 0usize;
+    for plane in &planes {
+        offsets.push(total);
+        total += plane.scenarios.len();
+    }
+    offsets.push(total);
+
+    let threads = if options.sweep.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        options.sweep.threads
+    }
+    .min(total.max(1));
+
+    let shared: SharedCache = std::sync::Mutex::new(HashMap::new());
+    let work = |state: &mut WorkerState, i: usize| -> Result<ScenarioOutcome, EquivalenceError> {
+        let e = offsets.partition_point(|&o| o <= i) - 1;
+        let plane = &planes[e];
+        let s = i - offsets[e];
+        let scenario = &plane.scenarios[s];
+        let signature = match &plane.signatures {
+            Some(sigs) => sigs[s].clone(),
+            None => plane
+                .orbits
+                .signature_of(scenario)
+                .expect("scenario links come from the same graph as the orbits"),
+        };
+
+        let (cache_hit, refined_nodes) = match state.per_ec.get(&(e, signature.clone())) {
+            Some(r) => (true, r.refined_nodes()),
+            None => {
+                let refinement = resolve_refinement(
+                    state,
+                    &shared,
+                    e,
+                    plane,
+                    &signature,
+                    network,
+                    topo,
+                    engine,
+                    keep.as_ref(),
+                    options,
+                )?;
+                let nodes = refinement.refined_nodes();
+                state.per_ec.insert((e, signature.clone()), refinement);
+                (false, nodes)
+            }
+        };
+        Ok(ScenarioOutcome {
+            scenario: scenario.clone(),
+            signature,
+            cache_hit,
+            refined_nodes,
+        })
+    };
+
+    let init = || WorkerState {
+        per_ec: HashMap::new(),
+        derivations: vec![0; n_ecs],
+        exact_transfers: 0,
+        symmetric_transfers: 0,
+        verified_transfers: 0,
+    };
+    let (results, states) = fan_out(total, threads, init, work);
+    let outcomes: Vec<ScenarioOutcome> = results.into_iter().collect::<Result<_, _>>()?;
+
+    // Merge worker states: per-class refinement maps (racing duplicates
+    // must agree — same debug contract as the per-EC engine) and the
+    // sharing counters.
+    let mut refinements: Vec<BTreeMap<OrbitSignature, ScenarioRefinement>> =
+        (0..n_ecs).map(|_| BTreeMap::new()).collect();
+    let mut per_ec_derivations = vec![0usize; n_ecs];
+    let mut derivations = 0usize;
+    let mut exact_transfers = 0usize;
+    let mut symmetric_transfers = 0usize;
+    let mut verified_transfers = 0usize;
+    for state in states {
+        for (e, d) in state.derivations.iter().enumerate() {
+            per_ec_derivations[e] += d;
+            derivations += d;
+        }
+        exact_transfers += state.exact_transfers;
+        symmetric_transfers += state.symmetric_transfers;
+        verified_transfers += state.verified_transfers;
+        for ((e, sig), refinement) in state.per_ec {
+            if let Some(existing) = refinements[e].get(&sig) {
+                debug_assert_eq!(
+                    existing.abstraction.partition.as_sets(),
+                    refinement.abstraction.partition.as_sets(),
+                    "racing derivations of one signature must agree"
+                );
+            } else {
+                refinements[e].insert(sig, refinement);
+            }
+        }
+    }
+
+    // Slice the outcomes back into per-class reports.
+    let mut outcome_iter = outcomes.into_iter();
+    let mut per_ec: Vec<EcSweep> = Vec::with_capacity(n_ecs);
+    for (e, plane) in planes.iter().enumerate() {
+        let ec_outcomes: Vec<ScenarioOutcome> =
+            outcome_iter.by_ref().take(plane.scenarios.len()).collect();
+        per_ec.push(EcSweep {
+            rep: plane.comp.ec.rep,
+            fingerprint: plane.fingerprint,
+            canonical: plane.canon.is_some(),
+            report: SweepReport {
+                k,
+                threads,
+                base_abstract_nodes: plane.comp.abstraction.abstract_node_count(),
+                scenarios_exhaustive: exhaustive_scenario_count(topo.graph.link_count(), k),
+                outcomes: ec_outcomes,
+                refinements: std::mem::take(&mut refinements[e]),
+                derivations: per_ec_derivations[e],
+            },
+        });
+    }
+
+    let distinct_fingerprints = planes
+        .iter()
+        .map(|p| p.fingerprint)
+        .collect::<BTreeSet<_>>()
+        .len();
+
+    Ok(NetworkSweepReport {
+        k,
+        threads,
+        per_ec,
+        derivations,
+        exact_transfers,
+        symmetric_transfers,
+        verified_transfers,
+        distinct_fingerprints,
+    })
+}
+
+/// Resolves a (class, signature) cache miss: cross-EC transfer when the
+/// canonical key hits with a compatible donor, full derivation otherwise
+/// (recording the result for future transfers).
+#[allow(clippy::too_many_arguments)]
+fn resolve_refinement(
+    state: &mut WorkerState,
+    shared: &SharedCache,
+    e: usize,
+    plane: &EcPlane<'_>,
+    signature: &OrbitSignature,
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    engine: &CompiledPolicies,
+    keep: Option<&BTreeSet<Community>>,
+    options: &NetworkSweepOptions,
+) -> Result<ScenarioRefinement, EquivalenceError> {
+    let scenario = plane.orbits.canonical_scenario(signature);
+    let shared_key = plane.canon.as_ref().and_then(|canon| {
+        canonical_signature_of(&plane.orbits, canon, &scenario).map(|sig| SharedKey {
+            fingerprint: plane.fingerprint,
+            quotient: canon.class.clone(),
+            signature: sig,
+        })
+    });
+
+    // Probe the shared cache under the lock, transfer outside it.
+    let hit: Option<Arc<SharedEntry>> = shared_key
+        .as_ref()
+        .and_then(|key| shared.lock().unwrap().get(key).cloned());
+    if let Some(entry) = hit {
+        if entry.donor_origins == plane.ec.origins {
+            state.exact_transfers += 1;
+            return Ok(materialize_exact(plane, &entry, signature, network, topo));
+        }
+        if entry.stage1_only {
+            let candidate =
+                materialize_symmetric(plane, signature, &scenario, network, topo, engine);
+            if !options.verify_transfers {
+                state.symmetric_transfers += 1;
+                return Ok(candidate);
+            }
+            // Audited mode: run this class's own verification against
+            // the transferred refinement; a refutation (the symmetry
+            // certificate over-promised) falls back to deriving.
+            let ctx = plane.ctx(network, topo, engine, keep, &options.sweep);
+            let solutions = sample_concrete_solutions(&ctx, &candidate.representative)?;
+            if check_scenario_refined(
+                &ctx,
+                &candidate.representative,
+                &solutions,
+                &candidate.abstraction,
+                &candidate.abstract_network,
+            )?
+            .is_ok()
+            {
+                state.symmetric_transfers += 1;
+                state.verified_transfers += 1;
+                return Ok(candidate);
+            }
+        }
+    }
+
+    let ctx = plane.ctx(network, topo, engine, keep, &options.sweep);
+    let refinement = derive_scenario_refinement(&ctx, signature)?;
+    state.derivations[e] += 1;
+    if let Some(key) = shared_key {
+        let entry = Arc::new(SharedEntry {
+            donor_origins: plane.ec.origins.clone(),
+            stage1_only: !refinement.localized_refuted && !refinement.global_fallback,
+            donor: refinement.clone(),
+        });
+        shared.lock().unwrap().entry(key).or_insert(entry);
+    }
+    Ok(refinement)
+}
+
+/// Materializes an exact (same-origin) transfer: the donor's partition
+/// replays byte-identically, only the abstract network is rebuilt so it
+/// embeds the receiving class's own prefix.
+fn materialize_exact(
+    plane: &EcPlane<'_>,
+    entry: &SharedEntry,
+    signature: &OrbitSignature,
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+) -> ScenarioRefinement {
+    debug_assert_eq!(
+        entry.donor.signature, *signature,
+        "identical origins and fingerprints must yield identical per-EC signatures"
+    );
+    let abstraction = entry.donor.abstraction.clone();
+    let abstract_network = build_abstract_network(network, topo, &plane.ec, &abstraction);
+    ScenarioRefinement {
+        signature: signature.clone(),
+        representative: entry.donor.representative.clone(),
+        split: entry.donor.split.clone(),
+        abstraction,
+        abstract_network,
+        localized_refuted: entry.donor.localized_refuted,
+        deviating_rounds: entry.donor.deviating_rounds,
+        global_fallback: entry.donor.global_fallback,
+        provenance: RefinementProvenance::TransferredExact,
+    }
+}
+
+/// Materializes a symmetric transfer: the stage-1 endpoint split of the
+/// receiving class's own representative, refined against its own base
+/// abstraction — exactly what a fresh derivation produces when its first
+/// check passes, which is what the donor's verdict certifies.
+fn materialize_symmetric(
+    plane: &EcPlane<'_>,
+    signature: &OrbitSignature,
+    scenario: &FailureScenario,
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    engine: &CompiledPolicies,
+) -> ScenarioRefinement {
+    let split = endpoint_split(&plane.comp.abstraction, scenario);
+    let (abstraction, abstract_network) = if split.is_empty() {
+        (
+            plane.comp.abstraction.clone(),
+            plane.comp.abstract_network.clone(),
+        )
+    } else {
+        refine_ec_with_split(
+            engine,
+            network,
+            topo,
+            &plane.ec,
+            &plane.comp.abstraction,
+            &split,
+        )
+    };
+    ScenarioRefinement {
+        signature: signature.clone(),
+        representative: scenario.clone(),
+        split,
+        abstraction,
+        abstract_network,
+        localized_refuted: false,
+        deviating_rounds: 0,
+        global_fallback: false,
+        provenance: RefinementProvenance::TransferredSymmetric,
+    }
+}

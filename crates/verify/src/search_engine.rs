@@ -20,9 +20,10 @@
 
 use bonsai_config::{BuiltTopology, NetworkConfig};
 use bonsai_core::ecs::DestEc;
-use bonsai_net::NodeId;
+use bonsai_core::scenarios::enumerate_scenarios;
+use bonsai_net::{FailureMask, NodeId};
 use bonsai_srp::instance::{MultiProtocol, RibAttr};
-use bonsai_srp::solver::{solve_with_order, SolverOptions};
+use bonsai_srp::solver::{solve_with_order_masked, SolverOptions};
 use bonsai_srp::{Solution, Srp};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
@@ -109,6 +110,24 @@ pub fn for_each_solution<F>(
 where
     F: FnMut(&Solution<RibAttr>),
 {
+    for_each_solution_masked(network, topo, ec, budget, deadline, None, visit)
+}
+
+/// [`for_each_solution`] with a failure mask threaded through: solutions
+/// of the instance with the masked links removed. One shared instance
+/// serves every order and mask — the masked-solver contract.
+pub fn for_each_solution_masked<F>(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    ec: &DestEc,
+    budget: SearchBudget,
+    deadline: Instant,
+    mask: Option<&FailureMask>,
+    visit: &mut F,
+) -> SearchOutcome<usize>
+where
+    F: FnMut(&Solution<RibAttr>),
+{
     let ec_dest = ec.to_ec_dest();
     let origins: Vec<NodeId> = ec_dest.origins.iter().map(|(n, _)| *n).collect();
     let nodes: Vec<NodeId> = topo.graph.nodes().collect();
@@ -139,7 +158,7 @@ where
         }
         let proto = MultiProtocol::build(network, topo, &ec_dest);
         let srp = Srp::with_origins(&topo.graph, origins.clone(), proto);
-        let solution = match solve_with_order(&srp, &order, SolverOptions::default()) {
+        let solution = match solve_with_order_masked(&srp, &order, SolverOptions::default(), mask) {
             Ok(s) => s,
             Err(e) => return SearchOutcome::Diverged(e.to_string()),
         };
@@ -170,6 +189,38 @@ pub fn all_pairs_reachability(
     network: &NetworkConfig,
     budget: SearchBudget,
 ) -> SearchOutcome<usize> {
+    all_pairs_reachability_masked(network, budget, None)
+}
+
+/// [`all_pairs_reachability`] under one failure mask: the instance is
+/// searched with the masked links removed.
+pub fn all_pairs_reachability_masked(
+    network: &NetworkConfig,
+    budget: SearchBudget,
+    mask: Option<&FailureMask>,
+) -> SearchOutcome<usize> {
+    let deadline = Instant::now() + budget.wall;
+    let topo = match BuiltTopology::build(network) {
+        Ok(t) => t,
+        Err(e) => return SearchOutcome::Diverged(e.to_string()),
+    };
+    let ecs = bonsai_core::ecs::compute_ecs(network, &topo);
+    all_pairs_masked_inner(network, &topo, &ecs, budget, deadline, mask)
+}
+
+/// The Minesweeper-style bounded-failure query: the number of `(node,
+/// class)` pairs that deliver in every sampled solution of **every**
+/// `≤ k` link-failure scenario (the failure-free instance included).
+///
+/// Budget scope: the **wall clock** spans the whole sweep (the deadline
+/// is shared across every scenario and class), while `orders` and
+/// `max_label_cells` apply **per (scenario, class) instance** — `orders`
+/// bounds the solutions sampled from each instance, not the sweep total.
+pub fn all_pairs_reachability_under_failures(
+    network: &NetworkConfig,
+    budget: SearchBudget,
+    k: usize,
+) -> SearchOutcome<usize> {
     let deadline = Instant::now() + budget.wall;
     let topo = match BuiltTopology::build(network) {
         Ok(t) => t,
@@ -177,22 +228,77 @@ pub fn all_pairs_reachability(
     };
     let ecs = bonsai_core::ecs::compute_ecs(network, &topo);
     let n = topo.graph.node_count();
+
+    // Pair survival accumulates across scenarios: deliver everywhere or
+    // not at all.
+    let mut survives = vec![vec![true; n]; ecs.len()];
+    let failure_free: Option<FailureMask> = None;
+    let masks: Vec<FailureMask> = enumerate_scenarios(&topo.graph, k)
+        .iter()
+        .map(|s| s.mask(&topo.graph))
+        .collect();
+    for mask in std::iter::once(&failure_free)
+        .map(|m| m.as_ref())
+        .chain(masks.iter().map(Some))
+    {
+        if Instant::now() >= deadline {
+            return SearchOutcome::Timeout;
+        }
+        for (i, ec) in ecs.iter().enumerate() {
+            let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
+            let outcome =
+                for_each_solution_masked(network, &topo, ec, budget, deadline, mask, &mut |sol| {
+                    let analysis =
+                        crate::properties::SolutionAnalysis::new(&topo.graph, sol, &origins);
+                    for u in topo.graph.nodes() {
+                        survives[i][u.index()] &= analysis.can_reach(u);
+                    }
+                });
+            match outcome {
+                SearchOutcome::Completed(_) => {}
+                SearchOutcome::Timeout => return SearchOutcome::Timeout,
+                SearchOutcome::OutOfMemory => return SearchOutcome::OutOfMemory,
+                SearchOutcome::Diverged(e) => return SearchOutcome::Diverged(e),
+            }
+        }
+    }
+    let mut total = 0usize;
+    for (i, ec) in ecs.iter().enumerate() {
+        let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
+        total += (0..n)
+            .filter(|&u| survives[i][u] && !origins.contains(&NodeId(u as u32)))
+            .count();
+    }
+    SearchOutcome::Completed(total)
+}
+
+/// The shared masked all-pairs body.
+fn all_pairs_masked_inner(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    ecs: &[DestEc],
+    budget: SearchBudget,
+    deadline: Instant,
+    mask: Option<&FailureMask>,
+) -> SearchOutcome<usize> {
+    let n = topo.graph.node_count();
     let mut always_reachable = 0usize;
 
-    for ec in &ecs {
+    for ec in ecs {
         if Instant::now() >= deadline {
             return SearchOutcome::Timeout;
         }
         let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
         let mut reach_all = vec![true; n];
         let mut any_solution = false;
-        let outcome = for_each_solution(network, &topo, ec, budget, deadline, &mut |sol| {
-            any_solution = true;
-            let analysis = crate::properties::SolutionAnalysis::new(&topo.graph, sol, &origins);
-            for u in topo.graph.nodes() {
-                reach_all[u.index()] &= analysis.can_reach(u);
-            }
-        });
+        let outcome =
+            for_each_solution_masked(network, topo, ec, budget, deadline, mask, &mut |sol| {
+                any_solution = true;
+                let analysis = crate::properties::SolutionAnalysis::new(&topo.graph, sol, &origins);
+                for u in topo.graph.nodes() {
+                    reach_all[u.index()] &= analysis.can_reach(u);
+                }
+            });
         match outcome {
             SearchOutcome::Completed(_) => {}
             SearchOutcome::Timeout => return SearchOutcome::Timeout,

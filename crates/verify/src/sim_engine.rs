@@ -6,15 +6,28 @@
 //! destination equivalence class it solves the SRP (control plane), prunes
 //! the forwarding relation by the ACLs that apply to the class's packet
 //! range (data plane), and answers reachability queries over the result.
+//!
+//! Every query has a `_masked` variant taking an optional
+//! [`FailureMask`]: the control plane is then simulated with the masked
+//! links removed, so reachability questions run **under bounded link
+//! failures** end to end. On top,
+//! [`SimEngine::reachability_under_refinement`] answers the same question
+//! on a **per-scenario refined abstract network** (a
+//! [`ScenarioRefinement`] from the sweep engines) and maps the verdict
+//! back to concrete nodes — the compressed fast path whose agreement with
+//! the concrete masked simulation is the §9-closing acceptance check.
 
+use crate::failures::lift_failure_mask;
 use crate::properties::SolutionAnalysis;
+use crate::sweep::ScenarioRefinement;
 use bonsai_config::eval::acl_permits;
 use bonsai_config::{BuiltTopology, NetworkConfig};
 use bonsai_core::ecs::{compute_ecs, DestEc};
+use bonsai_core::scenarios::FailureScenario;
 use bonsai_net::prefix::Prefix;
-use bonsai_net::NodeId;
+use bonsai_net::{FailureMask, NodeId};
 use bonsai_srp::instance::{MultiProtocol, RibAttr};
-use bonsai_srp::solver::SolveError;
+use bonsai_srp::solver::{solve_masked, SolveError};
 use bonsai_srp::{solve, Solution, Srp};
 
 /// Control-plane simulation plus data-plane queries for one network.
@@ -48,11 +61,24 @@ impl<'a> SimEngine<'a> {
 
     /// Simulates the control plane for one class.
     pub fn solve_ec(&self, ec: &DestEc) -> Result<Solution<RibAttr>, SolveError> {
+        self.solve_ec_masked(ec, None)
+    }
+
+    /// Simulates the control plane for one class with the masked links
+    /// removed — the failure-scenario variant.
+    pub fn solve_ec_masked(
+        &self,
+        ec: &DestEc,
+        mask: Option<&FailureMask>,
+    ) -> Result<Solution<RibAttr>, SolveError> {
         let ec_dest = ec.to_ec_dest();
         let origins: Vec<NodeId> = ec_dest.origins.iter().map(|(n, _)| *n).collect();
         let proto = MultiProtocol::build(self.network, &self.topo, &ec_dest);
         let srp = Srp::with_origins(&self.topo.graph, origins, proto);
-        solve(&srp)
+        match mask {
+            None => solve(&srp),
+            Some(m) => solve_masked(&srp, Some(m)),
+        }
     }
 
     /// Derives the data-plane forwarding for a class: the control-plane
@@ -63,33 +89,22 @@ impl<'a> SimEngine<'a> {
         let range = ec.ranges.first().copied().unwrap_or(ec.rep);
         let mut pruned = solution.clone();
         for fwd in pruned.fwd.iter_mut() {
-            fwd.retain(|&e| self.edge_passes_acls(e, range));
+            fwd.retain(|&e| edge_passes_acls(self.network, &self.topo, e, range));
         }
         pruned
     }
 
-    fn edge_passes_acls(&self, e: bonsai_net::EdgeId, range: Prefix) -> bool {
-        let (u, v) = self.topo.graph.endpoints(e);
-        let du = &self.network.devices[u.index()];
-        let dv = &self.network.devices[v.index()];
-        let out_ok = du.interfaces[self.topo.egress(e)]
-            .acl_out
-            .as_deref()
-            .map(|n| du.acl(n).map(|a| acl_permits(a, range)).unwrap_or(false))
-            .unwrap_or(true);
-        let in_ok = dv.interfaces[self.topo.ingress(e)]
-            .acl_in
-            .as_deref()
-            .map(|n| dv.acl(n).map(|a| acl_permits(a, range)).unwrap_or(false))
-            .unwrap_or(true);
-        out_ok && in_ok
-    }
-
     /// All-pairs reachability over every class: the Figure 12 workload.
     pub fn all_pairs(&self) -> Result<AllPairs, SolveError> {
+        self.all_pairs_masked(None)
+    }
+
+    /// [`SimEngine::all_pairs`] under a failure mask: every class is
+    /// simulated with the masked links removed.
+    pub fn all_pairs_masked(&self, mask: Option<&FailureMask>) -> Result<AllPairs, SolveError> {
         let mut result = AllPairs::default();
         for ec in &self.ecs {
-            let solution = self.solve_ec(ec)?;
+            let solution = self.solve_ec_masked(ec, mask)?;
             let data = self.data_plane(ec, &solution);
             let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
             let analysis = SolutionAnalysis::new(&self.topo.graph, &data, &origins);
@@ -111,6 +126,17 @@ impl<'a> SimEngine<'a> {
     /// `dst` can `src` deliver packets to? Returns the class
     /// representatives that are reachable.
     pub fn query_reachability(&self, src: &str, dst: &str) -> Result<Vec<Prefix>, SolveError> {
+        self.query_reachability_masked(src, dst, None)
+    }
+
+    /// [`SimEngine::query_reachability`] under a failure mask: the same
+    /// question with the masked links removed from the control plane.
+    pub fn query_reachability_masked(
+        &self,
+        src: &str,
+        dst: &str,
+        mask: Option<&FailureMask>,
+    ) -> Result<Vec<Prefix>, SolveError> {
         let src = self
             .topo
             .graph
@@ -126,7 +152,7 @@ impl<'a> SimEngine<'a> {
             if !ec.origins.iter().any(|(n, _)| *n == dst) {
                 continue;
             }
-            let solution = self.solve_ec(ec)?;
+            let solution = self.solve_ec_masked(ec, mask)?;
             let data = self.data_plane(ec, &solution);
             let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
             let analysis = SolutionAnalysis::new(&self.topo.graph, &data, &origins);
@@ -136,6 +162,84 @@ impl<'a> SimEngine<'a> {
         }
         Ok(reachable)
     }
+
+    /// Answers per-node reachability for one class under a failure
+    /// scenario on the scenario's **refined abstract network** and maps
+    /// the verdict back to concrete nodes — the compressed fast path.
+    ///
+    /// The abstract control plane is solved under the *lifted* mask, its
+    /// data plane pruned by the abstract network's own (projected) ACLs,
+    /// and a concrete node counts as reachable iff **every** copy of its
+    /// block delivers (the copy assignment is solution-dependent, so the
+    /// universal quantification is the sound direction). Returns one flag
+    /// per concrete node; origins report `true`.
+    ///
+    /// Agreement with the concrete masked simulation is exactly what the
+    /// refinement's CP-equivalence-under-this-scenario guarantees — the
+    /// acceptance tests check the two verdict vectors are equal on every
+    /// scenario.
+    pub fn reachability_under_refinement(
+        &self,
+        ec: &DestEc,
+        refinement: &ScenarioRefinement,
+        scenario: &FailureScenario,
+    ) -> Result<Vec<bool>, SolveError> {
+        let abs = &refinement.abstract_network;
+        let abs_mask = lift_failure_mask(scenario, &refinement.abstraction, abs);
+        let abs_origins: Vec<NodeId> = abs.ec.origins.iter().map(|(n, _)| *n).collect();
+        let proto = MultiProtocol::build(&abs.network, &abs.topo, &abs.ec);
+        let srp = Srp::with_origins(&abs.topo.graph, abs_origins.clone(), proto);
+        let mut solution = solve_masked(&srp, Some(&abs_mask))?;
+
+        // Abstract data plane: the projected configs carry the ACLs, so
+        // the same pruning applies on the abstract side.
+        let range = ec.ranges.first().copied().unwrap_or(ec.rep);
+        for fwd in solution.fwd.iter_mut() {
+            fwd.retain(|&e| edge_passes_acls(&abs.network, &abs.topo, e, range));
+        }
+        let analysis = SolutionAnalysis::new(&abs.topo.graph, &solution, &abs_origins);
+
+        // Map back: concrete node → all copies of its block deliver.
+        let concrete_origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
+        Ok(self
+            .topo
+            .graph
+            .nodes()
+            .map(|u| {
+                if concrete_origins.contains(&u) {
+                    return true;
+                }
+                abs.candidates_of(&refinement.abstraction, u)
+                    .iter()
+                    .all(|&c| analysis.can_reach(c))
+            })
+            .collect())
+    }
+}
+
+/// True when neither the egress ACL of the edge's source interface nor
+/// the ingress ACL of its target interface drops the packet range —
+/// shared by the concrete and abstract data planes.
+fn edge_passes_acls(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    e: bonsai_net::EdgeId,
+    range: Prefix,
+) -> bool {
+    let (u, v) = topo.graph.endpoints(e);
+    let du = &network.devices[u.index()];
+    let dv = &network.devices[v.index()];
+    let out_ok = du.interfaces[topo.egress(e)]
+        .acl_out
+        .as_deref()
+        .map(|n| du.acl(n).map(|a| acl_permits(a, range)).unwrap_or(false))
+        .unwrap_or(true);
+    let in_ok = dv.interfaces[topo.ingress(e)]
+        .acl_in
+        .as_deref()
+        .map(|n| dv.acl(n).map(|a| acl_permits(a, range)).unwrap_or(false))
+        .unwrap_or(true);
+    out_ok && in_ok
 }
 
 #[cfg(test)]

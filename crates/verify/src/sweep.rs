@@ -39,11 +39,15 @@
 //!
 //! The soundness contract matches the pruned PR 3 sweep: a cached verdict
 //! covers a scenario via the symmetry argument of
-//! [`bonsai_core::scenarios::enumerate_scenarios_pruned`] (exact for
-//! `k = 1`, documented heuristic beyond). Callers wanting one globally
-//! k-sound abstraction still use
-//! [`crate::failures::check_cp_equivalence_under_failures`]; this engine
-//! is the scalable common path for "verify every scenario".
+//! [`bonsai_core::scenarios::enumerate_scenarios_pruned`] — exact for
+//! `k = 1`, and for `k ≥ 2` up to labeled failed-subgraph isomorphism
+//! (the pattern-refined [`OrbitSignature`] keeps shared-endpoint and
+//! disjoint same-orbit pairs apart; see the `scenarios` module docs).
+//! Callers wanting one globally k-sound abstraction still use
+//! [`crate::failures::check_cp_equivalence_under_failures`]; callers
+//! sweeping **every destination class** use the network-level
+//! orchestrator ([`crate::netsweep`]), which drives this engine's
+//! derivation loop with a cross-EC refinement cache on top.
 
 use crate::equivalence::{
     abstract_behaviors, aggregate_behaviors, behaviors_match, concrete_node_behaviors,
@@ -63,7 +67,9 @@ use bonsai_core::scenarios::{
 use bonsai_core::signatures::build_sig_table;
 use bonsai_net::NodeId;
 use bonsai_srp::instance::{EcDest, MultiProtocol, RibAttr};
-use bonsai_srp::solver::{solve_warm_masked, solve_with_order_masked, SolveError, SolverOptions};
+use bonsai_srp::solver::{
+    solve_seeded_masked, solve_warm_masked, solve_with_order_masked, SolveError, SolverOptions,
+};
 use bonsai_srp::{Solution, Srp};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -87,6 +93,11 @@ pub struct SweepOptions {
     /// Warm-start concrete scenario solves from the failure-free fixpoint
     /// (cold solves on divergence; disable to measure the difference).
     pub warm_start: bool,
+    /// Warm-start the refined **abstract** solves by transporting the base
+    /// abstract network's failure-free fixpoint through the
+    /// partition-refinement map (first abstract attempt per check; cold
+    /// rotated orders still follow, so solution diversity is preserved).
+    pub warm_abstract: bool,
 }
 
 impl Default for SweepOptions {
@@ -98,8 +109,27 @@ impl Default for SweepOptions {
             concrete_orders: 2,
             abstract_orders: 8,
             warm_start: true,
+            warm_abstract: true,
         }
     }
+}
+
+/// How a [`ScenarioRefinement`] came to be in a sweep's result set.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RefinementProvenance {
+    /// Derived and verified from scratch (the escalation loop ran).
+    Derived,
+    /// Materialized from a cross-EC cache entry of a class with the
+    /// **identical** origin set (and equal policy fingerprint + quotient
+    /// class): byte-identical to a fresh derivation by determinism.
+    TransferredExact,
+    /// Materialized from a cross-EC cache entry of a *symmetric* class
+    /// (equal policy fingerprint, quotient class and canonical signature,
+    /// different origins) whose derivation needed no escalation: the
+    /// localized endpoint split is recomputed against this class's own
+    /// base abstraction, and the donor's verification stands in for this
+    /// class's by the certified symmetry.
+    TransferredSymmetric,
 }
 
 /// One cached per-scenario refinement: the abstraction that verified the
@@ -125,6 +155,9 @@ pub struct ScenarioRefinement {
     /// The PR 3 candidate rule (endpoints, then whole offending block)
     /// had to be used.
     pub global_fallback: bool,
+    /// How this refinement entered the result set (derived here, or
+    /// transferred from another destination class by the network sweep).
+    pub provenance: RefinementProvenance,
 }
 
 impl ScenarioRefinement {
@@ -226,19 +259,40 @@ impl SweepReport {
 }
 
 /// Everything a scenario check needs, hoisted once per sweep and shared
-/// (immutably) by every worker.
-struct SweepCtx<'a> {
-    network: &'a NetworkConfig,
-    topo: &'a BuiltTopology,
-    ec: &'a EcDest,
-    base: &'a Abstraction,
-    base_net: &'a AbstractNetwork,
-    engine: &'a CompiledPolicies,
-    orbits: &'a LinkOrbits,
-    srp: &'a Srp<'a, MultiProtocol<'a>>,
-    base_solution: Option<&'a Solution<RibAttr>>,
-    keep: Option<&'a BTreeSet<Community>>,
-    options: &'a SweepOptions,
+/// (immutably) by every worker. `pub(crate)` so the network-level
+/// orchestrator ([`crate::netsweep`]) can drive the same derivation loop.
+pub(crate) struct SweepCtx<'a> {
+    pub(crate) network: &'a NetworkConfig,
+    pub(crate) topo: &'a BuiltTopology,
+    pub(crate) ec: &'a EcDest,
+    pub(crate) base: &'a Abstraction,
+    pub(crate) base_net: &'a AbstractNetwork,
+    pub(crate) engine: &'a CompiledPolicies,
+    pub(crate) orbits: &'a LinkOrbits,
+    pub(crate) srp: &'a Srp<'a, MultiProtocol<'a>>,
+    pub(crate) base_solution: Option<&'a Solution<RibAttr>>,
+    /// Failure-free fixpoint of the **base abstract** network, transported
+    /// onto refined abstract networks as a warm initial labeling.
+    pub(crate) base_abs_solution: Option<&'a Solution<RibAttr>>,
+    pub(crate) keep: Option<&'a BTreeSet<Community>>,
+    pub(crate) options: &'a SweepOptions,
+}
+
+/// Solves the failure-free base abstract network (natural order) — the
+/// transport source of warm abstract starts. `None` when disabled or when
+/// the base abstract instance does not converge failure-free (every check
+/// then runs cold, exactly as before).
+pub(crate) fn base_abstract_solution(
+    abs: &AbstractNetwork,
+    options: &SweepOptions,
+) -> Option<Solution<RibAttr>> {
+    if !options.warm_abstract {
+        return None;
+    }
+    let origins: Vec<NodeId> = abs.ec.origins.iter().map(|(n, _)| *n).collect();
+    let proto = MultiProtocol::build(&abs.network, &abs.topo, &abs.ec);
+    let srp = Srp::with_origins(&abs.topo.graph, origins, proto);
+    bonsai_srp::solver::solve(&srp).ok()
 }
 
 /// Sweeps every `≤ k` link-failure scenario with per-scenario refinements
@@ -286,6 +340,7 @@ pub fn sweep_failures(
     } else {
         None
     };
+    let base_abs_solution = base_abstract_solution(abs, options);
 
     let threads = if options.threads == 0 {
         std::thread::available_parallelism()
@@ -306,6 +361,7 @@ pub fn sweep_failures(
         orbits: &orbits,
         srp: &srp,
         base_solution: base_solution.as_ref(),
+        base_abs_solution: base_abs_solution.as_ref(),
         keep: keep.as_ref(),
         options,
     };
@@ -397,6 +453,7 @@ pub fn derive_refinement(
         .warm_start
         .then(|| bonsai_srp::solver::solve(&srp).ok())
         .flatten();
+    let base_abs_solution = base_abstract_solution(abs, options);
     let ctx = SweepCtx {
         network,
         topo,
@@ -407,33 +464,39 @@ pub fn derive_refinement(
         orbits: &orbits,
         srp: &srp,
         base_solution: base_solution.as_ref(),
+        base_abs_solution: base_abs_solution.as_ref(),
         keep: keep.as_ref(),
         options,
     };
     derive_scenario_refinement(&ctx, signature)
 }
 
+/// Stage 1 of every derivation: the failed links' endpoints that still
+/// share a block under `base` — the minimal split that lets the lifted
+/// mask express the failure exactly (each failed link becomes the unique
+/// witness of the abstract links it lifts to). Also the split a
+/// symmetric cross-EC transfer recomputes against its own base.
+pub(crate) fn endpoint_split(base: &Abstraction, scenario: &FailureScenario) -> Vec<NodeId> {
+    let mut split: Vec<NodeId> = scenario
+        .links
+        .iter()
+        .flat_map(|&(u, v)| [u, v])
+        .filter(|&n| base.partition.members(base.role_of(n)).len() > 1)
+        .collect();
+    split.sort();
+    split.dedup();
+    split
+}
+
 /// The escalation loop behind every cache miss: localized endpoint split →
 /// deviating-member splits → PR 3 candidate rule, each round strictly
 /// refining, until the canonical representative verifies.
-fn derive_scenario_refinement(
+pub(crate) fn derive_scenario_refinement(
     ctx: &SweepCtx<'_>,
     signature: &OrbitSignature,
 ) -> Result<ScenarioRefinement, EquivalenceError> {
     let rep = ctx.orbits.canonical_scenario(signature);
-
-    // Stage 1: isolate the failed links' endpoints that still share a
-    // block — the minimal split that lets the lifted mask express the
-    // failure exactly (each failed link becomes the unique witness of the
-    // abstract links it lifts to).
-    let mut split: Vec<NodeId> = rep
-        .links
-        .iter()
-        .flat_map(|&(u, v)| [u, v])
-        .filter(|&n| ctx.base.partition.members(ctx.base.role_of(n)).len() > 1)
-        .collect();
-    split.sort();
-    split.dedup();
+    let mut split = endpoint_split(ctx.base, &rep);
 
     let (mut cur, mut cur_net) = if split.is_empty() {
         (ctx.base.clone(), ctx.base_net.clone())
@@ -466,6 +529,7 @@ fn derive_scenario_refinement(
                     localized_refuted,
                     deviating_rounds,
                     global_fallback,
+                    provenance: RefinementProvenance::Derived,
                 });
             }
             Err(r) => r,
@@ -516,7 +580,7 @@ fn derive_scenario_refinement(
 /// Why a representative was refuted under a candidate refinement: the
 /// closest mismatch plus the per-node concrete behaviors of the failing
 /// attempt (the raw material of the deviating-member split).
-struct Refutation {
+pub(crate) struct Refutation {
     mismatch: Option<BehaviorMismatch>,
     node_behaviors: Vec<(NodeId, Behavior)>,
 }
@@ -525,7 +589,7 @@ struct Refutation {
 /// warm-started from the failure-free fixpoint (cold on divergence), the
 /// rest use the PR 3 rotated cold orders. Deduplicated — identical
 /// fixpoints would only repeat the abstract matching work.
-fn sample_concrete_solutions(
+pub(crate) fn sample_concrete_solutions(
     ctx: &SweepCtx<'_>,
     scenario: &FailureScenario,
 ) -> Result<Vec<Solution<RibAttr>>, EquivalenceError> {
@@ -567,7 +631,7 @@ fn sample_concrete_solutions(
 /// lifted mask. The solutions come from [`sample_concrete_solutions`] —
 /// they do not depend on the candidate abstraction, so escalation rounds
 /// reuse them.
-fn check_scenario_refined(
+pub(crate) fn check_scenario_refined(
     ctx: &SweepCtx<'_>,
     scenario: &FailureScenario,
     solutions: &[Solution<RibAttr>],
@@ -581,6 +645,20 @@ fn check_scenario_refined(
     let abs_nodes: Vec<NodeId> = abs.topo.graph.nodes().collect();
     let abs_proto = MultiProtocol::build(&abs.network, &abs.topo, &abs.ec);
     let abs_srp = Srp::with_origins(&abs.topo.graph, abs_origins, abs_proto);
+
+    // Attempt 0 for every concrete solution: the base abstract fixpoint
+    // transported through the partition-refinement map (ROADMAP
+    // "warm-started abstract solves") — usually already the matching
+    // solution, found in a handful of label updates. Independent of the
+    // concrete solution, so solved once; divergence or a mismatch falls
+    // through to the cold rotated orders.
+    let transported: Option<Solution<RibAttr>> = ctx.base_abs_solution.and_then(|base_abs| {
+        let initial =
+            transport_abstract_solution(ctx.base, ctx.base_net, abstraction, abs, base_abs);
+        solve_seeded_masked(&abs_srp, initial, SolverOptions::default(), Some(&abs_mask))
+            .ok()
+            .map(|(s, _)| s)
+    });
 
     for solution in solutions {
         let node_behaviors = concrete_node_behaviors(
@@ -596,7 +674,36 @@ fn check_scenario_refined(
         let mut matched = false;
         let mut last_mismatch: Option<BehaviorMismatch> = None;
         let mut seen: BTreeSet<Vec<Option<String>>> = BTreeSet::new();
+        let consider = |abs_solution: Solution<RibAttr>,
+                        last_mismatch: &mut Option<BehaviorMismatch>,
+                        seen: &mut BTreeSet<Vec<Option<String>>>|
+         -> bool {
+            let fingerprint: Vec<Option<String>> = abs_solution
+                .labels
+                .iter()
+                .map(|l| l.as_ref().map(|a| format!("{a:?}")))
+                .collect();
+            if !seen.insert(fingerprint) {
+                return false;
+            }
+            let abstract_b = abstract_behaviors(abs, &abs_solution, ctx.keep, Some(&abs_mask));
+            match behaviors_match(&concrete, &abstract_b) {
+                Ok(()) => true,
+                Err(mismatch) => {
+                    *last_mismatch = Some(mismatch);
+                    false
+                }
+            }
+        };
+
+        if let Some(s) = &transported {
+            matched = consider(s.clone(), &mut last_mismatch, &mut seen);
+        }
+
         for arot in 0..ctx.options.abstract_orders.max(1) {
+            if matched {
+                break;
+            }
             let order = rotated_order(&abs_nodes, arot);
             let abs_solution = match solve_with_order_masked(
                 &abs_srp,
@@ -609,21 +716,8 @@ fn check_scenario_refined(
                 // survives is an abstraction failure — counterexample path.
                 Err(_) => continue,
             };
-            let fingerprint: Vec<Option<String>> = abs_solution
-                .labels
-                .iter()
-                .map(|l| l.as_ref().map(|a| format!("{a:?}")))
-                .collect();
-            if !seen.insert(fingerprint) {
-                continue;
-            }
-            let abstract_b = abstract_behaviors(abs, &abs_solution, ctx.keep, Some(&abs_mask));
-            match behaviors_match(&concrete, &abstract_b) {
-                Ok(()) => {
-                    matched = true;
-                    break;
-                }
-                Err(mismatch) => last_mismatch = Some(mismatch),
+            if consider(abs_solution, &mut last_mismatch, &mut seen) {
+                matched = true;
             }
         }
         if !matched {
@@ -634,6 +728,60 @@ fn check_scenario_refined(
         }
     }
     Ok(Ok(()))
+}
+
+/// Transports the failure-free fixpoint of the **base** abstract network
+/// onto a **refined** abstract network of the same class: each refined
+/// abstract node takes the label of its parent block's corresponding copy
+/// (clamped to the parent's copy count), with BGP path entries remapped
+/// through a representative refined node per base node. The result is a
+/// warm *guess* for [`solve_seeded_masked`] — near the refined fixpoint
+/// when the refinement is local (most blocks carry over 1:1), and merely
+/// a slow start when it is not; it is always fully re-validated.
+pub fn transport_abstract_solution(
+    base: &Abstraction,
+    base_net: &AbstractNetwork,
+    refined: &Abstraction,
+    refined_net: &AbstractNetwork,
+    base_solution: &Solution<RibAttr>,
+) -> Vec<Option<RibAttr>> {
+    let fine_n = refined_net.topo.graph.node_count();
+    let coarse_n = base_net.topo.graph.node_count();
+
+    // Refined abstract node → base abstract node: any member of the fine
+    // block names the parent block (refinement only splits blocks).
+    let mut fine_to_coarse: Vec<NodeId> = Vec::with_capacity(fine_n);
+    for i in 0..fine_n {
+        let (fb, copy) = refined_net.copy_of_node[i];
+        let member = refined.partition.members(fb)[0];
+        let pb = base.role_of(NodeId(member));
+        let c = copy.min(base.copies[pb.index()].saturating_sub(1));
+        fine_to_coarse.push(base_net.node_of_copy[&(pb, c)]);
+    }
+    // Base abstract node → representative refined node (first taker), for
+    // path remapping. Base copies beyond every fine block's copy count
+    // have no preimage; their ids pass through and the worklist repairs.
+    let mut coarse_to_fine: Vec<Option<NodeId>> = vec![None; coarse_n];
+    for (i, c) in fine_to_coarse.iter().enumerate() {
+        coarse_to_fine[c.index()].get_or_insert(NodeId(i as u32));
+    }
+
+    (0..fine_n)
+        .map(|i| {
+            base_solution.labels[fine_to_coarse[i].index()]
+                .clone()
+                .map(|mut attr| {
+                    if let RibAttr::Bgp(b) = &mut attr {
+                        for p in b.path.iter_mut() {
+                            if let Some(f) = coarse_to_fine.get(p.index()).copied().flatten() {
+                                *p = f;
+                            }
+                        }
+                    }
+                    attr
+                })
+        })
+        .collect()
 }
 
 /// One cold masked solve with the PR 3 rotation scheme.
@@ -992,7 +1140,10 @@ mod tests {
             },
         );
         assert_eq!(sweep.scenarios_swept(), 21);
-        assert!(sweep.refinements.len() <= 5);
+        // 6 signature classes at k=2: the pattern-refined signature keeps
+        // the shared-endpoint and disjoint mixed pairs apart (the old
+        // orbit-count multiset merged them into 5).
+        assert!(sweep.refinements.len() <= 6);
         assert!(sweep.cache_hit_rate() > 0.5);
         for r in sweep.refinements.values() {
             assert!(r.refined_nodes() <= topo.graph.node_count());

@@ -6,7 +6,8 @@
 //! bonsai check    <network.cfg>          # verify CP-equivalence per class
 //! bonsai ecs      <network.cfg>          # list destination classes
 //! bonsai failures <network.cfg> [--failures k] [--threads n] [--pruned]
-//!                                        # per-scenario refinement sweep
+//!                 [--no-share] [--query <src>:<dst>] [--json [path]]
+//!                                        # network-level refinement sweep
 //! ```
 //!
 //! The input format is the vendor-independent dialect documented in
@@ -15,15 +16,22 @@
 //! in name order — the usual layout of per-device config dumps.
 //! `compress` writes one abstract network per destination equivalence
 //! class (`<out>/<prefix>.cfg`) and prints a Table 1-style summary row.
-//! `failures` runs the per-scenario refinement sweep engine
-//! (`bonsai_verify::sweep`) over every `≤ k` link-failure scenario and
-//! prints per-scenario refinement sizes plus the orbit-cache hit rate.
+//! `failures` runs the **network-level** sweep orchestrator
+//! (`bonsai_verify::netsweep`) over the (scenario × destination class)
+//! product, sharing refinements across symmetric classes; it prints
+//! per-class refinement sizes, the orbit-cache hit rate and the cross-EC
+//! sharing statistics. `--query a:d` additionally answers "which prefixes
+//! of `d` can `a` still reach" per failure scenario on the refined
+//! abstract networks; `--json` emits the whole report machine-readable
+//! (to stdout, or to a file when a path follows the flag).
 
 use bonsai::core::compress::{compress, CompressOptions};
 use bonsai::core::roles::{count_roles, RoleOptions};
 use bonsai::verify::equivalence::check_cp_equivalence_under_h;
-use bonsai::verify::sweep::{sweep_failures, SweepOptions};
-use bonsai_config::{parse_network, print_network, BuiltTopology};
+use bonsai::verify::netsweep::{sweep_network, NetworkSweepOptions, NetworkSweepReport};
+use bonsai::verify::sim_engine::SimEngine;
+use bonsai::verify::sweep::{RefinementProvenance, SweepOptions};
+use bonsai_config::{parse_network, print_network, BuiltTopology, NetworkConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -66,6 +74,223 @@ fn usize_flag(args: &[String], name: &str, default: usize) -> Result<usize, Stri
             .parse()
             .map_err(|e| format!("{name}: {e}")),
     }
+}
+
+/// Parses `--name <value>` (required value, same strictness as
+/// [`usize_flag`]); `Ok(None)` when the flag is absent.
+fn str_flag(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .map(|v| Some(v.clone()))
+            .ok_or_else(|| format!("{name} needs a value")),
+    }
+}
+
+/// `--json` with an *optional* path value: `None` = flag absent,
+/// `Some(None)` = print to stdout, `Some(Some(path))` = write a file.
+fn json_flag(args: &[String]) -> Option<Option<String>> {
+    args.iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).filter(|v| !v.starts_with("--")).cloned())
+}
+
+/// Minimal JSON string escaping for the `--json` output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One `--query` answer: a prefix of the queried destination, and how
+/// many swept scenarios deliver it from the source.
+struct QueryAnswer {
+    prefix: String,
+    delivered: usize,
+    scenarios: usize,
+}
+
+/// How a refinement was found, for the human and JSON outputs.
+fn refinement_how(r: &bonsai::verify::sweep::ScenarioRefinement) -> &'static str {
+    if r.global_fallback {
+        "global fallback"
+    } else if r.deviating_rounds > 0 {
+        "deviating-member split"
+    } else if r.split.is_empty() {
+        "base abstraction"
+    } else {
+        "localized split"
+    }
+}
+
+fn provenance_label(p: RefinementProvenance) -> &'static str {
+    match p {
+        RefinementProvenance::Derived => "derived",
+        RefinementProvenance::TransferredExact => "transferred-exact",
+        RefinementProvenance::TransferredSymmetric => "transferred-symmetric",
+    }
+}
+
+/// Serializes the network-sweep report (plus query answers) as the
+/// `bonsai-cli/failures-v1` JSON document.
+fn failures_json(
+    topo: &BuiltTopology,
+    sweep: &NetworkSweepReport,
+    pruned: bool,
+    share: bool,
+    queries: &[(String, String, Vec<QueryAnswer>)],
+) -> String {
+    let mut ecs = Vec::new();
+    for ec in &sweep.per_ec {
+        let mut details = Vec::new();
+        for r in ec.report.refinements.values() {
+            details.push(format!(
+                "{{\"representative\":\"{}\",\"nodes\":{},\"split\":{},\"how\":\"{}\",\"provenance\":\"{}\"}}",
+                json_escape(&r.representative.describe(&topo.graph)),
+                r.refined_nodes(),
+                r.split.len(),
+                refinement_how(r),
+                provenance_label(r.provenance),
+            ));
+        }
+        let mut scenarios = Vec::new();
+        for o in &ec.report.outcomes {
+            scenarios.push(format!(
+                "{{\"links\":\"{}\",\"nodes\":{}}}",
+                json_escape(&o.scenario.describe(&topo.graph)),
+                o.refined_nodes,
+            ));
+        }
+        ecs.push(format!(
+            concat!(
+                "{{\"rep\":\"{}\",\"fingerprint\":{},\"canonical\":{},",
+                "\"scenarios\":{},\"refinements\":{},\"derivations\":{},",
+                "\"cache_hit_rate\":{:.6},\"base_abstract_nodes\":{},",
+                "\"mean_refined_nodes\":{:.6},\"max_refined_nodes\":{},",
+                "\"refinements_detail\":[{}],\"per_scenario\":[{}]}}"
+            ),
+            ec.rep,
+            ec.fingerprint.raw(),
+            ec.canonical,
+            ec.report.scenarios_swept(),
+            ec.report.refinements.len(),
+            ec.report.derivations,
+            ec.report.cache_hit_rate(),
+            ec.report.base_abstract_nodes,
+            ec.report.mean_refined_nodes(),
+            ec.report.max_refined_nodes(),
+            details.join(","),
+            scenarios.join(","),
+        ));
+    }
+    let queries_json: Vec<String> = queries
+        .iter()
+        .flat_map(|(src, dst, answers)| {
+            answers.iter().map(move |a| {
+                format!(
+                    "{{\"src\":\"{}\",\"dst\":\"{}\",\"prefix\":\"{}\",\"delivered\":{},\"scenarios\":{},\"always\":{}}}",
+                    json_escape(src),
+                    json_escape(dst),
+                    json_escape(&a.prefix),
+                    a.delivered,
+                    a.scenarios,
+                    a.delivered == a.scenarios,
+                )
+            })
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n  \"schema\": \"bonsai-cli/failures-v1\",\n",
+            "  \"k\": {},\n  \"threads\": {},\n  \"pruned\": {},\n  \"share_across_ecs\": {},\n",
+            "  \"network\": {{\"nodes\": {}, \"links\": {}, \"ecs\": {}}},\n",
+            "  \"sharing\": {{\"derivations\": {}, \"unshared_derivations\": {}, ",
+            "\"sharing_ratio\": {:.6}, \"exact_transfers\": {}, \"symmetric_transfers\": {}, ",
+            "\"verified_transfers\": {}, \"distinct_fingerprints\": {}}},\n",
+            "  \"ecs\": [{}],\n  \"queries\": [{}]\n}}\n"
+        ),
+        sweep.k,
+        sweep.threads,
+        pruned,
+        share,
+        topo.graph.node_count(),
+        topo.graph.link_count(),
+        sweep.per_ec.len(),
+        sweep.derivations,
+        sweep.unshared_derivations(),
+        sweep.sharing_ratio(),
+        sweep.exact_transfers,
+        sweep.symmetric_transfers,
+        sweep.verified_transfers,
+        sweep.distinct_fingerprints,
+        ecs.join(","),
+        queries_json.join(","),
+    )
+}
+
+/// Answers one `--query src:dst` on the refined abstract networks: for
+/// every class originated at `dst`, in how many swept scenarios does
+/// `src` deliver? Runs on the compressed per-scenario networks — the
+/// point of the sweep — with verdicts mapped back through the blocks.
+fn answer_query(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    sweep: &NetworkSweepReport,
+    report: &bonsai::core::compress::CompressionReport,
+    src: &str,
+    dst: &str,
+) -> Result<Vec<QueryAnswer>, String> {
+    let src_node = topo
+        .graph
+        .node_by_name(src)
+        .ok_or_else(|| format!("--query: unknown device `{src}`"))?;
+    let dst_node = topo
+        .graph
+        .node_by_name(dst)
+        .ok_or_else(|| format!("--query: unknown device `{dst}`"))?;
+    let engine = SimEngine::new(network);
+    let mut answers = Vec::new();
+    for (comp, ec_sweep) in report.per_ec.iter().zip(&sweep.per_ec) {
+        if !comp.ec.origins.iter().any(|(n, _)| *n == dst_node) {
+            continue;
+        }
+        let sim_ec = engine
+            .ecs
+            .iter()
+            .find(|e| e.rep == comp.ec.rep)
+            .ok_or_else(|| format!("class {} missing from the simulation engine", comp.ec.rep))?;
+        let mut delivered = 0usize;
+        for outcome in &ec_sweep.report.outcomes {
+            let refinement = &ec_sweep.report.refinements[&outcome.signature];
+            let reach = engine
+                .reachability_under_refinement(sim_ec, refinement, &outcome.scenario)
+                .map_err(|e| {
+                    format!(
+                        "query under {}: {e}",
+                        outcome.scenario.describe(&topo.graph)
+                    )
+                })?;
+            if reach[src_node.index()] {
+                delivered += 1;
+            }
+        }
+        answers.push(QueryAnswer {
+            prefix: comp.ec.rep.to_string(),
+            delivered,
+            scenarios: ec_sweep.report.outcomes.len(),
+        });
+    }
+    Ok(answers)
 }
 
 fn main() -> ExitCode {
@@ -223,78 +448,146 @@ fn main() -> ExitCode {
             }
         }
         "failures" => {
-            let (k, threads) = match (
+            let (k, threads, query) = match (
                 usize_flag(&args, "--failures", 1),
                 usize_flag(&args, "--threads", 0),
+                str_flag(&args, "--query"),
             ) {
-                (Ok(k), Ok(t)) => (k, t),
-                (Err(e), _) | (_, Err(e)) => {
+                (Ok(k), Ok(t), Ok(q)) => (k, t, q),
+                (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let query = match query.map(|q| {
+                q.split_once(':')
+                    .map(|(s, d)| (s.to_string(), d.to_string()))
+                    .ok_or_else(|| format!("--query expects <src>:<dst>, got `{q}`"))
+            }) {
+                None => None,
+                Some(Ok(q)) => Some(q),
+                Some(Err(e)) => {
                     eprintln!("{e}");
                     return ExitCode::from(2);
                 }
             };
             let pruned = args.iter().any(|a| a == "--pruned");
+            let share = !args.iter().any(|a| a == "--no-share");
+            let json = json_flag(&args);
             let report = compress(&network, options);
-            let sweep_options = SweepOptions {
-                max_failures: k,
-                prune_symmetric: pruned,
-                threads,
+            let sweep_options = NetworkSweepOptions {
+                sweep: SweepOptions {
+                    max_failures: k,
+                    prune_symmetric: pruned,
+                    threads,
+                    ..Default::default()
+                },
+                share_across_ecs: share,
                 ..Default::default()
             };
+            let sweep = match sweep_network(&network, &topo, &report, &sweep_options) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("network sweep failed: {e}");
+                    return ExitCode::from(1);
+                }
+            };
+
+            let mut queries: Vec<(String, String, Vec<QueryAnswer>)> = Vec::new();
+            if let Some((src, dst)) = &query {
+                match answer_query(&network, &topo, &sweep, &report, src, dst) {
+                    Ok(answers) => queries.push((src.clone(), dst.clone(), answers)),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::from(1);
+                    }
+                }
+            }
+
+            // Bare `--json` replaces the human output on stdout; with a
+            // path, the document is written alongside the table.
+            let json_doc = json
+                .as_ref()
+                .map(|_| failures_json(&topo, &sweep, pruned, share, &queries));
+            if let Some(None) = &json {
+                print!("{}", json_doc.as_ref().expect("rendered above"));
+                return ExitCode::SUCCESS;
+            }
+
             println!(
-                "per-scenario failure sweep: k={k}, {} classes, {}",
-                report.num_ecs(),
+                "network failure sweep: k={k}, {} classes, {}, sharing {}",
+                sweep.per_ec.len(),
                 if pruned {
                     "pruned enumeration"
                 } else {
                     "exhaustive enumeration"
                 },
+                if share { "on" } else { "off" },
             );
-            for ec in &report.per_ec {
-                let sweep = match sweep_failures(
-                    &network,
-                    &topo,
-                    &ec.ec.to_ec_dest(),
-                    &ec.abstraction,
-                    &ec.abstract_network,
-                    &report.policies,
-                    &sweep_options,
-                ) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        eprintln!("class {}: sweep failed: {e}", ec.ec.rep);
-                        return ExitCode::from(1);
-                    }
-                };
+            println!(
+                "cross-EC: {} derivations for {} refinements ({} exact + {} symmetric \
+                 transfers, sharing ratio {:.0}%, {} fingerprint{})",
+                sweep.derivations,
+                sweep.unshared_derivations(),
+                sweep.exact_transfers,
+                sweep.symmetric_transfers,
+                sweep.sharing_ratio() * 100.0,
+                sweep.distinct_fingerprints,
+                if sweep.distinct_fingerprints == 1 {
+                    ""
+                } else {
+                    "s"
+                },
+            );
+            for ec in &sweep.per_ec {
                 println!(
-                    "class {}: {} scenarios ({} exhaustive), {} refinements, \
+                    "class {}: {} scenarios ({} exhaustive), {} refinements ({} derived here), \
                      cache hit rate {:.0}%, base {} -> mean {:.1} / max {} abstract nodes",
-                    ec.ec.rep,
-                    sweep.scenarios_swept(),
-                    sweep.scenarios_exhaustive,
-                    sweep.refinements.len(),
-                    sweep.cache_hit_rate() * 100.0,
-                    sweep.base_abstract_nodes,
-                    sweep.mean_refined_nodes(),
-                    sweep.max_refined_nodes(),
+                    ec.rep,
+                    ec.report.scenarios_swept(),
+                    ec.report.scenarios_exhaustive,
+                    ec.report.refinements.len(),
+                    ec.report.derivations,
+                    ec.report.cache_hit_rate() * 100.0,
+                    ec.report.base_abstract_nodes,
+                    ec.report.mean_refined_nodes(),
+                    ec.report.max_refined_nodes(),
                 );
-                for r in sweep.refinements.values() {
-                    let how = if r.global_fallback {
-                        "global fallback"
-                    } else if r.deviating_rounds > 0 {
-                        "deviating-member split"
-                    } else if r.split.is_empty() {
-                        "base abstraction"
-                    } else {
-                        "localized split"
-                    };
+                for r in ec.report.refinements.values() {
                     println!(
-                        "  {} -> {} nodes (+{} split, {how})",
+                        "  {} -> {} nodes (+{} split, {}, {})",
                         r.representative.describe(&topo.graph),
                         r.refined_nodes(),
                         r.split.len(),
+                        refinement_how(r),
+                        provenance_label(r.provenance),
                     );
                 }
+            }
+            for (src, dst, answers) in &queries {
+                for a in answers {
+                    println!(
+                        "query {src} -> {dst}: {} delivered in {}/{} scenarios{}",
+                        a.prefix,
+                        a.delivered,
+                        a.scenarios,
+                        if a.delivered == a.scenarios {
+                            " (always reachable)"
+                        } else {
+                            ""
+                        },
+                    );
+                }
+                if answers.is_empty() {
+                    println!("query {src} -> {dst}: no class originates at {dst}");
+                }
+            }
+            if let Some(Some(path)) = &json {
+                if let Err(e) = std::fs::write(path, json_doc.expect("rendered above")) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::from(1);
+                }
+                println!("wrote {path}");
             }
             ExitCode::SUCCESS
         }

@@ -1,0 +1,282 @@
+//! Acceptance of the network-level sweep orchestrator: cross-EC sharing
+//! makes the derivation count independent of the destination-class count
+//! on symmetric topologies, every transfer is byte-identical to the
+//! fresh per-EC derivation it replaced, the network fan-out is
+//! deterministic across thread counts, and masked reachability queries
+//! through the simulation engine agree with the per-scenario refined
+//! abstract networks on every scenario.
+
+use bonsai::core::compress::{compress, CompressOptions, CompressionReport};
+use bonsai::core::scenarios::enumerate_scenarios;
+use bonsai::verify::netsweep::{sweep_network, NetworkSweepOptions, NetworkSweepReport};
+use bonsai::verify::properties::SolutionAnalysis;
+use bonsai::verify::sim_engine::SimEngine;
+use bonsai::verify::sweep::{derive_refinement, RefinementProvenance, SweepOptions};
+use bonsai_config::{BuiltTopology, NetworkConfig};
+use bonsai_net::NodeId;
+
+fn run_network_sweep(
+    net: &NetworkConfig,
+    k: usize,
+    threads: usize,
+) -> (BuiltTopology, CompressionReport, NetworkSweepReport) {
+    let topo = BuiltTopology::build(net).unwrap();
+    let report = compress(net, CompressOptions::default());
+    let options = NetworkSweepOptions {
+        sweep: SweepOptions {
+            max_failures: k,
+            threads,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let sweep = sweep_network(net, &topo, &report, &options).expect("network sweep completes");
+    (topo, report, sweep)
+}
+
+/// The ISSUE 5 acceptance criterion: on fattree-4 at k=1 exhaustive, the
+/// full-network sweep performs strictly fewer refinement derivations than
+/// per-EC derivations × EC count — in fact the derivation count is
+/// independent of the EC count: all 8 symmetric destination classes are
+/// served by the first class's five derivations.
+#[test]
+fn fattree4_network_sweep_shares_refinements_across_classes() {
+    let net = bonsai::topo::fattree(4, bonsai::topo::FattreePolicy::ShortestPath);
+    let (_, report, sweep) = run_network_sweep(&net, 1, 1);
+    assert_eq!(report.num_ecs(), 8);
+    assert_eq!(sweep.per_ec.len(), 8);
+    // Every class covers the full exhaustive enumeration.
+    assert_eq!(sweep.scenarios_swept(), 8 * 32);
+    // All classes share one policy fingerprint and canonicalize.
+    assert_eq!(sweep.distinct_fingerprints, 1);
+    assert!(sweep.per_ec.iter().all(|e| e.canonical));
+    // The acceptance inequality, and the stronger EC-count independence:
+    // a per-EC sweep derives 5 refinements per class (40 network-wide);
+    // the orchestrator derives them once.
+    let unshared = sweep.unshared_derivations();
+    assert_eq!(unshared, 8 * 5);
+    assert!(
+        sweep.derivations < unshared,
+        "derivations {} must be strictly below unshared {}",
+        sweep.derivations,
+        unshared
+    );
+    assert_eq!(
+        sweep.derivations, 5,
+        "derivation count independent of EC count"
+    );
+    assert_eq!(sweep.exact_transfers + sweep.symmetric_transfers, 40 - 5);
+    assert!(sweep.sharing_ratio() > 0.8, "{}", sweep.sharing_ratio());
+}
+
+/// Cross-EC sharing soundness: every transferred refinement is
+/// byte-identical to what a fresh per-EC derivation (bypassing all
+/// caches) produces — across the diamond, fattree-4 and mesh-10 at
+/// k = 1 and 2.
+#[test]
+fn transfers_are_byte_identical_to_fresh_derivations() {
+    let diamond = bonsai::srp::papernets::figure1_rip();
+    let fattree = bonsai::topo::fattree(4, bonsai::topo::FattreePolicy::ShortestPath);
+    let mesh = bonsai::topo::full_mesh(10);
+    for (label, net) in [
+        ("diamond", &diamond),
+        ("fattree4", &fattree),
+        ("mesh10", &mesh),
+    ] {
+        for k in [1usize, 2] {
+            let (topo, report, sweep) = run_network_sweep(net, k, 1);
+            let mut transfers_checked = 0usize;
+            for (comp, ec_sweep) in report.per_ec.iter().zip(&sweep.per_ec) {
+                let ec_dest = comp.ec.to_ec_dest();
+                let options = SweepOptions {
+                    max_failures: k,
+                    threads: 1,
+                    ..Default::default()
+                };
+                for (sig, cached) in &ec_sweep.report.refinements {
+                    if cached.provenance == RefinementProvenance::Derived {
+                        continue;
+                    }
+                    transfers_checked += 1;
+                    let fresh = derive_refinement(
+                        net,
+                        &topo,
+                        &ec_dest,
+                        &comp.abstraction,
+                        &comp.abstract_network,
+                        &report.policies,
+                        &options,
+                        sig,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        cached.representative, fresh.representative,
+                        "{label} k={k} {:?}",
+                        cached.provenance
+                    );
+                    assert_eq!(cached.split, fresh.split, "{label} k={k}");
+                    assert_eq!(
+                        cached.abstraction.partition.as_sets(),
+                        fresh.abstraction.partition.as_sets(),
+                        "{label} k={k}"
+                    );
+                    assert_eq!(cached.abstraction.copies, fresh.abstraction.copies);
+                    assert_eq!(
+                        bonsai_config::print_network(&cached.abstract_network.network),
+                        bonsai_config::print_network(&fresh.abstract_network.network),
+                        "{label} k={k}: transferred and fresh abstract networks differ"
+                    );
+                    assert_eq!(cached.localized_refuted, fresh.localized_refuted);
+                    assert_eq!(cached.deviating_rounds, fresh.deviating_rounds);
+                    assert_eq!(cached.global_fallback, fresh.global_fallback);
+                }
+            }
+            // The diamond has one class (nothing to transfer); the
+            // symmetric multi-class topologies must actually share.
+            if report.num_ecs() > 1 {
+                assert!(
+                    transfers_checked > 0,
+                    "{label} k={k}: no transfers happened"
+                );
+            }
+        }
+    }
+}
+
+/// Thread-count determinism of the network-level fan-out: refinement
+/// sets, splits, partitions and per-scenario verdicts are identical for
+/// any worker count. (Cache-hit flags and provenance depend on the
+/// schedule — a refinement may be derived on one schedule and
+/// transferred on another — but the bytes may not.)
+#[test]
+fn network_sweep_deterministic_across_thread_counts() {
+    for net in [
+        bonsai::srp::papernets::figure1_rip(),
+        bonsai::topo::fattree(4, bonsai::topo::FattreePolicy::ShortestPath),
+    ] {
+        let (_, _, reference) = run_network_sweep(&net, 1, 1);
+        for threads in [4usize, 8] {
+            let (_, _, parallel) = run_network_sweep(&net, 1, threads);
+            assert_eq!(reference.per_ec.len(), parallel.per_ec.len());
+            for (a, b) in reference.per_ec.iter().zip(&parallel.per_ec) {
+                assert_eq!(a.rep, b.rep);
+                assert_eq!(a.fingerprint, b.fingerprint);
+                assert_eq!(
+                    a.report.refinements.keys().collect::<Vec<_>>(),
+                    b.report.refinements.keys().collect::<Vec<_>>()
+                );
+                for (sig, r) in &a.report.refinements {
+                    let p = &b.report.refinements[sig];
+                    assert_eq!(
+                        r.abstraction.partition.as_sets(),
+                        p.abstraction.partition.as_sets()
+                    );
+                    assert_eq!(r.abstraction.copies, p.abstraction.copies);
+                    assert_eq!(r.split, p.split);
+                }
+                assert_eq!(a.report.outcomes.len(), b.report.outcomes.len());
+                for (x, y) in a.report.outcomes.iter().zip(&b.report.outcomes) {
+                    assert_eq!(x.scenario, y.scenario);
+                    assert_eq!(x.signature, y.signature);
+                    assert_eq!(x.refined_nodes, y.refined_nodes);
+                }
+            }
+        }
+    }
+}
+
+/// Audited symmetric transfers: re-verifying every transfer against the
+/// receiving class changes nothing (the symmetry certificate holds on the
+/// fattree) — same refinement bytes, and the audit actually ran.
+#[test]
+fn verified_transfers_agree_with_trusted_transfers() {
+    let net = bonsai::topo::fattree(4, bonsai::topo::FattreePolicy::ShortestPath);
+    let topo = BuiltTopology::build(&net).unwrap();
+    let report = compress(&net, CompressOptions::default());
+    let base_options = NetworkSweepOptions {
+        sweep: SweepOptions {
+            max_failures: 1,
+            threads: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let trusted = sweep_network(&net, &topo, &report, &base_options).unwrap();
+    let audited = sweep_network(
+        &net,
+        &topo,
+        &report,
+        &NetworkSweepOptions {
+            verify_transfers: true,
+            ..base_options
+        },
+    )
+    .unwrap();
+    assert!(audited.verified_transfers > 0);
+    assert_eq!(audited.derivations, trusted.derivations);
+    for (a, b) in trusted.per_ec.iter().zip(&audited.per_ec) {
+        assert_eq!(
+            a.report.refinements.keys().collect::<Vec<_>>(),
+            b.report.refinements.keys().collect::<Vec<_>>()
+        );
+        for (sig, r) in &a.report.refinements {
+            assert_eq!(
+                r.abstraction.partition.as_sets(),
+                b.report.refinements[sig].abstraction.partition.as_sets()
+            );
+        }
+    }
+}
+
+/// The failure-aware query acceptance: a masked reachability query
+/// through the simulation engine returns the same per-node verdict as
+/// the scenario's refined **abstract** network, for every class and
+/// every k=1 scenario of the diamond and the fattree.
+#[test]
+fn masked_sim_queries_agree_with_refined_abstract_networks() {
+    for net in [
+        bonsai::srp::papernets::figure1_rip(),
+        bonsai::topo::fattree(4, bonsai::topo::FattreePolicy::ShortestPath),
+    ] {
+        let (topo, report, sweep) = run_network_sweep(&net, 1, 1);
+        let engine = SimEngine::new(&net);
+        let scenarios = enumerate_scenarios(&topo.graph, 1);
+        for (comp, ec_sweep) in report.per_ec.iter().zip(&sweep.per_ec) {
+            let sim_ec = engine
+                .ecs
+                .iter()
+                .find(|e| e.rep == comp.ec.rep)
+                .expect("sim engine shares the class set");
+            let origins: Vec<NodeId> = comp.ec.origins.iter().map(|(n, _)| *n).collect();
+            for (scenario, outcome) in scenarios.iter().zip(&ec_sweep.report.outcomes) {
+                assert_eq!(&outcome.scenario, scenario);
+                let refinement = &ec_sweep.report.refinements[&outcome.signature];
+
+                // Concrete masked simulation (the Batfish-style path).
+                let mask = scenario.mask(&topo.graph);
+                let solution = engine.solve_ec_masked(sim_ec, Some(&mask)).unwrap();
+                let data = engine.data_plane(sim_ec, &solution);
+                let analysis = SolutionAnalysis::new(&topo.graph, &data, &origins);
+
+                // Compressed path: the refined abstract network.
+                let abstract_reach = engine
+                    .reachability_under_refinement(sim_ec, refinement, scenario)
+                    .unwrap();
+
+                for u in topo.graph.nodes() {
+                    if origins.contains(&u) {
+                        continue;
+                    }
+                    assert_eq!(
+                        analysis.can_reach(u),
+                        abstract_reach[u.index()],
+                        "{} under {}: node {} disagrees",
+                        comp.ec.rep,
+                        scenario.describe(&topo.graph),
+                        topo.graph.name(u)
+                    );
+                }
+            }
+        }
+    }
+}
