@@ -10,6 +10,7 @@
 
 use bonsai_core::compress::{build_engine, compress_ec, CompressOptions};
 use bonsai_topo::{datacenter, DatacenterParams};
+use bonsai_verify::query::QueryCtx;
 use bonsai_verify::SimEngine;
 use std::time::Instant;
 
@@ -45,11 +46,13 @@ fn main() {
     let engine = SimEngine::new(&net);
     let mut solved = 0usize;
     for ec in &engine.ecs {
-        let solution = engine.solve_ec(ec).unwrap();
+        let solution = engine.solve_ec(ec, &QueryCtx::failure_free()).unwrap();
         let _data_plane = engine.data_plane(ec, &solution);
         solved += 1;
     }
-    let concrete = engine.query_reachability(&src, &dst).unwrap();
+    let concrete = engine
+        .query_reachability(&src, &dst, &QueryCtx::failure_free())
+        .unwrap();
     let concrete_time = t0.elapsed();
     println!(
         "  without Bonsai: full data plane ({solved} classes), {} reachable prefixes, {:.2}s",
@@ -86,7 +89,9 @@ fn main() {
             .candidates_of(&compression.abstraction, src_node);
         // The source reaches iff all its candidate copies reach (copy
         // assignment is solution-dependent).
-        let solution = abs_engine.solve_ec(&abs_engine.ecs[0]).unwrap();
+        let solution = abs_engine
+            .solve_ec(&abs_engine.ecs[0], &QueryCtx::failure_free())
+            .unwrap();
         let data = abs_engine.data_plane(&abs_engine.ecs[0], &solution);
         let origins: Vec<_> = abs_engine.ecs[0].origins.iter().map(|(n, _)| *n).collect();
         let analysis = bonsai_verify::properties::SolutionAnalysis::new(

@@ -4,9 +4,9 @@
 //! bench_gate BASELINE.json CANDIDATE.json [--threshold 1.5] [--floor 0.025]
 //! ```
 //!
-//! Loads two snapshots of the same schema (`bonsai-bench/compress-v1`
-//! from `table1 --json`, or `bonsai-bench/failures-v2` from
-//! `failures --json` — the stage list follows the schema), compares every
+//! Loads two enveloped snapshots of the same kind (`bench/compress` from
+//! `table1 --json`, or `bench/failures` from `failures --json` — the
+//! stage list follows the kind), compares every
 //! baseline row's per-stage wall-clock times against the candidate, and
 //! exits nonzero when any stage regressed more than `threshold`× (stages
 //! below `floor` seconds in the baseline are measured against the floor,
@@ -14,12 +14,12 @@
 //! for the exact rule.
 
 use bonsai_bench::gate::{compare_snapshots, render};
-use bonsai_bench::json::Json;
+use bonsai_core::snapshot::Envelope;
 use std::process::ExitCode;
 
-fn load(path: &str) -> Result<Json, String> {
+fn load(path: &str) -> Result<Envelope, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))
+    Envelope::parse(&text).map_err(|e| format!("parsing {path}: {e}"))
 }
 
 fn flag(args: &[String], name: &str, default: f64) -> Result<f64, String> {

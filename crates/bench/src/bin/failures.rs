@@ -41,6 +41,7 @@ use bonsai_verify::failures::{
     check_cp_equivalence_under_failures, lift_failure_mask, FailureAuditOptions,
 };
 use bonsai_verify::netsweep::{sweep_network, NetworkSweepOptions};
+use bonsai_verify::session::{QueryRequest, Session, SessionOptions};
 use bonsai_verify::sweep::{sweep_failures, SweepOptions};
 use std::time::{Duration, Instant};
 
@@ -74,12 +75,14 @@ struct Row {
     netsweep_exact: usize,
     netsweep_symmetric: usize,
     netsweep_fingerprints: usize,
+    query_cold_us: f64,
+    query_warm_us: f64,
 }
 
 impl Row {
     fn render(&self) -> String {
         format!(
-            "{:<10} {:>2} {:>6} {:>7}/{:<7} {:>4} {:>6} -> {:<6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>5.0}% {:>5.0}% {:>6.1}",
+            "{:<10} {:>2} {:>6} {:>7}/{:<7} {:>4} {:>6} -> {:<6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>5.0}% {:>5.0}% {:>6.1} {:>9.0} {:>9.0}",
             self.label,
             self.k,
             self.links,
@@ -97,12 +100,14 @@ impl Row {
             self.sweep_hit_rate * 100.0,
             self.netsweep_sharing_ratio * 100.0,
             self.sweep_mean_refined,
+            self.query_cold_us,
+            self.query_warm_us,
         )
     }
 
     fn header() -> String {
         format!(
-            "{:<10} {:>2} {:>6} {:>7}/{:<7} {:>4} {:>6}    {:<6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6}",
+            "{:<10} {:>2} {:>6} {:>7}/{:<7} {:>4} {:>6}    {:<6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6} {:>9} {:>9}",
             "Topology",
             "k",
             "Links",
@@ -119,7 +124,9 @@ impl Row {
             "Net(s)",
             "Hit",
             "Share",
-            "Mean"
+            "Mean",
+            "Qcold(us)",
+            "Qwarm(us)"
         )
     }
 
@@ -136,7 +143,8 @@ impl Row {
                 "\"global_fallbacks\":{}}},",
                 "\"cross_ec\":{{\"ecs_covered\":{},\"derivations\":{},\"unshared_derivations\":{},",
                 "\"sharing_ratio\":{:.6},\"exact_transfers\":{},\"symmetric_transfers\":{},",
-                "\"distinct_fingerprints\":{}}}}}"
+                "\"distinct_fingerprints\":{}}},",
+                "\"query_cold_us\":{:.3},\"query_warm_us\":{:.3}}}"
             ),
             self.label,
             self.k,
@@ -167,6 +175,8 @@ impl Row {
             self.netsweep_exact,
             self.netsweep_symmetric,
             self.netsweep_fingerprints,
+            self.query_cold_us,
+            self.query_warm_us,
         )
     }
 }
@@ -330,6 +340,54 @@ fn run_network(label: &str, net: &NetworkConfig, k: usize, max_ecs: usize, prune
     .expect("network sweep completes");
     let netsweep_time = t3.elapsed();
 
+    let netsweep_ecs = netsweep.per_ec.len();
+    let netsweep_derivations = netsweep.derivations;
+    let netsweep_unshared = netsweep.unshared_derivations();
+    let netsweep_sharing_ratio = netsweep.sharing_ratio();
+    let netsweep_exact = netsweep.exact_transfers;
+    let netsweep_symmetric = netsweep.symmetric_transfers;
+    let netsweep_fingerprints = netsweep.distinct_fingerprints;
+
+    // The resident-session columns: wire a Session from the compression +
+    // sweep just measured (no re-solving) and time one identical query
+    // batch twice. Cold fills the per-(class, scenario) verdict memo from
+    // the sweep's cached refinements; warm must be pure memo lookups —
+    // latency decoupled from solve time.
+    let (query_cold_us, query_warm_us) = {
+        let session = Session::from_sweep(
+            net.clone(),
+            report,
+            netsweep,
+            SessionOptions {
+                max_failures: k,
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .expect("session wires from the sweep");
+        let (u, v) = topo.graph.links()[0];
+        let link = (
+            topo.graph.name(u).to_string(),
+            topo.graph.name(v).to_string(),
+        );
+        let requests = vec![
+            QueryRequest::AllPairs { links: vec![] },
+            QueryRequest::AllPairs { links: vec![link] },
+        ];
+        let t4 = Instant::now();
+        let cold = session.batch(&requests);
+        let cold_us = t4.elapsed().as_secs_f64() * 1e6;
+        let t5 = Instant::now();
+        let warm = session.batch(&requests);
+        let warm_us = t5.elapsed().as_secs_f64() * 1e6;
+        assert_eq!(
+            cold.iter().map(|r| format!("{r:?}")).collect::<Vec<_>>(),
+            warm.iter().map(|r| format!("{r:?}")).collect::<Vec<_>>(),
+            "repeated batch must answer identically"
+        );
+        (cold_us, warm_us)
+    };
+
     Row {
         label: label.to_string(),
         k,
@@ -365,13 +423,15 @@ fn run_network(label: &str, net: &NetworkConfig, k: usize, max_ecs: usize, prune
         sweep_max_refined,
         sweep_fallbacks,
         netsweep: netsweep_time,
-        netsweep_ecs: netsweep.per_ec.len(),
-        netsweep_derivations: netsweep.derivations,
-        netsweep_unshared: netsweep.unshared_derivations(),
-        netsweep_sharing_ratio: netsweep.sharing_ratio(),
-        netsweep_exact: netsweep.exact_transfers,
-        netsweep_symmetric: netsweep.symmetric_transfers,
-        netsweep_fingerprints: netsweep.distinct_fingerprints,
+        netsweep_ecs,
+        netsweep_derivations,
+        netsweep_unshared,
+        netsweep_sharing_ratio,
+        netsweep_exact,
+        netsweep_symmetric,
+        netsweep_fingerprints,
+        query_cold_us,
+        query_warm_us,
     }
 }
 

@@ -1,5 +1,5 @@
-//! The CI perf-regression gate: compare two snapshots of the same schema
-//! stage by stage and fail on wall-clock regressions.
+//! The CI perf-regression gate: compare two snapshots of the same
+//! envelope kind stage by stage and fail on wall-clock regressions.
 //!
 //! CI has always *uploaded* the perf snapshots; this module is what reads
 //! them back. Committed baselines (`BENCH_baseline.json` for the
@@ -13,10 +13,14 @@
 //! candidate > threshold * max(baseline, floor)
 //! ```
 //!
-//! The stage list is schema-dependent ([`stages_for_schema`]): compression
+//! Snapshots arrive as [`bonsai_core::snapshot::Envelope`]s; the stage
+//! list follows the envelope kind ([`stages_for_kind`]): compression
 //! snapshots gate the pipeline stages, failure snapshots gate the cold /
-//! warm / audit / refined-abstract / sweep-engine columns — which is what
-//! locks in the warm-start and per-scenario-sweep speedups.
+//! warm / audit / refined-abstract / sweep-engine / network-sweep columns
+//! — which is what locks in the warm-start and per-scenario-sweep
+//! speedups. Pre-envelope snapshots (and enveloped ones of an older
+//! payload version) fail with an explicit regenerate message rather than
+//! a silent pass.
 //!
 //! The `floor` (default 25 ms) keeps micro-stages out of the verdict:
 //! sub-millisecond stages jitter by integer factors on shared CI runners
@@ -27,6 +31,7 @@
 //! silently dropping a benchmark must not read as "no regression".
 
 use crate::json::Json;
+use bonsai_core::snapshot::Envelope;
 
 /// The per-stage wall-clock fields of a compression snapshot row's
 /// `times` object.
@@ -39,13 +44,12 @@ pub const STAGES: [&str; 5] = [
 ];
 
 /// The per-stage wall-clock fields of a failure-study snapshot row's
-/// `times` object (schema v2: cold concrete sweep, warm-started sweep,
-/// PR 3 audit, refined-abstract sweep, per-scenario sweep engine).
-pub const FAILURE_STAGES: [&str; 5] = ["concrete_s", "warm_s", "audit_s", "abstract_s", "sweep_s"];
-
-/// Schema v3 adds the network-level sweep column (`netsweep_s`: the
-/// whole-network orchestrated sweep with cross-EC sharing).
-pub const FAILURE_STAGES_V3: [&str; 6] = [
+/// `times` object (cold concrete sweep, warm-started sweep, PR 3 audit,
+/// refined-abstract sweep, per-scenario sweep engine, network-level
+/// sweep). The resident-session query latencies (`query_cold_us`,
+/// `query_warm_us`) ride in the rows but are **not** gated — they are
+/// microsecond-scale and would drown in runner jitter.
+pub const FAILURE_STAGES: [&str; 6] = [
     "concrete_s",
     "warm_s",
     "audit_s",
@@ -54,15 +58,12 @@ pub const FAILURE_STAGES_V3: [&str; 6] = [
     "netsweep_s",
 ];
 
-/// The stage list the gate compares for a snapshot schema, or `None` for
-/// schemas it does not know how to gate. Older failure schemas stay
-/// recognized so a stale baseline fails with a schema-mismatch error
-/// rather than an "unexpected schema" one.
-pub fn stages_for_schema(schema: &str) -> Option<&'static [&'static str]> {
-    match schema {
-        "bonsai-bench/compress-v1" => Some(&STAGES),
-        "bonsai-bench/failures-v2" => Some(&FAILURE_STAGES),
-        "bonsai-bench/failures-v3" => Some(&FAILURE_STAGES_V3),
+/// The stage list the gate compares for an envelope kind + payload
+/// version, or `None` for snapshots it does not know how to gate.
+pub fn stages_for_kind(kind: &str, version: u32) -> Option<&'static [&'static str]> {
+    match (kind, version) {
+        (crate::COMPRESS_SNAPSHOT_KIND, crate::COMPRESS_SNAPSHOT_VERSION) => Some(&STAGES),
+        (crate::FAILURES_SNAPSHOT_KIND, crate::FAILURES_SNAPSHOT_VERSION) => Some(&FAILURE_STAGES),
         _ => None,
     }
 }
@@ -89,7 +90,7 @@ pub struct StageComparison {
 pub struct GateResult {
     /// Every stage comparison performed, in row order.
     pub comparisons: Vec<StageComparison>,
-    /// Structural problems (missing rows/stages, schema mismatch).
+    /// Structural problems (missing rows/stages, kind/version mismatch).
     pub errors: Vec<String>,
 }
 
@@ -117,13 +118,13 @@ fn row_key(row: &Json) -> Option<String> {
 }
 
 fn rows_by_label<'j>(
-    doc: &'j Json,
+    env: &'j Envelope,
     which: &str,
     errors: &mut Vec<String>,
 ) -> Vec<(String, &'j Json)> {
     let mut out = Vec::new();
-    match doc.get("rows").and_then(Json::as_arr) {
-        None => errors.push(format!("{which}: no rows array")),
+    match env.payload.get("rows").and_then(Json::as_arr) {
+        None => errors.push(format!("{which}: no rows array in the payload")),
         Some(rows) => {
             for row in rows {
                 match row_key(row) {
@@ -136,32 +137,34 @@ fn rows_by_label<'j>(
     out
 }
 
-/// Compares a candidate snapshot against a baseline of the same schema.
+/// Compares a candidate snapshot against a baseline of the same envelope
+/// kind and payload version.
 ///
-/// The stage list is derived from the baseline's schema
-/// ([`stages_for_schema`]); the candidate must carry the identical schema.
-/// Every baseline row must exist in the candidate and every stage must be
-/// present in both (missing data is a structural error). Candidate-only
-/// rows are compared against nothing — new benchmarks may land before
-/// their baseline is re-blessed.
+/// The stage list is derived from the baseline's kind
+/// ([`stages_for_kind`]); the candidate must carry the identical kind and
+/// version. Every baseline row must exist in the candidate and every
+/// stage must be present in both (missing data is a structural error).
+/// Candidate-only rows are compared against nothing — new benchmarks may
+/// land before their baseline is re-blessed.
 pub fn compare_snapshots(
-    baseline: &Json,
-    candidate: &Json,
+    baseline: &Envelope,
+    candidate: &Envelope,
     threshold: f64,
     floor_s: f64,
 ) -> GateResult {
     let mut result = GateResult::default();
-    let base_schema = baseline.get("schema").and_then(Json::as_str);
-    let cand_schema = candidate.get("schema").and_then(Json::as_str);
-    let Some(stages) = base_schema.and_then(stages_for_schema) else {
-        result
-            .errors
-            .push(format!("baseline: unexpected schema {base_schema:?}"));
+    let Some(stages) = stages_for_kind(&baseline.kind, baseline.version) else {
+        result.errors.push(format!(
+            "baseline: don't know how to gate snapshot kind \"{}\" v{} — regenerate it \
+             with the current writers",
+            baseline.kind, baseline.version
+        ));
         return result;
     };
-    if cand_schema != base_schema {
+    if (candidate.kind.as_str(), candidate.version) != (baseline.kind.as_str(), baseline.version) {
         result.errors.push(format!(
-            "candidate schema {cand_schema:?} does not match baseline {base_schema:?}"
+            "candidate snapshot \"{}\" v{} does not match baseline \"{}\" v{}",
+            candidate.kind, candidate.version, baseline.kind, baseline.version
         ));
         return result;
     }
@@ -246,8 +249,9 @@ pub fn render(result: &GateResult, threshold: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{compress_snapshot_json, failures_snapshot_json};
 
-    fn snap(rows: &[(&str, f64)]) -> Json {
+    fn snap(rows: &[(&str, f64)]) -> Envelope {
         let body: Vec<String> = rows
             .iter()
             .map(|(label, t)| {
@@ -257,11 +261,7 @@ mod tests {
                 )
             })
             .collect();
-        Json::parse(&format!(
-            "{{\"schema\":\"bonsai-bench/compress-v1\",\"rows\":[{}]}}",
-            body.join(",")
-        ))
-        .unwrap()
+        Envelope::parse(&compress_snapshot_json(&body)).unwrap()
     }
 
     #[test]
@@ -313,28 +313,36 @@ mod tests {
     }
 
     #[test]
-    fn wrong_schema_is_flagged() {
+    fn unknown_kind_is_flagged() {
         let base = snap(&[("Fattree4", 0.1)]);
-        let bad = Json::parse("{\"schema\":\"other\",\"rows\":[]}").unwrap();
-        let r = compare_snapshots(&base, &bad, 1.5, 0.025);
+        let other = Envelope::parse(&bonsai_core::snapshot::write_envelope(
+            "bench/other",
+            1,
+            "sha",
+            "tc",
+            "{\"rows\": []}",
+        ))
+        .unwrap();
+        let r = compare_snapshots(&other, &base, 1.5, 0.025);
         assert!(!r.passed());
+        assert!(r
+            .errors
+            .iter()
+            .any(|e| e.contains("don't know how to gate")));
     }
 
-    fn failures_snap(rows: &[(&str, usize, f64)]) -> Json {
+    fn failures_snap(rows: &[(&str, usize, f64)]) -> Envelope {
         let body: Vec<String> = rows
             .iter()
             .map(|(label, k, t)| {
                 format!(
                     "{{\"label\":\"{label}\",\"k\":{k},\"times\":{{\"concrete_s\":{t},\
-                     \"warm_s\":{t},\"audit_s\":{t},\"abstract_s\":{t},\"sweep_s\":{t}}}}}"
+                     \"warm_s\":{t},\"audit_s\":{t},\"abstract_s\":{t},\"sweep_s\":{t},\
+                     \"netsweep_s\":{t}}},\"query_cold_us\":{t},\"query_warm_us\":{t}}}"
                 )
             })
             .collect();
-        Json::parse(&format!(
-            "{{\"schema\":\"bonsai-bench/failures-v2\",\"rows\":[{}]}}",
-            body.join(",")
-        ))
-        .unwrap()
+        Envelope::parse(&failures_snapshot_json(&body)).unwrap()
     }
 
     #[test]
@@ -350,44 +358,39 @@ mod tests {
         assert!(r.regressions().all(|c| c.label.contains("k=2")));
         // The failure stages include the sweep columns.
         assert!(r.comparisons.iter().any(|c| c.stage == "sweep_s"));
-        assert!(r.comparisons.iter().any(|c| c.stage == "warm_s"));
-    }
-
-    fn failures_v3_snap(rows: &[(&str, usize, f64)]) -> Json {
-        let body: Vec<String> = rows
-            .iter()
-            .map(|(label, k, t)| {
-                format!(
-                    "{{\"label\":\"{label}\",\"k\":{k},\"times\":{{\"concrete_s\":{t},\
-                     \"warm_s\":{t},\"audit_s\":{t},\"abstract_s\":{t},\"sweep_s\":{t},\
-                     \"netsweep_s\":{t}}}}}"
-                )
-            })
-            .collect();
-        Json::parse(&format!(
-            "{{\"schema\":\"bonsai-bench/failures-v3\",\"rows\":[{}]}}",
-            body.join(",")
-        ))
-        .unwrap()
+        assert!(r.comparisons.iter().any(|c| c.stage == "netsweep_s"));
     }
 
     #[test]
-    fn failures_v3_gates_the_network_sweep_stage() {
-        let base = failures_v3_snap(&[("Fattree4", 1, 0.1)]);
-        let same = compare_snapshots(&base, &base, 1.5, 0.025);
-        assert!(same.passed(), "{same:?}");
-        assert_eq!(same.comparisons.len(), FAILURE_STAGES_V3.len());
-        assert!(same.comparisons.iter().any(|c| c.stage == "netsweep_s"));
-        // A v3 candidate against a v2 baseline is a schema mismatch, not
-        // a silent pass.
-        let v2 = failures_snap(&[("Fattree4", 1, 0.1)]);
-        let r = compare_snapshots(&v2, &base, 1.5, 0.025);
+    fn query_latency_columns_ride_along_ungated() {
+        let base = failures_snap(&[("Fattree4", 1, 0.1)]);
+        let r = compare_snapshots(&base, &base, 1.5, 0.025);
+        assert!(r.passed());
+        assert!(r.comparisons.iter().all(|c| !c.stage.contains("query")));
+    }
+
+    #[test]
+    fn version_mismatch_is_flagged_not_silently_passed() {
+        let base = failures_snap(&[("Fattree4", 1, 0.1)]);
+        let old = Envelope::parse(&bonsai_core::snapshot::write_envelope(
+            crate::FAILURES_SNAPSHOT_KIND,
+            3,
+            "sha",
+            "tc",
+            "{\"rows\": []}",
+        ))
+        .unwrap();
+        let r = compare_snapshots(&base, &old, 1.5, 0.025);
         assert!(!r.passed());
         assert!(r.errors.iter().any(|e| e.contains("does not match")));
+        // And an old baseline cannot gate at all.
+        let r2 = compare_snapshots(&old, &base, 1.5, 0.025);
+        assert!(!r2.passed());
+        assert!(r2.errors.iter().any(|e| e.contains("regenerate")));
     }
 
     #[test]
-    fn mismatched_snapshot_schemas_are_flagged() {
+    fn mismatched_snapshot_kinds_are_flagged() {
         let compress = snap(&[("Fattree4", 0.1)]);
         let failures = failures_snap(&[("Fattree4", 1, 0.1)]);
         let r = compare_snapshots(&compress, &failures, 1.5, 0.025);

@@ -1,338 +1,12 @@
-//! A minimal JSON reader for the benchmark snapshots.
-//!
-//! The workspace is offline (no serde); snapshots are *written* with the
-//! hand-rolled serializers in this crate and *read back* by the CI
-//! perf-regression gate with this hand-rolled recursive-descent parser.
-//! It supports exactly the JSON the snapshots use — objects, arrays,
-//! strings (with the escapes our writer emits), finite numbers, booleans
-//! and null — and rejects anything malformed with a byte offset.
+//! Compatibility shim: the JSON reader moved to [`bonsai_core::snapshot`]
+//! so the bench, CLI, and daemon can share one parser and one versioned
+//! snapshot envelope. Import from there in new code.
 
-use std::fmt;
-
-/// A parsed JSON value.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any number (parsed as `f64`, which covers every value the
-    /// snapshot writers emit).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in source order (duplicate keys keep the last value on
-    /// lookup, like most readers).
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Parses a complete JSON document (trailing whitespace allowed).
-    pub fn parse(text: &str) -> Result<Json, JsonError> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(p.err("trailing garbage after document"));
-        }
-        Ok(v)
-    }
-
-    /// Object field lookup (last occurrence wins).
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The value as a finite number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The value as a string slice.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The value as an array slice.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-}
-
-/// A parse failure, with the byte offset it occurred at.
-#[derive(Clone, Debug, PartialEq)]
-pub struct JsonError {
-    /// Byte offset into the document.
-    pub offset: usize,
-    /// What went wrong.
-    pub message: String,
-}
-
-impl fmt::Display for JsonError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
-    }
-}
-
-impl std::error::Error for JsonError {}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn err(&self, message: impl Into<String>) -> JsonError {
-        JsonError {
-            offset: self.pos,
-            message: message.into(),
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(format!("expected '{}'", b as char)))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, JsonError> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(self.err("expected a JSON value")),
-        }
-    }
-
-    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
-            self.pos += text.len();
-            Ok(value)
-        } else {
-            Err(self.err(format!("expected '{text}'")))
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, JsonError> {
-        self.eat(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.eat(b':')?;
-            self.skip_ws();
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(self.err("expected ',' or '}' in object")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, JsonError> {
-        self.eat(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']' in array")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, JsonError> {
-        self.eat(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
-                                16,
-                            )
-                            .map_err(|_| self.err("bad \\u escape"))?;
-                            // The snapshot writer only escapes control
-                            // characters (< 0x20); surrogate pairs are out
-                            // of scope and rejected.
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.err("\\u escape is not a scalar"))?,
-                            );
-                            self.pos += 4;
-                        }
-                        _ => return Err(self.err("unknown escape")),
-                    }
-                    self.pos += 1;
-                }
-                Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
-                Some(_) => {
-                    // Copy one UTF-8 scalar.
-                    let start = self.pos;
-                    let rest = std::str::from_utf8(&self.bytes[start..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, JsonError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(
-            self.peek(),
-            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        ) {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err(format!("bad number '{text}'")))
-    }
-}
+pub use bonsai_core::snapshot::{Json, JsonError};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn parses_snapshot_shaped_document() {
-        let doc = r#"{
-          "schema": "bonsai-bench/compress-v1",
-          "rows": [
-            {"label": "Fattree4", "times": {"total_s": 0.012500, "bdd_s": 0.000800}},
-            {"label": "Ring20", "times": {"total_s": 0.002000, "bdd_s": 0.000100}}
-          ],
-          "ok": true, "missing": null, "neg": -1.5e-3
-        }"#;
-        let v = Json::parse(doc).unwrap();
-        assert_eq!(
-            v.get("schema").and_then(Json::as_str),
-            Some("bonsai-bench/compress-v1")
-        );
-        let rows = v.get("rows").and_then(Json::as_arr).unwrap();
-        assert_eq!(rows.len(), 2);
-        assert_eq!(
-            rows[0].get("label").and_then(Json::as_str),
-            Some("Fattree4")
-        );
-        let t = rows[0].get("times").unwrap();
-        assert_eq!(t.get("total_s").and_then(Json::as_f64), Some(0.0125));
-        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
-        assert_eq!(v.get("missing"), Some(&Json::Null));
-        assert_eq!(v.get("neg").and_then(Json::as_f64), Some(-0.0015));
-    }
-
-    #[test]
-    fn roundtrips_writer_escapes() {
-        let doc = "{\"s\": \"a\\\"b\\\\c\\nd\\u0007e\"}";
-        let v = Json::parse(doc).unwrap();
-        assert_eq!(v.get("s").and_then(Json::as_str), Some("a\"b\\c\nd\u{7}e"));
-    }
-
-    #[test]
-    fn rejects_malformed_documents() {
-        for bad in [
-            "",
-            "{",
-            "[1,]",
-            "{\"a\":}",
-            "{\"a\":1} extra",
-            "\"unterminated",
-            "{\"a\" 1}",
-            "nulll",
-        ] {
-            assert!(Json::parse(bad).is_err(), "accepted: {bad}");
-        }
-    }
 
     #[test]
     fn parses_own_writer_output() {
@@ -345,8 +19,9 @@ mod tests {
             ),
         );
         let doc = crate::compress_snapshot_json(&[row]);
-        let v = Json::parse(&doc).unwrap();
-        let rows = v.get("rows").and_then(Json::as_arr).unwrap();
+        let env = bonsai_core::snapshot::Envelope::parse(&doc).unwrap();
+        assert_eq!(env.kind, "bench/compress");
+        let rows = env.payload.get("rows").and_then(Json::as_arr).unwrap();
         assert_eq!(rows[0].get("label").and_then(Json::as_str), Some("X\"y\\z"));
     }
 }

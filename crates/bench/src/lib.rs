@@ -237,40 +237,53 @@ pub fn toolchain() -> String {
 }
 
 /// The shared provenance fields of every snapshot document.
-fn snapshot_meta() -> String {
-    format!(
-        "  \"git_sha\": \"{}\",\n  \"toolchain\": \"{}\",",
-        json_escape(&git_sha()),
-        json_escape(&toolchain())
-    )
+/// Envelope kind of the compression perf snapshot.
+pub const COMPRESS_SNAPSHOT_KIND: &str = "bench/compress";
+/// Payload version of the compression perf snapshot.
+pub const COMPRESS_SNAPSHOT_VERSION: u32 = 1;
+/// Envelope kind of the failure-study perf snapshot.
+pub const FAILURES_SNAPSHOT_KIND: &str = "bench/failures";
+/// Payload version of the failure-study snapshot. v4 = first enveloped
+/// version; its rows add the resident-session query latencies
+/// (`query_cold_us` / `query_warm_us`).
+pub const FAILURES_SNAPSHOT_VERSION: u32 = 4;
+
+fn rows_payload(rows: &[String]) -> String {
+    let indented: Vec<String> = rows.iter().map(|json| format!("      {json}")).collect();
+    format!("{{\n    \"rows\": [\n{}\n    ]\n  }}", indented.join(",\n"))
 }
 
 /// Assembles the full `BENCH_compress.json` document from
-/// [`report_json`] rows, stamped with provenance metadata (`git_sha`,
-/// `toolchain`) so uploaded artifacts are traceable across runs.
+/// [`report_json`] rows: a [`bonsai_core::snapshot`] envelope of kind
+/// [`COMPRESS_SNAPSHOT_KIND`], stamped with provenance metadata
+/// (`git_sha`, `toolchain`) so uploaded artifacts are traceable across
+/// runs.
 pub fn compress_snapshot_json(rows: &[String]) -> String {
-    let indented: Vec<String> = rows.iter().map(|json| format!("    {json}")).collect();
-    format!(
-        "{{\n  \"schema\": \"bonsai-bench/compress-v1\",\n{}\n  \"rows\": [\n{}\n  ]\n}}\n",
-        snapshot_meta(),
-        indented.join(",\n")
+    bonsai_core::snapshot::write_envelope(
+        COMPRESS_SNAPSHOT_KIND,
+        COMPRESS_SNAPSHOT_VERSION,
+        &git_sha(),
+        &toolchain(),
+        &rows_payload(rows),
     )
 }
 
 /// Assembles the `BENCH_failures.json` document from failure-study rows
-/// (see the `failures` binary), with the same provenance metadata.
-/// Schema v2 added the sweep-engine stages (`warm_s`, `sweep_s` in
-/// `times`, plus the per-row `sweep` statistics object); v3 adds the
-/// network-level sweep (`netsweep_s` in `times` plus the `cross_ec`
-/// object: classes covered, derivations vs. the unshared count, sharing
-/// ratio, transfer kinds) so the perf gate also locks in the cross-EC
-/// sharing speedup.
+/// (see the `failures` binary): an envelope of kind
+/// [`FAILURES_SNAPSHOT_KIND`], with the same provenance metadata.
+/// Payload lineage: v2 added the sweep-engine stages (`warm_s`,
+/// `sweep_s` in `times`, plus the per-row `sweep` statistics object);
+/// v3 added the network-level sweep (`netsweep_s` in `times` plus the
+/// `cross_ec` object); v4 — the first enveloped version — adds the
+/// resident-session query latencies (`query_cold_us`, `query_warm_us`)
+/// so the table shows warm answers decoupled from solve time.
 pub fn failures_snapshot_json(rows: &[String]) -> String {
-    let indented: Vec<String> = rows.iter().map(|json| format!("    {json}")).collect();
-    format!(
-        "{{\n  \"schema\": \"bonsai-bench/failures-v3\",\n{}\n  \"rows\": [\n{}\n  ]\n}}\n",
-        snapshot_meta(),
-        indented.join(",\n")
+    bonsai_core::snapshot::write_envelope(
+        FAILURES_SNAPSHOT_KIND,
+        FAILURES_SNAPSHOT_VERSION,
+        &git_sha(),
+        &toolchain(),
+        &rows_payload(rows),
     )
 }
 
@@ -299,7 +312,11 @@ fn outcome_label<T>(o: &SearchOutcome<T>) -> String {
 pub fn fig12_point(net: &bonsai_config::NetworkConfig, budget: SearchBudget) -> Fig12Point {
     // Concrete run.
     let t0 = Instant::now();
-    let concrete = bonsai_verify::search_engine::all_pairs_reachability(net, budget);
+    let concrete = bonsai_verify::search_engine::all_pairs_reachability(
+        net,
+        budget,
+        &bonsai_verify::query::QueryCtx::failure_free(),
+    );
     let concrete_time = t0.elapsed();
 
     // Compressed run: compression time counts toward the total (the paper
@@ -349,6 +366,7 @@ pub fn abstract_all_pairs(
                 abs_ec,
                 budget,
                 deadline,
+                &bonsai_verify::query::QueryCtx::failure_free(),
                 &mut |sol| {
                     let analysis = SolutionAnalysis::new(&abs.topo.graph, sol, &origins);
                     for u in abs.topo.graph.nodes() {

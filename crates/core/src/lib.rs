@@ -41,6 +41,9 @@
 //! 10. [`fanout`] — the shared lock-free atomic-index fan-out driver that
 //!     both the compression driver and the failure-scenario sweep pull
 //!     work items from.
+//! 11. [`snapshot`] — the minimal JSON reader/writer and the one
+//!     versioned snapshot envelope shared by the bench, CLI, and daemon
+//!     serializers.
 //!
 //! ```
 //! use bonsai_core::compress::{compress, CompressOptions};
@@ -66,6 +69,7 @@ pub mod policy_bdd;
 pub mod roles;
 pub mod scenarios;
 pub mod signatures;
+pub mod snapshot;
 
 pub use abstraction::{build_abstract_network, AbstractNetwork};
 pub use algorithm::{find_abstraction, find_abstraction_from, refine_with_split, Abstraction};

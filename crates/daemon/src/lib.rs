@@ -1,0 +1,425 @@
+//! `bonsaid` — the resident verification service.
+//!
+//! The paper's workflow is batch: compress, verify, exit. But the
+//! artifacts that make verification fast — the compiled policy engine,
+//! the per-class abstractions, the sweep's refinement cache with its
+//! canonical solutions — are exactly the things worth keeping resident.
+//! This crate wraps a [`Session`] in a Unix-socket server speaking a
+//! line-delimited JSON protocol, so operators ask reachability questions
+//! at interactive latency while the control-plane model stays warm.
+//!
+//! # Protocol
+//!
+//! One JSON object per line in each direction. Requests carry an `"op"`;
+//! responses always lead with `"ok"` and echo the `"op"`. Key order in
+//! responses is **fixed** — two identical requests yield byte-identical
+//! response lines, which the integration tests and the CI smoke test
+//! assert with a plain `diff`.
+//!
+//! | op | request fields | response fields |
+//! |----|----------------|-----------------|
+//! | `ping` | — | `classes`, `k` |
+//! | `stats` | — | counters + `sweep` object ([`Session::stats`]) |
+//! | `reach` | `src`, `dst`, `links?` | `answers`: `{prefix, delivered}` |
+//! | `sweep` | `src`, `dst` | `answers`: `{prefix, delivered, scenarios}` |
+//! | `all_pairs` | `links?` | `delivered`, `unreachable` |
+//! | `batch` | `queries`: array of the three query ops | `answers`: one response object each |
+//! | `snapshot` | `path` | `path`, `bytes` |
+//! | `shutdown` | — | — (server stops accepting) |
+//!
+//! `links` is an array of `[endpoint, endpoint]` name pairs (either
+//! orientation). Failures are reported as `{"ok": false, "error": ...}`
+//! without closing the connection. An example session:
+//!
+//! ```text
+//! -> {"op": "reach", "src": "edge0_0", "dst": "edge1_1", "links": [["agg0_0", "core0"]]}
+//! <- {"ok": true, "op": "reach", "answers": [{"prefix": "70.0.1.0/24", "delivered": true}]}
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bonsai_core::snapshot::{json_escape, Json};
+use bonsai_verify::session::{QueryAnswer, QueryRequest, Session, SessionError, SessionStats};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Parses one request line's query portion into a [`QueryRequest`].
+///
+/// Shared by the single-query ops and the entries of a `batch`.
+pub fn parse_query(doc: &Json) -> Result<QueryRequest, String> {
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "request has no \"op\"".to_string())?;
+    let field = |name: &str| -> Result<String, String> {
+        doc.get(name)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("op \"{op}\" needs a string \"{name}\" field"))
+    };
+    match op {
+        "reach" => Ok(QueryRequest::Reach {
+            src: field("src")?,
+            dst: field("dst")?,
+            links: parse_links(doc)?,
+        }),
+        "sweep" => Ok(QueryRequest::Sweep {
+            src: field("src")?,
+            dst: field("dst")?,
+        }),
+        "all_pairs" => Ok(QueryRequest::AllPairs {
+            links: parse_links(doc)?,
+        }),
+        other => Err(format!("unknown query op \"{other}\"")),
+    }
+}
+
+fn parse_links(doc: &Json) -> Result<Vec<(String, String)>, String> {
+    let Some(v) = doc.get("links") else {
+        return Ok(Vec::new());
+    };
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| "\"links\" must be an array of [name, name] pairs".to_string())?;
+    let mut out = Vec::with_capacity(arr.len());
+    for pair in arr {
+        let p = pair
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| "\"links\" must be an array of [name, name] pairs".to_string())?;
+        let name = |j: &Json| {
+            j.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "link endpoints must be strings".to_string())
+        };
+        out.push((name(&p[0])?, name(&p[1])?));
+    }
+    Ok(out)
+}
+
+/// Renders a query result as one response object with fixed key order.
+pub fn render_result(result: &Result<QueryAnswer, SessionError>) -> String {
+    match result {
+        Err(e) => render_error(&e.to_string()),
+        Ok(QueryAnswer::Reach(answers)) => {
+            let rows: Vec<String> = answers
+                .iter()
+                .map(|a| {
+                    format!(
+                        "{{\"prefix\": \"{}\", \"delivered\": {}}}",
+                        json_escape(&a.prefix),
+                        a.delivered
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"ok\": true, \"op\": \"reach\", \"answers\": [{}]}}",
+                rows.join(", ")
+            )
+        }
+        Ok(QueryAnswer::Sweep(answers)) => {
+            let rows: Vec<String> = answers
+                .iter()
+                .map(|a| {
+                    format!(
+                        "{{\"prefix\": \"{}\", \"delivered\": {}, \"scenarios\": {}}}",
+                        json_escape(&a.prefix),
+                        a.delivered,
+                        a.scenarios
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"ok\": true, \"op\": \"sweep\", \"answers\": [{}]}}",
+                rows.join(", ")
+            )
+        }
+        Ok(QueryAnswer::AllPairs(a)) => format!(
+            "{{\"ok\": true, \"op\": \"all_pairs\", \"delivered\": {}, \"unreachable\": {}}}",
+            a.delivered, a.unreachable
+        ),
+    }
+}
+
+/// Renders [`Session::stats`] as the `stats` response object.
+pub fn render_stats(s: &SessionStats) -> String {
+    format!(
+        "{{\"ok\": true, \"op\": \"stats\", \"classes\": {}, \"k\": {}, \"scenarios\": {}, \
+         \"queries\": {}, \"verdict_cache_hits\": {}, \"abstract_solves\": {}, \
+         \"concrete_solves\": {}, \"solver_updates\": {}, \"cached_answers\": {}, \
+         \"sweep\": {{\"scenarios_swept\": {}, \"derivations\": {}, \"exact_transfers\": {}, \
+         \"symmetric_transfers\": {}, \"refinements\": {}, \"restored\": {}}}}}",
+        s.classes,
+        s.k,
+        s.scenarios,
+        s.queries,
+        s.verdict_cache_hits,
+        s.abstract_solves,
+        s.concrete_solves,
+        s.solver_updates,
+        s.cached_answers,
+        s.sweep.scenarios_swept,
+        s.sweep.derivations,
+        s.sweep.exact_transfers,
+        s.sweep.symmetric_transfers,
+        s.sweep.refinements,
+        s.sweep.restored,
+    )
+}
+
+fn render_error(message: &str) -> String {
+    format!("{{\"ok\": false, \"error\": \"{}\"}}", json_escape(message))
+}
+
+/// Answers one request line. Returns the response line and whether the
+/// server should shut down after sending it.
+pub fn answer_line(session: &Session, line: &str) -> (String, bool) {
+    let doc = match Json::parse(line) {
+        Ok(d) => d,
+        Err(e) => return (render_error(&format!("bad request: {e}")), false),
+    };
+    let op = doc.get("op").and_then(Json::as_str).unwrap_or("");
+    match op {
+        "ping" => (
+            format!(
+                "{{\"ok\": true, \"op\": \"ping\", \"classes\": {}, \"k\": {}}}",
+                session.classes(),
+                session.max_failures()
+            ),
+            false,
+        ),
+        "stats" => (render_stats(&session.stats()), false),
+        "reach" | "sweep" | "all_pairs" => match parse_query(&doc) {
+            Ok(req) => (render_result(&session.query(&req)), false),
+            Err(e) => (render_error(&e), false),
+        },
+        "batch" => {
+            let Some(entries) = doc.get("queries").and_then(Json::as_arr) else {
+                return (
+                    render_error("op \"batch\" needs a \"queries\" array"),
+                    false,
+                );
+            };
+            let mut requests = Vec::with_capacity(entries.len());
+            for entry in entries {
+                match parse_query(entry) {
+                    Ok(req) => requests.push(req),
+                    Err(e) => return (render_error(&e), false),
+                }
+            }
+            let results = session.batch(&requests);
+            let rows: Vec<String> = results.iter().map(render_result).collect();
+            (
+                format!(
+                    "{{\"ok\": true, \"op\": \"batch\", \"answers\": [{}]}}",
+                    rows.join(", ")
+                ),
+                false,
+            )
+        }
+        "snapshot" => {
+            let Some(path) = doc.get("path").and_then(Json::as_str) else {
+                return (render_error("op \"snapshot\" needs a \"path\""), false);
+            };
+            match session.save_snapshot(Path::new(path)) {
+                Ok(bytes) => (
+                    format!(
+                        "{{\"ok\": true, \"op\": \"snapshot\", \"path\": \"{}\", \"bytes\": {bytes}}}",
+                        json_escape(path)
+                    ),
+                    false,
+                ),
+                Err(e) => (render_error(&format!("writing {path}: {e}")), false),
+            }
+        }
+        "shutdown" => ("{\"ok\": true, \"op\": \"shutdown\"}".to_string(), true),
+        "" => (render_error("request has no \"op\""), false),
+        other => (render_error(&format!("unknown op \"{other}\"")), false),
+    }
+}
+
+/// The `bonsaid` server: a [`Session`] behind a Unix socket.
+pub struct Server {
+    session: Arc<Session>,
+    listener: UnixListener,
+    path: PathBuf,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the socket (replacing a stale socket file at `path`).
+    pub fn bind(session: Session, path: &Path) -> std::io::Result<Server> {
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        let listener = UnixListener::bind(path)?;
+        Ok(Server {
+            session: Arc::new(session),
+            listener,
+            path: path.to_path_buf(),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The served session (the integration tests read its counters
+    /// directly while talking to the socket).
+    pub fn session(&self) -> Arc<Session> {
+        self.session.clone()
+    }
+
+    /// Serves until a `shutdown` request arrives: accepts connections,
+    /// one handler thread each, every handler sharing the one session.
+    /// Removes the socket file on the way out.
+    pub fn run(self) -> std::io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = conn?;
+            let session = self.session.clone();
+            let stop = self.stop.clone();
+            let path = self.path.clone();
+            std::thread::spawn(move || {
+                let _ = handle_connection(stream, &session, &stop, &path);
+            });
+        }
+        let _ = std::fs::remove_file(&self.path);
+        Ok(())
+    }
+
+    /// [`Server::run`] on a background thread — what the integration
+    /// tests use. Join the handle after sending `shutdown`.
+    pub fn spawn(self) -> JoinHandle<std::io::Result<()>> {
+        std::thread::spawn(move || self.run())
+    }
+}
+
+fn handle_connection(
+    stream: UnixStream,
+    session: &Session,
+    stop: &AtomicBool,
+    path: &Path,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = answer_line(session, &line);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the flag.
+            let _ = UnixStream::connect(path);
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// A line-oriented client for the `bonsaid` socket — used by
+/// `bonsai query` and the tests.
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: BufWriter<UnixStream>,
+}
+
+impl Client {
+    /// Connects to a running server's socket.
+    pub fn connect(path: &Path) -> std::io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request line and returns the raw response line.
+    pub fn call(&mut self, request: &str) -> std::io::Result<String> {
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_verify::session::Session;
+
+    fn tmp_socket(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("bonsaid-test-{name}-{}.sock", std::process::id()))
+    }
+
+    fn gadget_server(name: &str) -> (PathBuf, Arc<Session>, JoinHandle<std::io::Result<()>>) {
+        let session = Session::builder(bonsai_srp::papernets::figure2_gadget())
+            .max_failures(1)
+            .threads(2)
+            .build()
+            .expect("session builds");
+        let path = tmp_socket(name);
+        let server = Server::bind(session, &path).expect("socket binds");
+        let handle_session = server.session();
+        let join = server.spawn();
+        (path, handle_session, join)
+    }
+
+    #[test]
+    fn protocol_round_trip_and_shutdown() {
+        let (path, _session, join) = gadget_server("roundtrip");
+        let mut client = Client::connect(&path).expect("connects");
+        let pong = client.call("{\"op\": \"ping\"}").unwrap();
+        assert!(pong.contains("\"ok\": true"), "{pong}");
+        let reach = client
+            .call("{\"op\": \"reach\", \"src\": \"a\", \"dst\": \"d\"}")
+            .unwrap();
+        assert!(reach.contains("\"delivered\": true"), "{reach}");
+        let err = client.call("{\"op\": \"nope\"}").unwrap();
+        assert!(err.contains("\"ok\": false"), "{err}");
+        // Unknown devices answer an error without killing the connection.
+        let err = client
+            .call("{\"op\": \"reach\", \"src\": \"zz\", \"dst\": \"d\"}")
+            .unwrap();
+        assert!(err.contains("unknown device"), "{err}");
+        let bye = client.call("{\"op\": \"shutdown\"}").unwrap();
+        assert!(bye.contains("shutdown"), "{bye}");
+        join.join().unwrap().unwrap();
+        assert!(!path.exists(), "socket file removed on shutdown");
+    }
+
+    #[test]
+    fn identical_batches_answer_identically_with_zero_solves() {
+        let (path, session, join) = gadget_server("batch");
+        let mut client = Client::connect(&path).expect("connects");
+        let batch = "{\"op\": \"batch\", \"queries\": [\
+            {\"op\": \"sweep\", \"src\": \"a\", \"dst\": \"d\"}, \
+            {\"op\": \"all_pairs\"}]}";
+        let first = client.call(batch).unwrap();
+        let stats_mid = session.stats();
+        let second = client.call(batch).unwrap();
+        let stats_end = session.stats();
+        assert_eq!(first, second, "byte-identical answers");
+        assert_eq!(
+            stats_end.solver_updates, stats_mid.solver_updates,
+            "second batch performed zero solver updates"
+        );
+        client.call("{\"op\": \"shutdown\"}").unwrap();
+        join.join().unwrap().unwrap();
+    }
+}

@@ -43,7 +43,9 @@ pub mod equivalence;
 pub mod failures;
 pub mod netsweep;
 pub mod properties;
+pub mod query;
 pub mod search_engine;
+pub mod session;
 pub mod sim_engine;
 pub mod sweep;
 
@@ -57,7 +59,11 @@ pub use failures::{
 };
 pub use netsweep::{sweep_network, EcSweep, NetworkSweepOptions, NetworkSweepReport};
 pub use properties::{Reachability, SolutionAnalysis};
+pub use query::{QueryCtx, QueryScope, QueryStats};
 pub use search_engine::{SearchBudget, SearchOutcome};
+pub use session::{
+    QueryAnswer, QueryRequest, Session, SessionBuilder, SessionError, SessionOptions, SessionStats,
+};
 pub use sim_engine::SimEngine;
 pub use sweep::{
     derive_refinement, sweep_failures, RefinementProvenance, ScenarioOutcome, ScenarioRefinement,

@@ -48,9 +48,9 @@
 
 use crate::equivalence::EquivalenceError;
 use crate::sweep::{
-    base_abstract_solution, check_scenario_refined, derive_scenario_refinement, endpoint_split,
-    sample_concrete_solutions, RefinementProvenance, ScenarioOutcome, ScenarioRefinement, SweepCtx,
-    SweepOptions, SweepReport,
+    base_abstract_solution, canonical_abstract_solution, check_scenario_refined,
+    derive_scenario_refinement, endpoint_split, sample_concrete_solutions, RefinementProvenance,
+    ScenarioOutcome, ScenarioRefinement, SweepCtx, SweepOptions, SweepReport,
 };
 use bonsai_config::{BuiltTopology, Community, NetworkConfig};
 use bonsai_core::abstraction::build_abstract_network;
@@ -558,6 +558,8 @@ fn materialize_exact(
     );
     let abstraction = entry.donor.abstraction.clone();
     let abstract_network = build_abstract_network(network, topo, &plane.ec, &abstraction);
+    let abstract_solution =
+        canonical_abstract_solution(&abstraction, &abstract_network, &entry.donor.representative);
     ScenarioRefinement {
         signature: signature.clone(),
         representative: entry.donor.representative.clone(),
@@ -568,6 +570,7 @@ fn materialize_exact(
         deviating_rounds: entry.donor.deviating_rounds,
         global_fallback: entry.donor.global_fallback,
         provenance: RefinementProvenance::TransferredExact,
+        abstract_solution,
     }
 }
 
@@ -599,6 +602,7 @@ fn materialize_symmetric(
             &split,
         )
     };
+    let abstract_solution = canonical_abstract_solution(&abstraction, &abstract_network, scenario);
     ScenarioRefinement {
         signature: signature.clone(),
         representative: scenario.clone(),
@@ -609,5 +613,6 @@ fn materialize_symmetric(
         deviating_rounds: 0,
         global_fallback: false,
         provenance: RefinementProvenance::TransferredSymmetric,
+        abstract_solution,
     }
 }

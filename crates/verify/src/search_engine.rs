@@ -11,6 +11,14 @@
 //! loop-prevention races like the Figure 2 gadget — the engine keeps
 //! finding and checking new solutions.
 //!
+//! Every entry point takes a [`QueryCtx`] naming the failure scope: the
+//! intact network, one mask or scenario, or — the Minesweeper-style
+//! bounded-failure query — every `≤ k` scenario at once
+//! ([`QueryScope::AllScenarios`](crate::query::QueryScope::AllScenarios)), where a property must hold in every
+//! sampled solution of every scenario. (A context's refinement is ignored
+//! here: this engine's whole point is to search the *concrete* solution
+//! space.)
+//!
 //! Like the paper's runs, the engine operates under a **budget**: a wall
 //! clock limit (the paper used 10 minutes) and a memory cap on the stored
 //! solution set (the paper's full-mesh runs died with OOM). Exceeding
@@ -18,9 +26,9 @@
 //! instead of an answer, which is precisely the failure mode the
 //! compressed networks avoid.
 
+use crate::query::{scope_masks, QueryCtx};
 use bonsai_config::{BuiltTopology, NetworkConfig};
 use bonsai_core::ecs::DestEc;
-use bonsai_core::scenarios::enumerate_scenarios;
 use bonsai_net::{FailureMask, NodeId};
 use bonsai_srp::instance::{MultiProtocol, RibAttr};
 use bonsai_srp::solver::{solve_with_order_masked, SolverOptions};
@@ -96,27 +104,39 @@ impl XorShift {
     }
 }
 
-/// Enumerates (a sample of) the stable solutions of one class's SRP and
-/// invokes `visit` on each distinct one. Stops early when the budget runs
-/// out.
+/// Enumerates (a sample of) the stable solutions of one class's SRP under
+/// every state of the context's scope and invokes `visit` on each
+/// distinct one (distinct *per state* — two states sharing a solution
+/// visit it twice, once each). Stops early when the budget runs out.
+/// Returns the number of distinct solutions visited.
 pub fn for_each_solution<F>(
     network: &NetworkConfig,
     topo: &BuiltTopology,
     ec: &DestEc,
     budget: SearchBudget,
     deadline: Instant,
+    ctx: &QueryCtx<'_>,
     visit: &mut F,
 ) -> SearchOutcome<usize>
 where
     F: FnMut(&Solution<RibAttr>),
 {
-    for_each_solution_masked(network, topo, ec, budget, deadline, None, visit)
+    let mut total = 0usize;
+    for mask in scope_masks(&topo.graph, &ctx.scope) {
+        match solutions_one_state(network, topo, ec, budget, deadline, mask.as_ref(), visit) {
+            SearchOutcome::Completed(d) => total += d,
+            SearchOutcome::Timeout => return SearchOutcome::Timeout,
+            SearchOutcome::OutOfMemory => return SearchOutcome::OutOfMemory,
+            SearchOutcome::Diverged(e) => return SearchOutcome::Diverged(e),
+        }
+    }
+    SearchOutcome::Completed(total)
 }
 
-/// [`for_each_solution`] with a failure mask threaded through: solutions
-/// of the instance with the masked links removed. One shared instance
-/// serves every order and mask — the masked-solver contract.
-pub fn for_each_solution_masked<F>(
+/// One state of the search: solutions of the instance with the masked
+/// links removed. One shared instance serves every order and mask — the
+/// masked-solver contract.
+fn solutions_one_state<F>(
     network: &NetworkConfig,
     topo: &BuiltTopology,
     ec: &DestEc,
@@ -184,42 +204,19 @@ where
 
 /// All-pairs reachability over every class and every sampled solution —
 /// the Figure 12 query. Returns the number of `(node, class)` pairs that
-/// deliver in *every* sampled solution.
+/// deliver in *every* sampled solution of *every* state of the context's
+/// scope (under [`QueryScope::AllScenarios`](crate::query::QueryScope::AllScenarios) this is the Minesweeper-style
+/// bounded-failure query: the failure-free instance plus every `≤ k`
+/// scenario).
+///
+/// Budget scope: the **wall clock** spans the whole query (the deadline
+/// is shared across every state and class), while `orders` and
+/// `max_label_cells` apply **per (state, class) instance** — `orders`
+/// bounds the solutions sampled from each instance, not the sweep total.
 pub fn all_pairs_reachability(
     network: &NetworkConfig,
     budget: SearchBudget,
-) -> SearchOutcome<usize> {
-    all_pairs_reachability_masked(network, budget, None)
-}
-
-/// [`all_pairs_reachability`] under one failure mask: the instance is
-/// searched with the masked links removed.
-pub fn all_pairs_reachability_masked(
-    network: &NetworkConfig,
-    budget: SearchBudget,
-    mask: Option<&FailureMask>,
-) -> SearchOutcome<usize> {
-    let deadline = Instant::now() + budget.wall;
-    let topo = match BuiltTopology::build(network) {
-        Ok(t) => t,
-        Err(e) => return SearchOutcome::Diverged(e.to_string()),
-    };
-    let ecs = bonsai_core::ecs::compute_ecs(network, &topo);
-    all_pairs_masked_inner(network, &topo, &ecs, budget, deadline, mask)
-}
-
-/// The Minesweeper-style bounded-failure query: the number of `(node,
-/// class)` pairs that deliver in every sampled solution of **every**
-/// `≤ k` link-failure scenario (the failure-free instance included).
-///
-/// Budget scope: the **wall clock** spans the whole sweep (the deadline
-/// is shared across every scenario and class), while `orders` and
-/// `max_label_cells` apply **per (scenario, class) instance** — `orders`
-/// bounds the solutions sampled from each instance, not the sweep total.
-pub fn all_pairs_reachability_under_failures(
-    network: &NetworkConfig,
-    budget: SearchBudget,
-    k: usize,
+    ctx: &QueryCtx<'_>,
 ) -> SearchOutcome<usize> {
     let deadline = Instant::now() + budget.wall;
     let topo = match BuiltTopology::build(network) {
@@ -229,31 +226,33 @@ pub fn all_pairs_reachability_under_failures(
     let ecs = bonsai_core::ecs::compute_ecs(network, &topo);
     let n = topo.graph.node_count();
 
-    // Pair survival accumulates across scenarios: deliver everywhere or
-    // not at all.
+    // Pair survival accumulates across states: deliver everywhere or not
+    // at all. `any_solution` guards classes where no state produced a
+    // solution (an all-true row would otherwise count as delivered).
     let mut survives = vec![vec![true; n]; ecs.len()];
-    let failure_free: Option<FailureMask> = None;
-    let masks: Vec<FailureMask> = enumerate_scenarios(&topo.graph, k)
-        .iter()
-        .map(|s| s.mask(&topo.graph))
-        .collect();
-    for mask in std::iter::once(&failure_free)
-        .map(|m| m.as_ref())
-        .chain(masks.iter().map(Some))
-    {
+    let mut any_solution = vec![false; ecs.len()];
+    for mask in scope_masks(&topo.graph, &ctx.scope) {
         if Instant::now() >= deadline {
             return SearchOutcome::Timeout;
         }
         for (i, ec) in ecs.iter().enumerate() {
             let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
-            let outcome =
-                for_each_solution_masked(network, &topo, ec, budget, deadline, mask, &mut |sol| {
+            let outcome = solutions_one_state(
+                network,
+                &topo,
+                ec,
+                budget,
+                deadline,
+                mask.as_ref(),
+                &mut |sol| {
+                    any_solution[i] = true;
                     let analysis =
                         crate::properties::SolutionAnalysis::new(&topo.graph, sol, &origins);
                     for u in topo.graph.nodes() {
                         survives[i][u.index()] &= analysis.can_reach(u);
                     }
-                });
+                },
+            );
             match outcome {
                 SearchOutcome::Completed(_) => {}
                 SearchOutcome::Timeout => return SearchOutcome::Timeout,
@@ -264,6 +263,9 @@ pub fn all_pairs_reachability_under_failures(
     }
     let mut total = 0usize;
     for (i, ec) in ecs.iter().enumerate() {
+        if !any_solution[i] {
+            continue;
+        }
         let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
         total += (0..n)
             .filter(|&u| survives[i][u] && !origins.contains(&NodeId(u as u32)))
@@ -272,46 +274,57 @@ pub fn all_pairs_reachability_under_failures(
     SearchOutcome::Completed(total)
 }
 
-/// The shared masked all-pairs body.
-fn all_pairs_masked_inner(
+// ----- deprecated pre-QueryCtx function family --------------------------
+
+/// Replaced by [`for_each_solution`] with a [`QueryCtx`].
+#[deprecated(since = "0.2.0", note = "use for_each_solution with QueryCtx::masked")]
+pub fn for_each_solution_masked<F>(
     network: &NetworkConfig,
     topo: &BuiltTopology,
-    ecs: &[DestEc],
+    ec: &DestEc,
     budget: SearchBudget,
     deadline: Instant,
     mask: Option<&FailureMask>,
-) -> SearchOutcome<usize> {
-    let n = topo.graph.node_count();
-    let mut always_reachable = 0usize;
+    visit: &mut F,
+) -> SearchOutcome<usize>
+where
+    F: FnMut(&Solution<RibAttr>),
+{
+    for_each_solution(
+        network,
+        topo,
+        ec,
+        budget,
+        deadline,
+        &QueryCtx::masked(mask),
+        visit,
+    )
+}
 
-    for ec in ecs {
-        if Instant::now() >= deadline {
-            return SearchOutcome::Timeout;
-        }
-        let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
-        let mut reach_all = vec![true; n];
-        let mut any_solution = false;
-        let outcome =
-            for_each_solution_masked(network, topo, ec, budget, deadline, mask, &mut |sol| {
-                any_solution = true;
-                let analysis = crate::properties::SolutionAnalysis::new(&topo.graph, sol, &origins);
-                for u in topo.graph.nodes() {
-                    reach_all[u.index()] &= analysis.can_reach(u);
-                }
-            });
-        match outcome {
-            SearchOutcome::Completed(_) => {}
-            SearchOutcome::Timeout => return SearchOutcome::Timeout,
-            SearchOutcome::OutOfMemory => return SearchOutcome::OutOfMemory,
-            SearchOutcome::Diverged(e) => return SearchOutcome::Diverged(e),
-        }
-        if any_solution {
-            always_reachable += (0..n)
-                .filter(|&u| reach_all[u] && !origins.contains(&NodeId(u as u32)))
-                .count();
-        }
-    }
-    SearchOutcome::Completed(always_reachable)
+/// Replaced by [`all_pairs_reachability`] with a [`QueryCtx`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use all_pairs_reachability with QueryCtx::masked"
+)]
+pub fn all_pairs_reachability_masked(
+    network: &NetworkConfig,
+    budget: SearchBudget,
+    mask: Option<&FailureMask>,
+) -> SearchOutcome<usize> {
+    all_pairs_reachability(network, budget, &QueryCtx::masked(mask))
+}
+
+/// Replaced by [`all_pairs_reachability`] with [`QueryCtx::bounded`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use all_pairs_reachability with QueryCtx::bounded"
+)]
+pub fn all_pairs_reachability_under_failures(
+    network: &NetworkConfig,
+    budget: SearchBudget,
+    k: usize,
+) -> SearchOutcome<usize> {
+    all_pairs_reachability(network, budget, &QueryCtx::bounded(k))
 }
 
 #[cfg(test)]
@@ -335,6 +348,7 @@ mod tests {
             &ecs[0],
             budget,
             Instant::now() + Duration::from_secs(60),
+            &QueryCtx::failure_free(),
             &mut |_sol| count += 1,
         );
         let distinct = outcome.unwrap();
@@ -347,7 +361,9 @@ mod tests {
     #[test]
     fn all_pairs_on_gadget_reaches_everywhere() {
         let net = papernets::figure2_gadget();
-        let result = all_pairs_reachability(&net, SearchBudget::default()).unwrap();
+        let result =
+            all_pairs_reachability(&net, SearchBudget::default(), &QueryCtx::failure_free())
+                .unwrap();
         // 4 non-origin nodes reach d in every solution.
         assert_eq!(result, 4);
     }
@@ -359,7 +375,10 @@ mod tests {
             wall: Duration::ZERO,
             ..Default::default()
         };
-        assert_eq!(all_pairs_reachability(&net, budget), SearchOutcome::Timeout);
+        assert_eq!(
+            all_pairs_reachability(&net, budget, &QueryCtx::failure_free()),
+            SearchOutcome::Timeout
+        );
     }
 
     #[test]
@@ -370,8 +389,17 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(
-            all_pairs_reachability(&net, budget),
+            all_pairs_reachability(&net, budget, &QueryCtx::failure_free()),
             SearchOutcome::OutOfMemory
         );
+    }
+
+    #[test]
+    fn bounded_scope_matches_deprecated_under_failures() {
+        let net = papernets::figure2_gadget();
+        let new = all_pairs_reachability(&net, SearchBudget::default(), &QueryCtx::bounded(1));
+        #[allow(deprecated)]
+        let old = all_pairs_reachability_under_failures(&net, SearchBudget::default(), 1);
+        assert_eq!(new, old);
     }
 }

@@ -1,0 +1,1071 @@
+//! The resident verification session: compress once, sweep once, answer
+//! reachability queries at interactive latency forever after.
+//!
+//! Every earlier entry point (`bonsai check`, `bonsai failures`, the
+//! bench bins) rebuilt the [`CompiledPolicies`](bonsai_core::engine::CompiledPolicies) arena, the base
+//! abstractions, and the cross-EC refinement cache per invocation and
+//! threw them away. A [`Session`] is the long-lived home those artifacts
+//! were shaped for:
+//!
+//! 1. **build** — parse → compress ([`bonsai_core::compress::compress`])
+//!    → network sweep ([`crate::netsweep::sweep_network`]), keeping the
+//!    shared engine, every per-scenario [`ScenarioRefinement`] (each with
+//!    its canonical abstract solution cached at derivation time), and a
+//!    per-class orbit index.
+//! 2. **query** — [`Session::reach`], [`Session::sweep_reach`],
+//!    [`Session::all_pairs`], and [`Session::batch`] (fanned out over
+//!    [`bonsai_core::fanout::fan_out`]) answer under any `≤ k` failure
+//!    scenario by orbit-signature lookup: representative scenarios are
+//!    served from the cached canonical solution with **zero** solver
+//!    work, symmetric ones by one tiny refined-abstract solve, and
+//!    verdicts memoized per `(class, scenario)` — a repeated query batch
+//!    performs zero solver updates (counter-asserted by
+//!    [`Session::stats`]).
+//! 3. **snapshot** — [`Session::snapshot_json`] serializes the sweep's
+//!    refinement cache (see [module docs on the format](#snapshot-format))
+//!    and [`SessionBuilder::restore`] rebuilds a warm session from it
+//!    with **zero verification solves**: splits are replayed through
+//!    [`bonsai_core::compress::refine_ec_with_split`] and only the cheap
+//!    canonical solutions are recomputed, so a restarted daemon answers
+//!    byte-identically to the session that saved the snapshot.
+//!
+//! # Snapshot format
+//!
+//! A session snapshot is a [`bonsai_core::snapshot`] envelope of kind
+//! `"bonsai/session"`, version 1. The payload:
+//!
+//! ```json
+//! {
+//!   "k": 1,
+//!   "prune_symmetric": false,
+//!   "fingerprint": "<fnv64 of the canonical config printout>",
+//!   "ecs": [
+//!     {"rep": "10.0.0.0/24",
+//!      "refinements": [
+//!        {"links": [["agg0_0", "core0"]],
+//!         "split": ["agg0_0", "agg1_0"],
+//!         "localized_refuted": false,
+//!         "deviating_rounds": 0,
+//!         "global_fallback": false,
+//!         "provenance": "derived"}]}
+//!   ]
+//! }
+//! ```
+//!
+//! Everything node-valued is stored by **display name** (stable across
+//! processes); the `fingerprint` guards against restoring onto a
+//! different network, with an explicit mismatch error.
+
+use crate::equivalence::EquivalenceError;
+use crate::netsweep::{sweep_network, NetworkSweepOptions, NetworkSweepReport};
+use crate::query::QueryStats;
+use crate::sim_engine::{abstract_verdict, concrete_verdict, refined_verdict};
+use crate::sweep::{canonical_abstract_solution, RefinementProvenance, ScenarioRefinement};
+use bonsai_config::{print_network, BuiltTopology, NetworkConfig};
+use bonsai_core::compress::{compress, refine_ec_with_split, CompressionReport};
+use bonsai_core::fanout::fan_out;
+use bonsai_core::scenarios::{
+    enumerate_scenarios, link_orbits_with_distances, FailureScenario, LinkOrbits, NodeDistances,
+    OrbitSignature,
+};
+use bonsai_core::signatures::build_sig_table;
+use bonsai_core::snapshot::{json_escape, write_envelope, Envelope, Json};
+use bonsai_net::NodeId;
+use bonsai_srp::instance::RibAttr;
+use bonsai_srp::Solution;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The per-`(class index, scenario)` verdict memo behind a [`Session`].
+type VerdictMemo = HashMap<(usize, FailureScenario), Arc<Vec<bool>>>;
+
+/// Envelope kind of a serialized session snapshot.
+pub const SESSION_SNAPSHOT_KIND: &str = "bonsai/session";
+/// Payload version of the session snapshot format.
+pub const SESSION_SNAPSHOT_VERSION: u32 = 1;
+
+/// What can go wrong building or querying a [`Session`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// Compression or the verification sweep failed.
+    Build(String),
+    /// A query named a device the network does not have.
+    UnknownNode(String),
+    /// A query failed a link the topology does not have.
+    UnknownLink(String, String),
+    /// A control-plane solve diverged while answering.
+    Solve(String),
+    /// A snapshot could not be parsed or does not match this network.
+    Snapshot(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Build(e) => write!(f, "session build failed: {e}"),
+            SessionError::UnknownNode(n) => write!(f, "unknown device \"{n}\""),
+            SessionError::UnknownLink(u, v) => write!(f, "no link between \"{u}\" and \"{v}\""),
+            SessionError::Solve(e) => write!(f, "solve failed: {e}"),
+            SessionError::Snapshot(e) => write!(f, "snapshot rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Build-time knobs of a [`Session`].
+#[derive(Clone, Copy, Debug)]
+pub struct SessionOptions {
+    /// Failure bound `k`: every `≤ k` link-failure scenario is swept at
+    /// build time and answerable from cache afterwards (larger failure
+    /// sets still work, via the concrete fallback path).
+    pub max_failures: usize,
+    /// Worker threads for the sweep and for [`Session::batch`] (0 = all
+    /// available cores).
+    pub threads: usize,
+    /// Sweep one representative per orbit signature instead of every
+    /// scenario (cheaper build, identical query coverage).
+    pub prune_symmetric: bool,
+    /// Re-verify symmetric cross-EC transfers during the sweep.
+    pub verify_transfers: bool,
+    /// Cap on destination classes (0 = all). Queries only see swept
+    /// classes.
+    pub max_ecs: usize,
+    /// Compression options (community stripping, arena size).
+    pub compress: bonsai_core::compress::CompressOptions,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            max_failures: 1,
+            threads: 0,
+            prune_symmetric: false,
+            verify_transfers: false,
+            max_ecs: 0,
+            compress: Default::default(),
+        }
+    }
+}
+
+/// Builder for a [`Session`]: configure, then [`SessionBuilder::build`]
+/// (compress + sweep from scratch) or [`SessionBuilder::restore`] (warm
+/// start from a snapshot).
+pub struct SessionBuilder {
+    network: NetworkConfig,
+    options: SessionOptions,
+}
+
+impl SessionBuilder {
+    /// Failure bound to sweep (default 1).
+    pub fn max_failures(mut self, k: usize) -> Self {
+        self.options.max_failures = k;
+        self
+    }
+
+    /// Worker threads (default 0 = all cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads;
+        self
+    }
+
+    /// Sweep one representative per orbit signature (default false).
+    pub fn prune_symmetric(mut self, prune: bool) -> Self {
+        self.options.prune_symmetric = prune;
+        self
+    }
+
+    /// Cap on destination classes (default 0 = all).
+    pub fn max_ecs(mut self, max_ecs: usize) -> Self {
+        self.options.max_ecs = max_ecs;
+        self
+    }
+
+    /// Replace the whole option set.
+    pub fn options(mut self, options: SessionOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Compresses the network, sweeps every `≤ k` scenario, and wires the
+    /// query planes — the cold path.
+    pub fn build(self) -> Result<Session, SessionError> {
+        let topo =
+            BuiltTopology::build(&self.network).map_err(|e| SessionError::Build(e.to_string()))?;
+        let report = compress(&self.network, self.options.compress);
+        let sweep_opts = NetworkSweepOptions {
+            sweep: crate::sweep::SweepOptions {
+                max_failures: self.options.max_failures,
+                prune_symmetric: self.options.prune_symmetric,
+                threads: self.options.threads,
+                ..Default::default()
+            },
+            share_across_ecs: true,
+            verify_transfers: self.options.verify_transfers,
+            max_ecs: self.options.max_ecs,
+        };
+        let sweep = sweep_network(&self.network, &topo, &report, &sweep_opts)
+            .map_err(|e: EquivalenceError| SessionError::Build(e.to_string()))?;
+        Session::from_sweep(self.network, report, sweep, self.options)
+    }
+
+    /// Rebuilds a warm session from a snapshot produced by
+    /// [`Session::snapshot_json`]: compression runs (it is not part of
+    /// the snapshot), but **no verification solves** — the recorded
+    /// splits are replayed and only the canonical per-refinement
+    /// solutions are recomputed. Rejects snapshots of other networks
+    /// (fingerprint), other schema kinds/versions, and pre-envelope
+    /// dialects, each with an explicit message.
+    pub fn restore(mut self, snapshot_text: &str) -> Result<Session, SessionError> {
+        let env = Envelope::parse_expecting(
+            snapshot_text,
+            SESSION_SNAPSHOT_KIND,
+            SESSION_SNAPSHOT_VERSION,
+        )
+        .map_err(SessionError::Snapshot)?;
+        let payload = &env.payload;
+        let fingerprint = fnv64(&print_network(&self.network));
+        let stored = payload
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SessionError::Snapshot("payload has no fingerprint".into()))?;
+        if stored != fingerprint {
+            return Err(SessionError::Snapshot(format!(
+                "network fingerprint mismatch: snapshot was taken of {stored}, \
+                 this network is {fingerprint} — rebuild instead of restoring"
+            )));
+        }
+        let k = payload
+            .get("k")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| SessionError::Snapshot("payload has no k".into()))?
+            as usize;
+        self.options.max_failures = k;
+        if let Some(p) = payload.get("prune_symmetric").and_then(Json::as_bool) {
+            self.options.prune_symmetric = p;
+        }
+
+        let topo =
+            BuiltTopology::build(&self.network).map_err(|e| SessionError::Build(e.to_string()))?;
+        let report = compress(&self.network, self.options.compress);
+        let ec_docs = payload
+            .get("ecs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| SessionError::Snapshot("payload has no ecs".into()))?;
+        let n_ecs = if self.options.max_ecs == 0 {
+            report.per_ec.len()
+        } else {
+            report.per_ec.len().min(self.options.max_ecs)
+        }
+        .min(ec_docs.len());
+
+        let distances = Arc::new(NodeDistances::of_graph(&topo.graph));
+        let mut planes = Vec::with_capacity(n_ecs);
+        let mut restored = 0usize;
+        for comp in report.per_ec.iter().take(n_ecs) {
+            let rep = comp.ec.rep.to_string();
+            let doc = ec_docs
+                .iter()
+                .find(|d| d.get("rep").and_then(Json::as_str) == Some(rep.as_str()))
+                .ok_or_else(|| {
+                    SessionError::Snapshot(format!("snapshot has no class for prefix {rep}"))
+                })?;
+            let ec_dest = comp.ec.to_ec_dest();
+            let sigs = build_sig_table(&report.policies, &self.network, &topo, &ec_dest);
+            let orbits = link_orbits_with_distances(
+                &topo.graph,
+                &comp.abstraction,
+                &sigs,
+                distances.clone(),
+            );
+            let mut refinements: BTreeMap<OrbitSignature, ScenarioRefinement> = BTreeMap::new();
+            for r in doc.get("refinements").and_then(Json::as_arr).unwrap_or(&[]) {
+                let names = parse_name_pairs(r.get("links"))
+                    .ok_or_else(|| SessionError::Snapshot("malformed refinement links".into()))?;
+                let mut pairs = Vec::with_capacity(names.len());
+                for (a, b) in &names {
+                    let resolve = |n: &str| {
+                        topo.graph.node_by_name(n).ok_or_else(|| {
+                            SessionError::Snapshot(format!("snapshot names unknown device {n}"))
+                        })
+                    };
+                    pairs.push((resolve(a)?, resolve(b)?));
+                }
+                let scenario = FailureScenario::new(canonical_links(&topo.graph, &pairs).map_err(
+                    |(u, v)| {
+                        SessionError::Snapshot(format!(
+                            "snapshot names a link this network lacks: {u} -- {v}"
+                        ))
+                    },
+                )?);
+                let signature = orbits.signature_of(&scenario).ok_or_else(|| {
+                    SessionError::Snapshot("snapshot scenario outside this graph".into())
+                })?;
+                let mut split = Vec::new();
+                for name in r
+                    .get("split")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(Json::as_str)
+                {
+                    split.push(topo.graph.node_by_name(name).ok_or_else(|| {
+                        SessionError::Snapshot(format!("snapshot split names unknown node {name}"))
+                    })?);
+                }
+                let (abstraction, abstract_network) = if split.is_empty() {
+                    (comp.abstraction.clone(), comp.abstract_network.clone())
+                } else {
+                    refine_ec_with_split(
+                        &report.policies,
+                        &self.network,
+                        &topo,
+                        &ec_dest,
+                        &comp.abstraction,
+                        &split,
+                    )
+                };
+                let abstract_solution =
+                    canonical_abstract_solution(&abstraction, &abstract_network, &scenario);
+                let flag = |key: &str| r.get(key).and_then(Json::as_bool).unwrap_or(false);
+                refinements.insert(
+                    signature.clone(),
+                    ScenarioRefinement {
+                        signature,
+                        representative: scenario,
+                        split,
+                        abstraction,
+                        abstract_network,
+                        localized_refuted: flag("localized_refuted"),
+                        deviating_rounds: r
+                            .get("deviating_rounds")
+                            .and_then(Json::as_f64)
+                            .unwrap_or(0.0) as usize,
+                        global_fallback: flag("global_fallback"),
+                        provenance: parse_provenance(
+                            r.get("provenance").and_then(Json::as_str).unwrap_or(""),
+                        ),
+                        abstract_solution,
+                    },
+                );
+                restored += 1;
+            }
+            let base_solution = canonical_abstract_solution(
+                &comp.abstraction,
+                &comp.abstract_network,
+                &FailureScenario::new(vec![]),
+            );
+            planes.push(QueryPlane {
+                orbits,
+                refinements,
+                base_solution,
+            });
+        }
+
+        let scenarios = enumerate_scenarios(&topo.graph, k);
+        Ok(Session {
+            summary: SweepSummary {
+                k,
+                scenarios_swept: 0,
+                derivations: 0,
+                exact_transfers: 0,
+                symmetric_transfers: 0,
+                refinements: planes.iter().map(|p| p.refinements.len()).sum(),
+                restored,
+            },
+            network: self.network,
+            topo,
+            report,
+            planes,
+            scenarios,
+            fingerprint,
+            options: self.options,
+            verdicts: Mutex::new(HashMap::new()),
+            queries: AtomicUsize::new(0),
+            verdict_cache_hits: AtomicUsize::new(0),
+            solve_stats: Mutex::new(QueryStats::default()),
+        })
+    }
+}
+
+/// How the sweep behind a session went — fixed at build time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// The failure bound swept.
+    pub k: usize,
+    /// (scenario, class) pairs verified at build time.
+    pub scenarios_swept: usize,
+    /// Full refinement derivations performed.
+    pub derivations: usize,
+    /// Cross-EC exact transfers.
+    pub exact_transfers: usize,
+    /// Cross-EC symmetric transfers.
+    pub symmetric_transfers: usize,
+    /// Distinct refinements held across all classes.
+    pub refinements: usize,
+    /// Refinements rebuilt from a snapshot (0 on cold builds).
+    pub restored: usize,
+}
+
+/// Per-class query state.
+struct QueryPlane {
+    /// The class's link-orbit index (scenario → signature).
+    orbits: LinkOrbits,
+    /// The sweep's verified refinements, by signature.
+    refinements: BTreeMap<OrbitSignature, ScenarioRefinement>,
+    /// Canonical failure-free solution of the base abstract network.
+    base_solution: Option<Solution<RibAttr>>,
+}
+
+/// A resident verification session: the compiled engine, the sweep state,
+/// and memoizing query handles over both. See the module docs.
+pub struct Session {
+    network: NetworkConfig,
+    topo: BuiltTopology,
+    report: CompressionReport,
+    planes: Vec<QueryPlane>,
+    /// Every non-empty `≤ k` scenario, exhaustively (what
+    /// [`Session::sweep_reach`] iterates).
+    scenarios: Vec<FailureScenario>,
+    fingerprint: String,
+    options: SessionOptions,
+    summary: SweepSummary,
+    /// Memoized per-(class, scenario) verdicts.
+    verdicts: Mutex<VerdictMemo>,
+    queries: AtomicUsize,
+    verdict_cache_hits: AtomicUsize,
+    solve_stats: Mutex<QueryStats>,
+}
+
+/// A point-in-time copy of a session's counters ([`Session::stats`]).
+/// Difference two copies around a batch to prove cache effectiveness —
+/// the daemon integration test asserts a repeated batch moves
+/// `solver_updates` by exactly zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Destination classes served.
+    pub classes: usize,
+    /// Failure bound.
+    pub k: usize,
+    /// Non-empty scenarios answerable from the sweep.
+    pub scenarios: usize,
+    /// Queries answered since build.
+    pub queries: usize,
+    /// Verdicts served from the (class, scenario) memo.
+    pub verdict_cache_hits: usize,
+    /// Abstract control-plane solves performed by queries.
+    pub abstract_solves: usize,
+    /// Concrete control-plane solves performed by queries (fallback path).
+    pub concrete_solves: usize,
+    /// Label updates across all query solves.
+    pub solver_updates: usize,
+    /// Query verdicts served from a refinement's cached canonical
+    /// solution.
+    pub cached_answers: usize,
+    /// The build-time sweep.
+    pub sweep: SweepSummary,
+}
+
+impl Session {
+    /// Starts configuring a session over an owned network.
+    pub fn builder(network: NetworkConfig) -> SessionBuilder {
+        SessionBuilder {
+            network,
+            options: SessionOptions::default(),
+        }
+    }
+
+    /// Wires a session from an already-run compression + network sweep
+    /// (the bench uses this to avoid sweeping twice). `sweep` must come
+    /// from `sweep_network(&network, _, &report, _)`.
+    pub fn from_sweep(
+        network: NetworkConfig,
+        report: CompressionReport,
+        sweep: NetworkSweepReport,
+        options: SessionOptions,
+    ) -> Result<Session, SessionError> {
+        let topo =
+            BuiltTopology::build(&network).map_err(|e| SessionError::Build(e.to_string()))?;
+        let summary = SweepSummary {
+            k: sweep.k,
+            scenarios_swept: sweep.scenarios_swept(),
+            derivations: sweep.derivations,
+            exact_transfers: sweep.exact_transfers,
+            symmetric_transfers: sweep.symmetric_transfers,
+            refinements: sweep
+                .per_ec
+                .iter()
+                .map(|e| e.report.refinements.len())
+                .sum(),
+            restored: 0,
+        };
+        let distances = Arc::new(NodeDistances::of_graph(&topo.graph));
+        let mut planes = Vec::with_capacity(sweep.per_ec.len());
+        for (i, ec_sweep) in sweep.per_ec.into_iter().enumerate() {
+            let comp = &report.per_ec[i];
+            debug_assert_eq!(
+                comp.ec.rep, ec_sweep.rep,
+                "sweep order follows compress order"
+            );
+            let ec_dest = comp.ec.to_ec_dest();
+            let sigs = build_sig_table(&report.policies, &network, &topo, &ec_dest);
+            let orbits = link_orbits_with_distances(
+                &topo.graph,
+                &comp.abstraction,
+                &sigs,
+                distances.clone(),
+            );
+            let base_solution = canonical_abstract_solution(
+                &comp.abstraction,
+                &comp.abstract_network,
+                &FailureScenario::new(vec![]),
+            );
+            planes.push(QueryPlane {
+                orbits,
+                refinements: ec_sweep.report.refinements,
+                base_solution,
+            });
+        }
+        let scenarios = enumerate_scenarios(&topo.graph, sweep.k);
+        let fingerprint = fnv64(&print_network(&network));
+        Ok(Session {
+            network,
+            topo,
+            report,
+            planes,
+            scenarios,
+            fingerprint,
+            options,
+            summary,
+            verdicts: Mutex::new(HashMap::new()),
+            queries: AtomicUsize::new(0),
+            verdict_cache_hits: AtomicUsize::new(0),
+            solve_stats: Mutex::new(QueryStats::default()),
+        })
+    }
+
+    /// The owned network.
+    pub fn network(&self) -> &NetworkConfig {
+        &self.network
+    }
+
+    /// The derived topology.
+    pub fn topo(&self) -> &BuiltTopology {
+        &self.topo
+    }
+
+    /// The failure bound queries are cached up to.
+    pub fn max_failures(&self) -> usize {
+        self.summary.k
+    }
+
+    /// Number of destination classes served.
+    pub fn classes(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// Effective worker-thread count for [`Session::batch`].
+    fn threads(&self) -> usize {
+        if self.options.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.options.threads
+        }
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn stats(&self) -> SessionStats {
+        let solve = *self.solve_stats.lock().unwrap();
+        SessionStats {
+            classes: self.planes.len(),
+            k: self.summary.k,
+            scenarios: self.scenarios.len(),
+            queries: self.queries.load(Ordering::Relaxed),
+            verdict_cache_hits: self.verdict_cache_hits.load(Ordering::Relaxed),
+            abstract_solves: solve.abstract_solves,
+            concrete_solves: solve.concrete_solves,
+            solver_updates: solve.solver_updates,
+            cached_answers: solve.cached_answers,
+            sweep: self.summary,
+        }
+    }
+
+    fn node(&self, name: &str) -> Result<NodeId, SessionError> {
+        self.topo
+            .graph
+            .node_by_name(name)
+            .ok_or_else(|| SessionError::UnknownNode(name.to_string()))
+    }
+
+    /// Canonicalizes a named link list into a scenario.
+    fn scenario_of(&self, links: &[(String, String)]) -> Result<FailureScenario, SessionError> {
+        let mut pairs = Vec::with_capacity(links.len());
+        for (a, b) in links {
+            let u = self.node(a)?;
+            let v = self.node(b)?;
+            pairs.push((u, v));
+        }
+        Ok(FailureScenario::new(
+            canonical_links(&self.topo.graph, &pairs)
+                .map_err(|(u, v)| SessionError::UnknownLink(u, v))?,
+        ))
+    }
+
+    /// The memoizing verdict: one bool per concrete node for class `i`
+    /// under `scenario`.
+    fn ec_verdict(
+        &self,
+        i: usize,
+        scenario: &FailureScenario,
+    ) -> Result<Arc<Vec<bool>>, SessionError> {
+        if let Some(v) = self.verdicts.lock().unwrap().get(&(i, scenario.clone())) {
+            self.verdict_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(v.clone());
+        }
+        let comp = &self.report.per_ec[i];
+        let plane = &self.planes[i];
+        let mut stats = QueryStats::default();
+        let verdict = if scenario.is_empty() {
+            abstract_verdict(
+                &self.topo,
+                &comp.ec,
+                &comp.abstraction,
+                &comp.abstract_network,
+                None,
+                plane.base_solution.as_ref(),
+                &mut stats,
+            )
+        } else {
+            match plane
+                .orbits
+                .signature_of(scenario)
+                .and_then(|sig| plane.refinements.get(&sig))
+            {
+                Some(refinement) => {
+                    refined_verdict(&self.topo, &comp.ec, refinement, scenario, &mut stats)
+                }
+                // Scenarios past the swept bound (or stray masks) fall
+                // back to the concrete masked simulation.
+                None => concrete_verdict(
+                    &self.network,
+                    &self.topo,
+                    &comp.ec,
+                    Some(&scenario.mask(&self.topo.graph)),
+                    &mut stats,
+                ),
+            }
+        }
+        .map_err(|e| SessionError::Solve(e.to_string()))?;
+        self.solve_stats.lock().unwrap().absorb(&stats);
+        let verdict = Arc::new(verdict);
+        self.verdicts
+            .lock()
+            .unwrap()
+            .insert((i, scenario.clone()), verdict.clone());
+        Ok(verdict)
+    }
+
+    /// Which prefixes originated at `dst` does `src` deliver to, with the
+    /// given links failed? One answer per destination class of `dst`.
+    pub fn reach(
+        &self,
+        src: &str,
+        dst: &str,
+        links: &[(String, String)],
+    ) -> Result<Vec<ReachAnswer>, SessionError> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let src = self.node(src)?;
+        let dst = self.node(dst)?;
+        let scenario = self.scenario_of(links)?;
+        let mut answers = Vec::new();
+        for i in 0..self.planes.len() {
+            let ec = &self.report.per_ec[i].ec;
+            if !ec.origins.iter().any(|(n, _)| *n == dst) {
+                continue;
+            }
+            let verdict = self.ec_verdict(i, &scenario)?;
+            answers.push(ReachAnswer {
+                prefix: ec.rep.to_string(),
+                delivered: verdict[src.index()],
+            });
+        }
+        Ok(answers)
+    }
+
+    /// [`Session::reach`] swept over the failure-free state **and every**
+    /// `≤ k` scenario: per prefix, in how many of those states `src`
+    /// delivers.
+    pub fn sweep_reach(&self, src: &str, dst: &str) -> Result<Vec<SweepAnswer>, SessionError> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let src = self.node(src)?;
+        let dst = self.node(dst)?;
+        let states = 1 + self.scenarios.len();
+        let mut answers = Vec::new();
+        for i in 0..self.planes.len() {
+            let ec = &self.report.per_ec[i].ec;
+            if !ec.origins.iter().any(|(n, _)| *n == dst) {
+                continue;
+            }
+            let mut delivered = 0usize;
+            let empty = FailureScenario::new(vec![]);
+            if self.ec_verdict(i, &empty)?[src.index()] {
+                delivered += 1;
+            }
+            for s in &self.scenarios {
+                if self.ec_verdict(i, s)?[src.index()] {
+                    delivered += 1;
+                }
+            }
+            answers.push(SweepAnswer {
+                prefix: ec.rep.to_string(),
+                delivered,
+                scenarios: states,
+            });
+        }
+        Ok(answers)
+    }
+
+    /// All-pairs delivery counts under one failure scenario: over every
+    /// served class, how many `(source, class)` pairs deliver.
+    pub fn all_pairs(&self, links: &[(String, String)]) -> Result<AllPairsAnswer, SessionError> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let scenario = self.scenario_of(links)?;
+        let mut answer = AllPairsAnswer::default();
+        for i in 0..self.planes.len() {
+            let ec = &self.report.per_ec[i].ec;
+            let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
+            let verdict = self.ec_verdict(i, &scenario)?;
+            for u in self.topo.graph.nodes() {
+                if origins.contains(&u) {
+                    continue;
+                }
+                if verdict[u.index()] {
+                    answer.delivered += 1;
+                } else {
+                    answer.unreachable += 1;
+                }
+            }
+        }
+        Ok(answer)
+    }
+
+    /// Answers a batch concurrently, fanned out over the shared
+    /// lock-free driver ([`bonsai_core::fanout::fan_out`]). Answers come
+    /// back in request order.
+    pub fn batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryAnswer, SessionError>> {
+        let threads = self.threads().min(requests.len().max(1));
+        let (results, _) = fan_out(
+            requests.len(),
+            threads,
+            || (),
+            |_, i| self.query(&requests[i]),
+        );
+        results
+    }
+
+    /// Answers one structured request.
+    pub fn query(&self, request: &QueryRequest) -> Result<QueryAnswer, SessionError> {
+        match request {
+            QueryRequest::Reach { src, dst, links } => {
+                self.reach(src, dst, links).map(QueryAnswer::Reach)
+            }
+            QueryRequest::Sweep { src, dst } => self.sweep_reach(src, dst).map(QueryAnswer::Sweep),
+            QueryRequest::AllPairs { links } => self.all_pairs(links).map(QueryAnswer::AllPairs),
+        }
+    }
+
+    /// Serializes the session's sweep state as an enveloped snapshot (see
+    /// the module docs for the format).
+    pub fn snapshot_json(&self) -> String {
+        let mut payload = String::new();
+        payload.push_str(&format!(
+            "{{\"k\": {}, \"prune_symmetric\": {}, \"fingerprint\": \"{}\", \"ecs\": [",
+            self.summary.k, self.options.prune_symmetric, self.fingerprint
+        ));
+        for (i, plane) in self.planes.iter().enumerate() {
+            if i > 0 {
+                payload.push_str(", ");
+            }
+            payload.push_str(&format!(
+                "{{\"rep\": \"{}\", \"refinements\": [",
+                json_escape(&self.report.per_ec[i].ec.rep.to_string())
+            ));
+            for (j, r) in plane.refinements.values().enumerate() {
+                if j > 0 {
+                    payload.push_str(", ");
+                }
+                let links: Vec<String> = r
+                    .representative
+                    .links
+                    .iter()
+                    .map(|&(u, v)| {
+                        format!(
+                            "[\"{}\", \"{}\"]",
+                            json_escape(self.topo.graph.name(u)),
+                            json_escape(self.topo.graph.name(v))
+                        )
+                    })
+                    .collect();
+                let split: Vec<String> = r
+                    .split
+                    .iter()
+                    .map(|&n| format!("\"{}\"", json_escape(self.topo.graph.name(n))))
+                    .collect();
+                payload.push_str(&format!(
+                    "{{\"links\": [{}], \"split\": [{}], \"localized_refuted\": {}, \
+                     \"deviating_rounds\": {}, \"global_fallback\": {}, \"provenance\": \"{}\"}}",
+                    links.join(", "),
+                    split.join(", "),
+                    r.localized_refuted,
+                    r.deviating_rounds,
+                    r.global_fallback,
+                    provenance_str(r.provenance),
+                ));
+            }
+            payload.push_str("]}");
+        }
+        payload.push_str("]}");
+        write_envelope(
+            SESSION_SNAPSHOT_KIND,
+            SESSION_SNAPSHOT_VERSION,
+            "unknown",
+            "unknown",
+            &payload,
+        )
+    }
+
+    /// Writes [`Session::snapshot_json`] to a file, returning the byte
+    /// count.
+    pub fn save_snapshot(&self, path: &std::path::Path) -> std::io::Result<usize> {
+        let doc = self.snapshot_json();
+        std::fs::write(path, &doc)?;
+        Ok(doc.len())
+    }
+}
+
+/// One prefix's delivery verdict under one scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReachAnswer {
+    /// The destination class's representative prefix.
+    pub prefix: String,
+    /// `src` delivers to it on every forwarding path.
+    pub delivered: bool,
+}
+
+/// One prefix's delivery count across the swept scenario set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepAnswer {
+    /// The destination class's representative prefix.
+    pub prefix: String,
+    /// States (failure-free + scenarios) in which `src` delivers.
+    pub delivered: usize,
+    /// Total states swept.
+    pub scenarios: usize,
+}
+
+/// All-pairs delivery counts under one scenario.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllPairsAnswer {
+    /// `(source, class)` pairs that deliver on every path.
+    pub delivered: usize,
+    /// Pairs with at least one non-delivering path.
+    pub unreachable: usize,
+}
+
+/// A structured query, the unit [`Session::batch`] fans out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryRequest {
+    /// [`Session::reach`].
+    Reach {
+        /// Source device name.
+        src: String,
+        /// Destination device name.
+        dst: String,
+        /// Failed links, by endpoint names.
+        links: Vec<(String, String)>,
+    },
+    /// [`Session::sweep_reach`].
+    Sweep {
+        /// Source device name.
+        src: String,
+        /// Destination device name.
+        dst: String,
+    },
+    /// [`Session::all_pairs`].
+    AllPairs {
+        /// Failed links, by endpoint names.
+        links: Vec<(String, String)>,
+    },
+}
+
+/// A structured answer, mirroring [`QueryRequest`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryAnswer {
+    /// Answer to a [`QueryRequest::Reach`].
+    Reach(Vec<ReachAnswer>),
+    /// Answer to a [`QueryRequest::Sweep`].
+    Sweep(Vec<SweepAnswer>),
+    /// Answer to a [`QueryRequest::AllPairs`].
+    AllPairs(AllPairsAnswer),
+}
+
+/// FNV-1a over a string, as 16 hex digits — the network fingerprint.
+fn fnv64(s: &str) -> String {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Normalizes node pairs to the canonical link orientation of
+/// [`bonsai_net::Graph::links`]; errors (with the offending names) on a
+/// pair the topology has no link between.
+fn canonical_links(
+    graph: &bonsai_net::Graph,
+    pairs: &[(NodeId, NodeId)],
+) -> Result<Vec<(NodeId, NodeId)>, (String, String)> {
+    let canonical: BTreeSet<(NodeId, NodeId)> = graph.links().into_iter().collect();
+    let mut out = Vec::with_capacity(pairs.len());
+    for &(u, v) in pairs {
+        if canonical.contains(&(u, v)) {
+            out.push((u, v));
+        } else if canonical.contains(&(v, u)) {
+            out.push((v, u));
+        } else {
+            return Err((graph.name(u).to_string(), graph.name(v).to_string()));
+        }
+    }
+    Ok(out)
+}
+
+fn provenance_str(p: RefinementProvenance) -> &'static str {
+    match p {
+        RefinementProvenance::Derived => "derived",
+        RefinementProvenance::TransferredExact => "transferred-exact",
+        RefinementProvenance::TransferredSymmetric => "transferred-symmetric",
+    }
+}
+
+fn parse_provenance(s: &str) -> RefinementProvenance {
+    match s {
+        "transferred-exact" => RefinementProvenance::TransferredExact,
+        "transferred-symmetric" => RefinementProvenance::TransferredSymmetric,
+        _ => RefinementProvenance::Derived,
+    }
+}
+
+/// Parses `[["a", "b"], ...]` into name pairs.
+fn parse_name_pairs(v: Option<&Json>) -> Option<Vec<(String, String)>> {
+    let arr = v?.as_arr()?;
+    let mut out = Vec::with_capacity(arr.len());
+    for pair in arr {
+        let p = pair.as_arr()?;
+        if p.len() != 2 {
+            return None;
+        }
+        out.push((p[0].as_str()?.to_string(), p[1].as_str()?.to_string()));
+    }
+    Some(out)
+}
+
+// `CompiledPolicies` (inside the report) is shared across sweep worker
+// threads already; every other field is plain data behind locks.
+#[allow(dead_code)]
+fn _assert_session_sync(s: &Session) -> &(dyn Sync + Send) {
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_topo::{fattree, FattreePolicy};
+
+    fn gadget_session() -> Session {
+        Session::builder(bonsai_srp::papernets::figure2_gadget())
+            .max_failures(1)
+            .threads(2)
+            .build()
+            .expect("session builds")
+    }
+
+    #[test]
+    fn reach_agrees_with_sweep_and_memoizes() {
+        let s = gadget_session();
+        let a = s.reach("a", "d", &[]).unwrap();
+        assert_eq!(a.len(), 1);
+        assert!(a[0].delivered);
+        let before = s.stats();
+        let again = s.reach("a", "d", &[]).unwrap();
+        assert_eq!(a, again);
+        let after = s.stats();
+        assert_eq!(after.solver_updates, before.solver_updates, "memoized");
+        assert!(after.verdict_cache_hits > before.verdict_cache_hits);
+    }
+
+    #[test]
+    fn repeated_batch_is_solve_free() {
+        let s = gadget_session();
+        let requests = vec![
+            QueryRequest::Sweep {
+                src: "a".into(),
+                dst: "d".into(),
+            },
+            QueryRequest::AllPairs { links: vec![] },
+        ];
+        let first = s.batch(&requests);
+        let mid = s.stats();
+        let second = s.batch(&requests);
+        let end = s.stats();
+        assert_eq!(first, second, "batch answers are deterministic");
+        assert_eq!(end.solver_updates, mid.solver_updates, "zero solver work");
+        assert_eq!(end.abstract_solves, mid.abstract_solves);
+        assert_eq!(end.concrete_solves, mid.concrete_solves);
+    }
+
+    #[test]
+    fn snapshot_restores_warm_and_identical() {
+        let s = gadget_session();
+        let cold = s.sweep_reach("a", "d").unwrap();
+        let snap = s.snapshot_json();
+        let warm_session = Session::builder(bonsai_srp::papernets::figure2_gadget())
+            .threads(2)
+            .restore(&snap)
+            .expect("snapshot restores");
+        assert!(warm_session.stats().sweep.restored > 0);
+        assert_eq!(warm_session.stats().sweep.derivations, 0);
+        let warm = warm_session.sweep_reach("a", "d").unwrap();
+        assert_eq!(cold, warm, "restored session answers byte-identically");
+    }
+
+    #[test]
+    fn snapshot_of_other_network_is_rejected() {
+        let s = gadget_session();
+        let snap = s.snapshot_json();
+        let err = Session::builder(fattree(4, FattreePolicy::ShortestPath))
+            .restore(&snap)
+            .err()
+            .expect("restore onto another network must fail");
+        match err {
+            SessionError::Snapshot(msg) => assert!(msg.contains("fingerprint mismatch"), "{msg}"),
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_names_error_cleanly() {
+        let s = gadget_session();
+        assert!(matches!(
+            s.reach("nope", "d", &[]),
+            Err(SessionError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            s.reach("a", "d", &[("a".into(), "d".into())]),
+            Err(SessionError::UnknownLink(_, _))
+        ));
+    }
+}

@@ -7,18 +7,21 @@
 //! the forwarding relation by the ACLs that apply to the class's packet
 //! range (data plane), and answers reachability queries over the result.
 //!
-//! Every query has a `_masked` variant taking an optional
-//! [`FailureMask`]: the control plane is then simulated with the masked
-//! links removed, so reachability questions run **under bounded link
-//! failures** end to end. On top,
-//! [`SimEngine::reachability_under_refinement`] answers the same question
-//! on a **per-scenario refined abstract network** (a
-//! [`ScenarioRefinement`] from the sweep engines) and maps the verdict
-//! back to concrete nodes — the compressed fast path whose agreement with
-//! the concrete masked simulation is the §9-closing acceptance check.
+//! Every query takes a [`QueryCtx`] saying which failures apply: the
+//! intact network, an explicit [`FailureMask`], one bounded link-failure
+//! scenario, or every `≤ k` scenario at once. When the context carries a
+//! [`ScenarioRefinement`] (from the sweep engines), per-node reachability
+//! is answered on the scenario's **refined abstract network** and the
+//! verdict mapped back to concrete nodes — the compressed fast path whose
+//! agreement with the concrete masked simulation is the §9-closing
+//! acceptance check. When the queried scenario is the refinement's
+//! canonical representative, the answer comes from the solution cached at
+//! derivation time ([`ScenarioRefinement::abstract_solution`]) with
+//! **zero** solver work.
 
 use crate::failures::lift_failure_mask;
 use crate::properties::SolutionAnalysis;
+use crate::query::{QueryCtx, QueryScope, QueryStats};
 use crate::sweep::ScenarioRefinement;
 use bonsai_config::eval::acl_permits;
 use bonsai_config::{BuiltTopology, NetworkConfig};
@@ -27,8 +30,8 @@ use bonsai_core::scenarios::FailureScenario;
 use bonsai_net::prefix::Prefix;
 use bonsai_net::{FailureMask, NodeId};
 use bonsai_srp::instance::{MultiProtocol, RibAttr};
-use bonsai_srp::solver::{solve_masked, SolveError};
-use bonsai_srp::{solve, Solution, Srp};
+use bonsai_srp::solver::{solve_with_order_masked_stats, SolveError, SolverOptions};
+use bonsai_srp::{Solution, Srp};
 
 /// Control-plane simulation plus data-plane queries for one network.
 pub struct SimEngine<'a> {
@@ -59,26 +62,29 @@ impl<'a> SimEngine<'a> {
         SimEngine { network, topo, ecs }
     }
 
-    /// Simulates the control plane for one class.
-    pub fn solve_ec(&self, ec: &DestEc) -> Result<Solution<RibAttr>, SolveError> {
-        self.solve_ec_masked(ec, None)
+    /// Simulates the control plane for one class under a single-state
+    /// context (panics on the [`QueryScope::AllScenarios`] sweep scope —
+    /// a sweep has no single solution; use the reachability queries).
+    pub fn solve_ec(
+        &self,
+        ec: &DestEc,
+        ctx: &QueryCtx<'_>,
+    ) -> Result<Solution<RibAttr>, SolveError> {
+        let mask = ctx.scope.concrete_mask(&self.topo.graph);
+        self.solve_ec_inner(ec, mask.as_ref()).map(|(s, _)| s)
     }
 
-    /// Simulates the control plane for one class with the masked links
-    /// removed — the failure-scenario variant.
-    pub fn solve_ec_masked(
+    fn solve_ec_inner(
         &self,
         ec: &DestEc,
         mask: Option<&FailureMask>,
-    ) -> Result<Solution<RibAttr>, SolveError> {
+    ) -> Result<(Solution<RibAttr>, bonsai_srp::solver::SolveStats), SolveError> {
         let ec_dest = ec.to_ec_dest();
         let origins: Vec<NodeId> = ec_dest.origins.iter().map(|(n, _)| *n).collect();
         let proto = MultiProtocol::build(self.network, &self.topo, &ec_dest);
         let srp = Srp::with_origins(&self.topo.graph, origins, proto);
-        match mask {
-            None => solve(&srp),
-            Some(m) => solve_masked(&srp, Some(m)),
-        }
+        let order: Vec<NodeId> = self.topo.graph.nodes().collect();
+        solve_with_order_masked_stats(&srp, &order, SolverOptions::default(), mask)
     }
 
     /// Derives the data-plane forwarding for a class: the control-plane
@@ -95,27 +101,38 @@ impl<'a> SimEngine<'a> {
     }
 
     /// All-pairs reachability over every class: the Figure 12 workload.
-    pub fn all_pairs(&self) -> Result<AllPairs, SolveError> {
-        self.all_pairs_masked(None)
-    }
-
-    /// [`SimEngine::all_pairs`] under a failure mask: every class is
-    /// simulated with the masked links removed.
-    pub fn all_pairs_masked(&self, mask: Option<&FailureMask>) -> Result<AllPairs, SolveError> {
+    ///
+    /// Under the [`QueryScope::AllScenarios`] sweep scope a pair's verdict
+    /// is its **worst** over the failure-free state and every `≤ k`
+    /// scenario (delivery must survive all of them).
+    pub fn all_pairs(&self, ctx: &QueryCtx<'_>) -> Result<AllPairs, SolveError> {
         let mut result = AllPairs::default();
         for ec in &self.ecs {
-            let solution = self.solve_ec_masked(ec, mask)?;
-            let data = self.data_plane(ec, &solution);
             let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
-            let analysis = SolutionAnalysis::new(&self.topo.graph, &data, &origins);
+            // Per non-origin node: worst Reachability across states,
+            // encoded 0 = unreachable, 1 = partial, 2 = all paths.
+            let mut worst: Vec<u8> = vec![2; self.topo.graph.node_count()];
+            for mask in self.scope_masks(&ctx.scope) {
+                let (solution, _) = self.solve_ec_inner(ec, mask.as_ref())?;
+                let data = self.data_plane(ec, &solution);
+                let analysis = SolutionAnalysis::new(&self.topo.graph, &data, &origins);
+                for u in self.topo.graph.nodes() {
+                    let grade = match analysis.reachability(u) {
+                        crate::properties::Reachability::AllPaths => 2,
+                        crate::properties::Reachability::SomePaths => 1,
+                        crate::properties::Reachability::None => 0,
+                    };
+                    worst[u.index()] = worst[u.index()].min(grade);
+                }
+            }
             for u in self.topo.graph.nodes() {
                 if origins.contains(&u) {
                     continue;
                 }
-                match analysis.reachability(u) {
-                    crate::properties::Reachability::AllPaths => result.delivered += 1,
-                    crate::properties::Reachability::SomePaths => result.partial += 1,
-                    crate::properties::Reachability::None => result.unreachable += 1,
+                match worst[u.index()] {
+                    2 => result.delivered += 1,
+                    1 => result.partial += 1,
+                    _ => result.unreachable += 1,
                 }
             }
         }
@@ -124,18 +141,13 @@ impl<'a> SimEngine<'a> {
 
     /// The Batfish query of §8: which destination prefixes originated at
     /// `dst` can `src` deliver packets to? Returns the class
-    /// representatives that are reachable.
-    pub fn query_reachability(&self, src: &str, dst: &str) -> Result<Vec<Prefix>, SolveError> {
-        self.query_reachability_masked(src, dst, None)
-    }
-
-    /// [`SimEngine::query_reachability`] under a failure mask: the same
-    /// question with the masked links removed from the control plane.
-    pub fn query_reachability_masked(
+    /// representatives that are reachable — under every state of the
+    /// context's scope.
+    pub fn query_reachability(
         &self,
         src: &str,
         dst: &str,
-        mask: Option<&FailureMask>,
+        ctx: &QueryCtx<'_>,
     ) -> Result<Vec<Prefix>, SolveError> {
         let src = self
             .topo
@@ -152,75 +164,255 @@ impl<'a> SimEngine<'a> {
             if !ec.origins.iter().any(|(n, _)| *n == dst) {
                 continue;
             }
-            let solution = self.solve_ec_masked(ec, mask)?;
-            let data = self.data_plane(ec, &solution);
             let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
-            let analysis = SolutionAnalysis::new(&self.topo.graph, &data, &origins);
-            if analysis.can_reach(src) {
+            let mut ok = true;
+            for mask in self.scope_masks(&ctx.scope) {
+                let (solution, _) = self.solve_ec_inner(ec, mask.as_ref())?;
+                let data = self.data_plane(ec, &solution);
+                let analysis = SolutionAnalysis::new(&self.topo.graph, &data, &origins);
+                if !analysis.can_reach(src) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
                 reachable.push(ec.rep);
             }
         }
         Ok(reachable)
     }
 
-    /// Answers per-node reachability for one class under a failure
-    /// scenario on the scenario's **refined abstract network** and maps
-    /// the verdict back to concrete nodes — the compressed fast path.
+    /// Per-node reachability for one class under the context: one flag
+    /// per concrete node (origins report `true`), conjoined over every
+    /// state of the scope.
     ///
-    /// The abstract control plane is solved under the *lifted* mask, its
-    /// data plane pruned by the abstract network's own (projected) ACLs,
-    /// and a concrete node counts as reachable iff **every** copy of its
-    /// block delivers (the copy assignment is solution-dependent, so the
-    /// universal quantification is the sound direction). Returns one flag
-    /// per concrete node; origins report `true`.
-    ///
-    /// Agreement with the concrete masked simulation is exactly what the
-    /// refinement's CP-equivalence-under-this-scenario guarantees — the
-    /// acceptance tests check the two verdict vectors are equal on every
-    /// scenario.
+    /// With a refinement and a [`QueryScope::Scenario`] scope the verdict
+    /// is computed on the scenario's **refined abstract network** and
+    /// mapped back to concrete nodes (a concrete node is reachable iff
+    /// every copy of its block delivers — the copy assignment is
+    /// solution-dependent, so universal quantification is the sound
+    /// direction). Agreement with the concrete masked simulation is
+    /// exactly what the refinement's CP-equivalence-under-this-scenario
+    /// guarantees — the acceptance tests check the two verdict vectors
+    /// are equal on every scenario.
+    pub fn reachability(&self, ec: &DestEc, ctx: &QueryCtx<'_>) -> Result<Vec<bool>, SolveError> {
+        self.reachability_with_stats(ec, ctx).map(|(v, _)| v)
+    }
+
+    /// [`SimEngine::reachability`], also reporting how much solver work
+    /// the answer cost (zero when served from a refinement's cached
+    /// canonical solution).
+    pub fn reachability_with_stats(
+        &self,
+        ec: &DestEc,
+        ctx: &QueryCtx<'_>,
+    ) -> Result<(Vec<bool>, QueryStats), SolveError> {
+        let mut stats = QueryStats::default();
+        if let (Some(refinement), QueryScope::Scenario(scenario)) = (ctx.refinement, &ctx.scope) {
+            let verdict = refined_verdict(&self.topo, ec, refinement, scenario, &mut stats)?;
+            return Ok((verdict, stats));
+        }
+        let mut verdict: Vec<bool> = vec![true; self.topo.graph.node_count()];
+        for mask in self.scope_masks(&ctx.scope) {
+            let one = self.concrete_verdict(ec, mask.as_ref(), &mut stats)?;
+            for (v, o) in verdict.iter_mut().zip(one) {
+                *v = *v && o;
+            }
+        }
+        Ok((verdict, stats))
+    }
+
+    /// Per-node verdict of one concrete masked simulation.
+    fn concrete_verdict(
+        &self,
+        ec: &DestEc,
+        mask: Option<&FailureMask>,
+        stats: &mut QueryStats,
+    ) -> Result<Vec<bool>, SolveError> {
+        concrete_verdict(self.network, &self.topo, ec, mask, stats)
+    }
+
+    /// The single-state masks a scope expands to (sweeps expand to the
+    /// failure-free state plus every `≤ k` scenario).
+    fn scope_masks(&self, scope: &QueryScope) -> Vec<Option<FailureMask>> {
+        crate::query::scope_masks(&self.topo.graph, scope)
+    }
+
+    // ----- deprecated pre-QueryCtx method family ------------------------
+
+    /// Replaced by [`SimEngine::solve_ec`] with a [`QueryCtx`].
+    #[deprecated(since = "0.2.0", note = "use solve_ec with QueryCtx::masked")]
+    pub fn solve_ec_masked(
+        &self,
+        ec: &DestEc,
+        mask: Option<&FailureMask>,
+    ) -> Result<Solution<RibAttr>, SolveError> {
+        self.solve_ec(ec, &QueryCtx::masked(mask))
+    }
+
+    /// Replaced by [`SimEngine::all_pairs`] with a [`QueryCtx`].
+    #[deprecated(since = "0.2.0", note = "use all_pairs with QueryCtx::masked")]
+    pub fn all_pairs_masked(&self, mask: Option<&FailureMask>) -> Result<AllPairs, SolveError> {
+        self.all_pairs(&QueryCtx::masked(mask))
+    }
+
+    /// Replaced by [`SimEngine::query_reachability`] with a [`QueryCtx`].
+    #[deprecated(since = "0.2.0", note = "use query_reachability with QueryCtx::masked")]
+    pub fn query_reachability_masked(
+        &self,
+        src: &str,
+        dst: &str,
+        mask: Option<&FailureMask>,
+    ) -> Result<Vec<Prefix>, SolveError> {
+        self.query_reachability(src, dst, &QueryCtx::masked(mask))
+    }
+
+    /// Replaced by [`SimEngine::reachability`] with [`QueryCtx::refined`].
+    #[deprecated(since = "0.2.0", note = "use reachability with QueryCtx::refined")]
     pub fn reachability_under_refinement(
         &self,
         ec: &DestEc,
         refinement: &ScenarioRefinement,
         scenario: &FailureScenario,
     ) -> Result<Vec<bool>, SolveError> {
-        let abs = &refinement.abstract_network;
-        let abs_mask = lift_failure_mask(scenario, &refinement.abstraction, abs);
-        let abs_origins: Vec<NodeId> = abs.ec.origins.iter().map(|(n, _)| *n).collect();
-        let proto = MultiProtocol::build(&abs.network, &abs.topo, &abs.ec);
-        let srp = Srp::with_origins(&abs.topo.graph, abs_origins.clone(), proto);
-        let mut solution = solve_masked(&srp, Some(&abs_mask))?;
-
-        // Abstract data plane: the projected configs carry the ACLs, so
-        // the same pruning applies on the abstract side.
-        let range = ec.ranges.first().copied().unwrap_or(ec.rep);
-        for fwd in solution.fwd.iter_mut() {
-            fwd.retain(|&e| edge_passes_acls(&abs.network, &abs.topo, e, range));
-        }
-        let analysis = SolutionAnalysis::new(&abs.topo.graph, &solution, &abs_origins);
-
-        // Map back: concrete node → all copies of its block deliver.
-        let concrete_origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
-        Ok(self
-            .topo
-            .graph
-            .nodes()
-            .map(|u| {
-                if concrete_origins.contains(&u) {
-                    return true;
-                }
-                abs.candidates_of(&refinement.abstraction, u)
-                    .iter()
-                    .all(|&c| analysis.can_reach(c))
-            })
-            .collect())
+        self.reachability(ec, &QueryCtx::refined(refinement, scenario.clone()))
     }
+}
+
+/// The refined fast path, shared by [`SimEngine`] and the resident
+/// [`crate::session::Session`]: answers per-node reachability for one
+/// class under one scenario on the scenario's refined abstract network,
+/// mapping the verdict back to concrete nodes.
+///
+/// When `scenario` is the refinement's canonical representative, the
+/// solution cached at derivation time is used verbatim — zero solver
+/// updates; otherwise the refined network is solved under the scenario's
+/// lifted mask with the same natural activation order the cache was
+/// built with, so cached and uncached answers agree byte-for-byte.
+pub(crate) fn refined_verdict(
+    topo: &BuiltTopology,
+    ec: &DestEc,
+    refinement: &ScenarioRefinement,
+    scenario: &FailureScenario,
+    stats: &mut QueryStats,
+) -> Result<Vec<bool>, SolveError> {
+    let cached = (*scenario == refinement.representative)
+        .then_some(refinement.abstract_solution.as_ref())
+        .flatten();
+    let abs_mask = if cached.is_some() {
+        None
+    } else {
+        Some(lift_failure_mask(
+            scenario,
+            &refinement.abstraction,
+            &refinement.abstract_network,
+        ))
+    };
+    abstract_verdict(
+        topo,
+        ec,
+        &refinement.abstraction,
+        &refinement.abstract_network,
+        abs_mask.as_ref(),
+        cached,
+        stats,
+    )
+}
+
+/// Per-node reachability on *any* verified abstract network (the
+/// failure-free base or a per-scenario refinement), mapped back to
+/// concrete nodes. `cached` short-circuits the control-plane solve with a
+/// previously computed canonical solution of the same `(network, mask)`
+/// instance; otherwise the instance is solved under `abs_mask` with the
+/// natural activation order (the canonical order), so cached and fresh
+/// answers agree byte-for-byte.
+pub(crate) fn abstract_verdict(
+    topo: &BuiltTopology,
+    ec: &DestEc,
+    abstraction: &bonsai_core::algorithm::Abstraction,
+    abs: &bonsai_core::abstraction::AbstractNetwork,
+    abs_mask: Option<&FailureMask>,
+    cached: Option<&Solution<RibAttr>>,
+    stats: &mut QueryStats,
+) -> Result<Vec<bool>, SolveError> {
+    let abs_origins: Vec<NodeId> = abs.ec.origins.iter().map(|(n, _)| *n).collect();
+    let mut solution = match cached {
+        Some(cached) => {
+            stats.cached_answers += 1;
+            cached.clone()
+        }
+        None => {
+            let proto = MultiProtocol::build(&abs.network, &abs.topo, &abs.ec);
+            let srp = Srp::with_origins(&abs.topo.graph, abs_origins.clone(), proto);
+            let order: Vec<NodeId> = abs.topo.graph.nodes().collect();
+            let (solution, solve_stats) =
+                solve_with_order_masked_stats(&srp, &order, SolverOptions::default(), abs_mask)?;
+            stats.abstract_solves += 1;
+            stats.solver_updates += solve_stats.updates;
+            solution
+        }
+    };
+
+    // Abstract data plane: the projected configs carry the ACLs, so the
+    // same pruning applies on the abstract side.
+    let range = ec.ranges.first().copied().unwrap_or(ec.rep);
+    for fwd in solution.fwd.iter_mut() {
+        fwd.retain(|&e| edge_passes_acls(&abs.network, &abs.topo, e, range));
+    }
+    let analysis = SolutionAnalysis::new(&abs.topo.graph, &solution, &abs_origins);
+
+    // Map back: concrete node → all copies of its block deliver.
+    let concrete_origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
+    Ok(topo
+        .graph
+        .nodes()
+        .map(|u| {
+            if concrete_origins.contains(&u) {
+                return true;
+            }
+            abs.candidates_of(abstraction, u)
+                .iter()
+                .all(|&c| analysis.can_reach(c))
+        })
+        .collect())
+}
+
+/// Per-node verdict of one concrete masked simulation — the fallback path
+/// for scenarios no refinement covers, shared by [`SimEngine`] and the
+/// resident [`crate::session::Session`].
+pub(crate) fn concrete_verdict(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    ec: &DestEc,
+    mask: Option<&FailureMask>,
+    stats: &mut QueryStats,
+) -> Result<Vec<bool>, SolveError> {
+    let ec_dest = ec.to_ec_dest();
+    let origins: Vec<NodeId> = ec_dest.origins.iter().map(|(n, _)| *n).collect();
+    let proto = MultiProtocol::build(network, topo, &ec_dest);
+    let srp = Srp::with_origins(&topo.graph, origins.clone(), proto);
+    let order: Vec<NodeId> = topo.graph.nodes().collect();
+    let (solution, solve_stats) =
+        solve_with_order_masked_stats(&srp, &order, SolverOptions::default(), mask)?;
+    stats.concrete_solves += 1;
+    stats.solver_updates += solve_stats.updates;
+    let range = ec.ranges.first().copied().unwrap_or(ec.rep);
+    let mut data = solution;
+    for fwd in data.fwd.iter_mut() {
+        fwd.retain(|&e| edge_passes_acls(network, topo, e, range));
+    }
+    let analysis = SolutionAnalysis::new(&topo.graph, &data, &origins);
+    Ok(topo
+        .graph
+        .nodes()
+        .map(|u| origins.contains(&u) || analysis.can_reach(u))
+        .collect())
 }
 
 /// True when neither the egress ACL of the edge's source interface nor
 /// the ingress ACL of its target interface drops the packet range —
 /// shared by the concrete and abstract data planes.
-fn edge_passes_acls(
+pub(crate) fn edge_passes_acls(
     network: &NetworkConfig,
     topo: &BuiltTopology,
     e: bonsai_net::EdgeId,
@@ -252,7 +444,7 @@ mod tests {
         let net = bonsai_srp::papernets::figure2_gadget();
         let engine = SimEngine::new(&net);
         assert_eq!(engine.ecs.len(), 1);
-        let result = engine.all_pairs().unwrap();
+        let result = engine.all_pairs(&QueryCtx::failure_free()).unwrap();
         // 4 non-origin nodes, all of which deliver to d.
         assert_eq!(result.delivered, 4);
         assert_eq!(result.unreachable, 0);
@@ -284,13 +476,13 @@ link x i y i
         .unwrap();
         let engine = SimEngine::new(&net);
         let ec = &engine.ecs[0];
-        let solution = engine.solve_ec(ec).unwrap();
+        let solution = engine.solve_ec(ec, &QueryCtx::failure_free()).unwrap();
         let y = engine.topo.graph.node_by_name("y").unwrap();
         assert!(solution.label(y).is_some(), "route learned");
         assert_eq!(solution.fwd(y).len(), 1, "control plane forwards");
         let data = engine.data_plane(ec, &solution);
         assert!(data.fwd(y).is_empty(), "data plane filtered by ACL");
-        let result = engine.all_pairs().unwrap();
+        let result = engine.all_pairs(&QueryCtx::failure_free()).unwrap();
         assert_eq!(result.delivered, 0);
         assert_eq!(result.unreachable, 1);
     }
@@ -316,9 +508,36 @@ link a i b i
         )
         .unwrap();
         let engine = SimEngine::new(&net);
-        let reachable = engine.query_reachability("b", "a").unwrap();
+        let ctx = QueryCtx::failure_free();
+        let reachable = engine.query_reachability("b", "a", &ctx).unwrap();
         assert_eq!(reachable.len(), 2);
         // Nothing originates at b.
-        assert!(engine.query_reachability("a", "b").unwrap().is_empty());
+        assert!(engine
+            .query_reachability("a", "b", &ctx)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn bounded_scope_conjoins_scenarios() {
+        // Two parallel paths a→d: single failures keep d reachable, so
+        // the ≤1 sweep still delivers; a ≤2 sweep can cut both.
+        let net = bonsai_srp::papernets::figure2_gadget();
+        let engine = SimEngine::new(&net);
+        let free = engine.all_pairs(&QueryCtx::failure_free()).unwrap();
+        let k1 = engine.all_pairs(&QueryCtx::bounded(1)).unwrap();
+        assert!(k1.delivered <= free.delivered);
+        let total = |r: &AllPairs| r.delivered + r.partial + r.unreachable;
+        assert_eq!(total(&free), total(&k1));
+    }
+
+    #[test]
+    fn deprecated_masked_shims_agree() {
+        let net = bonsai_srp::papernets::figure2_gadget();
+        let engine = SimEngine::new(&net);
+        #[allow(deprecated)]
+        let old = engine.all_pairs_masked(None).unwrap();
+        let new = engine.all_pairs(&QueryCtx::failure_free()).unwrap();
+        assert_eq!(old, new);
     }
 }

@@ -158,6 +158,15 @@ pub struct ScenarioRefinement {
     /// How this refinement entered the result set (derived here, or
     /// transferred from another destination class by the network sweep).
     pub provenance: RefinementProvenance,
+    /// The **canonical solution** of the refined abstract network under
+    /// the representative's lifted failure mask: the natural-order
+    /// [`bonsai_srp::solver::solve_masked`] fixpoint, computed once at
+    /// derivation (or transfer, or snapshot-restore) time. This is exactly
+    /// the solve every reachability query against this refinement used to
+    /// repeat per call — caching it decouples query cost from solve cost.
+    /// `None` when the natural-order solve diverges (queries then report
+    /// the divergence, as an uncached solve would have).
+    pub abstract_solution: Option<Solution<RibAttr>>,
 }
 
 impl ScenarioRefinement {
@@ -276,6 +285,25 @@ pub(crate) struct SweepCtx<'a> {
     pub(crate) base_abs_solution: Option<&'a Solution<RibAttr>>,
     pub(crate) keep: Option<&'a BTreeSet<Community>>,
     pub(crate) options: &'a SweepOptions,
+}
+
+/// Solves a refined abstract network under its representative's lifted
+/// failure mask with the **natural** activation order — the canonical
+/// per-refinement solution cached in
+/// [`ScenarioRefinement::abstract_solution`]. Deterministic (no rotation,
+/// no warm seed), so a cached copy, a fresh derivation, and a
+/// snapshot-restored refinement all agree byte-for-byte. `None` when the
+/// instance diverges under the mask.
+pub(crate) fn canonical_abstract_solution(
+    abstraction: &Abstraction,
+    abs: &AbstractNetwork,
+    representative: &FailureScenario,
+) -> Option<Solution<RibAttr>> {
+    let abs_mask = lift_failure_mask(representative, abstraction, abs);
+    let origins: Vec<NodeId> = abs.ec.origins.iter().map(|(n, _)| *n).collect();
+    let proto = MultiProtocol::build(&abs.network, &abs.topo, &abs.ec);
+    let srp = Srp::with_origins(&abs.topo.graph, origins, proto);
+    bonsai_srp::solver::solve_masked(&srp, Some(&abs_mask)).ok()
 }
 
 /// Solves the failure-free base abstract network (natural order) — the
@@ -520,6 +548,7 @@ pub(crate) fn derive_scenario_refinement(
     for _ in 0..=ctx.topo.graph.node_count() {
         let refutation = match check_scenario_refined(ctx, &rep, &solutions, &cur, &cur_net)? {
             Ok(()) => {
+                let abstract_solution = canonical_abstract_solution(&cur, &cur_net, &rep);
                 return Ok(ScenarioRefinement {
                     signature: signature.clone(),
                     representative: rep,
@@ -530,6 +559,7 @@ pub(crate) fn derive_scenario_refinement(
                     deviating_rounds,
                     global_fallback,
                     provenance: RefinementProvenance::Derived,
+                    abstract_solution,
                 });
             }
             Err(r) => r,

@@ -14,6 +14,7 @@ use bonsai::core::compress::{compress, CompressOptions};
 use bonsai::core::roles::{count_roles, RoleOptions};
 use bonsai::topo::{datacenter, DatacenterParams};
 use bonsai::verify::properties::SolutionAnalysis;
+use bonsai::verify::query::QueryCtx;
 use bonsai::verify::SimEngine;
 use std::time::Instant;
 
@@ -81,7 +82,9 @@ fn main() {
     for ec in &report.per_ec {
         let abs = &ec.abstract_network;
         let engine = SimEngine::new(&abs.network);
-        let solution = engine.solve_ec(&engine.ecs[0]).expect("converges");
+        let solution = engine
+            .solve_ec(&engine.ecs[0], &QueryCtx::failure_free())
+            .expect("converges");
         let data = engine.data_plane(&engine.ecs[0], &solution);
         let origins: Vec<_> = engine.ecs[0].origins.iter().map(|(n, _)| *n).collect();
         let analysis = SolutionAnalysis::new(&engine.topo.graph, &data, &origins);
@@ -111,7 +114,9 @@ fn main() {
     let t = Instant::now();
     let engine = SimEngine::new(&network);
     let sample = &engine.ecs[0];
-    let solution = engine.solve_ec(sample).expect("converges");
+    let solution = engine
+        .solve_ec(sample, &QueryCtx::failure_free())
+        .expect("converges");
     let data = engine.data_plane(sample, &solution);
     let origins: Vec<_> = sample.origins.iter().map(|(n, _)| *n).collect();
     let analysis = SolutionAnalysis::new(&engine.topo.graph, &data, &origins);

@@ -8,12 +8,21 @@
 //! bonsai failures <network.cfg> [--failures k] [--threads n] [--pruned]
 //!                 [--no-share] [--query <src>:<dst>] [--json [path]]
 //!                                        # network-level refinement sweep
+//! bonsai serve    <network.cfg> --socket <path> [--failures k] [--threads n]
+//!                 [--pruned] [--snapshot <path>]
+//!                                        # run bonsaid on a Unix socket
+//! bonsai query    --socket <path> [--ping] [--stats] [--shutdown]
+//!                 [--reach <src>:<dst>] [--sweep <src>:<dst>] [--all-pairs]
+//!                 [--fail <u>:<v>]... ['{"op": ...}']...
+//!                                        # talk to a running bonsaid
 //! ```
 //!
 //! The input format is the vendor-independent dialect documented in
 //! `bonsai_config::parse` (`device <name> … end` blocks plus `link` lines).
 //! Every command also accepts a *directory* of `.cfg` files, concatenated
-//! in name order — the usual layout of per-device config dumps.
+//! in name order — the usual layout of per-device config dumps — or a
+//! builtin generator spec (`gen:fattree4`, `gen:gadget`, `gen:diamond`,
+//! `gen:mesh10`) in place of the path.
 //! `compress` writes one abstract network per destination equivalence
 //! class (`<out>/<prefix>.cfg`) and prints a Table 1-style summary row.
 //! `failures` runs the **network-level** sweep orchestrator
@@ -23,21 +32,45 @@
 //! sharing statistics. `--query a:d` additionally answers "which prefixes
 //! of `d` can `a` still reach" per failure scenario on the refined
 //! abstract networks; `--json` emits the whole report machine-readable
-//! (to stdout, or to a file when a path follows the flag).
+//! (to stdout, or to a file when a path follows the flag). `serve` loads
+//! a config set once (building the compressed session, or restoring it
+//! warm from `--snapshot` when that file exists — and saving one there
+//! after a cold build) and answers the `bonsai_daemon` line-JSON protocol
+//! until a `shutdown` request; `query` is the matching client and needs
+//! no network file.
 
 use bonsai::core::compress::{compress, CompressOptions};
 use bonsai::core::roles::{count_roles, RoleOptions};
+use bonsai::core::snapshot::write_envelope;
+use bonsai::daemon::{Client, Server};
 use bonsai::verify::equivalence::check_cp_equivalence_under_h;
 use bonsai::verify::netsweep::{sweep_network, NetworkSweepOptions, NetworkSweepReport};
+use bonsai::verify::query::QueryCtx;
+use bonsai::verify::session::Session;
 use bonsai::verify::sim_engine::SimEngine;
 use bonsai::verify::sweep::{RefinementProvenance, SweepOptions};
 use bonsai_config::{parse_network, print_network, BuiltTopology, NetworkConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Reads a network source: one config file, or a directory whose `.cfg`
-/// files are concatenated in name order.
+/// Reads a network source: one config file, a directory whose `.cfg`
+/// files are concatenated in name order, or a `gen:<name>` builtin
+/// generator spec (handy for trying `serve` without config dumps).
 fn read_network_text(path: &str) -> Result<String, String> {
+    if let Some(spec) = path.strip_prefix("gen:") {
+        let net = match spec {
+            "fattree4" => bonsai::topo::fattree(4, bonsai::topo::FattreePolicy::ShortestPath),
+            "gadget" => bonsai::srp::papernets::figure2_gadget(),
+            "diamond" => bonsai::srp::papernets::figure1_rip(),
+            "mesh10" => bonsai::topo::full_mesh(10),
+            other => {
+                return Err(format!(
+                    "unknown generator `gen:{other}` (try fattree4, gadget, diamond, mesh10)"
+                ))
+            }
+        };
+        return Ok(print_network(&net));
+    }
     let p = Path::new(path);
     if !p.is_dir() {
         return std::fs::read_to_string(p).map_err(|e| format!("cannot read {path}: {e}"));
@@ -141,8 +174,10 @@ fn provenance_label(p: RefinementProvenance) -> &'static str {
     }
 }
 
-/// Serializes the network-sweep report (plus query answers) as the
-/// `bonsai-cli/failures-v1` JSON document.
+/// Serializes the network-sweep report (plus query answers) as a
+/// `cli/failures` v2 envelope ([`bonsai::core::snapshot`]): v1 was the
+/// pre-envelope `bonsai-cli/failures-v1` dialect, which readers now
+/// reject with a regenerate message.
 fn failures_json(
     topo: &BuiltTopology,
     sweep: &NetworkSweepReport,
@@ -209,15 +244,14 @@ fn failures_json(
             })
         })
         .collect();
-    format!(
+    let payload = format!(
         concat!(
-            "{{\n  \"schema\": \"bonsai-cli/failures-v1\",\n",
-            "  \"k\": {},\n  \"threads\": {},\n  \"pruned\": {},\n  \"share_across_ecs\": {},\n",
-            "  \"network\": {{\"nodes\": {}, \"links\": {}, \"ecs\": {}}},\n",
-            "  \"sharing\": {{\"derivations\": {}, \"unshared_derivations\": {}, ",
+            "{{\n    \"k\": {},\n    \"threads\": {},\n    \"pruned\": {},\n    \"share_across_ecs\": {},\n",
+            "    \"network\": {{\"nodes\": {}, \"links\": {}, \"ecs\": {}}},\n",
+            "    \"sharing\": {{\"derivations\": {}, \"unshared_derivations\": {}, ",
             "\"sharing_ratio\": {:.6}, \"exact_transfers\": {}, \"symmetric_transfers\": {}, ",
             "\"verified_transfers\": {}, \"distinct_fingerprints\": {}}},\n",
-            "  \"ecs\": [{}],\n  \"queries\": [{}]\n}}\n"
+            "    \"ecs\": [{}],\n    \"queries\": [{}]\n  }}"
         ),
         sweep.k,
         sweep.threads,
@@ -235,7 +269,8 @@ fn failures_json(
         sweep.distinct_fingerprints,
         ecs.join(","),
         queries_json.join(","),
-    )
+    );
+    write_envelope("cli/failures", 2, "unknown", "unknown", &payload)
 }
 
 /// Answers one `--query src:dst` on the refined abstract networks: for
@@ -273,7 +308,10 @@ fn answer_query(
         for outcome in &ec_sweep.report.outcomes {
             let refinement = &ec_sweep.report.refinements[&outcome.signature];
             let reach = engine
-                .reachability_under_refinement(sim_ec, refinement, &outcome.scenario)
+                .reachability(
+                    sim_ec,
+                    &QueryCtx::refined(refinement, outcome.scenario.clone()),
+                )
                 .map_err(|e| {
                     format!(
                         "query under {}: {e}",
@@ -296,9 +334,16 @@ fn answer_query(
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: bonsai <compress|roles|check|ecs|failures> <network.cfg> [options]");
+        eprintln!(
+            "usage: bonsai <compress|roles|check|ecs|failures|serve|query> <network.cfg> [options]"
+        );
         return ExitCode::from(2);
     };
+    // `query` talks to a running bonsaid and needs no network file, so it
+    // dispatches before the network-path requirement below.
+    if command == "query" {
+        return cmd_query(&args);
+    }
     let Some(path) = args.get(1) else {
         eprintln!("missing network file");
         return ExitCode::from(2);
@@ -591,9 +636,228 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "serve" => cmd_serve(&network, options, &args),
         other => {
             eprintln!("unknown command `{other}`");
             ExitCode::from(2)
         }
     }
+}
+
+/// `bonsai serve`: load (or restore) a [`Session`] and run `bonsaid` on a
+/// Unix socket until a `shutdown` request arrives.
+fn cmd_serve(
+    network: &bonsai::config::NetworkConfig,
+    compress_options: CompressOptions,
+    args: &[String],
+) -> ExitCode {
+    let (socket, k, threads, snapshot) = match (
+        str_flag(args, "--socket"),
+        usize_flag(args, "--failures", 1),
+        usize_flag(args, "--threads", 0),
+        str_flag(args, "--snapshot"),
+    ) {
+        (Ok(s), Ok(k), Ok(t), Ok(snap)) => (s, k, t, snap),
+        (Err(e), _, _, _) | (_, Err(e), _, _) | (_, _, Err(e), _) | (_, _, _, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(socket) = socket else {
+        eprintln!("serve needs --socket <path>");
+        return ExitCode::from(2);
+    };
+    let pruned = args.iter().any(|a| a == "--pruned");
+    let session_options = bonsai::verify::session::SessionOptions {
+        max_failures: k,
+        threads,
+        prune_symmetric: pruned,
+        compress: compress_options,
+        ..Default::default()
+    };
+    let builder = Session::builder(network.clone()).options(session_options);
+
+    // A `--snapshot` file that already exists restores the session warm
+    // (no verification solves); otherwise we build cold and leave a
+    // snapshot behind for the next restart.
+    let snapshot_path = snapshot.map(PathBuf::from);
+    let restore_text = match &snapshot_path {
+        Some(p) if p.exists() => match std::fs::read_to_string(p) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                eprintln!("cannot read snapshot {}: {e}", p.display());
+                return ExitCode::from(1);
+            }
+        },
+        _ => None,
+    };
+    let session = match &restore_text {
+        Some(text) => builder.restore(text),
+        None => builder.build(),
+    };
+    let session = match session {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start session: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if restore_text.is_none() {
+        if let Some(p) = &snapshot_path {
+            match session.save_snapshot(p) {
+                Ok(n) => println!("wrote snapshot {} ({n} bytes)", p.display()),
+                Err(e) => {
+                    eprintln!("cannot write snapshot {}: {e}", p.display());
+                    return ExitCode::from(1);
+                }
+            }
+        }
+    }
+
+    let stats = session.stats();
+    println!(
+        "bonsaid: {} classes, k={}, {} scenarios swept, {} refinements ({}), listening on {socket}",
+        session.classes(),
+        session.max_failures(),
+        stats.sweep.scenarios_swept,
+        stats.sweep.refinements,
+        if stats.sweep.restored > 0 {
+            format!("{} restored from snapshot", stats.sweep.restored)
+        } else {
+            format!("{} derived", stats.sweep.derivations)
+        },
+    );
+    let server = match Server::bind(session, Path::new(&socket)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {socket}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bonsaid: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// `bonsai query`: send request lines to a running `bonsaid` and print
+/// the response lines. Requests come from convenience flags, raw JSON
+/// positional arguments, or both (raw lines are sent first, in order).
+fn cmd_query(args: &[String]) -> ExitCode {
+    let socket = match str_flag(args, "--socket") {
+        Ok(Some(s)) => s,
+        Ok(None) => {
+            eprintln!("query needs --socket <path>");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let pair_flag = |name: &str| -> Result<Option<(String, String)>, String> {
+        match str_flag(args, name)? {
+            None => Ok(None),
+            Some(v) => v
+                .split_once(':')
+                .map(|(a, b)| Some((a.to_string(), b.to_string())))
+                .ok_or_else(|| format!("{name} expects <a>:<b>, got `{v}`")),
+        }
+    };
+    // Every `--fail u:v` adds one failed link to the reach / all-pairs mask.
+    let mut fails: Vec<(String, String)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--fail" {
+            let Some(v) = args.get(i + 1) else {
+                eprintln!("--fail needs a value");
+                return ExitCode::from(2);
+            };
+            let Some((u, w)) = v.split_once(':') else {
+                eprintln!("--fail expects <u>:<v>, got `{v}`");
+                return ExitCode::from(2);
+            };
+            fails.push((u.to_string(), w.to_string()));
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    let links_json = format!(
+        "[{}]",
+        fails
+            .iter()
+            .map(|(u, v)| format!("[\"{}\", \"{}\"]", json_escape(u), json_escape(v)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let mut lines: Vec<String> = Vec::new();
+    for a in &args[1..] {
+        if a.starts_with('{') {
+            lines.push(a.clone());
+        }
+    }
+    if args.iter().any(|a| a == "--ping") {
+        lines.push("{\"op\": \"ping\"}".to_string());
+    }
+    match pair_flag("--reach") {
+        Ok(Some((src, dst))) => lines.push(format!(
+            "{{\"op\": \"reach\", \"src\": \"{}\", \"dst\": \"{}\", \"links\": {links_json}}}",
+            json_escape(&src),
+            json_escape(&dst),
+        )),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    }
+    match pair_flag("--sweep") {
+        Ok(Some((src, dst))) => lines.push(format!(
+            "{{\"op\": \"sweep\", \"src\": \"{}\", \"dst\": \"{}\"}}",
+            json_escape(&src),
+            json_escape(&dst),
+        )),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    }
+    if args.iter().any(|a| a == "--all-pairs") {
+        lines.push(format!(
+            "{{\"op\": \"all_pairs\", \"links\": {links_json}}}"
+        ));
+    }
+    if args.iter().any(|a| a == "--stats") {
+        lines.push("{\"op\": \"stats\"}".to_string());
+    }
+    if args.iter().any(|a| a == "--shutdown") {
+        lines.push("{\"op\": \"shutdown\"}".to_string());
+    }
+    if lines.is_empty() {
+        lines.push("{\"op\": \"ping\"}".to_string());
+    }
+
+    let mut client = match Client::connect(Path::new(&socket)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {socket}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    for line in &lines {
+        match client.call(line) {
+            Ok(response) => println!("{response}"),
+            Err(e) => {
+                eprintln!("{socket}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -20,6 +20,13 @@
 //! * [`core`] — destination classes, policy BDDs, abstraction refinement.
 //! * [`verify`] — property checkers and the two verification engines.
 //! * [`topo`] — the paper's synthetic and "real" network generators.
+//! * [`daemon`] — `bonsaid`: the resident verification service and its
+//!   Unix-socket query protocol.
+//!
+//! Most programs want [`prelude`] (one import, pipeline order) and, for
+//! resident serving, [`Session`] — the compressed network plus its
+//! failure sweep kept warm behind memoizing query handles (`bonsaid`
+//! serves exactly this object over a Unix socket).
 //!
 //! ```
 //! use bonsai::core::compress::{compress, CompressOptions};
@@ -34,7 +41,59 @@
 pub use bonsai_bdd as bdd;
 pub use bonsai_config as config;
 pub use bonsai_core as core;
+pub use bonsai_daemon as daemon;
 pub use bonsai_net as net;
 pub use bonsai_srp as srp;
 pub use bonsai_topo as topo;
 pub use bonsai_verify as verify;
+
+pub use bonsai_verify::session::{Session, SessionBuilder, SessionOptions};
+
+/// The one import for the whole pipeline, organized by stage.
+///
+/// ```
+/// use bonsai::prelude::*;
+///
+/// let net = fattree(4, FattreePolicy::ShortestPath);          // parse / generate
+/// let report = compress(&net, CompressOptions::default());    // compress
+/// assert_eq!(report.mean_abstract_nodes(), 6.0);
+/// ```
+///
+/// Stages, in pipeline order:
+///
+/// 1. **parse** — turn text (or a generator) into a
+///    [`NetworkConfig`](prelude::NetworkConfig) and its
+///    [`BuiltTopology`](prelude::BuiltTopology).
+/// 2. **compress** — build destination classes and the per-class
+///    abstractions ([`compress`](prelude::compress) →
+///    [`CompressionReport`](prelude::CompressionReport)).
+/// 3. **sweep** — verify every `≤ k` link-failure scenario, deriving
+///    per-scenario refinements shared across classes
+///    ([`sweep_network`](prelude::sweep_network) →
+///    [`NetworkSweepReport`](prelude::NetworkSweepReport)).
+/// 4. **query** — answer reachability at interactive latency: resident
+///    [`Session`] handles, or the [`SimEngine`](prelude::SimEngine) /
+///    [`SearchBudget`](prelude::SearchBudget) engines with a
+///    [`QueryCtx`](prelude::QueryCtx).
+pub mod prelude {
+    // Stage 1: parse / generate.
+    pub use bonsai_config::{parse_network, print_network, BuiltTopology, NetworkConfig};
+    pub use bonsai_topo::{fattree, full_mesh, ring, FattreePolicy};
+
+    // Stage 2: compress.
+    pub use bonsai_core::compress::{compress, CompressOptions, CompressionReport};
+
+    // Stage 3: sweep.
+    pub use bonsai_core::scenarios::{enumerate_scenarios, FailureScenario};
+    pub use bonsai_verify::netsweep::{sweep_network, NetworkSweepOptions, NetworkSweepReport};
+    pub use bonsai_verify::sweep::{ScenarioRefinement, SweepOptions};
+
+    // Stage 4: query.
+    pub use bonsai_verify::query::{QueryCtx, QueryScope, QueryStats};
+    pub use bonsai_verify::search_engine::{SearchBudget, SearchOutcome};
+    pub use bonsai_verify::session::{
+        QueryAnswer, QueryRequest, Session, SessionBuilder, SessionError, SessionOptions,
+        SessionStats,
+    };
+    pub use bonsai_verify::sim_engine::SimEngine;
+}

@@ -1,0 +1,127 @@
+//! Acceptance test for `bonsaid`, the resident verification service.
+//!
+//! Runs the daemon in-process on a fattree-4 [`bonsai::Session`] and checks
+//! the ISSUE 6 service contract end to end:
+//!
+//! * the same query batch sent twice returns **byte-identical** response
+//!   lines, and the second batch triggers **zero** solver updates — every
+//!   answer comes from the session's verdict memo;
+//! * a snapshot saved from the warm session restores into a new session
+//!   that serves the **same bytes** without re-deriving any refinement
+//!   (`restored > 0`, `derivations == 0`);
+//! * `shutdown` stops the accept loop and removes the socket file.
+
+use bonsai::daemon::{Client, Server};
+use bonsai::prelude::*;
+
+use std::path::PathBuf;
+
+/// A unique socket path per test so parallel test binaries can't collide.
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bonsaid-test-{}-{tag}.sock", std::process::id()))
+}
+
+fn fattree_session() -> Session {
+    Session::builder(fattree(4, FattreePolicy::ShortestPath))
+        .max_failures(1)
+        .threads(1)
+        .build()
+        .expect("fattree-4 session builds")
+}
+
+/// The query batch both halves of the test replay: a failure-free reach,
+/// a reach under a failed core link, a per-scenario sweep, all-pairs
+/// under a mask, plus protocol ops (`ping`, `stats` is deliberately
+/// excluded — its `queries` counter changes between batches).
+const BATCH: &[&str] = &[
+    r#"{"op": "ping"}"#,
+    r#"{"op": "reach", "src": "edge0_0", "dst": "edge1_1"}"#,
+    r#"{"op": "reach", "src": "edge0_0", "dst": "edge1_1", "links": [["agg0_0", "core0"]]}"#,
+    r#"{"op": "sweep", "src": "edge0_1", "dst": "edge1_0"}"#,
+    r#"{"op": "all_pairs", "links": [["core0", "agg1_0"]]}"#,
+    r#"{"op": "batch", "queries": [{"op": "reach", "src": "edge1_1", "dst": "edge0_0"}, {"op": "all_pairs"}]}"#,
+];
+
+fn run_batch(client: &mut Client) -> Vec<String> {
+    BATCH
+        .iter()
+        .map(|line| client.call(line).expect("daemon answers"))
+        .collect()
+}
+
+#[test]
+fn second_identical_batch_is_byte_identical_and_solve_free() {
+    let path = socket_path("repeat");
+    let server = Server::bind(fattree_session(), &path).expect("bind");
+    let session = server.session();
+    let handle = server.spawn();
+
+    let mut client = Client::connect(&path).expect("connect");
+    let first = run_batch(&mut client);
+    let after_first = session.stats();
+
+    let second = run_batch(&mut client);
+    let after_second = session.stats();
+
+    assert_eq!(first, second, "identical batches must answer identically");
+    assert!(
+        first.iter().all(|l| l.contains("\"ok\": true")),
+        "every request in the batch must succeed: {first:?}"
+    );
+    // The acceptance criterion: the warm batch touches no solver at all.
+    assert_eq!(
+        after_second.solver_updates, after_first.solver_updates,
+        "second identical batch must trigger zero solver updates"
+    );
+    assert_eq!(after_second.abstract_solves, after_first.abstract_solves);
+    assert_eq!(after_second.concrete_solves, after_first.concrete_solves);
+    assert!(
+        after_second.verdict_cache_hits > after_first.verdict_cache_hits,
+        "warm answers must come from the verdict memo"
+    );
+
+    let bye = client.call(r#"{"op": "shutdown"}"#).expect("shutdown");
+    assert!(bye.contains("\"ok\": true"));
+    handle
+        .join()
+        .expect("accept loop joins")
+        .expect("clean exit");
+    assert!(!path.exists(), "socket file must be removed on shutdown");
+}
+
+#[test]
+fn snapshot_restores_and_serves_identical_bytes_without_resolving() {
+    // Cold daemon: build, serve the batch, snapshot the warm session.
+    let cold_path = socket_path("cold");
+    let cold_server = Server::bind(fattree_session(), &cold_path).expect("bind cold");
+    let cold_session = cold_server.session();
+    let cold_handle = cold_server.spawn();
+    let mut client = Client::connect(&cold_path).expect("connect cold");
+    let cold_answers = run_batch(&mut client);
+    let snapshot = cold_session.snapshot_json();
+    client.call(r#"{"op": "shutdown"}"#).expect("shutdown cold");
+    cold_handle.join().unwrap().expect("cold exits cleanly");
+
+    // Warm daemon: restore from the snapshot text alone.
+    let restored = Session::builder(fattree(4, FattreePolicy::ShortestPath))
+        .max_failures(1)
+        .threads(1)
+        .restore(&snapshot)
+        .expect("snapshot restores");
+    let stats = restored.stats();
+    assert!(stats.sweep.restored > 0, "restore must reuse refinements");
+    assert_eq!(stats.sweep.derivations, 0, "restore must not re-derive");
+
+    let warm_path = socket_path("warm");
+    let warm_server = Server::bind(restored, &warm_path).expect("bind warm");
+    let warm_handle = warm_server.spawn();
+    let mut client = Client::connect(&warm_path).expect("connect warm");
+    let warm_answers = run_batch(&mut client);
+    client.call(r#"{"op": "shutdown"}"#).expect("shutdown warm");
+    warm_handle.join().unwrap().expect("warm exits cleanly");
+
+    assert_eq!(
+        cold_answers, warm_answers,
+        "a restored daemon must serve byte-identical answers"
+    );
+}

@@ -10,6 +10,7 @@ use bonsai::core::compress::{compress, CompressOptions, CompressionReport};
 use bonsai::core::scenarios::enumerate_scenarios;
 use bonsai::verify::netsweep::{sweep_network, NetworkSweepOptions, NetworkSweepReport};
 use bonsai::verify::properties::SolutionAnalysis;
+use bonsai::verify::query::QueryCtx;
 use bonsai::verify::sim_engine::SimEngine;
 use bonsai::verify::sweep::{derive_refinement, RefinementProvenance, SweepOptions};
 use bonsai_config::{BuiltTopology, NetworkConfig};
@@ -254,13 +255,15 @@ fn masked_sim_queries_agree_with_refined_abstract_networks() {
 
                 // Concrete masked simulation (the Batfish-style path).
                 let mask = scenario.mask(&topo.graph);
-                let solution = engine.solve_ec_masked(sim_ec, Some(&mask)).unwrap();
+                let solution = engine
+                    .solve_ec(sim_ec, &QueryCtx::masked(Some(&mask)))
+                    .unwrap();
                 let data = engine.data_plane(sim_ec, &solution);
                 let analysis = SolutionAnalysis::new(&topo.graph, &data, &origins);
 
                 // Compressed path: the refined abstract network.
                 let abstract_reach = engine
-                    .reachability_under_refinement(sim_ec, refinement, scenario)
+                    .reachability(sim_ec, &QueryCtx::refined(refinement, scenario.clone()))
                     .unwrap();
 
                 for u in topo.graph.nodes() {

@@ -5,6 +5,7 @@ use bonsai::core::conditions::check_effective;
 use bonsai::core::engine::CompiledPolicies;
 use bonsai::core::signatures::build_sig_table;
 use bonsai::srp::papernets;
+use bonsai::verify::query::QueryCtx;
 use bonsai_config::BuiltTopology;
 
 /// Figure 1: the RIP diamond compresses to the 3-node chain of Fig 1(c).
@@ -88,7 +89,7 @@ fn figure6_black_hole_preserved() {
         ranges: vec![papernets::DEST_PREFIX.parse().unwrap()],
         origins: vec![(d, bonsai::srp::instance::OriginProto::Bgp)],
     };
-    let solution = engine.solve_ec(&ec).unwrap();
+    let solution = engine.solve_ec(&ec, &QueryCtx::failure_free()).unwrap();
     let analysis = SolutionAnalysis::new(&topo.graph, &solution, &[d]);
     assert_eq!(analysis.reachability(a), Reachability::None);
     assert!(analysis.black_holes_from(a));

@@ -9,6 +9,7 @@
 
 use bonsai::core::compress::{compress, CompressOptions};
 use bonsai::topo::{fattree, FattreePolicy};
+use bonsai::verify::query::QueryCtx;
 use bonsai::verify::SimEngine;
 use bonsai_config::parse_network;
 use bonsai_net::NodeId;
@@ -108,7 +109,9 @@ fn fault_tolerance_is_not_preserved() {
     // Concrete: a remote edge router has at least 2 disjoint next hops
     // toward the destination.
     let engine = SimEngine::new(&net);
-    let sol = engine.solve_ec(&engine.ecs[0]).unwrap();
+    let sol = engine
+        .solve_ec(&engine.ecs[0], &QueryCtx::failure_free())
+        .unwrap();
     let dest = engine.ecs[0].origins[0].0;
     let dest_pod: usize = {
         let name = engine.topo.graph.name(dest);
@@ -129,7 +132,9 @@ fn fault_tolerance_is_not_preserved() {
     // redundancy is gone.
     let abs = &ec.abstract_network;
     let abs_engine = SimEngine::new(&abs.network);
-    let abs_sol = abs_engine.solve_ec(&abs_engine.ecs[0]).unwrap();
+    let abs_sol = abs_engine
+        .solve_ec(&abs_engine.ecs[0], &QueryCtx::failure_free())
+        .unwrap();
     let abs_remote = abs.candidates_of(&ec.abstraction, remote)[0];
     assert_eq!(
         abs_sol.fwd(abs_remote).len(),

@@ -5,6 +5,7 @@
 use bonsai::core::compress::{compress, CompressOptions};
 use bonsai::topo::{fattree, ring, FattreePolicy};
 use bonsai::verify::properties::SolutionAnalysis;
+use bonsai::verify::query::QueryCtx;
 use bonsai::verify::SimEngine;
 use bonsai_config::NetworkConfig;
 use bonsai_net::NodeId;
@@ -17,14 +18,16 @@ fn check_properties(net: &NetworkConfig) {
     let report = compress(net, CompressOptions::default());
     for (ec_info, ec) in engine.ecs.iter().zip(&report.per_ec) {
         // Concrete analysis.
-        let concrete_sol = engine.solve_ec(ec_info).unwrap();
+        let concrete_sol = engine.solve_ec(ec_info, &QueryCtx::failure_free()).unwrap();
         let concrete_origins: Vec<NodeId> = ec_info.origins.iter().map(|(n, _)| *n).collect();
         let concrete = SolutionAnalysis::new(&engine.topo.graph, &concrete_sol, &concrete_origins);
 
         // Abstract analysis.
         let abs = &ec.abstract_network;
         let abs_engine = SimEngine::new(&abs.network);
-        let abs_sol = abs_engine.solve_ec(&abs_engine.ecs[0]).unwrap();
+        let abs_sol = abs_engine
+            .solve_ec(&abs_engine.ecs[0], &QueryCtx::failure_free())
+            .unwrap();
         let abs_origins: Vec<NodeId> = abs_engine.ecs[0].origins.iter().map(|(n, _)| *n).collect();
         let abstract_a = SolutionAnalysis::new(&abs_engine.topo.graph, &abs_sol, &abs_origins);
 
@@ -91,7 +94,7 @@ fn fattree_waypointing_preserved() {
     let report = compress(&net, CompressOptions::default());
     let (ec_info, ec) = (&engine.ecs[0], &report.per_ec[0]);
 
-    let concrete_sol = engine.solve_ec(ec_info).unwrap();
+    let concrete_sol = engine.solve_ec(ec_info, &QueryCtx::failure_free()).unwrap();
     let origins: Vec<NodeId> = ec_info.origins.iter().map(|(n, _)| *n).collect();
     let concrete = SolutionAnalysis::new(&engine.topo.graph, &concrete_sol, &origins);
 
@@ -117,7 +120,9 @@ fn fattree_waypointing_preserved() {
     // Abstract side: image of src, waypoints = copies of core blocks.
     let abs = &ec.abstract_network;
     let abs_engine = SimEngine::new(&abs.network);
-    let abs_sol = abs_engine.solve_ec(&abs_engine.ecs[0]).unwrap();
+    let abs_sol = abs_engine
+        .solve_ec(&abs_engine.ecs[0], &QueryCtx::failure_free())
+        .unwrap();
     let abs_origins: Vec<NodeId> = abs_engine.ecs[0].origins.iter().map(|(n, _)| *n).collect();
     let abstract_a = SolutionAnalysis::new(&abs_engine.topo.graph, &abs_sol, &abs_origins);
     let abs_src = abs.candidates_of(&ec.abstraction, src)[0];
