@@ -29,7 +29,7 @@ use bonsai_bench::{failures_snapshot_json, secs};
 use bonsai_config::{BuiltTopology, NetworkConfig};
 use bonsai_core::compress::{compress, CompressOptions};
 use bonsai_core::scenarios::{
-    enumerate_scenarios, enumerate_scenarios_pruned, exhaustive_scenario_count, FailureScenario,
+    enumerate_scenarios_pruned, exhaustive_scenario_count, FailureScenario, ScenarioStream,
 };
 use bonsai_core::signatures::build_sig_table;
 use bonsai_net::NodeId;
@@ -40,7 +40,9 @@ use bonsai_topo::{fattree, full_mesh, FattreePolicy};
 use bonsai_verify::failures::{
     check_cp_equivalence_under_failures, lift_failure_mask, FailureAuditOptions,
 };
-use bonsai_verify::netsweep::{sweep_network, NetworkSweepOptions};
+use bonsai_verify::netsweep::{
+    merge_reports, sweep_network, sweep_network_sharded, NetworkSweepOptions,
+};
 use bonsai_verify::session::{QueryRequest, Session, SessionOptions};
 use bonsai_verify::sweep::{sweep_failures, SweepOptions};
 use std::time::{Duration, Instant};
@@ -75,6 +77,10 @@ struct Row {
     netsweep_exact: usize,
     netsweep_symmetric: usize,
     netsweep_fingerprints: usize,
+    chunk_size: usize,
+    scenarios_streamed: usize,
+    peak_resident_scenarios: usize,
+    merge: Duration,
     query_cold_us: f64,
     query_warm_us: f64,
 }
@@ -82,7 +88,7 @@ struct Row {
 impl Row {
     fn render(&self) -> String {
         format!(
-            "{:<10} {:>2} {:>6} {:>7}/{:<7} {:>4} {:>6} -> {:<6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>5.0}% {:>5.0}% {:>6.1} {:>9.0} {:>9.0}",
+            "{:<10} {:>2} {:>6} {:>7}/{:<7} {:>4} {:>6} -> {:<6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>5.0}% {:>5.0}% {:>6.1} {:>7} {:>9.0} {:>9.0}",
             self.label,
             self.k,
             self.links,
@@ -97,9 +103,11 @@ impl Row {
             secs(self.abstract_),
             secs(self.sweep),
             secs(self.netsweep),
+            secs(self.merge),
             self.sweep_hit_rate * 100.0,
             self.netsweep_sharing_ratio * 100.0,
             self.sweep_mean_refined,
+            self.peak_resident_scenarios,
             self.query_cold_us,
             self.query_warm_us,
         )
@@ -107,7 +115,7 @@ impl Row {
 
     fn header() -> String {
         format!(
-            "{:<10} {:>2} {:>6} {:>7}/{:<7} {:>4} {:>6}    {:<6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6} {:>9} {:>9}",
+            "{:<10} {:>2} {:>6} {:>7}/{:<7} {:>4} {:>6}    {:<6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6} {:>7} {:>9} {:>9}",
             "Topology",
             "k",
             "Links",
@@ -122,9 +130,11 @@ impl Row {
             "Abst'(s)",
             "Sweep(s)",
             "Net(s)",
+            "Merge(s)",
             "Hit",
             "Share",
             "Mean",
+            "Peak",
             "Qcold(us)",
             "Qwarm(us)"
         )
@@ -137,13 +147,16 @@ impl Row {
                 "\"scenarios\":{},\"scenarios_exhaustive\":{},\"counterexamples\":{},",
                 "\"abs_nodes_before\":{},\"abs_nodes_after\":{},",
                 "\"times\":{{\"concrete_s\":{:.6},\"warm_s\":{:.6},\"audit_s\":{:.6},",
-                "\"abstract_s\":{:.6},\"sweep_s\":{:.6},\"netsweep_s\":{:.6}}},",
+                "\"abstract_s\":{:.6},\"sweep_s\":{:.6},\"netsweep_s\":{:.6},",
+                "\"merge_s\":{:.6}}},",
                 "\"sweep\":{{\"scenarios\":{},\"refinements\":{},\"cache_hit_rate\":{:.6},",
                 "\"base_abs_nodes_mean\":{:.6},\"mean_refined_nodes\":{:.6},\"max_refined_nodes\":{},",
                 "\"global_fallbacks\":{}}},",
                 "\"cross_ec\":{{\"ecs_covered\":{},\"derivations\":{},\"unshared_derivations\":{},",
                 "\"sharing_ratio\":{:.6},\"exact_transfers\":{},\"symmetric_transfers\":{},",
                 "\"distinct_fingerprints\":{}}},",
+                "\"streamed\":{{\"chunk_size\":{},\"scenarios_streamed\":{},",
+                "\"peak_resident_scenarios\":{}}},",
                 "\"query_cold_us\":{:.3},\"query_warm_us\":{:.3}}}"
             ),
             self.label,
@@ -161,6 +174,7 @@ impl Row {
             self.abstract_.as_secs_f64(),
             self.sweep.as_secs_f64(),
             self.netsweep.as_secs_f64(),
+            self.merge.as_secs_f64(),
             self.sweep_scenarios,
             self.sweep_refinements,
             self.sweep_hit_rate,
@@ -175,6 +189,9 @@ impl Row {
             self.netsweep_exact,
             self.netsweep_symmetric,
             self.netsweep_fingerprints,
+            self.chunk_size,
+            self.scenarios_streamed,
+            self.peak_resident_scenarios,
             self.query_cold_us,
             self.query_warm_us,
         )
@@ -244,7 +261,7 @@ fn run_network(label: &str, net: &NetworkConfig, k: usize, max_ecs: usize, prune
         let scenarios = if pruned {
             enumerate_scenarios_pruned(&topo.graph, &ec.abstraction, &sigs, k)
         } else {
-            enumerate_scenarios(&topo.graph, k)
+            ScenarioStream::new(&topo.graph, k).to_vec()
         };
         scenario_count += scenarios.len();
 
@@ -253,7 +270,7 @@ fn run_network(label: &str, net: &NetworkConfig, k: usize, max_ecs: usize, prune
         // cold solve is part of the column). Both sweep the *exhaustive*
         // enumeration — "verify every scenario" is the workload these
         // columns price, and the same one the sweep engine covers.
-        let all_scenarios = enumerate_scenarios(&topo.graph, k);
+        let all_scenarios = ScenarioStream::new(&topo.graph, k).to_vec();
         concrete += sweep_time(net, &topo, &ec_dest, &all_scenarios, None, false);
         warm += sweep_time(net, &topo, &ec_dest, &all_scenarios, None, true);
 
@@ -347,6 +364,55 @@ fn run_network(label: &str, net: &NetworkConfig, k: usize, max_ecs: usize, prune
     let netsweep_exact = netsweep.exact_transfers;
     let netsweep_symmetric = netsweep.symmetric_transfers;
     let netsweep_fingerprints = netsweep.distinct_fingerprints;
+    let netsweep_scenarios = netsweep.scenarios_swept();
+    let scenarios_streamed = netsweep.scenarios_streamed;
+
+    let sweep_opts_for = |shard_free: bool| NetworkSweepOptions {
+        sweep: SweepOptions {
+            max_failures: k,
+            prune_symmetric: false,
+            threads: 1,
+            ..Default::default()
+        },
+        collect_outcomes: shard_free,
+        ..Default::default()
+    };
+
+    // The bounded-memory rerun: aggregate mode drops the per-scenario
+    // outcome records, so the resident gauge proves the O(chunk) claim —
+    // the peak must be bounded by threads × chunk no matter how large
+    // C(L,k) × ECs is. Its integer tallies must match the collected run.
+    let aggregate = sweep_network(net, &topo, &report, &sweep_opts_for(false))
+        .expect("aggregate network sweep completes");
+    assert!(
+        aggregate.peak_resident_scenarios <= aggregate.chunk_size,
+        "aggregate-mode peak {} exceeds the chunk bound {}",
+        aggregate.peak_resident_scenarios,
+        aggregate.chunk_size
+    );
+    assert_eq!(
+        aggregate.scenarios_swept(),
+        netsweep_scenarios,
+        "aggregate tallies must match the collected sweep"
+    );
+    let chunk_size = aggregate.chunk_size;
+    let peak_resident_scenarios = aggregate.peak_resident_scenarios;
+
+    // The sharded run: two canonical-signature shards swept independently
+    // (as two processes would), then merged. The merge column times only
+    // the reassembly; the equality asserts prove the sharding exact.
+    let shard_reports: Vec<_> = (0..2)
+        .map(|i| {
+            sweep_network_sharded(net, &topo, &report, &sweep_opts_for(true), i, 2)
+                .expect("shard sweep completes")
+        })
+        .collect();
+    let t_merge = Instant::now();
+    let merged = merge_reports(shard_reports).expect("shard set merges");
+    let merge_time = t_merge.elapsed();
+    assert_eq!(merged.scenarios_swept(), netsweep_scenarios);
+    assert_eq!(merged.derivations, netsweep_derivations);
+    assert_eq!(merged.unshared_derivations(), netsweep_unshared);
 
     // The resident-session columns: wire a Session from the compression +
     // sweep just measured (no re-solving) and time one identical query
@@ -430,6 +496,10 @@ fn run_network(label: &str, net: &NetworkConfig, k: usize, max_ecs: usize, prune
         netsweep_exact,
         netsweep_symmetric,
         netsweep_fingerprints,
+        chunk_size,
+        scenarios_streamed,
+        peak_resident_scenarios,
+        merge: merge_time,
         query_cold_us,
         query_warm_us,
     }

@@ -46,16 +46,19 @@ pub const STAGES: [&str; 5] = [
 /// The per-stage wall-clock fields of a failure-study snapshot row's
 /// `times` object (cold concrete sweep, warm-started sweep, PR 3 audit,
 /// refined-abstract sweep, per-scenario sweep engine, network-level
-/// sweep). The resident-session query latencies (`query_cold_us`,
-/// `query_warm_us`) ride in the rows but are **not** gated — they are
-/// microsecond-scale and would drown in runner jitter.
-pub const FAILURE_STAGES: [&str; 6] = [
+/// sweep, sharded-report merge). The resident-session query latencies
+/// (`query_cold_us`, `query_warm_us`) ride in the rows but are **not**
+/// gated — they are microsecond-scale and would drown in runner jitter;
+/// same for the `streamed` counters, which are exact integers gated by
+/// the acceptance tests instead.
+pub const FAILURE_STAGES: [&str; 7] = [
     "concrete_s",
     "warm_s",
     "audit_s",
     "abstract_s",
     "sweep_s",
     "netsweep_s",
+    "merge_s",
 ];
 
 /// The stage list the gate compares for an envelope kind + payload
@@ -338,7 +341,10 @@ mod tests {
                 format!(
                     "{{\"label\":\"{label}\",\"k\":{k},\"times\":{{\"concrete_s\":{t},\
                      \"warm_s\":{t},\"audit_s\":{t},\"abstract_s\":{t},\"sweep_s\":{t},\
-                     \"netsweep_s\":{t}}},\"query_cold_us\":{t},\"query_warm_us\":{t}}}"
+                     \"netsweep_s\":{t},\"merge_s\":{t}}},\
+                     \"streamed\":{{\"chunk_size\":1024,\"scenarios_streamed\":8,\
+                     \"peak_resident_scenarios\":2}},\
+                     \"query_cold_us\":{t},\"query_warm_us\":{t}}}"
                 )
             })
             .collect();
@@ -356,9 +362,10 @@ mod tests {
         let r = compare_snapshots(&base, &cand, 1.5, 0.025);
         assert!(!r.passed());
         assert!(r.regressions().all(|c| c.label.contains("k=2")));
-        // The failure stages include the sweep columns.
+        // The failure stages include the sweep and merge columns.
         assert!(r.comparisons.iter().any(|c| c.stage == "sweep_s"));
         assert!(r.comparisons.iter().any(|c| c.stage == "netsweep_s"));
+        assert!(r.comparisons.iter().any(|c| c.stage == "merge_s"));
     }
 
     #[test]

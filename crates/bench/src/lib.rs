@@ -243,10 +243,11 @@ pub const COMPRESS_SNAPSHOT_KIND: &str = "bench/compress";
 pub const COMPRESS_SNAPSHOT_VERSION: u32 = 1;
 /// Envelope kind of the failure-study perf snapshot.
 pub const FAILURES_SNAPSHOT_KIND: &str = "bench/failures";
-/// Payload version of the failure-study snapshot. v4 = first enveloped
-/// version; its rows add the resident-session query latencies
-/// (`query_cold_us` / `query_warm_us`).
-pub const FAILURES_SNAPSHOT_VERSION: u32 = 4;
+/// Payload version of the failure-study snapshot. v5 adds the streamed
+/// fan-out columns (`scenarios_streamed`, `peak_resident_scenarios`,
+/// `chunk_size` in the `streamed` object) and the sharded-sweep merge
+/// stage (`merge_s` in `times`).
+pub const FAILURES_SNAPSHOT_VERSION: u32 = 5;
 
 fn rows_payload(rows: &[String]) -> String {
     let indented: Vec<String> = rows.iter().map(|json| format!("      {json}")).collect();
@@ -274,9 +275,12 @@ pub fn compress_snapshot_json(rows: &[String]) -> String {
 /// Payload lineage: v2 added the sweep-engine stages (`warm_s`,
 /// `sweep_s` in `times`, plus the per-row `sweep` statistics object);
 /// v3 added the network-level sweep (`netsweep_s` in `times` plus the
-/// `cross_ec` object); v4 — the first enveloped version — adds the
+/// `cross_ec` object); v4 — the first enveloped version — added the
 /// resident-session query latencies (`query_cold_us`, `query_warm_us`)
-/// so the table shows warm answers decoupled from solve time.
+/// so the table shows warm answers decoupled from solve time; v5 adds
+/// the streamed-enumeration columns (the `streamed` object:
+/// `chunk_size`, `scenarios_streamed`, `peak_resident_scenarios` — the
+/// bounded-memory proof) and the sharded-sweep merge stage (`merge_s`).
 pub fn failures_snapshot_json(rows: &[String]) -> String {
     bonsai_core::snapshot::write_envelope(
         FAILURES_SNAPSHOT_KIND,

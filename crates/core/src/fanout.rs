@@ -34,16 +34,42 @@ where
     R: Send,
     S: Send,
 {
+    fan_out_ranges(n, 1, threads, init, |state, range| work(state, range.start))
+}
+
+/// The chunked generalization of [`fan_out`]: workers claim contiguous
+/// ranges of `chunk` indices (the last range may be shorter) from one
+/// atomic counter, over an **implicit** index space `0..n` — nothing about
+/// the items is materialized here, so `n` may be astronomically larger
+/// than memory as long as `work` streams its range.
+///
+/// Returns the per-chunk results ordered by range start (so concatenating
+/// them visits items in index order), plus every worker-local state.
+/// `threads <= 1` runs the identical claim loop inline — a
+/// single-threaded run is byte-for-byte the parallel run with one worker.
+pub fn fan_out_ranges<R, S>(
+    n: usize,
+    chunk: usize,
+    threads: usize,
+    init: impl Fn() -> S + Sync,
+    work: impl Fn(&mut S, std::ops::Range<usize>) -> R + Sync,
+) -> (Vec<R>, Vec<S>)
+where
+    R: Send,
+    S: Send,
+{
+    let chunk = chunk.max(1);
     let next = AtomicUsize::new(0);
     let worker = || {
         let mut state = init();
         let mut out: Vec<(usize, R)> = Vec::new();
         loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= n {
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
                 break;
             }
-            out.push((i, work(&mut state, i)));
+            let range = start..(start.saturating_add(chunk)).min(n);
+            out.push((start, work(&mut state, range)));
         }
         (out, state)
     };
@@ -65,7 +91,7 @@ where
         })
     };
     indexed.sort_by_key(|(i, _)| *i);
-    debug_assert_eq!(indexed.len(), n, "every item processed exactly once");
+    debug_assert_eq!(indexed.len(), n.div_ceil(chunk), "every range claimed once");
     (indexed.into_iter().map(|(_, r)| r).collect(), states)
 }
 
@@ -97,6 +123,41 @@ mod tests {
         let (results, states) = fan_out(0, 4, || (), |_, i| i);
         assert!(results.is_empty());
         assert_eq!(states.len(), 4);
+    }
+
+    #[test]
+    fn ranges_cover_the_index_space_in_order() {
+        for threads in [1, 2, 4] {
+            for chunk in [1, 3, 7, 64, 1000] {
+                let (ranges, _) = fan_out_ranges(100, chunk, threads, || (), |_, r| r);
+                // Concatenated ranges are exactly 0..100 in order.
+                let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                assert_eq!(flat, (0..100).collect::<Vec<_>>(), "chunk={chunk}");
+                assert!(ranges.iter().all(|r| r.len() <= chunk));
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_and_per_item_fan_outs_agree() {
+        let (per_item, _) = fan_out(50, 2, || (), |_, i| i * i);
+        for chunk in [1, 4, 50] {
+            let (chunks, _) = fan_out_ranges(
+                50,
+                chunk,
+                2,
+                || (),
+                |_, r| r.map(|i| i * i).collect::<Vec<_>>(),
+            );
+            let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, per_item, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn zero_chunk_is_clamped_to_one() {
+        let (ranges, _) = fan_out_ranges(5, 0, 1, || (), |_, r| r);
+        assert_eq!(ranges.len(), 5);
     }
 
     #[test]

@@ -12,9 +12,12 @@
 //!
 //! This module provides:
 //!
-//! * [`enumerate_scenarios`] — every subset of undirected links of size
-//!   `1..=k`, as [`FailureScenario`]s (exhaustive; `C(L,1)+…+C(L,k)`
-//!   scenarios).
+//! * [`ScenarioStream`] — every subset of undirected links of size
+//!   `1..=k`, as [`FailureScenario`]s, **lazily**: any rank range of the
+//!   canonical enumeration order (size-major, then lexicographic by link
+//!   index) materializes via combination unranking without enumerating
+//!   its predecessors. The deprecated `enumerate_scenarios` is its
+//!   `to_vec`.
 //! * [`link_orbits`] — groups links into *orbits* by their position in the
 //!   abstraction: two links are in the same orbit when their endpoints lie
 //!   in the same blocks and both directions carry the same compiled
@@ -542,16 +545,257 @@ fn orbit_key(
 /// Enumerates every scenario with `1..=k` failed links — exhaustive, no
 /// symmetry reduction. Deterministic order: by failure count, then
 /// lexicographically by link index.
+#[deprecated(note = "materializes all C(L,1)+…+C(L,k) scenarios up front; use \
+            ScenarioStream (iter_range / to_vec) instead")]
 pub fn enumerate_scenarios(graph: &Graph, k: usize) -> Vec<FailureScenario> {
-    let links = graph.links();
-    let mut out = Vec::new();
-    let mut chosen: Vec<usize> = Vec::new();
-    for size in 1..=k.min(links.len()) {
-        combinations(links.len(), size, 0, &mut chosen, &mut |c| {
-            out.push(FailureScenario::new(c.iter().map(|&i| links[i]).collect()));
-        });
+    ScenarioStream::new(graph, k).to_vec()
+}
+
+/// One size band of a [`ScenarioStream`]: all scenarios with exactly
+/// `size` failed links occupy ranks `start .. start + count`.
+#[derive(Clone, Copy, Debug)]
+struct SizeBand {
+    size: usize,
+    start: u128,
+    count: u128,
+}
+
+/// The lazy form of the exhaustive enumeration: every `1..=k`-subset of
+/// the link list, addressable by **rank** in the canonical enumeration
+/// order (by failure count, then lexicographically by link index — the
+/// exact order `enumerate_scenarios` produced).
+///
+/// Any `(start, len)` rank range is materialized without enumerating its
+/// predecessors: the start rank is *unranked* into a combination directly
+/// (size band lookup + lexicographic combination unranking), and the rest
+/// of the range steps through cheap lexicographic successors. This is what
+/// lets the network-level sweep hand workers chunked ranges of an implicit
+/// scenario space instead of an `Arc<Vec>` of all `C(L, k)` scenarios.
+#[derive(Clone, Debug)]
+pub struct ScenarioStream {
+    links: Vec<(NodeId, NodeId)>,
+    k: usize,
+    bands: Vec<SizeBand>,
+    total: u128,
+    /// Canonical link pair → index in `links` (for [`ScenarioStream::rank_of`]).
+    index_of_link: HashMap<(NodeId, NodeId), usize>,
+}
+
+/// `C(n, k)`, exact in `u128` for every feasible stream (saturating only
+/// far beyond any rank a 64-bit machine could iterate).
+fn binom(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
     }
-    out
+    let k = k.min(n - k);
+    let mut c: u128 = 1;
+    for i in 0..k {
+        // Exact at every step: c holds C(n, i) and C(n, i) * (n - i) is
+        // divisible by i + 1.
+        c = c.saturating_mul((n - i) as u128) / (i as u128 + 1);
+    }
+    c
+}
+
+impl ScenarioStream {
+    /// The stream of every `1..=k` failure scenario of `graph`, in
+    /// canonical enumeration order.
+    pub fn new(graph: &Graph, k: usize) -> Self {
+        Self::over_links(graph.links(), k)
+    }
+
+    /// The stream over an explicit canonical link list (as produced by
+    /// [`Graph::links`]).
+    pub fn over_links(links: Vec<(NodeId, NodeId)>, k: usize) -> Self {
+        let mut bands = Vec::new();
+        let mut total: u128 = 0;
+        for size in 1..=k.min(links.len()) {
+            let count = binom(links.len(), size);
+            bands.push(SizeBand {
+                size,
+                start: total,
+                count,
+            });
+            total += count;
+        }
+        let index_of_link = links.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+        ScenarioStream {
+            links,
+            k,
+            bands,
+            total,
+            index_of_link,
+        }
+    }
+
+    /// The failure bound.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of links the subsets draw from.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Total scenario count (`C(L,1)+…+C(L,k)`), saturating at
+    /// `usize::MAX` like [`exhaustive_scenario_count`].
+    pub fn len(&self) -> usize {
+        usize::try_from(self.total).unwrap_or(usize::MAX)
+    }
+
+    /// True when the stream holds no scenarios (`k == 0` or no links).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The scenario at `rank` — without enumerating its predecessors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rank >= len()`.
+    pub fn get(&self, rank: usize) -> FailureScenario {
+        let mut iter = self.iter_range(rank, 1);
+        iter.next()
+            .unwrap_or_else(|| panic!("rank {rank} out of range for {} scenarios", self.len()))
+    }
+
+    /// The rank of a scenario in this stream, `None` when any of its
+    /// links is not a link of the stream (or it is empty / above `k`).
+    pub fn rank_of(&self, scenario: &FailureScenario) -> Option<usize> {
+        let size = scenario.links.len();
+        if size == 0 || size > self.k {
+            return None;
+        }
+        let mut idx: Vec<usize> = scenario
+            .links
+            .iter()
+            .map(|l| self.index_of_link.get(l).copied())
+            .collect::<Option<_>>()?;
+        idx.sort_unstable();
+        let band = self.bands.get(size - 1)?;
+        debug_assert_eq!(band.size, size);
+        let n = self.links.len();
+        let mut within: u128 = 0;
+        for (i, &c) in idx.iter().enumerate() {
+            let lo = if i == 0 { 0 } else { idx[i - 1] + 1 };
+            for x in lo..c {
+                within += binom(n - 1 - x, size - 1 - i);
+            }
+        }
+        usize::try_from(band.start + within).ok()
+    }
+
+    /// Iterates the scenarios of the rank range `start .. start + len`
+    /// (clamped to the stream's end): one combination unranking, then
+    /// lexicographic successor stepping.
+    pub fn iter_range(&self, start: usize, len: usize) -> ScenarioRangeIter<'_> {
+        let start = (start as u128).min(self.total);
+        let end = start.saturating_add(len as u128).min(self.total);
+        let remaining = (end - start) as usize;
+        let (band_idx, chosen) = if remaining == 0 {
+            (self.bands.len(), Vec::new())
+        } else {
+            let band_idx = self.bands.partition_point(|b| b.start + b.count <= start);
+            let band = &self.bands[band_idx];
+            (
+                band_idx,
+                unrank_combination(self.links.len(), band.size, start - band.start),
+            )
+        };
+        ScenarioRangeIter {
+            stream: self,
+            band: band_idx,
+            chosen,
+            remaining,
+        }
+    }
+
+    /// Iterates the whole stream.
+    pub fn iter(&self) -> ScenarioRangeIter<'_> {
+        self.iter_range(0, self.len())
+    }
+
+    /// Materializes the whole stream — exactly what the deprecated
+    /// `enumerate_scenarios` returned.
+    pub fn to_vec(&self) -> Vec<FailureScenario> {
+        self.iter().collect()
+    }
+}
+
+/// Unranks the `rank`-th (lexicographic) `size`-combination of `0..n`.
+fn unrank_combination(n: usize, size: usize, mut rank: u128) -> Vec<usize> {
+    let mut chosen = Vec::with_capacity(size);
+    let mut x = 0usize;
+    let mut remaining = size;
+    while remaining > 0 {
+        // Combinations that continue with x lead with C(n-1-x, remaining-1)
+        // completions.
+        let c = binom(n - 1 - x, remaining - 1);
+        if rank < c {
+            chosen.push(x);
+            remaining -= 1;
+        } else {
+            rank -= c;
+        }
+        x += 1;
+    }
+    chosen
+}
+
+/// Iterator over a rank range of a [`ScenarioStream`] (see
+/// [`ScenarioStream::iter_range`]).
+pub struct ScenarioRangeIter<'a> {
+    stream: &'a ScenarioStream,
+    /// Current size band (index into `stream.bands`).
+    band: usize,
+    /// Current combination, as ascending link indices.
+    chosen: Vec<usize>,
+    remaining: usize,
+}
+
+impl Iterator for ScenarioRangeIter<'_> {
+    type Item = FailureScenario;
+
+    fn next(&mut self) -> Option<FailureScenario> {
+        if self.remaining == 0 || self.band >= self.stream.bands.len() {
+            return None;
+        }
+        let scenario =
+            FailureScenario::new(self.chosen.iter().map(|&i| self.stream.links[i]).collect());
+        self.remaining -= 1;
+        if self.remaining > 0 && !advance_combination(&mut self.chosen, self.stream.links.len()) {
+            // Band exhausted: restart at the first combination of the next
+            // size.
+            self.band += 1;
+            if let Some(band) = self.stream.bands.get(self.band) {
+                self.chosen = (0..band.size).collect();
+            }
+        }
+        Some(scenario)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for ScenarioRangeIter<'_> {}
+
+/// Steps a combination (ascending indices over `0..n`) to its
+/// lexicographic successor in place; `false` when it was the last one.
+fn advance_combination(chosen: &mut [usize], n: usize) -> bool {
+    let size = chosen.len();
+    for j in (0..size).rev() {
+        if chosen[j] < n - (size - j) {
+            chosen[j] += 1;
+            for l in j + 1..size {
+                chosen[l] = chosen[l - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
 }
 
 /// Number of scenarios [`enumerate_scenarios`] would produce (the
@@ -606,7 +850,8 @@ pub fn enumerate_scenarios_pruned_with(
     let mut out = Vec::new();
     // Exhaustive enumeration is size-major then lexicographic, so the
     // first scenario of each signature is the canonical representative.
-    for scenario in enumerate_scenarios(graph, k) {
+    // Streamed: only the representatives are ever materialized.
+    for scenario in ScenarioStream::new(graph, k).iter() {
         let sig = orbits
             .signature_of(&scenario)
             .expect("scenario links come from this graph");
@@ -868,6 +1113,10 @@ pub fn canonical_signature_of(
     })
 }
 
+/// Recursive combination walk — the independent test oracle the stream's
+/// unranking is validated against (production enumeration goes through
+/// [`ScenarioStream`]).
+#[cfg_attr(not(test), allow(dead_code))]
 fn combinations(
     n: usize,
     size: usize,
@@ -934,20 +1183,90 @@ mod tests {
         (topo, abs, sigs, ec)
     }
 
+    /// The independent enumeration oracle: the recursive combination walk
+    /// the stream replaced, over the same link list.
+    fn enumerate_oracle(graph: &Graph, k: usize) -> Vec<FailureScenario> {
+        let links = graph.links();
+        let mut out = Vec::new();
+        let mut chosen: Vec<usize> = Vec::new();
+        for size in 1..=k.min(links.len()) {
+            combinations(links.len(), size, 0, &mut chosen, &mut |c| {
+                out.push(FailureScenario::new(c.iter().map(|&i| links[i]).collect()));
+            });
+        }
+        out
+    }
+
     #[test]
     fn exhaustive_enumeration_counts() {
         let (topo, _, _, _) = gadget_setup();
         // The gadget has 6 links: C(6,1)=6, C(6,2)=15.
         assert_eq!(topo.graph.link_count(), 6);
-        let s1 = enumerate_scenarios(&topo.graph, 1);
+        let s1 = ScenarioStream::new(&topo.graph, 1).to_vec();
         assert_eq!(s1.len(), 6);
-        let s2 = enumerate_scenarios(&topo.graph, 2);
+        let s2 = ScenarioStream::new(&topo.graph, 2).to_vec();
         assert_eq!(s2.len(), 21);
         assert_eq!(exhaustive_scenario_count(6, 2), 21);
         // All distinct, all within bounds.
         let set: std::collections::BTreeSet<_> = s2.iter().collect();
         assert_eq!(set.len(), 21);
         assert!(s2.iter().all(|s| (1..=2).contains(&s.len())));
+    }
+
+    #[test]
+    fn stream_matches_recursive_oracle_in_order() {
+        let (topo, _, _, _) = gadget_setup();
+        for k in 0..=4 {
+            let stream = ScenarioStream::new(&topo.graph, k);
+            let oracle = enumerate_oracle(&topo.graph, k);
+            assert_eq!(stream.len(), oracle.len(), "k={k}");
+            assert_eq!(stream.to_vec(), oracle, "k={k}");
+            // The deprecated entry point is the stream's to_vec.
+            #[allow(deprecated)]
+            let legacy = enumerate_scenarios(&topo.graph, k);
+            assert_eq!(legacy, oracle, "k={k}");
+        }
+    }
+
+    #[test]
+    fn stream_ranges_slice_the_full_enumeration() {
+        let (topo, _, _, _) = gadget_setup();
+        let stream = ScenarioStream::new(&topo.graph, 3);
+        let full = stream.to_vec();
+        assert_eq!(full.len(), 6 + 15 + 20);
+        for start in 0..=full.len() {
+            for len in [0, 1, 2, 5, 7, full.len()] {
+                let got: Vec<_> = stream.iter_range(start, len).collect();
+                let end = (start + len).min(full.len());
+                assert_eq!(got, full[start..end], "start={start} len={len}");
+            }
+        }
+        // Past-the-end ranges are empty, not a panic.
+        assert_eq!(stream.iter_range(full.len() + 3, 10).count(), 0);
+    }
+
+    #[test]
+    fn stream_get_and_rank_of_roundtrip() {
+        let (topo, _, _, _) = gadget_setup();
+        let stream = ScenarioStream::new(&topo.graph, 3);
+        for (rank, scenario) in stream.to_vec().into_iter().enumerate() {
+            assert_eq!(stream.get(rank), scenario);
+            assert_eq!(stream.rank_of(&scenario), Some(rank));
+        }
+        // A scenario above the bound or off the graph has no rank.
+        let four = stream.get(stream.len() - 1); // largest k=3 scenario
+        let mut links = four.links.clone();
+        links.extend(stream.get(0).links.clone());
+        assert_eq!(stream.rank_of(&FailureScenario::new(links)), None);
+    }
+
+    #[test]
+    fn empty_streams_behave() {
+        let (topo, _, _, _) = gadget_setup();
+        let stream = ScenarioStream::new(&topo.graph, 0);
+        assert!(stream.is_empty());
+        assert_eq!(stream.len(), 0);
+        assert_eq!(stream.iter().count(), 0);
     }
 
     #[test]
@@ -988,17 +1307,19 @@ mod tests {
         // two k=1 classes: 6 total.
         let p2 = enumerate_scenarios_pruned(&topo.graph, &abs, &sigs, 2);
         assert_eq!(p2.len(), 6);
-        assert!(p2.len() < enumerate_scenarios(&topo.graph, 2).len());
+        assert!(p2.len() < ScenarioStream::new(&topo.graph, 2).to_vec().len());
         // Every pruned scenario is a member of the exhaustive set.
-        let all: std::collections::BTreeSet<_> =
-            enumerate_scenarios(&topo.graph, 2).into_iter().collect();
+        let all: std::collections::BTreeSet<_> = ScenarioStream::new(&topo.graph, 2)
+            .to_vec()
+            .into_iter()
+            .collect();
         assert!(p2.iter().all(|s| all.contains(s)));
     }
 
     #[test]
     fn masks_cover_both_directions() {
         let (topo, _, _, _) = gadget_setup();
-        let s = enumerate_scenarios(&topo.graph, 1);
+        let s = ScenarioStream::new(&topo.graph, 1).to_vec();
         for sc in &s {
             let mask = sc.mask(&topo.graph);
             assert_eq!(mask.disabled_count(), 2, "{}", sc.describe(&topo.graph));
@@ -1011,7 +1332,7 @@ mod tests {
         let orbits = link_orbits(&topo.graph, &abs, &sigs);
         // Every k=1 scenario of one orbit shares a signature; the two
         // orbits give exactly two distinct signatures.
-        let all = enumerate_scenarios(&topo.graph, 1);
+        let all = ScenarioStream::new(&topo.graph, 1).to_vec();
         let sigset: std::collections::BTreeSet<OrbitSignature> = all
             .iter()
             .map(|s| orbits.signature_of(s).unwrap())
@@ -1022,7 +1343,7 @@ mod tests {
         }
         // k=2 exhaustive (21 scenarios) collapses to the 6 pruned
         // signatures: signatures and pruned enumeration agree exactly.
-        let all2 = enumerate_scenarios(&topo.graph, 2);
+        let all2 = ScenarioStream::new(&topo.graph, 2).to_vec();
         let sigset2: std::collections::BTreeSet<OrbitSignature> = all2
             .iter()
             .map(|s| orbits.signature_of(s).unwrap())
@@ -1079,7 +1400,7 @@ mod tests {
             enumerate_scenarios_pruned(&topo.graph, &abs, &sigs, 2)
                 .into_iter()
                 .collect();
-        for s in enumerate_scenarios(&topo.graph, 2) {
+        for s in ScenarioStream::new(&topo.graph, 2).to_vec() {
             let sig = orbits.signature_of(&s).unwrap();
             let rep = orbits.canonical_scenario(&sig);
             assert!(pruned.contains(&rep), "{}", s.describe(&topo.graph));
@@ -1107,7 +1428,8 @@ mod tests {
         // Canonical signatures collapse the k=2 exhaustive set to the same
         // 6 classes as the per-EC signatures.
         let canonical: std::collections::BTreeSet<CanonicalSignature> =
-            enumerate_scenarios(&topo.graph, 2)
+            ScenarioStream::new(&topo.graph, 2)
+                .to_vec()
                 .iter()
                 .map(|s| canonical_signature_of(&orbits, &canon, s).unwrap())
                 .collect();

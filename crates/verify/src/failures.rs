@@ -42,7 +42,7 @@ use bonsai_core::algorithm::Abstraction;
 use bonsai_core::compress::refine_ec_with_split;
 use bonsai_core::engine::CompiledPolicies;
 use bonsai_core::scenarios::{
-    enumerate_scenarios, enumerate_scenarios_pruned, exhaustive_scenario_count, FailureScenario,
+    enumerate_scenarios_pruned, exhaustive_scenario_count, FailureScenario, ScenarioStream,
 };
 use bonsai_core::signatures::build_sig_table;
 use bonsai_net::partition::BlockId;
@@ -221,7 +221,7 @@ pub fn check_cp_equivalence_under_failures(
         let scenarios = if options.prune_symmetric {
             enumerate_scenarios_pruned(&topo.graph, &current, &sigs, k)
         } else {
-            enumerate_scenarios(&topo.graph, k)
+            ScenarioStream::new(&topo.graph, k).to_vec()
         };
 
         let mut refined_this_pass = false;

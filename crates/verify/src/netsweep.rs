@@ -49,18 +49,18 @@
 use crate::equivalence::EquivalenceError;
 use crate::sweep::{
     base_abstract_solution, canonical_abstract_solution, check_scenario_refined,
-    derive_scenario_refinement, endpoint_split, sample_concrete_solutions, RefinementProvenance,
-    ScenarioOutcome, ScenarioRefinement, SweepCtx, SweepOptions, SweepReport,
+    derive_scenario_refinement, endpoint_split, sample_concrete_solutions, OutcomeStats,
+    RefinementProvenance, ScenarioOutcome, ScenarioRefinement, SweepCtx, SweepOptions, SweepReport,
 };
 use bonsai_config::{BuiltTopology, Community, NetworkConfig};
 use bonsai_core::abstraction::build_abstract_network;
 use bonsai_core::compress::{refine_ec_with_split, CompressionReport, EcCompression};
 use bonsai_core::engine::{CompiledPolicies, EcFingerprint};
-use bonsai_core::fanout::fan_out;
+use bonsai_core::fanout::fan_out_ranges;
 use bonsai_core::scenarios::{
-    canonical_signature_of, enumerate_scenarios, enumerate_scenarios_pruned_with,
-    exhaustive_scenario_count, link_orbits_with_distances, quotient_canon, CanonicalSignature,
-    FailureScenario, LinkOrbits, NodeDistances, OrbitSignature, QuotientCanon, QuotientClass,
+    canonical_signature_of, enumerate_scenarios_pruned_with, exhaustive_scenario_count,
+    link_orbits_with_distances, quotient_canon, CanonicalSignature, FailureScenario, LinkOrbits,
+    NodeDistances, OrbitSignature, QuotientCanon, QuotientClass, ScenarioStream,
 };
 use bonsai_core::signatures::build_sig_table;
 use bonsai_net::prefix::Prefix;
@@ -68,7 +68,28 @@ use bonsai_net::NodeId;
 use bonsai_srp::instance::{EcDest, MultiProtocol, OriginProto, RibAttr};
 use bonsai_srp::{Solution, Srp};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Default worker chunk size of the streamed fan-out: large enough that
+/// the atomic claim and the one combination unranking per chunk vanish
+/// against per-scenario signature work, small enough that a fattree-8
+/// k=3 plane (~2.8M scenarios/class) spreads over thousands of chunks.
+/// Measured at threads=1: fattree-4 k=2 (4.2K items) and fattree-6 k=2
+/// (106K items) sweep times are flat from 64 through 16384 — the
+/// per-item signature work dominates the atomic claim + unranking — so
+/// the choice favors scheduling granularity over claim amortization.
+pub const DEFAULT_CHUNK_SIZE: usize = 1024;
+
+/// One shard of a sharded network sweep: this process sweeps only the
+/// scenarios whose canonical-signature class hashes to `index` mod `of`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's index, `0 <= index < of`.
+    pub index: usize,
+    /// Total number of shards.
+    pub of: usize,
+}
 
 /// Options for a network-level sweep.
 #[derive(Clone, Copy, Debug)]
@@ -87,6 +108,18 @@ pub struct NetworkSweepOptions {
     pub verify_transfers: bool,
     /// Cap on the number of destination classes swept (0 = all).
     pub max_ecs: usize,
+    /// Scenarios per claimed fan-out range (0 = [`DEFAULT_CHUNK_SIZE`]).
+    /// Peak resident scenario count in aggregate mode is
+    /// `O(threads × chunk)`, not `O(C(L,k))`.
+    pub chunk_size: usize,
+    /// Collect per-scenario [`ScenarioOutcome`] records (the default;
+    /// required by snapshot/query layers that replay outcomes). Disable
+    /// for bounded-memory sweeps of huge scenario spaces — the aggregate
+    /// [`OutcomeStats`] and the refinement maps are still complete.
+    pub collect_outcomes: bool,
+    /// Sweep only the scenarios of one canonical-signature shard (see
+    /// [`sweep_network_sharded`]). `None` sweeps everything.
+    pub shard: Option<ShardSpec>,
 }
 
 impl Default for NetworkSweepOptions {
@@ -96,6 +129,9 @@ impl Default for NetworkSweepOptions {
             share_across_ecs: true,
             verify_transfers: false,
             max_ecs: 0,
+            chunk_size: 0,
+            collect_outcomes: true,
+            shard: None,
         }
     }
 }
@@ -138,6 +174,19 @@ pub struct NetworkSweepReport {
     pub verified_transfers: usize,
     /// Distinct policy fingerprints among the swept classes.
     pub distinct_fingerprints: usize,
+    /// Effective scenarios-per-range of the streamed fan-out.
+    pub chunk_size: usize,
+    /// Scenario instances generated through the streamed enumeration
+    /// (exhaustive sources only; pruned sources are materialized lists).
+    pub scenarios_streamed: usize,
+    /// High-water mark of concurrently resident `FailureScenario` values:
+    /// materialized source lists + in-flight streamed items + collected
+    /// outcome records. In aggregate mode (`collect_outcomes = false`,
+    /// exhaustive) this is `O(threads)`, bounded by `threads × chunk` —
+    /// never `O(C(L,k))`.
+    pub peak_resident_scenarios: usize,
+    /// The shard this report covers (`None` = the full sweep).
+    pub shard: Option<ShardSpec>,
 }
 
 impl NetworkSweepReport {
@@ -165,6 +214,24 @@ impl NetworkSweepReport {
     }
 }
 
+/// A class's scenario plane: the implicit exhaustive stream (shared by
+/// every class — nothing materialized), or the materialized pruned list
+/// (inherently small: one representative per signature, with the
+/// signatures the dedup pass already computed).
+enum ScenarioSource {
+    Streamed(Arc<ScenarioStream>),
+    Materialized(Arc<Vec<(FailureScenario, OrbitSignature)>>),
+}
+
+impl ScenarioSource {
+    fn len(&self) -> usize {
+        match self {
+            ScenarioSource::Streamed(s) => s.len(),
+            ScenarioSource::Materialized(v) => v.len(),
+        }
+    }
+}
+
 /// Everything hoisted once per class before the fan-out, shared immutably
 /// by every worker.
 struct EcPlane<'a> {
@@ -176,10 +243,7 @@ struct EcPlane<'a> {
     srp: Srp<'a, MultiProtocol<'a>>,
     base_solution: Option<Solution<RibAttr>>,
     base_abs_solution: Option<Solution<RibAttr>>,
-    scenarios: Arc<Vec<FailureScenario>>,
-    /// Signatures aligned with `scenarios`, precomputed by the pruned
-    /// dedup pass (None on exhaustive sweeps, where no prior pass exists).
-    signatures: Option<Vec<OrbitSignature>>,
+    scenarios: ScenarioSource,
 }
 
 impl<'a> EcPlane<'a> {
@@ -241,8 +305,17 @@ type SharedCache = std::sync::Mutex<HashMap<SharedKey, Arc<SharedEntry>>>;
 /// Worker-local state of the network fan-out.
 struct WorkerState {
     per_ec: HashMap<(usize, OrbitSignature), ScenarioRefinement>,
+    /// Memoized shard membership per (class, signature) — the canonical
+    /// key behind it is signature-level, so one probe serves every
+    /// scenario of the class.
+    shard_keys: HashMap<(usize, OrbitSignature), u64>,
     /// Full derivations per class index.
     derivations: Vec<usize>,
+    /// Aggregate outcome tallies per class index — complete even when
+    /// outcome records are not collected.
+    stats: Vec<OutcomeStats>,
+    /// Scenario instances this worker generated through the stream.
+    streamed: usize,
     exact_transfers: usize,
     symmetric_transfers: usize,
     verified_transfers: usize,
@@ -274,9 +347,11 @@ pub fn sweep_network(
 
     // Hoist the per-class planes sequentially (deterministic fingerprint
     // interning and engine-cache population), sharing one distance matrix
-    // and — for exhaustive sweeps — one scenario list.
+    // and — for exhaustive sweeps — one implicit scenario stream. Nothing
+    // of the C(L,k) space is materialized: workers unrank their chunk's
+    // start and step successors.
     let distances = Arc::new(NodeDistances::of_graph(&topo.graph));
-    let exhaustive: Arc<Vec<FailureScenario>> = Arc::new(enumerate_scenarios(&topo.graph, k));
+    let exhaustive: Arc<ScenarioStream> = Arc::new(ScenarioStream::new(&topo.graph, k));
     let mut planes: Vec<EcPlane<'_>> = Vec::with_capacity(n_ecs);
     for comp in report.per_ec.iter().take(n_ecs) {
         let ec = comp.ec.to_ec_dest();
@@ -298,17 +373,17 @@ pub fn sweep_network(
             .then(|| bonsai_srp::solver::solve(&srp).ok())
             .flatten();
         let base_abs_solution = base_abstract_solution(&comp.abstract_network, &options.sweep);
-        let (scenarios, signatures) = if options.sweep.prune_symmetric {
+        let scenarios = if options.sweep.prune_symmetric {
             // Pruned per class (pruning is relative to the class's own
             // orbits), keeping the signatures so the workers need not
             // recompute the pattern canonicalization.
-            let (pruned, sigs_of): (Vec<_>, Vec<_>) =
-                enumerate_scenarios_pruned_with(&topo.graph, &orbits, k)
-                    .into_iter()
-                    .unzip();
-            (Arc::new(pruned), Some(sigs_of))
+            ScenarioSource::Materialized(Arc::new(enumerate_scenarios_pruned_with(
+                &topo.graph,
+                &orbits,
+                k,
+            )))
         } else {
-            (exhaustive.clone(), None)
+            ScenarioSource::Streamed(exhaustive.clone())
         };
         planes.push(EcPlane {
             ec,
@@ -320,7 +395,6 @@ pub fn sweep_network(
             base_solution,
             base_abs_solution,
             scenarios,
-            signatures,
         });
     }
 
@@ -334,6 +408,11 @@ pub fn sweep_network(
     }
     offsets.push(total);
 
+    let chunk_size = if options.chunk_size == 0 {
+        DEFAULT_CHUNK_SIZE
+    } else {
+        options.chunk_size
+    };
     let threads = if options.sweep.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -341,67 +420,122 @@ pub fn sweep_network(
     } else {
         options.sweep.threads
     }
-    .min(total.max(1));
+    .min(total.div_ceil(chunk_size).max(1));
+
+    // Resident-scenario gauge: materialized (pruned) source lists count
+    // from the start; streamed items count while in flight; collected
+    // outcome records count from collection to the end of the sweep.
+    let base_resident: usize = planes
+        .iter()
+        .map(|p| match &p.scenarios {
+            ScenarioSource::Materialized(v) => v.len(),
+            ScenarioSource::Streamed(_) => 0,
+        })
+        .sum();
+    let resident = ResidentGauge::new(base_resident);
 
     let shared: SharedCache = std::sync::Mutex::new(HashMap::new());
-    let work = |state: &mut WorkerState, i: usize| -> Result<ScenarioOutcome, EquivalenceError> {
-        let e = offsets.partition_point(|&o| o <= i) - 1;
-        let plane = &planes[e];
-        let s = i - offsets[e];
-        let scenario = &plane.scenarios[s];
-        let signature = match &plane.signatures {
-            Some(sigs) => sigs[s].clone(),
-            None => plane
-                .orbits
-                .signature_of(scenario)
-                .expect("scenario links come from the same graph as the orbits"),
-        };
-
-        let (cache_hit, refined_nodes) = match state.per_ec.get(&(e, signature.clone())) {
-            Some(r) => (true, r.refined_nodes()),
-            None => {
-                let refinement = resolve_refinement(
-                    state,
-                    &shared,
-                    e,
-                    plane,
-                    &signature,
-                    network,
-                    topo,
-                    engine,
-                    keep.as_ref(),
-                    options,
-                )?;
-                let nodes = refinement.refined_nodes();
-                state.per_ec.insert((e, signature.clone()), refinement);
-                (false, nodes)
+    type ChunkOut = Vec<(usize, ScenarioOutcome)>;
+    let work = |state: &mut WorkerState,
+                range: std::ops::Range<usize>|
+     -> Result<ChunkOut, EquivalenceError> {
+        let mut out: ChunkOut = Vec::new();
+        // A chunk may span class boundaries: process it as per-class runs,
+        // each run a contiguous rank range of that class's source.
+        let mut i = range.start;
+        while i < range.end {
+            let e = offsets.partition_point(|&o| o <= i) - 1;
+            let plane = &planes[e];
+            let run_end = offsets[e + 1].min(range.end);
+            let first = i - offsets[e];
+            match &plane.scenarios {
+                ScenarioSource::Materialized(items) => {
+                    for s in first..(run_end - offsets[e]) {
+                        let (scenario, signature) = &items[s];
+                        process_item(
+                            state,
+                            &mut out,
+                            &shared,
+                            &resident,
+                            e,
+                            s,
+                            scenario.clone(),
+                            signature.clone(),
+                            false,
+                            plane,
+                            network,
+                            topo,
+                            engine,
+                            keep.as_ref(),
+                            options,
+                        )?;
+                    }
+                }
+                ScenarioSource::Streamed(stream) => {
+                    // One unranking for the run start, successors after.
+                    for (j, scenario) in stream.iter_range(first, run_end - i).enumerate() {
+                        resident.add(1);
+                        state.streamed += 1;
+                        let signature = plane
+                            .orbits
+                            .signature_of(&scenario)
+                            .expect("streamed scenarios come from this graph's links");
+                        process_item(
+                            state,
+                            &mut out,
+                            &shared,
+                            &resident,
+                            e,
+                            first + j,
+                            scenario,
+                            signature,
+                            true,
+                            plane,
+                            network,
+                            topo,
+                            engine,
+                            keep.as_ref(),
+                            options,
+                        )?;
+                    }
+                }
             }
-        };
-        Ok(ScenarioOutcome {
-            scenario: scenario.clone(),
-            signature,
-            cache_hit,
-            refined_nodes,
-        })
+            i = run_end;
+        }
+        Ok(out)
     };
 
     let init = || WorkerState {
         per_ec: HashMap::new(),
+        shard_keys: HashMap::new(),
         derivations: vec![0; n_ecs],
+        stats: vec![OutcomeStats::default(); n_ecs],
+        streamed: 0,
         exact_transfers: 0,
         symmetric_transfers: 0,
         verified_transfers: 0,
     };
-    let (results, states) = fan_out(total, threads, init, work);
-    let outcomes: Vec<ScenarioOutcome> = results.into_iter().collect::<Result<_, _>>()?;
+    let (chunks, states) = fan_out_ranges(total, chunk_size, threads, init, work);
+
+    // Flatten chunk outcomes back into per-class lists. Chunks come back
+    // in range order and the plane is class-major, so every class's
+    // outcomes arrive in rank order.
+    let mut per_ec_outcomes: Vec<Vec<ScenarioOutcome>> = (0..n_ecs).map(|_| Vec::new()).collect();
+    for chunk in chunks {
+        for (e, outcome) in chunk? {
+            per_ec_outcomes[e].push(outcome);
+        }
+    }
 
     // Merge worker states: per-class refinement maps (racing duplicates
-    // must agree — same debug contract as the per-EC engine) and the
-    // sharing counters.
+    // must agree — same debug contract as the per-EC engine), aggregate
+    // tallies and the sharing counters.
     let mut refinements: Vec<BTreeMap<OrbitSignature, ScenarioRefinement>> =
         (0..n_ecs).map(|_| BTreeMap::new()).collect();
     let mut per_ec_derivations = vec![0usize; n_ecs];
+    let mut per_ec_stats = vec![OutcomeStats::default(); n_ecs];
     let mut derivations = 0usize;
+    let mut scenarios_streamed = 0usize;
     let mut exact_transfers = 0usize;
     let mut symmetric_transfers = 0usize;
     let mut verified_transfers = 0usize;
@@ -410,6 +544,10 @@ pub fn sweep_network(
             per_ec_derivations[e] += d;
             derivations += d;
         }
+        for (e, s) in state.stats.iter().enumerate() {
+            per_ec_stats[e].merge(s);
+        }
+        scenarios_streamed += state.streamed;
         exact_transfers += state.exact_transfers;
         symmetric_transfers += state.symmetric_transfers;
         verified_transfers += state.verified_transfers;
@@ -426,12 +564,14 @@ pub fn sweep_network(
         }
     }
 
-    // Slice the outcomes back into per-class reports.
-    let mut outcome_iter = outcomes.into_iter();
     let mut per_ec: Vec<EcSweep> = Vec::with_capacity(n_ecs);
     for (e, plane) in planes.iter().enumerate() {
-        let ec_outcomes: Vec<ScenarioOutcome> =
-            outcome_iter.by_ref().take(plane.scenarios.len()).collect();
+        let ec_outcomes = std::mem::take(&mut per_ec_outcomes[e]);
+        debug_assert!(
+            !options.collect_outcomes
+                || per_ec_stats[e] == OutcomeStats::from_outcomes(&ec_outcomes),
+            "collected outcomes and aggregate tallies must agree"
+        );
         per_ec.push(EcSweep {
             rep: plane.comp.ec.rep,
             fingerprint: plane.fingerprint,
@@ -442,6 +582,7 @@ pub fn sweep_network(
                 base_abstract_nodes: plane.comp.abstraction.abstract_node_count(),
                 scenarios_exhaustive: exhaustive_scenario_count(topo.graph.link_count(), k),
                 outcomes: ec_outcomes,
+                stats: per_ec_stats[e],
                 refinements: std::mem::take(&mut refinements[e]),
                 derivations: per_ec_derivations[e],
             },
@@ -463,7 +604,243 @@ pub fn sweep_network(
         symmetric_transfers,
         verified_transfers,
         distinct_fingerprints,
+        chunk_size,
+        scenarios_streamed,
+        peak_resident_scenarios: resident.peak(),
+        shard: options.shard,
     })
+}
+
+/// Runs [`sweep_network`] over one canonical-signature shard: only the
+/// scenarios whose signature class hashes (stable FNV-1a of the canonical
+/// signature, mod `of`) to `index` are verified. Because the hash is a
+/// function of the **canonical** signature, a whole symmetric class —
+/// across every destination class it appears in — lands in exactly one
+/// shard: independent shard processes never duplicate a derivation, and
+/// [`merge_reports`] reassembles the monolithic report byte-for-byte.
+pub fn sweep_network_sharded(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    report: &CompressionReport,
+    options: &NetworkSweepOptions,
+    index: usize,
+    of: usize,
+) -> Result<NetworkSweepReport, EquivalenceError> {
+    assert!(of >= 1 && index < of, "shard index {index} out of 0..{of}");
+    let sharded = NetworkSweepOptions {
+        shard: Some(ShardSpec { index, of }),
+        ..*options
+    };
+    sweep_network(network, topo, report, &sharded)
+}
+
+/// Merges the reports of a complete shard set (`index = 0..of`, any input
+/// order) back into the report of the unsharded sweep. Every signature
+/// class lives in exactly one shard, so refinement maps union disjointly,
+/// counters sum exactly, and outcome lists interleave by rank; a
+/// `threads = 1` shard set reproduces the `threads = 1` monolithic sweep
+/// field-for-field (racing duplicate derivations only exist at
+/// `threads > 1`, in both the sharded and the monolithic run).
+pub fn merge_reports(mut shards: Vec<NetworkSweepReport>) -> Result<NetworkSweepReport, String> {
+    if shards.is_empty() {
+        return Err("no shard reports to merge".into());
+    }
+    let of = match shards[0].shard {
+        Some(s) => s.of,
+        None => return Err("merge input contains an unsharded report".into()),
+    };
+    if shards.len() != of {
+        return Err(format!("expected {of} shard reports, got {}", shards.len()));
+    }
+    shards.sort_by_key(|r| r.shard.map_or(usize::MAX, |s| s.index));
+    for (i, r) in shards.iter().enumerate() {
+        let s = r.shard.ok_or("merge input contains an unsharded report")?;
+        if s.of != of {
+            return Err(format!("mixed shard counts: {of} and {}", s.of));
+        }
+        if s.index != i {
+            return Err(format!("shard indices must cover 0..{of} exactly once"));
+        }
+    }
+
+    let mut iter = shards.into_iter();
+    let mut acc = iter.next().expect("nonempty checked above");
+    for r in iter {
+        if r.k != acc.k || r.per_ec.len() != acc.per_ec.len() {
+            return Err("shard reports disagree on k or the class set".into());
+        }
+        acc.threads = acc.threads.max(r.threads);
+        acc.derivations += r.derivations;
+        acc.exact_transfers += r.exact_transfers;
+        acc.symmetric_transfers += r.symmetric_transfers;
+        acc.verified_transfers += r.verified_transfers;
+        acc.chunk_size = acc.chunk_size.max(r.chunk_size);
+        acc.scenarios_streamed += r.scenarios_streamed;
+        acc.peak_resident_scenarios = acc.peak_resident_scenarios.max(r.peak_resident_scenarios);
+        if r.distinct_fingerprints != acc.distinct_fingerprints {
+            return Err("shard reports disagree on the fingerprint set".into());
+        }
+        for (a, b) in acc.per_ec.iter_mut().zip(r.per_ec) {
+            if a.rep != b.rep || a.fingerprint != b.fingerprint {
+                return Err("shard reports disagree on the class set".into());
+            }
+            if a.report.base_abstract_nodes != b.report.base_abstract_nodes {
+                return Err("shard reports disagree on a base abstraction".into());
+            }
+            a.report.derivations += b.report.derivations;
+            a.report.stats.merge(&b.report.stats);
+            a.report.threads = a.report.threads.max(b.report.threads);
+            for (sig, refinement) in b.report.refinements {
+                if a.report.refinements.insert(sig, refinement).is_some() {
+                    return Err("one signature class appears in two shards".into());
+                }
+            }
+            a.report.outcomes.extend(b.report.outcomes);
+        }
+    }
+    for ec in &mut acc.per_ec {
+        ec.report.outcomes.sort_by_key(|o| o.rank);
+    }
+    acc.shard = None;
+    Ok(acc)
+}
+
+/// The high-water gauge behind
+/// [`NetworkSweepReport::peak_resident_scenarios`].
+struct ResidentGauge {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl ResidentGauge {
+    fn new(base: usize) -> Self {
+        ResidentGauge {
+            current: AtomicUsize::new(base),
+            peak: AtomicUsize::new(base),
+        }
+    }
+
+    fn add(&self, n: usize) {
+        let now = self.current.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn sub(&self, n: usize) {
+        self.current.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// Stable 64-bit FNV-1a. **Not** `std`'s `DefaultHasher`: shard membership
+/// must agree between independent shard processes, so the hash may not
+/// vary per process.
+fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The shard key of a (class, signature) pair: a stable hash of the
+/// class's **canonical** signature when the class canonicalizes — every
+/// symmetric occurrence of a scenario shape, across all destination
+/// classes, then shares one shard and its single derivation — falling
+/// back to the per-EC signature otherwise (still deterministic, so each
+/// (scenario, class) item belongs to exactly one shard).
+fn shard_key(plane: &EcPlane<'_>, signature: &OrbitSignature) -> u64 {
+    let canonical = plane.canon.as_ref().and_then(|canon| {
+        let rep = plane.orbits.canonical_scenario(signature);
+        canonical_signature_of(&plane.orbits, canon, &rep)
+    });
+    match canonical {
+        Some(sig) => fnv64(&format!("{sig:?}")),
+        None => fnv64(&format!("{signature:?}")),
+    }
+}
+
+/// Verifies one (class, scenario) item of a chunk: shard filter, per-EC
+/// cache probe, refinement resolution (see [`resolve_refinement`]),
+/// tallies, and — when collecting — the outcome record. `streamed` items
+/// were counted into the resident gauge by the caller and leave it here
+/// (by ownership transfer into the outcome, or by decrement).
+#[allow(clippy::too_many_arguments)]
+fn process_item(
+    state: &mut WorkerState,
+    out: &mut Vec<(usize, ScenarioOutcome)>,
+    shared: &SharedCache,
+    resident: &ResidentGauge,
+    e: usize,
+    rank: usize,
+    scenario: FailureScenario,
+    signature: OrbitSignature,
+    streamed: bool,
+    plane: &EcPlane<'_>,
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    engine: &CompiledPolicies,
+    keep: Option<&BTreeSet<Community>>,
+    options: &NetworkSweepOptions,
+) -> Result<(), EquivalenceError> {
+    if let Some(shard) = options.shard {
+        let key = match state.shard_keys.get(&(e, signature.clone())) {
+            Some(&k) => k,
+            None => {
+                let k = shard_key(plane, &signature);
+                state.shard_keys.insert((e, signature.clone()), k);
+                k
+            }
+        };
+        if key % of_nonzero(shard.of) != shard.index as u64 {
+            if streamed {
+                resident.sub(1);
+            }
+            return Ok(());
+        }
+    }
+
+    let (cache_hit, refined_nodes) = match state.per_ec.get(&(e, signature.clone())) {
+        Some(r) => (true, r.refined_nodes()),
+        None => {
+            let refinement = resolve_refinement(
+                state, shared, e, plane, &signature, network, topo, engine, keep, options,
+            )?;
+            let nodes = refinement.refined_nodes();
+            state.per_ec.insert((e, signature.clone()), refinement);
+            (false, nodes)
+        }
+    };
+    state.stats[e].record(refined_nodes);
+
+    if options.collect_outcomes {
+        if !streamed {
+            // The outcome clones a materialized-list entry; streamed items
+            // instead move in, staying resident until the sweep ends.
+            resident.add(1);
+        }
+        out.push((
+            e,
+            ScenarioOutcome {
+                rank,
+                scenario,
+                signature,
+                cache_hit,
+                refined_nodes,
+            },
+        ));
+    } else if streamed {
+        resident.sub(1);
+    }
+    Ok(())
+}
+
+fn of_nonzero(of: usize) -> u64 {
+    debug_assert!(of >= 1, "shard count validated at entry");
+    of.max(1) as u64
 }
 
 /// Resolves a (class, signature) cache miss: cross-EC transfer when the

@@ -17,7 +17,7 @@
 //! ```
 
 use crate::sweep::ScenarioRefinement;
-use bonsai_core::scenarios::{enumerate_scenarios, FailureScenario};
+use bonsai_core::scenarios::{FailureScenario, ScenarioStream};
 use bonsai_net::{FailureMask, Graph};
 
 /// Which failures a query is asked under.
@@ -141,7 +141,7 @@ pub(crate) fn scope_masks(graph: &Graph, scope: &QueryScope) -> Vec<Option<Failu
         QueryScope::AllScenarios(k) => {
             let mut masks = vec![None];
             masks.extend(
-                enumerate_scenarios(graph, *k)
+                ScenarioStream::new(graph, *k)
                     .iter()
                     .map(|s| Some(s.mask(graph))),
             );

@@ -65,8 +65,8 @@ use bonsai_config::{print_network, BuiltTopology, NetworkConfig};
 use bonsai_core::compress::{compress, refine_ec_with_split, CompressionReport};
 use bonsai_core::fanout::fan_out;
 use bonsai_core::scenarios::{
-    enumerate_scenarios, link_orbits_with_distances, FailureScenario, LinkOrbits, NodeDistances,
-    OrbitSignature,
+    link_orbits_with_distances, FailureScenario, LinkOrbits, NodeDistances, OrbitSignature,
+    ScenarioStream,
 };
 use bonsai_core::signatures::build_sig_table;
 use bonsai_core::snapshot::{json_escape, write_envelope, Envelope, Json};
@@ -205,6 +205,7 @@ impl SessionBuilder {
             share_across_ecs: true,
             verify_transfers: self.options.verify_transfers,
             max_ecs: self.options.max_ecs,
+            ..Default::default()
         };
         let sweep = sweep_network(&self.network, &topo, &report, &sweep_opts)
             .map_err(|e: EquivalenceError| SessionError::Build(e.to_string()))?;
@@ -364,7 +365,7 @@ impl SessionBuilder {
             });
         }
 
-        let scenarios = enumerate_scenarios(&topo.graph, k);
+        let scenarios = ScenarioStream::new(&topo.graph, k).to_vec();
         Ok(Session {
             summary: SweepSummary {
                 k,
@@ -528,7 +529,7 @@ impl Session {
                 base_solution,
             });
         }
-        let scenarios = enumerate_scenarios(&topo.graph, sweep.k);
+        let scenarios = ScenarioStream::new(&topo.graph, sweep.k).to_vec();
         let fingerprint = fnv64(&print_network(&network));
         Ok(Session {
             network,

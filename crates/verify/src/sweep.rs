@@ -61,8 +61,8 @@ use bonsai_core::compress::refine_ec_with_split;
 use bonsai_core::engine::CompiledPolicies;
 use bonsai_core::fanout::fan_out;
 use bonsai_core::scenarios::{
-    enumerate_scenarios, enumerate_scenarios_pruned, exhaustive_scenario_count, link_orbits,
-    FailureScenario, LinkOrbits, OrbitSignature,
+    enumerate_scenarios_pruned, exhaustive_scenario_count, link_orbits, FailureScenario,
+    LinkOrbits, OrbitSignature, ScenarioStream,
 };
 use bonsai_core::signatures::build_sig_table;
 use bonsai_net::NodeId;
@@ -179,6 +179,10 @@ impl ScenarioRefinement {
 /// Per-scenario record of the sweep, in enumeration order.
 #[derive(Clone, Debug)]
 pub struct ScenarioOutcome {
+    /// The scenario's rank in the per-class enumeration (exhaustive stream
+    /// rank, or index in the pruned list) — the global sort key sharded
+    /// sweeps merge by.
+    pub rank: usize,
     /// The scenario.
     pub scenario: FailureScenario,
     /// Its orbit signature (the cache key).
@@ -189,6 +193,46 @@ pub struct ScenarioOutcome {
     pub cache_hit: bool,
     /// Abstract node count of the scenario's refinement.
     pub refined_nodes: usize,
+}
+
+/// Aggregate per-scenario statistics, maintained even when individual
+/// [`ScenarioOutcome`]s are not collected (the streamed aggregate mode of
+/// the network-level sweep, where `O(C(L,k))` outcome records would defeat
+/// the bounded-memory point). Integer sums, so merging shard or worker
+/// tallies is exact and order-independent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OutcomeStats {
+    /// Scenarios verified.
+    pub scenarios: usize,
+    /// Sum of per-scenario refined abstract node counts.
+    pub refined_nodes_sum: usize,
+    /// Largest per-scenario refinement (0 when nothing was swept).
+    pub max_refined_nodes: usize,
+}
+
+impl OutcomeStats {
+    /// Records one verified scenario.
+    pub fn record(&mut self, refined_nodes: usize) {
+        self.scenarios += 1;
+        self.refined_nodes_sum += refined_nodes;
+        self.max_refined_nodes = self.max_refined_nodes.max(refined_nodes);
+    }
+
+    /// Folds another tally in (worker states, shard reports).
+    pub fn merge(&mut self, other: &OutcomeStats) {
+        self.scenarios += other.scenarios;
+        self.refined_nodes_sum += other.refined_nodes_sum;
+        self.max_refined_nodes = self.max_refined_nodes.max(other.max_refined_nodes);
+    }
+
+    /// The tally of a collected outcome list.
+    pub fn from_outcomes(outcomes: &[ScenarioOutcome]) -> Self {
+        let mut stats = OutcomeStats::default();
+        for o in outcomes {
+            stats.record(o.refined_nodes);
+        }
+        stats
+    }
 }
 
 /// The outcome of a per-scenario refinement sweep: every scenario verified
@@ -203,8 +247,13 @@ pub struct SweepReport {
     pub base_abstract_nodes: usize,
     /// Scenario count of the exhaustive enumeration.
     pub scenarios_exhaustive: usize,
-    /// Per-scenario outcomes, in enumeration order.
+    /// Per-scenario outcomes, in enumeration order. Empty in the network
+    /// sweep's aggregate mode — [`SweepReport::stats`] keeps the totals.
     pub outcomes: Vec<ScenarioOutcome>,
+    /// Aggregate tallies over every verified scenario (equals
+    /// `OutcomeStats::from_outcomes(&outcomes)` whenever outcomes are
+    /// collected).
+    pub stats: OutcomeStats,
     /// The distinct refinements, keyed by orbit signature.
     pub refinements: BTreeMap<OrbitSignature, ScenarioRefinement>,
     /// Derivations actually performed across workers (`>=
@@ -215,39 +264,37 @@ pub struct SweepReport {
 impl SweepReport {
     /// Scenarios verified (directly or via their cached representative).
     pub fn scenarios_swept(&self) -> usize {
-        self.outcomes.len()
+        self.stats.scenarios
     }
 
     /// The deterministic cache hit rate: the fraction of scenarios served
     /// by an already-derived refinement, `1 - distinct/total`. Invariant
     /// under the thread count (unlike per-worker hit observations).
     pub fn cache_hit_rate(&self) -> f64 {
-        if self.outcomes.is_empty() {
+        if self.stats.scenarios == 0 {
             return 0.0;
         }
-        1.0 - self.refinements.len() as f64 / self.outcomes.len() as f64
+        1.0 - self.refinements.len() as f64 / self.stats.scenarios as f64
     }
 
     /// Mean abstract node count across per-scenario refinements (weighted
     /// by scenario, i.e. what a random scenario's verification costs).
+    /// Computed from the integer sum, so merged shard reports reproduce
+    /// the monolithic value bit-for-bit.
     pub fn mean_refined_nodes(&self) -> f64 {
-        if self.outcomes.is_empty() {
+        if self.stats.scenarios == 0 {
             return self.base_abstract_nodes as f64;
         }
-        self.outcomes
-            .iter()
-            .map(|o| o.refined_nodes as f64)
-            .sum::<f64>()
-            / self.outcomes.len() as f64
+        self.stats.refined_nodes_sum as f64 / self.stats.scenarios as f64
     }
 
     /// Largest per-scenario refinement.
     pub fn max_refined_nodes(&self) -> usize {
-        self.outcomes
-            .iter()
-            .map(|o| o.refined_nodes)
-            .max()
-            .unwrap_or(self.base_abstract_nodes)
+        if self.stats.scenarios == 0 {
+            self.base_abstract_nodes
+        } else {
+            self.stats.max_refined_nodes
+        }
     }
 
     /// Refinements that needed the PR 3 fallback rule.
@@ -353,7 +400,7 @@ pub fn sweep_failures(
     let scenarios = if options.prune_symmetric {
         enumerate_scenarios_pruned(&topo.graph, abstraction, &sigs, k)
     } else {
-        enumerate_scenarios(&topo.graph, k)
+        ScenarioStream::new(&topo.graph, k).to_vec()
     };
 
     // The concrete instance and its failure-free fixpoint, hoisted across
@@ -416,6 +463,7 @@ pub fn sweep_failures(
                 }
             };
             Ok(ScenarioOutcome {
+                rank: i,
                 scenario: scenario.clone(),
                 signature,
                 cache_hit,
@@ -443,12 +491,14 @@ pub fn sweep_failures(
         }
     }
 
+    let stats = OutcomeStats::from_outcomes(&outcomes);
     Ok(SweepReport {
         k,
         threads,
         base_abstract_nodes: abstraction.abstract_node_count(),
         scenarios_exhaustive: exhaustive_scenario_count(topo.graph.link_count(), k),
         outcomes,
+        stats,
         refinements,
         derivations,
     })

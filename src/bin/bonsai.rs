@@ -6,8 +6,11 @@
 //! bonsai check    <network.cfg>          # verify CP-equivalence per class
 //! bonsai ecs      <network.cfg>          # list destination classes
 //! bonsai failures <network.cfg> [--failures k] [--threads n] [--pruned]
-//!                 [--no-share] [--query <src>:<dst>] [--json [path]]
+//!                 [--no-share] [--chunk-size n] [--shard i/n] [--aggregate]
+//!                 [--query <src>:<dst>] [--json [path]]
 //!                                        # network-level refinement sweep
+//! bonsai failures --merge <shard.json>... [--json [path]]
+//!                                        # reassemble sharded sweep documents
 //! bonsai serve    <network.cfg> --socket <path> [--failures k] [--threads n]
 //!                 [--pruned] [--snapshot <path>]
 //!                                        # run bonsaid on a Unix socket
@@ -32,19 +35,28 @@
 //! sharing statistics. `--query a:d` additionally answers "which prefixes
 //! of `d` can `a` still reach" per failure scenario on the refined
 //! abstract networks; `--json` emits the whole report machine-readable
-//! (to stdout, or to a file when a path follows the flag). `serve` loads
+//! (to stdout, or to a file when a path follows the flag).
+//! Scenarios stream through chunked ranges (`--chunk-size`, default
+//! [`bonsai::verify::netsweep::DEFAULT_CHUNK_SIZE`]) — the full scenario
+//! set is never materialized. `--shard i/n` sweeps only the `i`-th of `n`
+//! signature-class shards and writes a partial document (requires
+//! `--json`, excludes `--query`); `--merge` reads one document per shard
+//! and reassembles the full report **byte-identical** to the unsharded
+//! `--json` output (run every shard with the same flags and
+//! `--threads 1` — parallel schedules may race duplicate derivations).
+//! `serve` loads
 //! a config set once (building the compressed session, or restoring it
 //! warm from `--snapshot` when that file exists — and saving one there
 //! after a cold build) and answers the `bonsai_daemon` line-JSON protocol
 //! until a `shutdown` request; `query` is the matching client and needs
 //! no network file.
 
+use bonsai::cli::{FailuresDoc, QueryDoc};
 use bonsai::core::compress::{compress, CompressOptions};
 use bonsai::core::roles::{count_roles, RoleOptions};
-use bonsai::core::snapshot::write_envelope;
 use bonsai::daemon::{Client, Server};
 use bonsai::verify::equivalence::check_cp_equivalence_under_h;
-use bonsai::verify::netsweep::{sweep_network, NetworkSweepOptions, NetworkSweepReport};
+use bonsai::verify::netsweep::{sweep_network, NetworkSweepOptions, NetworkSweepReport, ShardSpec};
 use bonsai::verify::query::QueryCtx;
 use bonsai::verify::session::Session;
 use bonsai::verify::sim_engine::SimEngine;
@@ -60,12 +72,15 @@ fn read_network_text(path: &str) -> Result<String, String> {
     if let Some(spec) = path.strip_prefix("gen:") {
         let net = match spec {
             "fattree4" => bonsai::topo::fattree(4, bonsai::topo::FattreePolicy::ShortestPath),
+            "fattree6" => bonsai::topo::fattree(6, bonsai::topo::FattreePolicy::ShortestPath),
+            "fattree8" => bonsai::topo::fattree(8, bonsai::topo::FattreePolicy::ShortestPath),
             "gadget" => bonsai::srp::papernets::figure2_gadget(),
             "diamond" => bonsai::srp::papernets::figure1_rip(),
             "mesh10" => bonsai::topo::full_mesh(10),
             other => {
                 return Err(format!(
-                    "unknown generator `gen:{other}` (try fattree4, gadget, diamond, mesh10)"
+                    "unknown generator `gen:{other}` \
+                     (try fattree4, fattree6, fattree8, gadget, diamond, mesh10)"
                 ))
             }
         };
@@ -174,103 +189,63 @@ fn provenance_label(p: RefinementProvenance) -> &'static str {
     }
 }
 
-/// Serializes the network-sweep report (plus query answers) as a
-/// `cli/failures` v2 envelope ([`bonsai::core::snapshot`]): v1 was the
-/// pre-envelope `bonsai-cli/failures-v1` dialect, which readers now
-/// reject with a regenerate message.
-fn failures_json(
-    topo: &BuiltTopology,
-    sweep: &NetworkSweepReport,
-    pruned: bool,
-    share: bool,
-    queries: &[(String, String, Vec<QueryAnswer>)],
-) -> String {
-    let mut ecs = Vec::new();
-    for ec in &sweep.per_ec {
-        let mut details = Vec::new();
-        for r in ec.report.refinements.values() {
-            details.push(format!(
-                "{{\"representative\":\"{}\",\"nodes\":{},\"split\":{},\"how\":\"{}\",\"provenance\":\"{}\"}}",
-                json_escape(&r.representative.describe(&topo.graph)),
-                r.refined_nodes(),
-                r.split.len(),
-                refinement_how(r),
-                provenance_label(r.provenance),
-            ));
-        }
-        let mut scenarios = Vec::new();
-        for o in &ec.report.outcomes {
-            scenarios.push(format!(
-                "{{\"links\":\"{}\",\"nodes\":{}}}",
-                json_escape(&o.scenario.describe(&topo.graph)),
-                o.refined_nodes,
-            ));
-        }
-        ecs.push(format!(
-            concat!(
-                "{{\"rep\":\"{}\",\"fingerprint\":{},\"canonical\":{},",
-                "\"scenarios\":{},\"refinements\":{},\"derivations\":{},",
-                "\"cache_hit_rate\":{:.6},\"base_abstract_nodes\":{},",
-                "\"mean_refined_nodes\":{:.6},\"max_refined_nodes\":{},",
-                "\"refinements_detail\":[{}],\"per_scenario\":[{}]}}"
-            ),
-            ec.rep,
-            ec.fingerprint.raw(),
-            ec.canonical,
-            ec.report.scenarios_swept(),
-            ec.report.refinements.len(),
-            ec.report.derivations,
-            ec.report.cache_hit_rate(),
-            ec.report.base_abstract_nodes,
-            ec.report.mean_refined_nodes(),
-            ec.report.max_refined_nodes(),
-            details.join(","),
-            scenarios.join(","),
-        ));
-    }
-    let queries_json: Vec<String> = queries
+/// `bonsai failures --merge <shard.json>...`: reassembles one document
+/// per shard ([`bonsai::cli::FailuresDoc`]) into the full sweep
+/// document, byte-identical to what the unsharded sweep writes. Pure
+/// document surgery — no network file, no re-verification — so it
+/// dispatches before the network-path requirement in [`main`].
+fn cmd_merge_failures(args: &[String]) -> ExitCode {
+    let at = args
         .iter()
-        .flat_map(|(src, dst, answers)| {
-            answers.iter().map(move |a| {
-                format!(
-                    "{{\"src\":\"{}\",\"dst\":\"{}\",\"prefix\":\"{}\",\"delivered\":{},\"scenarios\":{},\"always\":{}}}",
-                    json_escape(src),
-                    json_escape(dst),
-                    json_escape(&a.prefix),
-                    a.delivered,
-                    a.scenarios,
-                    a.delivered == a.scenarios,
-                )
-            })
-        })
+        .position(|a| a == "--merge")
+        .expect("dispatched on --merge");
+    let paths: Vec<&String> = args[at + 1..]
+        .iter()
+        .take_while(|a| !a.starts_with("--"))
         .collect();
-    let payload = format!(
-        concat!(
-            "{{\n    \"k\": {},\n    \"threads\": {},\n    \"pruned\": {},\n    \"share_across_ecs\": {},\n",
-            "    \"network\": {{\"nodes\": {}, \"links\": {}, \"ecs\": {}}},\n",
-            "    \"sharing\": {{\"derivations\": {}, \"unshared_derivations\": {}, ",
-            "\"sharing_ratio\": {:.6}, \"exact_transfers\": {}, \"symmetric_transfers\": {}, ",
-            "\"verified_transfers\": {}, \"distinct_fingerprints\": {}}},\n",
-            "    \"ecs\": [{}],\n    \"queries\": [{}]\n  }}"
-        ),
-        sweep.k,
-        sweep.threads,
-        pruned,
-        share,
-        topo.graph.node_count(),
-        topo.graph.link_count(),
-        sweep.per_ec.len(),
-        sweep.derivations,
-        sweep.unshared_derivations(),
-        sweep.sharing_ratio(),
-        sweep.exact_transfers,
-        sweep.symmetric_transfers,
-        sweep.verified_transfers,
-        sweep.distinct_fingerprints,
-        ecs.join(","),
-        queries_json.join(","),
-    );
-    write_envelope("cli/failures", 2, "unknown", "unknown", &payload)
+    if paths.is_empty() {
+        eprintln!(
+            "--merge needs one shard document per shard, \
+             e.g. `bonsai failures --merge s0.json s1.json`"
+        );
+        return ExitCode::from(2);
+    }
+    let mut docs = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let text = match std::fs::read_to_string(p) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {p}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        match FailuresDoc::parse(&text) {
+            Ok(d) => docs.push(d),
+            Err(e) => {
+                eprintln!("{p}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let merged = match FailuresDoc::merge(docs) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("--merge: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let doc = merged.render();
+    match json_flag(args) {
+        Some(Some(path)) => {
+            if let Err(e) = std::fs::write(&path, doc) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::from(1);
+            }
+            println!("wrote {path}");
+        }
+        _ => print!("{doc}"),
+    }
+    ExitCode::SUCCESS
 }
 
 /// Answers one `--query src:dst` on the refined abstract networks: for
@@ -340,9 +315,13 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     // `query` talks to a running bonsaid and needs no network file, so it
-    // dispatches before the network-path requirement below.
+    // dispatches before the network-path requirement below. So does
+    // `failures --merge`, which works on written shard documents alone.
     if command == "query" {
         return cmd_query(&args);
+    }
+    if command == "failures" && args.iter().any(|a| a == "--merge") {
+        return cmd_merge_failures(&args);
     }
     let Some(path) = args.get(1) else {
         eprintln!("missing network file");
@@ -493,17 +472,48 @@ fn main() -> ExitCode {
             }
         }
         "failures" => {
-            let (k, threads, query) = match (
+            let (k, threads, chunk_size, query, shard) = match (
                 usize_flag(&args, "--failures", 1),
                 usize_flag(&args, "--threads", 0),
+                usize_flag(&args, "--chunk-size", 0),
                 str_flag(&args, "--query"),
+                str_flag(&args, "--shard"),
             ) {
-                (Ok(k), Ok(t), Ok(q)) => (k, t, q),
-                (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+                (Ok(k), Ok(t), Ok(c), Ok(q), Ok(s)) => (k, t, c, q, s),
+                (Err(e), _, _, _, _)
+                | (_, Err(e), _, _, _)
+                | (_, _, Err(e), _, _)
+                | (_, _, _, Err(e), _)
+                | (_, _, _, _, Err(e)) => {
                     eprintln!("{e}");
                     return ExitCode::from(2);
                 }
             };
+            // `--shard i/n`: sweep only the i-th of n signature-class
+            // shards. The partial document only makes sense machine-
+            // readable (it feeds `--merge`), and per-class query answers
+            // over a partial sweep would be silently wrong.
+            let shard = match shard.map(|s| {
+                s.split_once('/')
+                    .and_then(|(i, n)| Some((i.parse().ok()?, n.parse().ok()?)))
+                    .filter(|&(i, n): &(usize, usize)| n >= 1 && i < n)
+                    .ok_or_else(|| format!("--shard expects <i>/<n> with i < n, got `{s}`"))
+            }) {
+                None => None,
+                Some(Ok((index, of))) => Some(ShardSpec { index, of }),
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if shard.is_some() && json_flag(&args).is_none() {
+                eprintln!("--shard writes a partial document and requires --json");
+                return ExitCode::from(2);
+            }
+            if shard.is_some() && query.is_some() {
+                eprintln!("--query needs the full sweep; drop --shard (or merge first)");
+                return ExitCode::from(2);
+            }
             let query = match query.map(|q| {
                 q.split_once(':')
                     .map(|(s, d)| (s.to_string(), d.to_string()))
@@ -519,6 +529,20 @@ fn main() -> ExitCode {
             let pruned = args.iter().any(|a| a == "--pruned");
             let share = !args.iter().any(|a| a == "--no-share");
             let json = json_flag(&args);
+            // `--aggregate`: keep only the integer outcome statistics,
+            // never the per-scenario outcome list — peak resident
+            // scenarios stays O(chunk) instead of O(C(links, k)), which
+            // is what makes billion-scenario sweeps fit in memory. The
+            // JSON document and `--query` need the full outcome list.
+            let aggregate = args.iter().any(|a| a == "--aggregate");
+            if aggregate && json.is_some() {
+                eprintln!("--aggregate keeps no per-scenario outcomes; drop --json");
+                return ExitCode::from(2);
+            }
+            if aggregate && query.is_some() {
+                eprintln!("--query needs per-scenario outcomes; drop --aggregate");
+                return ExitCode::from(2);
+            }
             let report = compress(&network, options);
             let sweep_options = NetworkSweepOptions {
                 sweep: SweepOptions {
@@ -528,6 +552,9 @@ fn main() -> ExitCode {
                     ..Default::default()
                 },
                 share_across_ecs: share,
+                chunk_size,
+                collect_outcomes: !aggregate,
+                shard,
                 ..Default::default()
             };
             let sweep = match sweep_network(&network, &topo, &report, &sweep_options) {
@@ -551,9 +578,21 @@ fn main() -> ExitCode {
 
             // Bare `--json` replaces the human output on stdout; with a
             // path, the document is written alongside the table.
-            let json_doc = json
-                .as_ref()
-                .map(|_| failures_json(&topo, &sweep, pruned, share, &queries));
+            let query_docs: Vec<QueryDoc> = queries
+                .iter()
+                .flat_map(|(src, dst, answers)| {
+                    answers.iter().map(move |a| QueryDoc {
+                        src: src.clone(),
+                        dst: dst.clone(),
+                        prefix: a.prefix.clone(),
+                        delivered: a.delivered,
+                        scenarios: a.scenarios,
+                    })
+                })
+                .collect();
+            let json_doc = json.as_ref().map(|_| {
+                FailuresDoc::from_sweep(&topo, &sweep, pruned, share, query_docs).render()
+            });
             if let Some(None) = &json {
                 print!("{}", json_doc.as_ref().expect("rendered above"));
                 return ExitCode::SUCCESS;
@@ -582,6 +621,16 @@ fn main() -> ExitCode {
                     ""
                 } else {
                     "s"
+                },
+            );
+            println!(
+                "streamed {} scenario items in chunks of {}, peak resident {}{}",
+                sweep.scenarios_streamed,
+                sweep.chunk_size,
+                sweep.peak_resident_scenarios,
+                match sweep.shard {
+                    Some(ShardSpec { index, of }) => format!(" (shard {index}/{of})"),
+                    None => String::new(),
                 },
             );
             for ec in &sweep.per_ec {

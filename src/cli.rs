@@ -1,0 +1,554 @@
+//! The document model behind `bonsai failures --json`: one neutral
+//! [`FailuresDoc`] that is **built** from a live [`NetworkSweepReport`],
+//! **parsed** back from a written document, **merged** across shard
+//! documents, and **rendered** by a single serializer.
+//!
+//! That single serializer is the point: a sharded sweep writes one
+//! partial document per shard (`bonsai failures --shard i/n --json …`),
+//! and [`FailuresDoc::merge`] reassembles them *at the document level* —
+//! no re-verification, no access to the network — into a document that
+//! is **byte-identical** to what the unsharded sweep writes (given the
+//! same flags and `--threads 1`; parallel schedules can race duplicate
+//! derivations in either run). Every derived float (cache hit rate, mean
+//! refined nodes, sharing ratio) is recomputed from the exact integer
+//! fields at render time, so merging sums integers and the floats follow
+//! bit-for-bit.
+//!
+//! Envelope lineage (`cli/failures`): v1 was the pre-envelope dialect;
+//! v2 the first enveloped one; v3 — this module — adds the per-signature
+//! and per-scenario enumeration `rank`s (the merge keys: detail and
+//! scenario lists are ordered by rank, so shard documents interleave
+//! deterministically), the integer `refined_nodes_sum`, the
+//! string-encoded `fingerprint` (u64 hashes do not survive a float
+//! round-trip), and the optional top-level `shard` marker.
+
+use crate::core::snapshot::{json_escape, write_envelope, Envelope, Json};
+use crate::verify::netsweep::{NetworkSweepReport, ShardSpec};
+use crate::verify::sweep::RefinementProvenance;
+use bonsai_config::BuiltTopology;
+
+/// Envelope kind of the failures document.
+pub const FAILURES_DOC_KIND: &str = "cli/failures";
+/// Envelope payload version of the failures document.
+pub const FAILURES_DOC_VERSION: u32 = 3;
+
+/// One distinct refinement of one class, keyed for merging by the rank
+/// of its first scenario in the class's enumeration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DetailDoc {
+    /// Enumeration rank of the first scenario served by this refinement.
+    pub rank: usize,
+    /// The representative scenario, human-readable.
+    pub representative: String,
+    /// Abstract nodes of the refined network.
+    pub nodes: usize,
+    /// Endpoint-split size.
+    pub split: usize,
+    /// How the refinement was found (`localized split`, …).
+    pub how: String,
+    /// Where it came from (`derived`, `transferred-exact`, …).
+    pub provenance: String,
+}
+
+/// One verified scenario of one class.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioDoc {
+    /// The scenario's rank in the class's enumeration — the global sort
+    /// key sharded documents merge by.
+    pub rank: usize,
+    /// The failed links, human-readable.
+    pub links: String,
+    /// Abstract nodes of the scenario's refined network.
+    pub nodes: usize,
+}
+
+/// One destination class's slice of the document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EcDoc {
+    /// Representative prefix.
+    pub rep: String,
+    /// Policy fingerprint, string-encoded (u64 precision).
+    pub fingerprint: String,
+    /// Whether the class's quotient canonicalized.
+    pub canonical: bool,
+    /// Scenarios verified (in this document's shard).
+    pub scenarios: usize,
+    /// Distinct refinements.
+    pub refinements: usize,
+    /// Full derivations kept for this class.
+    pub derivations: usize,
+    /// Abstract nodes of the base (failure-free) abstraction.
+    pub base_abstract_nodes: usize,
+    /// Integer sum of per-scenario refined node counts.
+    pub refined_nodes_sum: usize,
+    /// Largest per-scenario refinement (0 when no scenarios).
+    pub max_refined_nodes: usize,
+    /// Distinct refinements, ordered by `rank`.
+    pub details: Vec<DetailDoc>,
+    /// Verified scenarios, ordered by `rank`.
+    pub per_scenario: Vec<ScenarioDoc>,
+}
+
+/// One `--query src:dst` answer row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryDoc {
+    /// Query source device.
+    pub src: String,
+    /// Query destination device.
+    pub dst: String,
+    /// The answered class's representative prefix.
+    pub prefix: String,
+    /// Scenarios in which the source delivers.
+    pub delivered: usize,
+    /// Scenarios swept for the class.
+    pub scenarios: usize,
+}
+
+/// The whole `bonsai failures --json` document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FailuresDoc {
+    /// Failure bound swept.
+    pub k: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Whether the enumeration was symmetry-pruned.
+    pub pruned: bool,
+    /// Whether cross-EC sharing was on.
+    pub share: bool,
+    /// Concrete node count.
+    pub nodes: usize,
+    /// Concrete link count.
+    pub links: usize,
+    /// Full derivations across workers.
+    pub derivations: usize,
+    /// What a per-EC sweep would have derived.
+    pub unshared_derivations: usize,
+    /// Cross-EC exact transfers.
+    pub exact_transfers: usize,
+    /// Cross-EC symmetric transfers.
+    pub symmetric_transfers: usize,
+    /// Symmetric transfers re-verified per receiving class.
+    pub verified_transfers: usize,
+    /// Distinct policy fingerprints.
+    pub distinct_fingerprints: usize,
+    /// The shard this document covers (`None` = the full sweep).
+    pub shard: Option<(usize, usize)>,
+    /// Per-class slices, in compression-report order.
+    pub ecs: Vec<EcDoc>,
+    /// `--query` answers.
+    pub queries: Vec<QueryDoc>,
+}
+
+fn how_label(r: &crate::verify::sweep::ScenarioRefinement) -> &'static str {
+    if r.global_fallback {
+        "global fallback"
+    } else if r.deviating_rounds > 0 {
+        "deviating-member split"
+    } else if r.split.is_empty() {
+        "base abstraction"
+    } else {
+        "localized split"
+    }
+}
+
+fn provenance_label(p: RefinementProvenance) -> &'static str {
+    match p {
+        RefinementProvenance::Derived => "derived",
+        RefinementProvenance::TransferredExact => "transferred-exact",
+        RefinementProvenance::TransferredSymmetric => "transferred-symmetric",
+    }
+}
+
+impl FailuresDoc {
+    /// Builds the document from a live network sweep (which must have
+    /// collected outcomes — the CLI always does).
+    pub fn from_sweep(
+        topo: &BuiltTopology,
+        sweep: &NetworkSweepReport,
+        pruned: bool,
+        share: bool,
+        queries: Vec<QueryDoc>,
+    ) -> FailuresDoc {
+        let mut ecs = Vec::with_capacity(sweep.per_ec.len());
+        for ec in &sweep.per_ec {
+            let per_scenario: Vec<ScenarioDoc> = ec
+                .report
+                .outcomes
+                .iter()
+                .map(|o| ScenarioDoc {
+                    rank: o.rank,
+                    links: o.scenario.describe(&topo.graph),
+                    nodes: o.refined_nodes,
+                })
+                .collect();
+            // One detail per distinct signature, at its first scenario's
+            // rank — outcomes arrive in rank order, so a linear walk
+            // produces the rank-ordered detail list directly.
+            let mut seen = std::collections::BTreeSet::new();
+            let mut details = Vec::with_capacity(ec.report.refinements.len());
+            for o in &ec.report.outcomes {
+                if !seen.insert(&o.signature) {
+                    continue;
+                }
+                let r = &ec.report.refinements[&o.signature];
+                details.push(DetailDoc {
+                    rank: o.rank,
+                    representative: r.representative.describe(&topo.graph),
+                    nodes: r.refined_nodes(),
+                    split: r.split.len(),
+                    how: how_label(r).to_string(),
+                    provenance: provenance_label(r.provenance).to_string(),
+                });
+            }
+            debug_assert_eq!(
+                details.len(),
+                ec.report.refinements.len(),
+                "every refinement should be reachable from a collected outcome"
+            );
+            ecs.push(EcDoc {
+                rep: ec.rep.to_string(),
+                fingerprint: ec.fingerprint.raw().to_string(),
+                canonical: ec.canonical,
+                scenarios: ec.report.scenarios_swept(),
+                refinements: ec.report.refinements.len(),
+                derivations: ec.report.derivations,
+                base_abstract_nodes: ec.report.base_abstract_nodes,
+                refined_nodes_sum: ec.report.stats.refined_nodes_sum,
+                max_refined_nodes: ec.report.stats.max_refined_nodes,
+                details,
+                per_scenario,
+            });
+        }
+        FailuresDoc {
+            k: sweep.k,
+            threads: sweep.threads,
+            pruned,
+            share,
+            nodes: topo.graph.node_count(),
+            links: topo.graph.link_count(),
+            derivations: sweep.derivations,
+            unshared_derivations: sweep.unshared_derivations(),
+            exact_transfers: sweep.exact_transfers,
+            symmetric_transfers: sweep.symmetric_transfers,
+            verified_transfers: sweep.verified_transfers,
+            distinct_fingerprints: sweep.distinct_fingerprints,
+            shard: sweep.shard.map(|ShardSpec { index, of }| (index, of)),
+            ecs,
+            queries,
+        }
+    }
+
+    /// Renders the enveloped document. Provenance fields are pinned to
+    /// `"unknown"` so the bytes depend only on the sweep content —
+    /// which is what makes the sharded-merge byte-equality provable.
+    pub fn render(&self) -> String {
+        let ecs: Vec<String> = self
+            .ecs
+            .iter()
+            .map(|ec| {
+                let details: Vec<String> = ec
+                    .details
+                    .iter()
+                    .map(|d| {
+                        format!(
+                            "{{\"rank\":{},\"representative\":\"{}\",\"nodes\":{},\"split\":{},\"how\":\"{}\",\"provenance\":\"{}\"}}",
+                            d.rank,
+                            json_escape(&d.representative),
+                            d.nodes,
+                            d.split,
+                            json_escape(&d.how),
+                            json_escape(&d.provenance),
+                        )
+                    })
+                    .collect();
+                let scenarios: Vec<String> = ec
+                    .per_scenario
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "{{\"rank\":{},\"links\":\"{}\",\"nodes\":{}}}",
+                            s.rank,
+                            json_escape(&s.links),
+                            s.nodes,
+                        )
+                    })
+                    .collect();
+                let cache_hit_rate = if ec.scenarios == 0 {
+                    0.0
+                } else {
+                    1.0 - ec.refinements as f64 / ec.scenarios as f64
+                };
+                let mean_refined = if ec.scenarios == 0 {
+                    ec.base_abstract_nodes as f64
+                } else {
+                    ec.refined_nodes_sum as f64 / ec.scenarios as f64
+                };
+                format!(
+                    concat!(
+                        "{{\"rep\":\"{}\",\"fingerprint\":\"{}\",\"canonical\":{},",
+                        "\"scenarios\":{},\"refinements\":{},\"derivations\":{},",
+                        "\"cache_hit_rate\":{:.6},\"base_abstract_nodes\":{},",
+                        "\"refined_nodes_sum\":{},\"mean_refined_nodes\":{:.6},",
+                        "\"max_refined_nodes\":{},",
+                        "\"refinements_detail\":[{}],\"per_scenario\":[{}]}}"
+                    ),
+                    json_escape(&ec.rep),
+                    json_escape(&ec.fingerprint),
+                    ec.canonical,
+                    ec.scenarios,
+                    ec.refinements,
+                    ec.derivations,
+                    cache_hit_rate,
+                    ec.base_abstract_nodes,
+                    ec.refined_nodes_sum,
+                    mean_refined,
+                    ec.max_refined_nodes,
+                    details.join(","),
+                    scenarios.join(","),
+                )
+            })
+            .collect();
+        let queries: Vec<String> = self
+            .queries
+            .iter()
+            .map(|q| {
+                format!(
+                    "{{\"src\":\"{}\",\"dst\":\"{}\",\"prefix\":\"{}\",\"delivered\":{},\"scenarios\":{},\"always\":{}}}",
+                    json_escape(&q.src),
+                    json_escape(&q.dst),
+                    json_escape(&q.prefix),
+                    q.delivered,
+                    q.scenarios,
+                    q.delivered == q.scenarios,
+                )
+            })
+            .collect();
+        let sharing_ratio = if self.unshared_derivations == 0 {
+            0.0
+        } else {
+            (1.0 - self.derivations as f64 / self.unshared_derivations as f64).max(0.0)
+        };
+        let shard = match self.shard {
+            Some((index, of)) => format!("\n    \"shard\": {{\"index\": {index}, \"of\": {of}}},"),
+            None => String::new(),
+        };
+        let payload = format!(
+            concat!(
+                "{{\n    \"k\": {},\n    \"threads\": {},\n    \"pruned\": {},\n    \"share_across_ecs\": {},\n",
+                "    \"network\": {{\"nodes\": {}, \"links\": {}, \"ecs\": {}}},\n",
+                "    \"sharing\": {{\"derivations\": {}, \"unshared_derivations\": {}, ",
+                "\"sharing_ratio\": {:.6}, \"exact_transfers\": {}, \"symmetric_transfers\": {}, ",
+                "\"verified_transfers\": {}, \"distinct_fingerprints\": {}}},{}\n",
+                "    \"ecs\": [{}],\n    \"queries\": [{}]\n  }}"
+            ),
+            self.k,
+            self.threads,
+            self.pruned,
+            self.share,
+            self.nodes,
+            self.links,
+            self.ecs.len(),
+            self.derivations,
+            self.unshared_derivations,
+            sharing_ratio,
+            self.exact_transfers,
+            self.symmetric_transfers,
+            self.verified_transfers,
+            self.distinct_fingerprints,
+            shard,
+            ecs.join(","),
+            queries.join(","),
+        );
+        write_envelope(
+            FAILURES_DOC_KIND,
+            FAILURES_DOC_VERSION,
+            "unknown",
+            "unknown",
+            &payload,
+        )
+    }
+
+    /// Parses a document written by [`FailuresDoc::render`]. Derived
+    /// floats are not read back — render recomputes them from the
+    /// integers, which is what keeps merged documents byte-exact.
+    pub fn parse(text: &str) -> Result<FailuresDoc, String> {
+        let env = Envelope::parse_expecting(text, FAILURES_DOC_KIND, FAILURES_DOC_VERSION)?;
+        let p = &env.payload;
+        let usize_of = |j: &Json, key: &str| -> Result<usize, String> {
+            j.get(key)
+                .and_then(Json::as_f64)
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("missing integer field `{key}`"))
+        };
+        let str_of = |j: &Json, key: &str| -> Result<String, String> {
+            j.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field `{key}`"))
+        };
+        let bool_of = |j: &Json, key: &str| -> Result<bool, String> {
+            j.get(key)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("missing boolean field `{key}`"))
+        };
+        let network = p.get("network").ok_or("missing `network`")?;
+        let sharing = p.get("sharing").ok_or("missing `sharing`")?;
+        let shard = match p.get("shard") {
+            None => None,
+            Some(s) => Some((usize_of(s, "index")?, usize_of(s, "of")?)),
+        };
+        let mut ecs = Vec::new();
+        for ec in p.get("ecs").and_then(Json::as_arr).ok_or("missing `ecs`")? {
+            let mut details = Vec::new();
+            for d in ec
+                .get("refinements_detail")
+                .and_then(Json::as_arr)
+                .ok_or("missing `refinements_detail`")?
+            {
+                details.push(DetailDoc {
+                    rank: usize_of(d, "rank")?,
+                    representative: str_of(d, "representative")?,
+                    nodes: usize_of(d, "nodes")?,
+                    split: usize_of(d, "split")?,
+                    how: str_of(d, "how")?,
+                    provenance: str_of(d, "provenance")?,
+                });
+            }
+            let mut per_scenario = Vec::new();
+            for s in ec
+                .get("per_scenario")
+                .and_then(Json::as_arr)
+                .ok_or("missing `per_scenario`")?
+            {
+                per_scenario.push(ScenarioDoc {
+                    rank: usize_of(s, "rank")?,
+                    links: str_of(s, "links")?,
+                    nodes: usize_of(s, "nodes")?,
+                });
+            }
+            ecs.push(EcDoc {
+                rep: str_of(ec, "rep")?,
+                fingerprint: str_of(ec, "fingerprint")?,
+                canonical: bool_of(ec, "canonical")?,
+                scenarios: usize_of(ec, "scenarios")?,
+                refinements: usize_of(ec, "refinements")?,
+                derivations: usize_of(ec, "derivations")?,
+                base_abstract_nodes: usize_of(ec, "base_abstract_nodes")?,
+                refined_nodes_sum: usize_of(ec, "refined_nodes_sum")?,
+                max_refined_nodes: usize_of(ec, "max_refined_nodes")?,
+                details,
+                per_scenario,
+            });
+        }
+        let mut queries = Vec::new();
+        for q in p
+            .get("queries")
+            .and_then(Json::as_arr)
+            .ok_or("missing `queries`")?
+        {
+            queries.push(QueryDoc {
+                src: str_of(q, "src")?,
+                dst: str_of(q, "dst")?,
+                prefix: str_of(q, "prefix")?,
+                delivered: usize_of(q, "delivered")?,
+                scenarios: usize_of(q, "scenarios")?,
+            });
+        }
+        Ok(FailuresDoc {
+            k: usize_of(p, "k")?,
+            threads: usize_of(p, "threads")?,
+            pruned: bool_of(p, "pruned")?,
+            share: bool_of(p, "share_across_ecs")?,
+            nodes: usize_of(network, "nodes")?,
+            links: usize_of(network, "links")?,
+            derivations: usize_of(sharing, "derivations")?,
+            unshared_derivations: usize_of(sharing, "unshared_derivations")?,
+            exact_transfers: usize_of(sharing, "exact_transfers")?,
+            symmetric_transfers: usize_of(sharing, "symmetric_transfers")?,
+            verified_transfers: usize_of(sharing, "verified_transfers")?,
+            distinct_fingerprints: usize_of(sharing, "distinct_fingerprints")?,
+            shard,
+            ecs,
+            queries,
+        })
+    }
+
+    /// Merges a complete shard set (`index = 0..of`, any input order)
+    /// into the document of the unsharded sweep: integer fields sum,
+    /// rank-ordered lists interleave, derived floats follow at render
+    /// time. With every shard swept at `--threads 1`, the merged
+    /// document is byte-identical to the unsharded one.
+    pub fn merge(mut docs: Vec<FailuresDoc>) -> Result<FailuresDoc, String> {
+        if docs.is_empty() {
+            return Err("no shard documents to merge".into());
+        }
+        let of = match docs[0].shard {
+            Some((_, of)) => of,
+            None => return Err("merge input contains an unsharded document".into()),
+        };
+        if docs.len() != of {
+            return Err(format!("expected {of} shard documents, got {}", docs.len()));
+        }
+        docs.sort_by_key(|d| d.shard.map_or(usize::MAX, |(i, _)| i));
+        for (i, d) in docs.iter().enumerate() {
+            match d.shard {
+                Some((index, o)) if o == of && index == i => {}
+                Some((_, o)) if o != of => {
+                    return Err(format!("mixed shard counts: {of} and {o}"));
+                }
+                _ => return Err(format!("shard indices must cover 0..{of} exactly once")),
+            }
+        }
+
+        let mut iter = docs.into_iter();
+        let mut acc = iter.next().expect("nonempty checked above");
+        for d in iter {
+            if d.k != acc.k
+                || d.pruned != acc.pruned
+                || d.share != acc.share
+                || d.nodes != acc.nodes
+                || d.links != acc.links
+                || d.ecs.len() != acc.ecs.len()
+            {
+                return Err("shard documents disagree on the sweep configuration".into());
+            }
+            if d.distinct_fingerprints != acc.distinct_fingerprints {
+                return Err("shard documents disagree on the fingerprint set".into());
+            }
+            acc.threads = acc.threads.max(d.threads);
+            acc.derivations += d.derivations;
+            acc.unshared_derivations += d.unshared_derivations;
+            acc.exact_transfers += d.exact_transfers;
+            acc.symmetric_transfers += d.symmetric_transfers;
+            acc.verified_transfers += d.verified_transfers;
+            for (a, b) in acc.ecs.iter_mut().zip(d.ecs) {
+                if a.rep != b.rep || a.fingerprint != b.fingerprint || a.canonical != b.canonical {
+                    return Err("shard documents disagree on the class set".into());
+                }
+                if a.base_abstract_nodes != b.base_abstract_nodes {
+                    return Err("shard documents disagree on a base abstraction".into());
+                }
+                a.scenarios += b.scenarios;
+                a.refinements += b.refinements;
+                a.derivations += b.derivations;
+                a.refined_nodes_sum += b.refined_nodes_sum;
+                a.max_refined_nodes = a.max_refined_nodes.max(b.max_refined_nodes);
+                a.details.extend(b.details);
+                a.per_scenario.extend(b.per_scenario);
+            }
+            acc.queries.extend(d.queries);
+        }
+        for ec in &mut acc.ecs {
+            ec.details.sort_by_key(|d| d.rank);
+            ec.per_scenario.sort_by_key(|s| s.rank);
+            if ec.details.windows(2).any(|w| w[0].rank == w[1].rank) {
+                return Err(format!(
+                    "class {}: one signature class appears in two shards",
+                    ec.rep
+                ));
+            }
+        }
+        acc.shard = None;
+        Ok(acc)
+    }
+}

@@ -38,6 +38,8 @@
 //! assert_eq!(report.mean_abstract_nodes(), 6.0);
 //! ```
 
+pub mod cli;
+
 pub use bonsai_bdd as bdd;
 pub use bonsai_config as config;
 pub use bonsai_core as core;
@@ -84,8 +86,13 @@ pub mod prelude {
     pub use bonsai_core::compress::{compress, CompressOptions, CompressionReport};
 
     // Stage 3: sweep.
-    pub use bonsai_core::scenarios::{enumerate_scenarios, FailureScenario};
-    pub use bonsai_verify::netsweep::{sweep_network, NetworkSweepOptions, NetworkSweepReport};
+    #[allow(deprecated)]
+    pub use bonsai_core::scenarios::enumerate_scenarios;
+    pub use bonsai_core::scenarios::{FailureScenario, ScenarioStream};
+    pub use bonsai_verify::netsweep::{
+        merge_reports, sweep_network, sweep_network_sharded, NetworkSweepOptions,
+        NetworkSweepReport, ShardSpec,
+    };
     pub use bonsai_verify::sweep::{ScenarioRefinement, SweepOptions};
 
     // Stage 4: query.

@@ -6,7 +6,7 @@
 //! would.
 
 use bonsai::core::compress::{compress, CompressOptions};
-use bonsai::core::scenarios::{enumerate_scenarios, FailureScenario};
+use bonsai::core::scenarios::{FailureScenario, ScenarioStream};
 use bonsai::srp::instance::MultiProtocol;
 use bonsai::srp::solver::solve_masked;
 use bonsai::srp::{papernets, Srp};
@@ -95,7 +95,7 @@ fn refinement_repairs_the_gadget_to_k_failure_soundness() {
     // final clean pass.
     assert_eq!(
         audit.scenarios_swept,
-        enumerate_scenarios(&topo.graph, 1).len()
+        ScenarioStream::new(&topo.graph, 1).len()
     );
 
     // The repaired abstraction survives a fresh audit without changes.

@@ -7,8 +7,10 @@
 //! abstract networks on every scenario.
 
 use bonsai::core::compress::{compress, CompressOptions, CompressionReport};
-use bonsai::core::scenarios::enumerate_scenarios;
-use bonsai::verify::netsweep::{sweep_network, NetworkSweepOptions, NetworkSweepReport};
+use bonsai::core::scenarios::ScenarioStream;
+use bonsai::verify::netsweep::{
+    merge_reports, sweep_network, sweep_network_sharded, NetworkSweepOptions, NetworkSweepReport,
+};
 use bonsai::verify::properties::SolutionAnalysis;
 use bonsai::verify::query::QueryCtx;
 use bonsai::verify::sim_engine::SimEngine;
@@ -186,6 +188,246 @@ fn network_sweep_deterministic_across_thread_counts() {
     }
 }
 
+/// Two network sweep reports are interchangeable: same classes, same
+/// refinement bytes, same per-scenario outcomes (ranks, scenarios,
+/// signatures, verdicts) and same aggregate tallies. Scheduling-dependent
+/// bookkeeping (threads, chunk size, resident peak, streamed count) is
+/// deliberately not compared.
+fn assert_reports_equivalent(label: &str, a: &NetworkSweepReport, b: &NetworkSweepReport) {
+    assert_eq!(a.k, b.k, "{label}");
+    assert_eq!(a.derivations, b.derivations, "{label}");
+    assert_eq!(a.exact_transfers, b.exact_transfers, "{label}");
+    assert_eq!(a.symmetric_transfers, b.symmetric_transfers, "{label}");
+    assert_eq!(a.distinct_fingerprints, b.distinct_fingerprints, "{label}");
+    assert_eq!(a.per_ec.len(), b.per_ec.len(), "{label}");
+    for (x, y) in a.per_ec.iter().zip(&b.per_ec) {
+        assert_eq!(x.rep, y.rep, "{label}");
+        assert_eq!(x.fingerprint, y.fingerprint, "{label}");
+        assert_eq!(x.canonical, y.canonical, "{label}");
+        assert_eq!(
+            x.report.base_abstract_nodes, y.report.base_abstract_nodes,
+            "{label}"
+        );
+        assert_eq!(x.report.stats, y.report.stats, "{label}");
+        assert_eq!(x.report.derivations, y.report.derivations, "{label}");
+        assert_eq!(
+            x.report.refinements.keys().collect::<Vec<_>>(),
+            y.report.refinements.keys().collect::<Vec<_>>(),
+            "{label}"
+        );
+        for (sig, r) in &x.report.refinements {
+            let p = &y.report.refinements[sig];
+            assert_eq!(r.representative, p.representative, "{label}");
+            assert_eq!(r.split, p.split, "{label}");
+            assert_eq!(
+                r.abstraction.partition.as_sets(),
+                p.abstraction.partition.as_sets(),
+                "{label}"
+            );
+            assert_eq!(r.abstraction.copies, p.abstraction.copies, "{label}");
+            assert_eq!(r.provenance, p.provenance, "{label}");
+        }
+        assert_eq!(x.report.outcomes.len(), y.report.outcomes.len(), "{label}");
+        for (o, q) in x.report.outcomes.iter().zip(&y.report.outcomes) {
+            assert_eq!(o.rank, q.rank, "{label}");
+            assert_eq!(o.scenario, q.scenario, "{label}");
+            assert_eq!(o.signature, q.signature, "{label}");
+            assert_eq!(o.cache_hit, q.cache_hit, "{label}");
+            assert_eq!(o.refined_nodes, q.refined_nodes, "{label}");
+        }
+    }
+}
+
+/// The streamed chunked fan-out is a pure scheduling change: any chunk
+/// size at any thread count reproduces the reference sweep — outcome for
+/// outcome, refinement for refinement — on the diamond, fattree-4 and
+/// mesh-10 at k = 1 and 2.
+#[test]
+fn chunked_sweeps_match_the_reference_at_every_chunk_size() {
+    let diamond = bonsai::srp::papernets::figure1_rip();
+    let fattree = bonsai::topo::fattree(4, bonsai::topo::FattreePolicy::ShortestPath);
+    let mesh = bonsai::topo::full_mesh(10);
+    for (label, net) in [
+        ("diamond", &diamond),
+        ("fattree4", &fattree),
+        ("mesh10", &mesh),
+    ] {
+        let topo = BuiltTopology::build(net).unwrap();
+        let report = compress(net, CompressOptions::default());
+        for k in [1usize, 2] {
+            let (_, _, reference) = run_network_sweep(net, k, 1);
+            for chunk_size in [5usize, 64] {
+                for threads in [1usize, 4] {
+                    let options = NetworkSweepOptions {
+                        sweep: SweepOptions {
+                            max_failures: k,
+                            threads,
+                            ..Default::default()
+                        },
+                        chunk_size,
+                        ..Default::default()
+                    };
+                    let sweep = sweep_network(net, &topo, &report, &options).unwrap();
+                    assert_eq!(sweep.chunk_size, chunk_size);
+                    if threads == 1 {
+                        assert_reports_equivalent(
+                            &format!("{label} k={k} chunk={chunk_size}"),
+                            &reference,
+                            &sweep,
+                        );
+                    } else {
+                        // Parallel schedules can race duplicate
+                        // derivations; the bytes still may not change.
+                        for (a, b) in reference.per_ec.iter().zip(&sweep.per_ec) {
+                            assert_eq!(a.report.stats, b.report.stats);
+                            assert_eq!(
+                                a.report.refinements.keys().collect::<Vec<_>>(),
+                                b.report.refinements.keys().collect::<Vec<_>>()
+                            );
+                            for (x, y) in a.report.outcomes.iter().zip(&b.report.outcomes) {
+                                assert_eq!(x.rank, y.rank);
+                                assert_eq!(x.scenario, y.scenario);
+                                assert_eq!(x.signature, y.signature);
+                                assert_eq!(x.refined_nodes, y.refined_nodes);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sharding is exact: sweeping each canonical-signature shard
+/// independently (as separate processes would) and merging reproduces
+/// the monolithic `threads = 1` report field for field — outcomes with
+/// their cache-hit flags, refinement provenance, derivation counts —
+/// for 2 and 3 shards on the diamond, fattree-4 and mesh-10 at k = 1, 2.
+#[test]
+fn sharded_sweeps_merge_to_the_monolithic_report() {
+    let diamond = bonsai::srp::papernets::figure1_rip();
+    let fattree = bonsai::topo::fattree(4, bonsai::topo::FattreePolicy::ShortestPath);
+    let mesh = bonsai::topo::full_mesh(10);
+    for (label, net) in [
+        ("diamond", &diamond),
+        ("fattree4", &fattree),
+        ("mesh10", &mesh),
+    ] {
+        let topo = BuiltTopology::build(net).unwrap();
+        let report = compress(net, CompressOptions::default());
+        for k in [1usize, 2] {
+            let (_, _, monolithic) = run_network_sweep(net, k, 1);
+            for of in [2usize, 3] {
+                let options = NetworkSweepOptions {
+                    sweep: SweepOptions {
+                        max_failures: k,
+                        threads: 1,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
+                let shards: Vec<NetworkSweepReport> = (0..of)
+                    .map(|i| sweep_network_sharded(net, &topo, &report, &options, i, of).unwrap())
+                    .collect();
+                // Every (scenario, class) item lands in exactly one shard.
+                let per_shard: Vec<usize> = shards.iter().map(|s| s.scenarios_swept()).collect();
+                assert_eq!(
+                    per_shard.iter().sum::<usize>(),
+                    monolithic.scenarios_swept(),
+                    "{label} k={k} of={of}: shard sizes {per_shard:?}"
+                );
+                let merged = merge_reports(shards).unwrap();
+                assert!(merged.shard.is_none());
+                assert_reports_equivalent(&format!("{label} k={k} of={of}"), &monolithic, &merged);
+            }
+        }
+    }
+}
+
+/// Merge rejects incomplete or inconsistent shard sets instead of
+/// producing a silently partial report.
+#[test]
+fn merge_rejects_bad_shard_sets() {
+    let net = bonsai::srp::papernets::figure1_rip();
+    let topo = BuiltTopology::build(&net).unwrap();
+    let report = compress(&net, CompressOptions::default());
+    let options = NetworkSweepOptions {
+        sweep: SweepOptions {
+            max_failures: 1,
+            threads: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let s0 = sweep_network_sharded(&net, &topo, &report, &options, 0, 2).unwrap();
+    let s0_dup = sweep_network_sharded(&net, &topo, &report, &options, 0, 2).unwrap();
+    let unsharded = sweep_network(&net, &topo, &report, &options).unwrap();
+
+    assert!(merge_reports(vec![]).is_err(), "empty set");
+    assert!(merge_reports(vec![s0_dup]).is_err(), "missing shard 1");
+    assert!(
+        merge_reports(vec![s0, unsharded]).is_err(),
+        "unsharded report in the set"
+    );
+}
+
+/// Aggregate mode is the bounded-memory configuration: dropping outcome
+/// records keeps the resident-scenario peak at O(threads), far below the
+/// chunk bound and the scenario space, while the aggregate statistics,
+/// refinements and derivations stay identical to the collected sweep.
+#[test]
+fn aggregate_mode_bounds_resident_scenarios() {
+    let net = bonsai::topo::fattree(4, bonsai::topo::FattreePolicy::ShortestPath);
+    let topo = BuiltTopology::build(&net).unwrap();
+    let report = compress(&net, CompressOptions::default());
+    let base = NetworkSweepOptions {
+        sweep: SweepOptions {
+            max_failures: 2,
+            threads: 1,
+            ..Default::default()
+        },
+        chunk_size: 64,
+        ..Default::default()
+    };
+    let collected = sweep_network(&net, &topo, &report, &base).unwrap();
+    let aggregate = sweep_network(
+        &net,
+        &topo,
+        &report,
+        &NetworkSweepOptions {
+            collect_outcomes: false,
+            ..base
+        },
+    )
+    .unwrap();
+
+    // The collected run keeps every outcome resident; aggregate mode
+    // holds at most the in-flight item per worker.
+    assert_eq!(aggregate.scenarios_swept(), collected.scenarios_swept());
+    assert!(collected.peak_resident_scenarios >= collected.scenarios_swept());
+    assert!(
+        aggregate.peak_resident_scenarios <= base.chunk_size,
+        "aggregate peak {} exceeds the chunk bound {}",
+        aggregate.peak_resident_scenarios,
+        base.chunk_size
+    );
+    assert!(
+        aggregate.peak_resident_scenarios < collected.scenarios_swept() / 100,
+        "aggregate peak {} is not O(chunk) against {} swept",
+        aggregate.peak_resident_scenarios,
+        collected.scenarios_swept()
+    );
+    assert_eq!(aggregate.derivations, collected.derivations);
+    for (a, c) in aggregate.per_ec.iter().zip(&collected.per_ec) {
+        assert!(a.report.outcomes.is_empty());
+        assert_eq!(a.report.stats, c.report.stats);
+        assert_eq!(
+            a.report.refinements.keys().collect::<Vec<_>>(),
+            c.report.refinements.keys().collect::<Vec<_>>()
+        );
+    }
+}
+
 /// Audited symmetric transfers: re-verifying every transfer against the
 /// receiving class changes nothing (the symmetry certificate holds on the
 /// fattree) — same refinement bytes, and the audit actually ran.
@@ -241,7 +483,7 @@ fn masked_sim_queries_agree_with_refined_abstract_networks() {
     ] {
         let (topo, report, sweep) = run_network_sweep(&net, 1, 1);
         let engine = SimEngine::new(&net);
-        let scenarios = enumerate_scenarios(&topo.graph, 1);
+        let scenarios = ScenarioStream::new(&topo.graph, 1).to_vec();
         for (comp, ec_sweep) in report.per_ec.iter().zip(&sweep.per_ec) {
             let sim_ec = engine
                 .ecs

@@ -6,7 +6,7 @@
 //! warm-started concrete solves beat cold ones.
 
 use bonsai::core::compress::{compress, CompressOptions};
-use bonsai::core::scenarios::enumerate_scenarios;
+use bonsai::core::scenarios::ScenarioStream;
 use bonsai::srp::instance::MultiProtocol;
 use bonsai::srp::solver::{
     solve, solve_masked, solve_seeded_masked, solve_warm_masked, solve_with_order_masked_stats,
@@ -114,7 +114,7 @@ fn sweep_outcomes_cover_every_scenario() {
             ..Default::default()
         },
     );
-    let expected = enumerate_scenarios(&topo.graph, 1);
+    let expected = ScenarioStream::new(&topo.graph, 1).to_vec();
     assert_eq!(sweep.outcomes.len(), expected.len());
     for (outcome, scenario) in sweep.outcomes.iter().zip(&expected) {
         assert_eq!(&outcome.scenario, scenario);
@@ -340,7 +340,7 @@ fn warm_started_scenario_solves_beat_cold_solves() {
     let proto = MultiProtocol::build(&net, &topo, &ec);
     let origins: Vec<NodeId> = ec.origins.iter().map(|(n, _)| *n).collect();
     let srp = Srp::with_origins(&topo.graph, origins, proto);
-    let masks: Vec<_> = enumerate_scenarios(&topo.graph, 1)
+    let masks: Vec<_> = ScenarioStream::new(&topo.graph, 1)
         .iter()
         .map(|s| s.mask(&topo.graph))
         .collect();
