@@ -4,9 +4,15 @@
 //! artifacts that make verification fast — the compiled policy engine,
 //! the per-class abstractions, the sweep's refinement cache with its
 //! canonical solutions — are exactly the things worth keeping resident.
-//! This crate wraps a [`Session`] in a Unix-socket server speaking a
-//! line-delimited JSON protocol, so operators ask reachability questions
-//! at interactive latency while the control-plane model stays warm.
+//! This crate wraps a [`Session`] in a server speaking a line-delimited
+//! JSON protocol over a Unix socket and/or a TCP listener, so operators
+//! ask reachability questions at interactive latency while the
+//! control-plane model stays warm.
+//!
+//! The wire protocol is a written contract: see `docs/PROTOCOL.md` at the
+//! repository root for the full reference (every op, key order, the
+//! byte-determinism guarantee, limits, and the versioning policy). The
+//! tables below are the summary.
 //!
 //! # Protocol
 //!
@@ -23,17 +29,58 @@
 //! | `reach` | `src`, `dst`, `links?` | `answers`: `{prefix, delivered}` |
 //! | `sweep` | `src`, `dst` | `answers`: `{prefix, delivered, scenarios}` |
 //! | `all_pairs` | `links?` | `delivered`, `unreachable` |
-//! | `batch` | `queries`: array of the three query ops | `answers`: one response object each |
+//! | `path` | `src`, `dst`, `links?`, `waypoints?` | `answers`: `{prefix, lengths, waypointed}` |
+//! | `batch` | `queries`: array of the query ops | `answers`: one response object each |
 //! | `snapshot` | `path` | `path`, `bytes` |
-//! | `shutdown` | — | — (server stops accepting) |
+//! | `shutdown` | — | — (server drains and stops) |
 //!
 //! `links` is an array of `[endpoint, endpoint]` name pairs (either
-//! orientation). Failures are reported as `{"ok": false, "error": ...}`
-//! without closing the connection. An example session:
+//! orientation); `waypoints` is an array of device names. Failures are
+//! reported as `{"ok": false, "code": ..., "error": ...}` without closing
+//! the connection:
 //!
-//! ```text
-//! -> {"op": "reach", "src": "edge0_0", "dst": "edge1_1", "links": [["agg0_0", "core0"]]}
-//! <- {"ok": true, "op": "reach", "answers": [{"prefix": "70.0.1.0/24", "delivered": true}]}
+//! | code | meaning |
+//! |------|---------|
+//! | `bad_request` | unparsable line or missing/mistyped field |
+//! | `unknown_op` | the `"op"` is not in [`PROTOCOL_OPS`] |
+//! | `too_large` | request line or batch over the configured limit |
+//! | `overloaded` | the in-flight query gate is full — retry later |
+//! | `connection_limit` | per-connection request budget spent (connection closes) |
+//! | `query` | the session rejected the query (unknown device, solve failure) |
+//! | `io` | a filesystem side effect (snapshot write) failed |
+//!
+//! # Hardening
+//!
+//! The server is built for untrusted clients: request lines are read
+//! through a bounded reader (oversized lines are discarded and answered
+//! with `too_large`, the connection survives), query work is admitted
+//! through a [`Gate`] bounding global in-flight queries (excess load is
+//! shed immediately with `overloaded` instead of queueing behind the
+//! solver), idle connections are reaped by a read timeout, and
+//! `shutdown` drains gracefully: in-flight requests complete and write
+//! their responses, read sides close, accept loops refuse new work, and
+//! the socket file is removed. All knobs live in [`ServerOptions`].
+//!
+//! # Example
+//!
+//! ```
+//! use bonsai_daemon::{Client, Server};
+//! use bonsai_verify::session::Session;
+//!
+//! let session = Session::builder(bonsai_srp::papernets::figure2_gadget())
+//!     .max_failures(1)
+//!     .threads(1)
+//!     .build()
+//!     .expect("gadget session builds");
+//! let path = std::env::temp_dir().join(format!("bonsaid-doc-{}.sock", std::process::id()));
+//! let server = Server::bind(session, &path).expect("socket binds");
+//! let join = server.spawn();
+//!
+//! let mut client = Client::connect(&path).expect("connects");
+//! let pong = client.call("{\"op\": \"ping\"}").expect("answers");
+//! assert!(pong.starts_with("{\"ok\": true"));
+//! client.call("{\"op\": \"shutdown\"}").expect("drains");
+//! join.join().unwrap().expect("clean exit");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -41,12 +88,128 @@
 
 use bonsai_core::snapshot::{json_escape, Json};
 use bonsai_verify::session::{QueryAnswer, QueryRequest, Session, SessionError, SessionStats};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Every op the daemon accepts. `docs/PROTOCOL.md` must document each;
+/// `tests/protocol_docs.rs` fails if one is missing there.
+pub const PROTOCOL_OPS: &[&str] = &[
+    "ping",
+    "stats",
+    "reach",
+    "sweep",
+    "all_pairs",
+    "path",
+    "batch",
+    "snapshot",
+    "shutdown",
+];
+
+/// Every `code` an error response can carry — same documentation
+/// contract as [`PROTOCOL_OPS`].
+pub const ERROR_CODES: &[&str] = &[
+    "bad_request",
+    "unknown_op",
+    "too_large",
+    "overloaded",
+    "connection_limit",
+    "query",
+    "io",
+];
+
+/// Serving limits and timeouts of a [`Server`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerOptions {
+    /// Longest accepted request line in bytes; longer lines are
+    /// discarded and answered with `too_large` (default 1 MiB).
+    pub max_request_bytes: usize,
+    /// Most entries in one `batch` request (default 4096).
+    pub max_batch: usize,
+    /// Global bound on concurrently-executing query ops; excess
+    /// requests are shed with `overloaded` (default 64).
+    pub max_inflight: usize,
+    /// Requests served per connection before it is closed with
+    /// `connection_limit`; 0 = unlimited (default 0).
+    pub max_requests_per_conn: usize,
+    /// Reap a connection that sends nothing for this long
+    /// (default 300 s; `None` = never).
+    pub idle_timeout: Option<Duration>,
+    /// Give up writing a response to a stuck client after this long
+    /// (default 30 s; `None` = never).
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            max_request_bytes: 1 << 20,
+            max_batch: 4096,
+            max_inflight: 64,
+            max_requests_per_conn: 0,
+            idle_timeout: Some(Duration::from_secs(300)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// The in-flight query gate: a non-blocking permit counter. Query ops
+/// must hold a permit while executing; when none is free the request is
+/// answered `overloaded` immediately — the daemon never queues work
+/// behind the solver.
+pub struct Gate {
+    permits: AtomicUsize,
+}
+
+impl Gate {
+    /// A gate with `n` permits.
+    pub fn new(n: usize) -> Gate {
+        Gate {
+            permits: AtomicUsize::new(n),
+        }
+    }
+
+    /// Takes a permit if one is free; never blocks. The permit returns
+    /// on drop.
+    pub fn try_acquire(&self) -> Option<GatePermit<'_>> {
+        let mut cur = self.permits.load(Ordering::Acquire);
+        loop {
+            if cur == 0 {
+                return None;
+            }
+            match self.permits.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(GatePermit { gate: self }),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Permits currently free.
+    pub fn available(&self) -> usize {
+        self.permits.load(Ordering::Acquire)
+    }
+}
+
+/// An RAII permit from a [`Gate`].
+pub struct GatePermit<'a> {
+    gate: &'a Gate,
+}
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        self.gate.permits.fetch_add(1, Ordering::AcqRel);
+    }
+}
 
 /// Parses one request line's query portion into a [`QueryRequest`].
 ///
@@ -75,6 +238,12 @@ pub fn parse_query(doc: &Json) -> Result<QueryRequest, String> {
         "all_pairs" => Ok(QueryRequest::AllPairs {
             links: parse_links(doc)?,
         }),
+        "path" => Ok(QueryRequest::Path {
+            src: field("src")?,
+            dst: field("dst")?,
+            links: parse_links(doc)?,
+            waypoints: parse_waypoints(doc)?,
+        }),
         other => Err(format!("unknown query op \"{other}\"")),
     }
 }
@@ -102,10 +271,26 @@ fn parse_links(doc: &Json) -> Result<Vec<(String, String)>, String> {
     Ok(out)
 }
 
+fn parse_waypoints(doc: &Json) -> Result<Vec<String>, String> {
+    let Some(v) = doc.get("waypoints") else {
+        return Ok(Vec::new());
+    };
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| "\"waypoints\" must be an array of device names".to_string())?;
+    arr.iter()
+        .map(|j| {
+            j.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "\"waypoints\" must be an array of device names".to_string())
+        })
+        .collect()
+}
+
 /// Renders a query result as one response object with fixed key order.
 pub fn render_result(result: &Result<QueryAnswer, SessionError>) -> String {
     match result {
-        Err(e) => render_error(&e.to_string()),
+        Err(e) => render_error("query", &e.to_string()),
         Ok(QueryAnswer::Reach(answers)) => {
             let rows: Vec<String> = answers
                 .iter()
@@ -143,6 +328,37 @@ pub fn render_result(result: &Result<QueryAnswer, SessionError>) -> String {
             "{{\"ok\": true, \"op\": \"all_pairs\", \"delivered\": {}, \"unreachable\": {}}}",
             a.delivered, a.unreachable
         ),
+        Ok(QueryAnswer::Path(answers)) => {
+            let rows: Vec<String> = answers
+                .iter()
+                .map(|a| {
+                    let lengths = match &a.lengths {
+                        Some(ls) => format!(
+                            "[{}]",
+                            ls.iter()
+                                .map(|l| l.to_string())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                        None => "null".to_string(),
+                    };
+                    let waypointed = match a.waypointed {
+                        Some(w) => w.to_string(),
+                        None => "null".to_string(),
+                    };
+                    format!(
+                        "{{\"prefix\": \"{}\", \"lengths\": {}, \"waypointed\": {}}}",
+                        json_escape(&a.prefix),
+                        lengths,
+                        waypointed
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"ok\": true, \"op\": \"path\", \"answers\": [{}]}}",
+                rows.join(", ")
+            )
+        }
     }
 }
 
@@ -153,7 +369,8 @@ pub fn render_stats(s: &SessionStats) -> String {
          \"queries\": {}, \"verdict_cache_hits\": {}, \"abstract_solves\": {}, \
          \"concrete_solves\": {}, \"solver_updates\": {}, \"cached_answers\": {}, \
          \"sweep\": {{\"scenarios_swept\": {}, \"derivations\": {}, \"exact_transfers\": {}, \
-         \"symmetric_transfers\": {}, \"refinements\": {}, \"restored\": {}}}}}",
+         \"symmetric_transfers\": {}, \"refinements\": {}, \"restored\": {}, \
+         \"restored_answers\": {}}}}}",
         s.classes,
         s.k,
         s.scenarios,
@@ -169,19 +386,52 @@ pub fn render_stats(s: &SessionStats) -> String {
         s.sweep.symmetric_transfers,
         s.sweep.refinements,
         s.sweep.restored,
+        s.sweep.restored_answers,
     )
 }
 
-fn render_error(message: &str) -> String {
-    format!("{{\"ok\": false, \"error\": \"{}\"}}", json_escape(message))
+/// Renders a structured error response (the connection stays open unless
+/// the code says otherwise). `code` must be one of [`ERROR_CODES`].
+pub fn render_error(code: &str, message: &str) -> String {
+    debug_assert!(ERROR_CODES.contains(&code), "undeclared error code {code}");
+    format!(
+        "{{\"ok\": false, \"code\": \"{}\", \"error\": \"{}\"}}",
+        json_escape(code),
+        json_escape(message)
+    )
 }
 
 /// Answers one request line. Returns the response line and whether the
-/// server should shut down after sending it.
-pub fn answer_line(session: &Session, line: &str) -> (String, bool) {
+/// server should drain and stop after sending it.
+///
+/// Query-bearing ops (`reach`/`sweep`/`all_pairs`/`path`/`batch`) must
+/// take a permit from `gate` for the duration of the work; when the gate
+/// is full the request is answered `overloaded` without blocking.
+/// Control ops (`ping`/`stats`/`snapshot`/`shutdown`) bypass the gate —
+/// they stay answerable under full query load.
+pub fn answer_line(
+    session: &Session,
+    line: &str,
+    options: &ServerOptions,
+    gate: &Gate,
+) -> (String, bool) {
+    if line.len() > options.max_request_bytes {
+        return (
+            render_error(
+                "too_large",
+                &format!("request exceeds {} bytes", options.max_request_bytes),
+            ),
+            false,
+        );
+    }
     let doc = match Json::parse(line) {
         Ok(d) => d,
-        Err(e) => return (render_error(&format!("bad request: {e}")), false),
+        Err(e) => {
+            return (
+                render_error("bad_request", &format!("bad request: {e}")),
+                false,
+            )
+        }
     };
     let op = doc.get("op").and_then(Json::as_str).unwrap_or("");
     match op {
@@ -194,22 +444,43 @@ pub fn answer_line(session: &Session, line: &str) -> (String, bool) {
             false,
         ),
         "stats" => (render_stats(&session.stats()), false),
-        "reach" | "sweep" | "all_pairs" => match parse_query(&doc) {
-            Ok(req) => (render_result(&session.query(&req)), false),
-            Err(e) => (render_error(&e), false),
-        },
+        "reach" | "sweep" | "all_pairs" | "path" => {
+            let Some(_permit) = gate.try_acquire() else {
+                return (overloaded_response(options), false);
+            };
+            match parse_query(&doc) {
+                Ok(req) => (render_result(&session.query(&req)), false),
+                Err(e) => (render_error("bad_request", &e), false),
+            }
+        }
         "batch" => {
             let Some(entries) = doc.get("queries").and_then(Json::as_arr) else {
                 return (
-                    render_error("op \"batch\" needs a \"queries\" array"),
+                    render_error("bad_request", "op \"batch\" needs a \"queries\" array"),
                     false,
                 );
+            };
+            if entries.len() > options.max_batch {
+                return (
+                    render_error(
+                        "too_large",
+                        &format!(
+                            "batch of {} exceeds the {}-query limit",
+                            entries.len(),
+                            options.max_batch
+                        ),
+                    ),
+                    false,
+                );
+            }
+            let Some(_permit) = gate.try_acquire() else {
+                return (overloaded_response(options), false);
             };
             let mut requests = Vec::with_capacity(entries.len());
             for entry in entries {
                 match parse_query(entry) {
                     Ok(req) => requests.push(req),
-                    Err(e) => return (render_error(&e), false),
+                    Err(e) => return (render_error("bad_request", &e), false),
                 }
             }
             let results = session.batch(&requests);
@@ -224,7 +495,10 @@ pub fn answer_line(session: &Session, line: &str) -> (String, bool) {
         }
         "snapshot" => {
             let Some(path) = doc.get("path").and_then(Json::as_str) else {
-                return (render_error("op \"snapshot\" needs a \"path\""), false);
+                return (
+                    render_error("bad_request", "op \"snapshot\" needs a \"path\""),
+                    false,
+                );
             };
             match session.save_snapshot(Path::new(path)) {
                 Ok(bytes) => (
@@ -234,61 +508,350 @@ pub fn answer_line(session: &Session, line: &str) -> (String, bool) {
                     ),
                     false,
                 ),
-                Err(e) => (render_error(&format!("writing {path}: {e}")), false),
+                Err(e) => (render_error("io", &format!("writing {path}: {e}")), false),
             }
         }
         "shutdown" => ("{\"ok\": true, \"op\": \"shutdown\"}".to_string(), true),
-        "" => (render_error("request has no \"op\""), false),
-        other => (render_error(&format!("unknown op \"{other}\"")), false),
+        "" => (render_error("bad_request", "request has no \"op\""), false),
+        other => (
+            render_error("unknown_op", &format!("unknown op \"{other}\"")),
+            false,
+        ),
     }
 }
 
-/// The `bonsaid` server: a [`Session`] behind a Unix socket.
-pub struct Server {
+fn overloaded_response(options: &ServerOptions) -> String {
+    render_error(
+        "overloaded",
+        &format!(
+            "all {} in-flight query slots are busy, retry",
+            options.max_inflight
+        ),
+    )
+}
+
+/// A connection the generic accept/serve loop can run over — implemented
+/// for [`UnixStream`] and [`TcpStream`].
+pub trait Conn: Read + Write + Send + Sync + Sized + 'static {
+    /// An independent handle onto the same connection.
+    fn try_clone_conn(&self) -> std::io::Result<Self>;
+    /// Applies read (idle) and write timeouts.
+    fn set_conn_timeouts(
+        &self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> std::io::Result<()>;
+    /// Closes the read side: a blocked reader observes EOF, pending
+    /// writes still flush — the drain primitive.
+    fn shutdown_read(&self) -> std::io::Result<()>;
+}
+
+impl Conn for UnixStream {
+    fn try_clone_conn(&self) -> std::io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_conn_timeouts(
+        &self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> std::io::Result<()> {
+        self.set_read_timeout(read)?;
+        self.set_write_timeout(write)
+    }
+    fn shutdown_read(&self) -> std::io::Result<()> {
+        self.shutdown(std::net::Shutdown::Read)
+    }
+}
+
+impl Conn for TcpStream {
+    fn try_clone_conn(&self) -> std::io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_conn_timeouts(
+        &self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> std::io::Result<()> {
+        self.set_read_timeout(read)?;
+        self.set_write_timeout(write)
+    }
+    fn shutdown_read(&self) -> std::io::Result<()> {
+        self.shutdown(std::net::Shutdown::Read)
+    }
+}
+
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A complete line is in the buffer (without the newline).
+    Line,
+    /// The line exceeded the limit; it was consumed and discarded.
+    TooLong,
+    /// The peer closed cleanly.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes into `out`.
+/// Oversized lines are consumed to their newline and reported as
+/// [`LineRead::TooLong`] so one hostile line cannot wedge or kill the
+/// connection.
+fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    max: usize,
+    out: &mut Vec<u8>,
+) -> std::io::Result<LineRead> {
+    out.clear();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(if out.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line
+            });
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            if out.len() + pos > max {
+                reader.consume(pos + 1);
+                return Ok(LineRead::TooLong);
+            }
+            out.extend_from_slice(&available[..pos]);
+            reader.consume(pos + 1);
+            return Ok(LineRead::Line);
+        }
+        let n = available.len();
+        if out.len() + n > max {
+            reader.consume(n);
+            discard_to_newline(reader)?;
+            return Ok(LineRead::TooLong);
+        }
+        out.extend_from_slice(available);
+        reader.consume(n);
+    }
+}
+
+fn discard_to_newline<R: BufRead>(reader: &mut R) -> std::io::Result<()> {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(());
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                return Ok(());
+            }
+            None => {
+                let n = available.len();
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Where a listener can be poked to wake its blocked `accept` call.
+enum Wake {
+    Unix(PathBuf),
+    Tcp(SocketAddr),
+}
+
+impl Wake {
+    fn poke(&self) {
+        match self {
+            Wake::Unix(path) => {
+                let _ = UnixStream::connect(path);
+            }
+            Wake::Tcp(addr) => {
+                let _ = TcpStream::connect_timeout(addr, Duration::from_secs(1));
+            }
+        }
+    }
+}
+
+/// A per-connection read-shutdown hook, invoked during drain.
+type ConnCloser = Box<dyn Fn() + Send + Sync>;
+
+/// State shared by every accept loop and connection handler.
+struct Shared {
     session: Arc<Session>,
-    listener: UnixListener,
-    path: PathBuf,
-    stop: Arc<AtomicBool>,
+    options: ServerOptions,
+    gate: Arc<Gate>,
+    stop: AtomicBool,
+    /// Per-connection read-shutdown hooks, slot-indexed; `None` after
+    /// the connection exits.
+    conns: Mutex<Vec<Option<ConnCloser>>>,
+    /// Live handler threads, joined during drain.
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+    /// One poke target per listener.
+    wakes: Mutex<Vec<Wake>>,
+}
+
+impl Shared {
+    fn register_conn(&self, close: ConnCloser) -> usize {
+        let mut conns = self.conns.lock().unwrap();
+        if let Some(slot) = conns.iter().position(Option::is_none) {
+            conns[slot] = Some(close);
+            slot
+        } else {
+            conns.push(Some(close));
+            conns.len() - 1
+        }
+    }
+
+    fn unregister_conn(&self, slot: usize) {
+        self.conns.lock().unwrap()[slot] = None;
+    }
+
+    /// The drain: refuse new work, close every connection's read side so
+    /// in-flight requests finish and blocked readers see EOF.
+    fn drain(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for close in self.conns.lock().unwrap().iter().flatten() {
+            close();
+        }
+        for wake in self.wakes.lock().unwrap().iter() {
+            wake.poke();
+        }
+    }
+}
+
+/// The `bonsaid` server: a [`Session`] behind a Unix socket and/or a TCP
+/// listener, shared by every connection.
+pub struct Server {
+    shared: Arc<Shared>,
+    unix: Option<UnixListener>,
+    path: Option<PathBuf>,
+    tcp: Option<TcpListener>,
 }
 
 impl Server {
-    /// Binds the socket (replacing a stale socket file at `path`).
+    fn new(session: Session, options: ServerOptions) -> Server {
+        Server {
+            shared: Arc::new(Shared {
+                session: Arc::new(session),
+                gate: Arc::new(Gate::new(options.max_inflight.max(1))),
+                options,
+                stop: AtomicBool::new(false),
+                conns: Mutex::new(Vec::new()),
+                handlers: Mutex::new(Vec::new()),
+                wakes: Mutex::new(Vec::new()),
+            }),
+            unix: None,
+            path: None,
+            tcp: None,
+        }
+    }
+
+    /// Binds a Unix socket (replacing a stale socket file at `path`)
+    /// with default [`ServerOptions`].
     pub fn bind(session: Session, path: &Path) -> std::io::Result<Server> {
+        Server::bind_with(session, path, ServerOptions::default())
+    }
+
+    /// [`Server::bind`] with explicit limits.
+    pub fn bind_with(
+        session: Session,
+        path: &Path,
+        options: ServerOptions,
+    ) -> std::io::Result<Server> {
         if path.exists() {
             std::fs::remove_file(path)?;
         }
         let listener = UnixListener::bind(path)?;
-        Ok(Server {
-            session: Arc::new(session),
-            listener,
-            path: path.to_path_buf(),
-            stop: Arc::new(AtomicBool::new(false)),
-        })
+        let mut server = Server::new(session, options);
+        server
+            .shared
+            .wakes
+            .lock()
+            .unwrap()
+            .push(Wake::Unix(path.to_path_buf()));
+        server.unix = Some(listener);
+        server.path = Some(path.to_path_buf());
+        Ok(server)
+    }
+
+    /// Binds a TCP-only server (no Unix socket) with default options.
+    pub fn bind_tcp(session: Session, addr: &str) -> std::io::Result<Server> {
+        Server::bind_tcp_with(session, addr, ServerOptions::default())
+    }
+
+    /// [`Server::bind_tcp`] with explicit limits.
+    pub fn bind_tcp_with(
+        session: Session,
+        addr: &str,
+        options: ServerOptions,
+    ) -> std::io::Result<Server> {
+        Server::new(session, options).with_tcp(addr)
+    }
+
+    /// Adds a TCP listener beside whatever is already bound. Bind to
+    /// port 0 and read [`Server::tcp_addr`] for an ephemeral port.
+    pub fn with_tcp(mut self, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        self.shared.wakes.lock().unwrap().push(Wake::Tcp(local));
+        self.tcp = Some(listener);
+        Ok(self)
     }
 
     /// The served session (the integration tests read its counters
     /// directly while talking to the socket).
     pub fn session(&self) -> Arc<Session> {
-        self.session.clone()
+        self.shared.session.clone()
     }
 
-    /// Serves until a `shutdown` request arrives: accepts connections,
-    /// one handler thread each, every handler sharing the one session.
-    /// Removes the socket file on the way out.
+    /// The in-flight query gate (tests hold permits to force
+    /// deterministic `overloaded` responses).
+    pub fn gate(&self) -> Arc<Gate> {
+        self.shared.gate.clone()
+    }
+
+    /// The bound TCP address, if a TCP listener was added.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// Serves until a `shutdown` request arrives: accepts connections on
+    /// every bound listener, one handler thread each, every handler
+    /// sharing the one session. On shutdown the server drains — in-flight
+    /// requests complete, new accepts are refused, handler threads are
+    /// joined — and the socket file is removed on the way out.
     pub fn run(self) -> std::io::Result<()> {
-        for conn in self.listener.incoming() {
-            if self.stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = conn?;
-            let session = self.session.clone();
-            let stop = self.stop.clone();
-            let path = self.path.clone();
-            std::thread::spawn(move || {
-                let _ = handle_connection(stream, &session, &stop, &path);
-            });
+        let mut accepts: Vec<JoinHandle<()>> = Vec::new();
+        if let Some(listener) = self.unix {
+            let shared = self.shared.clone();
+            accepts.push(std::thread::spawn(move || {
+                accept_loop(|| listener.accept().map(|(s, _)| s), &shared);
+            }));
         }
-        let _ = std::fs::remove_file(&self.path);
+        if let Some(listener) = self.tcp {
+            let shared = self.shared.clone();
+            accepts.push(std::thread::spawn(move || {
+                accept_loop(|| listener.accept().map(|(s, _)| s), &shared);
+            }));
+        }
+        for a in accepts {
+            let _ = a.join();
+        }
+        let handlers: Vec<JoinHandle<()>> =
+            self.shared.handlers.lock().unwrap().drain(..).collect();
+        for h in handlers {
+            let _ = h.join();
+        }
+        if let Some(path) = &self.path {
+            let _ = std::fs::remove_file(path);
+        }
         Ok(())
     }
 
@@ -299,48 +862,128 @@ impl Server {
     }
 }
 
-fn handle_connection(
-    stream: UnixStream,
-    session: &Session,
-    stop: &AtomicBool,
-    path: &Path,
+fn accept_loop<C: Conn>(mut accept: impl FnMut() -> std::io::Result<C>, shared: &Arc<Shared>) {
+    loop {
+        let stream = match accept() {
+            Ok(s) => s,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            // The wake poke, or a client racing the drain: refuse.
+            break;
+        }
+        let shared_conn = shared.clone();
+        let handle = std::thread::spawn(move || {
+            let _ = handle_connection(stream, &shared_conn);
+        });
+        shared.handlers.lock().unwrap().push(handle);
+    }
+}
+
+fn handle_connection<C: Conn>(stream: C, shared: &Arc<Shared>) -> std::io::Result<()> {
+    let options = shared.options;
+    stream.set_conn_timeouts(options.idle_timeout, options.write_timeout)?;
+    let closer = stream.try_clone_conn()?;
+    let slot = shared.register_conn(Box::new(move || {
+        let _ = closer.shutdown_read();
+    }));
+    let result = serve_connection(stream, shared, &options);
+    shared.unregister_conn(slot);
+    result
+}
+
+fn serve_connection<C: Conn>(
+    stream: C,
+    shared: &Arc<Shared>,
+    options: &ServerOptions,
 ) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream.try_clone_conn()?);
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut served = 0usize;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let read = match read_line_bounded(&mut reader, options.max_request_bytes, &mut buf) {
+            Ok(r) => r,
+            // Idle connection: reap it quietly.
+            Err(e) if is_timeout(&e) => break,
+            Err(e) => return Err(e),
+        };
+        let line = match read {
+            LineRead::Eof => break,
+            LineRead::TooLong => {
+                let response = render_error(
+                    "too_large",
+                    &format!("request exceeds {} bytes", options.max_request_bytes),
+                );
+                writer.write_all(response.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                continue;
+            }
+            LineRead::Line => String::from_utf8_lossy(&buf),
+        };
         if line.trim().is_empty() {
             continue;
         }
-        let (response, shutdown) = answer_line(session, &line);
+        if options.max_requests_per_conn > 0 && served >= options.max_requests_per_conn {
+            let response = render_error(
+                "connection_limit",
+                &format!(
+                    "connection served its {} requests, reconnect",
+                    options.max_requests_per_conn
+                ),
+            );
+            writer.write_all(response.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            break;
+        }
+        served += 1;
+        let (response, shutdown) = answer_line(&shared.session, &line, options, &shared.gate);
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
         if shutdown {
-            stop.store(true, Ordering::SeqCst);
-            // Wake the accept loop so it observes the flag.
-            let _ = UnixStream::connect(path);
+            shared.drain();
             break;
         }
     }
     Ok(())
 }
 
-/// A line-oriented client for the `bonsaid` socket — used by
-/// `bonsai query` and the tests.
+/// A line-oriented client for the `bonsaid` socket or TCP listener —
+/// used by `bonsai query` and the tests.
 pub struct Client {
-    reader: BufReader<UnixStream>,
-    writer: BufWriter<UnixStream>,
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: BufWriter<Box<dyn Write + Send>>,
 }
 
 impl Client {
-    /// Connects to a running server's socket.
+    /// Connects to a running server's Unix socket.
     pub fn connect(path: &Path) -> std::io::Result<Client> {
         let stream = UnixStream::connect(path)?;
-        let reader = BufReader::new(stream.try_clone()?);
+        let reader = stream.try_clone()?;
         Ok(Client {
-            reader,
-            writer: BufWriter::new(stream),
+            reader: BufReader::new(Box::new(reader)),
+            writer: BufWriter::new(Box::new(stream)),
+        })
+    }
+
+    /// Connects to a running server's TCP listener.
+    pub fn connect_tcp(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(Box::new(reader)),
+            writer: BufWriter::new(Box::new(stream)),
         })
     }
 
@@ -367,14 +1010,17 @@ mod tests {
         std::env::temp_dir().join(format!("bonsaid-test-{name}-{}.sock", std::process::id()))
     }
 
-    fn gadget_server(name: &str) -> (PathBuf, Arc<Session>, JoinHandle<std::io::Result<()>>) {
-        let session = Session::builder(bonsai_srp::papernets::figure2_gadget())
+    fn gadget_session() -> Session {
+        Session::builder(bonsai_srp::papernets::figure2_gadget())
             .max_failures(1)
             .threads(2)
             .build()
-            .expect("session builds");
+            .expect("session builds")
+    }
+
+    fn gadget_server(name: &str) -> (PathBuf, Arc<Session>, JoinHandle<std::io::Result<()>>) {
         let path = tmp_socket(name);
-        let server = Server::bind(session, &path).expect("socket binds");
+        let server = Server::bind(gadget_session(), &path).expect("socket binds");
         let handle_session = server.session();
         let join = server.spawn();
         (path, handle_session, join)
@@ -391,11 +1037,12 @@ mod tests {
             .unwrap();
         assert!(reach.contains("\"delivered\": true"), "{reach}");
         let err = client.call("{\"op\": \"nope\"}").unwrap();
-        assert!(err.contains("\"ok\": false"), "{err}");
+        assert!(err.contains("\"code\": \"unknown_op\""), "{err}");
         // Unknown devices answer an error without killing the connection.
         let err = client
             .call("{\"op\": \"reach\", \"src\": \"zz\", \"dst\": \"d\"}")
             .unwrap();
+        assert!(err.contains("\"code\": \"query\""), "{err}");
         assert!(err.contains("unknown device"), "{err}");
         let bye = client.call("{\"op\": \"shutdown\"}").unwrap();
         assert!(bye.contains("shutdown"), "{bye}");
@@ -421,5 +1068,151 @@ mod tests {
         );
         client.call("{\"op\": \"shutdown\"}").unwrap();
         join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn path_op_round_trips() {
+        let (path, _session, join) = gadget_server("pathop");
+        let mut client = Client::connect(&path).expect("connects");
+        let answer = client
+            .call(
+                "{\"op\": \"path\", \"src\": \"a\", \"dst\": \"d\", \
+                 \"waypoints\": [\"b1\", \"b2\", \"b3\"]}",
+            )
+            .unwrap();
+        assert!(answer.contains("\"op\": \"path\""), "{answer}");
+        assert!(answer.contains("\"lengths\": [2]"), "{answer}");
+        assert!(answer.contains("\"waypointed\": true"), "{answer}");
+        let plain = client
+            .call("{\"op\": \"path\", \"src\": \"a\", \"dst\": \"d\"}")
+            .unwrap();
+        assert!(plain.contains("\"waypointed\": null"), "{plain}");
+        client.call("{\"op\": \"shutdown\"}").unwrap();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn tcp_listener_round_trips() {
+        let server = Server::bind_tcp(gadget_session(), "127.0.0.1:0").expect("tcp listener binds");
+        let addr = server.tcp_addr().expect("has an address");
+        let join = server.spawn();
+        let mut client = Client::connect_tcp(&addr.to_string()).expect("connects");
+        let pong = client.call("{\"op\": \"ping\"}").unwrap();
+        assert!(pong.contains("\"ok\": true"), "{pong}");
+        let reach = client
+            .call("{\"op\": \"reach\", \"src\": \"a\", \"dst\": \"d\"}")
+            .unwrap();
+        assert!(reach.contains("\"delivered\": true"), "{reach}");
+        client.call("{\"op\": \"shutdown\"}").unwrap();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn oversized_lines_are_shed_not_fatal() {
+        let path = tmp_socket("toolarge");
+        let options = ServerOptions {
+            max_request_bytes: 256,
+            ..Default::default()
+        };
+        let server = Server::bind_with(gadget_session(), &path, options).expect("binds");
+        let join = server.spawn();
+        let mut client = Client::connect(&path).expect("connects");
+        let huge = format!("{{\"op\": \"ping\", \"pad\": \"{}\"}}", "x".repeat(512));
+        let shed = client.call(&huge).unwrap();
+        assert!(shed.contains("\"code\": \"too_large\""), "{shed}");
+        // The connection survives the oversized line.
+        let pong = client.call("{\"op\": \"ping\"}").unwrap();
+        assert!(pong.contains("\"ok\": true"), "{pong}");
+        client.call("{\"op\": \"shutdown\"}").unwrap();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn oversized_batches_are_rejected() {
+        let path = tmp_socket("bigbatch");
+        let options = ServerOptions {
+            max_batch: 2,
+            ..Default::default()
+        };
+        let server = Server::bind_with(gadget_session(), &path, options).expect("binds");
+        let join = server.spawn();
+        let mut client = Client::connect(&path).expect("connects");
+        let batch = "{\"op\": \"batch\", \"queries\": [\
+            {\"op\": \"all_pairs\"}, {\"op\": \"all_pairs\"}, {\"op\": \"all_pairs\"}]}";
+        let shed = client.call(batch).unwrap();
+        assert!(shed.contains("\"code\": \"too_large\""), "{shed}");
+        client.call("{\"op\": \"shutdown\"}").unwrap();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn full_gate_sheds_queries_but_keeps_control_ops() {
+        let path = tmp_socket("overload");
+        let options = ServerOptions {
+            max_inflight: 1,
+            ..Default::default()
+        };
+        let server = Server::bind_with(gadget_session(), &path, options).expect("binds");
+        let gate = server.gate();
+        let join = server.spawn();
+        let mut client = Client::connect(&path).expect("connects");
+        // Deterministically exhaust the gate, as a stuck query would.
+        let held = gate.try_acquire().expect("permit free");
+        assert_eq!(gate.available(), 0);
+        let shed = client
+            .call("{\"op\": \"reach\", \"src\": \"a\", \"dst\": \"d\"}")
+            .unwrap();
+        assert!(shed.contains("\"code\": \"overloaded\""), "{shed}");
+        // Control ops stay answerable under full query load.
+        let pong = client.call("{\"op\": \"ping\"}").unwrap();
+        assert!(pong.contains("\"ok\": true"), "{pong}");
+        drop(held);
+        let ok = client
+            .call("{\"op\": \"reach\", \"src\": \"a\", \"dst\": \"d\"}")
+            .unwrap();
+        assert!(ok.contains("\"delivered\": true"), "recovers: {ok}");
+        client.call("{\"op\": \"shutdown\"}").unwrap();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn per_connection_request_budget_closes_connection() {
+        let path = tmp_socket("connlimit");
+        let options = ServerOptions {
+            max_requests_per_conn: 2,
+            ..Default::default()
+        };
+        let server = Server::bind_with(gadget_session(), &path, options).expect("binds");
+        let join = server.spawn();
+        let mut client = Client::connect(&path).expect("connects");
+        for _ in 0..2 {
+            let pong = client.call("{\"op\": \"ping\"}").unwrap();
+            assert!(pong.contains("\"ok\": true"), "{pong}");
+        }
+        let cut = client.call("{\"op\": \"ping\"}").unwrap();
+        assert!(cut.contains("\"code\": \"connection_limit\""), "{cut}");
+        // A fresh connection gets a fresh budget.
+        let mut fresh = Client::connect(&path).expect("reconnects");
+        let pong = fresh.call("{\"op\": \"ping\"}").unwrap();
+        assert!(pong.contains("\"ok\": true"), "{pong}");
+        fresh.call("{\"op\": \"shutdown\"}").unwrap();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_other_connections() {
+        let (path, _session, join) = gadget_server("drain");
+        let mut idle = Client::connect(&path).expect("idle client connects");
+        let pong = idle.call("{\"op\": \"ping\"}").unwrap();
+        assert!(pong.contains("\"ok\": true"), "{pong}");
+        let mut closer = Client::connect(&path).expect("closer connects");
+        closer.call("{\"op\": \"shutdown\"}").unwrap();
+        join.join().unwrap().unwrap();
+        // The idle connection was read-shutdown by the drain: its next
+        // call observes EOF (empty line) or a broken pipe, not a hang.
+        if let Ok(line) = idle.call("{\"op\": \"ping\"}") {
+            assert!(line.is_empty(), "drained, got {line}");
+        }
+        assert!(!path.exists(), "socket file removed on shutdown");
     }
 }

@@ -13,21 +13,52 @@
 //!    its canonical abstract solution cached at derivation time), and a
 //!    per-class orbit index.
 //! 2. **query** — [`Session::reach`], [`Session::sweep_reach`],
-//!    [`Session::all_pairs`], and [`Session::batch`] (fanned out over
-//!    [`bonsai_core::fanout::fan_out`]) answer under any `≤ k` failure
-//!    scenario by orbit-signature lookup: representative scenarios are
-//!    served from the cached canonical solution with **zero** solver
-//!    work, symmetric ones by one tiny refined-abstract solve, and
-//!    verdicts memoized per `(class, scenario)` — a repeated query batch
-//!    performs zero solver updates (counter-asserted by
+//!    [`Session::all_pairs`], [`Session::path`] (path lengths and
+//!    waypointing, the §4.4 checkers), and [`Session::batch`] (fanned out
+//!    over [`bonsai_core::fanout::fan_out`]) answer under any `≤ k`
+//!    failure scenario by orbit-signature lookup: representative
+//!    scenarios are served from the cached canonical solution with
+//!    **zero** solver work, symmetric ones by one tiny refined-abstract
+//!    solve, and verdicts memoized per `(class, scenario)` — a repeated
+//!    query batch performs zero solver updates (counter-asserted by
 //!    [`Session::stats`]).
 //! 3. **snapshot** — [`Session::snapshot_json`] serializes the sweep's
-//!    refinement cache (see [module docs on the format](#snapshot-format))
-//!    and [`SessionBuilder::restore`] rebuilds a warm session from it
-//!    with **zero verification solves**: splits are replayed through
-//!    [`bonsai_core::compress::refine_ec_with_split`] and only the cheap
-//!    canonical solutions are recomputed, so a restarted daemon answers
-//!    byte-identically to the session that saved the snapshot.
+//!    refinement cache *and both answer memos* (see [module docs on the
+//!    format](#snapshot-format)) and [`SessionBuilder::restore`] rebuilds
+//!    a warm session from it with **zero verification solves**: splits
+//!    are replayed through
+//!    [`bonsai_core::compress::refine_ec_with_split`], only the cheap
+//!    canonical solutions are recomputed, and every persisted verdict and
+//!    path answer is reloaded verbatim — so a restarted daemon answers
+//!    previously-seen queries byte-identically **without touching the
+//!    solver at all** (answer-warm, not just refinement-warm).
+//!
+//! # Example
+//!
+//! The builder is the only way in; everything else hangs off the built
+//! session:
+//!
+//! ```
+//! use bonsai_verify::session::Session;
+//!
+//! let session = Session::builder(bonsai_srp::papernets::figure2_gadget())
+//!     .max_failures(1)
+//!     .threads(1)
+//!     .build()
+//!     .expect("gadget session builds");
+//!
+//! // Reachability under a failed link, answered from the sweep cache.
+//! let answers = session
+//!     .reach("a", "d", &[("b1".into(), "d".into())])
+//!     .expect("known devices");
+//! assert!(answers.iter().all(|a| a.delivered));
+//!
+//! // Path properties: every delivering a→d path crosses some b-router.
+//! let paths = session
+//!     .path("a", "d", &[], &["b1".into(), "b2".into(), "b3".into()])
+//!     .expect("known devices");
+//! assert_eq!(paths[0].waypointed, Some(true));
+//! ```
 //!
 //! # Snapshot format
 //!
@@ -48,9 +79,28 @@
 //!         "deviating_rounds": 0,
 //!         "global_fallback": false,
 //!         "provenance": "derived"}]}
+//!   ],
+//!   "verdicts": [
+//!     {"rep": "10.0.0.0/24",
+//!      "entries": [{"links": [["agg0_0", "core0"]], "bits": "1011…"}]}
+//!   ],
+//!   "paths": [
+//!     {"src": "edge0_0", "dst": "edge1_1", "links": [],
+//!      "waypoints": ["agg0_0"],
+//!      "answers": [{"prefix": "10.0.0.0/24", "lengths": [4],
+//!                   "waypointed": true}]}
 //!   ]
 //! }
 //! ```
+//!
+//! `verdicts` is the **persistent verdict-memo tier**: one `bits` string
+//! per memoized `(class, scenario)` pair, `'1'`/`'0'` per concrete node
+//! in node order. `paths` persists the path-query memo the same way.
+//! Both sections are *optional on read* — snapshots written before they
+//! existed restore fine, just refinement-warm instead of answer-warm.
+//! That is the payload versioning policy: **additive optional fields do
+//! not bump the version; a field changing shape or meaning does** (and
+//! readers reject other versions with an explicit regenerate message).
 //!
 //! Everything node-valued is stored by **display name** (stable across
 //! processes); the `fingerprint` guards against restoring onto a
@@ -58,8 +108,9 @@
 
 use crate::equivalence::EquivalenceError;
 use crate::netsweep::{sweep_network, NetworkSweepOptions, NetworkSweepReport};
+use crate::properties::SolutionAnalysis;
 use crate::query::QueryStats;
-use crate::sim_engine::{abstract_verdict, concrete_verdict, refined_verdict};
+use crate::sim_engine::{abstract_verdict, concrete_data_plane, concrete_verdict, refined_verdict};
 use crate::sweep::{canonical_abstract_solution, RefinementProvenance, ScenarioRefinement};
 use bonsai_config::{print_network, BuiltTopology, NetworkConfig};
 use bonsai_core::compress::{compress, refine_ec_with_split, CompressionReport};
@@ -80,6 +131,12 @@ use std::sync::{Arc, Mutex};
 
 /// The per-`(class index, scenario)` verdict memo behind a [`Session`].
 type VerdictMemo = HashMap<(usize, FailureScenario), Arc<Vec<bool>>>;
+
+/// Key of the path-query memo: `(src, dst, scenario, sorted waypoints)`.
+type PathKey = (NodeId, NodeId, FailureScenario, Vec<NodeId>);
+
+/// The memo behind [`Session::path`].
+type PathMemo = HashMap<PathKey, Arc<Vec<PathAnswer>>>;
 
 /// Envelope kind of a serialized session snapshot.
 pub const SESSION_SNAPSHOT_KIND: &str = "bonsai/session";
@@ -365,6 +422,110 @@ impl SessionBuilder {
             });
         }
 
+        // The persistent answer tier (optional, additive — absent in
+        // snapshots written before it existed): reload every memoized
+        // verdict and path answer verbatim, so previously-seen queries
+        // never reach the solver after a restart.
+        let n_nodes = topo.graph.node_count();
+        let mut verdicts: VerdictMemo = HashMap::new();
+        let mut paths: PathMemo = HashMap::new();
+        let mut restored_answers = 0usize;
+        let rep_index: HashMap<String, usize> = report
+            .per_ec
+            .iter()
+            .take(n_ecs)
+            .enumerate()
+            .map(|(i, c)| (c.ec.rep.to_string(), i))
+            .collect();
+        let resolve = |n: &str| {
+            topo.graph
+                .node_by_name(n)
+                .ok_or_else(|| SessionError::Snapshot(format!("snapshot names unknown device {n}")))
+        };
+        let scenario_from = |links: Option<&Json>| {
+            let names = parse_name_pairs(links)
+                .ok_or_else(|| SessionError::Snapshot("malformed snapshot links".into()))?;
+            let mut pairs = Vec::with_capacity(names.len());
+            for (a, b) in &names {
+                pairs.push((resolve(a)?, resolve(b)?));
+            }
+            Ok(FailureScenario::new(
+                canonical_links(&topo.graph, &pairs).map_err(|(u, v)| {
+                    SessionError::Snapshot(format!(
+                        "snapshot names a link this network lacks: {u} -- {v}"
+                    ))
+                })?,
+            ))
+        };
+        for doc in payload
+            .get("verdicts")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+        {
+            let rep = doc.get("rep").and_then(Json::as_str).unwrap_or("");
+            let Some(&i) = rep_index.get(rep) else {
+                continue;
+            };
+            for entry in doc.get("entries").and_then(Json::as_arr).unwrap_or(&[]) {
+                let scenario = scenario_from(entry.get("links"))?;
+                let bits = entry
+                    .get("bits")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| SessionError::Snapshot("verdict entry has no bits".into()))?;
+                let verdict = parse_bits(bits, n_nodes).ok_or_else(|| {
+                    SessionError::Snapshot(format!(
+                        "verdict bits for {rep} are not {n_nodes} of '0'/'1'"
+                    ))
+                })?;
+                verdicts.insert((i, scenario), Arc::new(verdict));
+                restored_answers += 1;
+            }
+        }
+        for doc in payload.get("paths").and_then(Json::as_arr).unwrap_or(&[]) {
+            let name = |key: &str| {
+                doc.get(key)
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| SessionError::Snapshot(format!("path entry has no {key}")))
+            };
+            let src = resolve(name("src")?)?;
+            let dst = resolve(name("dst")?)?;
+            let scenario = scenario_from(doc.get("links"))?;
+            let mut waypoints = Vec::new();
+            for w in doc
+                .get("waypoints")
+                .and_then(Json::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(Json::as_str)
+            {
+                waypoints.push(resolve(w)?);
+            }
+            waypoints.sort_unstable();
+            waypoints.dedup();
+            let mut answers = Vec::new();
+            for a in doc.get("answers").and_then(Json::as_arr).unwrap_or(&[]) {
+                let prefix = a
+                    .get("prefix")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| SessionError::Snapshot("path answer has no prefix".into()))?
+                    .to_string();
+                let lengths = a.get("lengths").and_then(Json::as_arr).map(|arr| {
+                    arr.iter()
+                        .filter_map(Json::as_f64)
+                        .map(|x| x as usize)
+                        .collect::<Vec<usize>>()
+                });
+                let waypointed = a.get("waypointed").and_then(Json::as_bool);
+                answers.push(PathAnswer {
+                    prefix,
+                    lengths,
+                    waypointed,
+                });
+            }
+            paths.insert((src, dst, scenario, waypoints), Arc::new(answers));
+            restored_answers += 1;
+        }
+
         let scenarios = ScenarioStream::new(&topo.graph, k).to_vec();
         Ok(Session {
             summary: SweepSummary {
@@ -375,6 +536,7 @@ impl SessionBuilder {
                 symmetric_transfers: 0,
                 refinements: planes.iter().map(|p| p.refinements.len()).sum(),
                 restored,
+                restored_answers,
             },
             network: self.network,
             topo,
@@ -383,7 +545,8 @@ impl SessionBuilder {
             scenarios,
             fingerprint,
             options: self.options,
-            verdicts: Mutex::new(HashMap::new()),
+            verdicts: Mutex::new(verdicts),
+            paths: Mutex::new(paths),
             queries: AtomicUsize::new(0),
             verdict_cache_hits: AtomicUsize::new(0),
             solve_stats: Mutex::new(QueryStats::default()),
@@ -408,6 +571,10 @@ pub struct SweepSummary {
     pub refinements: usize,
     /// Refinements rebuilt from a snapshot (0 on cold builds).
     pub restored: usize,
+    /// Memoized answers (verdicts + path results) reloaded from a
+    /// snapshot's answer tier (0 on cold builds and on snapshots
+    /// predating the tier).
+    pub restored_answers: usize,
 }
 
 /// Per-class query state.
@@ -435,6 +602,8 @@ pub struct Session {
     summary: SweepSummary,
     /// Memoized per-(class, scenario) verdicts.
     verdicts: Mutex<VerdictMemo>,
+    /// Memoized path-property answers ([`Session::path`]).
+    paths: Mutex<PathMemo>,
     queries: AtomicUsize,
     verdict_cache_hits: AtomicUsize,
     solve_stats: Mutex<QueryStats>,
@@ -501,6 +670,7 @@ impl Session {
                 .map(|e| e.report.refinements.len())
                 .sum(),
             restored: 0,
+            restored_answers: 0,
         };
         let distances = Arc::new(NodeDistances::of_graph(&topo.graph));
         let mut planes = Vec::with_capacity(sweep.per_ec.len());
@@ -541,6 +711,7 @@ impl Session {
             options,
             summary,
             verdicts: Mutex::new(HashMap::new()),
+            paths: Mutex::new(HashMap::new()),
             queries: AtomicUsize::new(0),
             verdict_cache_hits: AtomicUsize::new(0),
             solve_stats: Mutex::new(QueryStats::default()),
@@ -754,6 +925,78 @@ impl Session {
         Ok(answer)
     }
 
+    /// Path properties of the delivering `src → dst` forwarding paths
+    /// with the given links failed: the set of path lengths (`None` when
+    /// forwarding loops) and, if `waypoints` is non-empty, whether every
+    /// path crosses at least one waypoint — the §4.4 checkers of the
+    /// paper, served per destination class of `dst`.
+    ///
+    /// Answered by one memoized concrete data-plane build per class (path
+    /// shape is a concrete-topology property, so the abstraction cache
+    /// does not apply); repeats are served from the memo with zero solver
+    /// work, and the memo persists across [`Session::snapshot_json`] /
+    /// [`SessionBuilder::restore`].
+    pub fn path(
+        &self,
+        src: &str,
+        dst: &str,
+        links: &[(String, String)],
+        waypoints: &[String],
+    ) -> Result<Vec<PathAnswer>, SessionError> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let src = self.node(src)?;
+        let dst = self.node(dst)?;
+        let scenario = self.scenario_of(links)?;
+        let mut points = Vec::with_capacity(waypoints.len());
+        for w in waypoints {
+            points.push(self.node(w)?);
+        }
+        points.sort_unstable();
+        points.dedup();
+        let key: PathKey = (src, dst, scenario, points);
+        if let Some(v) = self.paths.lock().unwrap().get(&key) {
+            self.verdict_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(v.as_ref().clone());
+        }
+        let (_, _, scenario, points) = &key;
+        let mask = if scenario.is_empty() {
+            None
+        } else {
+            Some(scenario.mask(&self.topo.graph))
+        };
+        let waypoint_set: BTreeSet<NodeId> = points.iter().copied().collect();
+        let cap = self.topo.graph.node_count().max(1);
+        let mut stats = QueryStats::default();
+        let mut answers = Vec::new();
+        for i in 0..self.planes.len() {
+            let ec = &self.report.per_ec[i].ec;
+            if !ec.origins.iter().any(|(n, _)| *n == dst) {
+                continue;
+            }
+            let (data, origins) =
+                concrete_data_plane(&self.network, &self.topo, ec, mask.as_ref(), &mut stats)
+                    .map_err(|e| SessionError::Solve(e.to_string()))?;
+            let analysis = SolutionAnalysis::new(&self.topo.graph, &data, &origins);
+            let lengths = analysis
+                .path_lengths(src, cap)
+                .map(|set| set.into_iter().collect::<Vec<usize>>());
+            let waypointed = if waypoint_set.is_empty() {
+                None
+            } else {
+                Some(analysis.waypointed(src, &waypoint_set))
+            };
+            answers.push(PathAnswer {
+                prefix: ec.rep.to_string(),
+                lengths,
+                waypointed,
+            });
+        }
+        self.solve_stats.lock().unwrap().absorb(&stats);
+        let answers = Arc::new(answers);
+        self.paths.lock().unwrap().insert(key, answers.clone());
+        Ok(answers.as_ref().clone())
+    }
+
     /// Answers a batch concurrently, fanned out over the shared
     /// lock-free driver ([`bonsai_core::fanout::fan_out`]). Answers come
     /// back in request order.
@@ -776,6 +1019,12 @@ impl Session {
             }
             QueryRequest::Sweep { src, dst } => self.sweep_reach(src, dst).map(QueryAnswer::Sweep),
             QueryRequest::AllPairs { links } => self.all_pairs(links).map(QueryAnswer::AllPairs),
+            QueryRequest::Path {
+                src,
+                dst,
+                links,
+                waypoints,
+            } => self.path(src, dst, links, waypoints).map(QueryAnswer::Path),
         }
     }
 
@@ -829,6 +1078,99 @@ impl Session {
             }
             payload.push_str("]}");
         }
+        payload.push(']');
+
+        // The answer tier: both memos, in deterministic (sorted) order so
+        // identical sessions snapshot byte-identically.
+        let graph = &self.topo.graph;
+        let links_json = |s: &FailureScenario| {
+            let parts: Vec<String> = s
+                .links
+                .iter()
+                .map(|&(u, v)| {
+                    format!(
+                        "[\"{}\", \"{}\"]",
+                        json_escape(graph.name(u)),
+                        json_escape(graph.name(v))
+                    )
+                })
+                .collect();
+            parts.join(", ")
+        };
+        let verdicts = self.verdicts.lock().unwrap();
+        let mut by_class: BTreeMap<usize, BTreeMap<&FailureScenario, &Arc<Vec<bool>>>> =
+            BTreeMap::new();
+        for ((i, scenario), verdict) in verdicts.iter() {
+            by_class.entry(*i).or_default().insert(scenario, verdict);
+        }
+        payload.push_str(", \"verdicts\": [");
+        for (j, (i, entries)) in by_class.iter().enumerate() {
+            if j > 0 {
+                payload.push_str(", ");
+            }
+            payload.push_str(&format!(
+                "{{\"rep\": \"{}\", \"entries\": [",
+                json_escape(&self.report.per_ec[*i].ec.rep.to_string())
+            ));
+            for (j, (scenario, verdict)) in entries.iter().enumerate() {
+                if j > 0 {
+                    payload.push_str(", ");
+                }
+                payload.push_str(&format!(
+                    "{{\"links\": [{}], \"bits\": \"{}\"}}",
+                    links_json(scenario),
+                    bits_string(verdict)
+                ));
+            }
+            payload.push_str("]}");
+        }
+        payload.push(']');
+        let paths = self.paths.lock().unwrap();
+        let sorted_paths: BTreeMap<&PathKey, &Arc<Vec<PathAnswer>>> = paths.iter().collect();
+        payload.push_str(", \"paths\": [");
+        for (j, ((src, dst, scenario, waypoints), answers)) in sorted_paths.iter().enumerate() {
+            if j > 0 {
+                payload.push_str(", ");
+            }
+            let points: Vec<String> = waypoints
+                .iter()
+                .map(|&w| format!("\"{}\"", json_escape(graph.name(w))))
+                .collect();
+            payload.push_str(&format!(
+                "{{\"src\": \"{}\", \"dst\": \"{}\", \"links\": [{}], \"waypoints\": [{}], \
+                 \"answers\": [",
+                json_escape(graph.name(*src)),
+                json_escape(graph.name(*dst)),
+                links_json(scenario),
+                points.join(", ")
+            ));
+            for (j, a) in answers.iter().enumerate() {
+                if j > 0 {
+                    payload.push_str(", ");
+                }
+                let lengths = match &a.lengths {
+                    Some(ls) => format!(
+                        "[{}]",
+                        ls.iter()
+                            .map(|l| l.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                    None => "null".to_string(),
+                };
+                let waypointed = match a.waypointed {
+                    Some(w) => w.to_string(),
+                    None => "null".to_string(),
+                };
+                payload.push_str(&format!(
+                    "{{\"prefix\": \"{}\", \"lengths\": {}, \"waypointed\": {}}}",
+                    json_escape(&a.prefix),
+                    lengths,
+                    waypointed
+                ));
+            }
+            payload.push_str("]}");
+        }
         payload.push_str("]}");
         write_envelope(
             SESSION_SNAPSHOT_KIND,
@@ -868,6 +1210,19 @@ pub struct SweepAnswer {
     pub scenarios: usize,
 }
 
+/// One prefix's path properties under one scenario ([`Session::path`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathAnswer {
+    /// The destination class's representative prefix.
+    pub prefix: String,
+    /// Sorted distinct hop counts of the delivering `src → dst` paths;
+    /// `None` when the forwarding graph loops from `src`.
+    pub lengths: Option<Vec<usize>>,
+    /// Whether every path crosses a requested waypoint; `None` when the
+    /// query named no waypoints.
+    pub waypointed: Option<bool>,
+}
+
 /// All-pairs delivery counts under one scenario.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AllPairsAnswer {
@@ -901,6 +1256,17 @@ pub enum QueryRequest {
         /// Failed links, by endpoint names.
         links: Vec<(String, String)>,
     },
+    /// [`Session::path`].
+    Path {
+        /// Source device name.
+        src: String,
+        /// Destination device name.
+        dst: String,
+        /// Failed links, by endpoint names.
+        links: Vec<(String, String)>,
+        /// Waypoint device names (may be empty).
+        waypoints: Vec<String>,
+    },
 }
 
 /// A structured answer, mirroring [`QueryRequest`].
@@ -912,6 +1278,28 @@ pub enum QueryAnswer {
     Sweep(Vec<SweepAnswer>),
     /// Answer to a [`QueryRequest::AllPairs`].
     AllPairs(AllPairsAnswer),
+    /// Answer to a [`QueryRequest::Path`].
+    Path(Vec<PathAnswer>),
+}
+
+/// Renders a verdict as one `'1'`/`'0'` per node, in node order.
+fn bits_string(bits: &[bool]) -> String {
+    bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+/// Parses a [`bits_string`] of exactly `n` bits; `None` on any other
+/// length or character.
+fn parse_bits(s: &str, n: usize) -> Option<Vec<bool>> {
+    if s.len() != n {
+        return None;
+    }
+    s.chars()
+        .map(|c| match c {
+            '1' => Some(true),
+            '0' => Some(false),
+            _ => None,
+        })
+        .collect()
 }
 
 /// FNV-1a over a string, as 16 hex digits — the network fingerprint.
@@ -1041,6 +1429,64 @@ mod tests {
         assert_eq!(warm_session.stats().sweep.derivations, 0);
         let warm = warm_session.sweep_reach("a", "d").unwrap();
         assert_eq!(cold, warm, "restored session answers byte-identically");
+    }
+
+    #[test]
+    fn path_answers_lengths_and_waypoints_and_memoizes() {
+        let s = gadget_session();
+        let a = s
+            .path("a", "d", &[], &["b1".into(), "b2".into(), "b3".into()])
+            .unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].lengths.as_deref(), Some(&[2][..]), "a→bX→d");
+        assert_eq!(a[0].waypointed, Some(true), "every path crosses a b");
+        let no_points = s.path("a", "d", &[], &[]).unwrap();
+        assert_eq!(no_points[0].waypointed, None, "no waypoints asked");
+        // Waypointing through a node the paths avoid is refuted.
+        let wrong = s
+            .path("a", "d", &[("a".into(), "b1".into())], &["b1".into()])
+            .unwrap();
+        assert_eq!(wrong[0].waypointed, Some(false));
+        let before = s.stats();
+        let again = s
+            .path("a", "d", &[], &["b2".into(), "b1".into(), "b3".into()])
+            .unwrap();
+        let after = s.stats();
+        assert_eq!(a, again, "waypoint order does not matter");
+        assert_eq!(after.solver_updates, before.solver_updates, "memoized");
+        assert!(after.verdict_cache_hits > before.verdict_cache_hits);
+    }
+
+    #[test]
+    fn snapshot_restores_answer_warm() {
+        let s = gadget_session();
+        let reach = s.reach("a", "d", &[("b1".into(), "d".into())]).unwrap();
+        let paths = s
+            .path("a", "d", &[], &["b1".into(), "b2".into(), "b3".into()])
+            .unwrap();
+        let snap = s.snapshot_json();
+        let warm = Session::builder(bonsai_srp::papernets::figure2_gadget())
+            .threads(2)
+            .restore(&snap)
+            .expect("snapshot restores");
+        assert!(
+            warm.stats().sweep.restored_answers > 0,
+            "answer tier loaded"
+        );
+        let before = warm.stats();
+        let reach2 = warm.reach("a", "d", &[("b1".into(), "d".into())]).unwrap();
+        let paths2 = warm
+            .path("a", "d", &[], &["b1".into(), "b2".into(), "b3".into()])
+            .unwrap();
+        let after = warm.stats();
+        assert_eq!(reach, reach2);
+        assert_eq!(paths, paths2);
+        assert_eq!(after.solver_updates, before.solver_updates, "zero solves");
+        assert_eq!(after.abstract_solves, before.abstract_solves);
+        assert_eq!(after.concrete_solves, before.concrete_solves);
+        assert!(after.verdict_cache_hits > before.verdict_cache_hits);
+        // A warm snapshot round-trips byte-identically.
+        assert_eq!(snap, warm.snapshot_json(), "snapshot is deterministic");
     }
 
     #[test]

@@ -377,16 +377,19 @@ pub(crate) fn abstract_verdict(
         .collect())
 }
 
-/// Per-node verdict of one concrete masked simulation — the fallback path
-/// for scenarios no refinement covers, shared by [`SimEngine`] and the
-/// resident [`crate::session::Session`].
-pub(crate) fn concrete_verdict(
+/// The concrete data plane of one class under a mask: the masked
+/// control-plane fixpoint with ACL-dropped edges pruned, plus the class's
+/// origin set. Counts one concrete solve into `stats`. Shared by the
+/// per-node verdict below and the resident session's path-property
+/// queries ([`crate::session::Session::path`]), so "what the data plane
+/// looks like under this scenario" has exactly one definition.
+pub(crate) fn concrete_data_plane(
     network: &NetworkConfig,
     topo: &BuiltTopology,
     ec: &DestEc,
     mask: Option<&FailureMask>,
     stats: &mut QueryStats,
-) -> Result<Vec<bool>, SolveError> {
+) -> Result<(Solution<RibAttr>, Vec<NodeId>), SolveError> {
     let ec_dest = ec.to_ec_dest();
     let origins: Vec<NodeId> = ec_dest.origins.iter().map(|(n, _)| *n).collect();
     let proto = MultiProtocol::build(network, topo, &ec_dest);
@@ -401,6 +404,20 @@ pub(crate) fn concrete_verdict(
     for fwd in data.fwd.iter_mut() {
         fwd.retain(|&e| edge_passes_acls(network, topo, e, range));
     }
+    Ok((data, origins))
+}
+
+/// Per-node verdict of one concrete masked simulation — the fallback path
+/// for scenarios no refinement covers, shared by [`SimEngine`] and the
+/// resident [`crate::session::Session`].
+pub(crate) fn concrete_verdict(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    ec: &DestEc,
+    mask: Option<&FailureMask>,
+    stats: &mut QueryStats,
+) -> Result<Vec<bool>, SolveError> {
+    let (data, origins) = concrete_data_plane(network, topo, ec, mask, stats)?;
     let analysis = SolutionAnalysis::new(&topo.graph, &data, &origins);
     Ok(topo
         .graph

@@ -11,11 +11,14 @@
 //!                                        # network-level refinement sweep
 //! bonsai failures --merge <shard.json>... [--json [path]]
 //!                                        # reassemble sharded sweep documents
-//! bonsai serve    <network.cfg> --socket <path> [--failures k] [--threads n]
-//!                 [--pruned] [--snapshot <path>]
-//!                                        # run bonsaid on a Unix socket
-//! bonsai query    --socket <path> [--ping] [--stats] [--shutdown]
-//!                 [--reach <src>:<dst>] [--sweep <src>:<dst>] [--all-pairs]
+//! bonsai serve    <network.cfg> [--socket <path>] [--tcp <addr>]
+//!                 [--failures k] [--threads n] [--pruned] [--snapshot <path>]
+//!                 [--max-inflight n] [--max-request-bytes n] [--max-batch n]
+//!                 [--max-requests n] [--idle-timeout secs]
+//!                                        # run bonsaid (socket and/or TCP)
+//! bonsai query    (--socket <path> | --tcp <addr>) [--ping] [--stats]
+//!                 [--shutdown] [--reach <src>:<dst>] [--sweep <src>:<dst>]
+//!                 [--path <src>:<dst> [--via <node>]...] [--all-pairs]
 //!                 [--fail <u>:<v>]... ['{"op": ...}']...
 //!                                        # talk to a running bonsaid
 //! ```
@@ -48,13 +51,16 @@
 //! a config set once (building the compressed session, or restoring it
 //! warm from `--snapshot` when that file exists — and saving one there
 //! after a cold build) and answers the `bonsai_daemon` line-JSON protocol
-//! until a `shutdown` request; `query` is the matching client and needs
-//! no network file.
+//! on the Unix socket and/or TCP listener until a `shutdown` request,
+//! re-saving the snapshot *answer-warm* on the way out; the `--max-*` and
+//! `--idle-timeout` flags set the serving limits documented in
+//! `docs/PROTOCOL.md` (`--idle-timeout 0` never reaps). `query` is the
+//! matching client and needs no network file.
 
 use bonsai::cli::{FailuresDoc, QueryDoc};
 use bonsai::core::compress::{compress, CompressOptions};
 use bonsai::core::roles::{count_roles, RoleOptions};
-use bonsai::daemon::{Client, Server};
+use bonsai::daemon::{Client, Server, ServerOptions};
 use bonsai::verify::equivalence::check_cp_equivalence_under_h;
 use bonsai::verify::netsweep::{sweep_network, NetworkSweepOptions, NetworkSweepReport, ShardSpec};
 use bonsai::verify::query::QueryCtx;
@@ -700,21 +706,40 @@ fn cmd_serve(
     compress_options: CompressOptions,
     args: &[String],
 ) -> ExitCode {
-    let (socket, k, threads, snapshot) = match (
-        str_flag(args, "--socket"),
-        usize_flag(args, "--failures", 1),
-        usize_flag(args, "--threads", 0),
-        str_flag(args, "--snapshot"),
-    ) {
-        (Ok(s), Ok(k), Ok(t), Ok(snap)) => (s, k, t, snap),
-        (Err(e), _, _, _) | (_, Err(e), _, _) | (_, _, Err(e), _) | (_, _, _, Err(e)) => {
+    let parsed = (|| -> Result<_, String> {
+        let socket = str_flag(args, "--socket")?;
+        let tcp = str_flag(args, "--tcp")?;
+        let k = usize_flag(args, "--failures", 1)?;
+        let threads = usize_flag(args, "--threads", 0)?;
+        let snapshot = str_flag(args, "--snapshot")?;
+        let defaults = ServerOptions::default();
+        let server_options = ServerOptions {
+            max_request_bytes: usize_flag(args, "--max-request-bytes", defaults.max_request_bytes)?,
+            max_batch: usize_flag(args, "--max-batch", defaults.max_batch)?,
+            max_inflight: usize_flag(args, "--max-inflight", defaults.max_inflight)?,
+            max_requests_per_conn: usize_flag(
+                args,
+                "--max-requests",
+                defaults.max_requests_per_conn,
+            )?,
+            // 0 = never reap.
+            idle_timeout: match usize_flag(args, "--idle-timeout", 300)? {
+                0 => None,
+                secs => Some(std::time::Duration::from_secs(secs as u64)),
+            },
+            write_timeout: defaults.write_timeout,
+        };
+        if socket.is_none() && tcp.is_none() {
+            return Err("serve needs --socket <path> and/or --tcp <addr>".into());
+        }
+        Ok((socket, tcp, k, threads, snapshot, server_options))
+    })();
+    let (socket, tcp, k, threads, snapshot, server_options) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
             eprintln!("{e}");
             return ExitCode::from(2);
         }
-    };
-    let Some(socket) = socket else {
-        eprintln!("serve needs --socket <path>");
-        return ExitCode::from(2);
     };
     let pruned = args.iter().any(|a| a == "--pruned");
     let session_options = bonsai::verify::session::SessionOptions {
@@ -764,27 +789,62 @@ fn cmd_serve(
     }
 
     let stats = session.stats();
-    println!(
-        "bonsaid: {} classes, k={}, {} scenarios swept, {} refinements ({}), listening on {socket}",
+    let summary = format!(
+        "bonsaid: {} classes, k={}, {} scenarios swept, {} refinements ({})",
         session.classes(),
         session.max_failures(),
         stats.sweep.scenarios_swept,
         stats.sweep.refinements,
         if stats.sweep.restored > 0 {
-            format!("{} restored from snapshot", stats.sweep.restored)
+            format!(
+                "{} restored from snapshot, {} answers warm",
+                stats.sweep.restored, stats.sweep.restored_answers
+            )
         } else {
             format!("{} derived", stats.sweep.derivations)
         },
     );
-    let server = match Server::bind(session, Path::new(&socket)) {
+    let server = match &socket {
+        Some(path) => {
+            Server::bind_with(session, Path::new(path), server_options).and_then(|s| match &tcp {
+                Some(addr) => s.with_tcp(addr),
+                None => Ok(s),
+            })
+        }
+        None => Server::bind_tcp_with(session, tcp.as_deref().unwrap(), server_options),
+    };
+    let server = match server {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("cannot bind {socket}: {e}");
+            eprintln!("cannot bind: {e}");
             return ExitCode::from(1);
         }
     };
+    let mut endpoints = Vec::new();
+    if let Some(path) = &socket {
+        endpoints.push(path.clone());
+    }
+    if let Some(addr) = server.tcp_addr() {
+        endpoints.push(format!("tcp {addr}"));
+    }
+    println!("{summary}, listening on {}", endpoints.join(" + "));
+    // Keep a handle so the snapshot can be re-saved *warm* after the
+    // drain: by then the memo tier holds every answer served, so the next
+    // restart replays them without touching the solver.
+    let resident = server.session();
     match server.run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => {
+            if let Some(p) = &snapshot_path {
+                match resident.save_snapshot(p) {
+                    Ok(n) => println!("wrote warm snapshot {} ({n} bytes)", p.display()),
+                    Err(e) => {
+                        eprintln!("cannot write snapshot {}: {e}", p.display());
+                        return ExitCode::from(1);
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("bonsaid: {e}");
             ExitCode::from(1)
@@ -796,17 +856,17 @@ fn cmd_serve(
 /// the response lines. Requests come from convenience flags, raw JSON
 /// positional arguments, or both (raw lines are sent first, in order).
 fn cmd_query(args: &[String]) -> ExitCode {
-    let socket = match str_flag(args, "--socket") {
-        Ok(Some(s)) => s,
-        Ok(None) => {
-            eprintln!("query needs --socket <path>");
-            return ExitCode::from(2);
-        }
-        Err(e) => {
+    let (socket, tcp) = match (str_flag(args, "--socket"), str_flag(args, "--tcp")) {
+        (Ok(s), Ok(t)) => (s, t),
+        (Err(e), _) | (_, Err(e)) => {
             eprintln!("{e}");
             return ExitCode::from(2);
         }
     };
+    if socket.is_none() && tcp.is_none() {
+        eprintln!("query needs --socket <path> or --tcp <addr>");
+        return ExitCode::from(2);
+    }
     let pair_flag = |name: &str| -> Result<Option<(String, String)>, String> {
         match str_flag(args, name)? {
             None => Ok(None),
@@ -816,8 +876,10 @@ fn cmd_query(args: &[String]) -> ExitCode {
                 .ok_or_else(|| format!("{name} expects <a>:<b>, got `{v}`")),
         }
     };
-    // Every `--fail u:v` adds one failed link to the reach / all-pairs mask.
+    // Every `--fail u:v` adds one failed link to the query masks; every
+    // `--via n` adds one waypoint to the `--path` query.
     let mut fails: Vec<(String, String)> = Vec::new();
+    let mut vias: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--fail" {
@@ -830,6 +892,13 @@ fn cmd_query(args: &[String]) -> ExitCode {
                 return ExitCode::from(2);
             };
             fails.push((u.to_string(), w.to_string()));
+            i += 2;
+        } else if args[i] == "--via" {
+            let Some(v) = args.get(i + 1) else {
+                eprintln!("--via needs a device name");
+                return ExitCode::from(2);
+            };
+            vias.push(v.clone());
             i += 2;
         } else {
             i += 1;
@@ -877,6 +946,28 @@ fn cmd_query(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    match pair_flag("--path") {
+        Ok(Some((src, dst))) => {
+            let waypoints_json = format!(
+                "[{}]",
+                vias.iter()
+                    .map(|w| format!("\"{}\"", json_escape(w)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            lines.push(format!(
+                "{{\"op\": \"path\", \"src\": \"{}\", \"dst\": \"{}\", \
+                 \"links\": {links_json}, \"waypoints\": {waypoints_json}}}",
+                json_escape(&src),
+                json_escape(&dst),
+            ));
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    }
     if args.iter().any(|a| a == "--all-pairs") {
         lines.push(format!(
             "{{\"op\": \"all_pairs\", \"links\": {links_json}}}"
@@ -892,10 +983,17 @@ fn cmd_query(args: &[String]) -> ExitCode {
         lines.push("{\"op\": \"ping\"}".to_string());
     }
 
-    let mut client = match Client::connect(Path::new(&socket)) {
+    let endpoint = socket
+        .clone()
+        .unwrap_or_else(|| tcp.clone().unwrap_or_default());
+    let connected = match &socket {
+        Some(path) => Client::connect(Path::new(path)),
+        None => Client::connect_tcp(tcp.as_deref().unwrap()),
+    };
+    let mut client = match connected {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("cannot connect to {socket}: {e}");
+            eprintln!("cannot connect to {endpoint}: {e}");
             return ExitCode::from(1);
         }
     };
@@ -903,7 +1001,7 @@ fn cmd_query(args: &[String]) -> ExitCode {
         match client.call(line) {
             Ok(response) => println!("{response}"),
             Err(e) => {
-                eprintln!("{socket}: {e}");
+                eprintln!("{endpoint}: {e}");
                 return ExitCode::from(1);
             }
         }

@@ -21,12 +21,14 @@
 //! * [`verify`] — property checkers and the two verification engines.
 //! * [`topo`] — the paper's synthetic and "real" network generators.
 //! * [`daemon`] — `bonsaid`: the resident verification service and its
-//!   Unix-socket query protocol.
+//!   line-JSON query protocol (Unix socket and/or TCP; the wire contract
+//!   is written down in `docs/PROTOCOL.md`, operating it in
+//!   `docs/OPERATIONS.md`).
 //!
 //! Most programs want [`prelude`] (one import, pipeline order) and, for
 //! resident serving, [`Session`] — the compressed network plus its
 //! failure sweep kept warm behind memoizing query handles (`bonsaid`
-//! serves exactly this object over a Unix socket).
+//! serves exactly this object over its listeners).
 //!
 //! ```
 //! use bonsai::core::compress::{compress, CompressOptions};

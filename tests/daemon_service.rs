@@ -1,17 +1,24 @@
 //! Acceptance test for `bonsaid`, the resident verification service.
 //!
 //! Runs the daemon in-process on a fattree-4 [`bonsai::Session`] and checks
-//! the ISSUE 6 service contract end to end:
+//! the service contract end to end:
 //!
 //! * the same query batch sent twice returns **byte-identical** response
 //!   lines, and the second batch triggers **zero** solver updates — every
 //!   answer comes from the session's verdict memo;
+//! * N concurrent connections issuing interleaved batches each get the
+//!   same bytes serial execution produces;
+//! * when the in-flight gate is full, excess queries are shed with
+//!   structured `overloaded` errors — no hangs, no crashes — and service
+//!   recovers once the gate frees;
 //! * a snapshot saved from the warm session restores into a new session
 //!   that serves the **same bytes** without re-deriving any refinement
-//!   (`restored > 0`, `derivations == 0`);
+//!   (`restored > 0`, `derivations == 0`) and — the answer-warm tier —
+//!   replays the previously-seen batch with **zero solver work of any
+//!   kind** (`restored_answers > 0`, solves and updates all flat);
 //! * `shutdown` stops the accept loop and removes the socket file.
 
-use bonsai::daemon::{Client, Server};
+use bonsai::daemon::{Client, Server, ServerOptions};
 use bonsai::prelude::*;
 
 use std::path::PathBuf;
@@ -29,17 +36,19 @@ fn fattree_session() -> Session {
         .expect("fattree-4 session builds")
 }
 
-/// The query batch both halves of the test replay: a failure-free reach,
-/// a reach under a failed core link, a per-scenario sweep, all-pairs
-/// under a mask, plus protocol ops (`ping`, `stats` is deliberately
-/// excluded — its `queries` counter changes between batches).
+/// The query batch the tests replay: a failure-free reach, a reach under
+/// a failed core link, a per-scenario sweep, all-pairs under a mask, a
+/// path/waypoint query, plus protocol ops (`ping`; `stats` is
+/// deliberately excluded — its `queries` counter changes between
+/// batches).
 const BATCH: &[&str] = &[
     r#"{"op": "ping"}"#,
     r#"{"op": "reach", "src": "edge0_0", "dst": "edge1_1"}"#,
     r#"{"op": "reach", "src": "edge0_0", "dst": "edge1_1", "links": [["agg0_0", "core0"]]}"#,
     r#"{"op": "sweep", "src": "edge0_1", "dst": "edge1_0"}"#,
     r#"{"op": "all_pairs", "links": [["core0", "agg1_0"]]}"#,
-    r#"{"op": "batch", "queries": [{"op": "reach", "src": "edge1_1", "dst": "edge0_0"}, {"op": "all_pairs"}]}"#,
+    r#"{"op": "path", "src": "edge0_0", "dst": "edge1_1", "links": [["agg0_0", "core0"]], "waypoints": ["agg1_0", "agg1_1"]}"#,
+    r#"{"op": "batch", "queries": [{"op": "reach", "src": "edge1_1", "dst": "edge0_0"}, {"op": "all_pairs"}, {"op": "path", "src": "edge1_0", "dst": "edge0_1"}]}"#,
 ];
 
 fn run_batch(client: &mut Client) -> Vec<String> {
@@ -79,6 +88,10 @@ fn second_identical_batch_is_byte_identical_and_solve_free() {
         after_second.verdict_cache_hits > after_first.verdict_cache_hits,
         "warm answers must come from the verdict memo"
     );
+    // The path query answered with the expected properties.
+    let path_line = &first[5];
+    assert!(path_line.contains("\"op\": \"path\""), "{path_line}");
+    assert!(path_line.contains("\"waypointed\": true"), "{path_line}");
 
     let bye = client.call(r#"{"op": "shutdown"}"#).expect("shutdown");
     assert!(bye.contains("\"ok\": true"));
@@ -90,8 +103,107 @@ fn second_identical_batch_is_byte_identical_and_solve_free() {
 }
 
 #[test]
+fn concurrent_clients_get_bytes_identical_to_serial_execution() {
+    let path = socket_path("concurrent");
+    let server = Server::bind(fattree_session(), &path).expect("bind");
+    let handle = server.spawn();
+
+    // Serial reference: one connection, one pass (this also warms the
+    // memo, so the concurrent phase exercises the cache under
+    // contention).
+    let mut reference_client = Client::connect(&path).expect("connect");
+    let reference = run_batch(&mut reference_client);
+
+    // N simultaneous connections, each interleaving several batch
+    // passes. Every response on every connection must equal the serial
+    // bytes — concurrency must not change a single answer.
+    const CLIENTS: usize = 4;
+    const PASSES: usize = 3;
+    let all: Vec<Vec<Vec<String>>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let path = &path;
+                scope.spawn(move || {
+                    let mut client = Client::connect(path).expect("connect concurrently");
+                    (0..PASSES).map(|_| run_batch(&mut client)).collect()
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    for (i, passes) in all.iter().enumerate() {
+        for (j, answers) in passes.iter().enumerate() {
+            assert_eq!(
+                answers, &reference,
+                "client {i} pass {j} must match serial execution byte-for-byte"
+            );
+        }
+    }
+
+    reference_client
+        .call(r#"{"op": "shutdown"}"#)
+        .expect("shutdown");
+    handle.join().unwrap().expect("clean exit");
+}
+
+#[test]
+fn overloaded_daemon_sheds_queries_instead_of_hanging() {
+    let path = socket_path("overload");
+    let options = ServerOptions {
+        max_inflight: 1,
+        ..Default::default()
+    };
+    let server = Server::bind_with(fattree_session(), &path, options).expect("bind");
+    let gate = server.gate();
+    let handle = server.spawn();
+
+    // Occupy the only in-flight slot, as a long-running query would.
+    let held = gate.try_acquire().expect("slot free at start");
+
+    // Concurrent clients all get structured overload errors, promptly —
+    // nothing queues behind the busy slot and nothing crashes.
+    const CLIENTS: usize = 4;
+    let sheds: Vec<String> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let path = &path;
+                scope.spawn(move || {
+                    let mut client = Client::connect(path).expect("connect");
+                    client
+                        .call(r#"{"op": "reach", "src": "edge0_0", "dst": "edge1_1"}"#)
+                        .expect("answered, not hung")
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    for shed in &sheds {
+        assert!(
+            shed.contains(r#""code": "overloaded""#),
+            "full gate must shed with a structured error: {shed}"
+        );
+    }
+
+    // Control ops stay answerable while the gate is full...
+    let mut client = Client::connect(&path).expect("connect");
+    let pong = client.call(r#"{"op": "ping"}"#).expect("ping");
+    assert!(pong.contains("\"ok\": true"), "{pong}");
+    // ...and query service recovers the moment the slot frees.
+    drop(held);
+    let ok = client
+        .call(r#"{"op": "reach", "src": "edge0_0", "dst": "edge1_1"}"#)
+        .expect("recovered");
+    assert!(ok.contains("\"delivered\": true"), "{ok}");
+
+    client.call(r#"{"op": "shutdown"}"#).expect("shutdown");
+    handle.join().unwrap().expect("clean exit");
+}
+
+#[test]
 fn snapshot_restores_and_serves_identical_bytes_without_resolving() {
-    // Cold daemon: build, serve the batch, snapshot the warm session.
+    // Cold daemon: build, serve the batch, snapshot the warm session —
+    // the snapshot is taken AFTER the batch, so it carries the answer
+    // memos, not just the refinement cache.
     let cold_path = socket_path("cold");
     let cold_server = Server::bind(fattree_session(), &cold_path).expect("bind cold");
     let cold_session = cold_server.session();
@@ -111,17 +223,36 @@ fn snapshot_restores_and_serves_identical_bytes_without_resolving() {
     let stats = restored.stats();
     assert!(stats.sweep.restored > 0, "restore must reuse refinements");
     assert_eq!(stats.sweep.derivations, 0, "restore must not re-derive");
+    assert!(
+        stats.sweep.restored_answers > 0,
+        "restore must reload the persisted answer memos"
+    );
 
     let warm_path = socket_path("warm");
     let warm_server = Server::bind(restored, &warm_path).expect("bind warm");
+    let warm_session = warm_server.session();
     let warm_handle = warm_server.spawn();
     let mut client = Client::connect(&warm_path).expect("connect warm");
+    let before_replay = warm_session.stats();
     let warm_answers = run_batch(&mut client);
+    let after_replay = warm_session.stats();
     client.call(r#"{"op": "shutdown"}"#).expect("shutdown warm");
     warm_handle.join().unwrap().expect("warm exits cleanly");
 
     assert_eq!(
         cold_answers, warm_answers,
         "a restored daemon must serve byte-identical answers"
+    );
+    // The answer-warm criterion: replaying the previously-seen batch
+    // after a restart performs zero solver work of any kind.
+    assert_eq!(
+        after_replay.solver_updates, before_replay.solver_updates,
+        "replayed batch must trigger zero solver updates"
+    );
+    assert_eq!(after_replay.abstract_solves, before_replay.abstract_solves);
+    assert_eq!(after_replay.concrete_solves, before_replay.concrete_solves);
+    assert!(
+        after_replay.verdict_cache_hits > before_replay.verdict_cache_hits,
+        "replayed answers must come from the restored memos"
     );
 }

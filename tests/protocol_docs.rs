@@ -1,0 +1,61 @@
+//! Pins `docs/PROTOCOL.md` to the daemon's actual surface: every op the
+//! daemon accepts and every error code it can answer must be documented,
+//! and the document must not advertise ops the daemon dropped. Growing
+//! the protocol without updating the written contract fails here.
+
+use bonsai::daemon::{ERROR_CODES, PROTOCOL_OPS};
+
+fn protocol_doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/PROTOCOL.md");
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+#[test]
+fn every_protocol_op_is_documented() {
+    let doc = protocol_doc();
+    let missing: Vec<&str> = PROTOCOL_OPS
+        .iter()
+        .copied()
+        .filter(|op| !doc.contains(&format!("### `{op}`")))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "docs/PROTOCOL.md lacks a `### \\`<op>\\`` section for: {missing:?}"
+    );
+}
+
+#[test]
+fn every_error_code_is_documented() {
+    let doc = protocol_doc();
+    let missing: Vec<&str> = ERROR_CODES
+        .iter()
+        .copied()
+        .filter(|code| !doc.contains(&format!("`{code}`")))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "docs/PROTOCOL.md does not mention error code(s): {missing:?}"
+    );
+}
+
+#[test]
+fn documented_ops_exist() {
+    // The reverse direction: a `### `op`` heading in the ops section for
+    // something the daemon no longer serves is stale documentation.
+    let doc = protocol_doc();
+    let ops_section = doc
+        .split("## Operations")
+        .nth(1)
+        .and_then(|rest| rest.split("## Error responses").next())
+        .expect("PROTOCOL.md keeps its Operations / Error responses sections");
+    for heading in ops_section.lines().filter(|l| l.starts_with("### `")) {
+        let op = heading
+            .trim_start_matches("### `")
+            .trim_end_matches('`')
+            .to_string();
+        assert!(
+            PROTOCOL_OPS.contains(&op.as_str()),
+            "docs/PROTOCOL.md documents `{op}`, which the daemon does not serve"
+        );
+    }
+}
