@@ -332,6 +332,19 @@ impl BddStats {
             self.unique_hits as f64 / self.unique_lookups as f64
         }
     }
+
+    /// Publishes this snapshot into the `bdd.*` registry metrics. The
+    /// counters here are cumulative for the arena's lifetime, so the
+    /// registry mirrors them with `set` (and keeps the node high-water
+    /// mark with `set_max` — a process may hold several arenas).
+    pub fn publish(&self) {
+        bonsai_obs::set("bdd.arena.nodes", self.nodes as u64);
+        bonsai_obs::set_max("bdd.arena.peak_nodes", self.peak_nodes as u64);
+        bonsai_obs::set("bdd.apply.lookups", self.apply_lookups);
+        bonsai_obs::set("bdd.apply.hits", self.apply_hits);
+        bonsai_obs::set("bdd.unique.lookups", self.unique_lookups);
+        bonsai_obs::set("bdd.unique.hits", self.unique_hits);
+    }
 }
 
 /// Default apply-cache size: 2^16 entries (1 MiB).
@@ -385,9 +398,11 @@ impl Bdd {
         self.nodes.len()
     }
 
-    /// Current arena statistics.
+    /// Current arena statistics. Each snapshot is also published into
+    /// the `bdd.*` metrics of the process registry ([`bonsai_obs`]), so
+    /// any caller that reads stats keeps the telemetry surface current.
     pub fn stats(&self) -> BddStats {
-        BddStats {
+        let stats = BddStats {
             nodes: self.nodes.len(),
             peak_nodes: self.nodes.len(),
             apply_lookups: self.apply_cache.lookups,
@@ -395,7 +410,9 @@ impl Bdd {
             unique_lookups: self.unique_lookups,
             unique_hits: self.unique_hits,
             apply_capacity: self.apply_cache.entries.len(),
-        }
+        };
+        stats.publish();
+        stats
     }
 
     /// One of the two constant functions.

@@ -98,6 +98,18 @@ impl EngineStats {
     pub fn reuse_observed(&self) -> bool {
         self.table_hits > 0 || self.sig_hits > 0 || self.stage_hits > 0
     }
+
+    /// Publishes this snapshot into the `engine.*` registry metrics.
+    /// Engine counters are cumulative for the engine's lifetime, so the
+    /// registry mirrors them with `set`.
+    pub fn publish(&self) {
+        bonsai_obs::set("engine.stage.lookups", self.stage_lookups);
+        bonsai_obs::set("engine.stage.hits", self.stage_hits);
+        bonsai_obs::set("engine.sig.lookups", self.sig_lookups);
+        bonsai_obs::set("engine.sig.hits", self.sig_hits);
+        bonsai_obs::set("engine.table.lookups", self.table_lookups);
+        bonsai_obs::set("engine.table.hits", self.table_hits);
+    }
 }
 
 fn ratio(hits: u64, lookups: u64) -> f64 {
@@ -382,11 +394,13 @@ impl CompiledPolicies {
         self.index.get(&c).copied()
     }
 
-    /// A snapshot of the engine statistics.
+    /// A snapshot of the engine statistics. Each snapshot also publishes
+    /// the `engine.*` (and, via [`bonsai_bdd::Bdd::stats`], the `bdd.*`)
+    /// metrics of the process registry ([`bonsai_obs`]).
     pub fn stats(&self) -> EngineStats {
         let inner = self.inner.lock().unwrap();
         let arena: BddStats = inner.ctx.bdd.stats();
-        EngineStats {
+        let stats = EngineStats {
             arena_nodes: arena.nodes,
             arena_peak: arena.peak_nodes,
             apply_lookups: arena.apply_lookups,
@@ -399,7 +413,9 @@ impl CompiledPolicies {
             sig_hits: inner.sig_hits,
             table_lookups: inner.table_lookups,
             table_hits: inner.table_hits,
-        }
+        };
+        stats.publish();
+        stats
     }
 
     /// Destination-independent edge facts, built on first use.

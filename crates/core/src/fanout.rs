@@ -68,6 +68,7 @@ where
             if start >= n {
                 break;
             }
+            bonsai_obs::add("fanout.ranges.claimed", 1);
             let range = start..(start.saturating_add(chunk)).min(n);
             out.push((start, work(&mut state, range)));
         }

@@ -81,8 +81,6 @@ pub use ecs::{compute_ecs, DestEc};
 pub use engine::{CompiledPolicies, EngineStats};
 pub use fanout::{fan_out, fan_out_ranges};
 pub use roles::{count_roles, role_assignment, RoleOptions};
-#[allow(deprecated)]
-pub use scenarios::enumerate_scenarios;
 pub use scenarios::{
     enumerate_scenarios_pruned, link_orbits, FailureScenario, LinkOrbits, OrbitSignature,
     ScenarioStream,

@@ -16,8 +16,8 @@
 //!   `1..=k`, as [`FailureScenario`]s, **lazily**: any rank range of the
 //!   canonical enumeration order (size-major, then lexicographic by link
 //!   index) materializes via combination unranking without enumerating
-//!   its predecessors. The deprecated `enumerate_scenarios` is its
-//!   `to_vec`.
+//!   its predecessors. (`to_vec` materializes everything — the shape the
+//!   retired `enumerate_scenarios` entry point had.)
 //! * [`link_orbits`] — groups links into *orbits* by their position in the
 //!   abstraction: two links are in the same orbit when their endpoints lie
 //!   in the same blocks and both directions carry the same compiled
@@ -542,15 +542,6 @@ fn orbit_key(
     }
 }
 
-/// Enumerates every scenario with `1..=k` failed links — exhaustive, no
-/// symmetry reduction. Deterministic order: by failure count, then
-/// lexicographically by link index.
-#[deprecated(note = "materializes all C(L,1)+…+C(L,k) scenarios up front; use \
-            ScenarioStream (iter_range / to_vec) instead")]
-pub fn enumerate_scenarios(graph: &Graph, k: usize) -> Vec<FailureScenario> {
-    ScenarioStream::new(graph, k).to_vec()
-}
-
 /// One size band of a [`ScenarioStream`]: all scenarios with exactly
 /// `size` failed links occupy ranks `start .. start + count`.
 #[derive(Clone, Copy, Debug)]
@@ -690,6 +681,7 @@ impl ScenarioStream {
     /// (clamped to the stream's end): one combination unranking, then
     /// lexicographic successor stepping.
     pub fn iter_range(&self, start: usize, len: usize) -> ScenarioRangeIter<'_> {
+        bonsai_obs::add("scenarios.ranges.unranked", 1);
         let start = (start as u128).min(self.total);
         let end = start.saturating_add(len as u128).min(self.total);
         let remaining = (end - start) as usize;
@@ -716,8 +708,8 @@ impl ScenarioStream {
         self.iter_range(0, self.len())
     }
 
-    /// Materializes the whole stream — exactly what the deprecated
-    /// `enumerate_scenarios` returned.
+    /// Materializes the whole stream (the exhaustive enumeration, in
+    /// canonical order).
     pub fn to_vec(&self) -> Vec<FailureScenario> {
         self.iter().collect()
     }
@@ -798,8 +790,8 @@ fn advance_combination(chosen: &mut [usize], n: usize) -> bool {
     false
 }
 
-/// Number of scenarios [`enumerate_scenarios`] would produce (the
-/// exhaustive count `C(L,1)+…+C(L,k)`), without materializing them.
+/// Number of scenarios the exhaustive enumeration produces (the
+/// count `C(L,1)+…+C(L,k)`), without materializing them.
 /// Saturates at `usize::MAX`.
 pub fn exhaustive_scenario_count(num_links: usize, k: usize) -> usize {
     let mut total = 0usize;
@@ -1221,10 +1213,6 @@ mod tests {
             let oracle = enumerate_oracle(&topo.graph, k);
             assert_eq!(stream.len(), oracle.len(), "k={k}");
             assert_eq!(stream.to_vec(), oracle, "k={k}");
-            // The deprecated entry point is the stream's to_vec.
-            #[allow(deprecated)]
-            let legacy = enumerate_scenarios(&topo.graph, k);
-            assert_eq!(legacy, oracle, "k={k}");
         }
     }
 

@@ -150,6 +150,78 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// An ordered single-line JSON object builder: fields render in
+/// insertion order, exactly once, with no trailing whitespace — the
+/// byte-deterministic shape the daemon's line protocol and the snapshot
+/// writers both promise. Build with the typed `field_*` methods and
+/// [`JsonObj::finish`]:
+///
+/// ```
+/// use bonsai_core::snapshot::JsonObj;
+///
+/// let mut obj = JsonObj::new();
+/// obj.field_bool("ok", true);
+/// obj.field_str("op", "ping");
+/// obj.field_u64("queries", 3);
+/// assert_eq!(obj.finish(), r#"{"ok": true, "op": "ping", "queries": 3}"#);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    /// An empty object (`{}` if finished immediately).
+    pub fn new() -> JsonObj {
+        JsonObj { buf: String::new() }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push_str(", ");
+        }
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(name));
+        self.buf.push_str("\": ");
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn field_u64(&mut self, name: &str, value: u64) -> &mut JsonObj {
+        self.key(name);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn field_bool(&mut self, name: &str, value: bool) -> &mut JsonObj {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Appends a string field, escaping the value.
+    pub fn field_str(&mut self, name: &str, value: &str) -> &mut JsonObj {
+        self.key(name);
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// Appends a field whose value is already-rendered JSON (a nested
+    /// object, array, or number the caller formatted).
+    pub fn field_raw(&mut self, name: &str, value: &str) -> &mut JsonObj {
+        self.key(name);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Closes the object and returns the rendered line.
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
 /// The one top-level schema identifier shared by every snapshot.
 pub const ENVELOPE_SCHEMA: &str = "bonsai/envelope-v1";
 
@@ -547,5 +619,28 @@ mod tests {
         assert!(err.contains("kind mismatch"), "{err}");
         let err = Envelope::parse_expecting(&doc, "bench/compress", 2).unwrap_err();
         assert!(err.contains("version mismatch"), "{err}");
+    }
+
+    #[test]
+    fn json_obj_renders_in_insertion_order_and_roundtrips() {
+        let mut obj = JsonObj::new();
+        obj.field_bool("ok", false)
+            .field_str("code", "bad_request")
+            .field_str("error", "tab\there \"quoted\"")
+            .field_u64("n", 42)
+            .field_raw("nested", "{\"a\": 1}");
+        let line = obj.finish();
+        assert_eq!(
+            line,
+            "{\"ok\": false, \"code\": \"bad_request\", \
+             \"error\": \"tab\\there \\\"quoted\\\"\", \"n\": 42, \"nested\": {\"a\": 1}}"
+        );
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(
+            parsed.get("error").and_then(Json::as_str),
+            Some("tab\there \"quoted\"")
+        );
+        assert_eq!(parsed.get("n").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(JsonObj::new().finish(), "{}");
     }
 }

@@ -26,6 +26,7 @@
 //! |----|----------------|-----------------|
 //! | `ping` | — | `classes`, `k` |
 //! | `stats` | — | counters + `sweep` object ([`Session::stats`]) |
+//! | `metrics` | — | `content_type`, `body`: Prometheus text exposition |
 //! | `reach` | `src`, `dst`, `links?` | `answers`: `{prefix, delivered}` |
 //! | `sweep` | `src`, `dst` | `answers`: `{prefix, delivered, scenarios}` |
 //! | `all_pairs` | `links?` | `delivered`, `unreachable` |
@@ -86,7 +87,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use bonsai_core::snapshot::{json_escape, Json};
+use bonsai_core::snapshot::{json_escape, Json, JsonObj};
 use bonsai_verify::session::{QueryAnswer, QueryRequest, Session, SessionError, SessionStats};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -102,6 +103,7 @@ use std::time::Duration;
 pub const PROTOCOL_OPS: &[&str] = &[
     "ping",
     "stats",
+    "metrics",
     "reach",
     "sweep",
     "all_pairs",
@@ -362,43 +364,59 @@ pub fn render_result(result: &Result<QueryAnswer, SessionError>) -> String {
     }
 }
 
-/// Renders [`Session::stats`] as the `stats` response object.
+/// Renders [`Session::stats`] as the `stats` response object. Key order
+/// is the wire contract: the memo-size gauges are *trailing* fields per
+/// the protocol's additive-evolution policy.
 pub fn render_stats(s: &SessionStats) -> String {
-    format!(
-        "{{\"ok\": true, \"op\": \"stats\", \"classes\": {}, \"k\": {}, \"scenarios\": {}, \
-         \"queries\": {}, \"verdict_cache_hits\": {}, \"abstract_solves\": {}, \
-         \"concrete_solves\": {}, \"solver_updates\": {}, \"cached_answers\": {}, \
-         \"sweep\": {{\"scenarios_swept\": {}, \"derivations\": {}, \"exact_transfers\": {}, \
-         \"symmetric_transfers\": {}, \"refinements\": {}, \"restored\": {}, \
-         \"restored_answers\": {}}}}}",
-        s.classes,
-        s.k,
-        s.scenarios,
-        s.queries,
-        s.verdict_cache_hits,
-        s.abstract_solves,
-        s.concrete_solves,
-        s.solver_updates,
-        s.cached_answers,
-        s.sweep.scenarios_swept,
-        s.sweep.derivations,
-        s.sweep.exact_transfers,
-        s.sweep.symmetric_transfers,
-        s.sweep.refinements,
-        s.sweep.restored,
-        s.sweep.restored_answers,
-    )
+    let mut sweep = JsonObj::new();
+    sweep
+        .field_u64("scenarios_swept", s.sweep.scenarios_swept as u64)
+        .field_u64("derivations", s.sweep.derivations as u64)
+        .field_u64("exact_transfers", s.sweep.exact_transfers as u64)
+        .field_u64("symmetric_transfers", s.sweep.symmetric_transfers as u64)
+        .field_u64("refinements", s.sweep.refinements as u64)
+        .field_u64("restored", s.sweep.restored as u64)
+        .field_u64("restored_answers", s.sweep.restored_answers as u64);
+    let mut obj = JsonObj::new();
+    obj.field_bool("ok", true)
+        .field_str("op", "stats")
+        .field_u64("classes", s.classes as u64)
+        .field_u64("k", s.k as u64)
+        .field_u64("scenarios", s.scenarios as u64)
+        .field_u64("queries", s.queries as u64)
+        .field_u64("verdict_cache_hits", s.verdict_cache_hits as u64)
+        .field_u64("abstract_solves", s.abstract_solves as u64)
+        .field_u64("concrete_solves", s.concrete_solves as u64)
+        .field_u64("solver_updates", s.solver_updates as u64)
+        .field_u64("cached_answers", s.cached_answers as u64)
+        .field_raw("sweep", &sweep.finish())
+        .field_u64("verdict_memo", s.verdict_memo as u64)
+        .field_u64("path_memo", s.path_memo as u64);
+    obj.finish()
+}
+
+/// Renders the `metrics` response: the whole process-wide registry as
+/// Prometheus text exposition, carried as one escaped `body` string
+/// (the line protocol cannot carry raw newlines).
+pub fn render_metrics() -> String {
+    let mut obj = JsonObj::new();
+    obj.field_bool("ok", true)
+        .field_str("op", "metrics")
+        .field_str("content_type", bonsai_obs::PROMETHEUS_CONTENT_TYPE)
+        .field_str("body", &bonsai_obs::render_prometheus());
+    obj.finish()
 }
 
 /// Renders a structured error response (the connection stays open unless
 /// the code says otherwise). `code` must be one of [`ERROR_CODES`].
 pub fn render_error(code: &str, message: &str) -> String {
     debug_assert!(ERROR_CODES.contains(&code), "undeclared error code {code}");
-    format!(
-        "{{\"ok\": false, \"code\": \"{}\", \"error\": \"{}\"}}",
-        json_escape(code),
-        json_escape(message)
-    )
+    bonsai_obs::add("daemon.errors.total", 1);
+    let mut obj = JsonObj::new();
+    obj.field_bool("ok", false)
+        .field_str("code", code)
+        .field_str("error", message);
+    obj.finish()
 }
 
 /// Answers one request line. Returns the response line and whether the
@@ -407,14 +425,15 @@ pub fn render_error(code: &str, message: &str) -> String {
 /// Query-bearing ops (`reach`/`sweep`/`all_pairs`/`path`/`batch`) must
 /// take a permit from `gate` for the duration of the work; when the gate
 /// is full the request is answered `overloaded` without blocking.
-/// Control ops (`ping`/`stats`/`snapshot`/`shutdown`) bypass the gate —
-/// they stay answerable under full query load.
+/// Control ops (`ping`/`stats`/`metrics`/`snapshot`/`shutdown`) bypass
+/// the gate — they stay answerable under full query load.
 pub fn answer_line(
     session: &Session,
     line: &str,
     options: &ServerOptions,
     gate: &Gate,
 ) -> (String, bool) {
+    bonsai_obs::add("daemon.requests.total", 1);
     if line.len() > options.max_request_bytes {
         return (
             render_error(
@@ -444,14 +463,31 @@ pub fn answer_line(
             false,
         ),
         "stats" => (render_stats(&session.stats()), false),
+        "metrics" => {
+            // Refresh the mirrored session.* counters and the in-flight
+            // gauge so the scrape reflects this instant, then render.
+            session.stats();
+            let cap = options.max_inflight.max(1);
+            bonsai_obs::set(
+                "daemon.inflight",
+                cap.saturating_sub(gate.available()) as u64,
+            );
+            (render_metrics(), false)
+        }
         "reach" | "sweep" | "all_pairs" | "path" => {
             let Some(_permit) = gate.try_acquire() else {
                 return (overloaded_response(options), false);
             };
-            match parse_query(&doc) {
+            let start = std::time::Instant::now();
+            let out = match parse_query(&doc) {
                 Ok(req) => (render_result(&session.query(&req)), false),
                 Err(e) => (render_error("bad_request", &e), false),
-            }
+            };
+            bonsai_obs::observe(
+                "daemon.query.latency_us",
+                start.elapsed().as_micros() as u64,
+            );
+            out
         }
         "batch" => {
             let Some(entries) = doc.get("queries").and_then(Json::as_arr) else {
@@ -476,6 +512,7 @@ pub fn answer_line(
             let Some(_permit) = gate.try_acquire() else {
                 return (overloaded_response(options), false);
             };
+            let start = std::time::Instant::now();
             let mut requests = Vec::with_capacity(entries.len());
             for entry in entries {
                 match parse_query(entry) {
@@ -485,6 +522,10 @@ pub fn answer_line(
             }
             let results = session.batch(&requests);
             let rows: Vec<String> = results.iter().map(render_result).collect();
+            bonsai_obs::observe(
+                "daemon.query.latency_us",
+                start.elapsed().as_micros() as u64,
+            );
             (
                 format!(
                     "{{\"ok\": true, \"op\": \"batch\", \"answers\": [{}]}}",
@@ -521,6 +562,7 @@ pub fn answer_line(
 }
 
 fn overloaded_response(options: &ServerOptions) -> String {
+    bonsai_obs::add("daemon.query.shed", 1);
     render_error(
         "overloaded",
         &format!(
@@ -886,6 +928,7 @@ fn accept_loop<C: Conn>(mut accept: impl FnMut() -> std::io::Result<C>, shared: 
 }
 
 fn handle_connection<C: Conn>(stream: C, shared: &Arc<Shared>) -> std::io::Result<()> {
+    bonsai_obs::add("daemon.connections.total", 1);
     let options = shared.options;
     stream.set_conn_timeouts(options.idle_timeout, options.write_timeout)?;
     let closer = stream.try_clone_conn()?;
@@ -1159,10 +1202,17 @@ mod tests {
         // Deterministically exhaust the gate, as a stuck query would.
         let held = gate.try_acquire().expect("permit free");
         assert_eq!(gate.available(), 0);
+        let shed_before = bonsai_obs::value("daemon.query.shed");
         let shed = client
             .call("{\"op\": \"reach\", \"src\": \"a\", \"dst\": \"d\"}")
             .unwrap();
         assert!(shed.contains("\"code\": \"overloaded\""), "{shed}");
+        // Registry counters are process-global, so other tests may shed
+        // concurrently — assert the floor, not equality.
+        assert!(
+            bonsai_obs::value("daemon.query.shed") > shed_before,
+            "shed counter moved"
+        );
         // Control ops stay answerable under full query load.
         let pong = client.call("{\"op\": \"ping\"}").unwrap();
         assert!(pong.contains("\"ok\": true"), "{pong}");
@@ -1171,6 +1221,50 @@ mod tests {
             .call("{\"op\": \"reach\", \"src\": \"a\", \"dst\": \"d\"}")
             .unwrap();
         assert!(ok.contains("\"delivered\": true"), "recovers: {ok}");
+        client.call("{\"op\": \"shutdown\"}").unwrap();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn metrics_op_serves_prometheus_exposition() {
+        let (path, _session, join) = gadget_server("metrics");
+        let mut client = Client::connect(&path).expect("connects");
+        // A query first, so the scrape has non-zero session counters.
+        let reach = client
+            .call("{\"op\": \"reach\", \"src\": \"a\", \"dst\": \"d\"}")
+            .unwrap();
+        assert!(reach.contains("\"delivered\": true"), "{reach}");
+        let answer = client.call("{\"op\": \"metrics\"}").unwrap();
+        let doc = Json::parse(&answer).expect("metrics answer parses");
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("op").and_then(Json::as_str), Some("metrics"));
+        assert_eq!(
+            doc.get("content_type").and_then(Json::as_str),
+            Some(bonsai_obs::PROMETHEUS_CONTENT_TYPE)
+        );
+        let body = doc.get("body").and_then(Json::as_str).expect("has body");
+        // The unescaped body is a full exposition: every inventoried
+        // metric appears with HELP and TYPE lines.
+        for def in bonsai_obs::METRICS {
+            let prom = bonsai_obs::prom_name(def.name);
+            assert!(
+                body.contains(&format!("# TYPE {prom} ")),
+                "missing TYPE for {prom}"
+            );
+        }
+        assert!(
+            body.contains("daemon_requests_total"),
+            "request counter scraped"
+        );
+        assert!(
+            body.contains("daemon_query_latency_us_bucket"),
+            "latency histogram scraped"
+        );
+        // Byte-determinism: the gadget is idle between scrapes, but the
+        // histogram sum could shift if another op ran — so only assert
+        // the response stays parseable and shaped, not byte-equal.
+        let again = client.call("{\"op\": \"metrics\"}").unwrap();
+        Json::parse(&again).expect("second scrape parses");
         client.call("{\"op\": \"shutdown\"}").unwrap();
         join.join().unwrap().unwrap();
     }

@@ -212,6 +212,19 @@ impl NetworkSweepReport {
         }
         (1.0 - self.derivations as f64 / unshared as f64).max(0.0)
     }
+
+    /// Fold this report's tallies into the process-wide metric registry
+    /// (`sweep.*` — see `docs/OBSERVABILITY.md`). Counters accumulate
+    /// across sweeps; the resident high-water mark is a max.
+    pub fn publish_metrics(&self) {
+        bonsai_obs::add("sweep.derivations", self.derivations as u64);
+        bonsai_obs::add("sweep.transfer.exact", self.exact_transfers as u64);
+        bonsai_obs::add("sweep.transfer.symmetric", self.symmetric_transfers as u64);
+        bonsai_obs::add("sweep.transfer.verified", self.verified_transfers as u64);
+        bonsai_obs::add("sweep.scenarios.streamed", self.scenarios_streamed as u64);
+        bonsai_obs::add("sweep.scenarios.swept", self.scenarios_swept() as u64);
+        bonsai_obs::set_max("sweep.resident.peak", self.peak_resident_scenarios as u64);
+    }
 }
 
 /// A class's scenario plane: the implicit exhaustive stream (shared by
@@ -439,6 +452,11 @@ pub fn sweep_network(
     let work = |state: &mut WorkerState,
                 range: std::ops::Range<usize>|
      -> Result<ChunkOut, EquivalenceError> {
+        let _chunk_span = bonsai_obs::span!(
+            "sweep.chunk",
+            start = range.start,
+            len = range.end - range.start
+        );
         let mut out: ChunkOut = Vec::new();
         // A chunk may span class boundaries: process it as per-class runs,
         // each run a contiguous rank range of that class's source.
@@ -502,6 +520,7 @@ pub fn sweep_network(
             }
             i = run_end;
         }
+        bonsai_obs::add("sweep.chunks.completed", 1);
         Ok(out)
     };
 
@@ -595,7 +614,7 @@ pub fn sweep_network(
         .collect::<BTreeSet<_>>()
         .len();
 
-    Ok(NetworkSweepReport {
+    let report = NetworkSweepReport {
         k,
         threads,
         per_ec,
@@ -608,7 +627,9 @@ pub fn sweep_network(
         scenarios_streamed,
         peak_resident_scenarios: resident.peak(),
         shard: options.shard,
-    })
+    };
+    report.publish_metrics();
+    Ok(report)
 }
 
 /// Runs [`sweep_network`] over one canonical-signature shard: only the

@@ -274,59 +274,6 @@ pub fn all_pairs_reachability(
     SearchOutcome::Completed(total)
 }
 
-// ----- deprecated pre-QueryCtx function family --------------------------
-
-/// Replaced by [`for_each_solution`] with a [`QueryCtx`].
-#[deprecated(since = "0.2.0", note = "use for_each_solution with QueryCtx::masked")]
-pub fn for_each_solution_masked<F>(
-    network: &NetworkConfig,
-    topo: &BuiltTopology,
-    ec: &DestEc,
-    budget: SearchBudget,
-    deadline: Instant,
-    mask: Option<&FailureMask>,
-    visit: &mut F,
-) -> SearchOutcome<usize>
-where
-    F: FnMut(&Solution<RibAttr>),
-{
-    for_each_solution(
-        network,
-        topo,
-        ec,
-        budget,
-        deadline,
-        &QueryCtx::masked(mask),
-        visit,
-    )
-}
-
-/// Replaced by [`all_pairs_reachability`] with a [`QueryCtx`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use all_pairs_reachability with QueryCtx::masked"
-)]
-pub fn all_pairs_reachability_masked(
-    network: &NetworkConfig,
-    budget: SearchBudget,
-    mask: Option<&FailureMask>,
-) -> SearchOutcome<usize> {
-    all_pairs_reachability(network, budget, &QueryCtx::masked(mask))
-}
-
-/// Replaced by [`all_pairs_reachability`] with [`QueryCtx::bounded`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use all_pairs_reachability with QueryCtx::bounded"
-)]
-pub fn all_pairs_reachability_under_failures(
-    network: &NetworkConfig,
-    budget: SearchBudget,
-    k: usize,
-) -> SearchOutcome<usize> {
-    all_pairs_reachability(network, budget, &QueryCtx::bounded(k))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,11 +342,11 @@ mod tests {
     }
 
     #[test]
-    fn bounded_scope_matches_deprecated_under_failures() {
+    fn bounded_scope_sweeps_all_single_failures() {
         let net = papernets::figure2_gadget();
-        let new = all_pairs_reachability(&net, SearchBudget::default(), &QueryCtx::bounded(1));
-        #[allow(deprecated)]
-        let old = all_pairs_reachability_under_failures(&net, SearchBudget::default(), 1);
-        assert_eq!(new, old);
+        let bounded = all_pairs_reachability(&net, SearchBudget::default(), &QueryCtx::bounded(1));
+        // The gadget survives any single link failure: all 4 non-origin
+        // nodes still deliver in every ≤1-failure state.
+        assert_eq!(bounded, SearchOutcome::Completed(4));
     }
 }

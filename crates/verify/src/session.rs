@@ -634,8 +634,30 @@ pub struct SessionStats {
     /// Query verdicts served from a refinement's cached canonical
     /// solution.
     pub cached_answers: usize,
+    /// Entries resident in the (class, scenario) verdict memo.
+    pub verdict_memo: usize,
+    /// Entries resident in the path-query memo.
+    pub path_memo: usize,
     /// The build-time sweep.
     pub sweep: SweepSummary,
+}
+
+impl SessionStats {
+    /// Fold this snapshot into the process-wide metric registry
+    /// (`session.*` — see `docs/OBSERVABILITY.md`). The counters are
+    /// lifetime-cumulative, so each publish overwrites the last.
+    pub fn publish(&self) {
+        bonsai_obs::set("session.queries", self.queries as u64);
+        bonsai_obs::set("session.verdict.hits", self.verdict_cache_hits as u64);
+        bonsai_obs::set("session.answers.cached", self.cached_answers as u64);
+        bonsai_obs::set("session.solver.updates", self.solver_updates as u64);
+        bonsai_obs::set(
+            "session.answers.restored",
+            self.sweep.restored_answers as u64,
+        );
+        bonsai_obs::set("session.memo.verdicts", self.verdict_memo as u64);
+        bonsai_obs::set("session.memo.paths", self.path_memo as u64);
+    }
 }
 
 impl Session {
@@ -749,10 +771,11 @@ impl Session {
         }
     }
 
-    /// A point-in-time copy of the counters.
+    /// A point-in-time copy of the counters. Also folds the snapshot
+    /// into the process-wide metric registry (`session.*`).
     pub fn stats(&self) -> SessionStats {
         let solve = *self.solve_stats.lock().unwrap();
-        SessionStats {
+        let stats = SessionStats {
             classes: self.planes.len(),
             k: self.summary.k,
             scenarios: self.scenarios.len(),
@@ -762,8 +785,12 @@ impl Session {
             concrete_solves: solve.concrete_solves,
             solver_updates: solve.solver_updates,
             cached_answers: solve.cached_answers,
+            verdict_memo: self.verdicts.lock().unwrap().len(),
+            path_memo: self.paths.lock().unwrap().len(),
             sweep: self.summary,
-        }
+        };
+        stats.publish();
+        stats
     }
 
     fn node(&self, name: &str) -> Result<NodeId, SessionError> {

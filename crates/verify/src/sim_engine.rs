@@ -237,46 +237,6 @@ impl<'a> SimEngine<'a> {
     fn scope_masks(&self, scope: &QueryScope) -> Vec<Option<FailureMask>> {
         crate::query::scope_masks(&self.topo.graph, scope)
     }
-
-    // ----- deprecated pre-QueryCtx method family ------------------------
-
-    /// Replaced by [`SimEngine::solve_ec`] with a [`QueryCtx`].
-    #[deprecated(since = "0.2.0", note = "use solve_ec with QueryCtx::masked")]
-    pub fn solve_ec_masked(
-        &self,
-        ec: &DestEc,
-        mask: Option<&FailureMask>,
-    ) -> Result<Solution<RibAttr>, SolveError> {
-        self.solve_ec(ec, &QueryCtx::masked(mask))
-    }
-
-    /// Replaced by [`SimEngine::all_pairs`] with a [`QueryCtx`].
-    #[deprecated(since = "0.2.0", note = "use all_pairs with QueryCtx::masked")]
-    pub fn all_pairs_masked(&self, mask: Option<&FailureMask>) -> Result<AllPairs, SolveError> {
-        self.all_pairs(&QueryCtx::masked(mask))
-    }
-
-    /// Replaced by [`SimEngine::query_reachability`] with a [`QueryCtx`].
-    #[deprecated(since = "0.2.0", note = "use query_reachability with QueryCtx::masked")]
-    pub fn query_reachability_masked(
-        &self,
-        src: &str,
-        dst: &str,
-        mask: Option<&FailureMask>,
-    ) -> Result<Vec<Prefix>, SolveError> {
-        self.query_reachability(src, dst, &QueryCtx::masked(mask))
-    }
-
-    /// Replaced by [`SimEngine::reachability`] with [`QueryCtx::refined`].
-    #[deprecated(since = "0.2.0", note = "use reachability with QueryCtx::refined")]
-    pub fn reachability_under_refinement(
-        &self,
-        ec: &DestEc,
-        refinement: &ScenarioRefinement,
-        scenario: &FailureScenario,
-    ) -> Result<Vec<bool>, SolveError> {
-        self.reachability(ec, &QueryCtx::refined(refinement, scenario.clone()))
-    }
 }
 
 /// The refined fast path, shared by [`SimEngine`] and the resident
@@ -549,12 +509,11 @@ link a i b i
     }
 
     #[test]
-    fn deprecated_masked_shims_agree() {
+    fn masked_ctx_with_no_mask_matches_failure_free() {
         let net = bonsai_srp::papernets::figure2_gadget();
         let engine = SimEngine::new(&net);
-        #[allow(deprecated)]
-        let old = engine.all_pairs_masked(None).unwrap();
-        let new = engine.all_pairs(&QueryCtx::failure_free()).unwrap();
-        assert_eq!(old, new);
+        let masked = engine.all_pairs(&QueryCtx::masked(None)).unwrap();
+        let free = engine.all_pairs(&QueryCtx::failure_free()).unwrap();
+        assert_eq!(masked, free);
     }
 }

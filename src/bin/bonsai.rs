@@ -21,7 +21,16 @@
 //!                 [--path <src>:<dst> [--via <node>]...] [--all-pairs]
 //!                 [--fail <u>:<v>]... ['{"op": ...}']...
 //!                                        # talk to a running bonsaid
+//! bonsai metrics  [--socket <path> | --tcp <addr>]
+//!                                        # Prometheus exposition: scrape a
+//!                                        # running bonsaid, or print this
+//!                                        # process's (empty) registry
 //! ```
+//!
+//! `compress`, `failures` and `serve` also take `--trace <path>`: every
+//! pipeline stage then appends one JSON line per span/event to `<path>`
+//! (see `docs/OBSERVABILITY.md`). Tracing never changes results — the
+//! sweep output is byte-identical with it on or off.
 //!
 //! The input format is the vendor-independent dialect documented in
 //! `bonsai_config::parse` (`device <name> … end` blocks plus `link` lines).
@@ -316,15 +325,35 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!(
-            "usage: bonsai <compress|roles|check|ecs|failures|serve|query> <network.cfg> [options]"
+            "usage: bonsai <compress|roles|check|ecs|failures|serve|query|metrics> \
+             <network.cfg> [options]"
         );
         return ExitCode::from(2);
     };
-    // `query` talks to a running bonsaid and needs no network file, so it
-    // dispatches before the network-path requirement below. So does
-    // `failures --merge`, which works on written shard documents alone.
+    // `--trace <path>` turns on the structured tracer for the rest of the
+    // process — install it before any stage runs.
+    match str_flag(&args, "--trace") {
+        Ok(Some(path)) => {
+            if let Err(e) = bonsai::obs::trace_to(Path::new(&path)) {
+                eprintln!("--trace {path}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    }
+    // `query` and `metrics` talk to a running bonsaid and need no network
+    // file, so they dispatch before the network-path requirement below.
+    // So does `failures --merge`, which works on written shard documents
+    // alone.
     if command == "query" {
         return cmd_query(&args);
+    }
+    if command == "metrics" {
+        return cmd_metrics(&args);
     }
     if command == "failures" && args.iter().any(|a| a == "--merge") {
         return cmd_merge_failures(&args);
@@ -348,19 +377,23 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    let network = match parse_network(&text) {
-        Ok(n) => n,
-        Err(e) => {
-            eprintln!("{path}: {e}");
-            return ExitCode::from(1);
-        }
-    };
-    let topo = match BuiltTopology::build(&network) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("{path}: {e}");
-            return ExitCode::from(1);
-        }
+    let (network, topo) = {
+        let _span = bonsai::obs::span!("cli.parse", bytes = text.len());
+        let network = match parse_network(&text) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        let topo = match BuiltTopology::build(&network) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        (network, topo)
     };
 
     let options = CompressOptions {
@@ -408,7 +441,10 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "compress" => {
-            let report = compress(&network, options);
+            let report = {
+                let _span = bonsai::obs::span!("cli.compress", devices = network.devices.len());
+                compress(&network, options)
+            };
             println!(
                 "{} devices / {} links -> {:.1}±{:.1} nodes, {:.1}±{:.1} links \
                  ({:.2}x / {:.2}x) across {} classes; BDD {:.2}s, {:.4}s/EC",
@@ -549,7 +585,10 @@ fn main() -> ExitCode {
                 eprintln!("--query needs per-scenario outcomes; drop --aggregate");
                 return ExitCode::from(2);
             }
-            let report = compress(&network, options);
+            let report = {
+                let _span = bonsai::obs::span!("cli.compress", devices = network.devices.len());
+                compress(&network, options)
+            };
             let sweep_options = NetworkSweepOptions {
                 sweep: SweepOptions {
                     max_failures: k,
@@ -563,11 +602,14 @@ fn main() -> ExitCode {
                 shard,
                 ..Default::default()
             };
-            let sweep = match sweep_network(&network, &topo, &report, &sweep_options) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("network sweep failed: {e}");
-                    return ExitCode::from(1);
+            let sweep = {
+                let _span = bonsai::obs::span!("cli.sweep", k = k, classes = report.num_ecs());
+                match sweep_network(&network, &topo, &report, &sweep_options) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("network sweep failed: {e}");
+                        return ExitCode::from(1);
+                    }
                 }
             };
 
@@ -765,9 +807,12 @@ fn cmd_serve(
         },
         _ => None,
     };
-    let session = match &restore_text {
-        Some(text) => builder.restore(text),
-        None => builder.build(),
+    let session = {
+        let _span = bonsai::obs::span!("cli.serve.build", warm = u64::from(restore_text.is_some()));
+        match &restore_text {
+            Some(text) => builder.restore(text),
+            None => builder.build(),
+        }
     };
     let session = match session {
         Ok(s) => s,
@@ -850,6 +895,65 @@ fn cmd_serve(
             ExitCode::from(1)
         }
     }
+}
+
+/// `bonsai metrics`: print a Prometheus text exposition. With `--socket`
+/// or `--tcp`, scrape a running `bonsaid` (the `metrics` op carries the
+/// exposition as one escaped JSON string; this unescapes and prints it
+/// raw — pipe-ready for a node-exporter-style textfile collector).
+/// Without an endpoint, print this process's own registry — every
+/// inventoried metric at zero, useful to see the scrape shape offline.
+fn cmd_metrics(args: &[String]) -> ExitCode {
+    let (socket, tcp) = match (str_flag(args, "--socket"), str_flag(args, "--tcp")) {
+        (Ok(s), Ok(t)) => (s, t),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if socket.is_none() && tcp.is_none() {
+        print!("{}", bonsai::obs::render_prometheus());
+        return ExitCode::SUCCESS;
+    }
+    let endpoint = socket
+        .clone()
+        .unwrap_or_else(|| tcp.clone().unwrap_or_default());
+    let connected = match &socket {
+        Some(path) => Client::connect(Path::new(path)),
+        None => Client::connect_tcp(tcp.as_deref().unwrap()),
+    };
+    let mut client = match connected {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {endpoint}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let response = match client.call("{\"op\": \"metrics\"}") {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{endpoint}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let doc = match bonsai::core::snapshot::Json::parse(&response) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{endpoint}: unparsable metrics response: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    use bonsai::core::snapshot::Json;
+    if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+        eprintln!("{endpoint}: {response}");
+        return ExitCode::from(1);
+    }
+    let Some(body) = doc.get("body").and_then(Json::as_str) else {
+        eprintln!("{endpoint}: metrics response has no \"body\"");
+        return ExitCode::from(1);
+    };
+    print!("{body}");
+    ExitCode::SUCCESS
 }
 
 /// `bonsai query`: send request lines to a running `bonsaid` and print

@@ -24,6 +24,10 @@
 //!   line-JSON query protocol (Unix socket and/or TCP; the wire contract
 //!   is written down in `docs/PROTOCOL.md`, operating it in
 //!   `docs/OPERATIONS.md`).
+//! * [`obs`] — the telemetry spine: the process-wide metric registry
+//!   every layer publishes into (scraped via the daemon's `metrics` op
+//!   or `bonsai metrics`) and the structured JSONL tracer behind
+//!   `--trace`. The inventory is documented in `docs/OBSERVABILITY.md`.
 //!
 //! Most programs want [`prelude`] (one import, pipeline order) and, for
 //! resident serving, [`Session`] — the compressed network plus its
@@ -47,6 +51,7 @@ pub use bonsai_config as config;
 pub use bonsai_core as core;
 pub use bonsai_daemon as daemon;
 pub use bonsai_net as net;
+pub use bonsai_obs as obs;
 pub use bonsai_srp as srp;
 pub use bonsai_topo as topo;
 pub use bonsai_verify as verify;
@@ -88,8 +93,6 @@ pub mod prelude {
     pub use bonsai_core::compress::{compress, CompressOptions, CompressionReport};
 
     // Stage 3: sweep.
-    #[allow(deprecated)]
-    pub use bonsai_core::scenarios::enumerate_scenarios;
     pub use bonsai_core::scenarios::{FailureScenario, ScenarioStream};
     pub use bonsai_verify::netsweep::{
         merge_reports, sweep_network, sweep_network_sharded, NetworkSweepOptions,

@@ -1,0 +1,82 @@
+//! Tracing must never change results: the failure-sweep document is
+//! byte-identical with `--trace` on or off, at multiple thread counts,
+//! and the emitted trace is parseable JSONL. This is the written
+//! zero-cost promise of `docs/OBSERVABILITY.md`, asserted.
+//!
+//! The tracer installs once per process (first `trace_to` wins), so the
+//! untraced runs come first and everything lives in one `#[test]`.
+
+use bonsai::cli::FailuresDoc;
+use bonsai::core::compress::{compress, CompressOptions};
+use bonsai::core::snapshot::Json;
+use bonsai::prelude::*;
+
+fn sweep_doc(net: &NetworkConfig, threads: usize) -> String {
+    let topo = BuiltTopology::build(net).expect("gadget builds");
+    let report = compress(net, CompressOptions::default());
+    let options = NetworkSweepOptions {
+        sweep: SweepOptions {
+            max_failures: 1,
+            threads,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let sweep = sweep_network(net, &topo, &report, &options).expect("gadget sweeps");
+    FailuresDoc::from_sweep(&topo, &sweep, false, true, Vec::new()).render()
+}
+
+#[test]
+fn sweep_output_is_byte_identical_with_tracing_on() {
+    let net = bonsai::srp::papernets::figure2_gadget();
+    let untraced_single = sweep_doc(&net, 1);
+    let untraced_parallel = sweep_doc(&net, 2);
+
+    let trace_path = std::env::temp_dir().join(format!(
+        "bonsai-trace-determinism-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&trace_path);
+    bonsai::obs::trace_to(&trace_path).expect("tracer installs");
+    assert!(bonsai::obs::trace_enabled());
+    assert!(
+        bonsai::obs::trace_to(&trace_path).is_err(),
+        "second install is rejected, not silently rebound"
+    );
+
+    let traced_single = sweep_doc(&net, 1);
+    let traced_parallel = sweep_doc(&net, 2);
+    assert_eq!(untraced_single, traced_single, "threads=1 doc unchanged");
+    assert_eq!(
+        untraced_parallel, traced_parallel,
+        "threads=2 doc unchanged"
+    );
+
+    // Every trace record is one parseable JSON object with a monotonic
+    // timestamp, and the traced sweeps left their chunk spans behind.
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let mut chunk_spans = 0usize;
+    let mut last_ts = 0.0f64;
+    for line in text.lines() {
+        let doc = Json::parse(line).unwrap_or_else(|e| panic!("unparsable trace line {line}: {e}"));
+        let ts = doc
+            .get("ts_us")
+            .and_then(Json::as_f64)
+            .expect("record has ts_us");
+        assert!(ts >= last_ts, "timestamps are monotonic");
+        last_ts = ts;
+        assert!(doc.get("kind").and_then(Json::as_str).is_some());
+        if doc.get("name").and_then(Json::as_str) == Some("sweep.chunk") {
+            assert!(
+                doc.get("dur_us").and_then(Json::as_f64).is_some(),
+                "spans carry dur_us"
+            );
+            chunk_spans += 1;
+        }
+    }
+    assert!(
+        chunk_spans >= 2,
+        "both traced sweeps emitted chunk spans, got {chunk_spans}"
+    );
+    let _ = std::fs::remove_file(&trace_path);
+}
