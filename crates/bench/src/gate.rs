@@ -61,12 +61,20 @@ pub const FAILURE_STAGES: [&str; 7] = [
     "merge_s",
 ];
 
+/// The per-stage wall-clock fields of a delta-reverification snapshot
+/// row's `times` object (fresh full pipeline vs warm delta pipeline on
+/// the same edited config). The reuse counters (`ecs_rederived`,
+/// `fingerprints_moved`) ride in the rows ungated — they are exact
+/// integers asserted by the `delta --check` acceptance run.
+pub const DELTA_STAGES: [&str; 2] = ["full_s", "delta_s"];
+
 /// The stage list the gate compares for an envelope kind + payload
 /// version, or `None` for snapshots it does not know how to gate.
 pub fn stages_for_kind(kind: &str, version: u32) -> Option<&'static [&'static str]> {
     match (kind, version) {
         (crate::COMPRESS_SNAPSHOT_KIND, crate::COMPRESS_SNAPSHOT_VERSION) => Some(&STAGES),
         (crate::FAILURES_SNAPSHOT_KIND, crate::FAILURES_SNAPSHOT_VERSION) => Some(&FAILURE_STAGES),
+        (crate::DELTA_SNAPSHOT_KIND, crate::DELTA_SNAPSHOT_VERSION) => Some(&DELTA_STAGES),
         _ => None,
     }
 }
@@ -366,6 +374,36 @@ mod tests {
         assert!(r.comparisons.iter().any(|c| c.stage == "sweep_s"));
         assert!(r.comparisons.iter().any(|c| c.stage == "netsweep_s"));
         assert!(r.comparisons.iter().any(|c| c.stage == "merge_s"));
+    }
+
+    fn delta_snap(rows: &[(&str, usize, f64, f64)]) -> Envelope {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|(label, k, full, delta)| {
+                format!(
+                    "{{\"label\":\"{label}\",\"k\":{k},\
+                     \"times\":{{\"full_s\":{full},\"delta_s\":{delta}}},\
+                     \"ecs_total\":32,\"ecs_rederived\":1,\"fingerprints_moved\":1}}"
+                )
+            })
+            .collect();
+        Envelope::parse(&crate::delta_snapshot_json(&body)).unwrap()
+    }
+
+    #[test]
+    fn delta_snapshots_gate_full_and_delta_stages() {
+        let base = delta_snap(&[("Fattree8", 2, 3.0, 0.1)]);
+        let same = compare_snapshots(&base, &base, 1.5, 0.025);
+        assert!(same.passed(), "{same:?}");
+        assert_eq!(same.comparisons.len(), DELTA_STAGES.len());
+        // A delta-path slowdown regresses the gate even when the full
+        // pipeline is unchanged — the incremental speedup is the product.
+        let cand = delta_snap(&[("Fattree8", 2, 3.0, 0.5)]);
+        let r = compare_snapshots(&base, &cand, 1.5, 0.025);
+        assert!(!r.passed());
+        assert!(r.regressions().all(|c| c.stage == "delta_s"));
+        // The reuse counters ride along ungated.
+        assert!(r.comparisons.iter().all(|c| !c.stage.contains("ecs")));
     }
 
     #[test]

@@ -241,6 +241,10 @@ pub fn toolchain() -> String {
 pub const COMPRESS_SNAPSHOT_KIND: &str = "bench/compress";
 /// Payload version of the compression perf snapshot.
 pub const COMPRESS_SNAPSHOT_VERSION: u32 = 1;
+/// Envelope kind of the delta-reverification perf snapshot.
+pub const DELTA_SNAPSHOT_KIND: &str = "bench/delta";
+/// Payload version of the delta-reverification snapshot.
+pub const DELTA_SNAPSHOT_VERSION: u32 = 1;
 /// Envelope kind of the failure-study perf snapshot.
 pub const FAILURES_SNAPSHOT_KIND: &str = "bench/failures";
 /// Payload version of the failure-study snapshot. v5 adds the streamed
@@ -285,6 +289,23 @@ pub fn failures_snapshot_json(rows: &[String]) -> String {
     bonsai_core::snapshot::write_envelope(
         FAILURES_SNAPSHOT_KIND,
         FAILURES_SNAPSHOT_VERSION,
+        &git_sha(),
+        &toolchain(),
+        &rows_payload(rows),
+    )
+}
+
+/// Assembles the `BENCH_delta.json` document from delta-study rows (see
+/// the `delta` binary): an envelope of kind [`DELTA_SNAPSHOT_KIND`].
+/// Each row carries `times.full_s` (fresh compress + sweep on the edited
+/// config) vs `times.delta_s` (warm delta apply + subset re-sweep) plus
+/// the exact reuse counters (`ecs_total`, `ecs_rederived`,
+/// `fingerprints_moved`) — the counters are gated by the acceptance
+/// checks, the times by the perf gate.
+pub fn delta_snapshot_json(rows: &[String]) -> String {
+    bonsai_core::snapshot::write_envelope(
+        DELTA_SNAPSHOT_KIND,
+        DELTA_SNAPSHOT_VERSION,
         &git_sha(),
         &toolchain(),
         &rows_payload(rows),

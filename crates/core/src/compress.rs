@@ -16,8 +16,9 @@ use crate::abstraction::{build_abstract_network, AbstractNetwork};
 use crate::algorithm::{find_abstraction, Abstraction};
 use crate::ecs::{compute_ecs, DestEc};
 use crate::engine::{CompiledPolicies, EngineStats};
-use crate::signatures::build_sig_table;
+use crate::signatures::{build_sig_table, SigTable};
 use bonsai_config::{BuiltTopology, NetworkConfig};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -283,6 +284,192 @@ pub fn compress(network: &NetworkConfig, options: CompressOptions) -> Compressio
     }
 }
 
+/// Result of absorbing a config delta into an existing compression: the
+/// new-network report (sharing the old run's engine when the delta was
+/// incremental) plus the audit trail of what had to be redone.
+pub struct DeltaReport {
+    /// The compression of the *new* network, per-class order as
+    /// [`compress`] would produce it.
+    pub report: CompressionReport,
+    /// The classified difference that drove the invalidation.
+    pub delta: crate::delta::ConfigDelta,
+    /// What [`CompiledPolicies::apply_delta`] evicted (zeroed on a full
+    /// rebuild — the old engine was discarded wholesale).
+    pub invalidation: crate::engine::DeltaInvalidation,
+    /// True when the delta was structural and the result is a fresh full
+    /// compression on a fresh engine.
+    pub full_rebuild: bool,
+    /// Indices into `report.per_ec` whose abstraction had to be
+    /// re-derived (new classes, or classes whose signature table changed).
+    pub rederived: Vec<usize>,
+    /// Classes that kept their old abstraction (table proven equal).
+    pub reused: usize,
+    /// Classes whose engine fingerprint changed across the delta
+    /// (rederived classes, plus kept classes that converged onto another
+    /// class's adopted identity).
+    pub fingerprints_moved: usize,
+    /// Wall-clock time of the whole delta application.
+    pub delta_time: Duration,
+}
+
+impl DeltaReport {
+    /// Number of classes in the new network.
+    pub fn ecs_total(&self) -> usize {
+        self.report.num_ecs()
+    }
+}
+
+/// Absorbs the difference between `old_network` (which `old` compressed)
+/// and `new_network` into `old`'s warm engine, recompressing **only** the
+/// classes the edit actually touched.
+///
+/// Sequence: classify the delta; on a structural change fall back to a
+/// fresh [`compress`]. Otherwise snapshot each old class's fingerprint
+/// and table (cache hits), flush the eviction class with
+/// [`CompiledPolicies::apply_delta`], recompute the EC partition of the
+/// new network, and reconcile class by class: a class matching an old
+/// class whose rebuilt table equals the old one re-adopts the old
+/// fingerprint and reuses the old abstraction (only the abstract network
+/// is re-materialized against the new configs — cheap, no refinement);
+/// everything else is recompressed from the warm caches.
+///
+/// The result is semantically identical to `compress(new_network)` — the
+/// delta-equivalence property tests pin this — while doing work
+/// proportional to the edit, not the network.
+pub fn recompress_delta(
+    old: &CompressionReport,
+    old_network: &NetworkConfig,
+    new_network: &NetworkConfig,
+    options: CompressOptions,
+) -> DeltaReport {
+    let start = Instant::now();
+    let delta =
+        crate::delta::diff_configs(old_network, new_network, options.strip_unused_communities);
+
+    if delta.structural.is_some() {
+        let report = compress(new_network, options);
+        let rederived = (0..report.num_ecs()).collect();
+        return DeltaReport {
+            report,
+            delta,
+            invalidation: crate::engine::DeltaInvalidation::default(),
+            full_rebuild: true,
+            rederived,
+            reused: 0,
+            fingerprints_moved: old.num_ecs(),
+            delta_time: start.elapsed(),
+        };
+    }
+
+    let engine = Arc::clone(&old.policies);
+    // The delta is non-structural, so the topology (devices, links,
+    // interfaces modulo ACL bindings) is unchanged and the engine's
+    // frozen edge statics remain valid for the new network.
+    let topo = BuiltTopology::build(new_network).expect("network has a consistent topology");
+
+    // Snapshot the old identities before eviction (warm-cache reads).
+    let old_state: HashMap<EcMatchKey, (crate::engine::EcFingerprint, Arc<SigTable>, usize)> = old
+        .per_ec
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let ec_dest = c.ec.to_ec_dest();
+            let fp = engine.ec_fingerprint(old_network, &topo, &ec_dest);
+            let table = engine.sig_table(old_network, &topo, &ec_dest);
+            (ec_match_key(&c.ec), (fp, table, i))
+        })
+        .collect();
+
+    let invalidation = engine.apply_delta(&delta.policy_devices);
+
+    let t_ecs = Instant::now();
+    let ecs = compute_ecs(new_network, &topo);
+    let ec_compute_time = t_ecs.elapsed();
+
+    let mut per_ec = Vec::with_capacity(ecs.len());
+    let mut rederived = Vec::new();
+    let mut fingerprints_moved = 0usize;
+    for (i, ec) in ecs.iter().enumerate() {
+        let ec_dest = ec.to_ec_dest();
+        let matched = old_state.get(&ec_match_key(ec));
+        let t0 = Instant::now();
+        let new_table = engine.sig_table(new_network, &topo, &ec_dest);
+        let bdd_time = t0.elapsed();
+        match matched {
+            Some((old_fp, old_table, old_idx)) if *new_table == **old_table => {
+                let adopted = engine.adopt_fingerprint(new_network, &topo, &ec_dest, *old_fp);
+                if adopted != *old_fp {
+                    fingerprints_moved += 1;
+                }
+                let t1 = Instant::now();
+                let abstraction = old.per_ec[*old_idx].abstraction.clone();
+                // The abstraction is provably still the fixpoint (same
+                // signature table), but its materialization embeds
+                // concrete device configs — rebuild against the new ones.
+                let abstract_network =
+                    build_abstract_network(new_network, &topo, &ec_dest, &abstraction);
+                per_ec.push(EcCompression {
+                    ec: ec.clone(),
+                    abstraction,
+                    abstract_network,
+                    bdd_time,
+                    compress_time: t1.elapsed(),
+                });
+            }
+            _ => {
+                rederived.push(i);
+                if matched.is_some() {
+                    fingerprints_moved += 1;
+                }
+                let mut c = compress_ec(&engine, new_network, &topo, ec);
+                c.bdd_time += bdd_time;
+                per_ec.push(c);
+            }
+        }
+    }
+    let reused = per_ec.len() - rederived.len();
+    // Old classes the new partition no longer contains also moved.
+    fingerprints_moved += old
+        .per_ec
+        .iter()
+        .filter(|c| !ecs.iter().any(|ec| ec_match_key(ec) == ec_match_key(&c.ec)))
+        .count();
+
+    let report = CompressionReport {
+        concrete_nodes: topo.graph.node_count(),
+        concrete_links: topo.graph.link_count(),
+        per_ec,
+        total_time: start.elapsed(),
+        ec_compute_time,
+        engine_build_time: Duration::ZERO,
+        engine: engine.stats(),
+        policies: engine,
+    };
+    DeltaReport {
+        report,
+        delta,
+        invalidation,
+        full_rebuild: false,
+        rederived,
+        reused,
+        fingerprints_moved,
+        delta_time: start.elapsed(),
+    }
+}
+
+/// The identity under which old and new classes are matched across a
+/// delta: representative, exact ranges, exact origins. Two classes with
+/// equal keys denote the same destination set with the same originators.
+type EcMatchKey = (
+    bonsai_net::prefix::Prefix,
+    Vec<bonsai_net::prefix::Prefix>,
+    Vec<(bonsai_net::NodeId, bonsai_srp::instance::OriginProto)>,
+);
+
+fn ec_match_key(ec: &DestEc) -> EcMatchKey {
+    (ec.rep, ec.ranges.clone(), ec.origins.clone())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,6 +564,115 @@ link a i b i
             "acl-only difference must still share BGP signatures: {stats:?}"
         );
         assert!(stats.reuse_observed());
+    }
+
+    fn delta_base_net() -> NetworkConfig {
+        bonsai_config::parse_network(
+            "
+device a
+interface i
+ip prefix-list P10 seq 5 permit 10.0.1.0/24
+route-map M permit 10
+ match ip address prefix-list P10
+ set local-preference 200
+route-map M permit 20
+router bgp 1
+ neighbor i remote-as external
+ neighbor i route-map M in
+end
+device b
+interface i
+router bgp 2
+ network 10.0.1.0/24
+ network 10.0.2.0/24
+ neighbor i remote-as external
+end
+link a i b i
+",
+        )
+        .unwrap()
+    }
+
+    /// A route-map edit behind a prefix-list match re-derives only the
+    /// class the match selects; the other class's rebuilt table proves
+    /// equal and its abstraction (and fingerprint) are reused.
+    #[test]
+    fn delta_rederives_only_touched_classes() {
+        let old_net = delta_base_net();
+        let old = compress(&old_net, CompressOptions::default());
+        assert_eq!(old.num_ecs(), 2);
+
+        let mut new_net = old_net.clone();
+        // Clause 10 fires only for 10.0.1.0/24: bump its local-pref.
+        new_net.devices[0].route_maps[0].clauses[0].sets =
+            vec![bonsai_config::SetAction::LocalPref(300)];
+
+        let d = recompress_delta(&old, &old_net, &new_net, CompressOptions::default());
+        assert!(!d.full_rebuild);
+        assert_eq!(d.delta.policy_devices, vec![0]);
+        assert!(d.invalidation.stages_evicted > 0);
+        assert_eq!(d.invalidation.tables_evicted, 2);
+        assert_eq!(d.reused, 1);
+        let touched: Vec<_> = d
+            .rederived
+            .iter()
+            .map(|&i| d.report.per_ec[i].ec.rep)
+            .collect();
+        assert_eq!(touched, vec!["10.0.1.0/24".parse().unwrap()]);
+
+        // The delta result is semantically the fresh result.
+        let fresh = compress(&new_net, CompressOptions::default());
+        assert_eq!(d.report.num_ecs(), fresh.num_ecs());
+        for (a, b) in d.report.per_ec.iter().zip(&fresh.per_ec) {
+            assert_eq!(a.ec.rep, b.ec.rep);
+            assert_eq!(a.abstract_network.network, b.abstract_network.network);
+        }
+    }
+
+    /// The unchanged class keeps its interned fingerprint across the
+    /// delta, so sweep state keyed under it stays valid.
+    #[test]
+    fn delta_preserves_untouched_fingerprints() {
+        let old_net = delta_base_net();
+        let old = compress(&old_net, CompressOptions::default());
+        let topo = BuiltTopology::build(&old_net).unwrap();
+        let untouched = old
+            .per_ec
+            .iter()
+            .find(|c| c.ec.rep == "10.0.2.0/24".parse().unwrap())
+            .unwrap()
+            .ec
+            .to_ec_dest();
+        let fp_before = old.policies.ec_fingerprint(&old_net, &topo, &untouched);
+
+        let mut new_net = old_net.clone();
+        new_net.devices[0].route_maps[0].clauses[0].sets =
+            vec![bonsai_config::SetAction::LocalPref(300)];
+        let d = recompress_delta(&old, &old_net, &new_net, CompressOptions::default());
+        let fp_after = d
+            .report
+            .policies
+            .ec_fingerprint(&new_net, &topo, &untouched);
+        assert_eq!(
+            fp_before, fp_after,
+            "untouched class re-adopts its identity"
+        );
+        assert_eq!(d.fingerprints_moved, 1, "only the edited class moved");
+    }
+
+    /// A structural edit (here: a session-shape change) falls back to a
+    /// fresh full compression on a fresh engine.
+    #[test]
+    fn structural_delta_falls_back_to_full_rebuild() {
+        let old_net = delta_base_net();
+        let old = compress(&old_net, CompressOptions::default());
+        let mut new_net = old_net.clone();
+        new_net.devices[1].bgp.as_mut().unwrap().default_local_pref = 150;
+        let d = recompress_delta(&old, &old_net, &new_net, CompressOptions::default());
+        assert!(d.full_rebuild);
+        assert!(d.delta.structural.is_some());
+        assert_eq!(d.rederived.len(), d.report.num_ecs());
+        assert!(!Arc::ptr_eq(&d.report.policies, &old.policies));
     }
 
     /// The acceptance criterion of the shared-engine refactor: on a

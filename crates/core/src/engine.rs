@@ -294,6 +294,14 @@ struct EngineInner {
     stages: Vec<StageOutput>,
     sig_cache: HashMap<SigKey, BgpSig>,
     table_cache: HashMap<TableKey, TableEntry>,
+    /// Monotone fingerprint allocator. Never reset — not even by
+    /// [`CompiledPolicies::apply_delta`] — so a fingerprint interned
+    /// after a delta can never collide with one issued before it.
+    next_fingerprint: u32,
+    /// Fingerprints below this were issued before the most recent delta;
+    /// only entries at or above it may adopt a pre-delta identity
+    /// (see [`CompiledPolicies::adopt_fingerprint`]).
+    fingerprint_floor: u32,
     stage_lookups: u64,
     stage_hits: u64,
     sig_lookups: u64,
@@ -305,12 +313,32 @@ struct EngineInner {
 impl EngineInner {
     /// Interns a table key, assigning the next fingerprint on first sight.
     fn intern(&mut self, key: TableKey) -> &mut TableEntry {
-        let next = EcFingerprint(self.table_cache.len() as u32);
-        self.table_cache.entry(key).or_insert(TableEntry {
-            fingerprint: next,
-            table: None,
-        })
+        match self.table_cache.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let fp = EcFingerprint(self.next_fingerprint);
+                self.next_fingerprint += 1;
+                v.insert(TableEntry {
+                    fingerprint: fp,
+                    table: None,
+                })
+            }
+        }
     }
+}
+
+/// What [`CompiledPolicies::apply_delta`] flushed: the precise cost of
+/// absorbing a policy-content edit into a warm engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaInvalidation {
+    /// Compiled route-map stages evicted (stages of the edited devices).
+    pub stages_evicted: usize,
+    /// Per-edge BGP signatures evicted (edges importing from or exporting
+    /// to an edited device).
+    pub sigs_evicted: usize,
+    /// Whole per-EC signature tables evicted (every table spans all
+    /// edges, so any policy-content edit can stale any table).
+    pub tables_evicted: usize,
 }
 
 /// The destination-independent compiled-policy engine: built **once** per
@@ -319,7 +347,13 @@ impl EngineInner {
 ///
 /// **Contract:** an engine is bound to the network it was built from;
 /// every `network`/`topo` passed to its methods must be that network (the
-/// caches key device *indices*, not device contents).
+/// caches key device *indices*, not device contents). The one sanctioned
+/// rebind is the incremental-delta path: when
+/// [`diff_configs`](crate::delta::diff_configs) classifies an edit as
+/// non-structural and [`CompiledPolicies::apply_delta`] has flushed the
+/// edit's eviction class, the engine may be used against the *new*
+/// network — every frozen input (device indexing, edge statics, the
+/// community universe) is provably identical across such a delta.
 pub struct CompiledPolicies {
     /// Communities modeled as BDD variables, ascending (lock-free copy).
     communities: Vec<Community>,
@@ -367,6 +401,8 @@ impl CompiledPolicies {
                 stages: Vec::new(),
                 sig_cache: HashMap::new(),
                 table_cache: HashMap::new(),
+                next_fingerprint: 0,
+                fingerprint_floor: 0,
                 stage_lookups: 0,
                 stage_hits: 0,
                 sig_lookups: 0,
@@ -486,6 +522,84 @@ impl CompiledPolicies {
     ) -> EcFingerprint {
         let key = self.table_key(network, topo, ec);
         self.inner.lock().unwrap().intern(key).fingerprint
+    }
+
+    /// Absorbs a non-structural config delta into the warm engine by
+    /// evicting exactly the cache entries a policy-content edit can
+    /// stale. `changed_policy_devices` is the eviction class of
+    /// [`diff_configs`](crate::delta::diff_configs) (devices whose
+    /// route-map or community-list *content* changed — the objects cache
+    /// keys name but do not capture):
+    ///
+    /// * **stages** compiled for an edited device are dropped. Import
+    ///   stages of *unchanged* devices stay: their keys carry the exact
+    ///   input `Ref`s the (now re-evicted) export stage produced, so a
+    ///   stale composition is unreachable — either the recompiled export
+    ///   stage yields the same canonical functions (hit is sound) or
+    ///   different ones (key misses).
+    /// * **per-edge signatures** with an edited device as importer or
+    ///   exporter are dropped.
+    /// * **all per-EC tables** are dropped: a table spans every edge, so
+    ///   any policy edit can stale any table. Rebuilds are warm — every
+    ///   edge not touching an edited device re-hits the signature tier.
+    ///
+    /// When the eviction class is empty (a purely key-visible edit:
+    /// prefix lists, ACLs, static routes, bindings, originations) nothing
+    /// is evicted — the keys themselves rout stale entries.
+    ///
+    /// Either way, the call opens a new fingerprint epoch: freshly
+    /// interned table keys may subsequently re-adopt a pre-delta identity
+    /// through [`CompiledPolicies::adopt_fingerprint`].
+    pub fn apply_delta(&self, changed_policy_devices: &[u32]) -> DeltaInvalidation {
+        let mut inner = self.inner.lock().unwrap();
+        inner.fingerprint_floor = inner.next_fingerprint;
+        if changed_policy_devices.is_empty() {
+            return DeltaInvalidation::default();
+        }
+        let changed: std::collections::HashSet<u32> =
+            changed_policy_devices.iter().copied().collect();
+        let stages_before = inner.stage_cache.len();
+        inner.stage_cache.retain(|key, _| !changed.contains(&key.0));
+        let sigs_before = inner.sig_cache.len();
+        inner
+            .sig_cache
+            .retain(|key, _| !changed.contains(&key.exporter) && !changed.contains(&key.importer));
+        let tables_evicted = inner.table_cache.len();
+        inner.table_cache.clear();
+        DeltaInvalidation {
+            stages_evicted: stages_before - inner.stage_cache.len(),
+            sigs_evicted: sigs_before - inner.sig_cache.len(),
+            tables_evicted,
+        }
+    }
+
+    /// Re-binds the class's post-delta table entry to its pre-delta
+    /// fingerprint. The delta driver calls this only after proving the
+    /// rebuilt table equals the table `fp` identified before the delta
+    /// (semantic equality: `Ref`s are canonical within this engine's
+    /// arena), which is exactly the license [`EcFingerprint`] equality
+    /// grants — so sweep state keyed under `fp` stays valid.
+    ///
+    /// First adoption wins: an entry already carrying a pre-epoch
+    /// fingerprint keeps it (two classes that converge on one key after
+    /// an edit were proven equal to *equal* tables, so either identity
+    /// licenses the same sharing). Returns the entry's fingerprint after
+    /// the call.
+    pub fn adopt_fingerprint(
+        &self,
+        network: &NetworkConfig,
+        topo: &BuiltTopology,
+        ec: &EcDest,
+        fp: EcFingerprint,
+    ) -> EcFingerprint {
+        let key = self.table_key(network, topo, ec);
+        let mut inner = self.inner.lock().unwrap();
+        let floor = inner.fingerprint_floor;
+        let entry = inner.intern(key);
+        if entry.fingerprint.0 >= floor {
+            entry.fingerprint = fp;
+        }
+        entry.fingerprint
     }
 
     /// Builds (or recalls, whole) the signature table of one destination

@@ -62,6 +62,7 @@ pub mod abstraction;
 pub mod algorithm;
 pub mod compress;
 pub mod conditions;
+pub mod delta;
 pub mod ecs;
 pub mod engine;
 pub mod fanout;
@@ -74,11 +75,13 @@ pub mod snapshot;
 pub use abstraction::{build_abstract_network, AbstractNetwork};
 pub use algorithm::{find_abstraction, find_abstraction_from, refine_with_split, Abstraction};
 pub use compress::{
-    build_engine, compress, compress_ec, CompressOptions, CompressionReport, EcCompression,
+    build_engine, compress, compress_ec, recompress_delta, CompressOptions, CompressionReport,
+    DeltaReport, EcCompression,
 };
 pub use conditions::{check_effective, Violation};
+pub use delta::{diff_configs, ConfigDelta};
 pub use ecs::{compute_ecs, DestEc};
-pub use engine::{CompiledPolicies, EngineStats};
+pub use engine::{CompiledPolicies, DeltaInvalidation, EngineStats};
 pub use fanout::{fan_out, fan_out_ranges};
 pub use roles::{count_roles, role_assignment, RoleOptions};
 pub use scenarios::{

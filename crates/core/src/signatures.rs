@@ -95,6 +95,15 @@ pub struct EdgeSig {
 
 /// All edge signatures of one (network, EC) pair, interned to dense ids so
 /// the refinement loop compares plain integers.
+///
+/// `PartialEq` compares the full interned content. Because signature ids
+/// are assigned in deterministic edge order and `Ref`s are canonical
+/// within one arena, equality of two tables **built through the same
+/// engine** is semantic transfer-function equality edge by edge — the
+/// proof obligation of post-delta fingerprint adoption
+/// ([`CompiledPolicies::adopt_fingerprint`]). Comparing tables from
+/// different engines is meaningless (`Ref`s are arena-scoped).
+#[derive(PartialEq, Eq)]
 pub struct SigTable {
     /// Interned signature id per edge.
     pub sig_of_edge: Vec<u32>,

@@ -33,6 +33,7 @@
 //! | `path` | `src`, `dst`, `links?`, `waypoints?` | `answers`: `{prefix, lengths, waypointed}` |
 //! | `batch` | `queries`: array of the query ops | `answers`: one response object each |
 //! | `snapshot` | `path` | `path`, `bytes` |
+//! | `reload` | `config` or `path` | delta/reuse counters ([`render_reload`]) |
 //! | `shutdown` | — | — (server drains and stops) |
 //!
 //! `links` is an array of `[endpoint, endpoint]` name pairs (either
@@ -88,13 +89,15 @@
 #![warn(missing_docs)]
 
 use bonsai_core::snapshot::{json_escape, Json, JsonObj};
-use bonsai_verify::session::{QueryAnswer, QueryRequest, Session, SessionError, SessionStats};
+use bonsai_verify::session::{
+    QueryAnswer, QueryRequest, ReloadOutcome, Session, SessionError, SessionStats,
+};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -110,6 +113,7 @@ pub const PROTOCOL_OPS: &[&str] = &[
     "path",
     "batch",
     "snapshot",
+    "reload",
     "shutdown",
 ];
 
@@ -210,6 +214,48 @@ pub struct GatePermit<'a> {
 impl Drop for GatePermit<'_> {
     fn drop(&mut self) {
         self.gate.permits.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// The swappable resident session behind a server: every request clones
+/// the current [`Arc`] cheaply and answers against it, while a `reload`
+/// builds the successor session **off-lock** (queries keep flowing
+/// against the old one) and swaps it in atomically. In-flight queries
+/// finish on the session they started with; the next request sees the
+/// new one.
+pub struct SessionSlot {
+    slot: RwLock<Arc<Session>>,
+    /// Serializes reloads: two concurrent `reload` ops would otherwise
+    /// both derive from the same predecessor and silently drop one
+    /// edit's work.
+    reload_lock: Mutex<()>,
+}
+
+impl SessionSlot {
+    /// Wraps a freshly built session.
+    pub fn new(session: Session) -> SessionSlot {
+        SessionSlot {
+            slot: RwLock::new(Arc::new(session)),
+            reload_lock: Mutex::new(()),
+        }
+    }
+
+    /// The session serving right now.
+    pub fn current(&self) -> Arc<Session> {
+        self.slot.read().unwrap().clone()
+    }
+
+    /// Warm-reloads onto `network` through [`Session::reload`] and swaps
+    /// the result in, serialized against concurrent reloads.
+    pub fn reload(
+        &self,
+        network: bonsai_config::NetworkConfig,
+    ) -> Result<ReloadOutcome, SessionError> {
+        let _guard = self.reload_lock.lock().unwrap();
+        let current = self.current();
+        let (next, outcome) = current.reload(network)?;
+        *self.slot.write().unwrap() = Arc::new(next);
+        Ok(outcome)
     }
 }
 
@@ -407,6 +453,40 @@ pub fn render_metrics() -> String {
     obj.finish()
 }
 
+/// Renders a [`ReloadOutcome`] as the `reload` response object with
+/// fixed key order.
+pub fn render_reload(o: &ReloadOutcome, elapsed: Duration) -> String {
+    let devices: Vec<String> = o
+        .changed_devices
+        .iter()
+        .map(|d| format!("\"{}\"", json_escape(d)))
+        .collect();
+    let structural = match &o.structural {
+        Some(why) => format!("\"{}\"", json_escape(why)),
+        None => "null".to_string(),
+    };
+    let mut obj = JsonObj::new();
+    obj.field_bool("ok", true)
+        .field_str("op", "reload")
+        .field_bool("full_rebuild", o.full_rebuild)
+        .field_raw("structural", &structural)
+        .field_raw("changed_devices", &format!("[{}]", devices.join(", ")))
+        .field_u64("classes", o.classes as u64)
+        .field_u64("rederived", o.rederived as u64)
+        .field_u64("reused", o.reused as u64)
+        .field_u64("fingerprints_moved", o.fingerprints_moved as u64)
+        .field_u64("refinements_replayed", o.refinements_replayed as u64)
+        .field_u64("verdicts_kept", o.verdicts_kept as u64)
+        .field_u64("verdicts_dropped", o.verdicts_dropped as u64)
+        .field_u64("paths_kept", o.paths_kept as u64)
+        .field_u64("paths_dropped", o.paths_dropped as u64)
+        .field_u64("stages_evicted", o.invalidation.stages_evicted as u64)
+        .field_u64("sigs_evicted", o.invalidation.sigs_evicted as u64)
+        .field_u64("tables_evicted", o.invalidation.tables_evicted as u64)
+        .field_u64("reload_us", elapsed.as_micros() as u64);
+    obj.finish()
+}
+
 /// Renders a structured error response (the connection stays open unless
 /// the code says otherwise). `code` must be one of [`ERROR_CODES`].
 pub fn render_error(code: &str, message: &str) -> String {
@@ -425,15 +505,16 @@ pub fn render_error(code: &str, message: &str) -> String {
 /// Query-bearing ops (`reach`/`sweep`/`all_pairs`/`path`/`batch`) must
 /// take a permit from `gate` for the duration of the work; when the gate
 /// is full the request is answered `overloaded` without blocking.
-/// Control ops (`ping`/`stats`/`metrics`/`snapshot`/`shutdown`) bypass
-/// the gate — they stay answerable under full query load.
+/// Control ops (`ping`/`stats`/`metrics`/`snapshot`/`reload`/`shutdown`)
+/// bypass the gate — they stay answerable under full query load.
 pub fn answer_line(
-    session: &Session,
+    sessions: &SessionSlot,
     line: &str,
     options: &ServerOptions,
     gate: &Gate,
 ) -> (String, bool) {
     bonsai_obs::add("daemon.requests.total", 1);
+    let session = sessions.current();
     if line.len() > options.max_request_bytes {
         return (
             render_error(
@@ -550,6 +631,43 @@ pub fn answer_line(
                     false,
                 ),
                 Err(e) => (render_error("io", &format!("writing {path}: {e}")), false),
+            }
+        }
+        "reload" => {
+            let inline = doc.get("config").and_then(Json::as_str);
+            let file = doc.get("path").and_then(Json::as_str);
+            let text = match (inline, file) {
+                (Some(text), None) => text.to_string(),
+                (None, Some(p)) => match std::fs::read_to_string(p) {
+                    Ok(t) => t,
+                    Err(e) => return (render_error("io", &format!("reading {p}: {e}")), false),
+                },
+                _ => {
+                    return (
+                        render_error(
+                            "bad_request",
+                            "op \"reload\" needs exactly one of \"config\" or \"path\"",
+                        ),
+                        false,
+                    )
+                }
+            };
+            let network = match bonsai_config::parse_network(&text) {
+                Ok(n) => n,
+                Err(e) => {
+                    return (
+                        render_error("bad_request", &format!("config does not parse: {e}")),
+                        false,
+                    )
+                }
+            };
+            let start = std::time::Instant::now();
+            match sessions.reload(network) {
+                Ok(outcome) => {
+                    bonsai_obs::add("daemon.reloads.total", 1);
+                    (render_reload(&outcome, start.elapsed()), false)
+                }
+                Err(e) => (render_error("query", &format!("reload failed: {e}")), false),
             }
         }
         "shutdown" => ("{\"ok\": true, \"op\": \"shutdown\"}".to_string(), true),
@@ -726,7 +844,7 @@ type ConnCloser = Box<dyn Fn() + Send + Sync>;
 
 /// State shared by every accept loop and connection handler.
 struct Shared {
-    session: Arc<Session>,
+    session: SessionSlot,
     options: ServerOptions,
     gate: Arc<Gate>,
     stop: AtomicBool,
@@ -781,7 +899,7 @@ impl Server {
     fn new(session: Session, options: ServerOptions) -> Server {
         Server {
             shared: Arc::new(Shared {
-                session: Arc::new(session),
+                session: SessionSlot::new(session),
                 gate: Arc::new(Gate::new(options.max_inflight.max(1))),
                 options,
                 stop: AtomicBool::new(false),
@@ -850,7 +968,7 @@ impl Server {
     /// The served session (the integration tests read its counters
     /// directly while talking to the socket).
     pub fn session(&self) -> Arc<Session> {
-        self.shared.session.clone()
+        self.shared.session.current()
     }
 
     /// The in-flight query gate (tests hold permits to force

@@ -200,9 +200,18 @@ pub const METRICS: &[MetricDef] = &[
     ),
     gauge("session.memo.verdicts", "Entries in the verdict memo"),
     gauge("session.memo.paths", "Entries in the path-answer memo"),
+    gauge(
+        "session.memo.bytes",
+        "Estimated resident bytes across both answer memos",
+    ),
+    counter(
+        "session.memo.evictions",
+        "Answer-memo entries evicted by the byte cap",
+    ),
     // --- daemon: bonsaid serving ------------------------------------------
     counter("daemon.requests.total", "Request lines answered"),
     counter("daemon.errors.total", "Error responses rendered"),
+    counter("daemon.reloads.total", "Warm config reloads applied"),
     counter(
         "daemon.query.shed",
         "Query ops shed with `overloaded` by the in-flight gate",

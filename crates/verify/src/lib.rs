@@ -57,12 +57,15 @@ pub use failures::{
     check_cp_equivalence_under_failures, lift_failure_mask, FailureAuditOptions,
     FailureAuditReport, FailureCounterexample,
 };
-pub use netsweep::{sweep_network, EcSweep, NetworkSweepOptions, NetworkSweepReport};
+pub use netsweep::{
+    sweep_network, sweep_network_subset, EcSweep, NetworkSweepOptions, NetworkSweepReport,
+};
 pub use properties::{Reachability, SolutionAnalysis};
 pub use query::{QueryCtx, QueryScope, QueryStats};
 pub use search_engine::{SearchBudget, SearchOutcome};
 pub use session::{
-    QueryAnswer, QueryRequest, Session, SessionBuilder, SessionError, SessionOptions, SessionStats,
+    QueryAnswer, QueryRequest, ReloadOutcome, Session, SessionBuilder, SessionError,
+    SessionOptions, SessionStats,
 };
 pub use sim_engine::SimEngine;
 pub use sweep::{

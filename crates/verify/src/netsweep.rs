@@ -347,16 +347,36 @@ pub fn sweep_network(
     report: &CompressionReport,
     options: &NetworkSweepOptions,
 ) -> Result<NetworkSweepReport, EquivalenceError> {
-    let engine: &CompiledPolicies = &report.policies;
-    let keep: Option<BTreeSet<Community>> = engine
-        .strips_unused_communities()
-        .then(|| engine.communities().iter().copied().collect());
-    let k = options.sweep.max_failures;
     let n_ecs = if options.max_ecs == 0 {
         report.per_ec.len()
     } else {
         report.per_ec.len().min(options.max_ecs)
     };
+    let selected: Vec<usize> = (0..n_ecs).collect();
+    sweep_network_subset(network, topo, report, options, &selected)
+}
+
+/// [`sweep_network`] restricted to a chosen subset of the compression
+/// report's classes (`indices` into `report.per_ec`, in the order the
+/// caller wants them reported). This is the incremental-re-verification
+/// primitive: after a config delta, only the classes whose fingerprint
+/// moved are re-swept, and the subset's members share refinements among
+/// themselves exactly as a full sweep would (`options.max_ecs` is ignored
+/// — the subset *is* the cap). The returned report's `per_ec` has one
+/// entry per requested index, in request order.
+pub fn sweep_network_subset(
+    network: &NetworkConfig,
+    topo: &BuiltTopology,
+    report: &CompressionReport,
+    options: &NetworkSweepOptions,
+    indices: &[usize],
+) -> Result<NetworkSweepReport, EquivalenceError> {
+    let engine: &CompiledPolicies = &report.policies;
+    let keep: Option<BTreeSet<Community>> = engine
+        .strips_unused_communities()
+        .then(|| engine.communities().iter().copied().collect());
+    let k = options.sweep.max_failures;
+    let n_ecs = indices.len();
 
     // Hoist the per-class planes sequentially (deterministic fingerprint
     // interning and engine-cache population), sharing one distance matrix
@@ -366,7 +386,8 @@ pub fn sweep_network(
     let distances = Arc::new(NodeDistances::of_graph(&topo.graph));
     let exhaustive: Arc<ScenarioStream> = Arc::new(ScenarioStream::new(&topo.graph, k));
     let mut planes: Vec<EcPlane<'_>> = Vec::with_capacity(n_ecs);
-    for comp in report.per_ec.iter().take(n_ecs) {
+    for &ci in indices {
+        let comp = &report.per_ec[ci];
         let ec = comp.ec.to_ec_dest();
         let sigs = build_sig_table(engine, network, topo, &ec);
         let orbits =

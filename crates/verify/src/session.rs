@@ -107,13 +107,16 @@
 //! different network, with an explicit mismatch error.
 
 use crate::equivalence::EquivalenceError;
-use crate::netsweep::{sweep_network, NetworkSweepOptions, NetworkSweepReport};
+use crate::netsweep::{
+    sweep_network, sweep_network_subset, NetworkSweepOptions, NetworkSweepReport,
+};
 use crate::properties::SolutionAnalysis;
 use crate::query::QueryStats;
 use crate::sim_engine::{abstract_verdict, concrete_data_plane, concrete_verdict, refined_verdict};
 use crate::sweep::{canonical_abstract_solution, RefinementProvenance, ScenarioRefinement};
 use bonsai_config::{print_network, BuiltTopology, NetworkConfig};
-use bonsai_core::compress::{compress, refine_ec_with_split, CompressionReport};
+use bonsai_core::compress::{compress, recompress_delta, refine_ec_with_split, CompressionReport};
+use bonsai_core::engine::DeltaInvalidation;
 use bonsai_core::fanout::fan_out;
 use bonsai_core::scenarios::{
     link_orbits_with_distances, FailureScenario, LinkOrbits, NodeDistances, OrbitSignature,
@@ -121,22 +124,127 @@ use bonsai_core::scenarios::{
 };
 use bonsai_core::signatures::build_sig_table;
 use bonsai_core::snapshot::{json_escape, write_envelope, Envelope, Json};
+use bonsai_net::prefix::Prefix;
 use bonsai_net::NodeId;
-use bonsai_srp::instance::RibAttr;
+use bonsai_srp::instance::{OriginProto, RibAttr};
 use bonsai_srp::Solution;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// The per-`(class index, scenario)` verdict memo behind a [`Session`].
-type VerdictMemo = HashMap<(usize, FailureScenario), Arc<Vec<bool>>>;
+type VerdictMemo = MemoTier<(usize, FailureScenario), Vec<bool>>;
 
 /// Key of the path-query memo: `(src, dst, scenario, sorted waypoints)`.
 type PathKey = (NodeId, NodeId, FailureScenario, Vec<NodeId>);
 
 /// The memo behind [`Session::path`].
-type PathMemo = HashMap<PathKey, Arc<Vec<PathAnswer>>>;
+type PathMemo = MemoTier<PathKey, Vec<PathAnswer>>;
+
+/// The identity a destination class keeps across a config delta: same
+/// representative, same address ranges, same origin set. Matches
+/// `recompress_delta`'s class correspondence.
+type EcIdentity = (Prefix, Vec<Prefix>, Vec<(NodeId, OriginProto)>);
+
+/// One resident memo entry: the shared answer plus the bookkeeping the
+/// byte cap needs.
+struct MemoEntry<V> {
+    value: Arc<V>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// A byte-capped memo with least-recently-used eviction. With a cap of 0
+/// the tier is unbounded (the historical behavior); otherwise an insert
+/// that pushes the estimated resident bytes past the cap evicts the
+/// stalest entries (never the one just inserted) until the tier fits.
+struct MemoTier<K, V> {
+    map: HashMap<K, MemoEntry<V>>,
+    bytes: usize,
+    tick: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> MemoTier<K, V> {
+    fn new() -> Self {
+        MemoTier {
+            map: HashMap::new(),
+            bytes: 0,
+            tick: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Estimated resident bytes across all entries.
+    fn resident_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn get(&mut self, key: &K) -> Option<Arc<V>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            e.value.clone()
+        })
+    }
+
+    /// Inserts and enforces the cap, returning how many entries were
+    /// evicted to make room.
+    fn insert(&mut self, key: K, value: Arc<V>, bytes: usize, cap: usize) -> usize {
+        self.tick += 1;
+        let entry = MemoEntry {
+            value,
+            bytes,
+            last_used: self.tick,
+        };
+        if let Some(old) = self.map.insert(key, entry) {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        let mut evicted = 0;
+        if cap > 0 {
+            // The freshly inserted entry holds the highest tick, so the
+            // LRU scan never picks it while anything else remains.
+            while self.bytes > cap && self.map.len() > 1 {
+                let stalest = self
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                    .expect("non-empty map has a minimum");
+                if let Some(e) = self.map.remove(&stalest) {
+                    self.bytes -= e.bytes;
+                    evicted += 1;
+                }
+            }
+        }
+        evicted
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (&K, &Arc<V>)> {
+        self.map.iter().map(|(k, e)| (k, &e.value))
+    }
+}
+
+/// Estimated resident bytes of one verdict-memo entry.
+fn verdict_entry_bytes(key: &(usize, FailureScenario), verdict: &[bool]) -> usize {
+    48 + key.1.links.len() * 16 + verdict.len()
+}
+
+/// Estimated resident bytes of one path-memo entry.
+fn path_entry_bytes(key: &PathKey, answers: &[PathAnswer]) -> usize {
+    64 + key.2.links.len() * 16
+        + key.3.len() * 8
+        + answers
+            .iter()
+            .map(|a| 48 + a.prefix.len() + a.lengths.as_ref().map_or(0, |l| l.len() * 8))
+            .sum::<usize>()
+}
 
 /// Envelope kind of a serialized session snapshot.
 pub const SESSION_SNAPSHOT_KIND: &str = "bonsai/session";
@@ -190,6 +298,11 @@ pub struct SessionOptions {
     /// Cap on destination classes (0 = all). Queries only see swept
     /// classes.
     pub max_ecs: usize,
+    /// Byte cap applied to **each** answer memo (verdict tier and path
+    /// tier independently); 0 = unbounded. When an insert pushes a tier
+    /// past the cap, the least-recently-used entries are evicted (counted
+    /// by `session.memo.evictions` and [`SessionStats::memo_evictions`]).
+    pub memo_cap_bytes: usize,
     /// Compression options (community stripping, arena size).
     pub compress: bonsai_core::compress::CompressOptions,
 }
@@ -202,6 +315,7 @@ impl Default for SessionOptions {
             prune_symmetric: false,
             verify_transfers: false,
             max_ecs: 0,
+            memo_cap_bytes: 0,
             compress: Default::default(),
         }
     }
@@ -237,6 +351,12 @@ impl SessionBuilder {
     /// Cap on destination classes (default 0 = all).
     pub fn max_ecs(mut self, max_ecs: usize) -> Self {
         self.options.max_ecs = max_ecs;
+        self
+    }
+
+    /// Byte cap per answer-memo tier (default 0 = unbounded).
+    pub fn memo_cap_bytes(mut self, cap: usize) -> Self {
+        self.options.memo_cap_bytes = cap;
         self
     }
 
@@ -427,8 +547,10 @@ impl SessionBuilder {
         // verdict and path answer verbatim, so previously-seen queries
         // never reach the solver after a restart.
         let n_nodes = topo.graph.node_count();
-        let mut verdicts: VerdictMemo = HashMap::new();
-        let mut paths: PathMemo = HashMap::new();
+        let mut verdicts = VerdictMemo::new();
+        let mut paths = PathMemo::new();
+        let memo_cap = self.options.memo_cap_bytes;
+        let mut restore_evictions = 0usize;
         let mut restored_answers = 0usize;
         let rep_index: HashMap<String, usize> = report
             .per_ec
@@ -477,7 +599,9 @@ impl SessionBuilder {
                         "verdict bits for {rep} are not {n_nodes} of '0'/'1'"
                     ))
                 })?;
-                verdicts.insert((i, scenario), Arc::new(verdict));
+                let key = (i, scenario);
+                let bytes = verdict_entry_bytes(&key, &verdict);
+                restore_evictions += verdicts.insert(key, Arc::new(verdict), bytes, memo_cap);
                 restored_answers += 1;
             }
         }
@@ -522,11 +646,16 @@ impl SessionBuilder {
                     waypointed,
                 });
             }
-            paths.insert((src, dst, scenario, waypoints), Arc::new(answers));
+            let key = (src, dst, scenario, waypoints);
+            let bytes = path_entry_bytes(&key, &answers);
+            restore_evictions += paths.insert(key, Arc::new(answers), bytes, memo_cap);
             restored_answers += 1;
         }
 
         let scenarios = ScenarioStream::new(&topo.graph, k).to_vec();
+        if restore_evictions > 0 {
+            bonsai_obs::add("session.memo.evictions", restore_evictions as u64);
+        }
         Ok(Session {
             summary: SweepSummary {
                 k,
@@ -549,6 +678,7 @@ impl SessionBuilder {
             paths: Mutex::new(paths),
             queries: AtomicUsize::new(0),
             verdict_cache_hits: AtomicUsize::new(0),
+            memo_evictions: AtomicUsize::new(restore_evictions),
             solve_stats: Mutex::new(QueryStats::default()),
         })
     }
@@ -606,6 +736,9 @@ pub struct Session {
     paths: Mutex<PathMemo>,
     queries: AtomicUsize,
     verdict_cache_hits: AtomicUsize,
+    /// Memo entries evicted by the byte cap since build
+    /// ([`SessionOptions::memo_cap_bytes`]).
+    memo_evictions: AtomicUsize,
     solve_stats: Mutex<QueryStats>,
 }
 
@@ -638,6 +771,11 @@ pub struct SessionStats {
     pub verdict_memo: usize,
     /// Entries resident in the path-query memo.
     pub path_memo: usize,
+    /// Estimated resident bytes across both answer memos.
+    pub memo_bytes: usize,
+    /// Memo entries evicted by the byte cap since build
+    /// ([`SessionOptions::memo_cap_bytes`]; 0 when uncapped).
+    pub memo_evictions: usize,
     /// The build-time sweep.
     pub sweep: SweepSummary,
 }
@@ -657,6 +795,7 @@ impl SessionStats {
         );
         bonsai_obs::set("session.memo.verdicts", self.verdict_memo as u64);
         bonsai_obs::set("session.memo.paths", self.path_memo as u64);
+        bonsai_obs::set("session.memo.bytes", self.memo_bytes as u64);
     }
 }
 
@@ -732,10 +871,11 @@ impl Session {
             fingerprint,
             options,
             summary,
-            verdicts: Mutex::new(HashMap::new()),
-            paths: Mutex::new(HashMap::new()),
+            verdicts: Mutex::new(VerdictMemo::new()),
+            paths: Mutex::new(PathMemo::new()),
             queries: AtomicUsize::new(0),
             verdict_cache_hits: AtomicUsize::new(0),
+            memo_evictions: AtomicUsize::new(0),
             solve_stats: Mutex::new(QueryStats::default()),
         })
     }
@@ -775,6 +915,14 @@ impl Session {
     /// into the process-wide metric registry (`session.*`).
     pub fn stats(&self) -> SessionStats {
         let solve = *self.solve_stats.lock().unwrap();
+        let (verdict_memo, verdict_bytes) = {
+            let v = self.verdicts.lock().unwrap();
+            (v.len(), v.resident_bytes())
+        };
+        let (path_memo, path_bytes) = {
+            let p = self.paths.lock().unwrap();
+            (p.len(), p.resident_bytes())
+        };
         let stats = SessionStats {
             classes: self.planes.len(),
             k: self.summary.k,
@@ -785,8 +933,10 @@ impl Session {
             concrete_solves: solve.concrete_solves,
             solver_updates: solve.solver_updates,
             cached_answers: solve.cached_answers,
-            verdict_memo: self.verdicts.lock().unwrap().len(),
-            path_memo: self.paths.lock().unwrap().len(),
+            verdict_memo,
+            path_memo,
+            memo_bytes: verdict_bytes + path_bytes,
+            memo_evictions: self.memo_evictions.load(Ordering::Relaxed),
             sweep: self.summary,
         };
         stats.publish();
@@ -823,7 +973,7 @@ impl Session {
     ) -> Result<Arc<Vec<bool>>, SessionError> {
         if let Some(v) = self.verdicts.lock().unwrap().get(&(i, scenario.clone())) {
             self.verdict_cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(v.clone());
+            return Ok(v);
         }
         let comp = &self.report.per_ec[i];
         let plane = &self.planes[i];
@@ -861,11 +1011,25 @@ impl Session {
         .map_err(|e| SessionError::Solve(e.to_string()))?;
         self.solve_stats.lock().unwrap().absorb(&stats);
         let verdict = Arc::new(verdict);
-        self.verdicts
-            .lock()
-            .unwrap()
-            .insert((i, scenario.clone()), verdict.clone());
+        let key = (i, scenario.clone());
+        let bytes = verdict_entry_bytes(&key, &verdict);
+        let evicted = self.verdicts.lock().unwrap().insert(
+            key,
+            verdict.clone(),
+            bytes,
+            self.options.memo_cap_bytes,
+        );
+        self.note_evictions(evicted);
         Ok(verdict)
+    }
+
+    /// Folds cap evictions into the session counter and the process-wide
+    /// registry.
+    fn note_evictions(&self, evicted: usize) {
+        if evicted > 0 {
+            self.memo_evictions.fetch_add(evicted, Ordering::Relaxed);
+            bonsai_obs::add("session.memo.evictions", evicted as u64);
+        }
     }
 
     /// Which prefixes originated at `dst` does `src` deliver to, with the
@@ -1020,7 +1184,14 @@ impl Session {
         }
         self.solve_stats.lock().unwrap().absorb(&stats);
         let answers = Arc::new(answers);
-        self.paths.lock().unwrap().insert(key, answers.clone());
+        let bytes = path_entry_bytes(&key, &answers);
+        let evicted = self.paths.lock().unwrap().insert(
+            key,
+            answers.clone(),
+            bytes,
+            self.options.memo_cap_bytes,
+        );
+        self.note_evictions(evicted);
         Ok(answers.as_ref().clone())
     }
 
@@ -1215,6 +1386,459 @@ impl Session {
         std::fs::write(path, &doc)?;
         Ok(doc.len())
     }
+
+    /// The sweep options this session was built under (what [`reload`]
+    /// re-sweeps with).
+    ///
+    /// [`reload`]: Session::reload
+    fn network_sweep_options(&self) -> NetworkSweepOptions {
+        NetworkSweepOptions {
+            sweep: crate::sweep::SweepOptions {
+                max_failures: self.summary.k,
+                prune_symmetric: self.options.prune_symmetric,
+                threads: self.options.threads,
+                ..Default::default()
+            },
+            share_across_ecs: true,
+            verify_transfers: self.options.verify_transfers,
+            max_ecs: 0,
+            ..Default::default()
+        }
+    }
+
+    /// Warm-reloads the session onto an edited configuration — the
+    /// incremental counterpart of a cold [`Session::builder`] build.
+    ///
+    /// The difference between the resident network and `new_network` is
+    /// classified and absorbed by
+    /// [`recompress_delta`]:
+    /// only destination classes whose signature table actually changed
+    /// are re-swept (through [`sweep_network_subset`], sharing
+    /// refinements among themselves exactly as a full sweep would), while
+    /// every untouched class keeps its abstraction and replays its cached
+    /// refinement splits against the new configs with **zero**
+    /// verification solves — the same replay the snapshot-restore path
+    /// uses. Memoized answers survive for untouched classes: verdicts are
+    /// remapped to the class's new index, and path answers are kept
+    /// unless any class they mention (or the destination's origin set)
+    /// was re-derived. A structural delta (device set, links, BGP session
+    /// shape, …) falls back to a cold rebuild with all memos dropped.
+    ///
+    /// The resident session is left untouched — the caller (the daemon's
+    /// `reload` op) swaps the returned session in atomically. The
+    /// returned [`ReloadOutcome`] is the audit trail of what moved;
+    /// [`Session::state_digest`] of the result is byte-identical to a
+    /// fresh build's.
+    pub fn reload(
+        &self,
+        new_network: NetworkConfig,
+    ) -> Result<(Session, ReloadOutcome), SessionError> {
+        let dr = recompress_delta(
+            &self.report,
+            &self.network,
+            &new_network,
+            self.options.compress,
+        );
+        if dr.full_rebuild {
+            let verdicts_dropped = self.verdicts.lock().unwrap().len();
+            let paths_dropped = self.paths.lock().unwrap().len();
+            let structural = dr.delta.structural.clone();
+            let changed_devices = dr.delta.changed_devices.clone();
+            let fingerprints_moved = dr.fingerprints_moved;
+            let invalidation = dr.invalidation;
+            // `dr.report` already holds the fresh compression on a fresh
+            // engine — sweep it rather than compressing a second time.
+            let topo = BuiltTopology::build(&new_network)
+                .map_err(|e| SessionError::Build(e.to_string()))?;
+            let mut opts = self.network_sweep_options();
+            opts.max_ecs = self.options.max_ecs;
+            let sweep = sweep_network(&new_network, &topo, &dr.report, &opts)
+                .map_err(|e: EquivalenceError| SessionError::Build(e.to_string()))?;
+            let session = Session::from_sweep(new_network, dr.report, sweep, self.options)?;
+            let outcome = ReloadOutcome {
+                classes: session.classes(),
+                rederived: session.classes(),
+                reused: 0,
+                fingerprints_moved,
+                refinements_replayed: 0,
+                verdicts_kept: 0,
+                verdicts_dropped,
+                paths_kept: 0,
+                paths_dropped,
+                full_rebuild: true,
+                structural,
+                changed_devices,
+                invalidation,
+            };
+            return Ok((session, outcome));
+        }
+
+        let report = dr.report;
+        let topo =
+            BuiltTopology::build(&new_network).map_err(|e| SessionError::Build(e.to_string()))?;
+        let n_ecs = if self.options.max_ecs == 0 {
+            report.per_ec.len()
+        } else {
+            report.per_ec.len().min(self.options.max_ecs)
+        };
+
+        // Old class identity → old plane index (only classes the old
+        // session actually served can donate state).
+        let old_index: HashMap<EcIdentity, usize> = self
+            .report
+            .per_ec
+            .iter()
+            .take(self.planes.len())
+            .enumerate()
+            .map(|(i, c)| (ec_identity(&c.ec), i))
+            .collect();
+
+        // A class is re-swept when the delta re-derived its abstraction,
+        // or when the old session has no plane for it (brand-new class,
+        // or one past the old `max_ecs` cap).
+        let mut rederived: BTreeSet<usize> = dr
+            .rederived
+            .iter()
+            .copied()
+            .filter(|&i| i < n_ecs)
+            .collect();
+        let mut kept: Vec<(usize, usize)> = Vec::new();
+        for (i, comp) in report.per_ec.iter().take(n_ecs).enumerate() {
+            if rederived.contains(&i) {
+                continue;
+            }
+            match old_index.get(&ec_identity(&comp.ec)) {
+                Some(&old_i) => kept.push((i, old_i)),
+                None => {
+                    rederived.insert(i);
+                }
+            }
+        }
+
+        // One subset sweep over every re-derived class: the subset shares
+        // refinements among itself exactly as the cold build's full sweep
+        // would have.
+        let rederived_list: Vec<usize> = rederived.iter().copied().collect();
+        let mut fresh: HashMap<usize, crate::netsweep::EcSweep> = HashMap::new();
+        let mut subset = (0usize, 0usize, 0usize, 0usize);
+        if !rederived_list.is_empty() {
+            let opts = self.network_sweep_options();
+            let sweep = sweep_network_subset(&new_network, &topo, &report, &opts, &rederived_list)
+                .map_err(|e: EquivalenceError| SessionError::Build(e.to_string()))?;
+            subset = (
+                sweep.scenarios_swept(),
+                sweep.derivations,
+                sweep.exact_transfers,
+                sweep.symmetric_transfers,
+            );
+            for (&ci, ec_sweep) in rederived_list.iter().zip(sweep.per_ec) {
+                fresh.insert(ci, ec_sweep);
+            }
+        }
+
+        let kept_of_new: HashMap<usize, usize> = kept.iter().copied().collect();
+        let distances = Arc::new(NodeDistances::of_graph(&topo.graph));
+        let mut planes = Vec::with_capacity(n_ecs);
+        let mut refinements_replayed = 0usize;
+        for (i, comp) in report.per_ec.iter().take(n_ecs).enumerate() {
+            let ec_dest = comp.ec.to_ec_dest();
+            let sigs = build_sig_table(&report.policies, &new_network, &topo, &ec_dest);
+            let orbits = link_orbits_with_distances(
+                &topo.graph,
+                &comp.abstraction,
+                &sigs,
+                distances.clone(),
+            );
+            let refinements = if let Some(ec_sweep) = fresh.remove(&i) {
+                ec_sweep.report.refinements
+            } else {
+                // Kept class: replay the resident refinements' splits
+                // against the new configs — cheap refines and canonical
+                // solves only, no verification loop.
+                let old_plane = &self.planes[kept_of_new[&i]];
+                let mut replayed: BTreeMap<OrbitSignature, ScenarioRefinement> = BTreeMap::new();
+                for r in old_plane.refinements.values() {
+                    let Some(signature) = orbits.signature_of(&r.representative) else {
+                        continue;
+                    };
+                    let (abstraction, abstract_network) = if r.split.is_empty() {
+                        (comp.abstraction.clone(), comp.abstract_network.clone())
+                    } else {
+                        refine_ec_with_split(
+                            &report.policies,
+                            &new_network,
+                            &topo,
+                            &ec_dest,
+                            &comp.abstraction,
+                            &r.split,
+                        )
+                    };
+                    let abstract_solution = canonical_abstract_solution(
+                        &abstraction,
+                        &abstract_network,
+                        &r.representative,
+                    );
+                    replayed.insert(
+                        signature.clone(),
+                        ScenarioRefinement {
+                            signature,
+                            representative: r.representative.clone(),
+                            split: r.split.clone(),
+                            abstraction,
+                            abstract_network,
+                            localized_refuted: r.localized_refuted,
+                            deviating_rounds: r.deviating_rounds,
+                            global_fallback: r.global_fallback,
+                            provenance: r.provenance,
+                            abstract_solution,
+                        },
+                    );
+                    refinements_replayed += 1;
+                }
+                replayed
+            };
+            let base_solution = canonical_abstract_solution(
+                &comp.abstraction,
+                &comp.abstract_network,
+                &FailureScenario::new(vec![]),
+            );
+            planes.push(QueryPlane {
+                orbits,
+                refinements,
+                base_solution,
+            });
+        }
+
+        // Answer migration. Verdicts are keyed by class index: remap kept
+        // classes, drop the rest. A path entry survives only if every
+        // class it mentions was kept and its destination's origin set
+        // gained no re-derived class (those would add answer rows the
+        // memo cannot know about).
+        let memo_cap = self.options.memo_cap_bytes;
+        let old_to_new: HashMap<usize, usize> = kept.iter().map(|&(n, o)| (o, n)).collect();
+        let mut verdicts = VerdictMemo::new();
+        let (mut verdicts_kept, mut verdicts_dropped) = (0usize, 0usize);
+        {
+            let old = self.verdicts.lock().unwrap();
+            for ((old_i, scenario), verdict) in old.iter() {
+                match old_to_new.get(old_i) {
+                    Some(&i) => {
+                        let key = (i, scenario.clone());
+                        let bytes = verdict_entry_bytes(&key, verdict);
+                        verdicts.insert(key, verdict.clone(), bytes, memo_cap);
+                        verdicts_kept += 1;
+                    }
+                    None => verdicts_dropped += 1,
+                }
+            }
+        }
+        let kept_reps: BTreeSet<String> = kept
+            .iter()
+            .map(|&(i, _)| report.per_ec[i].ec.rep.to_string())
+            .collect();
+        let mut dirty_dsts: BTreeSet<NodeId> = BTreeSet::new();
+        for &i in &rederived {
+            for &(n, _) in &report.per_ec[i].ec.origins {
+                dirty_dsts.insert(n);
+            }
+        }
+        let mut paths = PathMemo::new();
+        let (mut paths_kept, mut paths_dropped) = (0usize, 0usize);
+        {
+            let old = self.paths.lock().unwrap();
+            for (key, answers) in old.iter() {
+                let valid = !dirty_dsts.contains(&key.1)
+                    && answers.iter().all(|a| kept_reps.contains(&a.prefix));
+                if valid {
+                    let bytes = path_entry_bytes(key, answers);
+                    paths.insert(key.clone(), answers.clone(), bytes, memo_cap);
+                    paths_kept += 1;
+                } else {
+                    paths_dropped += 1;
+                }
+            }
+        }
+
+        let scenarios = ScenarioStream::new(&topo.graph, self.summary.k).to_vec();
+        let fingerprint = fnv64(&print_network(&new_network));
+        let summary = SweepSummary {
+            k: self.summary.k,
+            scenarios_swept: subset.0,
+            derivations: subset.1,
+            exact_transfers: subset.2,
+            symmetric_transfers: subset.3,
+            refinements: planes.iter().map(|p| p.refinements.len()).sum(),
+            restored: refinements_replayed,
+            restored_answers: verdicts_kept + paths_kept,
+        };
+        let outcome = ReloadOutcome {
+            classes: n_ecs,
+            rederived: rederived.len(),
+            reused: kept.len(),
+            fingerprints_moved: dr.fingerprints_moved,
+            refinements_replayed,
+            verdicts_kept,
+            verdicts_dropped,
+            paths_kept,
+            paths_dropped,
+            full_rebuild: false,
+            structural: None,
+            changed_devices: dr.delta.changed_devices.clone(),
+            invalidation: dr.invalidation,
+        };
+        let session = Session {
+            network: new_network,
+            topo,
+            report,
+            planes,
+            scenarios,
+            fingerprint,
+            options: self.options,
+            summary,
+            verdicts: Mutex::new(verdicts),
+            paths: Mutex::new(paths),
+            queries: AtomicUsize::new(0),
+            verdict_cache_hits: AtomicUsize::new(0),
+            memo_evictions: AtomicUsize::new(0),
+            solve_stats: Mutex::new(QueryStats::default()),
+        };
+        Ok((session, outcome))
+    }
+
+    /// A canonical, provenance-free rendering of the session's verified
+    /// state: destination classes, abstractions, abstract configs,
+    /// refinements, and the engine's sharing structure (policy
+    /// fingerprints densely renumbered by first use, so equal sharing
+    /// renders equally regardless of the engine's allocation history).
+    ///
+    /// Two sessions over the same network with the same options render
+    /// **byte-identically** whether built cold, restored from a snapshot,
+    /// or warm-reloaded through any chain of deltas, at any thread count
+    /// — the delta-equivalence tests pin exactly this. Memoized answers,
+    /// timings, and refinement provenance are excluded (they legitimately
+    /// differ between a cold build and a warm reload).
+    pub fn state_digest(&self) -> String {
+        let graph = &self.topo.graph;
+        let mut out = String::new();
+        out.push_str("bonsai-session-state v1\n");
+        out.push_str(&format!("k {}\n", self.summary.k));
+        out.push_str(&format!(
+            "prune_symmetric {}\n",
+            self.options.prune_symmetric
+        ));
+        out.push_str(&format!("network {}\n", self.fingerprint));
+        out.push_str(&format!("classes {}\n", self.planes.len()));
+        let mut canon_fp: HashMap<u32, usize> = HashMap::new();
+        for (i, plane) in self.planes.iter().enumerate() {
+            let comp = &self.report.per_ec[i];
+            let ec_dest = comp.ec.to_ec_dest();
+            let fp = self
+                .report
+                .policies
+                .ec_fingerprint(&self.network, &self.topo, &ec_dest);
+            let next = canon_fp.len();
+            let dense = *canon_fp.entry(fp.raw()).or_insert(next);
+            out.push_str(&format!("class {} rep {} fp {}\n", i, comp.ec.rep, dense));
+            let ranges: Vec<String> = comp.ec.ranges.iter().map(|r| r.to_string()).collect();
+            out.push_str(&format!("  ranges {}\n", ranges.join(" ")));
+            let origins: Vec<String> = comp
+                .ec
+                .origins
+                .iter()
+                .map(|&(n, p)| format!("{}:{:?}", graph.name(n), p))
+                .collect();
+            out.push_str(&format!("  origins {}\n", origins.join(" ")));
+            let mut blocks: Vec<(Vec<&str>, u32)> = comp
+                .abstraction
+                .partition
+                .blocks()
+                .map(|b| {
+                    let mut names: Vec<&str> = comp
+                        .abstraction
+                        .partition
+                        .members(b)
+                        .iter()
+                        .map(|&x| graph.name(NodeId(x)))
+                        .collect();
+                    names.sort_unstable();
+                    (names, comp.abstraction.copies[b.index()])
+                })
+                .collect();
+            blocks.sort();
+            for (names, copies) in &blocks {
+                out.push_str(&format!(
+                    "  block {{{}}} copies {}\n",
+                    names.join(","),
+                    copies
+                ));
+            }
+            out.push_str("  abstract-config\n");
+            for line in print_network(&comp.abstract_network.network).lines() {
+                out.push_str("    ");
+                out.push_str(line);
+                out.push('\n');
+            }
+            out.push_str(&format!("  refinements {}\n", plane.refinements.len()));
+            for r in plane.refinements.values() {
+                let links: Vec<String> = r
+                    .representative
+                    .links
+                    .iter()
+                    .map(|&(u, v)| format!("{}--{}", graph.name(u), graph.name(v)))
+                    .collect();
+                let split: Vec<&str> = r.split.iter().map(|&n| graph.name(n)).collect();
+                out.push_str(&format!(
+                    "  refine links [{}] split [{}] localized_refuted {} \
+                     deviating_rounds {} global_fallback {}\n",
+                    links.join(" "),
+                    split.join(" "),
+                    r.localized_refuted,
+                    r.deviating_rounds,
+                    r.global_fallback,
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// What one [`Session::reload`] did: how much of the resident state
+/// survived the delta, and what had to be redone.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReloadOutcome {
+    /// Destination classes the new session serves.
+    pub classes: usize,
+    /// Classes whose abstraction was re-derived and re-swept.
+    pub rederived: usize,
+    /// Classes that kept their abstraction and replayed their cached
+    /// refinements (table proven semantically equal across the delta).
+    pub reused: usize,
+    /// Classes whose engine fingerprint changed across the delta.
+    pub fingerprints_moved: usize,
+    /// Refinements replayed for kept classes (zero verification solves).
+    pub refinements_replayed: usize,
+    /// Verdict-memo entries remapped onto the new session.
+    pub verdicts_kept: usize,
+    /// Verdict-memo entries invalidated by the delta.
+    pub verdicts_dropped: usize,
+    /// Path-memo entries carried over.
+    pub paths_kept: usize,
+    /// Path-memo entries invalidated by the delta.
+    pub paths_dropped: usize,
+    /// True when the delta was structural and the session was rebuilt
+    /// cold (all memos dropped).
+    pub full_rebuild: bool,
+    /// Why the rebuild was structural (`None` on the incremental path).
+    pub structural: Option<String>,
+    /// Devices whose configuration changed, by name.
+    pub changed_devices: Vec<String>,
+    /// What the engine evicted (zeroed on a full rebuild).
+    pub invalidation: DeltaInvalidation,
+}
+
+/// The delta-stable identity of a destination class.
+fn ec_identity(ec: &bonsai_core::ecs::DestEc) -> EcIdentity {
+    (ec.rep, ec.ranges.clone(), ec.origins.clone())
 }
 
 /// One prefix's delivery verdict under one scenario.
@@ -1528,6 +2152,160 @@ mod tests {
             SessionError::Snapshot(msg) => assert!(msg.contains("fingerprint mismatch"), "{msg}"),
             other => panic!("wrong error: {other:?}"),
         }
+    }
+
+    /// Two devices, two destination classes: a route-map clause on `a`
+    /// matches only 10.0.1.0/24, so editing its set action re-derives
+    /// exactly that class (mirrors the core delta tests).
+    fn delta_base_net() -> NetworkConfig {
+        bonsai_config::parse_network(
+            "
+device a
+interface i
+ip prefix-list P10 seq 5 permit 10.0.1.0/24
+route-map M permit 10
+ match ip address prefix-list P10
+ set local-preference 200
+route-map M permit 20
+router bgp 1
+ neighbor i remote-as external
+ neighbor i route-map M in
+end
+device b
+interface i
+router bgp 2
+ network 10.0.1.0/24
+ network 10.0.2.0/24
+ neighbor i remote-as external
+end
+link a i b i
+",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reload_rederives_only_touched_classes() {
+        let old_net = delta_base_net();
+        let s = Session::builder(old_net.clone())
+            .max_failures(1)
+            .threads(2)
+            .build()
+            .expect("session builds");
+        // Warm the verdict memo across both classes.
+        let before = s.reach("a", "b", &[]).unwrap();
+        assert_eq!(before.len(), 2);
+
+        let mut new_net = old_net.clone();
+        new_net.devices[0].route_maps[0].clauses[0].sets =
+            vec![bonsai_config::SetAction::LocalPref(300)];
+        let (reloaded, outcome) = s.reload(new_net.clone()).expect("reload succeeds");
+        assert!(!outcome.full_rebuild);
+        assert_eq!(outcome.classes, 2);
+        assert_eq!(outcome.reused, 1);
+        assert_eq!(outcome.rederived, 1);
+        assert_eq!(outcome.changed_devices, vec!["a".to_string()]);
+        assert!(outcome.invalidation.tables_evicted > 0);
+        // The kept class's memoized verdict survived; the touched one's
+        // was dropped.
+        assert_eq!(outcome.verdicts_kept, 1);
+        assert_eq!(outcome.verdicts_dropped, 1);
+
+        // Answers agree with a cold build of the new network.
+        let fresh = Session::builder(new_net)
+            .max_failures(1)
+            .threads(2)
+            .build()
+            .expect("fresh session builds");
+        assert_eq!(
+            reloaded.reach("a", "b", &[]).unwrap(),
+            fresh.reach("a", "b", &[]).unwrap()
+        );
+        assert_eq!(
+            reloaded.state_digest(),
+            fresh.state_digest(),
+            "warm reload state is byte-identical to a cold build"
+        );
+    }
+
+    #[test]
+    fn reload_of_structural_edit_rebuilds_cold() {
+        let old_net = delta_base_net();
+        let s = Session::builder(old_net.clone())
+            .max_failures(1)
+            .threads(1)
+            .build()
+            .expect("session builds");
+        s.reach("a", "b", &[]).unwrap();
+        let mut new_net = old_net.clone();
+        new_net.devices[1].bgp.as_mut().unwrap().default_local_pref = 150;
+        let (reloaded, outcome) = s.reload(new_net.clone()).expect("reload succeeds");
+        assert!(outcome.full_rebuild);
+        assert!(outcome.structural.is_some());
+        assert_eq!(outcome.verdicts_kept, 0);
+        assert!(outcome.verdicts_dropped > 0);
+        let fresh = Session::builder(new_net)
+            .max_failures(1)
+            .threads(1)
+            .build()
+            .expect("fresh session builds");
+        assert_eq!(reloaded.state_digest(), fresh.state_digest());
+    }
+
+    #[test]
+    fn reload_onto_identical_config_keeps_everything() {
+        let net = delta_base_net();
+        let s = Session::builder(net.clone())
+            .max_failures(1)
+            .threads(1)
+            .build()
+            .expect("session builds");
+        s.reach("a", "b", &[]).unwrap();
+        let (reloaded, outcome) = s.reload(net).expect("reload succeeds");
+        assert!(!outcome.full_rebuild);
+        assert_eq!(outcome.rederived, 0);
+        assert_eq!(outcome.reused, 2);
+        assert_eq!(outcome.verdicts_dropped, 0);
+        assert_eq!(outcome.verdicts_kept, 2);
+        assert_eq!(reloaded.state_digest(), s.state_digest());
+        // Served from the carried memo: zero additional solver work.
+        let before = reloaded.stats();
+        reloaded.reach("a", "b", &[]).unwrap();
+        let after = reloaded.stats();
+        assert_eq!(after.solver_updates, before.solver_updates);
+        assert!(after.verdict_cache_hits > before.verdict_cache_hits);
+    }
+
+    #[test]
+    fn memo_cap_evicts_stalest_entries() {
+        let cap = 160;
+        let s = Session::builder(bonsai_srp::papernets::figure2_gadget())
+            .max_failures(1)
+            .threads(1)
+            .memo_cap_bytes(cap)
+            .build()
+            .expect("session builds");
+        let links = [
+            ("a", "b1"),
+            ("a", "b2"),
+            ("a", "b3"),
+            ("b1", "d"),
+            ("b2", "d"),
+            ("b3", "d"),
+        ];
+        let first = s.reach("a", "d", &[]).unwrap();
+        for (u, v) in links {
+            s.reach("a", "d", &[(u.into(), v.into())]).unwrap();
+        }
+        let stats = s.stats();
+        assert!(stats.memo_evictions > 0, "cap forced evictions");
+        assert!(
+            stats.verdict_memo < 1 + links.len(),
+            "memo stayed bounded: {} entries",
+            stats.verdict_memo
+        );
+        // Evicted answers recompute identically.
+        assert_eq!(s.reach("a", "d", &[]).unwrap(), first);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bonsai compress <network.cfg> [--out <dir>] [--strip-unused-communities]
+//! bonsai print    <network.cfg>          # canonical config text (expands gen:)
 //! bonsai roles    <network.cfg> [--strip-unused-communities] [--ignore-static]
 //! bonsai check    <network.cfg>          # verify CP-equivalence per class
 //! bonsai ecs      <network.cfg>          # list destination classes
@@ -17,14 +18,21 @@
 //!                 [--max-requests n] [--idle-timeout secs]
 //!                                        # run bonsaid (socket and/or TCP)
 //! bonsai query    (--socket <path> | --tcp <addr>) [--ping] [--stats]
-//!                 [--shutdown] [--reach <src>:<dst>] [--sweep <src>:<dst>]
-//!                 [--path <src>:<dst> [--via <node>]...] [--all-pairs]
-//!                 [--fail <u>:<v>]... ['{"op": ...}']...
+//!                 [--reload <path>] [--shutdown] [--reach <src>:<dst>]
+//!                 [--sweep <src>:<dst>] [--path <src>:<dst> [--via <node>]...]
+//!                 [--all-pairs] [--fail <u>:<v>]... ['{"op": ...}']...
 //!                                        # talk to a running bonsaid
-//! bonsai metrics  [--socket <path> | --tcp <addr>]
+//!                                        # (--reload warm-swaps the daemon
+//!                                        # onto the server-side config file)
+//! bonsai metrics  [--socket <path> | --tcp <addr>] [--fallback]
 //!                                        # Prometheus exposition: scrape a
-//!                                        # running bonsaid, or print this
-//!                                        # process's (empty) registry
+//!                                        # running bonsaid; an unreachable
+//!                                        # endpoint is a nonzero exit unless
+//!                                        # --fallback serves this process's
+//!                                        # (empty) registry instead
+//! bonsai diff     <old.cfg> <new.cfg> [--failures k] [--threads n]
+//!                 [--json [path]]        # classify the config delta and
+//!                                        # re-verify only the touched classes
 //! ```
 //!
 //! `compress`, `failures` and `serve` also take `--trace <path>`: every
@@ -66,12 +74,14 @@
 //! `docs/PROTOCOL.md` (`--idle-timeout 0` never reaps). `query` is the
 //! matching client and needs no network file.
 
-use bonsai::cli::{FailuresDoc, QueryDoc};
-use bonsai::core::compress::{compress, CompressOptions};
+use bonsai::cli::{DiffDoc, FailuresDoc, QueryDoc, RederivedDoc};
+use bonsai::core::compress::{compress, recompress_delta, CompressOptions};
 use bonsai::core::roles::{count_roles, RoleOptions};
 use bonsai::daemon::{Client, Server, ServerOptions};
 use bonsai::verify::equivalence::check_cp_equivalence_under_h;
-use bonsai::verify::netsweep::{sweep_network, NetworkSweepOptions, NetworkSweepReport, ShardSpec};
+use bonsai::verify::netsweep::{
+    sweep_network, sweep_network_subset, NetworkSweepOptions, NetworkSweepReport, ShardSpec,
+};
 use bonsai::verify::query::QueryCtx;
 use bonsai::verify::session::Session;
 use bonsai::verify::sim_engine::SimEngine;
@@ -325,7 +335,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!(
-            "usage: bonsai <compress|roles|check|ecs|failures|serve|query|metrics> \
+            "usage: bonsai <compress|roles|check|ecs|failures|diff|serve|query|metrics> \
              <network.cfg> [options]"
         );
         return ExitCode::from(2);
@@ -354,6 +364,11 @@ fn main() -> ExitCode {
     }
     if command == "metrics" {
         return cmd_metrics(&args);
+    }
+    // `diff` takes *two* network paths, so it dispatches before the
+    // single-network requirement below.
+    if command == "diff" {
+        return cmd_diff(&args);
     }
     if command == "failures" && args.iter().any(|a| a == "--merge") {
         return cmd_merge_failures(&args);
@@ -402,6 +417,13 @@ fn main() -> ExitCode {
     };
 
     match command.as_str() {
+        // Round-trips the parsed network to canonical config text —
+        // chiefly for materializing `gen:` specs into editable files
+        // (the delta-smoke workflow: print, edit one stanza, `diff`).
+        "print" => {
+            print!("{}", print_network(&network));
+            ExitCode::SUCCESS
+        }
         "ecs" => {
             let ecs = bonsai::core::ecs::compute_ecs(&network, &topo);
             println!("{} destination equivalence classes:", ecs.len());
@@ -741,6 +763,208 @@ fn main() -> ExitCode {
     }
 }
 
+/// `bonsai diff <old> <new>`: classify the config delta, absorb it into
+/// the old network's warm engine, and re-verify only the classes the
+/// edit touched. `full_s` is the measured full compress + sweep of the
+/// old network (the warm baseline a non-incremental pipeline would pay
+/// again); `delta_s` is the delta apply plus the subset re-sweep.
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let paths: Vec<&String> = args[1..]
+        .iter()
+        .take_while(|a| !a.starts_with("--"))
+        .collect();
+    let [old_path, new_path] = paths[..] else {
+        eprintln!(
+            "usage: bonsai diff <old.cfg> <new.cfg> [--failures k] [--threads n] [--json [path]]"
+        );
+        return ExitCode::from(2);
+    };
+    let (k, threads) = match (
+        usize_flag(args, "--failures", 1),
+        usize_flag(args, "--threads", 0),
+    ) {
+        (Ok(k), Ok(t)) => (k, t),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let strip = args.iter().any(|a| a == "--strip-unused-communities");
+    let json = json_flag(args);
+    let mut nets = Vec::with_capacity(2);
+    for path in [old_path, new_path] {
+        let text = match read_network_text(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(1);
+            }
+        };
+        match parse_network(&text) {
+            Ok(n) => nets.push(n),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let new_net = nets.pop().expect("two networks read");
+    let old_net = nets.pop().expect("two networks read");
+    let new_topo = match BuiltTopology::build(&new_net) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{new_path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let options = CompressOptions {
+        strip_unused_communities: strip,
+        ..Default::default()
+    };
+    let sweep_options = NetworkSweepOptions {
+        sweep: SweepOptions {
+            max_failures: k,
+            threads,
+            ..Default::default()
+        },
+        share_across_ecs: true,
+        ..Default::default()
+    };
+
+    // The warm baseline: the full compress + sweep of the old network.
+    let old_topo = match BuiltTopology::build(&old_net) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{old_path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let full_start = std::time::Instant::now();
+    let old_report = {
+        let _span = bonsai::obs::span!("cli.compress", devices = old_net.devices.len());
+        compress(&old_net, options)
+    };
+    if let Err(e) = sweep_network(&old_net, &old_topo, &old_report, &sweep_options) {
+        eprintln!("baseline sweep failed: {e}");
+        return ExitCode::from(1);
+    }
+    let full_s = full_start.elapsed().as_secs_f64();
+
+    // The delta path: absorb the edit, then re-sweep only what moved.
+    let delta_start = std::time::Instant::now();
+    let dr = {
+        let _span = bonsai::obs::span!("cli.diff", devices = new_net.devices.len());
+        recompress_delta(&old_report, &old_net, &new_net, options)
+    };
+    let subset = {
+        let _span = bonsai::obs::span!("cli.sweep", k = k, classes = dr.rederived.len());
+        match sweep_network_subset(
+            &new_net,
+            &new_topo,
+            &dr.report,
+            &sweep_options,
+            &dr.rederived,
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("delta re-sweep failed: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    };
+    let delta_s = delta_start.elapsed().as_secs_f64();
+
+    let rederived_docs: Vec<RederivedDoc> = subset
+        .per_ec
+        .iter()
+        .map(|ec| RederivedDoc {
+            rep: ec.rep.to_string(),
+            scenarios: ec.report.scenarios_swept(),
+            refinements: ec.report.refinements.len(),
+            derivations: ec.report.derivations,
+        })
+        .collect();
+    let doc = DiffDoc {
+        k,
+        threads,
+        nodes: new_topo.graph.node_count(),
+        links: new_topo.graph.link_count(),
+        ecs_total: dr.ecs_total(),
+        ecs_rederived: dr.rederived.len(),
+        reused: dr.reused,
+        fingerprints_moved: dr.fingerprints_moved,
+        full_rebuild: dr.full_rebuild,
+        structural: dr.delta.structural.clone(),
+        changed_devices: dr.delta.changed_devices.clone(),
+        stages_evicted: dr.invalidation.stages_evicted,
+        sigs_evicted: dr.invalidation.sigs_evicted,
+        tables_evicted: dr.invalidation.tables_evicted,
+        rederived: rederived_docs,
+        full_s,
+        delta_s,
+    };
+    if let Some(None) = &json {
+        print!("{}", doc.render());
+        return ExitCode::SUCCESS;
+    }
+
+    if doc.changed_devices.is_empty() {
+        println!("no device changed; all {} classes reused", doc.ecs_total);
+    } else if let Some(why) = &doc.structural {
+        println!(
+            "structural delta ({why}); full rebuild of all {} classes",
+            doc.ecs_total,
+        );
+    } else {
+        println!(
+            "delta: {} changed device{} {:?} \
+             ({} stages, {} sigs, {} tables evicted)",
+            doc.changed_devices.len(),
+            if doc.changed_devices.len() == 1 {
+                ""
+            } else {
+                "s"
+            },
+            doc.changed_devices,
+            doc.stages_evicted,
+            doc.sigs_evicted,
+            doc.tables_evicted,
+        );
+    }
+    println!(
+        "classes: {} total, {} rederived, {} reused, {} fingerprint{} moved",
+        doc.ecs_total,
+        doc.ecs_rederived,
+        doc.reused,
+        doc.fingerprints_moved,
+        if doc.fingerprints_moved == 1 { "" } else { "s" },
+    );
+    for r in &doc.rederived {
+        println!(
+            "re-verified {}: {} scenarios, {} refinements ({} derived)",
+            r.rep, r.scenarios, r.refinements, r.derivations,
+        );
+    }
+    println!(
+        "full {:.3}s -> delta {:.3}s ({:.1}%)",
+        doc.full_s,
+        doc.delta_s,
+        if doc.full_s > 0.0 {
+            100.0 * doc.delta_s / doc.full_s
+        } else {
+            0.0
+        },
+    );
+    if let Some(Some(path)) = &json {
+        if let Err(e) = std::fs::write(path, doc.render()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 /// `bonsai serve`: load (or restore) a [`Session`] and run `bonsaid` on a
 /// Unix socket until a `shutdown` request arrives.
 fn cmd_serve(
@@ -900,9 +1124,12 @@ fn cmd_serve(
 /// `bonsai metrics`: print a Prometheus text exposition. With `--socket`
 /// or `--tcp`, scrape a running `bonsaid` (the `metrics` op carries the
 /// exposition as one escaped JSON string; this unescapes and prints it
-/// raw — pipe-ready for a node-exporter-style textfile collector).
-/// Without an endpoint, print this process's own registry — every
-/// inventoried metric at zero, useful to see the scrape shape offline.
+/// raw — pipe-ready for a node-exporter-style textfile collector). An
+/// unreachable endpoint is a **structured error and a nonzero exit** —
+/// a scrape that silently yields the wrong registry poisons dashboards.
+/// `--fallback` opts into the in-process registry instead (every
+/// inventoried metric at zero — the scrape *shape*, exit 0), and is the
+/// only way to run without an endpoint.
 fn cmd_metrics(args: &[String]) -> ExitCode {
     let (socket, tcp) = match (str_flag(args, "--socket"), str_flag(args, "--tcp")) {
         (Ok(s), Ok(t)) => (s, t),
@@ -911,9 +1138,25 @@ fn cmd_metrics(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let fallback = args.iter().any(|a| a == "--fallback");
+    let structured_error = |code: &str, error: &str| {
+        eprintln!(
+            "{{\"ok\": false, \"code\": \"{}\", \"error\": \"{}\"}}",
+            json_escape(code),
+            json_escape(error),
+        );
+    };
     if socket.is_none() && tcp.is_none() {
-        print!("{}", bonsai::obs::render_prometheus());
-        return ExitCode::SUCCESS;
+        if fallback {
+            print!("{}", bonsai::obs::render_prometheus());
+            return ExitCode::SUCCESS;
+        }
+        structured_error(
+            "io",
+            "no endpoint: pass --socket <path> or --tcp <addr> to scrape a \
+             running bonsaid, or --fallback for this process's own registry",
+        );
+        return ExitCode::from(2);
     }
     let endpoint = socket
         .clone()
@@ -925,14 +1168,24 @@ fn cmd_metrics(args: &[String]) -> ExitCode {
     let mut client = match connected {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("cannot connect to {endpoint}: {e}");
+            if fallback {
+                eprintln!("cannot connect to {endpoint}: {e}; serving the in-process registry");
+                print!("{}", bonsai::obs::render_prometheus());
+                return ExitCode::SUCCESS;
+            }
+            structured_error("io", &format!("cannot connect to {endpoint}: {e}"));
             return ExitCode::from(1);
         }
     };
     let response = match client.call("{\"op\": \"metrics\"}") {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("{endpoint}: {e}");
+            if fallback {
+                eprintln!("{endpoint}: {e}; serving the in-process registry");
+                print!("{}", bonsai::obs::render_prometheus());
+                return ExitCode::SUCCESS;
+            }
+            structured_error("io", &format!("{endpoint}: {e}"));
             return ExitCode::from(1);
         }
     };
@@ -1079,6 +1332,17 @@ fn cmd_query(args: &[String]) -> ExitCode {
     }
     if args.iter().any(|a| a == "--stats") {
         lines.push("{\"op\": \"stats\"}".to_string());
+    }
+    match str_flag(args, "--reload") {
+        Ok(Some(path)) => lines.push(format!(
+            "{{\"op\": \"reload\", \"path\": \"{}\"}}",
+            json_escape(&path)
+        )),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
     }
     if args.iter().any(|a| a == "--shutdown") {
         lines.push("{\"op\": \"shutdown\"}".to_string());

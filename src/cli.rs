@@ -32,6 +32,204 @@ pub const FAILURES_DOC_KIND: &str = "cli/failures";
 /// Envelope payload version of the failures document.
 pub const FAILURES_DOC_VERSION: u32 = 3;
 
+/// Envelope kind of the `bonsai diff` document.
+pub const DIFF_DOC_KIND: &str = "cli/diff";
+/// Envelope payload version of the `bonsai diff` document.
+pub const DIFF_DOC_VERSION: u32 = 1;
+
+/// One class that `bonsai diff` had to re-derive and re-verify.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RederivedDoc {
+    /// Representative prefix.
+    pub rep: String,
+    /// Scenarios re-verified for the class.
+    pub scenarios: usize,
+    /// Distinct refinements of the re-swept class.
+    pub refinements: usize,
+    /// Full derivations performed for the class.
+    pub derivations: usize,
+}
+
+/// The whole `bonsai diff --json` document: what a config delta
+/// invalidated, what survived, and the full-vs-delta wall-clock proof.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffDoc {
+    /// Failure bound of the re-verification sweep.
+    pub k: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Concrete nodes of the new network.
+    pub nodes: usize,
+    /// Concrete links of the new network.
+    pub links: usize,
+    /// Destination classes in the new network.
+    pub ecs_total: usize,
+    /// Classes whose abstraction had to be re-derived.
+    pub ecs_rederived: usize,
+    /// Classes that kept their old abstraction.
+    pub reused: usize,
+    /// Classes whose engine fingerprint moved across the delta.
+    pub fingerprints_moved: usize,
+    /// True when the delta was structural and everything was rebuilt.
+    pub full_rebuild: bool,
+    /// Why the delta forced a full rebuild (`None` = incremental).
+    pub structural: Option<String>,
+    /// Hostnames of every changed device, in device-index order.
+    pub changed_devices: Vec<String>,
+    /// Compiled route-map stages evicted from the warm engine.
+    pub stages_evicted: usize,
+    /// Per-edge BGP signatures evicted.
+    pub sigs_evicted: usize,
+    /// Whole per-EC signature tables evicted.
+    pub tables_evicted: usize,
+    /// The re-derived classes, in compression-report order.
+    pub rederived: Vec<RederivedDoc>,
+    /// Wall-clock seconds of the full compress + sweep baseline.
+    pub full_s: f64,
+    /// Wall-clock seconds of the delta apply + subset re-sweep.
+    pub delta_s: f64,
+}
+
+impl DiffDoc {
+    /// Renders the enveloped document. Provenance fields are pinned to
+    /// `"unknown"` like the failures document, so bytes depend only on
+    /// the diff content (and the two measured timings).
+    pub fn render(&self) -> String {
+        let devices: Vec<String> = self
+            .changed_devices
+            .iter()
+            .map(|d| format!("\"{}\"", json_escape(d)))
+            .collect();
+        let rederived: Vec<String> = self
+            .rederived
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"rep\":\"{}\",\"scenarios\":{},\"refinements\":{},\"derivations\":{}}}",
+                    json_escape(&r.rep),
+                    r.scenarios,
+                    r.refinements,
+                    r.derivations,
+                )
+            })
+            .collect();
+        let structural = match &self.structural {
+            Some(why) => format!("\"{}\"", json_escape(why)),
+            None => "null".to_string(),
+        };
+        let payload = format!(
+            concat!(
+                "{{\n    \"k\": {},\n    \"threads\": {},\n",
+                "    \"network\": {{\"nodes\": {}, \"links\": {}, \"ecs\": {}}},\n",
+                "    \"delta\": {{\"full_rebuild\": {}, \"structural\": {}, ",
+                "\"changed_devices\": [{}], \"stages_evicted\": {}, ",
+                "\"sigs_evicted\": {}, \"tables_evicted\": {}}},\n",
+                "    \"ecs_rederived\": {},\n    \"reused\": {},\n",
+                "    \"fingerprints_moved\": {},\n",
+                "    \"timing\": {{\"full_s\": {:.6}, \"delta_s\": {:.6}}},\n",
+                "    \"rederived\": [{}]\n  }}"
+            ),
+            self.k,
+            self.threads,
+            self.nodes,
+            self.links,
+            self.ecs_total,
+            self.full_rebuild,
+            structural,
+            devices.join(", "),
+            self.stages_evicted,
+            self.sigs_evicted,
+            self.tables_evicted,
+            self.ecs_rederived,
+            self.reused,
+            self.fingerprints_moved,
+            self.full_s,
+            self.delta_s,
+            rederived.join(","),
+        );
+        write_envelope(
+            DIFF_DOC_KIND,
+            DIFF_DOC_VERSION,
+            "unknown",
+            "unknown",
+            &payload,
+        )
+    }
+
+    /// Parses a document written by [`DiffDoc::render`].
+    pub fn parse(text: &str) -> Result<DiffDoc, String> {
+        let env = Envelope::parse_expecting(text, DIFF_DOC_KIND, DIFF_DOC_VERSION)?;
+        let p = &env.payload;
+        let usize_of = |j: &Json, key: &str| -> Result<usize, String> {
+            j.get(key)
+                .and_then(Json::as_f64)
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("missing integer field `{key}`"))
+        };
+        let f64_of = |j: &Json, key: &str| -> Result<f64, String> {
+            j.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing number field `{key}`"))
+        };
+        let network = p.get("network").ok_or("missing `network`")?;
+        let delta = p.get("delta").ok_or("missing `delta`")?;
+        let timing = p.get("timing").ok_or("missing `timing`")?;
+        let changed_devices = delta
+            .get("changed_devices")
+            .and_then(Json::as_arr)
+            .ok_or("missing `changed_devices`")?
+            .iter()
+            .map(|d| {
+                d.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "non-string device name".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut rederived = Vec::new();
+        for r in p
+            .get("rederived")
+            .and_then(Json::as_arr)
+            .ok_or("missing `rederived`")?
+        {
+            rederived.push(RederivedDoc {
+                rep: r
+                    .get("rep")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or("missing `rep`")?,
+                scenarios: usize_of(r, "scenarios")?,
+                refinements: usize_of(r, "refinements")?,
+                derivations: usize_of(r, "derivations")?,
+            });
+        }
+        Ok(DiffDoc {
+            k: usize_of(p, "k")?,
+            threads: usize_of(p, "threads")?,
+            nodes: usize_of(network, "nodes")?,
+            links: usize_of(network, "links")?,
+            ecs_total: usize_of(network, "ecs")?,
+            ecs_rederived: usize_of(p, "ecs_rederived")?,
+            reused: usize_of(p, "reused")?,
+            fingerprints_moved: usize_of(p, "fingerprints_moved")?,
+            full_rebuild: delta
+                .get("full_rebuild")
+                .and_then(Json::as_bool)
+                .ok_or("missing `full_rebuild`")?,
+            structural: delta
+                .get("structural")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            changed_devices,
+            stages_evicted: usize_of(delta, "stages_evicted")?,
+            sigs_evicted: usize_of(delta, "sigs_evicted")?,
+            tables_evicted: usize_of(delta, "tables_evicted")?,
+            rederived,
+            full_s: f64_of(timing, "full_s")?,
+            delta_s: f64_of(timing, "delta_s")?,
+        })
+    }
+}
+
 /// One distinct refinement of one class, keyed for merging by the rank
 /// of its first scenario in the class's enumeration.
 #[derive(Clone, Debug, PartialEq)]

@@ -23,6 +23,31 @@ use bonsai::prelude::*;
 
 use std::path::PathBuf;
 
+/// Two-device config used by the warm-reload test: device `a` applies a
+/// route-map to imports from `b`, which originates two prefixes — two
+/// destination classes, only one of which the route-map edit touches.
+const RELOAD_BASE: &str = "
+device a
+interface i
+ip prefix-list P10 seq 5 permit 10.0.1.0/24
+route-map M permit 10
+ match ip address prefix-list P10
+ set local-preference 200
+route-map M permit 20
+router bgp 1
+ neighbor i remote-as external
+ neighbor i route-map M in
+end
+device b
+interface i
+router bgp 2
+ network 10.0.1.0/24
+ network 10.0.2.0/24
+ neighbor i remote-as external
+end
+link a i b i
+";
+
 /// A unique socket path per test so parallel test binaries can't collide.
 fn socket_path(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("bonsaid-test-{}-{tag}.sock", std::process::id()))
@@ -194,6 +219,73 @@ fn overloaded_daemon_sheds_queries_instead_of_hanging() {
         .call(r#"{"op": "reach", "src": "edge0_0", "dst": "edge1_1"}"#)
         .expect("recovered");
     assert!(ok.contains("\"delivered\": true"), "{ok}");
+
+    client.call(r#"{"op": "shutdown"}"#).expect("shutdown");
+    handle.join().unwrap().expect("clean exit");
+}
+
+#[test]
+fn reload_swaps_the_session_warm_and_keeps_untouched_answers() {
+    let path = socket_path("reload");
+    let session = Session::builder(parse_network(RELOAD_BASE).expect("base parses"))
+        .max_failures(1)
+        .threads(1)
+        .build()
+        .expect("session builds");
+    let server = Server::bind(session, &path).expect("bind");
+    let handle = server.spawn();
+
+    let mut client = Client::connect(&path).expect("connect");
+    // Warm the verdict memo across both destination classes.
+    let warm = client
+        .call(r#"{"op": "reach", "src": "a", "dst": "b"}"#)
+        .expect("reach");
+    assert!(warm.contains("\"ok\": true"), "{warm}");
+    assert!(
+        warm.contains("10.0.1.0/24") && warm.contains("10.0.2.0/24"),
+        "{warm}"
+    );
+
+    // Edit the route-map clause: a policy-content delta touching only the
+    // 10.0.1.0/24 class.
+    let edited = RELOAD_BASE.replace("local-preference 200", "local-preference 300");
+    let request = format!(
+        r#"{{"op": "reload", "config": "{}"}}"#,
+        edited.replace('\n', "\\n")
+    );
+    let reloaded = client.call(&request).expect("reload");
+    assert!(reloaded.contains("\"ok\": true"), "{reloaded}");
+    assert!(reloaded.contains("\"op\": \"reload\""), "{reloaded}");
+    assert!(reloaded.contains("\"full_rebuild\": false"), "{reloaded}");
+    assert!(reloaded.contains("\"rederived\": 1"), "{reloaded}");
+    assert!(reloaded.contains("\"reused\": 1"), "{reloaded}");
+    assert!(reloaded.contains("\"verdicts_kept\": 1"), "{reloaded}");
+
+    // The swapped session serves queries against the NEW config.
+    let after = client
+        .call(r#"{"op": "reach", "src": "a", "dst": "b"}"#)
+        .expect("reach after reload");
+    assert!(after.contains("\"ok\": true"), "{after}");
+    // Reloading the identical config again keeps every class and memo.
+    let idempotent = client
+        .call(&format!(
+            r#"{{"op": "reload", "config": "{}"}}"#,
+            edited.replace('\n', "\\n")
+        ))
+        .expect("idempotent reload");
+    assert!(idempotent.contains("\"reused\": 2"), "{idempotent}");
+    assert!(idempotent.contains("\"rederived\": 0"), "{idempotent}");
+
+    // Malformed requests get structured errors without killing service:
+    // both `config` and `path`, then a config that does not parse.
+    let both = client
+        .call(r#"{"op": "reload", "config": "x", "path": "y"}"#)
+        .expect("answered");
+    assert!(both.contains("\"code\": \"bad_request\""), "{both}");
+    let garbled = client
+        .call(r#"{"op": "reload", "config": "device a\nnot-a-stanza"}"#)
+        .expect("answered");
+    assert!(garbled.contains("\"code\": \"bad_request\""), "{garbled}");
 
     client.call(r#"{"op": "shutdown"}"#).expect("shutdown");
     handle.join().unwrap().expect("clean exit");
